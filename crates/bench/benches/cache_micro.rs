@@ -1,0 +1,79 @@
+//! Micro benchmarks of the cache-simulator substrate: hit paths, miss and
+//! eviction paths, and replacement policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cnt_sim::{Address, Cache, CacheGeometry, MainMemory, ReplacementKind};
+
+fn hit_paths(c: &mut Criterion) {
+    let geometry = CacheGeometry::new(32 * 1024, 64, 8).expect("valid");
+    let mut group = c.benchmark_group("cache_hit");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("read_hit", |b| {
+        let mut cache = Cache::new("t", geometry, ReplacementKind::Lru);
+        let mut mem = MainMemory::new();
+        cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("warm");
+        b.iter(|| cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("hit"))
+    });
+
+    group.bench_function("write_hit", |b| {
+        let mut cache = Cache::new("t", geometry, ReplacementKind::Lru);
+        let mut mem = MainMemory::new();
+        cache.write(Address::new(0x40), 8, 1, &mut mem, &mut ()).expect("warm");
+        b.iter(|| cache.write(Address::new(0x40), 8, 2, &mut mem, &mut ()).expect("hit"))
+    });
+    group.finish();
+}
+
+fn miss_paths(c: &mut Criterion) {
+    let geometry = CacheGeometry::new(4096, 64, 2).expect("valid");
+    let mut group = c.benchmark_group("cache_miss");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("conflict_stream", |b| {
+        let mut cache = Cache::new("t", geometry, ReplacementKind::Lru);
+        let mut mem = MainMemory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            // Three lines rotating through a 2-way set: every access misses.
+            let addr = Address::new((i % 3) * 4096);
+            i += 1;
+            cache.read(addr, 8, &mut mem, &mut ()).expect("ok")
+        })
+    });
+    group.finish();
+}
+
+fn replacement_policies(c: &mut Criterion) {
+    let geometry = CacheGeometry::new(4096, 64, 8).expect("valid");
+    let mut group = c.benchmark_group("replacement");
+    group.throughput(Throughput::Elements(1));
+    for kind in [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::Random { seed: 1 },
+        ReplacementKind::TreePlru,
+        ReplacementKind::Srrip,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("thrash", kind.to_string()),
+            &kind,
+            |b, &kind| {
+                let mut cache = Cache::new("t", geometry, kind);
+                let mut mem = MainMemory::new();
+                let mut i = 0u64;
+                b.iter(|| {
+                    // 9 lines over an 8-way set: constant evictions.
+                    let addr = Address::new((i % 9) * 4096);
+                    i += 1;
+                    cache.read(addr, 8, &mut mem, &mut ()).expect("ok")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hit_paths, miss_paths, replacement_policies);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Macro benchmark: full suite kernels through the simulated D-Cache,
+//! baseline vs CNT-Cache (the timing counterpart of `fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cnt_bench::runner::run_dcache;
+use cnt_cache::EncodingPolicy;
+use cnt_workloads::suite_small;
+
+fn dcache_suite(c: &mut Criterion) {
+    let workloads = suite_small();
+    let mut group = c.benchmark_group("dcache_suite");
+    for w in &workloads {
+        group.throughput(Throughput::Elements(w.trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("baseline", &w.name),
+            &w.trace,
+            |b, trace| b.iter(|| run_dcache(EncodingPolicy::None, trace)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cnt_cache", &w.name),
+            &w.trace,
+            |b, trace| b.iter(|| run_dcache(EncodingPolicy::adaptive_default(), trace)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dcache_suite);
+criterion_main!(benches);

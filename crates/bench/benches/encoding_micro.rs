@@ -1,0 +1,89 @@
+//! Micro benchmarks of the encoding primitives: codec, popcount ranges,
+//! and threshold-table construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cnt_encoding::popcount::{popcount_range, popcount_words};
+use cnt_encoding::{BitPreference, DirectionBits, LineCodec, PartitionLayout, ThresholdTable};
+use cnt_energy::BitEnergies;
+
+fn line() -> [u64; 8] {
+    [
+        0x0123_4567_89AB_CDEF,
+        0,
+        u64::MAX,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0x0000_FFFF_0000_FFFF,
+        1,
+        0x8000_0000_0000_0000,
+        0xDEAD_BEEF_CAFE_BABE,
+    ]
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let data = line();
+    for partitions in [1u32, 8, 64] {
+        let codec = LineCodec::new(PartitionLayout::new(512, partitions).expect("valid"));
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(
+            BenchmarkId::new("choose_directions", partitions),
+            &codec,
+            |b, codec| b.iter(|| codec.choose_directions(&data, BitPreference::MoreOnes)),
+        );
+        let dirs = codec.choose_directions(&data, BitPreference::MoreOnes);
+        group.bench_with_input(BenchmarkId::new("apply", partitions), &codec, |b, codec| {
+            b.iter(|| codec.apply(&data, &dirs))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("stored_popcount", partitions),
+            &codec,
+            |b, codec| b.iter(|| codec.stored_popcount(&data, &dirs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stored_word", partitions),
+            &codec,
+            |b, codec| b.iter(|| codec.stored_word(data[3], &dirs, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn popcount_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popcount");
+    let data = line();
+    group.bench_function("whole_line", |b| b.iter(|| popcount_words(&data)));
+    group.bench_function("straddling_range", |b| b.iter(|| popcount_range(&data, 60, 200)));
+    group.finish();
+}
+
+fn threshold_benches(c: &mut Criterion) {
+    let bits = BitEnergies::cnfet_default();
+    let mut group = c.benchmark_group("threshold");
+    for window in [15u32, 127] {
+        group.bench_with_input(BenchmarkId::new("table_build", window), &window, |b, &w| {
+            b.iter(|| ThresholdTable::new(&bits, w, 64, 0.1).expect("valid"))
+        });
+    }
+    let table = ThresholdTable::new(&bits, 15, 64, 0.1).expect("valid");
+    group.bench_function("should_flip", |b| b.iter(|| table.should_flip(7, 31)));
+    group.finish();
+}
+
+fn direction_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direction_bits");
+    group.bench_function("apply_flips", |b| {
+        let mut dirs = DirectionBits::all_normal(64);
+        b.iter(|| dirs.apply_flips(0xAAAA_AAAA_AAAA_AAAA))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    codec_benches,
+    popcount_benches,
+    threshold_benches,
+    direction_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro benchmarks of the direction predictor (Algorithm 1) and the
+//! integrated CNT-Cache demand path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
+use cnt_encoding::{
+    AccessHistory, DirectionBits, DirectionPredictor, PredictorConfig, WindowSummary,
+};
+use cnt_energy::BitEnergies;
+use cnt_sim::Address;
+
+fn predictor_benches(c: &mut Criterion) {
+    let bits = BitEnergies::cnfet_default();
+    let mut group = c.benchmark_group("predictor");
+    group.throughput(Throughput::Elements(1));
+
+    for partitions in [1u32, 8] {
+        let predictor = DirectionPredictor::new(
+            &bits,
+            PredictorConfig {
+                window: 15,
+                line_bits: 512,
+                partitions,
+                delta_t: 0.1,
+            },
+        )
+        .expect("valid");
+        let line: Vec<u64> = (0..8).map(|i| i * 0x1111).collect();
+        let dirs = DirectionBits::all_normal(partitions);
+        group.bench_with_input(
+            BenchmarkId::new("decide", partitions),
+            &predictor,
+            |b, p| b.iter(|| p.decide(WindowSummary { wr_num: 4 }, &line, &dirs)),
+        );
+    }
+
+    let predictor = DirectionPredictor::new(
+        &bits,
+        PredictorConfig {
+            window: 15,
+            line_bits: 512,
+            partitions: 8,
+            delta_t: 0.1,
+        },
+    )
+    .expect("valid");
+    group.bench_function("observe", |b| {
+        let mut history = AccessHistory::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            predictor.observe(&mut history, i.is_multiple_of(3))
+        })
+    });
+    group.finish();
+}
+
+fn integrated_demand_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnt_cache_demand");
+    group.throughput(Throughput::Elements(1));
+    for (label, policy) in [
+        ("baseline", EncodingPolicy::None),
+        ("adaptive", EncodingPolicy::adaptive_default()),
+    ] {
+        group.bench_function(label, |b| {
+            let config = CntCacheConfig::builder().policy(policy).build().expect("valid");
+            let mut cache = CntCache::new(config).expect("valid");
+            // Warm a small resident set, then hammer hits.
+            for i in 0..64u64 {
+                cache.write(Address::new(i * 64), 8, i).expect("warm");
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                let addr = Address::new((i % 64) * 64);
+                i += 1;
+                cache.read(addr, 8).expect("hit")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, predictor_benches, integrated_demand_path);
+criterion_main!(benches);

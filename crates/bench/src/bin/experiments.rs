@@ -1,0 +1,46 @@
+//! Regenerates the CNT-Cache evaluation tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments all          # run everything in order
+//! experiments fig3 table1  # run specific experiments
+//! experiments --list       # list available ids
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [--list] <id>... | all");
+        eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in cnt_bench::experiments::ALL {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        cnt_bench::experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for id in ids {
+        match cnt_bench::experiments::run(id) {
+            Ok(report) => {
+                println!("==== {id} ====");
+                println!("{report}");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

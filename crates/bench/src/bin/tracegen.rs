@@ -1,0 +1,154 @@
+//! Generates workload traces as JSON and prints their summary statistics.
+//!
+//! Useful for inspecting what the kernels actually emit and for feeding
+//! the same traces to external tools.
+//!
+//! ```text
+//! tracegen list
+//! tracegen stats matmul
+//! tracegen dump quicksort > quicksort_trace.json
+//! tracegen synth --reads 0.8 --density 0.1 --accesses 5000 > synth.json
+//! ```
+
+use std::process::ExitCode;
+
+use cnt_sim::trace::Trace;
+use cnt_workloads::synthetic::{AddressPattern, SyntheticSpec};
+use cnt_workloads::{suite_extended, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  tracegen list");
+    eprintln!("  tracegen stats <kernel>");
+    eprintln!("  tracegen dump <kernel>          # JSON to stdout");
+    eprintln!("  tracegen text <kernel>          # `KIND ADDR WIDTH [VALUE]` lines to stdout");
+    eprintln!("  tracegen replay <file.trace>    # run a text trace: baseline vs CNT-Cache");
+    eprintln!("  tracegen synth [--reads F] [--density F] [--accesses N] [--lines N] [--seed N]");
+    ExitCode::from(2)
+}
+
+fn find(name: &str) -> Option<Workload> {
+    suite_extended().into_iter().find(|w| w.name == name)
+}
+
+fn print_stats(name: &str, description: &str, trace: &Trace) {
+    println!("workload:   {name}");
+    println!("detail:     {description}");
+    println!("accesses:   {}", trace.len());
+    println!("writes:     {:.2}%", trace.write_fraction() * 100.0);
+    println!("footprint:  {} lines ({} KiB)", trace.footprint_blocks(), trace.footprint_blocks() * 64 / 1024);
+    let (mut ones, mut bits) = (0u64, 0u64);
+    for a in trace.iter().filter(|a| a.is_write()) {
+        ones += u64::from(a.value.count_ones());
+        bits += u64::from(a.width) * 8;
+    }
+    if bits > 0 {
+        println!("write ones: {:.2}% bit density", ones as f64 / bits as f64 * 100.0);
+    }
+}
+
+fn parse_flag(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for w in suite_extended() {
+                println!("{:<16} {}", w.name, w.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("stats") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(w) = find(name) else {
+                eprintln!("unknown kernel `{name}` (try `tracegen list`)");
+                return ExitCode::FAILURE;
+            };
+            print_stats(&w.name, &w.description, &w.trace);
+            ExitCode::SUCCESS
+        }
+        Some("dump") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(w) = find(name) else {
+                eprintln!("unknown kernel `{name}` (try `tracegen list`)");
+                return ExitCode::FAILURE;
+            };
+            match serde_json::to_string(&w.trace) {
+                Ok(json) => {
+                    println!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serialization failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("text") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(w) = find(name) else {
+                eprintln!("unknown kernel `{name}` (try `tracegen list`)");
+                return ExitCode::FAILURE;
+            };
+            print!("{}", w.trace.to_text());
+            ExitCode::SUCCESS
+        }
+        Some("replay") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let trace: Trace = match text.parse() {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot parse `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print_stats(path, "external trace", &trace);
+            let base = cnt_bench::runner::run_dcache(cnt_cache::EncodingPolicy::None, &trace);
+            let cnt = cnt_bench::runner::run_dcache(
+                cnt_cache::EncodingPolicy::adaptive_default(),
+                &trace,
+            );
+            println!();
+            println!("baseline:  {:.1}", base.total());
+            println!("CNT-Cache: {:.1}", cnt.total());
+            println!("saving:    {:.2}%", cnt.saving_vs(&base));
+            ExitCode::SUCCESS
+        }
+        Some("synth") => {
+            let spec = SyntheticSpec {
+                accesses: parse_flag(&args, "--accesses", 10_000.0) as usize,
+                footprint_lines: parse_flag(&args, "--lines", 64.0) as usize,
+                read_fraction: parse_flag(&args, "--reads", 0.7),
+                ones_density: parse_flag(&args, "--density", 0.25),
+                pattern: AddressPattern::UniformRandom,
+                seed: parse_flag(&args, "--seed", 7.0) as u64,
+            };
+            let trace = spec.generate();
+            match serde_json::to_string(&trace) {
+                Ok(json) => {
+                    eprintln!("# {spec:?}");
+                    println!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serialization failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

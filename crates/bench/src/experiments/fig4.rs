@@ -1,0 +1,82 @@
+//! Fig. 4: sensitivity to the prediction window `W`.
+//!
+//! Small windows react fast but switch often (churn + more metadata
+//! traffic relative to useful prediction); large windows adapt slowly and
+//! need wider counters. The draft's default checkpoint is 15.
+
+use std::fmt::Write as _;
+
+use cnt_cache::{AdaptiveParams, EncodingPolicy};
+use cnt_encoding::AccessHistory;
+use cnt_workloads::Workload;
+
+use crate::runner::{mean, run_dcache};
+
+/// The swept window lengths.
+pub const WINDOWS: [u32; 5] = [7, 15, 31, 63, 127];
+
+/// Mean suite saving and switch count per window length.
+pub fn data(workloads: &[Workload]) -> Vec<(u32, f64, u64)> {
+    WINDOWS
+        .iter()
+        .map(|&window| {
+            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
+                window,
+                ..AdaptiveParams::paper_default()
+            });
+            let mut savings = Vec::new();
+            let mut switches = 0;
+            for w in workloads {
+                let base = run_dcache(EncodingPolicy::None, &w.trace);
+                let cnt = run_dcache(policy, &w.trace);
+                savings.push(cnt.saving_vs(&base));
+                switches += cnt.encoding.switches_applied;
+            }
+            (window, mean(&savings), switches)
+        })
+        .collect()
+}
+
+/// Regenerates the window-sensitivity figure on the full suite.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Window-length sensitivity (suite mean, P=8, ΔT=0.1):\n");
+    let _ = writeln!(
+        out,
+        "| {:>4} | {:>12} | {:>10} | {:>16} |",
+        "W", "mean saving", "switches", "history bits/line"
+    );
+    for (window, saving, switches) in data(&cnt_workloads::suite()) {
+        let _ = writeln!(
+            out,
+            "| {:>4} | {:>11.2}% | {:>10} | {:>16} |",
+            window,
+            saving,
+            switches,
+            AccessHistory::storage_bits(window)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sweep_has_plausible_shape() {
+        let rows = data(&cnt_workloads::suite_small());
+        assert_eq!(rows.len(), WINDOWS.len());
+        // Every window setting still saves on average.
+        for (w, saving, _) in &rows {
+            assert!(*saving > 0.0, "W={w} lost energy ({saving:.1}%)");
+        }
+        // Smaller windows produce at least as many switch events.
+        let first_switches = rows[0].2;
+        let last_switches = rows[rows.len() - 1].2;
+        assert!(
+            first_switches >= last_switches,
+            "switch counts should fall with W: {first_switches} vs {last_switches}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig. 6: ablation across encoding policies.
+//!
+//! Baseline (none) vs static DBI-like fill-time inversion (both
+//! preferences) vs adaptive full-line vs adaptive partitioned — the
+//! ordering `adaptive partitioned ≥ adaptive full-line ≥ static ≥ none`
+//! on the suite mean is the design-choice justification.
+
+use std::fmt::Write as _;
+
+use cnt_cache::{AdaptiveParams, EncodingPolicy};
+use cnt_encoding::BitPreference;
+use cnt_workloads::Workload;
+
+use crate::runner::{mean, run_dcache};
+
+/// The ablated policies, in presentation order.
+pub fn policies() -> Vec<(&'static str, EncodingPolicy)> {
+    vec![
+        (
+            "static-ones",
+            EncodingPolicy::StaticInvert {
+                preference: BitPreference::MoreOnes,
+                partitions: 8,
+            },
+        ),
+        (
+            "static-zeros",
+            EncodingPolicy::StaticInvert {
+                preference: BitPreference::MoreZeros,
+                partitions: 8,
+            },
+        ),
+        (
+            "adaptive-full",
+            EncodingPolicy::Adaptive(AdaptiveParams {
+                partitions: 1,
+                ..AdaptiveParams::paper_default()
+            }),
+        ),
+        ("adaptive-part", EncodingPolicy::adaptive_default()),
+    ]
+}
+
+/// Mean suite saving per policy.
+pub fn data(workloads: &[Workload]) -> Vec<(&'static str, f64)> {
+    policies()
+        .into_iter()
+        .map(|(label, policy)| {
+            let savings: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    let base = run_dcache(EncodingPolicy::None, &w.trace);
+                    let variant = run_dcache(policy, &w.trace);
+                    variant.saving_vs(&base)
+                })
+                .collect();
+            (label, mean(&savings))
+        })
+        .collect()
+}
+
+/// Regenerates the policy ablation on the full suite.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Encoding-policy ablation (suite mean saving vs baseline):\n");
+    let _ = writeln!(out, "| {:<14} | {:>12} |", "policy", "mean saving");
+    for (label, saving) in data(&cnt_workloads::suite()) {
+        let _ = writeln!(out, "| {label:<14} | {saving:>11.2}% |");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_partitioned_wins_the_ablation() {
+        let rows = data(&cnt_workloads::suite_small());
+        let by = |n: &str| {
+            rows.iter()
+                .find(|(l, _)| *l == n)
+                .unwrap_or_else(|| panic!("missing {n}"))
+                .1
+        };
+        assert!(
+            by("adaptive-part") >= by("adaptive-full") - 5.0,
+            "partitioned {:.1}% vs full-line {:.1}% (should be within a few percent on homogeneous lines)",
+            by("adaptive-part"),
+            by("adaptive-full")
+        );
+        assert!(
+            by("adaptive-part") > by("static-zeros"),
+            "adaptive must beat write-preferring static"
+        );
+    }
+}

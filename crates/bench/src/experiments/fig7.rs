@@ -1,0 +1,88 @@
+//! Fig. 7: the hysteresis margin `ΔT`.
+//!
+//! The authors' draft notes: "the new pattern becomes the stable
+//! optimization pattern only when E_original − E_new > ΔT · E_original
+//! ... we will explore the relationship between ΔT and dynamic energy
+//! saving". Zero margin lets near-break-even lines flip-flop; a large
+//! margin forgoes real savings.
+
+use std::fmt::Write as _;
+
+use cnt_cache::{AdaptiveParams, EncodingPolicy};
+use cnt_workloads::Workload;
+
+use crate::runner::{mean, run_dcache};
+
+/// The swept margins.
+pub const DELTAS: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.4];
+
+/// Mean suite saving and total switches per `ΔT`.
+pub fn data(workloads: &[Workload]) -> Vec<(f64, f64, u64)> {
+    DELTAS
+        .iter()
+        .map(|&delta_t| {
+            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
+                delta_t,
+                ..AdaptiveParams::paper_default()
+            });
+            let mut savings = Vec::new();
+            let mut switches = 0;
+            for w in workloads {
+                let base = run_dcache(EncodingPolicy::None, &w.trace);
+                let cnt = run_dcache(policy, &w.trace);
+                savings.push(cnt.saving_vs(&base));
+                switches += cnt.encoding.switches_applied;
+            }
+            (delta_t, mean(&savings), switches)
+        })
+        .collect()
+}
+
+/// Regenerates the hysteresis sweep on the full suite.
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Hysteresis-margin sweep (suite mean, W=15, P=8):\n");
+    let _ = writeln!(
+        out,
+        "| {:>5} | {:>12} | {:>10} |",
+        "ΔT", "mean saving", "switches"
+    );
+    for (delta_t, saving, switches) in data(&cnt_workloads::suite()) {
+        let _ = writeln!(out, "| {delta_t:>5.2} | {saving:>11.2}% | {switches:>10} |");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hysteresis_monotonically_reduces_switching() {
+        let rows = data(&cnt_workloads::suite_small());
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].2 <= pair[0].2,
+                "switches must fall as ΔT grows: {:?}",
+                rows.iter().map(|r| r.2).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn moderate_hysteresis_beats_none() {
+        let rows = data(&cnt_workloads::suite_small());
+        let at = |d: f64| {
+            rows.iter()
+                .find(|(dt, ..)| (*dt - d).abs() < 1e-9)
+                .expect("delta present")
+                .1
+        };
+        assert!(
+            at(0.1) > at(0.0),
+            "ΔT=0.1 ({:.1}%) must beat ΔT=0 ({:.1}%) by suppressing churn",
+            at(0.1),
+            at(0.0)
+        );
+    }
+}

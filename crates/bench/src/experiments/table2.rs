@@ -1,0 +1,126 @@
+//! Table 2: CNT-Cache overheads.
+//!
+//! Storage (H&D bits per line), encoding-switch activity, FIFO behaviour,
+//! and where the added energy goes, per benchmark.
+
+use std::fmt::Write as _;
+
+use cnt_cache::{EncodingPolicy, EnergyReport};
+use cnt_energy::ChargeKind;
+use cnt_workloads::Workload;
+
+use crate::runner::{dcache_config, run_dcache};
+
+/// One benchmark's overhead row.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Switches applied per 1 000 accesses.
+    pub switches_per_kilo: f64,
+    /// Fraction of completed windows that decided to switch.
+    pub switch_rate: f64,
+    /// Updates dropped at the FIFO.
+    pub fifo_dropped: u64,
+    /// FIFO high-water mark.
+    pub fifo_peak: usize,
+    /// Share of total energy spent on re-encoding writes (percent).
+    pub switch_energy_percent: f64,
+    /// Share of total energy spent on H&D metadata (percent).
+    pub metadata_energy_percent: f64,
+}
+
+impl OverheadRow {
+    fn from_report(name: &str, r: &EnergyReport) -> Self {
+        let total = r.total().femtojoules();
+        let switch = r.breakdown.energy(ChargeKind::EncodeSwitch).femtojoules();
+        let metadata = (r.breakdown.energy(ChargeKind::MetadataRead)
+            + r.breakdown.energy(ChargeKind::MetadataWrite))
+        .femtojoules();
+        OverheadRow {
+            name: name.to_string(),
+            switches_per_kilo: r.encoding.switches_applied as f64 / r.stats.accesses() as f64
+                * 1000.0,
+            switch_rate: r.switch_rate(),
+            fifo_dropped: r.fifo.dropped,
+            fifo_peak: r.fifo.max_occupancy,
+            switch_energy_percent: switch / total * 100.0,
+            metadata_energy_percent: metadata / total * 100.0,
+        }
+    }
+}
+
+/// Overhead rows for a workload list.
+pub fn data(workloads: &[Workload]) -> Vec<OverheadRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let r = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
+            OverheadRow::from_report(&w.name, &r)
+        })
+        .collect()
+}
+
+/// Regenerates the overhead table on the full suite.
+pub fn run() -> String {
+    let mut out = String::new();
+    let config = dcache_config("L1D", EncodingPolicy::adaptive_default());
+    let line_bits = config.geometry.line_bits();
+    let md_bits = config.policy.metadata_bits_per_line(line_bits);
+    let _ = writeln!(
+        out,
+        "Storage overhead: {md_bits} H&D bits per {line_bits}-bit line = {:.2}%.\n",
+        f64::from(md_bits) / f64::from(line_bits) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "| {:<16} | {:>10} | {:>10} | {:>9} | {:>8} | {:>10} | {:>10} |",
+        "benchmark", "sw/kacc", "sw rate", "fifo drop", "fifo max", "sw energy", "md energy"
+    );
+    for row in data(&cnt_workloads::suite()) {
+        let _ = writeln!(
+            out,
+            "| {:<16} | {:>10.2} | {:>9.1}% | {:>9} | {:>8} | {:>9.2}% | {:>9.2}% |",
+            row.name,
+            row.switches_per_kilo,
+            row.switch_rate * 100.0,
+            row.fifo_dropped,
+            row.fifo_peak,
+            row.switch_energy_percent,
+            row.metadata_energy_percent
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_bounded() {
+        for row in data(&cnt_workloads::suite_small()) {
+            assert!(
+                row.switch_energy_percent < 25.0,
+                "{}: switch energy {:.1}%",
+                row.name,
+                row.switch_energy_percent
+            );
+            assert!(
+                row.metadata_energy_percent < 15.0,
+                "{}: metadata energy {:.1}%",
+                row.name,
+                row.metadata_energy_percent
+            );
+            assert!((0.0..=1.0).contains(&row.switch_rate));
+        }
+    }
+
+    #[test]
+    fn storage_overhead_is_about_three_percent() {
+        let config = dcache_config("L1D", EncodingPolicy::adaptive_default());
+        let ratio = f64::from(config.policy.metadata_bits_per_line(config.geometry.line_bits()))
+            / f64::from(config.geometry.line_bits());
+        assert!(ratio < 0.05, "H&D overhead {ratio:.3} too large");
+    }
+}

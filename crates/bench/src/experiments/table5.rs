@@ -1,0 +1,99 @@
+//! Table 5 (extension): performance overhead — the FIFO design pays zero
+//! cycles; an inline re-encoder stalls the demand path.
+//!
+//! This quantifies the paper's claim that the encoder "has negligible
+//! influence on the timing of the critical data path" because updates
+//! drain through the data/index FIFOs in idle slots.
+
+use std::fmt::Write as _;
+
+use cnt_cache::{AdaptiveParams, EncodingPolicy, TimingModel};
+use cnt_workloads::Workload;
+
+use crate::runner::{mean, run_dcache};
+
+/// `(name, fifo_overhead_pct, inline_overhead_pct, inline_stall_flips)` rows.
+pub fn data(workloads: &[Workload]) -> Vec<(String, f64, f64, u64)> {
+    let timing = TimingModel::default();
+    workloads
+        .iter()
+        .map(|w| {
+            let base = run_dcache(EncodingPolicy::None, &w.trace);
+            let fifo = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
+            let inline = run_dcache(
+                EncodingPolicy::Adaptive(AdaptiveParams {
+                    inline_updates: true,
+                    ..AdaptiveParams::paper_default()
+                }),
+                &w.trace,
+            );
+            (
+                w.name.clone(),
+                timing.overhead(&base, &fifo) * 100.0,
+                timing.overhead(&base, &inline) * 100.0,
+                inline.encoding.inline_partition_flips,
+            )
+        })
+        .collect()
+}
+
+/// Regenerates the performance-overhead table on the full suite.
+pub fn run() -> String {
+    let mut out = String::new();
+    let timing = TimingModel::default();
+    let _ = writeln!(
+        out,
+        "Performance overhead vs baseline (hit={}cy, miss=+{}cy, wb={}cy,\n\
+         inline re-encode={}cy/partition):\n",
+        timing.hit_cycles,
+        timing.miss_penalty_cycles,
+        timing.writeback_cycles,
+        timing.reencode_cycles_per_partition
+    );
+    let _ = writeln!(
+        out,
+        "| {:<16} | {:>13} | {:>15} | {:>13} |",
+        "benchmark", "FIFO design", "inline design", "inline stalls"
+    );
+    let rows = data(&cnt_workloads::suite());
+    let mut fifo_all = Vec::new();
+    let mut inline_all = Vec::new();
+    for (name, fifo, inline, stalls) in &rows {
+        fifo_all.push(*fifo);
+        inline_all.push(*inline);
+        let _ = writeln!(
+            out,
+            "| {name:<16} | {fifo:>12.3}% | {inline:>14.3}% | {stalls:>13} |"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nmean: FIFO {:.3}% vs inline {:.3}% — the FIFOs earn their area",
+        mean(&fifo_all),
+        mean(&inline_all)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_design_has_zero_cycle_overhead() {
+        for (name, fifo, inline, _) in data(&cnt_workloads::suite_small()) {
+            assert!(
+                fifo.abs() < 1e-9,
+                "{name}: FIFO design added {fifo:.4}% cycles"
+            );
+            assert!(inline >= fifo, "{name}: inline cannot be faster");
+        }
+    }
+
+    #[test]
+    fn inline_design_pays_on_switch_heavy_kernels() {
+        let rows = data(&cnt_workloads::suite_small());
+        let any_pays = rows.iter().any(|(_, _, inline, _)| *inline > 0.01);
+        assert!(any_pays, "some kernel must show inline stall cost: {rows:?}");
+    }
+}

@@ -1,0 +1,1323 @@
+//! [`CntCache`]: the adaptive-encoding CNFET cache with bit-exact dynamic
+//! energy accounting.
+//!
+//! The type composes the three substrates:
+//!
+//! * a data-carrying [`Cache`](cnt_sim::Cache) over a [`MainMemory`],
+//! * the [`cnt_encoding`] predictor/codec/FIFO stack,
+//! * a [`cnt_energy::EnergyMeter`] that prices every bit the SRAM array
+//!   moves.
+//!
+//! The *stored* array content is the logical content XOR the per-partition
+//! direction bits; correctness is structural (the XOR is an involution) and
+//! energy is always computed on the stored view.
+
+use cnt_encoding::{
+    AccessHistory, BitPreference, DirectionBits, DirectionPredictor, LineCodec, OverflowPolicy,
+    PartitionLayout, PredictorConfig, UpdateFifo,
+};
+use cnt_energy::{ChargeKind, EnergyMeter};
+use cnt_sim::trace::{AccessKind, MemoryAccess};
+use cnt_sim::{
+    AccessError, AccessOutcome, Address, ArrayObserver, Backing, Cache, CacheLevel, CacheLine,
+    CacheStats, LineLocation, MainMemory,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CntCacheConfig, ConfigError};
+use crate::policy::EncodingPolicy;
+use crate::report::{EncodingCounters, EnergyReport};
+
+/// Per-line encoding state: direction bits, window counters, and the
+/// sticky-classifier streak.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    dirs: DirectionBits,
+    history: AccessHistory,
+    /// Last window's pattern classification (sticky classifier only).
+    last_pattern: Option<cnt_encoding::AccessPattern>,
+    /// Consecutive windows with the same classification.
+    streak: u32,
+}
+
+impl LineState {
+    fn fresh(dirs: DirectionBits) -> Self {
+        LineState {
+            dirs,
+            history: AccessHistory::new(),
+            last_pattern: None,
+            streak: 0,
+        }
+    }
+}
+
+/// A queued re-encoding: which line, and which partitions flip.
+///
+/// This is the joint content of the paper's index FIFO (the location) and
+/// data FIFO (the flip set; the data itself is re-read at apply time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingUpdate {
+    /// Where the line lives.
+    pub set: u64,
+    /// Which way.
+    pub way: u32,
+    /// Bitmask of partitions to flip.
+    pub flips: u64,
+}
+
+impl PendingUpdate {
+    fn location(&self) -> LineLocation {
+        LineLocation {
+            set: self.set,
+            way: self.way,
+        }
+    }
+}
+
+/// The CNT-Cache: a CNFET data cache with (optional) adaptive encoding and
+/// full dynamic-energy accounting.
+///
+/// # Example
+///
+/// ```
+/// use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
+/// use cnt_sim::Address;
+///
+/// let config = CntCacheConfig::builder()
+///     .policy(EncodingPolicy::adaptive_default())
+///     .build()?;
+/// let mut cache = CntCache::new(config)?;
+///
+/// cache.write(Address::new(0x100), 8, 0xFF)?;
+/// assert_eq!(cache.read(Address::new(0x100), 8)?, 0xFF);
+/// assert!(cache.total_energy().femtojoules() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CntCache {
+    config: CntCacheConfig,
+    cache: Cache,
+    memory: MainMemory,
+    meter: EnergyMeter,
+    codec: LineCodec,
+    predictor: Option<DirectionPredictor>,
+    states: Vec<LineState>,
+    fifo: UpdateFifo<PendingUpdate>,
+    counters: EncodingCounters,
+    drain_per_access: usize,
+    fill_preference: Option<BitPreference>,
+    inline_updates: bool,
+    confirm_windows: u32,
+    zero_flag: bool,
+}
+
+impl CntCache {
+    /// Builds the cache over fresh memory with the configured cold-fill
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the encoding policy is incompatible with
+    /// the geometry (e.g. partitions that do not divide the line).
+    pub fn new(config: CntCacheConfig) -> Result<Self, ConfigError> {
+        let memory = MainMemory::with_fill(config.fill_pattern);
+        CntCache::with_memory(config, memory)
+    }
+
+    /// Builds the cache over pre-populated memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the encoding policy is incompatible with
+    /// the geometry.
+    pub fn with_memory(config: CntCacheConfig, memory: MainMemory) -> Result<Self, ConfigError> {
+        let line_bits = config.geometry.line_bits();
+        let partitions = config.policy.partitions();
+        let (codec, predictor, adaptive) = match config.policy {
+            EncodingPolicy::None | EncodingPolicy::ZeroFlag => (
+                LineCodec::new(PartitionLayout::full_line(line_bits)?),
+                None,
+                None,
+            ),
+            EncodingPolicy::StaticInvert { preference, .. } => {
+                let mut params = crate::policy::AdaptiveParams::paper_default();
+                params.fill_preference = Some(preference);
+                params.drain_per_access = 0;
+                (
+                    LineCodec::new(PartitionLayout::new(line_bits, partitions)?),
+                    None,
+                    Some(params),
+                )
+            }
+            EncodingPolicy::Adaptive(params) => {
+                let predictor = DirectionPredictor::new(
+                    config.energy.bits(),
+                    PredictorConfig {
+                        window: params.window,
+                        line_bits,
+                        partitions: params.partitions,
+                        delta_t: params.delta_t,
+                    },
+                )?;
+                let codec = *predictor.codec();
+                (codec, Some(predictor), Some(params))
+            }
+        };
+        let fifo_capacity = adaptive.map_or(1, |p| p.fifo_capacity.max(1));
+        let overflow = adaptive.map_or(OverflowPolicy::DropNewest, |p| p.overflow);
+        let drain = if predictor.is_some() {
+            adaptive.map_or(0, |p| p.drain_per_access)
+        } else {
+            0
+        };
+        let fill_preference = adaptive.and_then(|p| p.fill_preference);
+        let inline_updates = adaptive.is_some_and(|p| p.inline_updates);
+        let confirm_windows = adaptive.map_or(1, |p| p.confirm_windows.max(1));
+        let zero_flag = config.policy == EncodingPolicy::ZeroFlag;
+
+        let cache = Cache::new(config.name.clone(), config.geometry, config.replacement)
+            .with_write_mode(config.write_mode)
+            .with_prefetch(config.prefetch);
+        let lines = config.geometry.num_lines() as usize;
+        let states =
+            vec![LineState::fresh(DirectionBits::all_normal(codec.layout().partitions())); lines];
+        Ok(CntCache {
+            meter: EnergyMeter::new(config.energy),
+            cache,
+            memory,
+            codec,
+            predictor,
+            states,
+            fifo: UpdateFifo::new(fifo_capacity, overflow),
+            counters: EncodingCounters::default(),
+            drain_per_access: drain,
+            fill_preference,
+            inline_updates,
+            confirm_windows,
+            zero_flag,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CntCacheConfig {
+        &self.config
+    }
+
+    /// Hit/miss statistics of the underlying cache.
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Total dynamic energy accumulated so far.
+    pub fn total_energy(&self) -> cnt_energy::Energy {
+        self.meter.total()
+    }
+
+    /// The energy meter (for breakdown inspection).
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Encoding activity counters.
+    pub fn encoding_counters(&self) -> &EncodingCounters {
+        &self.counters
+    }
+
+    /// Pending-update FIFO statistics.
+    pub fn fifo_stats(&self) -> &cnt_encoding::FifoStats {
+        self.fifo.stats()
+    }
+
+    /// The backing memory.
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.memory
+    }
+
+    /// Performs one demand access from a trace record.
+    ///
+    /// Instruction fetches are treated as reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for malformed accesses.
+    pub fn access(&mut self, access: &MemoryAccess) -> Result<AccessOutcome, AccessError> {
+        match access.kind {
+            AccessKind::Write => self.demand(access.addr, access.width, Some(access.value)),
+            AccessKind::Read | AccessKind::InstrFetch => {
+                self.demand(access.addr, access.width, None)
+            }
+        }
+    }
+
+    /// Reads `width` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for malformed accesses.
+    pub fn read(&mut self, addr: Address, width: u8) -> Result<u64, AccessError> {
+        self.demand(addr, width, None).map(|o| o.value)
+    }
+
+    /// Writes the low `width * 8` bits of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for malformed accesses.
+    pub fn write(&mut self, addr: Address, width: u8, value: u64) -> Result<(), AccessError> {
+        self.demand(addr, width, Some(value)).map(|_| ())
+    }
+
+    /// Runs every access of a trace, returning how many were performed.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`AccessError`].
+    pub fn run<'a, I>(&mut self, trace: I) -> Result<usize, AccessError>
+    where
+        I: IntoIterator<Item = &'a MemoryAccess>,
+    {
+        let mut n = 0;
+        for access in trace {
+            self.access(access)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn demand(
+        &mut self,
+        addr: Address,
+        width: u8,
+        write: Option<u64>,
+    ) -> Result<AccessOutcome, AccessError> {
+        let mut memory = std::mem::take(&mut self.memory);
+        let result = self.demand_through(addr, width, write, &mut memory);
+        self.memory = memory;
+        result
+    }
+
+    fn demand_through(
+        &mut self,
+        addr: Address,
+        width: u8,
+        write: Option<u64>,
+        lower: &mut dyn Backing,
+    ) -> Result<AccessOutcome, AccessError> {
+        let ways = self.config.geometry.associativity();
+        let outcome = {
+            let mut observer = MeterObserver {
+                meter: &mut self.meter,
+                states: &mut self.states,
+                codec: &self.codec,
+                fifo: &mut self.fifo,
+                ways,
+                fill_preference: self.fill_preference,
+                zero_flag: self.zero_flag,
+                metadata_scale: if self.config.meter_metadata {
+                    self.config.metadata_energy_scale
+                } else {
+                    0.0
+                },
+            };
+            match write {
+                Some(value) => self
+                    .cache
+                    .write_outcome(addr, width, value, lower, &mut observer)?,
+                None => self.cache.read_outcome(addr, width, lower, &mut observer)?,
+            }
+        };
+        self.after_demand(&outcome, write.is_some());
+        Ok(outcome)
+    }
+
+    /// Performs one demand access against an *external* backing (a lower
+    /// cache level or memory) instead of this cache's owned memory. Used
+    /// by [`CntHierarchy`](crate::CntHierarchy) to stack encoded levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for malformed accesses.
+    pub fn access_through(
+        &mut self,
+        access: &MemoryAccess,
+        lower: &mut dyn Backing,
+    ) -> Result<AccessOutcome, AccessError> {
+        match access.kind {
+            AccessKind::Write => {
+                self.demand_through(access.addr, access.width, Some(access.value), lower)
+            }
+            AccessKind::Read | AccessKind::InstrFetch => {
+                self.demand_through(access.addr, access.width, None, lower)
+            }
+        }
+    }
+
+    /// Serves a whole-line read for an upper cache level, with full
+    /// energy metering and encoding bookkeeping at this level.
+    pub fn load_line_through(&mut self, base: Address, buf: &mut [u64], lower: &mut dyn Backing) {
+        let ways = self.config.geometry.associativity();
+        {
+            let mut observer = MeterObserver {
+                meter: &mut self.meter,
+                states: &mut self.states,
+                codec: &self.codec,
+                fifo: &mut self.fifo,
+                ways,
+                fill_preference: self.fill_preference,
+                zero_flag: self.zero_flag,
+                metadata_scale: if self.config.meter_metadata {
+                    self.config.metadata_energy_scale
+                } else {
+                    0.0
+                },
+            };
+            let mut level = CacheLevel {
+                cache: &mut self.cache,
+                lower,
+                observer: &mut observer,
+            };
+            level.load_line(base, buf);
+        }
+        self.after_line_transfer(base, false);
+    }
+
+    /// Accepts a whole-line spill from an upper cache level, with full
+    /// energy metering and encoding bookkeeping at this level.
+    pub fn store_line_through(&mut self, base: Address, data: &[u64], lower: &mut dyn Backing) {
+        let ways = self.config.geometry.associativity();
+        {
+            let mut observer = MeterObserver {
+                meter: &mut self.meter,
+                states: &mut self.states,
+                codec: &self.codec,
+                fifo: &mut self.fifo,
+                ways,
+                fill_preference: self.fill_preference,
+                zero_flag: self.zero_flag,
+                metadata_scale: if self.config.meter_metadata {
+                    self.config.metadata_energy_scale
+                } else {
+                    0.0
+                },
+            };
+            let mut level = CacheLevel {
+                cache: &mut self.cache,
+                lower,
+                observer: &mut observer,
+            };
+            level.store_line(base, data);
+        }
+        self.after_line_transfer(base, true);
+    }
+
+    /// Line-transfer bookkeeping: the touched line gets one history event
+    /// (reads/writes at line granularity) and idle-slot draining runs.
+    fn after_line_transfer(&mut self, base: Address, is_write: bool) {
+        let Some(location) = self.cache.find(base) else {
+            return;
+        };
+        let outcome = AccessOutcome {
+            value: 0,
+            hit: true,
+            location: Some(location),
+            evicted: None,
+        };
+        self.after_demand(&outcome, is_write);
+    }
+
+    /// Post-access bookkeeping: metadata energy, window prediction, and
+    /// idle-slot draining.
+    fn after_demand(&mut self, outcome: &AccessOutcome, is_write: bool) {
+        // Write-around stores never touch the array: nothing to account.
+        let Some(location) = outcome.location else {
+            return;
+        };
+        let idx = self.line_index(location);
+
+        // Every access under an encoding policy reads the line's H&D field.
+        let metadata_bits = self
+            .config
+            .policy
+            .metadata_bits_per_line(self.config.geometry.line_bits());
+        // Zero-flag charges its flag bits precisely in the observer, so the
+        // generic whole-field metadata charge below must not double-count.
+        if self.config.meter_metadata && metadata_bits > 0 && !self.zero_flag {
+            let state = &self.states[idx];
+            let ones = state.dirs.inverted_count()
+                + state.history.accesses().count_ones()
+                + state.history.writes().count_ones();
+            self.meter.charge_read_bits_scaled(
+                ones.min(metadata_bits),
+                metadata_bits,
+                ChargeKind::MetadataRead,
+                self.config.metadata_energy_scale,
+            );
+        }
+
+        let Some(predictor) = &self.predictor else {
+            return;
+        };
+
+        let summary = predictor.observe(&mut self.states[idx].history, is_write);
+
+        if self.config.meter_metadata {
+            // The history counters are re-written on every access.
+            let hist_bits = AccessHistory::storage_bits(predictor.config().window);
+            let state = &self.states[idx];
+            let ones =
+                (state.history.accesses().count_ones() + state.history.writes().count_ones())
+                    .min(hist_bits);
+            self.meter.charge_write_bits_scaled(
+                ones,
+                hist_bits,
+                ChargeKind::MetadataWrite,
+                self.config.metadata_energy_scale,
+            );
+        }
+
+        if let Some(summary) = summary {
+            self.counters.windows += 1;
+
+            // Sticky classifier: require `confirm_windows` consecutive
+            // windows with the same pattern before allowing a switch.
+            let confirmed = if self.confirm_windows <= 1 {
+                true
+            } else {
+                let pattern = predictor.table().pattern(summary.wr_num);
+                let state = &mut self.states[idx];
+                if state.last_pattern == Some(pattern) {
+                    state.streak = state.streak.saturating_add(1);
+                } else {
+                    state.streak = 1;
+                }
+                state.last_pattern = Some(pattern);
+                state.streak >= self.confirm_windows
+            };
+
+            if confirmed {
+                let line = self.cache.line_at(location);
+                let decision = predictor.decide(summary, line.as_words(), &self.states[idx].dirs);
+                if decision.switches() {
+                    self.counters.switch_decisions += 1;
+                    self.counters.projected_saving_fj += decision.projected_saving_fj;
+                    if self.inline_updates {
+                        // No FIFO: the re-encode stalls the demand path.
+                        let flips = decision.flips;
+                        self.apply_update(location, flips, true);
+                    } else {
+                        self.fifo.push(PendingUpdate {
+                            set: location.set,
+                            way: location.way,
+                            flips: decision.flips,
+                        });
+                    }
+                }
+            } else {
+                self.counters.suppressed_by_confirmation += 1;
+            }
+        }
+
+        // A hit leaves fill bandwidth idle: drain deferred updates.
+        if outcome.hit {
+            for _ in 0..self.drain_per_access {
+                if !self.apply_one_pending() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Applies the oldest pending re-encoding, charging the switch write.
+    /// Returns `false` when the FIFO is empty.
+    fn apply_one_pending(&mut self) -> bool {
+        let Some(update) = self.fifo.pop() else {
+            return false;
+        };
+        self.apply_update(update.location(), update.flips, false);
+        true
+    }
+
+    /// Re-encodes the line at `loc` by flipping `flips`, charging the
+    /// switch writes. `inline` marks the flips as demand-path stalls.
+    fn apply_update(&mut self, loc: LineLocation, flips: u64, inline: bool) {
+        let idx = self.line_index(loc);
+        let line = self.cache.line_at(loc);
+        if !line.is_valid() {
+            // Fills cancel their location's pending updates, so this can
+            // only happen if the whole cache was reset; drop silently.
+            return;
+        }
+        let state = &mut self.states[idx];
+        state.dirs.apply_flips(flips);
+        state.history.reset();
+        let counts = self.codec.stored_partition_popcounts(line.as_words(), &state.dirs);
+        let partition_bits = self.codec.layout().partition_bits();
+        for (p, &ones) in counts.iter().enumerate() {
+            if flips >> p & 1 == 1 {
+                self.meter
+                    .charge_write_bits_kind(ones, partition_bits, ChargeKind::EncodeSwitch);
+                self.counters.partition_flips += 1;
+                if inline {
+                    self.counters.inline_partition_flips += 1;
+                }
+            }
+        }
+        if self.config.meter_metadata {
+            // The direction bits themselves are re-written.
+            let state = &self.states[idx];
+            self.meter.charge_write_bits_scaled(
+                state.dirs.inverted_count(),
+                state.dirs.storage_bits(),
+                ChargeKind::MetadataWrite,
+                self.config.metadata_energy_scale,
+            );
+        }
+        self.counters.switches_applied += 1;
+    }
+
+    /// Applies every queued re-encoding immediately (e.g. before a
+    /// simulation-ending flush), returning how many were applied.
+    pub fn drain_pending(&mut self) -> usize {
+        let mut n = 0;
+        while self.apply_one_pending() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Drains pending updates, then writes all dirty lines back to memory
+    /// (charging write-back reads), returning the number written back.
+    pub fn flush(&mut self) -> usize {
+        let mut memory = std::mem::take(&mut self.memory);
+        let written = self.flush_through(&mut memory);
+        self.memory = memory;
+        written
+    }
+
+    /// [`flush`](Self::flush) against an external backing (for stacked
+    /// levels).
+    pub fn flush_through(&mut self, lower: &mut dyn Backing) -> usize {
+        self.drain_pending();
+        let ways = self.config.geometry.associativity();
+        let mut observer = MeterObserver {
+            meter: &mut self.meter,
+            states: &mut self.states,
+            codec: &self.codec,
+            fifo: &mut self.fifo,
+            ways,
+            fill_preference: self.fill_preference,
+            zero_flag: self.zero_flag,
+            metadata_scale: if self.config.meter_metadata {
+                    self.config.metadata_energy_scale
+                } else {
+                    0.0
+                },
+        };
+        self.cache.flush(lower, &mut observer)
+    }
+
+    /// Produces the full energy/activity report.
+    pub fn report(&self) -> EnergyReport {
+        EnergyReport {
+            name: self.config.name.clone(),
+            policy: self.config.policy.to_string(),
+            technology: self.config.energy.technology(),
+            breakdown: self.meter.breakdown().clone(),
+            stats: self.cache.stats().clone(),
+            encoding: self.counters,
+            fifo: *self.fifo.stats(),
+            metadata_bits_per_line: self
+                .config
+                .policy
+                .metadata_bits_per_line(self.config.geometry.line_bits()),
+        }
+    }
+
+    /// The direction bits of the (valid) line at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn direction_bits(&self, loc: LineLocation) -> &DirectionBits {
+        &self.states[self.line_index(loc)].dirs
+    }
+
+    /// Materializes the *stored* (encoded) form of the line at `loc`, as
+    /// the SRAM array would hold it. Returns `None` for invalid lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn stored_line(&self, loc: LineLocation) -> Option<Vec<u64>> {
+        let line: &CacheLine = self.cache.line_at(loc);
+        if !line.is_valid() {
+            return None;
+        }
+        let dirs = &self.states[self.line_index(loc)].dirs;
+        Some(self.codec.apply(line.as_words(), dirs))
+    }
+
+    /// Iterates over all valid lines as `(location, logical line,
+    /// direction bits)`.
+    pub fn valid_lines(&self) -> impl Iterator<Item = (LineLocation, &CacheLine, &DirectionBits)> {
+        self.cache
+            .valid_lines()
+            .map(move |(loc, line)| (loc, line, &self.states[self.line_index(loc)].dirs))
+    }
+
+    fn line_index(&self, loc: LineLocation) -> usize {
+        (loc.set * u64::from(self.config.geometry.associativity()) + u64::from(loc.way)) as usize
+    }
+
+    /// Fault injection for reliability studies: flips the stored direction
+    /// bit of `partition` on the line at `loc` *without* re-encoding the
+    /// data — simulating a soft-error upset in the H&D metadata array.
+    /// From this point the affected partition decodes inverted: **silent
+    /// data corruption**, the hazard the `fig13` experiment quantifies.
+    ///
+    /// Returns `false` (and injects nothing) if the line is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` or `partition` is out of range.
+    pub fn inject_direction_fault(&mut self, loc: LineLocation, partition: u32) -> bool {
+        if !self.cache.line_at(loc).is_valid() {
+            return false;
+        }
+        let idx = self.line_index(loc);
+        self.states[idx].dirs.toggle(partition);
+        // The simulator stores *logical* data and derives the physical
+        // stored bits as `logical ^ direction`. A metadata upset leaves
+        // the physical bits untouched while the direction lies about
+        // them, so the logical view inverts: toggle the direction AND
+        // invert the partition's logical words — the stored form
+        // `logical' ^ direction' = logical ^ direction` stays fixed, and
+        // every subsequent read returns corrupted data, exactly as in
+        // hardware. The dirty flag is preserved (an upset is not a write).
+        let (start, len) = self.codec.layout().range(partition);
+        let line = self.cache.line_at_mut(loc);
+        let was_dirty = line.is_dirty();
+        let mut words: Vec<u64> = line.as_words().to_vec();
+        cnt_encoding::popcount::invert_range(&mut words, start, len);
+        line.write_all(&words);
+        if !was_dirty {
+            line.mark_clean();
+        }
+        true
+    }
+
+    /// Audits the cache's internal invariants: per-line metadata shape,
+    /// history-counter bounds, and FIFO referential integrity. Intended
+    /// for tests and debugging; a healthy cache always passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AuditError`] describing the first violated invariant.
+    pub fn audit(&self) -> Result<(), AuditError> {
+        let geometry = &self.config.geometry;
+        let expected_states = geometry.num_lines() as usize;
+        if self.states.len() != expected_states {
+            return Err(AuditError::new(format!(
+                "state table holds {} entries, geometry has {expected_states} lines",
+                self.states.len()
+            )));
+        }
+        let partitions = self.codec.layout().partitions();
+        let window = self.predictor.as_ref().map(|p| p.config().window);
+        for (i, state) in self.states.iter().enumerate() {
+            if state.dirs.partitions() != partitions {
+                return Err(AuditError::new(format!(
+                    "line {i}: direction bits track {} partitions, codec has {partitions}",
+                    state.dirs.partitions()
+                )));
+            }
+            if state.history.writes() > state.history.accesses() {
+                return Err(AuditError::new(format!(
+                    "line {i}: write counter {} exceeds access counter {}",
+                    state.history.writes(),
+                    state.history.accesses()
+                )));
+            }
+            if let Some(w) = window {
+                if state.history.accesses() >= w {
+                    return Err(AuditError::new(format!(
+                        "line {i}: history counter {} reached the window {w} without reset",
+                        state.history.accesses()
+                    )));
+                }
+            }
+        }
+        let partition_mask = if partitions == 64 {
+            u64::MAX
+        } else {
+            (1u64 << partitions) - 1
+        };
+        for update in self.fifo.iter() {
+            if update.set >= geometry.num_sets() || u64::from(update.way) >= u64::from(geometry.associativity()) {
+                return Err(AuditError::new(format!(
+                    "fifo references out-of-range location set {} way {}",
+                    update.set, update.way
+                )));
+            }
+            if update.flips & !partition_mask != 0 {
+                return Err(AuditError::new(format!(
+                    "fifo flip mask {:#x} has bits above the {partitions}-partition layout",
+                    update.flips
+                )));
+            }
+            if update.flips == 0 {
+                return Err(AuditError::new("fifo holds a no-op update".to_string()));
+            }
+            if !self.cache.line_at(update.location()).is_valid() {
+                return Err(AuditError::new(format!(
+                    "fifo update targets invalid line at set {} way {}",
+                    update.set, update.way
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An internal invariant violated, as reported by [`CntCache::audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    message: String,
+}
+
+impl AuditError {
+    fn new(message: String) -> Self {
+        AuditError { message }
+    }
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cache invariant violated: {}", self.message)
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// The observer translating raw array events into energy charges on the
+/// *stored* bit view.
+struct MeterObserver<'a> {
+    meter: &'a mut EnergyMeter,
+    states: &'a mut [LineState],
+    codec: &'a LineCodec,
+    fifo: &'a mut UpdateFifo<PendingUpdate>,
+    ways: u32,
+    fill_preference: Option<BitPreference>,
+    /// Zero-flag compression: all-zero words skip the array, paying only
+    /// their (sidecar) flag access.
+    zero_flag: bool,
+    /// Sidecar-array energy scale for the zero flags.
+    metadata_scale: f64,
+}
+
+impl MeterObserver<'_> {
+    fn index(&self, loc: LineLocation) -> usize {
+        (loc.set * u64::from(self.ways) + u64::from(loc.way)) as usize
+    }
+}
+
+impl ArrayObserver for MeterObserver<'_> {
+    fn word_read(&mut self, loc: LineLocation, word_index: usize, value: u64) {
+        if self.zero_flag {
+            // The flag is always read; a set flag short-circuits the word.
+            self.meter.charge_read_bits_scaled(
+                u32::from(value == 0),
+                1,
+                ChargeKind::MetadataRead,
+                self.metadata_scale,
+            );
+            if value != 0 {
+                self.meter.charge_read_word_kind(value, 64, ChargeKind::DataRead);
+            }
+            return;
+        }
+        let dirs = &self.states[self.index(loc)].dirs;
+        let stored = self.codec.stored_word(value, dirs, word_index);
+        self.meter
+            .charge_read_word_kind(stored, 64, ChargeKind::DataRead);
+    }
+
+    fn word_written(&mut self, loc: LineLocation, word_index: usize, _old: u64, new: u64) {
+        if self.zero_flag {
+            // The flag is re-written; a zero word writes nothing else.
+            self.meter.charge_write_bits_scaled(
+                u32::from(new == 0),
+                1,
+                ChargeKind::MetadataWrite,
+                self.metadata_scale,
+            );
+            if new != 0 {
+                self.meter.charge_write_word_kind(new, 64, ChargeKind::DataWrite);
+            }
+            return;
+        }
+        let dirs = &self.states[self.index(loc)].dirs;
+        let stored = self.codec.stored_word(new, dirs, word_index);
+        self.meter
+            .charge_write_word_kind(stored, 64, ChargeKind::DataWrite);
+    }
+
+    fn line_filled(&mut self, loc: LineLocation, _base: Address, data: &[u64]) {
+        let idx = self.index(loc);
+        // Any queued update belongs to the evicted occupant of this slot.
+        self.fifo.cancel_where(|u| u.location() == loc);
+        if self.zero_flag {
+            self.states[idx] = LineState::fresh(DirectionBits::all_normal(1));
+            let nonzero = data.iter().filter(|&&w| w != 0).count() as u32;
+            // One flag per word is written; only non-zero words hit the array.
+            self.meter.charge_write_bits_scaled(
+                nonzero,
+                data.len() as u32,
+                ChargeKind::MetadataWrite,
+                self.metadata_scale,
+            );
+            for &w in data.iter().filter(|&&w| w != 0) {
+                self.meter.charge_write_word_kind(w, 64, ChargeKind::LineFill);
+            }
+            return;
+        }
+        let dirs = match self.fill_preference {
+            Some(pref) => self.codec.choose_directions(data, pref),
+            None => DirectionBits::all_normal(self.codec.layout().partitions()),
+        };
+        self.states[idx] = LineState::fresh(dirs);
+        let ones = self.codec.stored_popcount(data, &dirs);
+        self.meter
+            .charge_write_bits_kind(ones, self.codec.layout().line_bits(), ChargeKind::LineFill);
+    }
+
+    fn line_evicted(&mut self, loc: LineLocation, _base: Address, data: &[u64], dirty: bool) {
+        if !dirty {
+            return; // clean lines drop without an array read
+        }
+        if self.zero_flag {
+            self.meter.charge_read_bits_scaled(
+                data.iter().filter(|&&w| w == 0).count() as u32,
+                data.len() as u32,
+                ChargeKind::MetadataRead,
+                self.metadata_scale,
+            );
+            for &w in data.iter().filter(|&&w| w != 0) {
+                self.meter.charge_read_word_kind(w, 64, ChargeKind::Writeback);
+            }
+            return;
+        }
+        let dirs = &self.states[self.index(loc)].dirs;
+        let ones = self.codec.stored_popcount(data, dirs);
+        self.meter
+            .charge_read_bits_kind(ones, self.codec.layout().line_bits(), ChargeKind::Writeback);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AdaptiveParams;
+    use cnt_energy::SramEnergyModel;
+
+    fn config(policy: EncodingPolicy) -> CntCacheConfig {
+        CntCacheConfig::builder()
+            .size_bytes(4096)
+            .line_bytes(64)
+            .associativity(2)
+            .policy(policy)
+            .build()
+            .expect("valid config")
+    }
+
+    fn adaptive(window: u32, partitions: u32) -> EncodingPolicy {
+        EncodingPolicy::Adaptive(AdaptiveParams {
+            window,
+            partitions,
+            ..AdaptiveParams::paper_default()
+        })
+    }
+
+    #[test]
+    fn correctness_is_policy_independent() {
+        for policy in [
+            EncodingPolicy::None,
+            EncodingPolicy::StaticInvert {
+                preference: BitPreference::MoreOnes,
+                partitions: 8,
+            },
+            adaptive(4, 8),
+        ] {
+            let mut cache = CntCache::new(config(policy)).expect("valid cache");
+            for i in 0..64u64 {
+                cache.write(Address::new(i * 8), 8, i * 0x0101).expect("write");
+            }
+            for i in 0..64u64 {
+                let v = cache.read(Address::new(i * 8), 8).expect("read");
+                assert_eq!(v, i * 0x0101, "policy {policy} corrupted data");
+            }
+            cache.flush();
+            for i in 0..64u64 {
+                assert_eq!(cache.memory_mut().load(Address::new(i * 8), 8), i * 0x0101);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_charges_logical_bits() {
+        let mut cache = CntCache::new(config(EncodingPolicy::None)).expect("valid");
+        cache.write(Address::new(0), 8, u64::MAX).expect("write");
+        let b = cache.meter().breakdown();
+        // Fill wrote a zero line (64 B of zeros from cold memory), then the
+        // demand write stored 64 one-bits.
+        assert_eq!(b.bits_written_one, 64);
+        assert_eq!(b.bits(ChargeKind::LineFill), 512);
+        assert_eq!(b.bits(ChargeKind::DataWrite), 64);
+    }
+
+    #[test]
+    fn static_invert_stores_preferred_bits() {
+        // All-zero data with a MoreOnes static policy must be stored as
+        // all ones.
+        let mut cache = CntCache::new(config(EncodingPolicy::StaticInvert {
+            preference: BitPreference::MoreOnes,
+            partitions: 8,
+        }))
+        .expect("valid");
+        cache.read(Address::new(0), 8).expect("read");
+        assert!(cache.cache.peek(Address::new(0)).is_some(), "line resident");
+        let (loc, line, dirs) = cache.valid_lines().next().expect("one line");
+        assert_eq!(line.popcount(), 0, "logical content is zero");
+        assert_eq!(dirs.inverted_count(), 8, "all partitions inverted");
+        let stored = cache.stored_line(loc).expect("valid");
+        assert!(stored.iter().all(|&w| w == u64::MAX));
+        // The fill charged 512 one-bit writes.
+        assert_eq!(cache.meter().breakdown().bits_written_one, 512);
+    }
+
+    #[test]
+    fn adaptive_read_loop_flips_zero_line_to_ones() {
+        let mut cache = CntCache::new(config(adaptive(4, 8))).expect("valid");
+        // Read the same zero line many times: the predictor must decide to
+        // invert (stored ones are cheaper to read) and the FIFO must drain.
+        for _ in 0..16 {
+            cache.read(Address::new(0), 8).expect("read");
+        }
+        let report = cache.report();
+        assert!(report.encoding.windows >= 3, "windows: {}", report.encoding.windows);
+        assert!(report.encoding.switches_applied >= 1, "no switch applied");
+        let (loc, _, dirs) = cache.valid_lines().next().expect("resident line");
+        assert_eq!(dirs.inverted_count(), 8);
+        let stored = cache.stored_line(loc).expect("valid");
+        assert!(stored.iter().all(|&w| w == u64::MAX));
+    }
+
+    #[test]
+    fn adaptive_saves_energy_on_skewed_read_workload() {
+        // The headline mechanism: reading mostly-zero data repeatedly is
+        // cheaper with adaptive encoding than without.
+        let run = |policy| {
+            let mut cache = CntCache::new(config(policy)).expect("valid");
+            for round in 0..64 {
+                for line in 0..8u64 {
+                    let _ = round;
+                    cache.read(Address::new(line * 64), 8).expect("read");
+                }
+            }
+            cache.total_energy()
+        };
+        let baseline = run(EncodingPolicy::None);
+        let adaptive_e = run(adaptive(15, 8));
+        assert!(
+            adaptive_e < baseline,
+            "adaptive {adaptive_e} must beat baseline {baseline}"
+        );
+    }
+
+    #[test]
+    fn eviction_cancels_pending_updates() {
+        // Create a switch decision, then evict the line before any idle
+        // slot drains it; the update must not be applied to the newcomer.
+        // drain_per_access = 0 keeps the update queued until we say so.
+        let policy = EncodingPolicy::Adaptive(AdaptiveParams {
+            window: 4,
+            partitions: 8,
+            drain_per_access: 0,
+            ..AdaptiveParams::paper_default()
+        });
+        let mut cache = CntCache::new(config(policy)).expect("valid");
+        // 4 misses+reads on line 0 complete a window on the 4th access
+        // (a miss is not a hit, so nothing drains).
+        for _ in 0..4 {
+            cache.read(Address::new(0x000), 8).expect("read");
+        }
+        // The decision (flip to ones) is queued. Now evict line 0 by
+        // touching two conflicting lines (2-way set).
+        cache.read(Address::new(0x1000), 8).expect("read");
+        cache.read(Address::new(0x2000), 8).expect("read");
+        cache.read(Address::new(0x3000), 8).expect("read");
+        // The queued update was cancelled by the fill into its slot.
+        assert_eq!(cache.fifo_stats().pushed, 1, "one decision was queued");
+        assert_eq!(cache.encoding_counters().switches_applied, 0);
+        assert_eq!(cache.drain_pending(), 0, "nothing left to apply");
+        // And no state was corrupted: all resident lines decode correctly.
+        for (loc, line, dirs) in cache.valid_lines().collect::<Vec<_>>() {
+            let stored = cache.stored_line(loc).expect("valid");
+            let decoded = cache.codec.decode(&stored, dirs);
+            assert_eq!(decoded, line.as_words());
+        }
+    }
+
+    #[test]
+    fn flush_accounts_writebacks_on_stored_bits() {
+        let mut cache = CntCache::new(config(EncodingPolicy::None)).expect("valid");
+        cache.write(Address::new(0), 8, 0xF0F0).expect("write");
+        let before = cache.meter().breakdown().bits(ChargeKind::Writeback);
+        assert_eq!(before, 0);
+        let flushed = cache.flush();
+        assert_eq!(flushed, 1);
+        assert_eq!(cache.meter().breakdown().bits(ChargeKind::Writeback), 512);
+        assert_eq!(cache.memory_mut().load(Address::new(0), 8), 0xF0F0);
+    }
+
+    #[test]
+    fn metadata_metering_can_be_disabled() {
+        let mut with_md = CntCacheConfig::builder()
+            .policy(EncodingPolicy::adaptive_default())
+            .build()
+            .expect("valid");
+        with_md.meter_metadata = true;
+        let mut without_md = with_md.clone();
+        without_md.meter_metadata = false;
+
+        let run = |cfg| {
+            let mut cache = CntCache::new(cfg).expect("valid");
+            for i in 0..32u64 {
+                cache.read(Address::new(i * 8), 8).expect("read");
+            }
+            let b = cache.meter().breakdown().clone();
+            b.energy(ChargeKind::MetadataRead) + b.energy(ChargeKind::MetadataWrite)
+        };
+        assert!(run(with_md).femtojoules() > 0.0);
+        assert_eq!(run(without_md).femtojoules(), 0.0);
+    }
+
+    #[test]
+    fn cmos_model_yields_higher_energy() {
+        let mut cnfet_cfg = config(EncodingPolicy::None);
+        cnfet_cfg.energy = SramEnergyModel::cnfet_default();
+        let mut cmos_cfg = config(EncodingPolicy::None);
+        cmos_cfg.energy = SramEnergyModel::cmos_default();
+
+        let run = |cfg| {
+            let mut cache = CntCache::new(cfg).expect("valid");
+            for i in 0..64u64 {
+                cache.write(Address::new(i * 8), 8, 0xABCD).expect("write");
+                cache.read(Address::new(i * 8), 8).expect("read");
+            }
+            cache.total_energy()
+        };
+        assert!(run(cmos_cfg) > run(cnfet_cfg) * 1.5);
+    }
+
+    #[test]
+    fn inline_updates_apply_immediately_and_count_stalls() {
+        let policy = EncodingPolicy::Adaptive(AdaptiveParams {
+            window: 4,
+            partitions: 8,
+            inline_updates: true,
+            ..AdaptiveParams::paper_default()
+        });
+        let mut cache = CntCache::new(config(policy)).expect("valid");
+        for _ in 0..4 {
+            cache.read(Address::new(0), 8).expect("read");
+        }
+        let c = cache.encoding_counters();
+        assert_eq!(c.switches_applied, 1, "inline decision applies at once");
+        assert_eq!(c.inline_partition_flips, 8);
+        assert_eq!(cache.fifo_stats().pushed, 0, "the FIFO is bypassed");
+        // The FIFO design pays zero stall cycles on the same workload.
+        let mut fifo_cache = CntCache::new(config(adaptive(4, 8))).expect("valid");
+        for _ in 0..4 {
+            fifo_cache.read(Address::new(0), 8).expect("read");
+        }
+        assert_eq!(fifo_cache.encoding_counters().inline_partition_flips, 0);
+    }
+
+    #[test]
+    fn sticky_classifier_suppresses_alternating_patterns() {
+        // Alternate read-only and write-only windows on one line: with
+        // confirm_windows = 2 the pattern never stabilizes, so no switch
+        // is ever issued, while the plain predictor churns.
+        let run = |confirm_windows: u32| {
+            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
+                window: 4,
+                partitions: 1,
+                delta_t: 0.0,
+                confirm_windows,
+                ..AdaptiveParams::paper_default()
+            });
+            let mut cache = CntCache::new(config(policy)).expect("valid");
+            for window in 0..32 {
+                for _ in 0..4 {
+                    if window % 2 == 0 {
+                        cache.read(Address::new(0), 8).expect("read");
+                    } else {
+                        cache.write(Address::new(0), 8, u64::MAX).expect("write");
+                    }
+                }
+            }
+            (
+                cache.encoding_counters().switch_decisions,
+                cache.encoding_counters().suppressed_by_confirmation,
+            )
+        };
+        let (plain_switches, plain_suppressed) = run(1);
+        let (sticky_switches, sticky_suppressed) = run(2);
+        assert_eq!(plain_suppressed, 0);
+        assert!(plain_switches > 0, "the plain predictor must churn here");
+        assert!(
+            sticky_switches < plain_switches,
+            "sticky ({sticky_switches}) must cut churn vs plain ({plain_switches})"
+        );
+        assert!(sticky_suppressed > 0);
+    }
+
+    #[test]
+    fn write_through_cache_meters_and_preserves_data() {
+        let mut cfg = config(adaptive(4, 8));
+        cfg.write_mode = cnt_sim::WriteMode::WriteThrough;
+        let mut cache = CntCache::new(cfg).expect("valid");
+        for i in 0..32u64 {
+            cache.write(Address::new(i * 8), 8, i).expect("write");
+        }
+        for i in 0..32u64 {
+            assert_eq!(cache.read(Address::new(i * 8), 8).expect("read"), i);
+            // Already in memory without any flush.
+            assert_eq!(cache.memory_mut().load(Address::new(i * 8), 8), i);
+        }
+        assert_eq!(cache.stats().writethroughs, 32);
+        assert_eq!(cache.flush(), 0, "write-through lines are never dirty");
+    }
+
+    #[test]
+    fn write_around_misses_skip_encoding_state() {
+        let mut cfg = config(adaptive(4, 8));
+        cfg.write_mode = cnt_sim::WriteMode::WriteThroughNoAllocate;
+        let mut cache = CntCache::new(cfg).expect("valid");
+        // Pure store misses: nothing allocates, no windows complete.
+        for i in 0..64u64 {
+            cache.write(Address::new(i * 64), 8, i).expect("write");
+        }
+        assert_eq!(cache.valid_lines().count(), 0);
+        assert_eq!(cache.encoding_counters().windows, 0);
+        // Data is still architecturally correct.
+        for i in 0..64u64 {
+            assert_eq!(cache.memory_mut().load(Address::new(i * 64), 8), i);
+        }
+    }
+
+    #[test]
+    fn timing_model_charges_only_inline_designs() {
+        use crate::report::TimingModel;
+        let run = |inline_updates: bool| {
+            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
+                window: 4,
+                partitions: 8,
+                inline_updates,
+                ..AdaptiveParams::paper_default()
+            });
+            let mut cache = CntCache::new(config(policy)).expect("valid");
+            for _ in 0..64 {
+                cache.read(Address::new(0), 8).expect("read");
+            }
+            cache.report()
+        };
+        let fifo = run(false);
+        let inline = run(true);
+        let timing = TimingModel::default();
+        assert!(
+            timing.total_cycles(&inline) > timing.total_cycles(&fifo),
+            "inline re-encodes must cost cycles"
+        );
+        assert!(timing.overhead(&fifo, &inline) > 0.0);
+    }
+
+    #[test]
+    fn zero_flag_skips_zero_words() {
+        let mut cache = CntCache::new(config(EncodingPolicy::ZeroFlag)).expect("valid");
+        // A zero line: the fill writes only flags, reads cost only flags.
+        for _ in 0..8 {
+            cache.read(Address::new(0), 8).expect("read");
+        }
+        let b = cache.meter().breakdown();
+        assert_eq!(b.bits(ChargeKind::DataRead), 0, "zero words skip the array");
+        assert_eq!(b.bits(ChargeKind::LineFill), 0, "zero fill skips the array");
+        assert!(b.bits(ChargeKind::MetadataRead) > 0, "flags are read");
+
+        // A dense word pays the full array cost plus its flag.
+        cache.write(Address::new(0x40), 8, u64::MAX).expect("write");
+        let b = cache.meter().breakdown();
+        assert_eq!(b.bits(ChargeKind::DataWrite), 64);
+        cache.read(Address::new(0x40), 8).expect("read");
+        assert_eq!(cache.meter().breakdown().bits(ChargeKind::DataRead), 64);
+    }
+
+    #[test]
+    fn zero_flag_preserves_semantics_and_audit() {
+        let mut cache = CntCache::new(config(EncodingPolicy::ZeroFlag)).expect("valid");
+        for i in 0..128u64 {
+            cache.write(Address::new(i * 8), 8, i % 3).expect("write");
+        }
+        for i in 0..128u64 {
+            assert_eq!(cache.read(Address::new(i * 8), 8).expect("read"), i % 3);
+        }
+        cache.flush();
+        for i in 0..128u64 {
+            assert_eq!(cache.memory_mut().load(Address::new(i * 8), 8), i % 3);
+        }
+        assert!(cache.audit().is_ok());
+        assert_eq!(cache.encoding_counters().windows, 0, "no predictor runs");
+    }
+
+    #[test]
+    fn zero_flag_beats_baseline_on_zero_data_only() {
+        let run = |policy, value: u64| {
+            let mut cache = CntCache::new(config(policy)).expect("valid");
+            for round in 0..16 {
+                for line in 0..8u64 {
+                    let _ = round;
+                    cache.write(Address::new(line * 64), 8, value).expect("write");
+                    cache.read(Address::new(line * 64), 8).expect("read");
+                }
+            }
+            cache.total_energy()
+        };
+        // Mostly-zero traffic: zero-flag wins big.
+        let ratio_zero = run(EncodingPolicy::ZeroFlag, 0).ratio(run(EncodingPolicy::None, 0));
+        assert!(ratio_zero < 0.2, "zero data: ratio {ratio_zero}");
+        // Dense written words pay the full array cost either way; only the
+        // untouched zero words of each line (fills) are skipped, so the
+        // advantage nearly vanishes.
+        let ratio_dense =
+            run(EncodingPolicy::ZeroFlag, u64::MAX).ratio(run(EncodingPolicy::None, u64::MAX));
+        assert!(
+            ratio_dense > 0.85 && ratio_dense < 1.05,
+            "dense data: ratio {ratio_dense}"
+        );
+    }
+
+    #[test]
+    fn report_captures_activity() {
+        let mut cache = CntCache::new(config(adaptive(4, 8))).expect("valid");
+        for _ in 0..8 {
+            cache.read(Address::new(0), 8).expect("read");
+        }
+        let r = cache.report();
+        assert_eq!(r.stats.accesses(), 8);
+        assert!(r.total().femtojoules() > 0.0);
+        assert_eq!(r.metadata_bits_per_line, 8 + 6); // W=4 -> 2x3 bits, 8 dirs
+        assert!(r.policy.contains("adaptive"));
+    }
+}

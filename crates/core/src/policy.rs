@@ -1,0 +1,177 @@
+//! Encoding policies: what, if anything, the cache does about bit values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cnt_encoding::{BitPreference, OverflowPolicy};
+
+/// Parameters of the adaptive (predictor-driven) encoding policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveParams {
+    /// Prediction window `W` in accesses per line (paper default: 15).
+    pub window: u32,
+    /// Encoding partitions per line (1 = the paper's baseline full-line
+    /// encoding; 8 is the partitioned default).
+    pub partitions: u32,
+    /// Hysteresis margin `ΔT` in `[0, 1)`; 0 disables hysteresis.
+    pub delta_t: f64,
+    /// Capacity of the deferred-update FIFO.
+    pub fifo_capacity: usize,
+    /// What happens when the FIFO is full.
+    pub overflow: OverflowPolicy,
+    /// Re-encoding updates drained per idle slot (a demand hit is treated
+    /// as an idle fill-bandwidth slot).
+    pub drain_per_access: usize,
+    /// If set, newly-filled lines are immediately encoded greedily with
+    /// this preference instead of being stored as-is.
+    pub fill_preference: Option<BitPreference>,
+    /// Apply re-encodings *inline* at the window boundary instead of
+    /// deferring them through the FIFO. This models a design without the
+    /// paper's data/index FIFOs: the demand path stalls for the re-encode
+    /// write (see the timing ablation, experiment `table5`).
+    pub inline_updates: bool,
+    /// Number of consecutive windows that must agree on the access-pattern
+    /// classification before a switch is allowed. `1` is the paper's
+    /// Algorithm 1; larger values add a *sticky classifier* that damps the
+    /// flip-flop thrash on balanced read/write mixes (experiment `fig10`).
+    pub confirm_windows: u32,
+}
+
+impl AdaptiveParams {
+    /// The paper's configuration: `W = 15` (the draft's "checkpoint"), 8
+    /// partitions, `ΔT = 0.1` hysteresis (the draft explores this margin;
+    /// 0.1 suppresses the flip-flop churn on ≈50 %-dense data that would
+    /// otherwise cost energy — see the `fig7` sweep), an 8-deep FIFO
+    /// draining one update per idle slot, plain fills.
+    pub fn paper_default() -> Self {
+        AdaptiveParams {
+            window: 15,
+            partitions: 8,
+            delta_t: 0.1,
+            fifo_capacity: 8,
+            overflow: OverflowPolicy::DropNewest,
+            drain_per_access: 1,
+            fill_preference: None,
+            inline_updates: false,
+            confirm_windows: 1,
+        }
+    }
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams::paper_default()
+    }
+}
+
+/// The encoding behaviour of a [`CntCache`](crate::CntCache).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum EncodingPolicy {
+    /// No encoding: the baseline CNFET cache the paper compares against.
+    #[default]
+    None,
+    /// Static data-bus-inversion-like encoding: each line is encoded once
+    /// at fill time toward the given preference and never re-evaluated.
+    StaticInvert {
+        /// Which stored bit value fills favour.
+        preference: BitPreference,
+        /// Encoding partitions per line.
+        partitions: u32,
+    },
+    /// The CNT-Cache contribution: window-based prediction with deferred
+    /// re-encoding.
+    Adaptive(AdaptiveParams),
+    /// Related-work comparator: zero-flag compression ("dynamic zero
+    /// compression"-style). Each 64-bit word carries a flag bit; all-zero
+    /// words cost only their flag access instead of a full array
+    /// read/write. No inversion, no prediction.
+    ZeroFlag,
+}
+
+impl EncodingPolicy {
+    /// The paper's CNT-Cache configuration.
+    pub fn adaptive_default() -> Self {
+        EncodingPolicy::Adaptive(AdaptiveParams::paper_default())
+    }
+
+    /// Number of encoding partitions this policy tracks per line.
+    pub fn partitions(&self) -> u32 {
+        match self {
+            EncodingPolicy::None | EncodingPolicy::ZeroFlag => 1,
+            EncodingPolicy::StaticInvert { partitions, .. } => *partitions,
+            EncodingPolicy::Adaptive(p) => p.partitions,
+        }
+    }
+
+    /// Metadata bits each `line_bits`-bit line carries under this policy:
+    /// direction bits (plus history counters when adaptive), or one
+    /// zero-flag per 64-bit word.
+    pub fn metadata_bits_per_line(&self, line_bits: u32) -> u32 {
+        match self {
+            EncodingPolicy::None => 0,
+            EncodingPolicy::StaticInvert { partitions, .. } => *partitions,
+            EncodingPolicy::Adaptive(p) => {
+                p.partitions + cnt_encoding::AccessHistory::storage_bits(p.window)
+            }
+            EncodingPolicy::ZeroFlag => line_bits / 64,
+        }
+    }
+}
+
+
+impl fmt::Display for EncodingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingPolicy::None => f.write_str("baseline (no encoding)"),
+            EncodingPolicy::StaticInvert {
+                preference,
+                partitions,
+            } => write!(f, "static invert ({preference:?}, {partitions} partitions)"),
+            EncodingPolicy::Adaptive(p) => write!(
+                f,
+                "adaptive (W={}, {} partitions, ΔT={})",
+                p.window, p.partitions, p.delta_t
+            ),
+            EncodingPolicy::ZeroFlag => f.write_str("zero-flag compression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_draft_notes() {
+        let p = AdaptiveParams::paper_default();
+        assert_eq!(p.window, 15, "the draft sets the checkpoint to 15 accesses");
+        assert_eq!(p.partitions, 8);
+        assert_eq!(p.delta_t, 0.1);
+    }
+
+    #[test]
+    fn metadata_accounting() {
+        assert_eq!(EncodingPolicy::None.metadata_bits_per_line(512), 0);
+        let s = EncodingPolicy::StaticInvert {
+            preference: BitPreference::MoreOnes,
+            partitions: 8,
+        };
+        assert_eq!(s.metadata_bits_per_line(512), 8);
+        // Adaptive W=15: 2 x 4-bit counters + 8 direction bits.
+        let a = EncodingPolicy::adaptive_default();
+        assert_eq!(a.metadata_bits_per_line(512), 16);
+        assert_eq!(a.partitions(), 8);
+        // Zero-flag: one flag per 64-bit word.
+        assert_eq!(EncodingPolicy::ZeroFlag.metadata_bits_per_line(512), 8);
+        assert_eq!(EncodingPolicy::ZeroFlag.metadata_bits_per_line(1024), 16);
+        assert_eq!(EncodingPolicy::ZeroFlag.partitions(), 1);
+    }
+
+    #[test]
+    fn display_names_policies() {
+        assert!(EncodingPolicy::None.to_string().contains("baseline"));
+        assert!(EncodingPolicy::adaptive_default().to_string().contains("W=15"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Energy and activity reports, and cross-policy comparison helpers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cnt_encoding::FifoStats;
+use cnt_energy::{Energy, EnergyBreakdown, Technology};
+use cnt_sim::CacheStats;
+
+/// Counters of the adaptive-encoding machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EncodingCounters {
+    /// Prediction windows completed.
+    pub windows: u64,
+    /// Windows whose decision was to switch at least one partition.
+    pub switch_decisions: u64,
+    /// Switches actually applied (drained from the FIFO or inline).
+    pub switches_applied: u64,
+    /// Individual partition flips applied.
+    pub partition_flips: u64,
+    /// Partition flips applied *inline* (stalling the demand path; zero
+    /// when the FIFO is used).
+    pub inline_partition_flips: u64,
+    /// Window decisions suppressed by the sticky classifier
+    /// (`confirm_windows > 1`) because the pattern had not yet stabilized.
+    pub suppressed_by_confirmation: u64,
+    /// Sum of projected net savings (fJ) over all queued decisions.
+    pub projected_saving_fj: f64,
+}
+
+/// A simple cycle model for the performance-overhead study (`table5`).
+///
+/// The paper argues the encoder "has negligible influence on the timing of
+/// the critical data path" because re-encodings drain through FIFOs in
+/// idle slots. This model quantifies that: FIFO-deferred designs add zero
+/// cycles; an inline design stalls for every partition it rewrites.
+///
+/// # Example
+///
+/// ```
+/// use cnt_cache::TimingModel;
+///
+/// let timing = TimingModel::default();
+/// assert_eq!(timing.hit_cycles, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Cycles for a demand hit.
+    pub hit_cycles: u64,
+    /// Additional cycles for a miss (fill from the backing).
+    pub miss_penalty_cycles: u64,
+    /// Cycles per dirty-line write-back.
+    pub writeback_cycles: u64,
+    /// Stall cycles per partition rewritten inline.
+    pub reencode_cycles_per_partition: u64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            hit_cycles: 1,
+            miss_penalty_cycles: 20,
+            writeback_cycles: 4,
+            reencode_cycles_per_partition: 2,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Total cycles a run took under this model.
+    pub fn total_cycles(&self, report: &EnergyReport) -> u64 {
+        report.stats.hits() * self.hit_cycles
+            + report.stats.misses() * (self.hit_cycles + self.miss_penalty_cycles)
+            + report.stats.writebacks * self.writeback_cycles
+            + report.encoding.inline_partition_flips * self.reencode_cycles_per_partition
+    }
+
+    /// Relative performance overhead of `variant` over `baseline`
+    /// (positive = variant is slower), as a fraction.
+    pub fn overhead(&self, baseline: &EnergyReport, variant: &EnergyReport) -> f64 {
+        let base = self.total_cycles(baseline) as f64;
+        let var = self.total_cycles(variant) as f64;
+        (var - base) / base
+    }
+}
+
+/// The complete outcome of one simulated cache run.
+///
+/// # Example
+///
+/// ```
+/// use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
+/// use cnt_sim::Address;
+///
+/// let mut base = CntCache::new(CntCacheConfig::builder().build()?)?;
+/// let mut cnt = CntCache::new(
+///     CntCacheConfig::builder().policy(EncodingPolicy::adaptive_default()).build()?,
+/// )?;
+/// for _ in 0..64 {
+///     base.read(Address::new(0), 8)?;
+///     cnt.read(Address::new(0), 8)?;
+/// }
+/// let saving = cnt.report().saving_vs(&base.report());
+/// assert!(saving > 0.0, "adaptive must save on a read-only zero line");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Cache display name.
+    pub name: String,
+    /// Human-readable policy description.
+    pub policy: String,
+    /// SRAM technology simulated.
+    pub technology: Technology,
+    /// Bit-level energy breakdown.
+    pub breakdown: EnergyBreakdown,
+    /// Hit/miss statistics.
+    pub stats: CacheStats,
+    /// Adaptive-encoding activity.
+    pub encoding: EncodingCounters,
+    /// Deferred-update FIFO statistics.
+    pub fifo: FifoStats,
+    /// H&D metadata bits carried per line.
+    pub metadata_bits_per_line: u32,
+}
+
+impl EnergyReport {
+    /// Total dynamic energy of the run.
+    pub fn total(&self) -> Energy {
+        self.breakdown.total()
+    }
+
+    /// Mean dynamic energy per demand access.
+    pub fn energy_per_access(&self) -> Energy {
+        let n = self.stats.accesses();
+        if n == 0 {
+            Energy::ZERO
+        } else {
+            self.total() / n as f64
+        }
+    }
+
+    /// Percentage of dynamic energy saved relative to `baseline`
+    /// (positive = this report is cheaper).
+    pub fn saving_vs(&self, baseline: &EnergyReport) -> f64 {
+        let base = baseline.total().femtojoules();
+        let own = self.total().femtojoules();
+        (base - own) / base * 100.0
+    }
+
+    /// Fraction of completed windows that decided to switch.
+    pub fn switch_rate(&self) -> f64 {
+        if self.encoding.windows == 0 {
+            0.0
+        } else {
+            self.encoding.switch_decisions as f64 / self.encoding.windows as f64
+        }
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{}] — {}", self.name, self.technology, self.policy)?;
+        writeln!(f, "  {}", self.stats)?;
+        writeln!(
+            f,
+            "  energy: {:.1} total, {:.3} per access",
+            self.total(),
+            self.energy_per_access()
+        )?;
+        writeln!(
+            f,
+            "  encoding: {} windows, {} switch decisions, {} applied, {} partition flips",
+            self.encoding.windows,
+            self.encoding.switch_decisions,
+            self.encoding.switches_applied,
+            self.encoding.partition_flips
+        )?;
+        writeln!(
+            f,
+            "  fifo: {} pushed, {} dropped, {} drained (peak {})",
+            self.fifo.pushed, self.fifo.dropped, self.fifo.drained, self.fifo.max_occupancy
+        )?;
+        write!(f, "{}", self.breakdown)
+    }
+}
+
+/// One labelled row of a policy-comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Workload or configuration label.
+    pub label: String,
+    /// Baseline total energy (fJ).
+    pub baseline_fj: f64,
+    /// Variant total energy (fJ).
+    pub variant_fj: f64,
+    /// Percentage saving of the variant over the baseline.
+    pub saving_percent: f64,
+}
+
+impl ComparisonRow {
+    /// Builds a row from two reports.
+    pub fn new(label: impl Into<String>, baseline: &EnergyReport, variant: &EnergyReport) -> Self {
+        ComparisonRow {
+            label: label.into(),
+            baseline_fj: baseline.total().femtojoules(),
+            variant_fj: variant.total().femtojoules(),
+            saving_percent: variant.saving_vs(baseline),
+        }
+    }
+}
+
+impl fmt::Display for ComparisonRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "| {:<16} | {:>14.1} | {:>14.1} | {:>7.2}% |",
+            self.label, self.baseline_fj, self.variant_fj, self.saving_percent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnt_energy::{ChargeKind, EnergyMeter, SramEnergyModel};
+
+    fn report_with_energy(fj_bits_ones: u32) -> EnergyReport {
+        let mut meter = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        meter.charge_write_bits_kind(fj_bits_ones, 64, ChargeKind::DataWrite);
+        let mut stats = CacheStats::default();
+        stats.record_write(true);
+        EnergyReport {
+            name: "t".into(),
+            policy: "test".into(),
+            technology: Technology::Cnfet,
+            breakdown: meter.breakdown().clone(),
+            stats,
+            encoding: EncodingCounters::default(),
+            fifo: FifoStats::default(),
+            metadata_bits_per_line: 0,
+        }
+    }
+
+    #[test]
+    fn savings_are_signed_percentages() {
+        let expensive = report_with_energy(64); // all ones: costly writes
+        let cheap = report_with_energy(0); // all zeros: cheap writes
+        assert!(cheap.saving_vs(&expensive) > 80.0);
+        assert!(expensive.saving_vs(&cheap) < 0.0);
+        assert_eq!(expensive.saving_vs(&expensive), 0.0);
+    }
+
+    #[test]
+    fn per_access_energy() {
+        let r = report_with_energy(64);
+        assert_eq!(r.energy_per_access(), r.total());
+        let empty = EnergyReport {
+            stats: CacheStats::default(),
+            ..r
+        };
+        assert_eq!(empty.energy_per_access(), Energy::ZERO);
+    }
+
+    #[test]
+    fn switch_rate_handles_zero_windows() {
+        let r = report_with_energy(1);
+        assert_eq!(r.switch_rate(), 0.0);
+        let mut with_windows = r;
+        with_windows.encoding.windows = 4;
+        with_windows.encoding.switch_decisions = 1;
+        assert!((with_windows.switch_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_and_row_rendering() {
+        let a = report_with_energy(64);
+        let b = report_with_energy(0);
+        let text = a.to_string();
+        assert!(text.contains("per access"));
+        let row = ComparisonRow::new("kernel", &a, &b);
+        assert!(row.to_string().contains("kernel"));
+        assert!(row.saving_percent > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report_with_energy(7);
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: EnergyReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(r, back);
+    }
+}

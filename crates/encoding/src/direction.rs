@@ -1,0 +1,267 @@
+//! Encoding directions and the per-partition direction-bit vector.
+
+use std::fmt;
+use std::ops::Not;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a region of the array stores the logical bits as-is or inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EncodingDirection {
+    /// Stored bits equal logical bits.
+    #[default]
+    Normal,
+    /// Stored bits are the complement of logical bits.
+    Inverted,
+}
+
+impl EncodingDirection {
+    /// `true` when inverted.
+    pub fn is_inverted(self) -> bool {
+        self == EncodingDirection::Inverted
+    }
+
+    /// The XOR mask this direction applies to a 64-bit word fully covered
+    /// by its region.
+    pub fn mask64(self) -> u64 {
+        match self {
+            EncodingDirection::Normal => 0,
+            EncodingDirection::Inverted => u64::MAX,
+        }
+    }
+}
+
+impl Not for EncodingDirection {
+    type Output = EncodingDirection;
+    fn not(self) -> EncodingDirection {
+        match self {
+            EncodingDirection::Normal => EncodingDirection::Inverted,
+            EncodingDirection::Inverted => EncodingDirection::Normal,
+        }
+    }
+}
+
+impl fmt::Display for EncodingDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingDirection::Normal => f.write_str("normal"),
+            EncodingDirection::Inverted => f.write_str("inverted"),
+        }
+    }
+}
+
+/// One direction bit per partition of a cache line (the "D" metadata).
+///
+/// Supports up to 64 partitions, stored as a bitmask: bit `p` set means
+/// partition `p` is stored inverted.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::{DirectionBits, EncodingDirection};
+///
+/// let mut dirs = DirectionBits::all_normal(8);
+/// dirs.set(3, EncodingDirection::Inverted);
+/// assert!(dirs.is_inverted(3));
+/// assert_eq!(dirs.inverted_count(), 1);
+/// assert_eq!(dirs.storage_bits(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DirectionBits {
+    mask: u64,
+    partitions: u32,
+}
+
+impl DirectionBits {
+    /// All partitions normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is 0 or greater than 64.
+    pub fn all_normal(partitions: u32) -> Self {
+        assert!(
+            (1..=64).contains(&partitions),
+            "partition count must be in 1..=64, got {partitions}"
+        );
+        DirectionBits { mask: 0, partitions }
+    }
+
+    /// Builds direction bits from a raw mask (bits above `partitions` must
+    /// be clear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is out of range or `mask` has stray bits.
+    pub fn from_mask(mask: u64, partitions: u32) -> Self {
+        assert!(
+            (1..=64).contains(&partitions),
+            "partition count must be in 1..=64, got {partitions}"
+        );
+        if partitions < 64 {
+            assert!(mask >> partitions == 0, "mask has bits above partition count");
+        }
+        DirectionBits { mask, partitions }
+    }
+
+    /// Number of partitions tracked.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The raw inversion mask (bit `p` = partition `p` inverted).
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// The direction of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn direction(&self, p: u32) -> EncodingDirection {
+        assert!(p < self.partitions, "partition {p} out of range");
+        if self.mask & (1 << p) != 0 {
+            EncodingDirection::Inverted
+        } else {
+            EncodingDirection::Normal
+        }
+    }
+
+    /// `true` if partition `p` is stored inverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn is_inverted(&self, p: u32) -> bool {
+        self.direction(p).is_inverted()
+    }
+
+    /// Sets the direction of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set(&mut self, p: u32, direction: EncodingDirection) {
+        assert!(p < self.partitions, "partition {p} out of range");
+        match direction {
+            EncodingDirection::Inverted => self.mask |= 1 << p,
+            EncodingDirection::Normal => self.mask &= !(1 << p),
+        }
+    }
+
+    /// Flips the direction of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn toggle(&mut self, p: u32) {
+        assert!(p < self.partitions, "partition {p} out of range");
+        self.mask ^= 1 << p;
+    }
+
+    /// Applies a flip mask (bit `p` set = flip partition `p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flip mask has bits above the partition count.
+    pub fn apply_flips(&mut self, flips: u64) {
+        if self.partitions < 64 {
+            assert!(flips >> self.partitions == 0, "flip mask has stray bits");
+        }
+        self.mask ^= flips;
+    }
+
+    /// Number of partitions currently inverted.
+    pub fn inverted_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// `true` if no partition is inverted.
+    pub fn all_normal_dirs(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Metadata storage cost: one bit per partition.
+    pub fn storage_bits(&self) -> u32 {
+        self.partitions
+    }
+}
+
+impl fmt::Display for DirectionBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in (0..self.partitions).rev() {
+            f.write_str(if self.is_inverted(p) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_not_and_mask() {
+        assert_eq!(!EncodingDirection::Normal, EncodingDirection::Inverted);
+        assert_eq!(!EncodingDirection::Inverted, EncodingDirection::Normal);
+        assert_eq!(EncodingDirection::Normal.mask64(), 0);
+        assert_eq!(EncodingDirection::Inverted.mask64(), u64::MAX);
+        assert_eq!(EncodingDirection::default(), EncodingDirection::Normal);
+    }
+
+    #[test]
+    fn set_toggle_and_count() {
+        let mut dirs = DirectionBits::all_normal(4);
+        assert!(dirs.all_normal_dirs());
+        dirs.set(0, EncodingDirection::Inverted);
+        dirs.toggle(3);
+        assert_eq!(dirs.inverted_count(), 2);
+        assert!(dirs.is_inverted(0));
+        assert!(!dirs.is_inverted(1));
+        assert!(dirs.is_inverted(3));
+        dirs.toggle(0);
+        assert!(!dirs.is_inverted(0));
+        dirs.set(3, EncodingDirection::Normal);
+        assert!(dirs.all_normal_dirs());
+    }
+
+    #[test]
+    fn apply_flips_xors() {
+        let mut dirs = DirectionBits::from_mask(0b0101, 4);
+        dirs.apply_flips(0b0110);
+        assert_eq!(dirs.mask(), 0b0011);
+    }
+
+    #[test]
+    fn sixty_four_partitions_work() {
+        let mut dirs = DirectionBits::all_normal(64);
+        dirs.set(63, EncodingDirection::Inverted);
+        assert!(dirs.is_inverted(63));
+        dirs.apply_flips(u64::MAX);
+        assert_eq!(dirs.inverted_count(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_partition_panics() {
+        DirectionBits::all_normal(4).direction(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits above partition count")]
+    fn stray_mask_bits_panic() {
+        DirectionBits::from_mask(0b10000, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_partitions_panics() {
+        DirectionBits::all_normal(0);
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let dirs = DirectionBits::from_mask(0b0011, 4);
+        assert_eq!(dirs.to_string(), "0011");
+    }
+}

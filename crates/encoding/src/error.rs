@@ -1,0 +1,71 @@
+//! Error types for encoding configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing encoding components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EncodingError {
+    /// The line cannot be split into the requested number of partitions.
+    BadPartitioning {
+        /// Line length in bits.
+        line_bits: u32,
+        /// Requested partition count.
+        partitions: u32,
+        /// Why the split is impossible.
+        reason: &'static str,
+    },
+    /// The prediction window is too small to be meaningful.
+    WindowTooSmall {
+        /// The offending window length.
+        window: u32,
+    },
+    /// The hysteresis margin `ΔT` is outside `[0, 1)`.
+    BadDeltaT {
+        /// The offending margin.
+        delta_t: f64,
+    },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::BadPartitioning {
+                line_bits,
+                partitions,
+                reason,
+            } => write!(
+                f,
+                "cannot split a {line_bits}-bit line into {partitions} partitions: {reason}"
+            ),
+            EncodingError::WindowTooSmall { window } => {
+                write!(f, "prediction window must be at least 2 accesses, got {window}")
+            }
+            EncodingError::BadDeltaT { delta_t } => {
+                write!(f, "hysteresis margin must be in [0, 1), got {delta_t}")
+            }
+        }
+    }
+}
+
+impl Error for EncodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EncodingError::WindowTooSmall { window: 1 };
+        assert!(e.to_string().contains("window"));
+        let e = EncodingError::BadDeltaT { delta_t: 1.5 };
+        assert!(e.to_string().contains("hysteresis"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EncodingError>();
+    }
+}

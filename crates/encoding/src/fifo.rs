@@ -1,0 +1,244 @@
+//! The deferred-update FIFOs.
+//!
+//! When the predictor decides to re-encode a line, the write must not
+//! block the demand path; the paper queues the update in a data FIFO (plus
+//! an index FIFO for the target line address) and drains it "when there is
+//! an idle time slot". This module models both FIFOs as one bounded queue
+//! of typed pending updates, with occupancy statistics and a configurable
+//! overflow policy.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What to do when an update arrives at a full FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum OverflowPolicy {
+    /// Drop the incoming update: the line keeps its old (suboptimal but
+    /// correct) encoding — the paper's natural best-effort semantics.
+    #[default]
+    DropNewest,
+    /// Drop the oldest queued update to make room for the newest.
+    DropOldest,
+}
+
+
+/// FIFO traffic statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FifoStats {
+    /// Updates accepted into the queue.
+    pub pushed: u64,
+    /// Updates dropped by the overflow policy.
+    pub dropped: u64,
+    /// Updates drained (applied).
+    pub drained: u64,
+    /// High-water mark of queue occupancy.
+    pub max_occupancy: usize,
+}
+
+/// A bounded queue of pending encoding updates.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::{OverflowPolicy, UpdateFifo};
+///
+/// let mut fifo: UpdateFifo<&str> = UpdateFifo::new(2, OverflowPolicy::DropNewest);
+/// fifo.push("a");
+/// fifo.push("b");
+/// fifo.push("c"); // dropped: queue is full
+/// assert_eq!(fifo.pop(), Some("a"));
+/// assert_eq!(fifo.stats().dropped, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UpdateFifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    stats: FifoStats,
+}
+
+impl<T> UpdateFifo<T> {
+    /// Creates a FIFO holding at most `capacity` pending updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        UpdateFifo {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// Maximum number of queued updates.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued updates.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// `true` when the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &FifoStats {
+        &self.stats
+    }
+
+    /// Enqueues an update, applying the overflow policy when full.
+    /// Returns `true` if the update was accepted.
+    pub fn push(&mut self, update: T) -> bool {
+        if self.is_full() {
+            match self.policy {
+                OverflowPolicy::DropNewest => {
+                    self.stats.dropped += 1;
+                    return false;
+                }
+                OverflowPolicy::DropOldest => {
+                    self.queue.pop_front();
+                    self.stats.dropped += 1;
+                }
+            }
+        }
+        self.queue.push_back(update);
+        self.stats.pushed += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.queue.len());
+        true
+    }
+
+    /// Dequeues the oldest pending update (an idle slot drained it).
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.queue.pop_front();
+        if item.is_some() {
+            self.stats.drained += 1;
+        }
+        item
+    }
+
+    /// Peeks at the oldest pending update without draining it.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Removes every queued update matching a predicate (e.g. updates for
+    /// a line that was just evicted), returning how many were removed.
+    pub fn cancel_where<F: FnMut(&T) -> bool>(&mut self, mut predicate: F) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|u| !predicate(u));
+        before - self.queue.len()
+    }
+
+    /// Iterates over the pending updates, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
+}
+
+impl<T> fmt::Display for UpdateFifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} pending, {} pushed, {} dropped, {} drained",
+            self.queue.len(),
+            self.capacity,
+            self.stats.pushed,
+            self.stats.dropped,
+            self.stats.drained
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut f = UpdateFifo::new(4, OverflowPolicy::DropNewest);
+        for i in 0..4 {
+            assert!(f.push(i));
+        }
+        assert_eq!(f.peek(), Some(&0));
+        let drained: Vec<i32> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+        assert!(f.is_empty());
+        assert_eq!(f.stats().drained, 4);
+    }
+
+    #[test]
+    fn drop_newest_rejects_incoming() {
+        let mut f = UpdateFifo::new(2, OverflowPolicy::DropNewest);
+        assert!(f.push('a'));
+        assert!(f.push('b'));
+        assert!(!f.push('c'));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.stats().dropped, 1);
+        assert_eq!(f.stats().pushed, 2);
+        assert_eq!(f.pop(), Some('a'));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let mut f = UpdateFifo::new(2, OverflowPolicy::DropOldest);
+        f.push('a');
+        f.push('b');
+        assert!(f.push('c'));
+        assert_eq!(f.pop(), Some('b'));
+        assert_eq!(f.pop(), Some('c'));
+        assert_eq!(f.stats().dropped, 1);
+        assert_eq!(f.stats().pushed, 3);
+    }
+
+    #[test]
+    fn max_occupancy_is_high_water_mark() {
+        let mut f = UpdateFifo::new(8, OverflowPolicy::DropNewest);
+        f.push(1);
+        f.push(2);
+        f.push(3);
+        f.pop();
+        f.pop();
+        f.push(4);
+        assert_eq!(f.stats().max_occupancy, 3);
+    }
+
+    #[test]
+    fn cancel_where_removes_matching() {
+        let mut f = UpdateFifo::new(8, OverflowPolicy::DropNewest);
+        for i in 0..6 {
+            f.push(i);
+        }
+        let removed = f.cancel_where(|&i| i % 2 == 0);
+        assert_eq!(removed, 3);
+        let rest: Vec<i32> = f.iter().copied().collect();
+        assert_eq!(rest, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = UpdateFifo::<u8>::new(0, OverflowPolicy::DropNewest);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut f = UpdateFifo::new(2, OverflowPolicy::DropNewest);
+        f.push(1);
+        assert_eq!(f.to_string(), "1/2 pending, 1 pushed, 0 dropped, 0 drained");
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-line access-history counters (the "H" metadata bits).
+
+use serde::{Deserialize, Serialize};
+
+/// The two saturating window counters each cache line carries:
+/// `A_num` (accesses this window) and `Wr_num` (writes this window).
+///
+/// When `A_num` reaches the window length `W`, the predictor runs and the
+/// counters reset (Algorithm 1). The hardware cost is `2 · ⌈log₂(W+1)⌉`
+/// bits per line, reported by [`storage_bits`](AccessHistory::storage_bits).
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::AccessHistory;
+///
+/// let mut h = AccessHistory::new();
+/// for i in 0..14 {
+///     assert!(!h.record(i % 3 == 0, 15), "window not yet full");
+/// }
+/// assert!(h.record(false, 15), "15th access completes the window");
+/// assert_eq!(h.writes(), 5);
+/// h.reset();
+/// assert_eq!(h.accesses(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessHistory {
+    a_num: u32,
+    wr_num: u32,
+}
+
+impl AccessHistory {
+    /// Fresh counters (both zero).
+    pub fn new() -> Self {
+        AccessHistory::default()
+    }
+
+    /// `A_num`: accesses recorded this window.
+    pub fn accesses(&self) -> u32 {
+        self.a_num
+    }
+
+    /// `Wr_num`: writes recorded this window.
+    pub fn writes(&self) -> u32 {
+        self.wr_num
+    }
+
+    /// Reads recorded this window.
+    pub fn reads(&self) -> u32 {
+        self.a_num - self.wr_num
+    }
+
+    /// Records one access; returns `true` when this access fills the
+    /// window (i.e. `A_num` reached `window`), at which point the caller
+    /// should run the predictor and then [`reset`](Self::reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counters are already at the window boundary (the
+    /// caller failed to reset) or `window` is zero.
+    pub fn record(&mut self, is_write: bool, window: u32) -> bool {
+        assert!(window > 0, "window must be positive");
+        assert!(self.a_num < window, "window already full; reset() was not called");
+        self.a_num += 1;
+        if is_write {
+            self.wr_num += 1;
+        }
+        self.a_num == window
+    }
+
+    /// Clears both counters (end of window, or encoding switched, or the
+    /// line was replaced).
+    pub fn reset(&mut self) {
+        self.a_num = 0;
+        self.wr_num = 0;
+    }
+
+    /// Hardware storage cost for a window of length `window`:
+    /// `2 · ⌈log₂(window + 1)⌉` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn storage_bits(window: u32) -> u32 {
+        assert!(window > 0, "window must be positive");
+        2 * (32 - window.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let mut h = AccessHistory::new();
+        h.record(true, 10);
+        h.record(false, 10);
+        h.record(true, 10);
+        assert_eq!(h.accesses(), 3);
+        assert_eq!(h.writes(), 2);
+        assert_eq!(h.reads(), 1);
+    }
+
+    #[test]
+    fn window_completion_signalled_exactly_once() {
+        let mut h = AccessHistory::new();
+        let mut completions = 0;
+        for _ in 0..4 {
+            if h.record(false, 5) {
+                completions += 1;
+            }
+        }
+        assert_eq!(completions, 0);
+        assert!(h.record(true, 5));
+        h.reset();
+        assert_eq!(h.accesses(), 0);
+        assert_eq!(h.writes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reset() was not called")]
+    fn overrunning_window_panics() {
+        let mut h = AccessHistory::new();
+        for _ in 0..3 {
+            h.record(false, 2);
+        }
+    }
+
+    #[test]
+    fn storage_bits_matches_formula() {
+        // W = 15 needs 4-bit counters -> 8 bits; W = 16 needs 5 -> 10.
+        assert_eq!(AccessHistory::storage_bits(15), 8);
+        assert_eq!(AccessHistory::storage_bits(16), 10);
+        assert_eq!(AccessHistory::storage_bits(1), 2);
+        assert_eq!(AccessHistory::storage_bits(63), 12);
+        assert_eq!(AccessHistory::storage_bits(127), 14);
+    }
+}

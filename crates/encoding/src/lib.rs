@@ -1,0 +1,66 @@
+//! The CNT-Cache contribution: adaptive cache-line encoding with an
+//! encoding-direction predictor.
+//!
+//! CNFET SRAM cells read `1` cheaply and write `0` cheaply (see
+//! [`cnt_energy`]). CNT-Cache therefore stores each cache line either
+//! *as-is* or *inverted*, choosing per line (and optionally per
+//! *partition* of a line) whichever form better matches how the line is
+//! used:
+//!
+//! * read-intensive lines want to **store ones** (cheap reads),
+//! * write-intensive lines want to **store zeros** (cheap writes).
+//!
+//! This crate implements, directly from the paper's Section III:
+//!
+//! * [`EncodingDirection`] / [`DirectionBits`] — the per-partition
+//!   direction metadata ("D" bits),
+//! * [`LineCodec`] with a [`PartitionLayout`] — the inverter/mux encoder of
+//!   Fig. 1, including the fine-grained partitioned scheme of Fig. 2,
+//! * [`AccessHistory`] — the per-line window counters `A_num`/`Wr_num`
+//!   ("H" bits),
+//! * [`ThresholdTable`] — Equations (1)–(6): `Th_rd` and the precomputed
+//!   `Th_bit1num[Wr_num]` flip-threshold table, with the optional `ΔT`
+//!   hysteresis margin from the authors' draft notes,
+//! * [`DirectionPredictor`] — Algorithm 1 (two-step window prediction),
+//! * [`UpdateFifo`] — the data/index FIFOs that defer re-encoding writes to
+//!   idle slots.
+//!
+//! # Example
+//!
+//! ```
+//! use cnt_encoding::{BitPreference, LineCodec, PartitionLayout};
+//!
+//! // A 512-bit line split into 8 partitions of 64 bits.
+//! let layout = PartitionLayout::new(512, 8)?;
+//! let codec = LineCodec::new(layout);
+//!
+//! // A mostly-zero line that will be read a lot: store it inverted so the
+//! // array holds mostly ones.
+//! let logical = [0u64, 0, 0, 0, 0, 0, 0, u64::MAX];
+//! let dirs = codec.choose_directions(&logical, BitPreference::MoreOnes);
+//! let stored = codec.apply(&logical, &dirs);
+//! // Partition 7 already held all ones, so it stays un-inverted (Fig. 2).
+//! assert!(!dirs.is_inverted(7));
+//! assert_eq!(codec.decode(&stored, &dirs), logical);
+//! # Ok::<(), cnt_encoding::EncodingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod direction;
+mod error;
+mod fifo;
+mod history;
+pub mod popcount;
+mod predictor;
+mod threshold;
+
+pub use codec::{BitPreference, LineCodec, PartitionLayout};
+pub use direction::{DirectionBits, EncodingDirection};
+pub use error::EncodingError;
+pub use fifo::{FifoStats, OverflowPolicy, UpdateFifo};
+pub use history::AccessHistory;
+pub use predictor::{Decision, DirectionPredictor, PredictorConfig, WindowSummary};
+pub use threshold::{AccessPattern, FlipRule, ThresholdTable};

@@ -1,0 +1,201 @@
+//! Bit-range popcount and inversion over word arrays.
+//!
+//! Lines are stored LSB-first: bit `i` of a line lives in
+//! `words[i / 64]` at in-word position `i % 64`. Partitions are contiguous
+//! bit ranges in this order and may span word boundaries, so these helpers
+//! operate on arbitrary `(start_bit, len_bits)` ranges.
+//!
+//! This module is the software model of the paper's `getNumOfBit1()`
+//! hardware bit counter.
+
+/// Counts `1` bits in an entire word array.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::popcount::popcount_words;
+///
+/// assert_eq!(popcount_words(&[0b1011, u64::MAX]), 3 + 64);
+/// ```
+pub fn popcount_words(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Counts `1` bits in the range `[start_bit, start_bit + len_bits)`.
+///
+/// # Panics
+///
+/// Panics if the range extends past the end of `words`.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::popcount::popcount_range;
+///
+/// let words = [0xFF00u64, 0x1];
+/// assert_eq!(popcount_range(&words, 8, 8), 8);
+/// assert_eq!(popcount_range(&words, 0, 8), 0);
+/// assert_eq!(popcount_range(&words, 60, 8), 1); // spans the word boundary
+/// ```
+pub fn popcount_range(words: &[u64], start_bit: u32, len_bits: u32) -> u32 {
+    range_check(words, start_bit, len_bits);
+    let mut count = 0;
+    let mut bit = start_bit;
+    let end = start_bit + len_bits;
+    while bit < end {
+        let word = (bit / 64) as usize;
+        let offset = bit % 64;
+        let take = (64 - offset).min(end - bit);
+        let mask = chunk_mask(offset, take);
+        count += (words[word] & mask).count_ones();
+        bit += take;
+    }
+    count
+}
+
+/// Inverts every bit in the range `[start_bit, start_bit + len_bits)`.
+///
+/// # Panics
+///
+/// Panics if the range extends past the end of `words`.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::popcount::invert_range;
+///
+/// let mut words = [0u64; 2];
+/// invert_range(&mut words, 60, 8);
+/// assert_eq!(words[0], 0xF000_0000_0000_0000);
+/// assert_eq!(words[1], 0xF);
+/// ```
+pub fn invert_range(words: &mut [u64], start_bit: u32, len_bits: u32) {
+    range_check(words, start_bit, len_bits);
+    let mut bit = start_bit;
+    let end = start_bit + len_bits;
+    while bit < end {
+        let word = (bit / 64) as usize;
+        let offset = bit % 64;
+        let take = (64 - offset).min(end - bit);
+        words[word] ^= chunk_mask(offset, take);
+        bit += take;
+    }
+}
+
+/// The portion of the mask for range `[range_start, range_start+range_len)`
+/// that falls inside word `word_index` (each word is 64 bits).
+///
+/// Used to apply per-partition inversion to a single word on the demand
+/// path without touching the rest of the line.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::popcount::range_mask_in_word;
+///
+/// // Range covering bits 60..68 intersects word 0 in bits 60..64 ...
+/// assert_eq!(range_mask_in_word(60, 8, 0), 0xF000_0000_0000_0000);
+/// // ... and word 1 in bits 0..4.
+/// assert_eq!(range_mask_in_word(60, 8, 1), 0xF);
+/// // A disjoint word gets an empty mask.
+/// assert_eq!(range_mask_in_word(60, 8, 2), 0);
+/// ```
+pub fn range_mask_in_word(range_start: u32, range_len: u32, word_index: usize) -> u64 {
+    let word_start = word_index as u32 * 64;
+    let word_end = word_start + 64;
+    let range_end = range_start + range_len;
+    let lo = range_start.max(word_start);
+    let hi = range_end.min(word_end);
+    if lo >= hi {
+        return 0;
+    }
+    chunk_mask(lo - word_start, hi - lo)
+}
+
+fn chunk_mask(offset: u32, len: u32) -> u64 {
+    debug_assert!(offset < 64 && len >= 1 && offset + len <= 64);
+    if len == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << len) - 1) << offset
+    }
+}
+
+fn range_check(words: &[u64], start_bit: u32, len_bits: u32) {
+    let total = words.len() as u32 * 64;
+    assert!(
+        start_bit + len_bits <= total,
+        "bit range {start_bit}+{len_bits} exceeds {total}-bit buffer"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_word_ranges() {
+        let words = [u64::MAX, 0, 0xF0F0];
+        assert_eq!(popcount_range(&words, 0, 64), 64);
+        assert_eq!(popcount_range(&words, 64, 64), 0);
+        assert_eq!(popcount_range(&words, 128, 64), 8);
+        assert_eq!(popcount_range(&words, 0, 192), 72);
+        assert_eq!(popcount_words(&words), 72);
+    }
+
+    #[test]
+    fn sub_word_and_straddling_ranges() {
+        let words = [0xFF00_0000_0000_00FFu64, 0xFF];
+        assert_eq!(popcount_range(&words, 0, 8), 8);
+        assert_eq!(popcount_range(&words, 8, 8), 0);
+        assert_eq!(popcount_range(&words, 56, 16), 16); // 8 high + 8 low
+        // Bits 4..60: the top half of the low 0xFF (4 ones) plus the bottom
+        // half of the high 0xFF.. nibble range (4 ones).
+        assert_eq!(popcount_range(&words, 4, 56), 8);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let original = [0x1234_5678_9ABC_DEF0u64, 0x0FED_CBA9_8765_4321];
+        for (start, len) in [(0u32, 128u32), (3, 61), (64, 64), (60, 10), (127, 1)] {
+            let mut words = original;
+            invert_range(&mut words, start, len);
+            assert_eq!(
+                popcount_range(&words, start, len),
+                len - popcount_range(&original, start, len)
+            );
+            invert_range(&mut words, start, len);
+            assert_eq!(words, original, "double inversion must restore ({start},{len})");
+        }
+    }
+
+    #[test]
+    fn invert_does_not_touch_outside() {
+        let mut words = [0u64; 2];
+        invert_range(&mut words, 10, 20);
+        assert_eq!(popcount_range(&words, 0, 10), 0);
+        assert_eq!(popcount_range(&words, 10, 20), 20);
+        assert_eq!(popcount_range(&words, 30, 98), 0);
+    }
+
+    #[test]
+    fn word_mask_partitions_cover_exactly() {
+        // Partition bits 0..512 into 8-bit ranges; every word must be
+        // covered exactly once by the union of range masks.
+        for word in 0..8usize {
+            let mut acc = 0u64;
+            for p in 0..64u32 {
+                let m = range_mask_in_word(p * 8, 8, word);
+                assert_eq!(acc & m, 0, "masks must not overlap");
+                acc |= m;
+            }
+            assert_eq!(acc, u64::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_range_panics() {
+        popcount_range(&[0u64], 1, 64);
+    }
+}

@@ -1,0 +1,383 @@
+//! The encoding-direction predictor (Algorithm 1).
+//!
+//! Step 1 classifies a just-completed window of accesses as read- or
+//! write-intensive; step 2 compares each partition's *stored* bit-'1'
+//! count against the precomputed threshold table and decides which
+//! partitions should switch direction. The decision is returned to the
+//! cache layer, which queues the re-encoding write through an
+//! [`UpdateFifo`](crate::UpdateFifo) so the demand path is never stalled.
+
+use serde::{Deserialize, Serialize};
+
+use cnt_energy::BitEnergies;
+
+use crate::codec::{LineCodec, PartitionLayout};
+use crate::direction::DirectionBits;
+use crate::error::EncodingError;
+use crate::history::AccessHistory;
+use crate::threshold::{AccessPattern, ThresholdTable};
+
+/// Configuration of the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Window length `W` in accesses (the paper's default checkpoint is 15).
+    pub window: u32,
+    /// Line length in bits.
+    pub line_bits: u32,
+    /// Number of encoding partitions per line (1 = full-line encoding).
+    pub partitions: u32,
+    /// Hysteresis margin `ΔT` in `[0, 1)`; a switch must promise at least
+    /// this fraction of the keep-energy as net savings.
+    pub delta_t: f64,
+}
+
+impl PredictorConfig {
+    /// The paper's defaults: `W = 15`, 512-bit lines, 8 partitions, no
+    /// hysteresis.
+    pub fn paper_default() -> Self {
+        PredictorConfig {
+            window: 15,
+            line_bits: 512,
+            partitions: 8,
+            delta_t: 0.0,
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::paper_default()
+    }
+}
+
+/// Summary of a completed window, produced by [`DirectionPredictor::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSummary {
+    /// Writes observed in the window (`Wr_num`).
+    pub wr_num: u32,
+}
+
+/// The outcome of Algorithm 1 for one line at a window boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Step-1 classification.
+    pub pattern: AccessPattern,
+    /// Bitmask of partitions that should switch direction (bit `p` set =
+    /// flip partition `p`). Zero means the current encoding is kept.
+    pub flips: u64,
+    /// The direction bits after applying `flips`.
+    pub new_directions: DirectionBits,
+    /// Net projected energy saving of the switch in femtojoules (already
+    /// net of the re-encoding write and the `ΔT` margin), summed over the
+    /// flipped partitions. Zero when `flips == 0`.
+    pub projected_saving_fj: f64,
+}
+
+impl Decision {
+    /// `true` if any partition switches.
+    pub fn switches(&self) -> bool {
+        self.flips != 0
+    }
+}
+
+/// The encoding-direction predictor: per-line window accounting plus the
+/// shared threshold table.
+///
+/// One predictor instance serves a whole cache; the per-line state
+/// ([`AccessHistory`] and [`DirectionBits`]) lives with the lines.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::{AccessHistory, DirectionBits, DirectionPredictor, PredictorConfig};
+/// use cnt_energy::BitEnergies;
+///
+/// let config = PredictorConfig { window: 4, line_bits: 512, partitions: 8, delta_t: 0.0 };
+/// let predictor = DirectionPredictor::new(&BitEnergies::cnfet_default(), config)?;
+///
+/// let mut history = AccessHistory::new();
+/// let dirs = DirectionBits::all_normal(8);
+/// let line = [0u64; 8]; // all zeros, read-heavy below
+///
+/// let mut decision = None;
+/// for _ in 0..4 {
+///     if let Some(summary) = predictor.observe(&mut history, false) {
+///         decision = Some(predictor.decide(summary, &line, &dirs));
+///     }
+/// }
+/// let decision = decision.expect("window of 4 completed");
+/// assert!(decision.switches(), "an all-zero read-only line must re-encode");
+/// assert_eq!(decision.new_directions.inverted_count(), 8);
+/// # Ok::<(), cnt_encoding::EncodingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectionPredictor {
+    config: PredictorConfig,
+    codec: LineCodec,
+    table: ThresholdTable,
+    bits: BitEnergies,
+}
+
+impl DirectionPredictor {
+    /// Builds the predictor and its threshold table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EncodingError`] if the partition layout, window, or
+    /// `ΔT` is invalid.
+    pub fn new(bits: &BitEnergies, config: PredictorConfig) -> Result<Self, EncodingError> {
+        let layout = PartitionLayout::new(config.line_bits, config.partitions)?;
+        let table = ThresholdTable::new(bits, config.window, layout.partition_bits(), config.delta_t)?;
+        Ok(DirectionPredictor {
+            config,
+            codec: LineCodec::new(layout),
+            table,
+            bits: *bits,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.config
+    }
+
+    /// The codec matching this predictor's layout.
+    pub fn codec(&self) -> &LineCodec {
+        &self.codec
+    }
+
+    /// The threshold table (one rule per `Wr_num`, per partition-sized
+    /// region).
+    pub fn table(&self) -> &ThresholdTable {
+        &self.table
+    }
+
+    /// Per-line metadata cost in bits: history counters plus direction
+    /// bits (the paper's "H&D" field).
+    pub fn metadata_bits_per_line(&self) -> u32 {
+        AccessHistory::storage_bits(self.config.window) + self.config.partitions
+    }
+
+    /// Records one access against a line's history. Returns
+    /// `Some(WindowSummary)` when the window completes (the caller should
+    /// then run [`decide`](Self::decide) and reset is automatic).
+    pub fn observe(&self, history: &mut AccessHistory, is_write: bool) -> Option<WindowSummary> {
+        if history.record(is_write, self.config.window) {
+            let summary = WindowSummary {
+                wr_num: history.writes(),
+            };
+            history.reset();
+            Some(summary)
+        } else {
+            None
+        }
+    }
+
+    /// Algorithm 1 steps 1–2 for one line at a window boundary.
+    ///
+    /// `logical_line` is the line's logical (decoded) content;
+    /// `current_directions` its present encoding. The stored popcount of
+    /// each partition is compared against the threshold table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line length or direction count does not match the
+    /// configuration.
+    pub fn decide(
+        &self,
+        summary: WindowSummary,
+        logical_line: &[u64],
+        current_directions: &DirectionBits,
+    ) -> Decision {
+        let pattern = self.table.pattern(summary.wr_num);
+        let stored_counts = self
+            .codec
+            .stored_partition_popcounts(logical_line, current_directions);
+        let mut flips = 0u64;
+        let mut saving = 0.0;
+        for (p, &n1) in stored_counts.iter().enumerate() {
+            if self.table.should_flip(summary.wr_num, n1) {
+                flips |= 1 << p;
+                saving += self.table.flip_benefit(&self.bits, summary.wr_num, n1);
+            }
+        }
+        let mut new_directions = *current_directions;
+        new_directions.apply_flips(flips);
+        Decision {
+            pattern,
+            flips,
+            new_directions,
+            projected_saving_fj: saving,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor(window: u32, partitions: u32, delta_t: f64) -> DirectionPredictor {
+        DirectionPredictor::new(
+            &BitEnergies::cnfet_default(),
+            PredictorConfig {
+                window,
+                line_bits: 512,
+                partitions,
+                delta_t,
+            },
+        )
+        .expect("valid predictor")
+    }
+
+    fn run_window(p: &DirectionPredictor, writes: u32) -> WindowSummary {
+        let mut history = AccessHistory::new();
+        let window = p.config().window;
+        let mut out = None;
+        for i in 0..window {
+            let is_write = i < writes;
+            if let Some(s) = p.observe(&mut history, is_write) {
+                out = Some(s);
+            }
+        }
+        out.expect("window completed")
+    }
+
+    #[test]
+    fn observe_resets_history_at_window_end() {
+        let p = predictor(4, 8, 0.0);
+        let mut h = AccessHistory::new();
+        assert!(p.observe(&mut h, true).is_none());
+        assert!(p.observe(&mut h, true).is_none());
+        assert!(p.observe(&mut h, false).is_none());
+        let s = p.observe(&mut h, false).expect("fourth access completes");
+        assert_eq!(s.wr_num, 2);
+        assert_eq!(h.accesses(), 0, "history must reset after the window");
+    }
+
+    #[test]
+    fn read_heavy_zero_line_flips_everything() {
+        let p = predictor(15, 8, 0.0);
+        let s = run_window(&p, 0);
+        let line = [0u64; 8];
+        let d = p.decide(s, &line, &DirectionBits::all_normal(8));
+        assert_eq!(d.pattern, AccessPattern::ReadIntensive);
+        assert_eq!(d.flips, 0xFF);
+        assert_eq!(d.new_directions.inverted_count(), 8);
+        assert!(d.projected_saving_fj > 0.0);
+    }
+
+    #[test]
+    fn write_heavy_ones_line_flips_everything() {
+        let p = predictor(15, 8, 0.0);
+        let s = run_window(&p, 15);
+        let line = [u64::MAX; 8];
+        let d = p.decide(s, &line, &DirectionBits::all_normal(8));
+        assert_eq!(d.pattern, AccessPattern::WriteIntensive);
+        assert_eq!(d.flips, 0xFF);
+    }
+
+    #[test]
+    fn well_encoded_line_is_left_alone() {
+        let p = predictor(15, 8, 0.0);
+        let s = run_window(&p, 0);
+        let line = [u64::MAX; 8]; // already all ones, read-intensive
+        let d = p.decide(s, &line, &DirectionBits::all_normal(8));
+        assert!(!d.switches());
+        assert_eq!(d.projected_saving_fj, 0.0);
+        assert_eq!(d.new_directions, DirectionBits::all_normal(8));
+    }
+
+    #[test]
+    fn decision_is_partition_selective() {
+        // Half the partitions are all-zero (bad for reads), half all-one
+        // (good). Only the bad ones flip.
+        let p = predictor(15, 8, 0.0);
+        let s = run_window(&p, 0);
+        let mut line = [0u64; 8];
+        for word in line.iter_mut().skip(4) {
+            *word = u64::MAX;
+        }
+        let d = p.decide(s, &line, &DirectionBits::all_normal(8));
+        assert_eq!(d.flips, 0x0F, "only the zero partitions flip");
+    }
+
+    #[test]
+    fn stored_view_is_what_matters() {
+        // A line that is logically all zeros but already stored inverted
+        // (all ones in the array) is already optimal for reads.
+        let p = predictor(15, 1, 0.0);
+        let s = run_window(&p, 0);
+        let line = [0u64; 8];
+        let mut dirs = DirectionBits::all_normal(1);
+        dirs.apply_flips(1);
+        let d = p.decide(s, &line, &dirs);
+        assert!(!d.switches(), "stored form is all ones; no flip needed");
+    }
+
+    #[test]
+    fn flip_undoes_previous_inversion_when_pattern_reverses() {
+        // Stored all ones (inverted zeros) but the window was write-only:
+        // the predictor must flip back toward stored zeros.
+        let p = predictor(15, 1, 0.0);
+        let s = run_window(&p, 15);
+        let line = [0u64; 8];
+        let mut dirs = DirectionBits::all_normal(1);
+        dirs.apply_flips(1); // stored = all ones
+        let d = p.decide(s, &line, &dirs);
+        assert!(d.switches());
+        assert!(d.new_directions.all_normal_dirs(), "flip back to normal");
+    }
+
+    #[test]
+    fn hysteresis_suppresses_marginal_switches() {
+        let strict = predictor(15, 8, 0.0);
+        let lenient = predictor(15, 8, 0.4);
+        let s = WindowSummary { wr_num: 5 };
+        // A mildly-skewed line: flipping is marginally profitable.
+        let line = [0x0000_FFFF_FFFF_FFFFu64; 8];
+        let d_strict = strict.decide(s, &line, &DirectionBits::all_normal(8));
+        let d_lenient = lenient.decide(s, &line, &DirectionBits::all_normal(8));
+        assert!(
+            d_lenient.flips & !d_strict.flips == 0,
+            "hysteresis must only remove flips"
+        );
+    }
+
+    #[test]
+    fn metadata_bits_match_paper_accounting() {
+        // W=15 -> two 4-bit counters; 8 partitions -> 8 direction bits.
+        let p = predictor(15, 8, 0.0);
+        assert_eq!(p.metadata_bits_per_line(), 8 + 8);
+        let p1 = predictor(15, 1, 0.0);
+        assert_eq!(p1.metadata_bits_per_line(), 8 + 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bits = BitEnergies::cnfet_default();
+        assert!(DirectionPredictor::new(
+            &bits,
+            PredictorConfig {
+                window: 1,
+                ..PredictorConfig::paper_default()
+            }
+        )
+        .is_err());
+        assert!(DirectionPredictor::new(
+            &bits,
+            PredictorConfig {
+                partitions: 7,
+                ..PredictorConfig::paper_default()
+            }
+        )
+        .is_err());
+        assert!(DirectionPredictor::new(
+            &bits,
+            PredictorConfig {
+                delta_t: 2.0,
+                ..PredictorConfig::paper_default()
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,566 @@
+//! The prediction thresholds of Equations (1)–(6).
+//!
+//! Notation (per window of `W` accesses on one line/partition of `L` bits
+//! holding `N₁` stored ones, with `Wr` writes and `R = W − Wr` reads):
+//!
+//! ```text
+//! keep(N₁)   = R·(N₁·E_rd1 + (L−N₁)·E_rd0) + Wr·(N₁·E_wr1 + (L−N₁)·E_wr0)   Eq. 4
+//! flip(N₁)   = keep(L−N₁)                                                    Eq. 5
+//! E_encode   = N₁·E_wr0 + (L−N₁)·E_wr1      (write the inverted data back)
+//! E_save     = R·(E_rd0−E_rd1) − Wr·(E_wr1−E_wr0)     (per-bit gain rate)
+//! benefit    = keep − flip − E_encode = (L−2N₁)·E_save − E_encode
+//! ```
+//!
+//! The line should switch direction when `benefit > ΔT · keep`, where `ΔT`
+//! is the optional hysteresis margin. Both sides are *linear* in `N₁`, so
+//! the rule collapses to a single integer threshold per `Wr` — exactly the
+//! paper's precomputed `Th_bit1num[Wr_num]` table (Eq. 6) generalized to
+//! `ΔT ≥ 0`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cnt_energy::BitEnergies;
+
+use crate::error::EncodingError;
+
+/// The window-level classification of Algorithm 1 step 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Reads dominate: prefer storing ones.
+    ReadIntensive,
+    /// Writes dominate: prefer storing zeros.
+    WriteIntensive,
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPattern::ReadIntensive => f.write_str("read-intensive"),
+            AccessPattern::WriteIntensive => f.write_str("write-intensive"),
+        }
+    }
+}
+
+/// The per-`Wr_num` flip rule derived from the energy balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipRule {
+    /// Flipping never pays this window.
+    Never,
+    /// Flip when the stored popcount is **below** the threshold
+    /// (read-intensive windows: too few stored ones).
+    FlipBelow(u32),
+    /// Flip when the stored popcount is **above** the threshold
+    /// (write-intensive windows: too many stored ones).
+    FlipAbove(u32),
+}
+
+impl FlipRule {
+    /// Applies the rule to a stored popcount.
+    pub fn should_flip(&self, n1: u32) -> bool {
+        match *self {
+            FlipRule::Never => false,
+            FlipRule::FlipBelow(t) => n1 < t,
+            FlipRule::FlipAbove(t) => n1 > t,
+        }
+    }
+}
+
+/// The precomputed threshold table: one [`FlipRule`] per possible `Wr_num`
+/// value (0 ..= W), for a region of `L` bits.
+///
+/// In hardware this is a `W+1`-entry lookup table; the predictor reads the
+/// entry for the window's write count and compares it against the bit
+/// counter's output, avoiding any runtime arithmetic (the paper's
+/// `Th_bit1num` array).
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::ThresholdTable;
+/// use cnt_energy::BitEnergies;
+///
+/// let table = ThresholdTable::new(&BitEnergies::cnfet_default(), 15, 512, 0.0)?;
+/// // An all-zero read-only line should obviously be flipped to ones:
+/// assert!(table.should_flip(0, 0));
+/// // An all-ones read-only line should stay:
+/// assert!(!table.should_flip(0, 512));
+/// # Ok::<(), cnt_encoding::EncodingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    window: u32,
+    region_bits: u32,
+    delta_t: f64,
+    th_rd: f64,
+    rules: Vec<FlipRule>,
+}
+
+impl ThresholdTable {
+    /// Builds the table for a window of `window` accesses over regions of
+    /// `region_bits` bits (the full line for baseline encoding, one
+    /// partition for partitioned encoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodingError::WindowTooSmall`] if `window < 2` and
+    /// [`EncodingError::BadDeltaT`] if `delta_t` is outside `[0, 1)`.
+    pub fn new(
+        bits: &BitEnergies,
+        window: u32,
+        region_bits: u32,
+        delta_t: f64,
+    ) -> Result<Self, EncodingError> {
+        if window < 2 {
+            return Err(EncodingError::WindowTooSmall { window });
+        }
+        if !(0.0..1.0).contains(&delta_t) || delta_t.is_nan() {
+            return Err(EncodingError::BadDeltaT { delta_t });
+        }
+        let rules = (0..=window)
+            .map(|wr| Self::rule_for(bits, window, wr, region_bits, delta_t))
+            .collect();
+        Ok(ThresholdTable {
+            window,
+            region_bits,
+            delta_t,
+            th_rd: th_rd(bits, window),
+            rules,
+        })
+    }
+
+    /// The window length `W`.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The region length `L` in bits.
+    pub fn region_bits(&self) -> u32 {
+        self.region_bits
+    }
+
+    /// The hysteresis margin `ΔT`.
+    pub fn delta_t(&self) -> f64 {
+        self.delta_t
+    }
+
+    /// `Th_rd` (Eq. 3): the write-count boundary between read- and
+    /// write-intensive classification, `W / (1 + Δrd/Δwr)`.
+    pub fn th_rd(&self) -> f64 {
+        self.th_rd
+    }
+
+    /// Algorithm 1 step 1: classify the window.
+    ///
+    /// The paper's literal condition is `Wr_num > Th_rd → write-intensive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wr_num > W`.
+    pub fn pattern(&self, wr_num: u32) -> AccessPattern {
+        assert!(wr_num <= self.window, "wr_num {wr_num} exceeds window");
+        if f64::from(wr_num) > self.th_rd {
+            AccessPattern::WriteIntensive
+        } else {
+            AccessPattern::ReadIntensive
+        }
+    }
+
+    /// The precomputed rule for a window that saw `wr_num` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wr_num > W`.
+    pub fn rule(&self, wr_num: u32) -> FlipRule {
+        assert!(wr_num <= self.window, "wr_num {wr_num} exceeds window");
+        self.rules[wr_num as usize]
+    }
+
+    /// Algorithm 1 step 2: should a region whose *stored* form holds `n1`
+    /// one-bits switch direction, given the window saw `wr_num` writes?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wr_num > W` or `n1 > L`.
+    pub fn should_flip(&self, wr_num: u32, n1: u32) -> bool {
+        assert!(n1 <= self.region_bits, "n1 {n1} exceeds region bits");
+        self.rule(wr_num).should_flip(n1)
+    }
+
+    /// The paper's closed-form Eq. 6 threshold
+    /// `N₁ = L·(E_save − E_wr1) / (2·E_save − (E_wr1 − E_wr0))`, as a real
+    /// number, or `None` when the denominator vanishes. Provided for
+    /// comparison with the exact rule table (they agree when `ΔT = 0`; see
+    /// the tests).
+    pub fn paper_threshold(bits: &BitEnergies, window: u32, wr_num: u32, region_bits: u32) -> Option<f64> {
+        let e = EnergyTerms::new(bits, window, wr_num);
+        let denom = 2.0 * e.e_save - (e.wr1 - e.wr0);
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some(f64::from(region_bits) * (e.e_save - e.wr1) / denom)
+    }
+
+    /// Exact per-`N₁` benefit of flipping: `keep − flip − E_encode − ΔT·keep`
+    /// in femtojoules. Positive means the switch pays off. Exposed for
+    /// oracle studies and tests.
+    pub fn flip_benefit(&self, bits: &BitEnergies, wr_num: u32, n1: u32) -> f64 {
+        let e = EnergyTerms::new(bits, self.window, wr_num);
+        e.benefit(self.region_bits, n1) - self.delta_t * e.keep(self.region_bits, n1)
+    }
+
+    /// Exports the table as the ROM contents a hardware implementation
+    /// would synthesize: one `$readmemh`-style hex word per `Wr_num`
+    /// entry, encoding the rule in `⌈log₂(L+2)⌉ + 2` bits —
+    /// `{mode[1:0], threshold}` with mode `00` = never, `01` = flip-below,
+    /// `10` = flip-above.
+    ///
+    /// The paper: "the array can be implemented with a table that has W
+    /// entries. It returns the exact bit number threshold given Wr_num."
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnt_encoding::ThresholdTable;
+    /// use cnt_energy::BitEnergies;
+    ///
+    /// let table = ThresholdTable::new(&BitEnergies::cnfet_default(), 15, 64, 0.0)?;
+    /// let rom = table.to_rom_hex();
+    /// assert_eq!(rom.lines().count(), 16, "one entry per Wr_num in 0..=W");
+    /// # Ok::<(), cnt_encoding::EncodingError>(())
+    /// ```
+    pub fn to_rom_hex(&self) -> String {
+        // Threshold field width: enough for 0..=L+1.
+        let threshold_bits = 32 - (self.region_bits + 2).leading_zeros();
+        let hex_digits = ((threshold_bits + 2).div_ceil(4)) as usize;
+        let mut out = String::new();
+        for wr in 0..=self.window {
+            let (mode, threshold) = match self.rule(wr) {
+                FlipRule::Never => (0u32, 0u32),
+                FlipRule::FlipBelow(t) => (1, t),
+                FlipRule::FlipAbove(t) => (2, t),
+            };
+            let word = (mode << threshold_bits) | threshold;
+            out.push_str(&format!("{word:0hex_digits$x}\n"));
+        }
+        out
+    }
+
+    fn rule_for(bits: &BitEnergies, window: u32, wr_num: u32, l: u32, delta_t: f64) -> FlipRule {
+        let e = EnergyTerms::new(bits, window, wr_num);
+        let lf = f64::from(l);
+        // f(n1) = benefit(n1) − ΔT·keep(n1) = slope·n1 + intercept, with
+        // benefit(n1) = L·(e_save − wr1) + n1·(wr1 − wr0 − 2·e_save)
+        // keep(n1)    = L·(R·rd0 + Wr·wr0) + n1·(−e_save)
+        let slope = (e.wr1 - e.wr0 - 2.0 * e.e_save) + delta_t * e.e_save;
+        let intercept = lf * (e.e_save - e.wr1) - delta_t * lf * (e.r * e.rd0 + e.wr * e.wr0);
+        const EPS: f64 = 1e-12;
+        if slope.abs() < EPS {
+            // Constant benefit: flip always or never. "Always" cannot occur
+            // with physical energies (E_encode > 0 forces intercept < 0 at
+            // the balance point), but handle it for robustness.
+            return if intercept > 0.0 {
+                FlipRule::FlipBelow(l + 1)
+            } else {
+                FlipRule::Never
+            };
+        }
+        let crossing = -intercept / slope;
+        if slope < 0.0 {
+            // f > 0 for n1 < crossing: read-intensive shape.
+            if crossing <= 0.0 {
+                FlipRule::Never
+            } else {
+                // flip iff n1 < ceil(crossing) over the integers, capped at L+1.
+                let t = crossing.ceil().min(f64::from(l) + 1.0) as u32;
+                if t == 0 {
+                    FlipRule::Never
+                } else {
+                    FlipRule::FlipBelow(t)
+                }
+            }
+        } else {
+            // f > 0 for n1 > crossing: write-intensive shape.
+            if crossing >= lf {
+                FlipRule::Never
+            } else {
+                let t = crossing.floor().max(-1.0) as i64;
+                if t < 0 {
+                    FlipRule::FlipAbove(0)
+                } else {
+                    FlipRule::FlipAbove(t as u32)
+                }
+            }
+        }
+    }
+}
+
+/// Eq. 3: `Th_rd = W / (1 + Δrd/Δwr)`.
+///
+/// With the CNFET defaults `Δrd ≈ Δwr`, this sits near `W/2` — the paper's
+/// own observation.
+pub fn th_rd(bits: &BitEnergies, window: u32) -> f64 {
+    let d_rd = bits.delta_read().femtojoules();
+    let d_wr = bits.delta_write().femtojoules();
+    f64::from(window) / (1.0 + d_rd / d_wr)
+}
+
+/// Scalar energy terms for one `(W, Wr)` configuration, in femtojoules.
+#[derive(Debug, Clone, Copy)]
+struct EnergyTerms {
+    r: f64,
+    wr: f64,
+    rd0: f64,
+    rd1: f64,
+    wr0: f64,
+    wr1: f64,
+    e_save: f64,
+}
+
+impl EnergyTerms {
+    fn new(bits: &BitEnergies, window: u32, wr_num: u32) -> Self {
+        assert!(wr_num <= window, "wr_num exceeds window");
+        let r = f64::from(window - wr_num);
+        let wr = f64::from(wr_num);
+        let rd0 = bits.rd0.femtojoules();
+        let rd1 = bits.rd1.femtojoules();
+        let wr0 = bits.wr0.femtojoules();
+        let wr1 = bits.wr1.femtojoules();
+        let e_save = r * (rd0 - rd1) - wr * (wr1 - wr0);
+        EnergyTerms {
+            r,
+            wr,
+            rd0,
+            rd1,
+            wr0,
+            wr1,
+            e_save,
+        }
+    }
+
+    /// Eq. 4: projected next-window energy if the encoding is kept.
+    fn keep(&self, l: u32, n1: u32) -> f64 {
+        let n1 = f64::from(n1);
+        let l = f64::from(l);
+        self.r * (n1 * self.rd1 + (l - n1) * self.rd0) + self.wr * (n1 * self.wr1 + (l - n1) * self.wr0)
+    }
+
+    /// keep − flip − E_encode.
+    fn benefit(&self, l: u32, n1: u32) -> f64 {
+        let n1f = f64::from(n1);
+        let lf = f64::from(l);
+        let flip = self.keep(l, l - n1);
+        let e_encode = n1f * self.wr0 + (lf - n1f) * self.wr1;
+        self.keep(l, n1) - flip - e_encode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_bits() -> BitEnergies {
+        BitEnergies::cnfet_default()
+    }
+
+    fn table(window: u32, l: u32, dt: f64) -> ThresholdTable {
+        ThresholdTable::new(&default_bits(), window, l, dt).expect("valid table")
+    }
+
+    #[test]
+    fn th_rd_is_near_half_window() {
+        // "Th_rd is roughly half of W" for the default characterization.
+        let t = th_rd(&default_bits(), 15);
+        assert!((t - 7.5).abs() < 0.5, "Th_rd = {t}");
+    }
+
+    #[test]
+    fn pattern_classification_follows_th_rd() {
+        let t = table(15, 512, 0.0);
+        assert_eq!(t.pattern(0), AccessPattern::ReadIntensive);
+        assert_eq!(t.pattern(15), AccessPattern::WriteIntensive);
+        let boundary = t.th_rd().floor() as u32;
+        assert_eq!(t.pattern(boundary), AccessPattern::ReadIntensive);
+        assert_eq!(t.pattern(boundary + 1), AccessPattern::WriteIntensive);
+    }
+
+    #[test]
+    fn read_only_window_rules_are_flip_below() {
+        let t = table(15, 512, 0.0);
+        match t.rule(0) {
+            FlipRule::FlipBelow(thr) => {
+                assert!(thr > 0 && thr <= 512, "threshold {thr}");
+            }
+            other => panic!("expected FlipBelow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_only_window_rules_are_flip_above() {
+        let t = table(15, 512, 0.0);
+        match t.rule(15) {
+            FlipRule::FlipAbove(thr) => {
+                assert!(thr < 512, "threshold {thr}");
+            }
+            other => panic!("expected FlipAbove, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rules_agree_with_brute_force_benefit() {
+        // The table must make exactly the decision the energy balance
+        // dictates, for every (Wr, N1) pair and several ΔT values.
+        let bits = default_bits();
+        for &dt in &[0.0, 0.05, 0.2] {
+            for &l in &[64u32, 512] {
+                let t = ThresholdTable::new(&bits, 15, l, dt).expect("valid");
+                for wr in 0..=15u32 {
+                    for n1 in 0..=l {
+                        let expected = t.flip_benefit(&bits, wr, n1) > 0.0;
+                        let got = t.should_flip(wr, n1);
+                        // Tolerate disagreement only exactly at the boundary,
+                        // where floating-point rounding decides.
+                        if expected != got {
+                            let b = t.flip_benefit(&bits, wr, n1).abs();
+                            assert!(b < 1e-6, "rule mismatch at wr={wr} n1={n1} (benefit {b})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_formula_matches_exact_rule_at_zero_delta() {
+        // Eq. 6 and the linear solve must be the same number whenever the
+        // denominator is healthy.
+        let bits = default_bits();
+        let t = table(15, 512, 0.0);
+        for wr in 0..=15u32 {
+            let Some(paper) = ThresholdTable::paper_threshold(&bits, 15, wr, 512) else {
+                continue;
+            };
+            match t.rule(wr) {
+                FlipRule::FlipBelow(thr) => {
+                    assert!(
+                        (f64::from(thr) - paper).abs() <= 1.0,
+                        "wr={wr}: table {thr} vs paper {paper}"
+                    );
+                }
+                FlipRule::FlipAbove(thr) => {
+                    assert!(
+                        (f64::from(thr) - paper).abs() <= 1.0,
+                        "wr={wr}: table {thr} vs paper {paper}"
+                    );
+                }
+                FlipRule::Never => {
+                    // The paper formula can land outside [0, L], meaning no
+                    // achievable N1 triggers a flip — consistent with Never.
+                    assert!(
+                        !(0.0..=512.0).contains(&paper),
+                        "wr={wr}: Never but paper threshold {paper} is in range"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_cases_decide_correctly() {
+        let t = table(15, 512, 0.0);
+        // Read-only window, all stored zeros: flipping saves a lot.
+        assert!(t.should_flip(0, 0));
+        // Read-only window, all stored ones: keep.
+        assert!(!t.should_flip(0, 512));
+        // Write-only window, all stored ones: flip to zeros.
+        assert!(t.should_flip(15, 512));
+        // Write-only window, all stored zeros: keep.
+        assert!(!t.should_flip(15, 0));
+    }
+
+    #[test]
+    fn balanced_window_keeps_moderate_lines() {
+        // Near the Th_rd boundary E_save is small, so only *extreme* bit
+        // populations can recoup the re-encoding write; anything moderate
+        // must be kept.
+        let t = table(15, 512, 0.0);
+        let wr = t.th_rd().round() as u32;
+        for n1 in [128u32, 192, 256, 320, 384, 448, 512] {
+            assert!(!t.should_flip(wr, n1), "flipped at balanced wr={wr}, n1={n1}");
+        }
+    }
+
+    #[test]
+    fn hysteresis_only_shrinks_flip_region() {
+        let strict = table(15, 512, 0.0);
+        let lenient = table(15, 512, 0.3);
+        for wr in 0..=15u32 {
+            for n1 in (0..=512u32).step_by(16) {
+                if lenient.should_flip(wr, n1) {
+                    assert!(
+                        strict.should_flip(wr, n1),
+                        "ΔT added flips at wr={wr}, n1={n1}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let bits = default_bits();
+        assert!(matches!(
+            ThresholdTable::new(&bits, 1, 512, 0.0),
+            Err(EncodingError::WindowTooSmall { .. })
+        ));
+        assert!(matches!(
+            ThresholdTable::new(&bits, 15, 512, 1.0),
+            Err(EncodingError::BadDeltaT { .. })
+        ));
+        assert!(ThresholdTable::new(&bits, 15, 512, -0.1).is_err());
+    }
+
+    #[test]
+    fn flip_rule_application() {
+        assert!(!FlipRule::Never.should_flip(0));
+        assert!(FlipRule::FlipBelow(10).should_flip(9));
+        assert!(!FlipRule::FlipBelow(10).should_flip(10));
+        assert!(FlipRule::FlipAbove(10).should_flip(11));
+        assert!(!FlipRule::FlipAbove(10).should_flip(10));
+    }
+
+    #[test]
+    fn rom_export_round_trips_the_rules() {
+        let t = table(15, 64, 0.1);
+        let rom = t.to_rom_hex();
+        let lines: Vec<&str> = rom.lines().collect();
+        assert_eq!(lines.len(), 16);
+        // threshold field: ceil(log2(64+2)) = 7 bits; +2 mode bits = 9 -> 3 hex digits.
+        for (wr, line) in lines.iter().enumerate() {
+            assert_eq!(line.len(), 3, "entry {wr}: `{line}`");
+            let word = u32::from_str_radix(line, 16).expect("valid hex");
+            let mode = word >> 7;
+            let threshold = word & 0x7F;
+            let expect = t.rule(wr as u32);
+            match mode {
+                0 => assert_eq!(expect, FlipRule::Never),
+                1 => assert_eq!(expect, FlipRule::FlipBelow(threshold)),
+                2 => assert_eq!(expect, FlipRule::FlipAbove(threshold)),
+                other => panic!("invalid mode {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_energies_never_flip() {
+        // A CMOS-like symmetric cell gains nothing from inversion.
+        let bits = BitEnergies::cmos_default();
+        let t = ThresholdTable::new(&bits, 15, 512, 0.0).expect("valid");
+        for wr in 0..=15u32 {
+            for n1 in (0..=512u32).step_by(64) {
+                assert!(!t.should_flip(wr, n1), "CMOS flip at wr={wr}, n1={n1}");
+            }
+        }
+    }
+}

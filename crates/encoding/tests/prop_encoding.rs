@@ -1,0 +1,152 @@
+//! Property-based tests for the encoding contribution.
+
+use cnt_encoding::popcount::{invert_range, popcount_range, popcount_words};
+use cnt_encoding::{
+    AccessHistory, BitPreference, DirectionBits, DirectionPredictor, LineCodec, PartitionLayout,
+    PredictorConfig, ThresholdTable,
+};
+use cnt_energy::BitEnergies;
+use proptest::prelude::*;
+
+fn arb_line() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 8) // 512-bit line
+}
+
+fn arb_partitions() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![1u32, 2, 4, 8, 16, 32, 64])
+}
+
+proptest! {
+    /// encode ∘ decode = identity for every line, partitioning, and
+    /// direction assignment.
+    #[test]
+    fn codec_round_trips(line in arb_line(), partitions in arb_partitions(), mask in any::<u64>()) {
+        let layout = PartitionLayout::new(512, partitions).expect("valid");
+        let codec = LineCodec::new(layout);
+        let mask = if partitions == 64 { mask } else { mask & ((1 << partitions) - 1) };
+        let dirs = DirectionBits::from_mask(mask, partitions);
+        let stored = codec.apply(&line, &dirs);
+        prop_assert_eq!(codec.decode(&stored, &dirs), line);
+    }
+
+    /// The stored popcount computed without materializing equals the
+    /// popcount of the materialized stored words.
+    #[test]
+    fn stored_popcount_is_consistent(line in arb_line(), partitions in arb_partitions(), mask in any::<u64>()) {
+        let layout = PartitionLayout::new(512, partitions).expect("valid");
+        let codec = LineCodec::new(layout);
+        let mask = if partitions == 64 { mask } else { mask & ((1 << partitions) - 1) };
+        let dirs = DirectionBits::from_mask(mask, partitions);
+        let stored = codec.apply(&line, &dirs);
+        prop_assert_eq!(codec.stored_popcount(&line, &dirs), popcount_words(&stored));
+    }
+
+    /// Greedy direction choice is optimal per preference: no other
+    /// direction assignment stores more preferred bits.
+    #[test]
+    fn greedy_choice_is_optimal(line in arb_line(), partitions in arb_partitions(), rival_mask in any::<u64>()) {
+        let layout = PartitionLayout::new(512, partitions).expect("valid");
+        let codec = LineCodec::new(layout);
+        let rival_mask = if partitions == 64 { rival_mask } else { rival_mask & ((1 << partitions) - 1) };
+        let rival = DirectionBits::from_mask(rival_mask, partitions);
+
+        let best_ones = codec.choose_directions(&line, BitPreference::MoreOnes);
+        prop_assert!(codec.stored_popcount(&line, &best_ones) >= codec.stored_popcount(&line, &rival));
+
+        let best_zeros = codec.choose_directions(&line, BitPreference::MoreZeros);
+        prop_assert!(codec.stored_popcount(&line, &best_zeros) <= codec.stored_popcount(&line, &rival));
+    }
+
+    /// Finer partitioning never stores fewer preferred bits than coarser
+    /// partitioning (the Fig. 2 claim, generalized).
+    #[test]
+    fn finer_partitions_never_lose(line in arb_line()) {
+        let counts: Vec<u32> = [1u32, 2, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&p| {
+                let codec = LineCodec::new(PartitionLayout::new(512, p).expect("valid"));
+                let dirs = codec.choose_directions(&line, BitPreference::MoreOnes);
+                codec.stored_popcount(&line, &dirs)
+            })
+            .collect();
+        for pair in counts.windows(2) {
+            prop_assert!(pair[1] >= pair[0], "finer partitioning lost ones: {counts:?}");
+        }
+    }
+
+    /// Range popcount agrees with a naive bit loop, and inversion
+    /// complements exactly the range.
+    #[test]
+    fn popcount_range_matches_naive(words in prop::collection::vec(any::<u64>(), 1..4), start in 0u32..128, len in 1u32..128) {
+        let total = words.len() as u32 * 64;
+        prop_assume!(start + len <= total);
+        let naive: u32 = (start..start + len)
+            .filter(|&b| words[(b / 64) as usize] >> (b % 64) & 1 == 1)
+            .count() as u32;
+        prop_assert_eq!(popcount_range(&words, start, len), naive);
+
+        let mut inverted = words.clone();
+        invert_range(&mut inverted, start, len);
+        prop_assert_eq!(popcount_range(&inverted, start, len), len - naive);
+        // Bits outside the range are untouched.
+        let outside_before = popcount_words(&words) - naive;
+        let outside_after = popcount_words(&inverted) - (len - naive);
+        prop_assert_eq!(outside_before, outside_after);
+    }
+
+    /// The threshold table's decision always matches the sign of the exact
+    /// energy benefit (up to boundary rounding).
+    #[test]
+    fn table_matches_energy_balance(wr in 0u32..=15, n1 in 0u32..=512, dt in 0.0f64..0.9) {
+        let bits = BitEnergies::cnfet_default();
+        let table = ThresholdTable::new(&bits, 15, 512, dt).expect("valid");
+        let benefit = table.flip_benefit(&bits, wr, n1);
+        if benefit.abs() > 1e-6 {
+            prop_assert_eq!(table.should_flip(wr, n1), benefit > 0.0,
+                "wr={} n1={} dt={} benefit={}", wr, n1, dt, benefit);
+        }
+    }
+
+    /// Applying a decision always improves (or preserves) the projected
+    /// window energy: the predictor never makes things worse.
+    #[test]
+    fn decisions_never_hurt(line in arb_line(), wr in 0u32..=15, mask in any::<u64>()) {
+        let bits = BitEnergies::cnfet_default();
+        let predictor = DirectionPredictor::new(
+            &bits,
+            PredictorConfig { window: 15, line_bits: 512, partitions: 8, delta_t: 0.0 },
+        ).expect("valid");
+        let dirs = DirectionBits::from_mask(mask & 0xFF, 8);
+        let decision = predictor.decide(
+            cnt_encoding::WindowSummary { wr_num: wr },
+            &line,
+            &dirs,
+        );
+        prop_assert!(decision.projected_saving_fj >= 0.0);
+        if decision.switches() {
+            prop_assert!(decision.projected_saving_fj > 0.0);
+        }
+        prop_assert_eq!(decision.new_directions.mask() ^ dirs.mask(), decision.flips);
+    }
+
+    /// Window accounting: a predictor over any access pattern fires
+    /// exactly every `window` accesses.
+    #[test]
+    fn windows_fire_periodically(pattern in prop::collection::vec(any::<bool>(), 1..200), window in 2u32..32) {
+        let bits = BitEnergies::cnfet_default();
+        let predictor = DirectionPredictor::new(
+            &bits,
+            PredictorConfig { window, line_bits: 512, partitions: 1, delta_t: 0.0 },
+        ).expect("valid");
+        let mut history = AccessHistory::new();
+        let mut fired = 0usize;
+        for (i, &is_write) in pattern.iter().enumerate() {
+            let summary = predictor.observe(&mut history, is_write);
+            if summary.is_some() {
+                fired += 1;
+                prop_assert_eq!((i + 1) % window as usize, 0, "fired off-cycle at {}", i);
+            }
+        }
+        prop_assert_eq!(fired, pattern.len() / window as usize);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for energy-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating an energy model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnergyModelError {
+    /// One of the per-bit energies is negative or non-finite.
+    NegativeEnergy {
+        /// Which energy field was invalid (`"rd0"`, `"rd1"`, `"wr0"`, `"wr1"`).
+        which: &'static str,
+        /// The offending value in femtojoules.
+        value: f64,
+    },
+    /// The CNFET-style asymmetry ordering was violated.
+    InvertedAsymmetry {
+        /// Which asymmetry was inverted.
+        which: &'static str,
+    },
+    /// A physical device parameter is outside its admissible range.
+    InvalidParam {
+        /// The parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for EnergyModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnergyModelError::NegativeEnergy { which, value } => {
+                write!(f, "energy `{which}` must be finite and non-negative, got {value}")
+            }
+            EnergyModelError::InvertedAsymmetry { which } => {
+                write!(f, "inverted {which} asymmetry")
+            }
+            EnergyModelError::InvalidParam {
+                name,
+                constraint,
+                value,
+            } => write!(f, "device parameter `{name}` {constraint}, got {value}"),
+        }
+    }
+}
+
+impl Error for EnergyModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = EnergyModelError::NegativeEnergy {
+            which: "rd0",
+            value: -1.0,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("energy"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EnergyModelError>();
+    }
+}

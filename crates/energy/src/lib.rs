@@ -1,0 +1,46 @@
+//! Bit-level SRAM access-energy models for the CNT-Cache reproduction.
+//!
+//! The CNT-Cache paper (DATE 2020) observes that a CNFET-based SRAM cell has
+//! strongly *asymmetric* access energies: reading a stored `0` is much more
+//! expensive than reading a stored `1`, and writing a `1` is roughly ten
+//! times as expensive as writing a `0`. This crate provides:
+//!
+//! * [`Energy`] — a femtojoule quantity newtype used by every other crate,
+//! * [`BitEnergies`] — the four per-bit costs `E_rd0`, `E_rd1`, `E_wr0`,
+//!   `E_wr1` plus the derived asymmetry deltas,
+//! * [`SramEnergyModel`] — a named, validated model (CNFET or CMOS), either
+//!   from calibrated defaults or derived from [`DeviceParams`],
+//! * [`EnergyMeter`]/[`EnergyBreakdown`] — bit-exact dynamic-energy
+//!   accounting used by the cache simulator,
+//! * [`table::TableOne`] — the generator for the paper's Table I
+//!   ("rw-analysis") comparing CNFET and CMOS cells.
+//!
+//! # Example
+//!
+//! ```
+//! use cnt_energy::{SramEnergyModel, EnergyMeter};
+//!
+//! let model = SramEnergyModel::cnfet_default();
+//! assert!(model.bits().wr1 > model.bits().wr0 * 9.0);
+//!
+//! let mut meter = EnergyMeter::new(model);
+//! meter.charge_write_word(0xFF, 8); // writes eight '1' bits
+//! meter.charge_read_word(0x00, 8);  // reads eight '0' bits
+//! let report = meter.breakdown();
+//! assert_eq!(report.bits_written_one, 8);
+//! assert_eq!(report.bits_read_zero, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod error;
+mod model;
+mod params;
+pub mod table;
+
+pub use account::{ChargeKind, EnergyBreakdown, EnergyMeter};
+pub use error::EnergyModelError;
+pub use model::{BitEnergies, Energy, SramEnergyModel, Technology};
+pub use params::DeviceParams;

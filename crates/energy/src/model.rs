@@ -1,0 +1,592 @@
+//! The [`Energy`] quantity type and the per-bit SRAM energy model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EnergyModelError;
+use crate::params::DeviceParams;
+
+/// A dynamic-energy quantity in femtojoules.
+///
+/// `Energy` is a thin newtype over `f64` that keeps energy values from being
+/// confused with other floating-point quantities (counts, ratios, volts).
+/// It supports the arithmetic an accounting layer needs: addition,
+/// subtraction, scaling by dimensionless factors, and summation.
+///
+/// # Example
+///
+/// ```
+/// use cnt_energy::Energy;
+///
+/// let per_bit = Energy::from_femtojoules(2.2);
+/// let line = per_bit * 512.0;
+/// assert_eq!(line.femtojoules(), 2.2 * 512.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// The zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from a femtojoule value.
+    pub const fn from_femtojoules(fj: f64) -> Self {
+        Energy(fj)
+    }
+
+    /// Creates an energy from a picojoule value.
+    pub fn from_picojoules(pj: f64) -> Self {
+        Energy(pj * 1_000.0)
+    }
+
+    /// Returns the value in femtojoules.
+    pub const fn femtojoules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in picojoules.
+    pub fn picojoules(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Returns the value in nanojoules.
+    pub fn nanojoules(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// Returns `true` if the value is finite (neither NaN nor infinite).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Returns `true` if the value is `NaN`.
+    pub fn is_nan(self) -> bool {
+        self.0.is_nan()
+    }
+
+    /// Returns the larger of two energies.
+    pub fn max(self, other: Energy) -> Energy {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two energies.
+    pub fn min(self, other: Energy) -> Energy {
+        Energy(self.0.min(other.0))
+    }
+
+    /// Returns the absolute value.
+    pub fn abs(self) -> Energy {
+        Energy(self.0.abs())
+    }
+
+    /// Dimensionless ratio `self / other`.
+    ///
+    /// Returns `f64::NAN` when `other` is zero, mirroring float division.
+    pub fn ratio(self, other: Energy) -> f64 {
+        self.0 / other.0
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Energy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+    fn neg(self) -> Energy {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    fn mul(self, rhs: Energy) -> Energy {
+        Energy(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Energy> for Energy {
+    fn sum<I: Iterator<Item = &'a Energy>>(iter: I) -> Energy {
+        iter.copied().sum()
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} fJ", prec, self.0)
+        } else {
+            write!(f, "{} fJ", self.0)
+        }
+    }
+}
+
+/// The SRAM technology a [`BitEnergies`] set was characterized for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// Carbon-nanotube FET SRAM (asymmetric bit energies).
+    Cnfet,
+    /// Conventional CMOS SRAM (nearly symmetric bit energies).
+    Cmos,
+    /// A user-supplied characterization.
+    Custom,
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technology::Cnfet => f.write_str("CNFET"),
+            Technology::Cmos => f.write_str("CMOS"),
+            Technology::Custom => f.write_str("custom"),
+        }
+    }
+}
+
+/// The four per-bit SRAM access energies the CNT-Cache algorithm consumes.
+///
+/// These are the `E_rd0`, `E_rd1`, `E_wr0`, `E_wr1` quantities of the paper's
+/// equations (1)–(6): the dynamic energy of reading/writing a single bit of
+/// value `0`/`1` from/to an SRAM cell.
+///
+/// # Example
+///
+/// ```
+/// use cnt_energy::{BitEnergies, Energy};
+///
+/// let bits = BitEnergies::cnfet_default();
+/// // The paper: writing '1' costs almost 10x writing '0'.
+/// assert!(bits.wr1.ratio(bits.wr0) >= 9.0);
+/// // And the two asymmetries nearly cancel, so Th_rd ≈ W/2.
+/// let imbalance = (bits.delta_read() - bits.delta_write()).abs();
+/// assert!(imbalance < Energy::from_femtojoules(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitEnergies {
+    /// Energy to read a stored `0` bit.
+    pub rd0: Energy,
+    /// Energy to read a stored `1` bit.
+    pub rd1: Energy,
+    /// Energy to write a `0` bit.
+    pub wr0: Energy,
+    /// Energy to write a `1` bit.
+    pub wr1: Energy,
+}
+
+impl BitEnergies {
+    /// Calibrated default for a 32 nm-class CNFET 6T SRAM cell at 0.9 V.
+    ///
+    /// The magnitudes follow the paper's qualitative characterization
+    /// ("Table rw-analysis"): reading `0` is the expensive read, writing `1`
+    /// is ≈10× the cost of writing `0`, and `E_rd0 − E_rd1 ≈ E_wr1 − E_wr0`.
+    pub fn cnfet_default() -> Self {
+        BitEnergies {
+            rd0: Energy::from_femtojoules(2.60),
+            rd1: Energy::from_femtojoules(0.45),
+            wr0: Energy::from_femtojoules(0.22),
+            wr1: Energy::from_femtojoules(2.20),
+        }
+    }
+
+    /// Calibrated default for a comparable CMOS 6T SRAM cell at 0.9 V.
+    ///
+    /// CMOS reads and writes are nearly symmetric in the stored value and
+    /// substantially more expensive overall — the motivation for CNFET
+    /// caches in the first place.
+    pub fn cmos_default() -> Self {
+        BitEnergies {
+            rd0: Energy::from_femtojoules(5.20),
+            rd1: Energy::from_femtojoules(5.05),
+            wr0: Energy::from_femtojoules(5.90),
+            wr1: Energy::from_femtojoules(6.10),
+        }
+    }
+
+    /// The read asymmetry `Δrd = E_rd0 − E_rd1`.
+    ///
+    /// Positive for CNFET cells: reading a stored `1` is cheaper.
+    pub fn delta_read(&self) -> Energy {
+        self.rd0 - self.rd1
+    }
+
+    /// The write asymmetry `Δwr = E_wr1 − E_wr0`.
+    ///
+    /// Positive for CNFET cells: writing a `0` is cheaper.
+    pub fn delta_write(&self) -> Energy {
+        self.wr1 - self.wr0
+    }
+
+    /// Energy to read one bit of the given value.
+    #[inline]
+    pub fn read_bit(&self, bit: bool) -> Energy {
+        if bit {
+            self.rd1
+        } else {
+            self.rd0
+        }
+    }
+
+    /// Energy to write one bit of the given value.
+    #[inline]
+    pub fn write_bit(&self, bit: bool) -> Energy {
+        if bit {
+            self.wr1
+        } else {
+            self.wr0
+        }
+    }
+
+    /// Energy to read `width` bits of which `ones` are `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ones > width`.
+    #[inline]
+    pub fn read_bits(&self, ones: u32, width: u32) -> Energy {
+        debug_assert!(ones <= width);
+        self.rd1 * f64::from(ones) + self.rd0 * f64::from(width - ones)
+    }
+
+    /// Energy to write `width` bits of which `ones` are `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ones > width`.
+    #[inline]
+    pub fn write_bits(&self, ones: u32, width: u32) -> Energy {
+        debug_assert!(ones <= width);
+        self.wr1 * f64::from(ones) + self.wr0 * f64::from(width - ones)
+    }
+
+    /// Validates the characterization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyModelError::NegativeEnergy`] if any of the four
+    /// energies is negative or non-finite, and
+    /// [`EnergyModelError::InvertedAsymmetry`] if the CNFET-style ordering
+    /// (`rd0 ≥ rd1` and `wr1 ≥ wr0`) is violated. Symmetric (CMOS-style)
+    /// characterizations, where the deltas are zero, pass.
+    pub fn validate(&self) -> Result<(), EnergyModelError> {
+        for (name, e) in [
+            ("rd0", self.rd0),
+            ("rd1", self.rd1),
+            ("wr0", self.wr0),
+            ("wr1", self.wr1),
+        ] {
+            if !e.is_finite() || e.femtojoules() < 0.0 {
+                return Err(EnergyModelError::NegativeEnergy {
+                    which: name,
+                    value: e.femtojoules(),
+                });
+            }
+        }
+        if self.rd0 < self.rd1 {
+            return Err(EnergyModelError::InvertedAsymmetry {
+                which: "read (expected rd0 >= rd1)",
+            });
+        }
+        if self.wr1 < self.wr0 {
+            return Err(EnergyModelError::InvertedAsymmetry {
+                which: "write (expected wr1 >= wr0)",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for BitEnergies {
+    fn default() -> Self {
+        BitEnergies::cnfet_default()
+    }
+}
+
+impl fmt::Display for BitEnergies {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rd0={:.3}, rd1={:.3}, wr0={:.3}, wr1={:.3}",
+            self.rd0, self.rd1, self.wr0, self.wr1
+        )
+    }
+}
+
+/// A named, validated SRAM access-energy model.
+///
+/// This couples a [`BitEnergies`] characterization with the
+/// [`Technology`] it describes, and is the value the cache layers carry
+/// around.
+///
+/// # Example
+///
+/// ```
+/// use cnt_energy::SramEnergyModel;
+///
+/// let cnfet = SramEnergyModel::cnfet_default();
+/// let cmos = SramEnergyModel::cmos_default();
+/// // CNFET cells are cheaper on every operation.
+/// assert!(cnfet.bits().rd0 < cmos.bits().rd0);
+/// assert!(cnfet.bits().wr1 < cmos.bits().wr1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramEnergyModel {
+    technology: Technology,
+    bits: BitEnergies,
+}
+
+impl SramEnergyModel {
+    /// Creates a model from an explicit characterization.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if [`BitEnergies::validate`] fails.
+    pub fn new(technology: Technology, bits: BitEnergies) -> Result<Self, EnergyModelError> {
+        bits.validate()?;
+        Ok(SramEnergyModel { technology, bits })
+    }
+
+    /// The default CNFET model ([`BitEnergies::cnfet_default`]).
+    pub fn cnfet_default() -> Self {
+        SramEnergyModel {
+            technology: Technology::Cnfet,
+            bits: BitEnergies::cnfet_default(),
+        }
+    }
+
+    /// The default CMOS comparison model ([`BitEnergies::cmos_default`]).
+    pub fn cmos_default() -> Self {
+        SramEnergyModel {
+            technology: Technology::Cmos,
+            bits: BitEnergies::cmos_default(),
+        }
+    }
+
+    /// Derives a CNFET model from physical device parameters.
+    ///
+    /// See [`DeviceParams::derive_bit_energies`] for the derivation and its
+    /// assumptions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are out of range or the derived
+    /// energies fail validation.
+    pub fn from_device(params: &DeviceParams) -> Result<Self, EnergyModelError> {
+        let bits = params.derive_bit_energies()?;
+        SramEnergyModel::new(Technology::Cnfet, bits)
+    }
+
+    /// The technology this model describes.
+    pub fn technology(&self) -> Technology {
+        self.technology
+    }
+
+    /// The per-bit energy characterization.
+    pub fn bits(&self) -> &BitEnergies {
+        &self.bits
+    }
+}
+
+impl Default for SramEnergyModel {
+    fn default() -> Self {
+        SramEnergyModel::cnfet_default()
+    }
+}
+
+impl fmt::Display for SramEnergyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} SRAM [{}]", self.technology, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_arithmetic() {
+        let a = Energy::from_femtojoules(1.5);
+        let b = Energy::from_femtojoules(0.5);
+        assert_eq!((a + b).femtojoules(), 2.0);
+        assert_eq!((a - b).femtojoules(), 1.0);
+        assert_eq!((a * 2.0).femtojoules(), 3.0);
+        assert_eq!((2.0 * a).femtojoules(), 3.0);
+        assert_eq!((a / 3.0).femtojoules(), 0.5);
+        assert_eq!((-b).femtojoules(), -0.5);
+    }
+
+    #[test]
+    fn energy_units() {
+        let e = Energy::from_picojoules(1.0);
+        assert_eq!(e.femtojoules(), 1000.0);
+        assert!((e.picojoules() - 1.0).abs() < 1e-12);
+        assert!((Energy::from_femtojoules(2e6).nanojoules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_sum_and_ordering() {
+        let total: Energy = (0..10).map(|i| Energy::from_femtojoules(f64::from(i))).sum();
+        assert_eq!(total.femtojoules(), 45.0);
+        assert!(Energy::from_femtojoules(2.0) > Energy::from_femtojoules(1.0));
+        assert_eq!(
+            Energy::from_femtojoules(2.0).max(Energy::from_femtojoules(3.0)),
+            Energy::from_femtojoules(3.0)
+        );
+        let refs = [Energy::from_femtojoules(1.0), Energy::from_femtojoules(2.0)];
+        let sum: Energy = refs.iter().sum();
+        assert_eq!(sum.femtojoules(), 3.0);
+    }
+
+    #[test]
+    fn energy_display() {
+        let e = Energy::from_femtojoules(1.23456);
+        assert_eq!(format!("{e:.2}"), "1.23 fJ");
+        assert_eq!(format!("{}", Energy::from_femtojoules(2.0)), "2 fJ");
+    }
+
+    #[test]
+    fn cnfet_default_matches_paper_claims() {
+        let bits = BitEnergies::cnfet_default();
+        bits.validate().expect("default must validate");
+        // "the energy consumption of writing 1 ... is almost 10X higher than
+        // writing 0"
+        assert!(bits.wr1.ratio(bits.wr0) >= 9.0 && bits.wr1.ratio(bits.wr0) <= 11.0);
+        // "E_rd0 - E_rd1 is quite close to E_wr1 - E_wr0"
+        let d = (bits.delta_read() - bits.delta_write()).abs();
+        assert!(d.femtojoules() < 0.3, "deltas differ by {d}");
+        assert!(bits.delta_read().femtojoules() > 0.0);
+        assert!(bits.delta_write().femtojoules() > 0.0);
+    }
+
+    #[test]
+    fn cmos_default_is_nearly_symmetric_and_pricier() {
+        let cmos = BitEnergies::cmos_default();
+        cmos.validate().expect("cmos default must validate");
+        let cnfet = BitEnergies::cnfet_default();
+        assert!(cmos.delta_read().femtojoules() < 0.5);
+        assert!(cmos.delta_write().femtojoules() < 0.5);
+        for (c, m) in [
+            (cnfet.rd0, cmos.rd0),
+            (cnfet.rd1, cmos.rd1),
+            (cnfet.wr0, cmos.wr0),
+            (cnfet.wr1, cmos.wr1),
+        ] {
+            assert!(c < m, "CNFET should be cheaper: {c} vs {m}");
+        }
+    }
+
+    #[test]
+    fn bit_energy_accessors() {
+        let bits = BitEnergies::cnfet_default();
+        assert_eq!(bits.read_bit(false), bits.rd0);
+        assert_eq!(bits.read_bit(true), bits.rd1);
+        assert_eq!(bits.write_bit(false), bits.wr0);
+        assert_eq!(bits.write_bit(true), bits.wr1);
+        let e = bits.read_bits(3, 8);
+        let expect = bits.rd1 * 3.0 + bits.rd0 * 5.0;
+        assert!((e - expect).abs().femtojoules() < 1e-12);
+        let w = bits.write_bits(8, 8);
+        assert!((w - bits.wr1 * 8.0).abs().femtojoules() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_negative() {
+        let mut bits = BitEnergies::cnfet_default();
+        bits.rd0 = Energy::from_femtojoules(-1.0);
+        let err = bits.validate().unwrap_err();
+        assert!(matches!(err, EnergyModelError::NegativeEnergy { which: "rd0", .. }));
+    }
+
+    #[test]
+    fn validation_rejects_nan() {
+        let mut bits = BitEnergies::cnfet_default();
+        bits.wr1 = Energy::from_femtojoules(f64::NAN);
+        assert!(bits.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inverted_asymmetry() {
+        let bits = BitEnergies {
+            rd0: Energy::from_femtojoules(0.1),
+            rd1: Energy::from_femtojoules(2.0),
+            wr0: Energy::from_femtojoules(0.2),
+            wr1: Energy::from_femtojoules(2.0),
+        };
+        assert!(matches!(
+            bits.validate().unwrap_err(),
+            EnergyModelError::InvertedAsymmetry { .. }
+        ));
+    }
+
+    #[test]
+    fn model_constructors() {
+        let model = SramEnergyModel::new(Technology::Custom, BitEnergies::cnfet_default())
+            .expect("valid bits");
+        assert_eq!(model.technology(), Technology::Custom);
+        assert_eq!(SramEnergyModel::default().technology(), Technology::Cnfet);
+        assert_eq!(
+            SramEnergyModel::cmos_default().technology(),
+            Technology::Cmos
+        );
+    }
+
+    #[test]
+    fn model_display_mentions_technology() {
+        let s = format!("{}", SramEnergyModel::cnfet_default());
+        assert!(s.contains("CNFET"));
+        let s = format!("{}", SramEnergyModel::cmos_default());
+        assert!(s.contains("CMOS"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = SramEnergyModel::cnfet_default();
+        let json = serde_json::to_string(&model).expect("serialize");
+        let back: SramEnergyModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(model, back);
+    }
+}

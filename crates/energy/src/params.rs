@@ -1,0 +1,264 @@
+//! Physical device parameters and a simplified first-order derivation of the
+//! per-bit energies.
+//!
+//! The original paper characterized its CNFET SRAM cell with circuit
+//! simulation (its "Table rw-analysis", whose body is missing from the
+//! available text). Since the adaptive-encoding algorithm only consumes the
+//! four per-bit energies, this module offers a *physically motivated*
+//! first-order derivation — `E ≈ C·V²` scaled by per-operation swing
+//! coefficients — so that users can explore how supply voltage or tube
+//! count shifts the asymmetries, while the calibrated defaults in
+//! [`BitEnergies::cnfet_default`](crate::BitEnergies::cnfet_default) remain
+//! the reference characterization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EnergyModelError;
+use crate::model::{BitEnergies, Energy};
+
+/// Reference number of tubes per FET at which the defaults are calibrated.
+const REF_TUBES: f64 = 4.0;
+/// Reference tube diameter (nm) at which the defaults are calibrated.
+const REF_DIAMETER_NM: f64 = 1.5;
+/// Drive-strength sensitivity to tube count (dimensionless).
+const TUBE_SENSITIVITY: f64 = 0.6;
+
+/// Physical parameters of a CNFET 6T SRAM cell.
+///
+/// The derivation is first-order: each operation's energy is a capacitance
+/// times `V_dd²` times a swing coefficient, modulated by a drive-strength
+/// factor that improves (energy drops) with more parallel tubes and larger
+/// tube diameter.
+///
+/// With the default parameters, [`derive_bit_energies`] reproduces
+/// [`BitEnergies::cnfet_default`] to within a few percent.
+///
+/// [`derive_bit_energies`]: DeviceParams::derive_bit_energies
+///
+/// # Example
+///
+/// ```
+/// use cnt_energy::DeviceParams;
+///
+/// let nominal = DeviceParams::default().derive_bit_energies()?;
+/// let mut low_v = DeviceParams::default();
+/// low_v.vdd = 0.7;
+/// let scaled = low_v.derive_bit_energies()?;
+/// // Lower supply voltage lowers every access energy quadratically.
+/// assert!(scaled.wr1 < nominal.wr1);
+/// # Ok::<(), cnt_energy::EnergyModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Supply voltage in volts. Admissible range: `(0.3, 1.2]`.
+    pub vdd: f64,
+    /// Parallel carbon nanotubes per transistor. Admissible range: `[1, 32]`.
+    pub tubes_per_fet: u32,
+    /// Tube diameter in nanometres. Admissible range: `[0.8, 3.0]`.
+    pub tube_diameter_nm: f64,
+    /// Bitline capacitance in femtofarads. Admissible range: `(0, 100]`.
+    pub bitline_cap_ff: f64,
+    /// Cell-internal storage-node capacitance in femtofarads.
+    /// Admissible range: `(0, 10]`.
+    pub internal_cap_ff: f64,
+}
+
+impl DeviceParams {
+    /// Nominal 32 nm-class parameters calibrated against the defaults.
+    pub fn new() -> Self {
+        DeviceParams {
+            vdd: 0.9,
+            tubes_per_fet: 4,
+            tube_diameter_nm: 1.5,
+            bitline_cap_ff: 4.0,
+            internal_cap_ff: 0.35,
+        }
+    }
+
+    fn validate(&self) -> Result<(), EnergyModelError> {
+        if !(self.vdd > 0.3 && self.vdd <= 1.2) {
+            return Err(EnergyModelError::InvalidParam {
+                name: "vdd",
+                constraint: "must be in (0.3, 1.2] V",
+                value: self.vdd,
+            });
+        }
+        if !(1..=32).contains(&self.tubes_per_fet) {
+            return Err(EnergyModelError::InvalidParam {
+                name: "tubes_per_fet",
+                constraint: "must be in [1, 32]",
+                value: f64::from(self.tubes_per_fet),
+            });
+        }
+        if !(0.8..=3.0).contains(&self.tube_diameter_nm) {
+            return Err(EnergyModelError::InvalidParam {
+                name: "tube_diameter_nm",
+                constraint: "must be in [0.8, 3.0] nm",
+                value: self.tube_diameter_nm,
+            });
+        }
+        if !(self.bitline_cap_ff > 0.0 && self.bitline_cap_ff <= 100.0) {
+            return Err(EnergyModelError::InvalidParam {
+                name: "bitline_cap_ff",
+                constraint: "must be in (0, 100] fF",
+                value: self.bitline_cap_ff,
+            });
+        }
+        if !(self.internal_cap_ff > 0.0 && self.internal_cap_ff <= 10.0) {
+            return Err(EnergyModelError::InvalidParam {
+                name: "internal_cap_ff",
+                constraint: "must be in (0, 10] fF",
+                value: self.internal_cap_ff,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drive-strength penalty factor, normalized to 1.0 at the reference
+    /// device (4 tubes of 1.5 nm). Fewer/thinner tubes mean weaker drive,
+    /// slower transitions and more crowbar energy, so the factor grows.
+    fn drive_factor(&self) -> f64 {
+        let tube_term =
+            (1.0 + TUBE_SENSITIVITY / f64::from(self.tubes_per_fet)) / (1.0 + TUBE_SENSITIVITY / REF_TUBES);
+        let diameter_term = (REF_DIAMETER_NM / self.tube_diameter_nm).sqrt();
+        tube_term * diameter_term
+    }
+
+    /// Derives the four per-bit energies from the device parameters.
+    ///
+    /// The model (all energies in femtojoules, capacitances in femtofarads):
+    ///
+    /// ```text
+    /// E_rd0 = C_bl · V² · 0.800 · k     (full bitline discharge)
+    /// E_rd1 = C_bl · V² · 0.140 · k     (small complementary swing)
+    /// E_wr1 = (0.59·C_bl + C_int) · V² · k   (overpower pull-down,
+    ///                                         charge storage node)
+    /// E_wr0 = C_int · V² · 0.777 · k    (discharge stored charge)
+    /// ```
+    ///
+    /// where `k` is the [drive factor](#method.drive_factor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyModelError::InvalidParam`] when a parameter is out of
+    /// its admissible range, or a validation error if the derived energies
+    /// are somehow inconsistent (cannot happen for admissible inputs).
+    pub fn derive_bit_energies(&self) -> Result<BitEnergies, EnergyModelError> {
+        self.validate()?;
+        let v2 = self.vdd * self.vdd;
+        let k = self.drive_factor();
+        let bits = BitEnergies {
+            rd0: Energy::from_femtojoules(self.bitline_cap_ff * v2 * 0.800 * k),
+            rd1: Energy::from_femtojoules(self.bitline_cap_ff * v2 * 0.140 * k),
+            wr1: Energy::from_femtojoules((0.59 * self.bitline_cap_ff + self.internal_cap_ff) * v2 * k),
+            wr0: Energy::from_femtojoules(self.internal_cap_ff * v2 * 0.777 * k),
+        };
+        bits.validate()?;
+        Ok(bits)
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParams::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_calibrated_defaults() {
+        let derived = DeviceParams::new().derive_bit_energies().expect("nominal");
+        let reference = BitEnergies::cnfet_default();
+        for (d, r) in [
+            (derived.rd0, reference.rd0),
+            (derived.rd1, reference.rd1),
+            (derived.wr0, reference.wr0),
+            (derived.wr1, reference.wr1),
+        ] {
+            let rel = (d - r).abs().femtojoules() / r.femtojoules();
+            assert!(rel < 0.05, "derived {d} vs reference {r} ({rel:.3} rel err)");
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic() {
+        let mut p = DeviceParams::new();
+        let e1 = p.derive_bit_energies().expect("ok").wr1;
+        p.vdd = 0.45;
+        let e2 = p.derive_bit_energies().expect("ok").wr1;
+        let ratio = e1.ratio(e2);
+        assert!((ratio - 4.0).abs() < 1e-9, "expected 4x, got {ratio}");
+    }
+
+    #[test]
+    fn more_tubes_lower_energy() {
+        let mut p = DeviceParams::new();
+        p.tubes_per_fet = 2;
+        let weak = p.derive_bit_energies().expect("ok");
+        p.tubes_per_fet = 8;
+        let strong = p.derive_bit_energies().expect("ok");
+        assert!(strong.rd0 < weak.rd0);
+        assert!(strong.wr1 < weak.wr1);
+    }
+
+    #[test]
+    fn wider_tubes_lower_energy() {
+        let mut p = DeviceParams::new();
+        p.tube_diameter_nm = 1.0;
+        let thin = p.derive_bit_energies().expect("ok");
+        p.tube_diameter_nm = 2.0;
+        let thick = p.derive_bit_energies().expect("ok");
+        assert!(thick.rd0 < thin.rd0);
+    }
+
+    #[test]
+    fn derivation_preserves_asymmetry_ordering() {
+        // Over a coarse parameter grid the orderings rd0 > rd1 and
+        // wr1 > wr0 must always hold.
+        for vdd in [0.5, 0.7, 0.9, 1.1] {
+            for tubes in [1_u32, 4, 16] {
+                for c_bl in [1.0, 4.0, 20.0] {
+                    let p = DeviceParams {
+                        vdd,
+                        tubes_per_fet: tubes,
+                        tube_diameter_nm: 1.5,
+                        bitline_cap_ff: c_bl,
+                        internal_cap_ff: 0.35,
+                    };
+                    let bits = p.derive_bit_energies().expect("grid point valid");
+                    assert!(bits.rd0 > bits.rd1, "{p:?}");
+                    assert!(bits.wr1 > bits.wr0, "{p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_params_error() {
+        let mut p = DeviceParams::new();
+        p.vdd = 0.0;
+        assert!(matches!(
+            p.derive_bit_energies().unwrap_err(),
+            EnergyModelError::InvalidParam { name: "vdd", .. }
+        ));
+
+        let mut p = DeviceParams::new();
+        p.tubes_per_fet = 0;
+        assert!(p.derive_bit_energies().is_err());
+
+        let mut p = DeviceParams::new();
+        p.tube_diameter_nm = 5.0;
+        assert!(p.derive_bit_energies().is_err());
+
+        let mut p = DeviceParams::new();
+        p.bitline_cap_ff = -1.0;
+        assert!(p.derive_bit_energies().is_err());
+
+        let mut p = DeviceParams::new();
+        p.internal_cap_ff = 0.0;
+        assert!(p.derive_bit_energies().is_err());
+    }
+}

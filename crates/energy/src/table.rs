@@ -1,0 +1,178 @@
+//! Generator for the paper's Table I ("rw-analysis"): per-bit read/write
+//! energies of CNFET and CMOS SRAM cells.
+//!
+//! The body of the original table is missing from the available paper text;
+//! this module regenerates it from the calibrated default models (and,
+//! optionally, from a supply-voltage sweep of the device-parameter
+//! derivation) so the experiment harness can print it alongside the other
+//! results.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EnergyModelError;
+use crate::model::{BitEnergies, SramEnergyModel, Technology};
+use crate::params::DeviceParams;
+
+/// One row of Table I: a technology's four per-bit energies and the derived
+/// asymmetry ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOneRow {
+    /// Row label (e.g. `"CNFET @0.9V"`).
+    pub label: String,
+    /// The technology characterized.
+    pub technology: Technology,
+    /// The four per-bit energies.
+    pub bits: BitEnergies,
+    /// `E_wr1 / E_wr0` — the paper's headline "almost 10X" ratio.
+    pub write_ratio: f64,
+    /// `E_rd0 / E_rd1`.
+    pub read_ratio: f64,
+}
+
+impl TableOneRow {
+    fn from_model(label: impl Into<String>, model: &SramEnergyModel) -> Self {
+        let bits = *model.bits();
+        TableOneRow {
+            label: label.into(),
+            technology: model.technology(),
+            write_ratio: bits.wr1.ratio(bits.wr0),
+            read_ratio: bits.rd0.ratio(bits.rd1),
+            bits,
+        }
+    }
+}
+
+/// Table I: CNFET vs CMOS per-bit access energies.
+///
+/// # Example
+///
+/// ```
+/// use cnt_energy::table::TableOne;
+///
+/// let table = TableOne::generate();
+/// let cnfet = &table.rows()[0];
+/// assert!(cnfet.write_ratio >= 9.0, "writing '1' must cost ~10x writing '0'");
+/// println!("{table}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOne {
+    rows: Vec<TableOneRow>,
+}
+
+impl TableOne {
+    /// Generates the two-row reference table (default CNFET and CMOS cells).
+    pub fn generate() -> Self {
+        TableOne {
+            rows: vec![
+                TableOneRow::from_model("CNFET @0.9V", &SramEnergyModel::cnfet_default()),
+                TableOneRow::from_model("CMOS @0.9V", &SramEnergyModel::cmos_default()),
+            ],
+        }
+    }
+
+    /// Generates the reference table plus a CNFET supply-voltage sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any voltage in `vdds` is outside the admissible
+    /// device-parameter range.
+    pub fn generate_with_vdd_sweep(vdds: &[f64]) -> Result<Self, EnergyModelError> {
+        let mut table = TableOne::generate();
+        for &vdd in vdds {
+            let mut params = DeviceParams::new();
+            params.vdd = vdd;
+            let model = SramEnergyModel::from_device(&params)?;
+            table
+                .rows
+                .push(TableOneRow::from_model(format!("CNFET @{vdd:.2}V"), &model));
+        }
+        Ok(table)
+    }
+
+    /// The table rows, reference rows first.
+    pub fn rows(&self) -> &[TableOneRow] {
+        &self.rows
+    }
+}
+
+impl fmt::Display for TableOne {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "| {:<14} | {:>9} | {:>9} | {:>9} | {:>9} | {:>7} | {:>7} |",
+            "cell", "E_rd0(fJ)", "E_rd1(fJ)", "E_wr0(fJ)", "E_wr1(fJ)", "wr1/wr0", "rd0/rd1"
+        )?;
+        writeln!(
+            f,
+            "|{:-<16}|{:-<11}|{:-<11}|{:-<11}|{:-<11}|{:-<9}|{:-<9}|",
+            "", "", "", "", "", "", ""
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "| {:<14} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3} | {:>7.2} | {:>7.2} |",
+                row.label,
+                row.bits.rd0.femtojoules(),
+                row.bits.rd1.femtojoules(),
+                row.bits.wr0.femtojoules(),
+                row.bits.wr1.femtojoules(),
+                row.write_ratio,
+                row.read_ratio,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_table_has_cnfet_then_cmos() {
+        let t = TableOne::generate();
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0].technology, Technology::Cnfet);
+        assert_eq!(t.rows()[1].technology, Technology::Cmos);
+    }
+
+    #[test]
+    fn cnfet_row_has_tenfold_write_ratio() {
+        let t = TableOne::generate();
+        let ratio = t.rows()[0].write_ratio;
+        assert!((9.0..=11.0).contains(&ratio), "got {ratio}");
+    }
+
+    #[test]
+    fn cmos_row_is_nearly_symmetric() {
+        let t = TableOne::generate();
+        let row = &t.rows()[1];
+        assert!(row.write_ratio < 1.1);
+        assert!(row.read_ratio < 1.1);
+    }
+
+    #[test]
+    fn vdd_sweep_rows_scale_down() {
+        let t = TableOne::generate_with_vdd_sweep(&[0.9, 0.8, 0.7]).expect("sweep");
+        assert_eq!(t.rows().len(), 5);
+        let e9 = t.rows()[2].bits.wr1;
+        let e7 = t.rows()[4].bits.wr1;
+        assert!(e7 < e9, "lower vdd must lower energy");
+    }
+
+    #[test]
+    fn vdd_sweep_rejects_bad_voltage() {
+        assert!(TableOne::generate_with_vdd_sweep(&[2.5]).is_err());
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let t = TableOne::generate();
+        let s = t.to_string();
+        assert!(s.contains("CNFET"));
+        assert!(s.contains("CMOS"));
+        assert!(s.contains("E_wr1"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the energy model and accounting invariants.
+
+use cnt_energy::{BitEnergies, ChargeKind, Energy, EnergyMeter, SramEnergyModel};
+use proptest::prelude::*;
+
+fn arb_word() -> impl Strategy<Value = u64> {
+    any::<u64>()
+}
+
+proptest! {
+    /// Accounting is value-independent for fixed popcount: two words with
+    /// the same number of ones cost the same.
+    #[test]
+    fn energy_depends_only_on_popcount(a in arb_word(), rot in 0u32..64) {
+        let b = a.rotate_left(rot);
+        let mut m1 = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        let mut m2 = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        m1.charge_read_word(a, 64);
+        m2.charge_read_word(b, 64);
+        prop_assert!((m1.total() - m2.total()).abs().femtojoules() < 1e-9);
+    }
+
+    /// Total energy is additive over any split of the same activity.
+    #[test]
+    fn accounting_is_additive(words in prop::collection::vec(arb_word(), 1..64), split in 0usize..64) {
+        let split = split.min(words.len());
+        let mut whole = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        for &w in &words {
+            whole.charge_write_word(w, 64);
+        }
+        let mut part1 = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        let mut part2 = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        for &w in &words[..split] {
+            part1.charge_write_word(w, 64);
+        }
+        for &w in &words[split..] {
+            part2.charge_write_word(w, 64);
+        }
+        let sum = part1.breakdown().clone() + part2.breakdown().clone();
+        prop_assert!((whole.total() - sum.total()).abs().femtojoules() < 1e-6);
+        prop_assert_eq!(whole.breakdown().bits_written_one, sum.bits_written_one);
+        prop_assert_eq!(whole.breakdown().bits_written_zero, sum.bits_written_zero);
+    }
+
+    /// Energy is always non-negative and monotone in activity.
+    #[test]
+    fn energy_is_monotone(words in prop::collection::vec(arb_word(), 1..32)) {
+        let mut meter = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        let mut last = Energy::ZERO;
+        for &w in &words {
+            meter.charge_read_word(w, 64);
+            let now = meter.total();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    /// For the CNFET model, a word with more ones is cheaper to read and
+    /// more expensive to write than a word with fewer ones.
+    #[test]
+    fn cnfet_preference_ordering(ones_a in 0u32..=64, ones_b in 0u32..=64) {
+        prop_assume!(ones_a < ones_b);
+        let bits = BitEnergies::cnfet_default();
+        prop_assert!(bits.read_bits(ones_b, 64) < bits.read_bits(ones_a, 64));
+        prop_assert!(bits.write_bits(ones_b, 64) > bits.write_bits(ones_a, 64));
+    }
+
+    /// Charging by word equals charging by (ones, width) pair.
+    #[test]
+    fn word_and_bits_paths_agree(w in arb_word(), kind_idx in 0usize..7) {
+        let kind = ChargeKind::ALL[kind_idx];
+        let mut m1 = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        let mut m2 = EnergyMeter::new(SramEnergyModel::cnfet_default());
+        if kind.is_read() {
+            m1.charge_read_word_kind(w, 64, kind);
+            m2.charge_read_bits_kind(w.count_ones(), 64, kind);
+        } else {
+            m1.charge_write_word_kind(w, 64, kind);
+            m2.charge_write_bits_kind(w.count_ones(), 64, kind);
+        }
+        prop_assert_eq!(m1.breakdown(), m2.breakdown());
+    }
+}

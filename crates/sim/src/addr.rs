@@ -1,0 +1,175 @@
+//! Byte addresses and their decomposition into cache coordinates.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the simulated physical address space.
+///
+/// `Address` is a newtype over `u64` so byte addresses cannot be confused
+/// with word indices, set indices, or tags.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::Address;
+///
+/// let a = Address::new(0x1000);
+/// assert_eq!((a + 8).value(), 0x1008);
+/// assert_eq!(format!("{a:#x}"), "0x1000");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte offset.
+    pub const fn new(value: u64) -> Self {
+        Address(value)
+    }
+
+    /// The raw byte offset.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Aligns the address down to a multiple of `alignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is not a power of two.
+    pub fn align_down(self, alignment: u64) -> Address {
+        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        Address(self.0 & !(alignment - 1))
+    }
+
+    /// Returns `true` if the address is a multiple of `alignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is not a power of two.
+    pub fn is_aligned(self, alignment: u64) -> bool {
+        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (alignment - 1) == 0
+    }
+
+    /// Offset within an `alignment`-sized block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment` is not a power of two.
+    pub fn offset_in(self, alignment: u64) -> u64 {
+        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (alignment - 1)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(value: u64) -> Self {
+        Address(value)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(addr: Address) -> u64 {
+        addr.0
+    }
+}
+
+impl Add<u64> for Address {
+    type Output = Address;
+    fn add(self, rhs: u64) -> Address {
+        Address(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Address {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Address> for Address {
+    type Output = u64;
+    fn sub(self, rhs: Address) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// An address decomposed against a [`CacheGeometry`](crate::CacheGeometry):
+/// tag, set index, and byte offset within the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddressParts {
+    /// The tag bits (address above set index and offset).
+    pub tag: u64,
+    /// The set index.
+    pub set: u64,
+    /// The byte offset within the cache line.
+    pub offset: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        let a = Address::new(0x1234);
+        assert_eq!(a.align_down(0x100).value(), 0x1200);
+        assert_eq!(a.offset_in(0x100), 0x34);
+        assert!(Address::new(0x400).is_aligned(0x400));
+        assert!(!Address::new(0x401).is_aligned(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_down_rejects_non_power_of_two() {
+        Address::new(0).align_down(3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut a = Address::new(10);
+        a += 6;
+        assert_eq!(a, Address::new(16));
+        assert_eq!(a - Address::new(6), 10);
+        assert_eq!((a + 4).value(), 20);
+    }
+
+    #[test]
+    fn conversions_and_formatting() {
+        let a: Address = 0xABCDu64.into();
+        let v: u64 = a.into();
+        assert_eq!(v, 0xABCD);
+        assert_eq!(format!("{a}"), "0xabcd");
+        assert_eq!(format!("{a:x}"), "abcd");
+        assert_eq!(format!("{a:X}"), "ABCD");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Address::new(1) < Address::new(2));
+        assert_eq!(Address::default(), Address::new(0));
+    }
+}

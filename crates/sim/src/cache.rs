@@ -1,0 +1,1001 @@
+//! The write-back, write-allocate set-associative cache.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::Address;
+use crate::config::CacheGeometry;
+use crate::line::CacheLine;
+use crate::memory::{check_access, extract, splice};
+use crate::replacement::ReplacementKind;
+use crate::set::CacheSet;
+use crate::stats::CacheStats;
+
+/// Where a line lives inside the cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineLocation {
+    /// The set index.
+    pub set: u64,
+    /// The way within the set.
+    pub way: u32,
+}
+
+impl fmt::Display for LineLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "set {} way {}", self.set, self.way)
+    }
+}
+
+/// Raw SRAM-array activity, reported as it happens.
+///
+/// The energy layer implements this to price every bit that moves through
+/// the array; the default methods do nothing, and `()` is the no-op
+/// observer.
+pub trait ArrayObserver {
+    /// A word was read out of the array (demand load portion of a hit).
+    fn word_read(&mut self, loc: LineLocation, word_index: usize, value: u64) {
+        let _ = (loc, word_index, value);
+    }
+
+    /// A word in the array was overwritten (demand store portion of a hit).
+    fn word_written(&mut self, loc: LineLocation, word_index: usize, old: u64, new: u64) {
+        let _ = (loc, word_index, old, new);
+    }
+
+    /// A whole line was written into the array after a miss.
+    fn line_filled(&mut self, loc: LineLocation, base: Address, data: &[u64]) {
+        let _ = (loc, base, data);
+    }
+
+    /// A line left the array (eviction or flush). `dirty` lines were read
+    /// out for write-back; clean lines just dropped.
+    fn line_evicted(&mut self, loc: LineLocation, base: Address, data: &[u64], dirty: bool) {
+        let _ = (loc, base, data, dirty);
+    }
+}
+
+impl ArrayObserver for () {}
+
+/// Anything a cache can fetch lines from and spill lines to: main memory or
+/// a lower cache level.
+pub trait Backing {
+    /// Reads one line at `base` into `buf`.
+    fn load_line(&mut self, base: Address, buf: &mut [u64]);
+    /// Writes one line of `data` at `base`.
+    fn store_line(&mut self, base: Address, data: &[u64]);
+    /// Writes a single aligned 64-bit word (used by write-through caches).
+    fn store_word(&mut self, addr: Address, value: u64);
+}
+
+/// Hardware prefetching performed by the cache itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum PrefetchPolicy {
+    /// No prefetching (the default).
+    #[default]
+    None,
+    /// On every demand miss, also fetch the next sequential line if it is
+    /// not already resident.
+    NextLine,
+}
+
+impl fmt::Display for PrefetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefetchPolicy::None => f.write_str("none"),
+            PrefetchPolicy::NextLine => f.write_str("next-line"),
+        }
+    }
+}
+
+/// How demand writes interact with the array and the backing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Default)]
+pub enum WriteMode {
+    /// Write-back, write-allocate (the default): stores dirty the line and
+    /// reach the backing only on eviction.
+    #[default]
+    WriteBack,
+    /// Write-through, write-allocate: stores update the (clean) line and
+    /// the backing word immediately.
+    WriteThrough,
+    /// Write-through, no-allocate (write-around): store misses bypass the
+    /// array entirely; hits behave like [`WriteMode::WriteThrough`].
+    WriteThroughNoAllocate,
+}
+
+
+impl std::fmt::Display for WriteMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteMode::WriteBack => f.write_str("write-back"),
+            WriteMode::WriteThrough => f.write_str("write-through"),
+            WriteMode::WriteThroughNoAllocate => f.write_str("write-through/no-allocate"),
+        }
+    }
+}
+
+/// Errors for malformed demand accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AccessError {
+    /// Width was not 1, 2, 4 or 8 bytes.
+    BadWidth {
+        /// The offending width.
+        width: u8,
+    },
+    /// The address was not naturally aligned to the access width.
+    Unaligned {
+        /// The offending address.
+        addr: Address,
+        /// The access width.
+        width: u8,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::BadWidth { width } => {
+                write!(f, "access width must be 1, 2, 4 or 8 bytes, got {width}")
+            }
+            AccessError::Unaligned { addr, width } => {
+                write!(f, "{width}-byte access at unaligned address {addr}")
+            }
+        }
+    }
+}
+
+impl Error for AccessError {}
+
+/// What one demand access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The value read (for reads) or written (for writes).
+    pub value: u64,
+    /// `true` if the access hit.
+    pub hit: bool,
+    /// Where the line now lives. `None` only for write-around stores
+    /// ([`WriteMode::WriteThroughNoAllocate`] misses), which never touch
+    /// the array.
+    pub location: Option<LineLocation>,
+    /// If a valid line was evicted to make room, its base address and
+    /// whether it was dirty (written back).
+    pub evicted: Option<(Address, bool)>,
+}
+
+/// A write-back, write-allocate set-associative cache carrying real data.
+///
+/// See the [crate-level example](crate) for typical use. All demand traffic
+/// goes through [`read`](Cache::read) / [`write`](Cache::write) (or their
+/// `_outcome` variants), which transparently fetch missing lines from the
+/// [`Backing`] and spill dirty victims back to it. Raw array activity is
+/// reported to the supplied [`ArrayObserver`].
+pub struct Cache {
+    name: String,
+    geometry: CacheGeometry,
+    write_mode: WriteMode,
+    prefetch: PrefetchPolicy,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+    scratch: Vec<u64>,
+}
+
+impl Cache {
+    /// Creates an empty write-back, write-allocate cache.
+    pub fn new(name: impl Into<String>, geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+        let ways = geometry.associativity() as usize;
+        let words = geometry.words_per_line();
+        let sets = (0..geometry.num_sets())
+            .map(|i| CacheSet::new(ways, words, replacement, i))
+            .collect();
+        Cache {
+            name: name.into(),
+            geometry,
+            write_mode: WriteMode::WriteBack,
+            prefetch: PrefetchPolicy::None,
+            sets,
+            stats: CacheStats::default(),
+            scratch: vec![0; words],
+        }
+    }
+
+    /// Sets the prefetch policy (chainable at construction time).
+    pub fn with_prefetch(mut self, policy: PrefetchPolicy) -> Self {
+        self.prefetch = policy;
+        self
+    }
+
+    /// The prefetch policy in effect.
+    pub fn prefetch(&self) -> PrefetchPolicy {
+        self.prefetch
+    }
+
+    /// Sets the write mode (chainable at construction time).
+    ///
+    /// ```
+    /// use cnt_sim::{Cache, CacheGeometry, ReplacementKind, WriteMode};
+    ///
+    /// let cache = Cache::new("L1D", CacheGeometry::new(4096, 64, 2)?, ReplacementKind::Lru)
+    ///     .with_write_mode(WriteMode::WriteThrough);
+    /// assert_eq!(cache.write_mode(), WriteMode::WriteThrough);
+    /// # Ok::<(), cnt_sim::GeometryError>(())
+    /// ```
+    pub fn with_write_mode(mut self, mode: WriteMode) -> Self {
+        self.write_mode = mode;
+        self
+    }
+
+    /// The write mode in effect.
+    pub fn write_mode(&self) -> WriteMode {
+        self.write_mode
+    }
+
+    /// The cache's display name (e.g. `"L1D"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cache's shape.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Reads `width` bytes at `addr`, returning the zero-extended value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for a bad width or unaligned address.
+    pub fn read(
+        &mut self,
+        addr: Address,
+        width: u8,
+        lower: &mut dyn Backing,
+        observer: &mut dyn ArrayObserver,
+    ) -> Result<u64, AccessError> {
+        self.read_outcome(addr, width, lower, observer).map(|o| o.value)
+    }
+
+    /// Reads `width` bytes at `addr` with full outcome detail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for a bad width or unaligned address.
+    pub fn read_outcome(
+        &mut self,
+        addr: Address,
+        width: u8,
+        lower: &mut dyn Backing,
+        observer: &mut dyn ArrayObserver,
+    ) -> Result<AccessOutcome, AccessError> {
+        validate(addr, width)?;
+        let (location, hit, evicted) = self.ensure_line(addr, lower, observer);
+        self.stats.record_read(hit);
+        let word_index = (addr.offset_in(u64::from(self.geometry.line_bytes())) / 8) as usize;
+        let set = &mut self.sets[location.set as usize];
+        set.touch_hit(location.way as usize);
+        let word = set.line(location.way as usize).read_word(word_index);
+        observer.word_read(location, word_index, word);
+        let value = extract(word, addr.offset_in(8), width);
+        if !hit {
+            self.maybe_prefetch(addr, lower, observer);
+        }
+        Ok(AccessOutcome {
+            value,
+            hit,
+            location: Some(location),
+            evicted,
+        })
+    }
+
+    /// Writes the low `width * 8` bits of `value` at `addr`.
+    ///
+    /// Sub-word writes are modeled as read-modify-write of the containing
+    /// 64-bit word; the observer sees a single [`ArrayObserver::word_written`]
+    /// with the old and new word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for a bad width or unaligned address.
+    pub fn write(
+        &mut self,
+        addr: Address,
+        width: u8,
+        value: u64,
+        lower: &mut dyn Backing,
+        observer: &mut dyn ArrayObserver,
+    ) -> Result<(), AccessError> {
+        self.write_outcome(addr, width, value, lower, observer).map(|_| ())
+    }
+
+    /// Writes with full outcome detail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] for a bad width or unaligned address.
+    pub fn write_outcome(
+        &mut self,
+        addr: Address,
+        width: u8,
+        value: u64,
+        lower: &mut dyn Backing,
+        observer: &mut dyn ArrayObserver,
+    ) -> Result<AccessOutcome, AccessError> {
+        validate(addr, width)?;
+        let word_addr = addr.align_down(8);
+
+        // Write-around: a miss under no-allocate bypasses the array.
+        if self.write_mode == WriteMode::WriteThroughNoAllocate {
+            let parts = self.geometry.split(addr);
+            if self.sets[parts.set as usize].find(parts.tag).is_none() {
+                self.stats.record_write(false);
+                self.stats.writethroughs += 1;
+                // Sub-word stores read-modify-write the backing word; the
+                // line-granular Backing supplies it via a line read.
+                let new = if width == 8 {
+                    value
+                } else {
+                    let base = addr.align_down(u64::from(self.geometry.line_bytes()));
+                    lower.load_line(base, &mut self.scratch);
+                    let word_index =
+                        (addr.offset_in(u64::from(self.geometry.line_bytes())) / 8) as usize;
+                    splice(self.scratch[word_index], addr.offset_in(8), width, value)
+                };
+                lower.store_word(word_addr, new);
+                return Ok(AccessOutcome {
+                    value,
+                    hit: false,
+                    location: None,
+                    evicted: None,
+                });
+            }
+        }
+
+        let (location, hit, evicted) = self.ensure_line(addr, lower, observer);
+        self.stats.record_write(hit);
+        let word_index = (addr.offset_in(u64::from(self.geometry.line_bytes())) / 8) as usize;
+        let set = &mut self.sets[location.set as usize];
+        set.touch_hit(location.way as usize);
+        let line = set.line_mut(location.way as usize);
+        let old = line.read_word(word_index);
+        let new = splice(old, addr.offset_in(8), width, value);
+        line.write_word(word_index, new);
+        observer.word_written(location, word_index, old, new);
+        if self.write_mode != WriteMode::WriteBack {
+            // The backing word is updated immediately; the line stays clean.
+            line.mark_clean();
+            lower.store_word(word_addr, new);
+            self.stats.writethroughs += 1;
+        }
+        if !hit {
+            self.maybe_prefetch(addr, lower, observer);
+        }
+        Ok(AccessOutcome {
+            value,
+            hit,
+            location: Some(location),
+            evicted,
+        })
+    }
+
+    /// Issues the configured prefetch after a demand miss. Runs after the
+    /// demand word has been serviced, so a prefetch that conflicts with
+    /// the demand line cannot corrupt the in-flight access.
+    fn maybe_prefetch(
+        &mut self,
+        demand_addr: Address,
+        lower: &mut dyn Backing,
+        observer: &mut dyn ArrayObserver,
+    ) {
+        if self.prefetch != PrefetchPolicy::NextLine {
+            return;
+        }
+        let line_bytes = u64::from(self.geometry.line_bytes());
+        let next = demand_addr.align_down(line_bytes) + line_bytes;
+        let parts = self.geometry.split(next);
+        if self.sets[parts.set as usize].find(parts.tag).is_some() {
+            return; // already resident
+        }
+        let _ = self.ensure_line(next, lower, observer);
+        self.stats.prefetch_fills += 1;
+    }
+
+    /// Brings the line containing `addr` into the cache, evicting if needed.
+    fn ensure_line(
+        &mut self,
+        addr: Address,
+        lower: &mut dyn Backing,
+        observer: &mut dyn ArrayObserver,
+    ) -> (LineLocation, bool, Option<(Address, bool)>) {
+        let parts = self.geometry.split(addr);
+        let set_index = parts.set as usize;
+        if let Some(way) = self.sets[set_index].find(parts.tag) {
+            let loc = LineLocation {
+                set: parts.set,
+                way: way as u32,
+            };
+            return (loc, true, None);
+        }
+
+        // Miss: choose a target way, evict whatever lives there.
+        let way = self.sets[set_index].fill_target();
+        let loc = LineLocation {
+            set: parts.set,
+            way: way as u32,
+        };
+        let mut evicted = None;
+        {
+            let victim_base;
+            let victim_dirty;
+            {
+                let line = self.sets[set_index].line(way);
+                if line.is_valid() {
+                    victim_base = Some(self.geometry.line_base(line.tag(), parts.set));
+                    victim_dirty = line.is_dirty();
+                } else {
+                    victim_base = None;
+                    victim_dirty = false;
+                }
+            }
+            if let Some(base) = victim_base {
+                let line = self.sets[set_index].line(way);
+                observer.line_evicted(loc, base, line.as_words(), victim_dirty);
+                if victim_dirty {
+                    lower.store_line(base, line.as_words());
+                    self.stats.writebacks += 1;
+                }
+                self.stats.evictions += 1;
+                evicted = Some((base, victim_dirty));
+            }
+        }
+
+        // Fetch the new line from the backing and install it.
+        let base = self.geometry.line_base(parts.tag, parts.set);
+        lower.load_line(base, &mut self.scratch);
+        let set = &mut self.sets[set_index];
+        set.line_mut(way).fill(parts.tag, &self.scratch);
+        set.touch_fill(way);
+        self.stats.fills += 1;
+        observer.line_filled(loc, base, &self.scratch);
+        (loc, false, evicted)
+    }
+
+    /// Writes every dirty line back to the backing (without invalidating),
+    /// returning the number of lines written back.
+    pub fn flush(&mut self, lower: &mut dyn Backing, observer: &mut dyn ArrayObserver) -> usize {
+        let mut written = 0;
+        for set_index in 0..self.sets.len() {
+            for way in 0..self.sets[set_index].ways() {
+                let (base, dirty);
+                {
+                    let line = self.sets[set_index].line(way);
+                    if !line.is_valid() || !line.is_dirty() {
+                        continue;
+                    }
+                    base = self.geometry.line_base(line.tag(), set_index as u64);
+                    dirty = true;
+                }
+                let loc = LineLocation {
+                    set: set_index as u64,
+                    way: way as u32,
+                };
+                let line = self.sets[set_index].line(way);
+                observer.line_evicted(loc, base, line.as_words(), dirty);
+                lower.store_line(base, line.as_words());
+                self.sets[set_index].line_mut(way).mark_clean();
+                written += 1;
+            }
+        }
+        self.stats.writebacks += written as u64;
+        written
+    }
+
+    /// Looks up the line containing `addr` without disturbing replacement
+    /// state or statistics.
+    pub fn peek(&self, addr: Address) -> Option<&CacheLine> {
+        let parts = self.geometry.split(addr);
+        let set = &self.sets[parts.set as usize];
+        set.find(parts.tag).map(|way| set.line(way))
+    }
+
+    /// The location of the (valid) line containing `addr`, without
+    /// disturbing replacement state or statistics.
+    pub fn find(&self, addr: Address) -> Option<LineLocation> {
+        let parts = self.geometry.split(addr);
+        self.sets[parts.set as usize].find(parts.tag).map(|way| LineLocation {
+            set: parts.set,
+            way: way as u32,
+        })
+    }
+
+    /// Direct access to a line by location (e.g. for the encoding layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of range.
+    pub fn line_at(&self, loc: LineLocation) -> &CacheLine {
+        self.sets[loc.set as usize].line(loc.way as usize)
+    }
+
+    /// Mutable access to a line by location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of range.
+    pub fn line_at_mut(&mut self, loc: LineLocation) -> &mut CacheLine {
+        self.sets[loc.set as usize].line_mut(loc.way as usize)
+    }
+
+    /// The base address of the (valid) line at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of range.
+    pub fn line_base_at(&self, loc: LineLocation) -> Address {
+        let line = self.line_at(loc);
+        self.geometry.line_base(line.tag(), loc.set)
+    }
+
+    /// Iterates over all valid lines as `(location, line)`.
+    pub fn valid_lines(&self) -> impl Iterator<Item = (LineLocation, &CacheLine)> {
+        self.sets.iter().enumerate().flat_map(|(s, set)| {
+            set.iter().filter(|(_, l)| l.is_valid()).map(move |(w, l)| {
+                (
+                    LineLocation {
+                        set: s as u64,
+                        way: w as u32,
+                    },
+                    l,
+                )
+            })
+        })
+    }
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("name", &self.name)
+            .field("geometry", &self.geometry)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+fn validate(addr: Address, width: u8) -> Result<(), AccessError> {
+    if !matches!(width, 1 | 2 | 4 | 8) {
+        return Err(AccessError::BadWidth { width });
+    }
+    if !addr.is_aligned(u64::from(width)) {
+        return Err(AccessError::Unaligned { addr, width });
+    }
+    // The checked invariants imply the access cannot straddle a word, and
+    // therefore cannot straddle a line either.
+    check_access(addr, width);
+    Ok(())
+}
+
+/// Adapts a [`Cache`] plus its own backing into a [`Backing`] for an upper
+/// cache level, enabling multi-level hierarchies.
+///
+/// Line transfers between levels go through the lower cache's demand path
+/// at line granularity, so lower-level statistics and observers see them.
+pub struct CacheLevel<'a> {
+    /// The lower-level cache.
+    pub cache: &'a mut Cache,
+    /// Whatever backs the lower-level cache.
+    pub lower: &'a mut dyn Backing,
+    /// Observer for the lower-level cache's array activity.
+    pub observer: &'a mut dyn ArrayObserver,
+}
+
+impl Backing for CacheLevel<'_> {
+    fn load_line(&mut self, base: Address, buf: &mut [u64]) {
+        // Ensure presence, then copy the whole line out of the lower array.
+        let (loc, hit, _) = self.cache.ensure_line(base, self.lower, self.observer);
+        self.cache.stats.record_read(hit);
+        self.cache.sets[loc.set as usize].touch_hit(loc.way as usize);
+        let line = self.cache.line_at(loc);
+        let words = line.as_words();
+        buf.copy_from_slice(words);
+        for (i, &w) in words.iter().enumerate() {
+            self.observer.word_read(loc, i, w);
+        }
+    }
+
+    fn store_line(&mut self, base: Address, data: &[u64]) {
+        let (loc, hit, _) = self.cache.ensure_line(base, self.lower, self.observer);
+        self.cache.stats.record_write(hit);
+        self.cache.sets[loc.set as usize].touch_hit(loc.way as usize);
+        let line = self.cache.line_at_mut(loc);
+        let old: Vec<u64> = line.as_words().to_vec();
+        line.write_all(data);
+        for (i, (&o, &n)) in old.iter().zip(data.iter()).enumerate() {
+            self.observer.word_written(loc, i, o, n);
+        }
+    }
+
+    fn store_word(&mut self, addr: Address, value: u64) {
+        self.cache
+            .write(addr, 8, value, self.lower, self.observer)
+            .expect("aligned word store through a cache level cannot fail");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MainMemory;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 64 B lines = 512 B.
+        let g = CacheGeometry::new(512, 64, 2).expect("valid geometry");
+        Cache::new("t", g, ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn read_your_own_write() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        cache
+            .write(Address::new(0x40), 8, 0x1234, &mut mem, &mut ())
+            .expect("write ok");
+        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("read ok");
+        assert_eq!(v, 0x1234);
+    }
+
+    #[test]
+    fn miss_then_hit_statistics() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        cache.read(Address::new(0), 8, &mut mem, &mut ()).expect("ok");
+        cache.read(Address::new(8), 8, &mut mem, &mut ()).expect("ok");
+        let s = cache.stats();
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.fills, 1);
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        // Three lines mapping to set 0 in a 2-way cache: 0x000, 0x100, 0x200.
+        cache.write(Address::new(0x000), 8, 0xAA, &mut mem, &mut ()).expect("ok");
+        cache.read(Address::new(0x100), 8, &mut mem, &mut ()).expect("ok");
+        let out = cache
+            .read_outcome(Address::new(0x200), 8, &mut mem, &mut ())
+            .expect("ok");
+        assert_eq!(out.evicted, Some((Address::new(0x000), true)));
+        assert_eq!(cache.stats().writebacks, 1);
+        // The dirty value must have landed in memory.
+        assert_eq!(mem.load(Address::new(0x000), 8), 0xAA);
+        // And reading it again pulls it back correctly.
+        let v = cache.read(Address::new(0x000), 8, &mut mem, &mut ()).expect("ok");
+        assert_eq!(v, 0xAA);
+    }
+
+    #[test]
+    fn clean_eviction_skips_writeback() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        cache.read(Address::new(0x000), 8, &mut mem, &mut ()).expect("ok");
+        cache.read(Address::new(0x100), 8, &mut mem, &mut ()).expect("ok");
+        let out = cache
+            .read_outcome(Address::new(0x200), 8, &mut mem, &mut ())
+            .expect("ok");
+        assert_eq!(out.evicted, Some((Address::new(0x000), false)));
+        assert_eq!(cache.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn sub_word_write_merges() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x40), 8, 0xFFFF_FFFF_FFFF_FFFF);
+        cache.write(Address::new(0x42), 2, 0, &mut mem, &mut ()).expect("ok");
+        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("ok");
+        assert_eq!(v, 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn narrow_reads_extract() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x40), 8, 0x8877_6655_4433_2211);
+        assert_eq!(cache.read(Address::new(0x41), 1, &mut mem, &mut ()).unwrap(), 0x22);
+        assert_eq!(cache.read(Address::new(0x44), 4, &mut mem, &mut ()).unwrap(), 0x8877_6655);
+    }
+
+    #[test]
+    fn rejects_bad_accesses() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        assert!(matches!(
+            cache.read(Address::new(1), 8, &mut mem, &mut ()),
+            Err(AccessError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            cache.read(Address::new(0), 3, &mut mem, &mut ()),
+            Err(AccessError::BadWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_writes_all_dirty_lines() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        cache.write(Address::new(0x00), 8, 1, &mut mem, &mut ()).expect("ok");
+        cache.write(Address::new(0x40), 8, 2, &mut mem, &mut ()).expect("ok");
+        cache.read(Address::new(0x80), 8, &mut mem, &mut ()).expect("ok");
+        let written = cache.flush(&mut mem, &mut ());
+        assert_eq!(written, 2);
+        assert_eq!(mem.load(Address::new(0x00), 8), 1);
+        assert_eq!(mem.load(Address::new(0x40), 8), 2);
+        // Flushed lines stay resident and clean; a second flush is a no-op.
+        assert_eq!(cache.flush(&mut mem, &mut ()), 0);
+    }
+
+    #[test]
+    fn next_line_prefetch_fills_ahead() {
+        let g = CacheGeometry::new(4096, 64, 2).expect("valid");
+        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x40), 8, 99);
+        cache.read(Address::new(0x00), 8, &mut mem, &mut ()).expect("miss");
+        assert_eq!(cache.stats().prefetch_fills, 1);
+        assert!(cache.peek(Address::new(0x40)).is_some(), "next line resident");
+        // The subsequent sequential access hits thanks to the prefetch.
+        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("hit");
+        assert_eq!(v, 99);
+        assert_eq!(cache.stats().read_hits, 1);
+        // Hitting again issues no further prefetch.
+        cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("hit");
+        assert_eq!(cache.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn prefetch_never_corrupts_the_demand_access() {
+        // Demand line and its next line map to the same 1-way set in a
+        // direct-mapped cache with a single set... use 1 set x 1 way so
+        // the prefetch immediately evicts the demand line. The demand
+        // value must still be correct.
+        let g = CacheGeometry::new(64, 64, 1).expect("valid");
+        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x00), 8, 7);
+        let v = cache.read(Address::new(0x00), 8, &mut mem, &mut ()).expect("ok");
+        assert_eq!(v, 7, "prefetch eviction must not affect the demand value");
+        // The prefetched line displaced the demand line.
+        assert!(cache.peek(Address::new(0x00)).is_none());
+        assert!(cache.peek(Address::new(0x40)).is_some());
+    }
+
+    #[test]
+    fn prefetch_preserves_dirty_data_through_conflicts() {
+        let g = CacheGeometry::new(64, 64, 1).expect("valid");
+        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
+        let mut mem = MainMemory::new();
+        cache.write(Address::new(0x00), 8, 0xAB, &mut mem, &mut ()).expect("ok");
+        // The write missed, the prefetch of 0x40 evicted the dirty line,
+        // which must have been written back.
+        assert_eq!(mem.load(Address::new(0x00), 8), 0xAB);
+        assert_eq!(cache.read(Address::new(0x00), 8, &mut mem, &mut ()).expect("ok"), 0xAB);
+    }
+
+    #[test]
+    fn write_through_keeps_lines_clean_and_memory_fresh() {
+        let g = CacheGeometry::new(512, 64, 2).expect("valid");
+        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_write_mode(WriteMode::WriteThrough);
+        let mut mem = MainMemory::new();
+        cache.write(Address::new(0x40), 8, 0xAB, &mut mem, &mut ()).expect("ok");
+        // Memory already has the value, no flush needed.
+        assert_eq!(mem.load(Address::new(0x40), 8), 0xAB);
+        assert_eq!(cache.stats().writethroughs, 1);
+        // The resident line is clean: evicting it writes nothing back.
+        let line = cache.peek(Address::new(0x40)).expect("resident");
+        assert!(!line.is_dirty());
+        assert_eq!(cache.flush(&mut mem, &mut ()), 0);
+        // Sub-word write-through merges correctly.
+        cache.write(Address::new(0x42), 2, 0xFFFF, &mut mem, &mut ()).expect("ok");
+        assert_eq!(mem.load(Address::new(0x40), 8), 0xFFFF_00AB);
+    }
+
+    #[test]
+    fn write_around_misses_bypass_the_array() {
+        let g = CacheGeometry::new(512, 64, 2).expect("valid");
+        let mut cache = Cache::new("t", g, ReplacementKind::Lru)
+            .with_write_mode(WriteMode::WriteThroughNoAllocate);
+        let mut mem = MainMemory::new();
+        let out = cache
+            .write_outcome(Address::new(0x40), 8, 7, &mut mem, &mut ())
+            .expect("ok");
+        assert!(!out.hit);
+        assert_eq!(out.location, None, "write-around must not allocate");
+        assert_eq!(mem.load(Address::new(0x40), 8), 7);
+        assert!(cache.peek(Address::new(0x40)).is_none());
+        assert_eq!(cache.stats().fills, 0);
+        // A read allocates; subsequent write hits update the line in place.
+        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("ok");
+        assert_eq!(v, 7);
+        let out = cache
+            .write_outcome(Address::new(0x40), 8, 9, &mut mem, &mut ())
+            .expect("ok");
+        assert!(out.hit);
+        assert!(out.location.is_some());
+        assert_eq!(mem.load(Address::new(0x40), 8), 9);
+        assert_eq!(cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("ok"), 9);
+    }
+
+    #[test]
+    fn write_around_sub_word_miss_merges_with_memory() {
+        let g = CacheGeometry::new(512, 64, 2).expect("valid");
+        let mut cache = Cache::new("t", g, ReplacementKind::Lru)
+            .with_write_mode(WriteMode::WriteThroughNoAllocate);
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x40), 8, 0x1111_2222_3333_4444);
+        cache.write(Address::new(0x42), 2, 0xAAAA, &mut mem, &mut ()).expect("ok");
+        assert_eq!(mem.load(Address::new(0x40), 8), 0x1111_2222_AAAA_4444);
+    }
+
+    #[test]
+    fn observer_sees_array_activity() {
+        #[derive(Default)]
+        struct Counter {
+            reads: usize,
+            writes: usize,
+            fills: usize,
+            evictions: usize,
+        }
+        impl ArrayObserver for Counter {
+            fn word_read(&mut self, _: LineLocation, _: usize, _: u64) {
+                self.reads += 1;
+            }
+            fn word_written(&mut self, _: LineLocation, _: usize, _: u64, _: u64) {
+                self.writes += 1;
+            }
+            fn line_filled(&mut self, _: LineLocation, _: Address, _: &[u64]) {
+                self.fills += 1;
+            }
+            fn line_evicted(&mut self, _: LineLocation, _: Address, _: &[u64], _: bool) {
+                self.evictions += 1;
+            }
+        }
+
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        let mut obs = Counter::default();
+        cache.write(Address::new(0x000), 8, 1, &mut mem, &mut obs).expect("ok");
+        cache.read(Address::new(0x100), 8, &mut mem, &mut obs).expect("ok");
+        cache.read(Address::new(0x200), 8, &mut mem, &mut obs).expect("ok");
+        assert_eq!(obs.fills, 3);
+        assert_eq!(obs.writes, 1);
+        assert_eq!(obs.reads, 2);
+        assert_eq!(obs.evictions, 1);
+    }
+
+    #[test]
+    fn peek_does_not_disturb() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        assert!(cache.peek(Address::new(0)).is_none());
+        cache.read(Address::new(0), 8, &mut mem, &mut ()).expect("ok");
+        let before = cache.stats().clone();
+        assert!(cache.peek(Address::new(0)).is_some());
+        assert_eq!(cache.stats(), &before);
+    }
+
+    #[test]
+    fn valid_lines_iterates_everything() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        for i in 0..4u64 {
+            cache.read(Address::new(i * 64), 8, &mut mem, &mut ()).expect("ok");
+        }
+        assert_eq!(cache.valid_lines().count(), 4);
+    }
+
+    #[test]
+    fn two_level_read_through() {
+        let g1 = CacheGeometry::new(256, 64, 2).expect("ok");
+        let g2 = CacheGeometry::new(1024, 64, 4).expect("ok");
+        let mut l1 = Cache::new("L1", g1, ReplacementKind::Lru);
+        let mut l2 = Cache::new("L2", g2, ReplacementKind::Lru);
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x40), 8, 777);
+
+        let mut level2 = CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        };
+        let v = l1.read(Address::new(0x40), 8, &mut level2, &mut ()).expect("ok");
+        assert_eq!(v, 777);
+        assert_eq!(l1.stats().read_misses, 1);
+        assert_eq!(l2.stats().read_misses, 1);
+
+        // A second L1 miss to a conflicting line hits in L2.
+        let _ = l1.read(Address::new(0x140), 8, &mut CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        }, &mut ()).expect("ok");
+        let v = l1.read(Address::new(0x40), 8, &mut CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        }, &mut ()).expect("ok");
+        assert_eq!(v, 777);
+    }
+
+    #[test]
+    fn write_through_l1_over_l2_routes_word_stores() {
+        // A write-through L1 sends store_word() into the L2 level adapter,
+        // which must route it through L2's own demand path.
+        let g1 = CacheGeometry::new(128, 64, 1).expect("ok");
+        let g2 = CacheGeometry::new(512, 64, 2).expect("ok");
+        let mut l1 = Cache::new("L1", g1, ReplacementKind::Lru).with_write_mode(WriteMode::WriteThrough);
+        let mut l2 = Cache::new("L2", g2, ReplacementKind::Lru);
+        let mut mem = MainMemory::new();
+
+        l1.write(Address::new(0x40), 8, 123, &mut CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        }, &mut ()).expect("ok");
+
+        // The word reached L2 (dirty there, write-back L2) but not memory.
+        assert_eq!(l1.stats().writethroughs, 1);
+        assert!(l2.stats().writes() >= 1, "L2 saw the write-through");
+        l2.flush(&mut mem, &mut ());
+        assert_eq!(mem.load(Address::new(0x40), 8), 123);
+        // And L1's copy stays clean and coherent.
+        let v = l1.read(Address::new(0x40), 8, &mut CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        }, &mut ()).expect("ok");
+        assert_eq!(v, 123);
+        assert_eq!(l1.flush(&mut CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        }, &mut ()), 0, "write-through L1 has no dirty lines");
+    }
+
+    #[test]
+    fn two_level_writeback_lands_in_l2_then_memory() {
+        let g1 = CacheGeometry::new(128, 64, 1).expect("ok"); // 2 sets, direct mapped
+        let g2 = CacheGeometry::new(512, 64, 2).expect("ok");
+        let mut l1 = Cache::new("L1", g1, ReplacementKind::Lru);
+        let mut l2 = Cache::new("L2", g2, ReplacementKind::Lru);
+        let mut mem = MainMemory::new();
+
+        // Dirty line at 0x000, then conflict-evict it via 0x080 (same L1 set).
+        l1.write(Address::new(0x000), 8, 42, &mut CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        }, &mut ()).expect("ok");
+        l1.read(Address::new(0x080), 8, &mut CacheLevel {
+            cache: &mut l2,
+            lower: &mut mem,
+            observer: &mut (),
+        }, &mut ()).expect("ok");
+
+        // The dirty data now lives in L2 (write hit there), not yet memory.
+        assert_eq!(l2.stats().write_hits + l2.stats().write_misses, 1);
+        // Flush L2 to memory and verify.
+        l2.flush(&mut mem, &mut ());
+        assert_eq!(mem.load(Address::new(0x000), 8), 42);
+    }
+}

@@ -1,0 +1,276 @@
+//! Validated cache shapes and address decomposition.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Address, AddressParts};
+
+/// Errors produced when constructing a [`CacheGeometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A size parameter was zero or not a power of two.
+    NotPowerOfTwo {
+        /// The parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The line size is smaller than one 64-bit word.
+    LineTooSmall {
+        /// The offending line size in bytes.
+        line_bytes: u32,
+    },
+    /// `size_bytes` is not divisible by `line_bytes * associativity`.
+    InconsistentShape {
+        /// Total capacity in bytes.
+        size_bytes: u64,
+        /// Line size in bytes.
+        line_bytes: u32,
+        /// Ways per set.
+        associativity: u32,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo { name, value } => {
+                write!(f, "`{name}` must be a non-zero power of two, got {value}")
+            }
+            GeometryError::LineTooSmall { line_bytes } => {
+                write!(f, "line size must be at least 8 bytes, got {line_bytes}")
+            }
+            GeometryError::InconsistentShape {
+                size_bytes,
+                line_bytes,
+                associativity,
+            } => write!(
+                f,
+                "capacity {size_bytes} B is not divisible by {line_bytes} B x {associativity} ways"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+/// The shape of a set-associative cache: capacity, line size, and ways.
+///
+/// All three parameters must be powers of two and lines must hold at least
+/// one 64-bit word. A fully-associative cache is expressed by setting
+/// `associativity = size_bytes / line_bytes` (one set); a direct-mapped
+/// cache by `associativity = 1`.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::{Address, CacheGeometry};
+///
+/// let g = CacheGeometry::new(32 * 1024, 64, 8)?; // 32 KiB, 64 B lines, 8-way
+/// assert_eq!(g.num_sets(), 64);
+/// assert_eq!(g.words_per_line(), 8);
+///
+/// let parts = g.split(Address::new(0x1_2345));
+/// assert_eq!(g.line_base(parts.tag, parts.set), Address::new(0x1_2340));
+/// # Ok::<(), cnt_sim::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u32,
+    associativity: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a validated geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] if any parameter is zero or not a power
+    /// of two, if the line is smaller than 8 bytes, or if the capacity is
+    /// not an exact multiple of `line_bytes * associativity`.
+    pub fn new(size_bytes: u64, line_bytes: u32, associativity: u32) -> Result<Self, GeometryError> {
+        for (name, value) in [
+            ("size_bytes", size_bytes),
+            ("line_bytes", u64::from(line_bytes)),
+            ("associativity", u64::from(associativity)),
+        ] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(GeometryError::NotPowerOfTwo { name, value });
+            }
+        }
+        if line_bytes < 8 {
+            return Err(GeometryError::LineTooSmall { line_bytes });
+        }
+        let set_bytes = u64::from(line_bytes) * u64::from(associativity);
+        if !size_bytes.is_multiple_of(set_bytes) || size_bytes < set_bytes {
+            return Err(GeometryError::InconsistentShape {
+                size_bytes,
+                line_bytes,
+                associativity,
+            });
+        }
+        Ok(CacheGeometry {
+            size_bytes,
+            line_bytes,
+            associativity,
+        })
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.line_bytes) * u64::from(self.associativity))
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes)
+    }
+
+    /// 64-bit words per line.
+    pub fn words_per_line(&self) -> usize {
+        self.line_bytes as usize / 8
+    }
+
+    /// Bits of a line's data payload.
+    pub fn line_bits(&self) -> u32 {
+        self.line_bytes * 8
+    }
+
+    /// Number of byte-offset bits.
+    pub fn offset_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Number of set-index bits.
+    pub fn index_bits(&self) -> u32 {
+        self.num_sets().trailing_zeros()
+    }
+
+    /// Splits a byte address into tag, set index, and line offset.
+    pub fn split(&self, addr: Address) -> AddressParts {
+        let a = addr.value();
+        let offset = a & u64::from(self.line_bytes - 1);
+        let set = (a >> self.offset_bits()) & (self.num_sets() - 1);
+        let tag = a >> (self.offset_bits() + self.index_bits());
+        AddressParts { tag, set, offset }
+    }
+
+    /// Reconstructs the base address of the line with the given tag in the
+    /// given set (the inverse of [`split`](Self::split) with zero offset).
+    pub fn line_base(&self, tag: u64, set: u64) -> Address {
+        Address::new((tag << (self.offset_bits() + self.index_bits())) | (set << self.offset_bits()))
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB, {} B lines, {}-way ({} sets)",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            self.associativity,
+            self.num_sets()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_geometry_derived_values() {
+        let g = CacheGeometry::new(32 * 1024, 64, 8).expect("valid");
+        assert_eq!(g.num_sets(), 64);
+        assert_eq!(g.num_lines(), 512);
+        assert_eq!(g.words_per_line(), 8);
+        assert_eq!(g.line_bits(), 512);
+        assert_eq!(g.offset_bits(), 6);
+        assert_eq!(g.index_bits(), 6);
+    }
+
+    #[test]
+    fn direct_mapped_and_fully_associative() {
+        let dm = CacheGeometry::new(1024, 64, 1).expect("direct mapped");
+        assert_eq!(dm.num_sets(), 16);
+        let fa = CacheGeometry::new(1024, 64, 16).expect("fully associative");
+        assert_eq!(fa.num_sets(), 1);
+        assert_eq!(fa.index_bits(), 0);
+    }
+
+    #[test]
+    fn split_and_reconstruct_round_trip() {
+        let g = CacheGeometry::new(8 * 1024, 32, 4).expect("valid");
+        for addr in [0u64, 0x37, 0x1000, 0xDEAD_BEEF, u64::MAX >> 8] {
+            let a = Address::new(addr);
+            let p = g.split(a);
+            assert!(p.offset < u64::from(g.line_bytes()));
+            assert!(p.set < g.num_sets());
+            let base = g.line_base(p.tag, p.set);
+            assert_eq!(base.value(), addr & !(u64::from(g.line_bytes()) - 1));
+            assert_eq!(base.value() + p.offset, addr);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            CacheGeometry::new(3000, 64, 4),
+            Err(GeometryError::NotPowerOfTwo { name: "size_bytes", .. })
+        ));
+        assert!(CacheGeometry::new(4096, 48, 4).is_err());
+        assert!(CacheGeometry::new(4096, 64, 3).is_err());
+        assert!(CacheGeometry::new(0, 64, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_lines() {
+        assert!(matches!(
+            CacheGeometry::new(1024, 4, 1),
+            Err(GeometryError::LineTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_shape() {
+        // 128 B capacity cannot hold one 64 B x 4-way set.
+        assert!(matches!(
+            CacheGeometry::new(128, 64, 4),
+            Err(GeometryError::InconsistentShape { .. })
+        ));
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let g = CacheGeometry::new(32 * 1024, 64, 8).expect("valid");
+        let s = g.to_string();
+        assert!(s.contains("32 KiB"));
+        assert!(s.contains("8-way"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CacheGeometry::new(128, 64, 4).unwrap_err();
+        assert!(e.to_string().contains("not divisible"));
+    }
+}

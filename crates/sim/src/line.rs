@@ -1,0 +1,209 @@
+//! Data-carrying cache lines.
+
+use serde::{Deserialize, Serialize};
+
+/// One cache line: tag, state bits, and the actual stored words.
+///
+/// The simulator stores real data because the CNT-Cache energy model prices
+/// individual bit values; a hit/miss-only model could not reproduce the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::CacheLine;
+///
+/// let mut line = CacheLine::new_invalid(8);
+/// line.fill(0x42, &[1, 2, 3, 4, 5, 6, 7, 8]);
+/// assert!(line.is_valid());
+/// assert_eq!(line.read_word(2), 3);
+/// let old = line.write_word(2, 0xFF);
+/// assert_eq!(old, 3);
+/// assert!(line.is_dirty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    data: Box<[u64]>,
+}
+
+impl CacheLine {
+    /// Creates an invalid line holding `words` zeroed 64-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn new_invalid(words: usize) -> Self {
+        assert!(words > 0, "a cache line must hold at least one word");
+        CacheLine {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            data: vec![0; words].into_boxed_slice(),
+        }
+    }
+
+    /// The stored tag. Only meaningful while [`is_valid`](Self::is_valid).
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// `true` if the line holds live data.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// `true` if the line has been written since it was filled.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Number of 64-bit words in the line.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The stored words.
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Installs new contents, making the line valid and clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different length than the line.
+    pub fn fill(&mut self, tag: u64, data: &[u64]) {
+        assert_eq!(data.len(), self.data.len(), "fill size mismatch");
+        self.tag = tag;
+        self.valid = true;
+        self.dirty = false;
+        self.data.copy_from_slice(data);
+    }
+
+    /// Invalidates the line, returning whether it was dirty.
+    pub fn invalidate(&mut self) -> bool {
+        let was_dirty = self.valid && self.dirty;
+        self.valid = false;
+        self.dirty = false;
+        was_dirty
+    }
+
+    /// Reads one stored word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of bounds or the line is invalid (debug only
+    /// for validity).
+    pub fn read_word(&self, word: usize) -> u64 {
+        debug_assert!(self.valid, "reading an invalid line");
+        self.data[word]
+    }
+
+    /// Writes one stored word, marking the line dirty; returns the old word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of bounds or the line is invalid (debug only
+    /// for validity).
+    pub fn write_word(&mut self, word: usize, value: u64) -> u64 {
+        debug_assert!(self.valid, "writing an invalid line");
+        let old = self.data[word];
+        self.data[word] = value;
+        self.dirty = true;
+        old
+    }
+
+    /// Overwrites the entire payload, marking the line dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different length than the line.
+    pub fn write_all(&mut self, data: &[u64]) {
+        assert_eq!(data.len(), self.data.len(), "write size mismatch");
+        debug_assert!(self.valid, "writing an invalid line");
+        self.data.copy_from_slice(data);
+        self.dirty = true;
+    }
+
+    /// Marks the line clean (after a write-back).
+    pub fn mark_clean(&mut self) {
+        self.dirty = false;
+    }
+
+    /// Number of `1` bits in the stored payload.
+    pub fn popcount(&self) -> u32 {
+        self.data.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_line_is_invalid_and_clean() {
+        let line = CacheLine::new_invalid(4);
+        assert!(!line.is_valid());
+        assert!(!line.is_dirty());
+        assert_eq!(line.words(), 4);
+        assert_eq!(line.popcount(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_word_line_panics() {
+        CacheLine::new_invalid(0);
+    }
+
+    #[test]
+    fn fill_makes_valid_and_clean() {
+        let mut line = CacheLine::new_invalid(2);
+        line.fill(7, &[0xFF, 0x1]);
+        assert!(line.is_valid());
+        assert!(!line.is_dirty());
+        assert_eq!(line.tag(), 7);
+        assert_eq!(line.as_words(), &[0xFF, 0x1]);
+        assert_eq!(line.popcount(), 9);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_returns_old() {
+        let mut line = CacheLine::new_invalid(2);
+        line.fill(0, &[10, 20]);
+        let old = line.write_word(1, 99);
+        assert_eq!(old, 20);
+        assert!(line.is_dirty());
+        assert_eq!(line.read_word(1), 99);
+        line.mark_clean();
+        assert!(!line.is_dirty());
+    }
+
+    #[test]
+    fn write_all_replaces_payload() {
+        let mut line = CacheLine::new_invalid(3);
+        line.fill(0, &[0, 0, 0]);
+        line.write_all(&[1, 2, 3]);
+        assert_eq!(line.as_words(), &[1, 2, 3]);
+        assert!(line.is_dirty());
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut line = CacheLine::new_invalid(1);
+        line.fill(0, &[1]);
+        assert!(!line.invalidate(), "clean line");
+        line.fill(0, &[1]);
+        line.write_word(0, 2);
+        assert!(line.invalidate(), "dirty line");
+        assert!(!line.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "fill size mismatch")]
+    fn fill_size_mismatch_panics() {
+        CacheLine::new_invalid(2).fill(0, &[1]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Sparse flat backing store.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Address;
+use crate::cache::Backing;
+
+/// How uninitialized memory reads back.
+///
+/// Since the energy model prices bit values, what "cold" memory contains is
+/// an experimental knob: all-zero memory flatters zero-preferring encodings,
+/// while random memory is the adversarial baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum FillPattern {
+    /// Uninitialized lines read as all-zero words.
+    #[default]
+    Zero,
+    /// Uninitialized lines read as deterministic pseudo-random words.
+    Random {
+        /// Seed for the per-line deterministic generator.
+        seed: u64,
+    },
+}
+
+
+/// A sparse, word-granular main memory.
+///
+/// Lines are materialized on first touch. Word and byte accessors are
+/// provided for the workload layer, which executes real kernels against
+/// this memory while recording the resulting trace.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::{Address, MainMemory};
+///
+/// let mut mem = MainMemory::new();
+/// mem.store(Address::new(0x100), 4, 0xABCD);
+/// assert_eq!(mem.load(Address::new(0x100), 4), 0xABCD);
+/// assert_eq!(mem.load(Address::new(0x104), 4), 0);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct MainMemory {
+    /// Storage keyed by 64-byte-aligned chunk base address.
+    chunks: HashMap<u64, Box<[u64; WORDS_PER_CHUNK]>>,
+    fill: FillPattern,
+}
+
+const CHUNK_BYTES: u64 = 64;
+const WORDS_PER_CHUNK: usize = (CHUNK_BYTES / 8) as usize;
+
+impl MainMemory {
+    /// Creates an empty memory whose cold reads are zero.
+    pub fn new() -> Self {
+        MainMemory::with_fill(FillPattern::Zero)
+    }
+
+    /// Creates an empty memory with the given cold-read pattern.
+    pub fn with_fill(fill: FillPattern) -> Self {
+        MainMemory {
+            chunks: HashMap::new(),
+            fill,
+        }
+    }
+
+    /// Number of materialized 64-byte chunks (the touched footprint).
+    pub fn touched_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn chunk_content(fill: FillPattern, base: u64) -> Box<[u64; WORDS_PER_CHUNK]> {
+        match fill {
+            FillPattern::Zero => Box::new([0; WORDS_PER_CHUNK]),
+            FillPattern::Random { seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed ^ base.wrapping_mul(0xA076_1D64_78BD_642F));
+                let mut words = [0u64; WORDS_PER_CHUNK];
+                for w in &mut words {
+                    *w = rng.gen();
+                }
+                Box::new(words)
+            }
+        }
+    }
+
+    fn chunk(&mut self, base: u64) -> &mut [u64; WORDS_PER_CHUNK] {
+        let fill = self.fill;
+        self.chunks
+            .entry(base)
+            .or_insert_with(|| Self::chunk_content(fill, base))
+    }
+
+    /// Reads one aligned 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn read_word(&mut self, addr: Address) -> u64 {
+        assert!(addr.is_aligned(8), "word read at unaligned {addr}");
+        let base = addr.align_down(CHUNK_BYTES).value();
+        let word = (addr.offset_in(CHUNK_BYTES) / 8) as usize;
+        self.chunk(base)[word]
+    }
+
+    /// Writes one aligned 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn write_word(&mut self, addr: Address, value: u64) {
+        assert!(addr.is_aligned(8), "word write at unaligned {addr}");
+        let base = addr.align_down(CHUNK_BYTES).value();
+        let word = (addr.offset_in(CHUNK_BYTES) / 8) as usize;
+        self.chunk(base)[word] = value;
+    }
+
+    /// Loads `width` bytes (1, 2, 4, or 8) from a naturally-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not one of 1/2/4/8 or `addr` is not aligned to
+    /// `width`.
+    pub fn load(&mut self, addr: Address, width: u8) -> u64 {
+        check_access(addr, width);
+        let word_addr = addr.align_down(8);
+        let word = self.read_word(word_addr);
+        extract(word, addr.offset_in(8), width)
+    }
+
+    /// Stores the low `width * 8` bits of `value` (width 1, 2, 4, or 8) to
+    /// a naturally-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not one of 1/2/4/8 or `addr` is not aligned to
+    /// `width`.
+    pub fn store(&mut self, addr: Address, width: u8, value: u64) {
+        check_access(addr, width);
+        let word_addr = addr.align_down(8);
+        let old = self.read_word(word_addr);
+        self.write_word(word_addr, splice(old, addr.offset_in(8), width, value));
+    }
+}
+
+impl Default for MainMemory {
+    fn default() -> Self {
+        MainMemory::new()
+    }
+}
+
+impl fmt::Debug for MainMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MainMemory")
+            .field("touched_chunks", &self.chunks.len())
+            .field("fill", &self.fill)
+            .finish()
+    }
+}
+
+impl Backing for MainMemory {
+    fn load_line(&mut self, base: Address, buf: &mut [u64]) {
+        debug_assert!(base.is_aligned(buf.len() as u64 * 8));
+        for (i, word) in buf.iter_mut().enumerate() {
+            *word = self.read_word(base + i as u64 * 8);
+        }
+    }
+
+    fn store_line(&mut self, base: Address, data: &[u64]) {
+        debug_assert!(base.is_aligned(data.len() as u64 * 8));
+        for (i, &word) in data.iter().enumerate() {
+            self.write_word(base + i as u64 * 8, word);
+        }
+    }
+
+    fn store_word(&mut self, addr: Address, value: u64) {
+        self.write_word(addr, value);
+    }
+}
+
+pub(crate) fn check_access(addr: Address, width: u8) {
+    assert!(
+        matches!(width, 1 | 2 | 4 | 8),
+        "access width must be 1, 2, 4 or 8 bytes, got {width}"
+    );
+    assert!(
+        addr.is_aligned(u64::from(width)),
+        "{width}-byte access at unaligned {addr}"
+    );
+}
+
+/// Extracts `width` bytes starting at byte offset `offset` from `word`.
+pub(crate) fn extract(word: u64, offset: u64, width: u8) -> u64 {
+    let shift = offset * 8;
+    let mask = width_mask(width);
+    (word >> shift) & mask
+}
+
+/// Replaces `width` bytes at byte offset `offset` in `word` with `value`.
+pub(crate) fn splice(word: u64, offset: u64, width: u8, value: u64) -> u64 {
+    let shift = offset * 8;
+    let mask = width_mask(width);
+    (word & !(mask << shift)) | ((value & mask) << shift)
+}
+
+fn width_mask(width: u8) -> u64 {
+    match width {
+        8 => u64::MAX,
+        w => (1u64 << (u64::from(w) * 8)) - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_reads_zero() {
+        let mut mem = MainMemory::new();
+        assert_eq!(mem.load(Address::new(0x5000), 8), 0);
+    }
+
+    #[test]
+    fn random_fill_is_deterministic() {
+        let mut a = MainMemory::with_fill(FillPattern::Random { seed: 3 });
+        let mut b = MainMemory::with_fill(FillPattern::Random { seed: 3 });
+        let mut c = MainMemory::with_fill(FillPattern::Random { seed: 4 });
+        let addr = Address::new(0x42 * 64);
+        assert_eq!(a.read_word(addr), b.read_word(addr));
+        assert_ne!(a.read_word(addr), c.read_word(addr));
+    }
+
+    #[test]
+    fn store_then_load_round_trips_all_widths() {
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x100), 1, 0xAB);
+        mem.store(Address::new(0x102), 2, 0xCDEF);
+        mem.store(Address::new(0x104), 4, 0x1234_5678);
+        mem.store(Address::new(0x108), 8, 0x9ABC_DEF0_1122_3344);
+        assert_eq!(mem.load(Address::new(0x100), 1), 0xAB);
+        assert_eq!(mem.load(Address::new(0x102), 2), 0xCDEF);
+        assert_eq!(mem.load(Address::new(0x104), 4), 0x1234_5678);
+        assert_eq!(mem.load(Address::new(0x108), 8), 0x9ABC_DEF0_1122_3344);
+    }
+
+    #[test]
+    fn narrow_store_preserves_neighbors() {
+        let mut mem = MainMemory::new();
+        mem.store(Address::new(0x200), 8, u64::MAX);
+        mem.store(Address::new(0x202), 2, 0);
+        assert_eq!(mem.load(Address::new(0x200), 8), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        MainMemory::new().load(Address::new(0x101), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn bad_width_panics() {
+        MainMemory::new().load(Address::new(0x100), 3);
+    }
+
+    #[test]
+    fn line_backing_round_trip() {
+        let mut mem = MainMemory::new();
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        mem.store_line(Address::new(0x400), &data);
+        let mut buf = [0u64; 8];
+        mem.load_line(Address::new(0x400), &mut buf);
+        assert_eq!(buf, data);
+        // And word-granular view agrees.
+        assert_eq!(mem.read_word(Address::new(0x418)), 4);
+    }
+
+    #[test]
+    fn footprint_tracks_touched_chunks() {
+        let mut mem = MainMemory::new();
+        assert_eq!(mem.touched_chunks(), 0);
+        mem.store(Address::new(0), 8, 1);
+        mem.store(Address::new(8), 8, 1); // same chunk
+        mem.store(Address::new(64), 8, 1); // new chunk
+        assert_eq!(mem.touched_chunks(), 2);
+    }
+
+    #[test]
+    fn splice_and_extract_are_inverse() {
+        let word = 0x1122_3344_5566_7788u64;
+        for (offset, width) in [(0u64, 1u8), (2, 2), (4, 4), (0, 8), (7, 1)] {
+            let v = extract(word, offset, width);
+            assert_eq!(splice(word, offset, width, v), word);
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Pluggable per-set replacement policies.
+//!
+//! A policy tracks access recency/age for the ways of **one** set and picks
+//! a victim when the set is full. The cache informs the policy of hits and
+//! fills; invalid ways are always filled before a victim is chosen, so
+//! [`SetReplacement::victim`] may assume a full set.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which replacement policy a cache should use.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::ReplacementKind;
+///
+/// let mut lru = ReplacementKind::Lru.build(4);
+/// lru.on_fill(0);
+/// lru.on_fill(1);
+/// lru.on_fill(2);
+/// lru.on_fill(3);
+/// lru.on_hit(0); // way 0 becomes most recent
+/// assert_eq!(lru.victim(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ReplacementKind {
+    /// Least-recently-used (true LRU stack).
+    #[default]
+    Lru,
+    /// First-in first-out by fill order.
+    Fifo,
+    /// Uniform random victim selection with a deterministic seed.
+    Random {
+        /// RNG seed; per-set streams are derived from it.
+        seed: u64,
+    },
+    /// Tree pseudo-LRU (requires power-of-two associativity).
+    TreePlru,
+    /// Static re-reference interval prediction with 2-bit RRPV.
+    Srrip,
+}
+
+impl ReplacementKind {
+    /// Builds the per-set policy state for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero, or if [`ReplacementKind::TreePlru`] is
+    /// requested with a non-power-of-two way count.
+    pub fn build(&self, ways: usize) -> Box<dyn SetReplacement> {
+        assert!(ways > 0, "a set must have at least one way");
+        match self {
+            ReplacementKind::Lru => Box::new(Lru::new(ways)),
+            ReplacementKind::Fifo => Box::new(Fifo::new(ways)),
+            ReplacementKind::Random { seed } => Box::new(RandomPolicy::new(ways, *seed)),
+            ReplacementKind::TreePlru => Box::new(TreePlru::new(ways)),
+            ReplacementKind::Srrip => Box::new(Srrip::new(ways)),
+        }
+    }
+}
+
+
+impl fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplacementKind::Lru => f.write_str("LRU"),
+            ReplacementKind::Fifo => f.write_str("FIFO"),
+            ReplacementKind::Random { .. } => f.write_str("random"),
+            ReplacementKind::TreePlru => f.write_str("tree-PLRU"),
+            ReplacementKind::Srrip => f.write_str("SRRIP"),
+        }
+    }
+}
+
+/// Per-set replacement state.
+///
+/// Implementations may assume `way < ways` for every argument and that
+/// [`victim`](Self::victim) is only called on a full set.
+pub trait SetReplacement: fmt::Debug + Send {
+    /// Called when `way` hits.
+    fn on_hit(&mut self, way: usize);
+    /// Called when a line is (re-)filled into `way`.
+    fn on_fill(&mut self, way: usize);
+    /// Picks the way to evict from a full set.
+    fn victim(&mut self) -> usize;
+}
+
+/// True-LRU recency stack: front = least recent, back = most recent.
+#[derive(Debug)]
+struct Lru {
+    order: Vec<usize>,
+}
+
+impl Lru {
+    fn new(ways: usize) -> Self {
+        Lru {
+            order: (0..ways).collect(),
+        }
+    }
+
+    fn touch(&mut self, way: usize) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&w| w == way)
+            .expect("way must be tracked");
+        let way = self.order.remove(pos);
+        self.order.push(way);
+    }
+}
+
+impl SetReplacement for Lru {
+    fn on_hit(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn victim(&mut self) -> usize {
+        self.order[0]
+    }
+}
+
+/// FIFO: evict in fill order, hits do not refresh.
+#[derive(Debug)]
+struct Fifo {
+    queue: VecDeque<usize>,
+}
+
+impl Fifo {
+    fn new(ways: usize) -> Self {
+        Fifo {
+            queue: (0..ways).collect(),
+        }
+    }
+}
+
+impl SetReplacement for Fifo {
+    fn on_hit(&mut self, _way: usize) {}
+
+    fn on_fill(&mut self, way: usize) {
+        if let Some(pos) = self.queue.iter().position(|&w| w == way) {
+            self.queue.remove(pos);
+        }
+        self.queue.push_back(way);
+    }
+
+    fn victim(&mut self) -> usize {
+        *self.queue.front().expect("fifo never empty")
+    }
+}
+
+/// Deterministic random victim selection.
+#[derive(Debug)]
+struct RandomPolicy {
+    ways: usize,
+    rng: SmallRng,
+}
+
+impl RandomPolicy {
+    fn new(ways: usize, seed: u64) -> Self {
+        RandomPolicy {
+            ways,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SetReplacement for RandomPolicy {
+    fn on_hit(&mut self, _way: usize) {}
+    fn on_fill(&mut self, _way: usize) {}
+
+    fn victim(&mut self) -> usize {
+        self.rng.gen_range(0..self.ways)
+    }
+}
+
+/// Tree pseudo-LRU over a power-of-two number of ways.
+///
+/// The tree is stored as `ways - 1` direction bits in heap order; a bit of
+/// `false` points left, `true` points right. Touching a way flips the bits
+/// on its root path to point *away* from it; the victim walk follows the
+/// bits.
+#[derive(Debug)]
+struct TreePlru {
+    ways: usize,
+    bits: Vec<bool>,
+}
+
+impl TreePlru {
+    fn new(ways: usize) -> Self {
+        assert!(
+            ways.is_power_of_two(),
+            "tree-PLRU requires power-of-two associativity, got {ways}"
+        );
+        TreePlru {
+            ways,
+            bits: vec![false; ways.saturating_sub(1)],
+        }
+    }
+
+    fn touch(&mut self, way: usize) {
+        if self.ways == 1 {
+            return;
+        }
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if way < mid {
+                // way is in the left half: point the bit right (away).
+                self.bits[node] = true;
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                self.bits[node] = false;
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+}
+
+impl SetReplacement for TreePlru {
+    fn on_hit(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn victim(&mut self) -> usize {
+        if self.ways == 1 {
+            return 0;
+        }
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.bits[node] {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// SRRIP with 2-bit re-reference prediction values.
+#[derive(Debug)]
+struct Srrip {
+    rrpv: Vec<u8>,
+}
+
+const RRPV_MAX: u8 = 3; // 2-bit counters
+const RRPV_LONG: u8 = RRPV_MAX - 1;
+
+impl Srrip {
+    fn new(ways: usize) -> Self {
+        Srrip {
+            rrpv: vec![RRPV_MAX; ways],
+        }
+    }
+}
+
+impl SetReplacement for Srrip {
+    fn on_hit(&mut self, way: usize) {
+        self.rrpv[way] = 0;
+    }
+
+    fn on_fill(&mut self, way: usize) {
+        self.rrpv[way] = RRPV_LONG;
+    }
+
+    fn victim(&mut self) -> usize {
+        loop {
+            if let Some(way) = self.rrpv.iter().position(|&v| v == RRPV_MAX) {
+                return way;
+            }
+            for v in &mut self.rrpv {
+                *v += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(kind: ReplacementKind, ways: usize) -> Box<dyn SetReplacement> {
+        let mut p = kind.build(ways);
+        for w in 0..ways {
+            p.on_fill(w);
+        }
+        p
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = filled(ReplacementKind::Lru, 4);
+        assert_eq!(p.victim(), 0);
+        p.on_hit(0);
+        assert_eq!(p.victim(), 1);
+        p.on_hit(1);
+        p.on_hit(2);
+        p.on_hit(3);
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn lru_refill_refreshes() {
+        let mut p = filled(ReplacementKind::Lru, 2);
+        p.on_fill(0);
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut p = filled(ReplacementKind::Fifo, 4);
+        p.on_hit(0);
+        p.on_hit(0);
+        assert_eq!(p.victim(), 0, "hits must not refresh FIFO order");
+        p.on_fill(0); // re-filling moves way 0 to the back
+        assert_eq!(p.victim(), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let mut a = filled(ReplacementKind::Random { seed: 42 }, 8);
+        let mut b = filled(ReplacementKind::Random { seed: 42 }, 8);
+        for _ in 0..100 {
+            let (va, vb) = (a.victim(), b.victim());
+            assert_eq!(va, vb);
+            assert!(va < 8);
+        }
+    }
+
+    #[test]
+    fn tree_plru_victim_avoids_recent() {
+        let mut p = filled(ReplacementKind::TreePlru, 4);
+        let v1 = p.victim();
+        p.on_hit(v1);
+        let v2 = p.victim();
+        assert_ne!(v1, v2, "just-touched way must not be the next victim");
+    }
+
+    #[test]
+    fn tree_plru_cycles_through_all_ways() {
+        // Repeatedly evicting and refilling must touch every way.
+        let mut p = filled(ReplacementKind::TreePlru, 8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let v = p.victim();
+            seen.insert(v);
+            p.on_fill(v);
+        }
+        assert_eq!(seen.len(), 8, "PLRU must rotate over all ways: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn tree_plru_rejects_odd_ways() {
+        ReplacementKind::TreePlru.build(3);
+    }
+
+    #[test]
+    fn srrip_prefers_distant_rrpv() {
+        let mut p = ReplacementKind::Srrip.build(4);
+        p.on_fill(0);
+        p.on_fill(1);
+        p.on_fill(2);
+        p.on_fill(3);
+        p.on_hit(2); // rrpv[2] = 0
+        let v = p.victim();
+        assert_ne!(v, 2, "hit way has the nearest re-reference prediction");
+    }
+
+    #[test]
+    fn srrip_ages_until_victim_found() {
+        let mut p = ReplacementKind::Srrip.build(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        p.on_hit(0);
+        p.on_hit(1);
+        // Both at rrpv 0; aging must still terminate and pick way 0 first.
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn single_way_sets_work_for_all_kinds() {
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Fifo,
+            ReplacementKind::Random { seed: 1 },
+            ReplacementKind::TreePlru,
+            ReplacementKind::Srrip,
+        ] {
+            let mut p = filled(kind, 1);
+            assert_eq!(p.victim(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        ReplacementKind::Lru.build(0);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ReplacementKind::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementKind::TreePlru.to_string(), "tree-PLRU");
+        assert_eq!(ReplacementKind::default(), ReplacementKind::Lru);
+    }
+}

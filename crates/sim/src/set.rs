@@ -1,0 +1,143 @@
+//! One associative set: lines plus replacement state.
+
+use std::fmt;
+
+use crate::line::CacheLine;
+use crate::replacement::{ReplacementKind, SetReplacement};
+
+/// A set of `ways` cache lines sharing one replacement-policy instance.
+pub struct CacheSet {
+    lines: Vec<CacheLine>,
+    policy: Box<dyn SetReplacement>,
+}
+
+impl CacheSet {
+    /// Creates a set with `ways` invalid lines of `words` words each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` or `words` is zero, or if the policy rejects the
+    /// way count (see [`ReplacementKind::build`]).
+    pub fn new(ways: usize, words: usize, kind: ReplacementKind, set_index: u64) -> Self {
+        assert!(ways > 0, "a set needs at least one way");
+        // Derive a distinct RNG stream per set for the random policy so
+        // every set does not evict the same way sequence.
+        let kind = match kind {
+            ReplacementKind::Random { seed } => ReplacementKind::Random {
+                seed: seed ^ set_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            },
+            other => other,
+        };
+        CacheSet {
+            lines: (0..ways).map(|_| CacheLine::new_invalid(words)).collect(),
+            policy: kind.build(ways),
+        }
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Finds the way holding `tag`, if present and valid.
+    pub fn find(&self, tag: u64) -> Option<usize> {
+        self.lines
+            .iter()
+            .position(|l| l.is_valid() && l.tag() == tag)
+    }
+
+    /// Returns the way to fill next: an invalid way if one exists,
+    /// otherwise the policy's victim.
+    pub fn fill_target(&mut self) -> usize {
+        if let Some(way) = self.lines.iter().position(|l| !l.is_valid()) {
+            way
+        } else {
+            let way = self.policy.victim();
+            debug_assert!(way < self.lines.len(), "policy victim out of range");
+            way
+        }
+    }
+
+    /// Immutable access to one way's line.
+    pub fn line(&self, way: usize) -> &CacheLine {
+        &self.lines[way]
+    }
+
+    /// Mutable access to one way's line.
+    pub fn line_mut(&mut self, way: usize) -> &mut CacheLine {
+        &mut self.lines[way]
+    }
+
+    /// Notifies the replacement policy of a hit on `way`.
+    pub fn touch_hit(&mut self, way: usize) {
+        self.policy.on_hit(way);
+    }
+
+    /// Notifies the replacement policy of a fill into `way`.
+    pub fn touch_fill(&mut self, way: usize) {
+        self.policy.on_fill(way);
+    }
+
+    /// Iterates over `(way, line)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CacheLine)> {
+        self.lines.iter().enumerate()
+    }
+}
+
+impl fmt::Debug for CacheSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheSet")
+            .field("ways", &self.lines.len())
+            .field("valid", &self.lines.iter().filter(|l| l.is_valid()).count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> CacheSet {
+        CacheSet::new(2, 4, ReplacementKind::Lru, 0)
+    }
+
+    #[test]
+    fn find_only_matches_valid_lines() {
+        let mut s = set();
+        assert_eq!(s.find(0), None, "invalid lines must not match tag 0");
+        s.line_mut(0).fill(7, &[1, 2, 3, 4]);
+        assert_eq!(s.find(7), Some(0));
+        assert_eq!(s.find(8), None);
+    }
+
+    #[test]
+    fn fill_target_prefers_invalid_ways() {
+        let mut s = set();
+        s.line_mut(0).fill(1, &[0; 4]);
+        assert_eq!(s.fill_target(), 1, "way 1 is still invalid");
+        s.line_mut(1).fill(2, &[0; 4]);
+        s.touch_fill(0);
+        s.touch_fill(1);
+        s.touch_hit(0);
+        assert_eq!(s.fill_target(), 1, "LRU victim once full");
+    }
+
+    #[test]
+    fn per_set_random_streams_differ() {
+        let mut a = CacheSet::new(4, 1, ReplacementKind::Random { seed: 9 }, 0);
+        let mut b = CacheSet::new(4, 1, ReplacementKind::Random { seed: 9 }, 1);
+        for way in 0..4 {
+            a.line_mut(way).fill(way as u64, &[0]);
+            b.line_mut(way).fill(way as u64, &[0]);
+        }
+        let seq_a: Vec<usize> = (0..32).map(|_| a.fill_target()).collect();
+        let seq_b: Vec<usize> = (0..32).map(|_| b.fill_target()).collect();
+        assert_ne!(seq_a, seq_b, "sets should have independent streams");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = set();
+        assert!(format!("{s:?}").contains("CacheSet"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Cache access statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss/traffic counters for one cache.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::CacheStats;
+///
+/// let mut s = CacheStats::default();
+/// s.record_read(true);
+/// s.record_read(false);
+/// s.record_write(true);
+/// assert_eq!(s.accesses(), 3);
+/// assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand reads that hit.
+    pub read_hits: u64,
+    /// Demand reads that missed.
+    pub read_misses: u64,
+    /// Demand writes that hit.
+    pub write_hits: u64,
+    /// Demand writes that missed.
+    pub write_misses: u64,
+    /// Lines fetched from the backing.
+    pub fills: u64,
+    /// Valid lines displaced (dirty or clean).
+    pub evictions: u64,
+    /// Dirty lines written back to the backing.
+    pub writebacks: u64,
+    /// Words written through to the backing (write-through modes only).
+    pub writethroughs: u64,
+    /// Lines fetched by the hardware prefetcher (also counted in `fills`).
+    pub prefetch_fills: u64,
+}
+
+impl CacheStats {
+    /// Records a demand read.
+    pub fn record_read(&mut self, hit: bool) {
+        if hit {
+            self.read_hits += 1;
+        } else {
+            self.read_misses += 1;
+        }
+    }
+
+    /// Records a demand write.
+    pub fn record_write(&mut self, hit: bool) {
+        if hit {
+            self.write_hits += 1;
+        } else {
+            self.write_misses += 1;
+        }
+    }
+
+    /// Total demand reads.
+    pub fn reads(&self) -> u64 {
+        self.read_hits + self.read_misses
+    }
+
+    /// Total demand writes.
+    pub fn writes(&self) -> u64 {
+        self.write_hits + self.write_misses
+    }
+
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Hit fraction over all demand accesses (`NaN` if there were none).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits() as f64 / self.accesses() as f64
+    }
+
+    /// Miss fraction over all demand accesses (`NaN` if there were none).
+    pub fn miss_rate(&self) -> f64 {
+        self.misses() as f64 / self.accesses() as f64
+    }
+
+    /// Fraction of demand accesses that are writes (`NaN` if none).
+    pub fn write_fraction(&self) -> f64 {
+        self.writes() as f64 / self.accesses() as f64
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+    fn add(mut self, rhs: CacheStats) -> CacheStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.read_hits += rhs.read_hits;
+        self.read_misses += rhs.read_misses;
+        self.write_hits += rhs.write_hits;
+        self.write_misses += rhs.write_misses;
+        self.fills += rhs.fills;
+        self.evictions += rhs.evictions;
+        self.writebacks += rhs.writebacks;
+        self.writethroughs += rhs.writethroughs;
+        self.prefetch_fills += rhs.prefetch_fills;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} rd / {} wr), {:.2}% hits, {} fills, {} evictions, {} writebacks",
+            self.accesses(),
+            self.reads(),
+            self.writes(),
+            self.hit_rate() * 100.0,
+            self.fills,
+            self.evictions,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = CacheStats::default();
+        for _ in 0..3 {
+            s.record_read(true);
+        }
+        s.record_read(false);
+        s.record_write(false);
+        assert_eq!(s.reads(), 4);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.misses(), 2);
+        assert!((s.miss_rate() - 0.4).abs() < 1e-12);
+        assert!((s.write_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let mut a = CacheStats::default();
+        a.record_read(true);
+        a.fills = 2;
+        let mut b = CacheStats::default();
+        b.record_write(false);
+        b.writebacks = 1;
+        let c = a.clone() + b;
+        assert_eq!(c.read_hits, 1);
+        assert_eq!(c.write_misses, 1);
+        assert_eq!(c.fills, 2);
+        assert_eq!(c.writebacks, 1);
+    }
+
+    #[test]
+    fn empty_rates_are_nan() {
+        let s = CacheStats::default();
+        assert!(s.hit_rate().is_nan());
+        assert!(s.miss_rate().is_nan());
+    }
+
+    #[test]
+    fn display_has_counts() {
+        let mut s = CacheStats::default();
+        s.record_read(true);
+        let text = s.to_string();
+        assert!(text.contains("1 accesses"));
+        assert!(text.contains("100.00% hits"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Memory-access traces: the interchange format between the workload crate
+//! and the cache layers.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Address;
+
+/// Errors produced when parsing the text trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseTraceError {
+    /// A line did not have the expected field count.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of whitespace-separated fields found.
+        fields: usize,
+    },
+    /// The access kind letter was not `R`, `W`, or `I`.
+    BadKind {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Which field (`"addr"`, `"width"`, `"value"`).
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::BadFieldCount { line, fields } => {
+                write!(f, "line {line}: expected `KIND ADDR WIDTH [VALUE]`, got {fields} fields")
+            }
+            ParseTraceError::BadKind { line, token } => {
+                write!(f, "line {line}: access kind must be R, W or I, got `{token}`")
+            }
+            ParseTraceError::BadNumber { line, field, token } => {
+                write!(f, "line {line}: cannot parse {field} from `{token}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// The kind of one demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch (routed to the I-cache by a hierarchy).
+    InstrFetch,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("R"),
+            AccessKind::Write => f.write_str("W"),
+            AccessKind::InstrFetch => f.write_str("I"),
+        }
+    }
+}
+
+/// One demand access with its data payload.
+///
+/// Writes carry the stored value because the CNT-Cache energy model prices
+/// the actual bits; reads carry no value (the simulator supplies it from
+/// its own state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// The access kind.
+    pub kind: AccessKind,
+    /// Target byte address (naturally aligned to `width`).
+    pub addr: Address,
+    /// Access width in bytes (1, 2, 4 or 8).
+    pub width: u8,
+    /// For writes, the stored value (low `width * 8` bits significant).
+    pub value: u64,
+}
+
+impl MemoryAccess {
+    /// A data load.
+    pub fn read(addr: Address, width: u8) -> Self {
+        MemoryAccess {
+            kind: AccessKind::Read,
+            addr,
+            width,
+            value: 0,
+        }
+    }
+
+    /// A data store of `value`.
+    pub fn write(addr: Address, width: u8, value: u64) -> Self {
+        MemoryAccess {
+            kind: AccessKind::Write,
+            addr,
+            width,
+            value,
+        }
+    }
+
+    /// An instruction fetch (modeled as an 8-byte read).
+    pub fn ifetch(addr: Address) -> Self {
+        MemoryAccess {
+            kind: AccessKind::InstrFetch,
+            addr,
+            width: 8,
+            value: 0,
+        }
+    }
+
+    /// `true` if this access writes.
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+}
+
+impl fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            AccessKind::Write => write!(f, "W{} {} = {:#x}", self.width, self.addr, self.value),
+            k => write!(f, "{k}{} {}", self.width, self.addr),
+        }
+    }
+}
+
+/// An ordered sequence of accesses plus summary helpers.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::trace::{MemoryAccess, Trace};
+/// use cnt_sim::Address;
+///
+/// let mut trace = Trace::new();
+/// trace.push(MemoryAccess::write(Address::new(0x10), 8, 7));
+/// trace.push(MemoryAccess::read(Address::new(0x10), 8));
+/// assert_eq!(trace.len(), 2);
+/// assert!((trace.write_fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    accesses: Vec<MemoryAccess>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one access.
+    pub fn push(&mut self, access: MemoryAccess) {
+        self.accesses.push(access);
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` if the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Iterates over the accesses in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemoryAccess> {
+        self.accesses.iter()
+    }
+
+    /// The accesses as a slice.
+    pub fn as_slice(&self) -> &[MemoryAccess] {
+        &self.accesses
+    }
+
+    /// Fraction of accesses that are writes (`NaN` if empty).
+    pub fn write_fraction(&self) -> f64 {
+        let writes = self.accesses.iter().filter(|a| a.is_write()).count();
+        writes as f64 / self.accesses.len() as f64
+    }
+
+    /// Number of distinct 64-byte-aligned blocks touched.
+    pub fn footprint_blocks(&self) -> usize {
+        let blocks: BTreeSet<u64> = self
+            .accesses
+            .iter()
+            .map(|a| a.addr.align_down(64).value())
+            .collect();
+        blocks.len()
+    }
+
+    /// Serializes to the line-oriented text format:
+    /// `KIND ADDR WIDTH [VALUE]` per access, hex addresses/values,
+    /// `#`-prefixed comment lines. The Dinero-style interchange format
+    /// for feeding external traces into the simulator.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnt_sim::trace::{MemoryAccess, Trace};
+    /// use cnt_sim::Address;
+    ///
+    /// let mut trace = Trace::new();
+    /// trace.push(MemoryAccess::write(Address::new(0x40), 8, 0xFF));
+    /// trace.push(MemoryAccess::read(Address::new(0x40), 4));
+    /// let text = trace.to_text();
+    /// let back: Trace = text.parse()?;
+    /// assert_eq!(back, trace);
+    /// # Ok::<(), cnt_sim::trace::ParseTraceError>(())
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.accesses.len() * 24);
+        out.push_str("# KIND ADDR WIDTH [VALUE]\n");
+        for a in &self.accesses {
+            match a.kind {
+                AccessKind::Write => {
+                    out.push_str(&format!("W {:#x} {} {:#x}\n", a.addr, a.width, a.value));
+                }
+                AccessKind::Read => {
+                    out.push_str(&format!("R {:#x} {}\n", a.addr, a.width));
+                }
+                AccessKind::InstrFetch => {
+                    out.push_str(&format!("I {:#x} {}\n", a.addr, a.width));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_u64(token: &str, line: usize, field: &'static str) -> Result<u64, ParseTraceError> {
+    let digits = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X"));
+    let result = match digits {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => token.parse(),
+    };
+    result.map_err(|_| ParseTraceError::BadNumber {
+        line,
+        field,
+        token: token.to_string(),
+    })
+}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    /// Parses the text format produced by [`Trace::to_text`]: one access
+    /// per line, blank lines and `#` comments ignored.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut trace = Trace::new();
+        for (index, raw) in s.lines().enumerate() {
+            let line = index + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = content.split_whitespace().collect();
+            if !(2..=4).contains(&fields.len()) {
+                return Err(ParseTraceError::BadFieldCount {
+                    line,
+                    fields: fields.len(),
+                });
+            }
+            let addr = Address::new(parse_u64(fields[1], line, "addr")?);
+            let width = if fields.len() >= 3 {
+                parse_u64(fields[2], line, "width")? as u8
+            } else {
+                8
+            };
+            match fields[0] {
+                "R" | "r" => trace.push(MemoryAccess::read(addr, width)),
+                "I" | "i" => trace.push(MemoryAccess {
+                    kind: AccessKind::InstrFetch,
+                    addr,
+                    width,
+                    value: 0,
+                }),
+                "W" | "w" => {
+                    let value = if fields.len() == 4 {
+                        parse_u64(fields[3], line, "value")?
+                    } else {
+                        0
+                    };
+                    trace.push(MemoryAccess::write(addr, width, value));
+                }
+                other => {
+                    return Err(ParseTraceError::BadKind {
+                        line,
+                        token: other.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<MemoryAccess> for Trace {
+    fn from_iter<I: IntoIterator<Item = MemoryAccess>>(iter: I) -> Self {
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<MemoryAccess> for Trace {
+    fn extend<I: IntoIterator<Item = MemoryAccess>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = MemoryAccess;
+    type IntoIter = std::vec::IntoIter<MemoryAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MemoryAccess;
+    type IntoIter = std::slice::Iter<'a, MemoryAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemoryAccess::read(Address::new(8), 4);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(!r.is_write());
+        let w = MemoryAccess::write(Address::new(8), 4, 9);
+        assert!(w.is_write());
+        assert_eq!(w.value, 9);
+        let i = MemoryAccess::ifetch(Address::new(0x40));
+        assert_eq!(i.kind, AccessKind::InstrFetch);
+        assert_eq!(i.width, 8);
+    }
+
+    #[test]
+    fn trace_metrics() {
+        let trace: Trace = [
+            MemoryAccess::read(Address::new(0), 8),
+            MemoryAccess::write(Address::new(64), 8, 1),
+            MemoryAccess::read(Address::new(65 * 64), 8),
+            MemoryAccess::read(Address::new(64 + 8), 8),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(trace.len(), 4);
+        assert!((trace.write_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(trace.footprint_blocks(), 3);
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.extend([MemoryAccess::read(Address::new(0), 8)]);
+        assert_eq!(trace.iter().count(), 1);
+        assert_eq!((&trace).into_iter().count(), 1);
+        assert_eq!(trace.clone().into_iter().count(), 1);
+        assert_eq!(trace.as_slice().len(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = MemoryAccess::write(Address::new(0x10), 8, 0xFF);
+        assert_eq!(w.to_string(), "W8 0x10 = 0xff");
+        let r = MemoryAccess::read(Address::new(0x20), 4);
+        assert_eq!(r.to_string(), "R4 0x20");
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let trace: Trace = [
+            MemoryAccess::write(Address::new(0x40), 8, 0xDEAD_BEEF),
+            MemoryAccess::read(Address::new(0x48), 4),
+            MemoryAccess::ifetch(Address::new(0x1000)),
+            MemoryAccess::write(Address::new(0x50), 1, 0xFF),
+        ]
+        .into_iter()
+        .collect();
+        let text = trace.to_text();
+        let back: Trace = text.parse().expect("round trip");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn text_parser_accepts_comments_and_flexible_forms() {
+        let text = "# header\n\nR 0x100 8 # trailing comment\nw 256 4 42\nI 0x40\n";
+        let trace: Trace = text.parse().expect("valid");
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.as_slice()[0].addr, Address::new(0x100));
+        assert_eq!(trace.as_slice()[1].value, 42);
+        assert_eq!(trace.as_slice()[1].addr, Address::new(256));
+        assert_eq!(trace.as_slice()[2].width, 8, "width defaults to 8");
+    }
+
+    #[test]
+    fn text_parser_reports_errors_with_line_numbers() {
+        let err = "R 0x10 8\nX 0x20 8\n".parse::<Trace>().unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadKind { line: 2, .. }), "{err}");
+        let err = "R zzz 8\n".parse::<Trace>().unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadNumber { line: 1, field: "addr", .. }));
+        let err = "R\n".parse::<Trace>().unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadFieldCount { line: 1, fields: 1 }));
+        let err = "W 0x10 8 1 extra\n".parse::<Trace>().unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadFieldCount { .. }));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace: Trace = [
+            MemoryAccess::write(Address::new(0x8), 8, 42),
+            MemoryAccess::ifetch(Address::new(0x100)),
+        ]
+        .into_iter()
+        .collect();
+        let json = serde_json::to_string(&trace).expect("serialize");
+        let back: Trace = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(trace, back);
+    }
+}

@@ -1,0 +1,117 @@
+//! Blocked 8x8 fixed-point DCT (JPEG-style compression front end).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// Fixed-point cosine table, Q8 (value = round(cos(pi/16 * (2x+1) * u) * 256)).
+const COS_Q8: [[i32; 8]; 8] = [
+    [256, 256, 256, 256, 256, 256, 256, 256],
+    [251, 213, 142, 50, -50, -142, -213, -251],
+    [237, 98, -98, -237, -237, -98, 98, 237],
+    [213, -50, -251, -142, 142, 251, 50, -213],
+    [181, -181, -181, 181, 181, -181, -181, 181],
+    [142, -251, 50, 213, -213, -50, 251, -142],
+    [98, -237, 237, -98, -98, 237, -237, 98],
+    [50, -142, 213, -251, 251, -213, 142, -50],
+];
+
+/// Row-wise 1-D DCT over every 8x8 block of a `blocks_x × blocks_y`-block
+/// 8-bit image, storing Q8 coefficients.
+///
+/// The signal-processing workload shape: tiny hot coefficient table,
+/// streaming pixel reads, moderate-magnitude signed outputs.
+///
+/// # Panics
+///
+/// Panics if the block grid is empty or a sampled coefficient disagrees
+/// with an untraced reference (self-check).
+pub fn dct8x8(blocks_x: usize, blocks_y: usize, seed: u64) -> Workload {
+    assert!(blocks_x > 0 && blocks_y > 0, "dct needs at least one block");
+    let width = blocks_x * 8;
+    let height = blocks_y * 8;
+    let mut mem = TracedMemory::new();
+    let pixels = mem.alloc((width * height) as u64);
+    let table = mem.alloc((8 * 8 * 4) as u64);
+    let coeffs = mem.alloc((width * height * 4) as u64);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ref_pixels = vec![0u8; width * height];
+    for (i, p) in ref_pixels.iter_mut().enumerate() {
+        *p = rng.gen();
+        mem.store_u8(pixels + i as u64, *p);
+    }
+    for (u, row) in COS_Q8.iter().enumerate() {
+        for (x, &c) in row.iter().enumerate() {
+            mem.store_u32(table + ((u * 8 + x) * 4) as u64, c as u32);
+        }
+    }
+
+    for by in 0..blocks_y {
+        for bx in 0..blocks_x {
+            for row in 0..8 {
+                let y = by * 8 + row;
+                for u in 0..8 {
+                    let mut acc = 0i32;
+                    for x in 0..8 {
+                        let p = mem.load_u8(pixels + (y * width + bx * 8 + x) as u64) as i32;
+                        let c = mem.load_u32(table + ((u * 8 + x) * 4) as u64) as i32;
+                        acc = acc.wrapping_add((p - 128).wrapping_mul(c));
+                    }
+                    let index = (y * width + bx * 8 + u) * 4;
+                    mem.store_u32(coeffs + index as u64, (acc >> 8) as u32);
+                }
+            }
+        }
+    }
+
+    // Self-check a sample of coefficients against an untraced reference.
+    let mut check = |bx: usize, y: usize, u: usize| {
+        let mut acc = 0i32;
+        for x in 0..8 {
+            let p = ref_pixels[y * width + bx * 8 + x] as i32;
+            acc = acc.wrapping_add((p - 128).wrapping_mul(COS_Q8[u][x]));
+        }
+        let expect = (acc >> 8) as u32;
+        let addr = coeffs + ((y * width + bx * 8 + u) * 4) as u64;
+        let word = mem.peek_u64(addr.align_down(8));
+        let got = if addr.is_aligned(8) {
+            word as u32
+        } else {
+            (word >> 32) as u32
+        };
+        assert_eq!(got, expect, "dct self-check failed at block x={bx}, y={y}, u={u}");
+    };
+    check(0, 0, 0);
+    check(blocks_x - 1, height - 1, 7);
+    check(blocks_x / 2, height / 2, 3);
+
+    Workload::new(
+        "dct8x8",
+        format!("row-wise 8x8 fixed-point DCT over a {width}x{height} image"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_is_read_heavy_with_hot_table() {
+        let w = dct8x8(4, 4, 7);
+        let wf = w.trace.write_fraction();
+        assert!(wf < 0.3, "write fraction {wf}");
+    }
+
+    #[test]
+    fn trace_length_matches_shape() {
+        let (bx, by) = (2usize, 2usize);
+        let w = dct8x8(bx, by, 8);
+        let pixels = bx * by * 64;
+        // init pixels + 64 table writes; per output coeff: 16 reads + 1 write.
+        assert_eq!(w.trace.len(), pixels + 64 + pixels * 17);
+    }
+}

@@ -1,0 +1,92 @@
+//! Streaming FIR filter.
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// A `taps`-tap FIR filter over `samples` input samples.
+///
+/// Read-dominated streaming: each output reads `taps` inputs plus the
+/// (tiny, cache-resident) coefficient array and writes one output.
+///
+/// # Panics
+///
+/// Panics if `samples <= taps`, `taps` is zero, or the self-check fails.
+pub fn fir(samples: usize, taps: usize) -> Workload {
+    assert!(taps > 0, "fir needs at least one tap");
+    assert!(samples > taps, "fir needs samples > taps");
+    let mut mem = TracedMemory::new();
+    let input = mem.alloc((samples * 4) as u64);
+    let coeff = mem.alloc((taps * 4) as u64);
+    let output = mem.alloc(((samples - taps) * 4) as u64);
+
+    // A deterministic pseudo-signal with small amplitudes.
+    for i in 0..samples {
+        let v = ((i * 37 + 11) % 251) as u32;
+        mem.store_u32(input + (i * 4) as u64, v);
+    }
+    for t in 0..taps {
+        mem.store_u32(coeff + (t * 4) as u64, (t as u32 % 4) + 1);
+    }
+
+    for i in 0..samples - taps {
+        let mut acc = 0u32;
+        for t in 0..taps {
+            let x = mem.load_u32(input + ((i + t) * 4) as u64);
+            let c = mem.load_u32(coeff + (t * 4) as u64);
+            acc = acc.wrapping_add(x.wrapping_mul(c));
+        }
+        mem.store_u32(output + (i * 4) as u64, acc);
+    }
+
+    // Self-check a sample of outputs.
+    for &i in &[0usize, (samples - taps) / 2, samples - taps - 1] {
+        let mut expect = 0u32;
+        for t in 0..taps {
+            let x = (((i + t) * 37 + 11) % 251) as u32;
+            let c = (t as u32 % 4) + 1;
+            expect = expect.wrapping_add(x.wrapping_mul(c));
+        }
+        let addr = output + (i * 4) as u64;
+        let word = mem.peek_u64(addr.align_down(8));
+        let got = if addr.is_aligned(8) {
+            word as u32
+        } else {
+            (word >> 32) as u32
+        };
+        assert_eq!(got, expect, "fir self-check failed at output {i}");
+    }
+
+    Workload::new(
+        "fir",
+        format!("{taps}-tap FIR over {samples} samples"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_is_read_heavy() {
+        let w = fir(512, 16);
+        assert!(
+            w.trace.write_fraction() < 0.15,
+            "write fraction {}",
+            w.trace.write_fraction()
+        );
+    }
+
+    #[test]
+    fn trace_length_is_deterministic() {
+        let w = fir(128, 4);
+        // init: samples + taps writes; loop: (samples-taps) * (2*taps reads + 1 write)
+        assert_eq!(w.trace.len(), 128 + 4 + (128 - 4) * (2 * 4 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "samples > taps")]
+    fn degenerate_sizes_panic() {
+        fir(4, 4);
+    }
+}

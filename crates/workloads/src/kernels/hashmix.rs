@@ -1,0 +1,97 @@
+//! Hash mixing over dense random data.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// Accumulates an xorshift-style digest over `n` dense random words,
+/// storing the running digest every eight elements.
+///
+/// The adversarial workload for inversion coding: data is ≈50 % ones, so
+/// no encoding direction helps. CNT-Cache must recognize this and leave
+/// the lines alone (paying only its metadata overhead).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or the digest disagrees with an untraced
+/// reference (self-check).
+pub fn hash_mix(n: usize, seed: u64) -> Workload {
+    assert!(n > 0, "hash_mix needs input");
+    let mut mem = TracedMemory::new();
+    let data = mem.alloc((n * 8) as u64);
+    let digests = mem.alloc((n.div_ceil(8) * 8) as u64);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut reference = Vec::with_capacity(n);
+    for i in 0..n {
+        let v: u64 = rng.gen();
+        reference.push(v);
+        mem.store_u64(data + (i * 8) as u64, v);
+    }
+
+    let mix = |mut h: u64, v: u64| {
+        h ^= v;
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        h
+    };
+
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut stored = 0usize;
+    for i in 0..n {
+        let v = mem.load_u64(data + (i * 8) as u64);
+        digest = mix(digest, v);
+        if (i + 1) % 8 == 0 {
+            mem.store_u64(digests + (stored * 8) as u64, digest);
+            stored += 1;
+        }
+    }
+
+    // Self-check.
+    let mut expect = 0xCBF2_9CE4_8422_2325u64;
+    let mut expect_last_stored = None;
+    for (i, &v) in reference.iter().enumerate() {
+        expect = mix(expect, v);
+        if (i + 1) % 8 == 0 {
+            expect_last_stored = Some(expect);
+        }
+    }
+    if let Some(e) = expect_last_stored {
+        let got = mem.peek_u64(digests + ((stored - 1) * 8) as u64);
+        assert_eq!(got, e, "hash_mix self-check failed");
+    }
+
+    Workload::new(
+        "hash_mix",
+        format!("xorshift digest over {n} dense random u64 words"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_is_bit_dense() {
+        let w = hash_mix(128, 7);
+        let ones: u64 = w
+            .trace
+            .iter()
+            .filter(|a| a.is_write())
+            .map(|a| u64::from(a.value.count_ones()))
+            .sum();
+        let writes = w.trace.iter().filter(|a| a.is_write()).count() as u64;
+        let density = ones as f64 / (writes * 64) as f64;
+        assert!((density - 0.5).abs() < 0.05, "density {density}");
+    }
+
+    #[test]
+    fn trace_length() {
+        let w = hash_mix(64, 8);
+        assert_eq!(w.trace.len(), 64 + 64 + 8); // init + loads + digest stores
+    }
+}

@@ -1,0 +1,82 @@
+//! Byte histogram with hot read-modify-write bins.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// Histograms `n` random bytes into `bins` 32-bit counters.
+///
+/// The bin array is small and hot: every input byte triggers a
+/// read-modify-write on it, making the bin lines strongly write-intensive
+/// while the input stream is read-only.
+///
+/// # Panics
+///
+/// Panics if `n` is zero, `bins` is zero or not a power of two, or the
+/// counters do not sum to `n` afterwards (self-check).
+pub fn histogram(n: usize, bins: usize, seed: u64) -> Workload {
+    assert!(n > 0, "histogram needs input");
+    assert!(
+        bins > 0 && bins.is_power_of_two(),
+        "bins must be a non-zero power of two"
+    );
+    let mut mem = TracedMemory::new();
+    let data = mem.alloc(n as u64);
+    let counts = mem.alloc((bins * 4) as u64);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        mem.store_u8(data + i as u64, rng.gen());
+    }
+
+    for i in 0..n {
+        let byte = mem.load_u8(data + i as u64);
+        let bin = (byte as usize) & (bins - 1);
+        let addr = counts + (bin * 4) as u64;
+        let c = mem.load_u32(addr);
+        mem.store_u32(addr, c + 1);
+    }
+
+    // Self-check: counters sum to n.
+    let mut total = 0u64;
+    for b in 0..bins {
+        let addr = counts + (b * 4) as u64;
+        let word = mem.peek_u64(addr.align_down(8));
+        let c = if addr.is_aligned(8) {
+            word as u32
+        } else {
+            (word >> 32) as u32
+        };
+        total += u64::from(c);
+    }
+    assert_eq!(total, n as u64, "histogram self-check: counts lost");
+
+    Workload::new(
+        "histogram",
+        format!("{bins}-bin byte histogram over {n} bytes"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_rmw_pattern() {
+        let n = 256;
+        let w = histogram(n, 16, 2);
+        // n byte writes (init) + n reads + n (read+write) on bins.
+        assert_eq!(w.trace.len(), n + 3 * n);
+        let wf = w.trace.write_fraction();
+        assert!((wf - 0.5).abs() < 0.01, "write fraction {wf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_bin_count_panics() {
+        histogram(16, 3, 0);
+    }
+}

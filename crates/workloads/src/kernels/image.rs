@@ -1,0 +1,79 @@
+//! Image binarization (thresholding).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// Thresholds a `width × height` 8-bit image: pixels above 127 become
+/// 255, the rest 0.
+///
+/// The output stream is extreme in bit terms — every written byte is
+/// either all-ones or all-zeros — so the write-side encoding preference
+/// flips line by line with image content.
+///
+/// # Panics
+///
+/// Panics if the image is empty or the output histogram disagrees with an
+/// untraced reference (self-check).
+pub fn image_threshold(width: usize, height: usize, seed: u64) -> Workload {
+    assert!(width > 0 && height > 0, "image must be non-empty");
+    let n = width * height;
+    let mut mem = TracedMemory::new();
+    let input = mem.alloc(n as u64);
+    let output = mem.alloc(n as u64);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut expect_white = 0usize;
+    for i in 0..n {
+        let p: u8 = rng.gen();
+        if p > 127 {
+            expect_white += 1;
+        }
+        mem.store_u8(input + i as u64, p);
+    }
+
+    for i in 0..n {
+        let p = mem.load_u8(input + i as u64);
+        let out = if p > 127 { 255u8 } else { 0u8 };
+        mem.store_u8(output + i as u64, out);
+    }
+
+    // Self-check: count white pixels via untraced peeks.
+    let mut white = 0usize;
+    for i in 0..n {
+        if mem.peek_u8(output + i as u64) == 255 {
+            white += 1;
+        }
+    }
+    assert_eq!(white, expect_white, "image_threshold self-check failed");
+
+    Workload::new(
+        "image_threshold",
+        format!("binarization of a {width}x{height} 8-bit image"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_bytes_are_extreme() {
+        let w = image_threshold(16, 16, 9);
+        let n = 16 * 16;
+        // Writes after the init phase are all 0 or 255.
+        for a in w.trace.iter().filter(|a| a.is_write()).skip(n) {
+            assert!(a.value == 0 || a.value == 255, "value {:#x}", a.value);
+        }
+    }
+
+    #[test]
+    fn balanced_read_write_mix() {
+        let w = image_threshold(16, 16, 10);
+        let wf = w.trace.write_fraction();
+        assert!((wf - 2.0 / 3.0).abs() < 0.01, "write fraction {wf}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Linked-list pointer chasing.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// Chases a randomly-permuted circular linked list of `nodes` nodes for
+/// `hops` steps.
+///
+/// Each node occupies a full 64-byte line (pointer in the first word), so
+/// every hop touches a different line: a read-only workload with zero
+/// spatial locality whose data values are *addresses* (sparse high bits).
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` or `hops` is zero, or if the traversal does not
+/// return to the head after a full cycle (self-check).
+pub fn pointer_chase(nodes: usize, hops: usize, seed: u64) -> Workload {
+    assert!(nodes >= 2, "pointer_chase needs at least two nodes");
+    assert!(hops > 0, "pointer_chase needs at least one hop");
+    let mut mem = TracedMemory::new();
+    let base = mem.alloc((nodes * 64) as u64);
+    let node_addr = |i: usize| base + (i * 64) as u64;
+
+    // A single-cycle permutation: visit order is a shuffle of all nodes.
+    let mut order: Vec<usize> = (1..nodes).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut cycle = Vec::with_capacity(nodes);
+    cycle.push(0);
+    cycle.extend(order);
+    for w in 0..nodes {
+        let from = cycle[w];
+        let to = cycle[(w + 1) % nodes];
+        mem.store_u64(node_addr(from), node_addr(to).value());
+    }
+
+    // Chase.
+    let mut current = node_addr(0);
+    for _ in 0..hops {
+        current = cnt_sim::Address::new(mem.load_u64(current));
+    }
+
+    // Self-check: after exactly `nodes` hops we are back at the head.
+    if hops.is_multiple_of(nodes) {
+        assert_eq!(current, node_addr(0), "pointer_chase self-check failed");
+    } else {
+        assert_eq!(
+            current,
+            node_addr(cycle[hops % nodes]),
+            "pointer_chase self-check failed"
+        );
+    }
+
+    Workload::new(
+        "pointer_chase",
+        format!("{hops} hops over a {nodes}-node shuffled circular list"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chase_is_read_only_after_init() {
+        let nodes = 32;
+        let w = pointer_chase(nodes, 100, 5);
+        let writes = w.trace.iter().filter(|a| a.is_write()).count();
+        assert_eq!(writes, nodes);
+        assert_eq!(w.trace.len(), nodes + 100);
+    }
+
+    #[test]
+    fn footprint_is_one_line_per_node() {
+        let w = pointer_chase(16, 64, 6);
+        assert_eq!(w.trace.footprint_blocks(), 16);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dense integer matrix multiplication.
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// `n × n` integer matrix multiply, repeated `reps` times.
+///
+/// `C = A · B` over `u32` elements with small, structured values — typical
+/// of fixed-point workloads whose upper bits are mostly zero, which is
+/// exactly the bit-density skew the CNT-Cache encoder exploits.
+///
+/// # Panics
+///
+/// Panics if `n` or `reps` is zero, or if the computed product disagrees
+/// with an untraced reference computation (kernel self-check).
+pub fn matmul(n: usize, reps: usize) -> Workload {
+    assert!(n > 0 && reps > 0, "matmul needs n > 0 and reps > 0");
+    let mut mem = TracedMemory::new();
+    let bytes = (n * n * 4) as u64;
+    let a = mem.alloc(bytes);
+    let b = mem.alloc(bytes);
+    let c = mem.alloc(bytes);
+
+    let idx = |base: cnt_sim::Address, i: usize, j: usize| base + ((i * n + j) * 4) as u64;
+
+    // Initialize inputs (traced: real programs write their buffers too).
+    for i in 0..n {
+        for j in 0..n {
+            mem.store_u32(idx(a, i, j), ((i + j) % 7) as u32);
+            mem.store_u32(idx(b, i, j), ((i * j) % 5 + 1) as u32);
+        }
+    }
+
+    for _ in 0..reps {
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0u32;
+                for k in 0..n {
+                    let x = mem.load_u32(idx(a, i, k));
+                    let y = mem.load_u32(idx(b, k, j));
+                    acc = acc.wrapping_add(x.wrapping_mul(y));
+                }
+                mem.store_u32(idx(c, i, j), acc);
+            }
+        }
+    }
+
+    // Self-check against an untraced reference.
+    for i in 0..n {
+        for j in 0..n {
+            let mut expect = 0u32;
+            for k in 0..n {
+                let x = ((i + k) % 7) as u32;
+                let y = ((k * j) % 5 + 1) as u32;
+                expect = expect.wrapping_add(x.wrapping_mul(y));
+            }
+            let got = mem.peek_u64(idx(c, i, j).align_down(8));
+            let got = if idx(c, i, j).is_aligned(8) {
+                got as u32
+            } else {
+                (got >> 32) as u32
+            };
+            assert_eq!(got, expect, "matmul self-check failed at ({i},{j})");
+        }
+    }
+
+    Workload::new(
+        "matmul",
+        format!("{n}x{n} u32 matrix multiply, {reps} rep(s)"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_shape_matches_algorithm() {
+        let n = 8;
+        let w = matmul(n, 1);
+        // 2n^2 init writes + per element: 2n loads + 1 write.
+        let expected = 2 * n * n + n * n * (2 * n + 1);
+        assert_eq!(w.trace.len(), expected);
+    }
+
+    #[test]
+    fn reps_scale_the_compute_phase() {
+        let n = 6;
+        let one = matmul(n, 1).trace.len();
+        let two = matmul(n, 2).trace.len();
+        assert_eq!(two - one, n * n * (2 * n + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn zero_size_panics() {
+        matmul(0, 1);
+    }
+}

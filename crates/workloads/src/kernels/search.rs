@@ -1,0 +1,77 @@
+//! Batched binary search over a sorted array.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// `probes` binary searches over a sorted array of `n` 64-bit keys.
+///
+/// Pure read traffic with poor spatial locality in the early probe steps
+/// and a hot root region — a read-intensive pattern with skewed line
+/// popularity.
+///
+/// # Panics
+///
+/// Panics if `n` or `probes` is zero, or a search returns a wrong index
+/// (self-check).
+pub fn binary_search(n: usize, probes: usize, seed: u64) -> Workload {
+    assert!(n > 0 && probes > 0, "binary_search needs n > 0 and probes > 0");
+    let mut mem = TracedMemory::new();
+    let arr = mem.alloc((n * 8) as u64);
+    let at = |i: usize| arr + (i * 8) as u64;
+
+    for i in 0..n {
+        mem.store_u64(at(i), (i as u64) * 3);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..probes {
+        let target_index = rng.gen_range(0..n);
+        let target = (target_index as u64) * 3;
+        let (mut lo, mut hi) = (0usize, n);
+        let mut found = None;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let v = mem.load_u64(at(mid));
+            if v == target {
+                found = Some(mid);
+                break;
+            } else if v < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        assert_eq!(found, Some(target_index), "binary_search self-check failed");
+    }
+
+    Workload::new(
+        "binary_search",
+        format!("{probes} binary searches over {n} sorted u64 keys"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_logarithmic() {
+        let n = 1024;
+        let w = binary_search(n, 10, 3);
+        let compute = w.trace.len() - n; // minus init writes
+        assert!(compute <= 10 * 11, "at most ~log2(n) reads per probe: {compute}");
+        assert!(compute >= 10, "at least one read per probe");
+    }
+
+    #[test]
+    fn search_phase_is_read_only() {
+        let n = 64;
+        let w = binary_search(n, 16, 4);
+        let writes = w.trace.iter().filter(|a| a.is_write()).count();
+        assert_eq!(writes, n, "only the init phase writes");
+    }
+}

@@ -1,0 +1,103 @@
+//! In-place quicksort over traced memory.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// Iterative quicksort of `n` random 64-bit keys.
+///
+/// A classic mixed read/write workload with data-dependent access
+/// patterns; the random keys are bit-dense (≈50 % ones), the adversarial
+/// case for inversion coding.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the array is not sorted afterwards (self-check).
+pub fn quicksort(n: usize, seed: u64) -> Workload {
+    assert!(n >= 2, "quicksort needs at least two elements");
+    let mut mem = TracedMemory::new();
+    let arr = mem.alloc((n * 8) as u64);
+    let at = |i: usize| arr + (i * 8) as u64;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        mem.store_u64(at(i), rng.gen());
+    }
+
+    // Iterative quicksort with an explicit range stack (Hoare partition).
+    let mut stack: Vec<(usize, usize)> = vec![(0, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if lo >= hi {
+            continue;
+        }
+        let pivot = mem.load_u64(at(lo + (hi - lo) / 2));
+        let (mut i, mut j) = (lo, hi);
+        loop {
+            while mem.load_u64(at(i)) < pivot {
+                i += 1;
+            }
+            while mem.load_u64(at(j)) > pivot {
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            let a = mem.load_u64(at(i));
+            let b = mem.load_u64(at(j));
+            mem.store_u64(at(i), b);
+            mem.store_u64(at(j), a);
+            i += 1;
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        if j < hi {
+            stack.push((j + 1, hi));
+        }
+        if lo < j {
+            stack.push((lo, j));
+        }
+    }
+
+    // Self-check: sorted and a permutation-preserving checksum.
+    let mut prev = 0u64;
+    let mut sum_after = 0u64;
+    for i in 0..n {
+        let v = mem.peek_u64(at(i));
+        assert!(v >= prev, "quicksort self-check: not sorted at {i}");
+        prev = v;
+        sum_after = sum_after.wrapping_add(v);
+    }
+    let mut check_rng = SmallRng::seed_from_u64(seed);
+    let sum_before: u64 = (0..n).fold(0u64, |acc, _| acc.wrapping_add(check_rng.gen::<u64>()));
+    assert_eq!(sum_before, sum_after, "quicksort self-check: checksum changed");
+
+    Workload::new(
+        "quicksort",
+        format!("iterative quicksort of {n} random u64 keys"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_traces() {
+        let w = quicksort(128, 1);
+        assert!(w.trace.len() > 128 * 2);
+        // Quicksort both reads (comparisons) and writes (swaps).
+        let wf = w.trace.write_fraction();
+        assert!(wf > 0.1 && wf < 0.9, "write fraction {wf}");
+    }
+
+    #[test]
+    fn handles_tiny_arrays() {
+        quicksort(2, 3);
+        quicksort(3, 4);
+    }
+}

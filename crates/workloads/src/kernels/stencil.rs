@@ -1,0 +1,95 @@
+//! Five-point 2-D stencil smoothing.
+
+use crate::suite::Workload;
+use crate::traced::TracedMemory;
+
+/// `iters` Jacobi sweeps of a 5-point averaging stencil over a
+/// `width × height` grid of `u32` cells (ping-pong buffers).
+///
+/// Read-heavy with spatial locality: each interior cell reads five
+/// neighbours and writes once per sweep.
+///
+/// # Panics
+///
+/// Panics if the grid is smaller than 3×3, `iters` is zero, or the
+/// self-check fails.
+pub fn stencil2d(width: usize, height: usize, iters: usize) -> Workload {
+    assert!(width >= 3 && height >= 3, "stencil needs at least a 3x3 grid");
+    assert!(iters > 0, "stencil needs at least one sweep");
+    let mut mem = TracedMemory::new();
+    let bytes = (width * height * 4) as u64;
+    let mut src = mem.alloc(bytes);
+    let mut dst = mem.alloc(bytes);
+    let at = |base: cnt_sim::Address, x: usize, y: usize| base + ((y * width + x) * 4) as u64;
+
+    // A smooth deterministic initial field with small values.
+    for y in 0..height {
+        for x in 0..width {
+            mem.store_u32(at(src, x, y), ((x * 3 + y * 5) % 97) as u32);
+            mem.store_u32(at(dst, x, y), 0);
+        }
+    }
+
+    for _ in 0..iters {
+        for y in 1..height - 1 {
+            for x in 1..width - 1 {
+                let c = mem.load_u32(at(src, x, y));
+                let l = mem.load_u32(at(src, x - 1, y));
+                let r = mem.load_u32(at(src, x + 1, y));
+                let u = mem.load_u32(at(src, x, y - 1));
+                let d = mem.load_u32(at(src, x, y + 1));
+                mem.store_u32(at(dst, x, y), (c + l + r + u + d) / 5);
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+
+    // Self-check: one sweep of the reference field, checked after the
+    // first iteration only (tractable closed form).
+    // Instead verify a conservation-style invariant: all interior cells
+    // remain bounded by the initial extrema.
+    for y in 1..height - 1 {
+        for x in 1..width - 1 {
+            let addr = at(src, x, y);
+            let word = mem.peek_u64(addr.align_down(8));
+            let v = if addr.is_aligned(8) {
+                word as u32
+            } else {
+                (word >> 32) as u32
+            };
+            assert!(v <= 96, "stencil self-check: averaging exceeded extrema at ({x},{y})");
+        }
+    }
+
+    Workload::new(
+        "stencil2d",
+        format!("{iters} 5-point sweeps over a {width}x{height} u32 grid"),
+        mem.into_trace(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_is_read_heavy() {
+        let w = stencil2d(16, 16, 2);
+        let wf = w.trace.write_fraction();
+        assert!(wf < 0.45, "write fraction {wf}");
+    }
+
+    #[test]
+    fn trace_length_matches_shape() {
+        let (w, h, it) = (8usize, 8usize, 1usize);
+        let workload = stencil2d(w, h, it);
+        let interior = (w - 2) * (h - 2);
+        assert_eq!(workload.trace.len(), 2 * w * h + it * interior * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_grid_panics() {
+        stencil2d(2, 8, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! The named benchmark suite used by the experiments.
+
+use serde::{Deserialize, Serialize};
+
+use cnt_sim::trace::Trace;
+
+use crate::kernels;
+
+/// One named, self-verified benchmark workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Short kernel name (e.g. `"matmul"`).
+    pub name: String,
+    /// Human-readable parameter description.
+    pub description: String,
+    /// The recorded data-carrying access trace.
+    pub trace: Trace,
+}
+
+impl Workload {
+    /// Bundles a verified trace with its identity.
+    pub fn new(name: impl Into<String>, description: impl Into<String>, trace: Trace) -> Self {
+        Workload {
+            name: name.into(),
+            description: description.into(),
+            trace,
+        }
+    }
+}
+
+/// The full ten-kernel benchmark suite at the sizes the experiments use.
+///
+/// Footprints are chosen around the 32 KiB L1D of the paper's
+/// configuration: some kernels fit comfortably (high hit rates), others
+/// exceed it (binary search, pointer chase) to exercise fills, evictions
+/// and write-backs.
+///
+/// # Example
+///
+/// ```no_run
+/// let suite = cnt_workloads::suite();
+/// assert_eq!(suite.len(), 10);
+/// ```
+pub fn suite() -> Vec<Workload> {
+    vec![
+        kernels::matmul(40, 1),
+        kernels::fir(4096, 16),
+        kernels::quicksort(2048, 0xC47),
+        kernels::histogram(8192, 64, 0xC47),
+        kernels::stencil2d(64, 48, 3),
+        kernels::string_search(8192, 8, 0xC47),
+        kernels::binary_search(4096, 2048, 0xC47),
+        kernels::pointer_chase(1024, 8192, 0xC47),
+        kernels::hash_mix(2048, 0xC47),
+        kernels::image_threshold(96, 64, 0xC47),
+    ]
+}
+
+/// The extended fourteen-kernel suite: the base [`suite`] plus SpMV
+/// (whose interleaved index/value layout produces heterogeneous lines),
+/// the STREAM triad, BFS, and the 8x8 DCT. Used by the partitioning and
+/// write-policy studies.
+pub fn suite_extended() -> Vec<Workload> {
+    let mut s = suite();
+    s.push(kernels::spmv(512, 12, 0xC47));
+    s.push(kernels::stream_triad(4096, 4, 0xC47));
+    s.push(kernels::bfs(2048, 4, 0xC47));
+    s.push(kernels::dct8x8(8, 6, 0xC47));
+    s
+}
+
+/// The base suite with every seeded kernel re-seeded (matmul, FIR and the
+/// stencil generate structured data and are seed-independent). Used by
+/// the seed-robustness study.
+pub fn suite_seeded(seed: u64) -> Vec<Workload> {
+    vec![
+        kernels::matmul(40, 1),
+        kernels::fir(4096, 16),
+        kernels::quicksort(2048, seed),
+        kernels::histogram(8192, 64, seed),
+        kernels::stencil2d(64, 48, 3),
+        kernels::string_search(8192, 8, seed),
+        kernels::binary_search(4096, 2048, seed),
+        kernels::pointer_chase(1024, 8192, seed),
+        kernels::hash_mix(2048, seed),
+        kernels::image_threshold(96, 64, seed),
+    ]
+}
+
+/// A reduced-size suite (same ten kernels) for fast unit/integration
+/// tests.
+pub fn suite_small() -> Vec<Workload> {
+    vec![
+        kernels::matmul(10, 1),
+        kernels::fir(256, 8),
+        kernels::quicksort(192, 0xC47),
+        kernels::histogram(512, 32, 0xC47),
+        kernels::stencil2d(16, 12, 2),
+        kernels::string_search(512, 6, 0xC47),
+        kernels::binary_search(256, 128, 0xC47),
+        kernels::pointer_chase(64, 512, 0xC47),
+        kernels::hash_mix(256, 0xC47),
+        kernels::image_threshold(24, 16, 0xC47),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_covers_all_kernels() {
+        let s = suite_small();
+        assert_eq!(s.len(), 10);
+        let names: Vec<&str> = s.iter().map(|w| w.name.as_str()).collect();
+        for expected in [
+            "matmul",
+            "fir",
+            "quicksort",
+            "histogram",
+            "stencil2d",
+            "string_search",
+            "binary_search",
+            "pointer_chase",
+            "hash_mix",
+            "image_threshold",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn small_suite_has_diverse_mixes() {
+        let s = suite_small();
+        let fractions: Vec<f64> = s.iter().map(|w| w.trace.write_fraction()).collect();
+        let min = fractions.iter().cloned().fold(f64::MAX, f64::min);
+        let max = fractions.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.3, "suite mixes too uniform: {fractions:?}");
+    }
+}

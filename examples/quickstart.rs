@@ -1,0 +1,49 @@
+//! Quickstart: simulate one benchmark kernel on the paper's D-Cache, once
+//! as the plain CNFET baseline and once as CNT-Cache, and compare dynamic
+//! energy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
+use cnt_workloads::kernels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A workload: 40x40 integer matrix multiply, instrumented so every
+    // load/store (with its data) is recorded.
+    let workload = kernels::matmul(40, 1);
+    println!(
+        "workload: {} ({}; {} accesses, {:.0}% writes)\n",
+        workload.name,
+        workload.description,
+        workload.trace.len(),
+        workload.trace.write_fraction() * 100.0
+    );
+
+    // The paper's D-Cache: 32 KiB, 64 B lines, 8-way, LRU — defaults of
+    // the builder. Run it twice with different encoding policies.
+    let mut baseline = CntCache::new(CntCacheConfig::builder().name("baseline").build()?)?;
+    let mut cnt = CntCache::new(
+        CntCacheConfig::builder()
+            .name("CNT-Cache")
+            .policy(EncodingPolicy::adaptive_default())
+            .build()?,
+    )?;
+
+    baseline.run(workload.trace.iter())?;
+    baseline.flush();
+    cnt.run(workload.trace.iter())?;
+    cnt.flush();
+
+    let base_report = baseline.report();
+    let cnt_report = cnt.report();
+
+    println!("{base_report}");
+    println!("{cnt_report}");
+    println!(
+        "dynamic-energy saving: {:.2}% (paper's suite average: 22.2%)",
+        cnt_report.saving_vs(&base_report)
+    );
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Energy-accounting conservation: the meter inside `CntCache` must agree
+//! exactly with an independent bit count performed by a reference
+//! observer over the raw simulator, and breakdowns must be internally
+//! consistent.
+
+use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
+use cnt_energy::{BitEnergies, ChargeKind, Energy};
+use cnt_sim::{Address, ArrayObserver, Cache, CacheGeometry, LineLocation, MainMemory, ReplacementKind};
+use cnt_workloads::suite_small;
+
+/// Independent accountant: counts stored bits the way the physical array
+/// would see them for an *un-encoded* cache.
+#[derive(Default)]
+struct ReferenceAccountant {
+    read_ones: u64,
+    read_bits: u64,
+    written_ones: u64,
+    written_bits: u64,
+}
+
+impl ArrayObserver for ReferenceAccountant {
+    fn word_read(&mut self, _: LineLocation, _: usize, value: u64) {
+        self.read_ones += u64::from(value.count_ones());
+        self.read_bits += 64;
+    }
+    fn word_written(&mut self, _: LineLocation, _: usize, _: u64, new: u64) {
+        self.written_ones += u64::from(new.count_ones());
+        self.written_bits += 64;
+    }
+    fn line_filled(&mut self, _: LineLocation, _: Address, data: &[u64]) {
+        for &w in data {
+            self.written_ones += u64::from(w.count_ones());
+            self.written_bits += 64;
+        }
+    }
+    fn line_evicted(&mut self, _: LineLocation, _: Address, data: &[u64], dirty: bool) {
+        if dirty {
+            for &w in data {
+                self.read_ones += u64::from(w.count_ones());
+                self.read_bits += 64;
+            }
+        }
+    }
+}
+
+impl ReferenceAccountant {
+    fn total(&self, bits: &BitEnergies) -> Energy {
+        bits.rd1 * self.read_ones as f64
+            + bits.rd0 * (self.read_bits - self.read_ones) as f64
+            + bits.wr1 * self.written_ones as f64
+            + bits.wr0 * (self.written_bits - self.written_ones) as f64
+    }
+}
+
+#[test]
+fn baseline_meter_matches_independent_accounting() {
+    for workload in suite_small() {
+        // CntCache path (no encoding, no metadata metering).
+        let mut config = CntCacheConfig::builder()
+            .size_bytes(4096)
+            .associativity(2)
+            .policy(EncodingPolicy::None)
+            .meter_metadata(false)
+            .build()
+            .expect("valid config");
+        config.name = workload.name.clone();
+        let mut cache = CntCache::new(config).expect("valid cache");
+        cache.run(workload.trace.iter()).expect("trace runs");
+        cache.flush();
+
+        // Reference path: same geometry, raw simulator, counting observer.
+        let geometry = CacheGeometry::new(4096, 64, 2).expect("valid geometry");
+        let mut raw = Cache::new("ref", geometry, ReplacementKind::Lru);
+        let mut mem = MainMemory::new();
+        let mut accountant = ReferenceAccountant::default();
+        for access in workload.trace.iter() {
+            if access.is_write() {
+                raw.write(access.addr, access.width, access.value, &mut mem, &mut accountant)
+                    .expect("write ok");
+            } else {
+                raw.read(access.addr, access.width, &mut mem, &mut accountant)
+                    .expect("read ok");
+            }
+        }
+        raw.flush(&mut mem, &mut accountant);
+
+        let bits = BitEnergies::cnfet_default();
+        let reference = accountant.total(&bits);
+        let metered = cache.total_energy();
+        let diff = (reference - metered).abs().femtojoules();
+        assert!(
+            diff < 1e-6 * reference.femtojoules().max(1.0),
+            "{}: meter {metered} vs reference {reference}",
+            workload.name
+        );
+
+        // Bit counts agree too.
+        let b = cache.meter().breakdown();
+        assert_eq!(b.bits_read(), accountant.read_bits, "{}", workload.name);
+        assert_eq!(b.bits_written(), accountant.written_bits, "{}", workload.name);
+        assert_eq!(b.bits_read_one, accountant.read_ones, "{}", workload.name);
+        assert_eq!(b.bits_written_one, accountant.written_ones, "{}", workload.name);
+    }
+}
+
+#[test]
+fn breakdown_partitions_are_exhaustive() {
+    // total == Σ per-kind energies == read_energy + write_energy, with
+    // adaptive encoding and metadata metering enabled.
+    let workload = &suite_small()[0];
+    let config = CntCacheConfig::builder()
+        .policy(EncodingPolicy::adaptive_default())
+        .build()
+        .expect("valid config");
+    let mut cache = CntCache::new(config).expect("valid cache");
+    cache.run(workload.trace.iter()).expect("trace runs");
+    cache.flush();
+    let b = cache.meter().breakdown();
+    let by_kind: Energy = ChargeKind::ALL.iter().map(|k| b.energy(*k)).sum();
+    let total = b.total();
+    assert!((total - by_kind).abs().femtojoules() < 1e-9);
+    let rw = b.read_energy() + b.write_energy();
+    assert!((total - rw).abs().femtojoules() < 1e-9);
+    // Every kind the adaptive path exercises shows activity.
+    for kind in [
+        ChargeKind::DataRead,
+        ChargeKind::DataWrite,
+        ChargeKind::LineFill,
+        ChargeKind::MetadataRead,
+        ChargeKind::MetadataWrite,
+    ] {
+        assert!(b.bits(kind) > 0, "no activity recorded for {kind}");
+    }
+}
+
+#[test]
+fn encode_switch_energy_is_attributed() {
+    // A read-only loop over zero lines forces re-encodings; their cost
+    // must land in the EncodeSwitch bucket, not in demand traffic.
+    let config = CntCacheConfig::builder()
+        .policy(EncodingPolicy::adaptive_default())
+        .build()
+        .expect("valid config");
+    let mut cache = CntCache::new(config).expect("valid cache");
+    for round in 0..64 {
+        for line in 0..4u64 {
+            let _ = round;
+            cache.read(Address::new(line * 64), 8).expect("read ok");
+        }
+    }
+    let b = cache.meter().breakdown();
+    assert!(
+        b.energy(ChargeKind::EncodeSwitch).femtojoules() > 0.0,
+        "switches must be charged"
+    );
+    assert_eq!(
+        b.bits(ChargeKind::EncodeSwitch) % 64,
+        0,
+        "switch writes are whole partitions"
+    );
+}
