@@ -13,15 +13,27 @@ fn hit_paths(c: &mut Criterion) {
     group.bench_function("read_hit", |b| {
         let mut cache = Cache::new("t", geometry, ReplacementKind::Lru);
         let mut mem = MainMemory::new();
-        cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("warm");
-        b.iter(|| cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("hit"))
+        cache
+            .read(Address::new(0x40), 8, &mut mem, &mut ())
+            .expect("warm");
+        b.iter(|| {
+            cache
+                .read(Address::new(0x40), 8, &mut mem, &mut ())
+                .expect("hit")
+        })
     });
 
     group.bench_function("write_hit", |b| {
         let mut cache = Cache::new("t", geometry, ReplacementKind::Lru);
         let mut mem = MainMemory::new();
-        cache.write(Address::new(0x40), 8, 1, &mut mem, &mut ()).expect("warm");
-        b.iter(|| cache.write(Address::new(0x40), 8, 2, &mut mem, &mut ()).expect("hit"))
+        cache
+            .write(Address::new(0x40), 8, 1, &mut mem, &mut ())
+            .expect("warm");
+        b.iter(|| {
+            cache
+                .write(Address::new(0x40), 8, 2, &mut mem, &mut ())
+                .expect("hit")
+        })
     });
     group.finish();
 }

@@ -53,7 +53,9 @@ fn popcount_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("popcount");
     let data = line();
     group.bench_function("whole_line", |b| b.iter(|| popcount_words(&data)));
-    group.bench_function("straddling_range", |b| b.iter(|| popcount_range(&data, 60, 200)));
+    group.bench_function("straddling_range", |b| {
+        b.iter(|| popcount_range(&data, 60, 200))
+    });
     group.finish();
 }
 

@@ -64,7 +64,10 @@ fn integrated_demand_path(c: &mut Criterion) {
         ("adaptive", EncodingPolicy::adaptive_default()),
     ] {
         group.bench_function(label, |b| {
-            let config = CntCacheConfig::builder().policy(policy).build().expect("valid");
+            let config = CntCacheConfig::builder()
+                .policy(policy)
+                .build()
+                .expect("valid");
             let mut cache = CntCache::new(config).expect("valid");
             // Warm a small resident set, then hammer hits.
             for i in 0..64u64 {

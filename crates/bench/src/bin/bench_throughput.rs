@@ -1,0 +1,115 @@
+//! Replays the full D-Cache suite sequentially and in parallel and
+//! records the throughput comparison in `BENCH_parallel.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_throughput [--jobs N] [--out PATH]
+//! ```
+//!
+//! Both passes run the identical (benchmark x policy) replay matrix —
+//! baseline and adaptive encoding over every suite workload — so the
+//! speedup column isolates the thread-pool gain. The recorded numbers
+//! are whatever this machine produced: on a single-core runner the
+//! honest speedup is ~1.0x, and `cores` in the JSON says so.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cnt_bench::runner::run_dcache_matrix;
+use cnt_bench::{pool, BenchRecord, PassRecord};
+use cnt_cache::EncodingPolicy;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = pool::default_jobs();
+    let mut out_path = String::from("BENCH_parallel.json");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --jobs needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                jobs = n;
+            }
+            "--out" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                };
+                out_path = p.clone();
+            }
+            other => {
+                eprintln!("usage: bench_throughput [--jobs N] [--out PATH]");
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let workloads = cnt_workloads::suite();
+    let policies = [EncodingPolicy::None, EncodingPolicy::adaptive_default()];
+    // Each matrix cell replays the full trace once.
+    let accesses_per_pass: u64 = workloads
+        .iter()
+        .map(|w| w.trace.len() as u64 * policies.len() as u64)
+        .sum();
+
+    let measure = |jobs: usize| -> PassRecord {
+        pool::set_jobs(jobs);
+        // Full warm-up replay so neither measured pass pays first-touch
+        // costs the other would not (the first pass would otherwise warm
+        // the allocator and page cache for the second).
+        let _ = run_dcache_matrix(&workloads, &policies);
+        let start = Instant::now();
+        let matrix = run_dcache_matrix(&workloads, &policies);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(matrix.len(), workloads.len());
+        PassRecord {
+            jobs,
+            wall_seconds: wall,
+            accesses_per_second: accesses_per_pass as f64 / wall,
+        }
+    };
+
+    eprintln!("replaying suite sequentially (--jobs 1)...");
+    let seq = measure(1);
+    eprintln!(
+        "  {:.3} s  ({:.0} accesses/s)",
+        seq.wall_seconds, seq.accesses_per_second
+    );
+    eprintln!("replaying suite in parallel (--jobs {jobs})...");
+    let par = measure(jobs);
+    eprintln!(
+        "  {:.3} s  ({:.0} accesses/s)",
+        par.wall_seconds, par.accesses_per_second
+    );
+
+    let record = BenchRecord {
+        cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        workloads: workloads.len(),
+        policies_per_workload: policies.len(),
+        accesses_per_pass,
+        sequential: seq,
+        parallel: par,
+    };
+    println!(
+        "speedup: {:.2}x on {} core(s)",
+        record.speedup(),
+        record.cores
+    );
+
+    let json = serde_json::to_string_pretty(&record).expect("record serialises");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -3,19 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! experiments all          # run everything in order
-//! experiments fig3 table1  # run specific experiments
-//! experiments --list       # list available ids
+//! experiments all              # run everything in order
+//! experiments fig3 table1     # run specific experiments
+//! experiments --jobs 4 all    # cap the worker pool at 4 threads
+//! experiments --seq all       # force fully sequential execution
+//! experiments --list           # list available ids
 //! ```
+//!
+//! Experiments are computed in parallel on a shared thread pool but the
+//! reports are always printed in submission order, so the output is
+//! byte-identical whatever `--jobs` is set to.
 
 use std::process::ExitCode;
 
+fn usage() {
+    eprintln!("usage: experiments [--list] [--jobs N | --seq] <id>... | all");
+    eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [--list] <id>... | all");
-        eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
-        return ExitCode::from(2);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--list") {
         for id in cnt_bench::experiments::ALL {
@@ -24,14 +34,52 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        cnt_bench::experiments::ALL.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    // Parse flags; everything else is an experiment id.
+    let mut ids: Vec<&str> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seq" => jobs = Some(1),
+            "--jobs" | "-j" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --jobs needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                jobs = Some(n);
+            }
+            "all" => ids.extend_from_slice(cnt_bench::experiments::ALL),
+            other => ids.push(other),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
 
-    for id in ids {
-        match cnt_bench::experiments::run(id) {
+    // Validate every id up front so a typo late in the list fails fast,
+    // before any compute, and every unknown id is reported at once.
+    let unknown: Vec<&str> = ids
+        .iter()
+        .copied()
+        .filter(|id| !cnt_bench::experiments::is_known(id))
+        .collect();
+    if !unknown.is_empty() {
+        for id in unknown {
+            eprintln!("error: unknown experiment id `{id}`");
+        }
+        eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
+        return ExitCode::from(2);
+    }
+
+    cnt_bench::pool::set_jobs(jobs.unwrap_or_else(cnt_bench::pool::default_jobs));
+
+    for (id, report) in ids.iter().zip(cnt_bench::experiments::run_many(&ids)) {
+        match report {
             Ok(report) => {
                 println!("==== {id} ====");
                 println!("{report}");

@@ -36,14 +36,21 @@ fn print_stats(name: &str, description: &str, trace: &Trace) {
     println!("detail:     {description}");
     println!("accesses:   {}", trace.len());
     println!("writes:     {:.2}%", trace.write_fraction() * 100.0);
-    println!("footprint:  {} lines ({} KiB)", trace.footprint_blocks(), trace.footprint_blocks() * 64 / 1024);
+    println!(
+        "footprint:  {} lines ({} KiB)",
+        trace.footprint_blocks(),
+        trace.footprint_blocks() * 64 / 1024
+    );
     let (mut ones, mut bits) = (0u64, 0u64);
     for a in trace.iter().filter(|a| a.is_write()) {
         ones += u64::from(a.value.count_ones());
         bits += u64::from(a.width) * 8;
     }
     if bits > 0 {
-        println!("write ones: {:.2}% bit density", ones as f64 / bits as f64 * 100.0);
+        println!(
+            "write ones: {:.2}% bit density",
+            ones as f64 / bits as f64 * 100.0
+        );
     }
 }
 
@@ -65,7 +72,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("stats") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = find(name) else {
                 eprintln!("unknown kernel `{name}` (try `tracegen list`)");
                 return ExitCode::FAILURE;
@@ -74,7 +83,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("dump") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = find(name) else {
                 eprintln!("unknown kernel `{name}` (try `tracegen list`)");
                 return ExitCode::FAILURE;
@@ -91,7 +102,9 @@ fn main() -> ExitCode {
             }
         }
         Some("text") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = find(name) else {
                 eprintln!("unknown kernel `{name}` (try `tracegen list`)");
                 return ExitCode::FAILURE;
@@ -100,7 +113,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("replay") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {

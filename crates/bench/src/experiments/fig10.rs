@@ -13,7 +13,7 @@ use cnt_cache::{AdaptiveParams, EncodingPolicy};
 use cnt_workloads::synthetic::{AddressPattern, SyntheticSpec};
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix, run_dcache_set};
 
 /// The swept confirmation depths.
 pub const CONFIRMS: [u32; 4] = [1, 2, 3, 4];
@@ -41,22 +41,22 @@ pub fn thrash_trace(accesses: usize) -> cnt_sim::trace::Trace {
 /// `(confirm, thrash_saving, thrash_switches, suite_saving)` rows.
 pub fn data(workloads: &[Workload], thrash_accesses: usize) -> Vec<(u32, f64, u64, f64)> {
     let thrash = thrash_trace(thrash_accesses);
-    let thrash_base = run_dcache(EncodingPolicy::None, &thrash);
+    let mut policies = vec![EncodingPolicy::None];
+    policies.extend(CONFIRMS.iter().map(|&confirm| policy(confirm)));
+    let thrash_reports = run_dcache_set(&policies, &thrash);
+    let matrix = run_dcache_matrix(workloads, &policies);
     CONFIRMS
         .iter()
-        .map(|&confirm| {
-            let p = policy(confirm);
-            let t = run_dcache(p, &thrash);
-            let suite: Vec<f64> = workloads
+        .enumerate()
+        .map(|(i, &confirm)| {
+            let t = &thrash_reports[i + 1];
+            let suite: Vec<f64> = matrix
                 .iter()
-                .map(|w| {
-                    let base = run_dcache(EncodingPolicy::None, &w.trace);
-                    run_dcache(p, &w.trace).saving_vs(&base)
-                })
+                .map(|reports| reports[i + 1].saving_vs(&reports[0]))
                 .collect();
             (
                 confirm,
-                t.saving_vs(&thrash_base),
+                t.saving_vs(&thrash_reports[0]),
                 t.encoding.switches_applied,
                 mean(&suite),
             )

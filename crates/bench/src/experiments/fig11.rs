@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use cnt_cache::{AdaptiveParams, EncodingPolicy};
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix};
 
 /// Swept FIFO capacities.
 pub const CAPACITIES: [usize; 3] = [1, 8, 32];
@@ -20,28 +20,41 @@ pub const DRAINS: [usize; 3] = [0, 1, 4];
 
 /// `(capacity, drain, mean_saving, dropped, applied)` rows.
 pub fn data(workloads: &[Workload]) -> Vec<(usize, usize, f64, u64, u64)> {
-    let mut rows = Vec::new();
-    for &fifo_capacity in &CAPACITIES {
-        for &drain_per_access in &DRAINS {
-            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
-                fifo_capacity,
-                drain_per_access,
-                ..AdaptiveParams::paper_default()
-            });
+    let combos: Vec<(usize, usize)> = CAPACITIES
+        .iter()
+        .flat_map(|&c| DRAINS.iter().map(move |&d| (c, d)))
+        .collect();
+    let mut policies = vec![EncodingPolicy::None];
+    policies.extend(combos.iter().map(|&(fifo_capacity, drain_per_access)| {
+        EncodingPolicy::Adaptive(AdaptiveParams {
+            fifo_capacity,
+            drain_per_access,
+            ..AdaptiveParams::paper_default()
+        })
+    }));
+    let matrix = run_dcache_matrix(workloads, &policies);
+    combos
+        .iter()
+        .enumerate()
+        .map(|(i, &(fifo_capacity, drain_per_access))| {
             let mut savings = Vec::new();
             let mut dropped = 0;
             let mut applied = 0;
-            for w in workloads {
-                let base = run_dcache(EncodingPolicy::None, &w.trace);
-                let cnt = run_dcache(policy, &w.trace);
-                savings.push(cnt.saving_vs(&base));
+            for reports in &matrix {
+                let cnt = &reports[i + 1];
+                savings.push(cnt.saving_vs(&reports[0]));
                 dropped += cnt.fifo.dropped;
                 applied += cnt.encoding.switches_applied;
             }
-            rows.push((fifo_capacity, drain_per_access, mean(&savings), dropped, applied));
-        }
-    }
-    rows
+            (
+                fifo_capacity,
+                drain_per_access,
+                mean(&savings),
+                dropped,
+                applied,
+            )
+        })
+        .collect()
 }
 
 /// Regenerates the FIFO-sizing study on the full suite.

@@ -34,14 +34,13 @@ pub fn data(workloads: &[Workload]) -> Vec<(WriteMode, f64, f64)> {
     MODES
         .iter()
         .map(|&mode| {
-            let mut baselines = Vec::new();
-            let mut savings = Vec::new();
-            for w in workloads {
+            let pairs = crate::pool::par_map(workloads, |w| {
                 let base = run_trace(config(mode, EncodingPolicy::None), &w.trace);
                 let cnt = run_trace(config(mode, EncodingPolicy::adaptive_default()), &w.trace);
-                baselines.push(base.total().femtojoules());
-                savings.push(cnt.saving_vs(&base));
-            }
+                (base.total().femtojoules(), cnt.saving_vs(&base))
+            });
+            let baselines: Vec<f64> = pairs.iter().map(|&(b, _)| b).collect();
+            let savings: Vec<f64> = pairs.iter().map(|&(_, s)| s).collect();
             (mode, mean(&baselines), mean(&savings))
         })
         .collect()
@@ -62,7 +61,11 @@ pub fn run() -> String {
         "write mode", "baseline mean (fJ)", "mean saving"
     );
     for (mode, baseline, saving) in data(&cnt_workloads::suite_extended()) {
-        let _ = writeln!(out, "| {:<26} | {baseline:>18.1} | {saving:>11.2}% |", mode.to_string());
+        let _ = writeln!(
+            out,
+            "| {:<26} | {baseline:>18.1} | {saving:>11.2}% |",
+            mode.to_string()
+        );
     }
     out
 }

@@ -59,7 +59,9 @@ pub fn corrupted_words(trace: &Trace, faults: usize, seed: u64) -> usize {
     let mut seen = std::collections::BTreeSet::new();
     for access in trace.iter().filter(|a| a.is_write()) {
         let addr = access.addr.align_down(8);
-        if seen.insert(addr) && cache.memory_mut().load(addr, 8) != golden.load(Address::new(addr.value()), 8) {
+        if seen.insert(addr)
+            && cache.memory_mut().load(addr, 8) != golden.load(Address::new(addr.value()), 8)
+        {
             corrupted += 1;
         }
     }
@@ -120,6 +122,9 @@ mod tests {
         let w = kernels::matmul(12, 1);
         let few = corrupted_words(&w.trace, 1, 2);
         let many = corrupted_words(&w.trace, 16, 2);
-        assert!(many >= few, "more upsets cannot corrupt less: {few} vs {many}");
+        assert!(
+            many >= few,
+            "more upsets cannot corrupt less: {few} vs {many}"
+        );
     }
 }

@@ -41,14 +41,13 @@ pub fn data(workloads: &[Workload]) -> Vec<(PrefetchPolicy, &'static str, f64, f
     let mut rows = Vec::new();
     for prefetch in [PrefetchPolicy::None, PrefetchPolicy::NextLine] {
         for (label, policy) in encoder_variants() {
-            let mut savings = Vec::new();
-            let mut hit_rates = Vec::new();
-            for w in workloads {
+            let pairs = crate::pool::par_map(workloads, |w| {
                 let base = run_trace(config(prefetch, EncodingPolicy::None), &w.trace);
                 let cnt = run_trace(config(prefetch, policy), &w.trace);
-                savings.push(cnt.saving_vs(&base));
-                hit_rates.push(cnt.stats.hit_rate());
-            }
+                (cnt.saving_vs(&base), cnt.stats.hit_rate())
+            });
+            let savings: Vec<f64> = pairs.iter().map(|&(s, _)| s).collect();
+            let hit_rates: Vec<f64> = pairs.iter().map(|&(_, h)| h).collect();
             rows.push((prefetch, label, mean(&savings), mean(&hit_rates)));
         }
     }

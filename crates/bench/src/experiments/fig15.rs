@@ -36,8 +36,11 @@ pub fn with_ifetch(data: &Trace) -> Trace {
 fn load_code(h: &mut CntHierarchy) {
     let mut rng = SmallRng::seed_from_u64(0xC0DE);
     for word in 0..CODE_LINES * 8 {
-        h.memory_mut()
-            .store(Address::new(CODE_BASE + word * 8), 8, word_with_density(&mut rng, 0.30));
+        h.memory_mut().store(
+            Address::new(CODE_BASE + word * 8),
+            8,
+            word_with_density(&mut rng, 0.30),
+        );
     }
 }
 
@@ -73,7 +76,14 @@ pub fn data(workloads: &[Workload]) -> Vec<(&'static str, f64)> {
     let traces: Vec<Trace> = workloads.iter().map(|w| with_ifetch(&w.trace)).collect();
     let baselines: Vec<f64> = traces
         .iter()
-        .map(|t| total_energy(t, EncodingPolicy::None, EncodingPolicy::None, EncodingPolicy::None))
+        .map(|t| {
+            total_energy(
+                t,
+                EncodingPolicy::None,
+                EncodingPolicy::None,
+                EncodingPolicy::None,
+            )
+        })
         .collect();
     placements()
         .into_iter()
@@ -131,7 +141,10 @@ mod tests {
                 .1
         };
         assert!(at("none (baseline)").abs() < 1e-9, "baseline saves nothing");
-        assert!(at("L1D only (paper)") > 0.0, "the paper's placement must save");
+        assert!(
+            at("L1D only (paper)") > 0.0,
+            "the paper's placement must save"
+        );
         // On these short test traces each I-cache line completes barely
         // one window, so its switch cost is not amortized; allow a small
         // regression here (the full-suite run shows the I-side winning

@@ -14,18 +14,19 @@ use cnt_cache::EncodingPolicy;
 use cnt_workloads::synthetic::{AddressPattern, SyntheticSpec};
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix, run_dcache_set};
 
 /// Per-kernel savings under both schemes: `(name, zero_flag, adaptive)`.
 pub fn data(workloads: &[Workload]) -> Vec<(String, f64, f64)> {
-    workloads
+    let policies = [
+        EncodingPolicy::None,
+        EncodingPolicy::ZeroFlag,
+        EncodingPolicy::adaptive_default(),
+    ];
+    run_dcache_matrix(workloads, &policies)
         .iter()
-        .map(|w| {
-            let base = run_dcache(EncodingPolicy::None, &w.trace);
-            let flag = run_dcache(EncodingPolicy::ZeroFlag, &w.trace);
-            let adaptive = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
-            (w.name.clone(), flag.saving_vs(&base), adaptive.saving_vs(&base))
-        })
+        .zip(workloads)
+        .map(|(r, w)| (w.name.clone(), r[1].saving_vs(&r[0]), r[2].saving_vs(&r[0])))
         .collect()
 }
 
@@ -42,10 +43,18 @@ pub fn sparse_nonzero_savings(accesses: usize) -> (f64, f64) {
         seed: 0x2E60,
     }
     .generate();
-    let base = run_dcache(EncodingPolicy::None, &trace);
-    let flag = run_dcache(EncodingPolicy::ZeroFlag, &trace);
-    let adaptive = run_dcache(EncodingPolicy::adaptive_default(), &trace);
-    (flag.saving_vs(&base), adaptive.saving_vs(&base))
+    let reports = run_dcache_set(
+        &[
+            EncodingPolicy::None,
+            EncodingPolicy::ZeroFlag,
+            EncodingPolicy::adaptive_default(),
+        ],
+        &trace,
+    );
+    (
+        reports[1].saving_vs(&reports[0]),
+        reports[2].saving_vs(&reports[0]),
+    )
 }
 
 /// Regenerates the scheme comparison on the full suite.

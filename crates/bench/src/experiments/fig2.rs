@@ -32,8 +32,15 @@ pub fn run() -> String {
     let stored_full = full.apply(&line, &dirs_full);
     let stored_part = part.apply(&line, &dirs_part);
 
-    let _ = writeln!(out, "Read-intensive line (prefers stored '1' bits), L = 512:");
-    let _ = writeln!(out, "  raw data ones:            {:>4} / 512", popcount_words(&line));
+    let _ = writeln!(
+        out,
+        "Read-intensive line (prefers stored '1' bits), L = 512:"
+    );
+    let _ = writeln!(
+        out,
+        "  raw data ones:            {:>4} / 512",
+        popcount_words(&line)
+    );
     let _ = writeln!(
         out,
         "  full-line invert stores:  {:>4} / 512 ones (direction bits: 1)",
@@ -62,8 +69,14 @@ mod tests {
         let line = example_line();
         let full = LineCodec::new(PartitionLayout::full_line(512).expect("static"));
         let part = LineCodec::new(PartitionLayout::new(512, 8).expect("static"));
-        let sf = full.apply(&line, &full.choose_directions(&line, BitPreference::MoreOnes));
-        let sp = part.apply(&line, &part.choose_directions(&line, BitPreference::MoreOnes));
+        let sf = full.apply(
+            &line,
+            &full.choose_directions(&line, BitPreference::MoreOnes),
+        );
+        let sp = part.apply(
+            &line,
+            &part.choose_directions(&line, BitPreference::MoreOnes),
+        );
         assert!(popcount_words(&sp) > popcount_words(&sf));
         assert!(super::run().contains("kept"));
     }

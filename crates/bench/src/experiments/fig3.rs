@@ -10,17 +10,15 @@ use std::fmt::Write as _;
 use cnt_cache::{ComparisonRow, EncodingPolicy};
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix};
 
 /// Per-kernel comparison rows for a given workload list.
 pub fn data(workloads: &[Workload]) -> Vec<ComparisonRow> {
-    workloads
+    let policies = [EncodingPolicy::None, EncodingPolicy::adaptive_default()];
+    run_dcache_matrix(workloads, &policies)
         .iter()
-        .map(|w| {
-            let base = run_dcache(EncodingPolicy::None, &w.trace);
-            let cnt = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
-            ComparisonRow::new(w.name.clone(), &base, &cnt)
-        })
+        .zip(workloads)
+        .map(|(reports, w)| ComparisonRow::new(w.name.clone(), &reports[0], &reports[1]))
         .collect()
 }
 
@@ -42,7 +40,11 @@ pub fn run() -> String {
         let _ = writeln!(out, "{row}");
     }
     let savings: Vec<f64> = rows.iter().map(|r| r.saving_percent).collect();
-    let _ = writeln!(out, "\naverage saving: {:.2}% (paper: 22.2%)", mean(&savings));
+    let _ = writeln!(
+        out,
+        "\naverage saving: {:.2}% (paper: 22.2%)",
+        mean(&savings)
+    );
     out
 }
 

@@ -10,26 +10,30 @@ use cnt_cache::{AdaptiveParams, EncodingPolicy};
 use cnt_encoding::AccessHistory;
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix};
 
 /// The swept window lengths.
 pub const WINDOWS: [u32; 5] = [7, 15, 31, 63, 127];
 
 /// Mean suite saving and switch count per window length.
 pub fn data(workloads: &[Workload]) -> Vec<(u32, f64, u64)> {
+    let mut policies = vec![EncodingPolicy::None];
+    policies.extend(WINDOWS.iter().map(|&window| {
+        EncodingPolicy::Adaptive(AdaptiveParams {
+            window,
+            ..AdaptiveParams::paper_default()
+        })
+    }));
+    let matrix = run_dcache_matrix(workloads, &policies);
     WINDOWS
         .iter()
-        .map(|&window| {
-            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
-                window,
-                ..AdaptiveParams::paper_default()
-            });
+        .enumerate()
+        .map(|(i, &window)| {
             let mut savings = Vec::new();
             let mut switches = 0;
-            for w in workloads {
-                let base = run_dcache(EncodingPolicy::None, &w.trace);
-                let cnt = run_dcache(policy, &w.trace);
-                savings.push(cnt.saving_vs(&base));
+            for reports in &matrix {
+                let cnt = &reports[i + 1];
+                savings.push(cnt.saving_vs(&reports[0]));
                 switches += cnt.encoding.switches_applied;
             }
             (window, mean(&savings), switches)
@@ -40,7 +44,10 @@ pub fn data(workloads: &[Workload]) -> Vec<(u32, f64, u64)> {
 /// Regenerates the window-sensitivity figure on the full suite.
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Window-length sensitivity (suite mean, P=8, ΔT=0.1):\n");
+    let _ = writeln!(
+        out,
+        "Window-length sensitivity (suite mean, P=8, ΔT=0.1):\n"
+    );
     let _ = writeln!(
         out,
         "| {:>4} | {:>12} | {:>10} | {:>16} |",

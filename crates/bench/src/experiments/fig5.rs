@@ -10,7 +10,7 @@ use cnt_cache::{AdaptiveParams, EncodingPolicy};
 use cnt_workloads::synthetic::StripedSpec;
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix, run_dcache_set};
 
 /// The swept partition counts.
 pub const PARTITIONS: [u32; 6] = [1, 2, 4, 8, 16, 32];
@@ -29,41 +29,46 @@ pub fn record_stream(accesses: usize) -> cnt_sim::trace::Trace {
     .generate()
 }
 
+/// The swept policies, preceded by the un-encoded baseline.
+fn swept_policies() -> Vec<EncodingPolicy> {
+    let mut policies = vec![EncodingPolicy::None];
+    policies.extend(PARTITIONS.iter().map(|&partitions| {
+        EncodingPolicy::Adaptive(AdaptiveParams {
+            partitions,
+            ..AdaptiveParams::paper_default()
+        })
+    }));
+    policies
+}
+
 /// Saving per partition count on the heterogeneous record stream.
 pub fn record_data(accesses: usize) -> Vec<(u32, f64)> {
     let trace = record_stream(accesses);
-    let base = run_dcache(EncodingPolicy::None, &trace);
+    let reports = run_dcache_set(&swept_policies(), &trace);
     PARTITIONS
         .iter()
-        .map(|&partitions| {
-            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
-                partitions,
-                ..AdaptiveParams::paper_default()
-            });
-            let cnt = run_dcache(policy, &trace);
-            (partitions, cnt.saving_vs(&base))
-        })
+        .enumerate()
+        .map(|(i, &partitions)| (partitions, reports[i + 1].saving_vs(&reports[0])))
         .collect()
 }
 
 /// Mean suite saving and H&D bits per line, per partition count.
 pub fn data(workloads: &[Workload]) -> Vec<(u32, f64, u32)> {
+    let policies = swept_policies();
+    let matrix = run_dcache_matrix(workloads, &policies);
     PARTITIONS
         .iter()
-        .map(|&partitions| {
-            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
-                partitions,
-                ..AdaptiveParams::paper_default()
-            });
-            let savings: Vec<f64> = workloads
+        .enumerate()
+        .map(|(i, &partitions)| {
+            let savings: Vec<f64> = matrix
                 .iter()
-                .map(|w| {
-                    let base = run_dcache(EncodingPolicy::None, &w.trace);
-                    let cnt = run_dcache(policy, &w.trace);
-                    cnt.saving_vs(&base)
-                })
+                .map(|reports| reports[i + 1].saving_vs(&reports[0]))
                 .collect();
-            (partitions, mean(&savings), policy.metadata_bits_per_line(512))
+            (
+                partitions,
+                mean(&savings),
+                policies[i + 1].metadata_bits_per_line(512),
+            )
         })
         .collect()
 }
@@ -71,7 +76,10 @@ pub fn data(workloads: &[Workload]) -> Vec<(u32, f64, u32)> {
 /// Regenerates the partition-sensitivity figure on the full suite.
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Partition-count sensitivity (suite mean, W=15, ΔT=0.1):\n");
+    let _ = writeln!(
+        out,
+        "Partition-count sensitivity (suite mean, W=15, ΔT=0.1):\n"
+    );
     let _ = writeln!(
         out,
         "| {:>4} | {:>12} | {:>14} |",

@@ -11,7 +11,7 @@ use cnt_cache::{AdaptiveParams, EncodingPolicy};
 use cnt_encoding::BitPreference;
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix};
 
 /// The ablated policies, in presentation order.
 pub fn policies() -> Vec<(&'static str, EncodingPolicy)> {
@@ -43,16 +43,17 @@ pub fn policies() -> Vec<(&'static str, EncodingPolicy)> {
 
 /// Mean suite saving per policy.
 pub fn data(workloads: &[Workload]) -> Vec<(&'static str, f64)> {
-    policies()
+    let (labels, variants): (Vec<_>, Vec<_>) = policies().into_iter().unzip();
+    let mut all = vec![EncodingPolicy::None];
+    all.extend(variants);
+    let matrix = run_dcache_matrix(workloads, &all);
+    labels
         .into_iter()
-        .map(|(label, policy)| {
-            let savings: Vec<f64> = workloads
+        .enumerate()
+        .map(|(i, label)| {
+            let savings: Vec<f64> = matrix
                 .iter()
-                .map(|w| {
-                    let base = run_dcache(EncodingPolicy::None, &w.trace);
-                    let variant = run_dcache(policy, &w.trace);
-                    variant.saving_vs(&base)
-                })
+                .map(|reports| reports[i + 1].saving_vs(&reports[0]))
                 .collect();
             (label, mean(&savings))
         })
@@ -62,7 +63,10 @@ pub fn data(workloads: &[Workload]) -> Vec<(&'static str, f64)> {
 /// Regenerates the policy ablation on the full suite.
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Encoding-policy ablation (suite mean saving vs baseline):\n");
+    let _ = writeln!(
+        out,
+        "Encoding-policy ablation (suite mean saving vs baseline):\n"
+    );
     let _ = writeln!(out, "| {:<14} | {:>12} |", "policy", "mean saving");
     for (label, saving) in data(&cnt_workloads::suite()) {
         let _ = writeln!(out, "| {label:<14} | {saving:>11.2}% |");

@@ -11,26 +11,30 @@ use std::fmt::Write as _;
 use cnt_cache::{AdaptiveParams, EncodingPolicy};
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix};
 
 /// The swept margins.
 pub const DELTAS: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.4];
 
 /// Mean suite saving and total switches per `ΔT`.
 pub fn data(workloads: &[Workload]) -> Vec<(f64, f64, u64)> {
+    let mut policies = vec![EncodingPolicy::None];
+    policies.extend(DELTAS.iter().map(|&delta_t| {
+        EncodingPolicy::Adaptive(AdaptiveParams {
+            delta_t,
+            ..AdaptiveParams::paper_default()
+        })
+    }));
+    let matrix = run_dcache_matrix(workloads, &policies);
     DELTAS
         .iter()
-        .map(|&delta_t| {
-            let policy = EncodingPolicy::Adaptive(AdaptiveParams {
-                delta_t,
-                ..AdaptiveParams::paper_default()
-            });
+        .enumerate()
+        .map(|(i, &delta_t)| {
             let mut savings = Vec::new();
             let mut switches = 0;
-            for w in workloads {
-                let base = run_dcache(EncodingPolicy::None, &w.trace);
-                let cnt = run_dcache(policy, &w.trace);
-                savings.push(cnt.saving_vs(&base));
+            for reports in &matrix {
+                let cnt = &reports[i + 1];
+                savings.push(cnt.saving_vs(&reports[0]));
                 switches += cnt.encoding.switches_applied;
             }
             (delta_t, mean(&savings), switches)

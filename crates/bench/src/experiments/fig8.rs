@@ -65,7 +65,10 @@ mod tests {
         let n = 6_000;
         // Skewed-density read-heavy: big win.
         let sparse_reads = cell(1.0, 0.05, n);
-        assert!(sparse_reads > 20.0, "sparse reads won only {sparse_reads:.1}%");
+        assert!(
+            sparse_reads > 20.0,
+            "sparse reads won only {sparse_reads:.1}%"
+        );
         // Balanced density: nothing to encode; bounded loss.
         let dense_balanced = cell(0.5, 0.5, n);
         assert!(
@@ -74,6 +77,9 @@ mod tests {
         );
         // One-heavy write workload also wins (stores zeros).
         let ones_writes = cell(0.0, 0.95, n);
-        assert!(ones_writes > 10.0, "one-dense writes won only {ones_writes:.1}%");
+        assert!(
+            ones_writes > 10.0,
+            "one-dense writes won only {ones_writes:.1}%"
+        );
     }
 }

@@ -13,7 +13,7 @@ use cnt_cache::EncodingPolicy;
 use cnt_workloads::synthetic::{AddressPattern, SyntheticSpec};
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix, run_dcache_set};
 
 /// A code-fetch surrogate: loop-reused sequential fetches over
 /// 30 %-density instruction words (the init writes model program load).
@@ -31,18 +31,14 @@ pub fn icache_trace(accesses: usize) -> cnt_sim::trace::Trace {
 
 /// `(dcache_mean_saving, icache_saving)` for a given suite size.
 pub fn data(workloads: &[Workload], icache_accesses: usize) -> (f64, f64) {
-    let d: Vec<f64> = workloads
+    let policies = [EncodingPolicy::None, EncodingPolicy::adaptive_default()];
+    let d: Vec<f64> = run_dcache_matrix(workloads, &policies)
         .iter()
-        .map(|w| {
-            let base = run_dcache(EncodingPolicy::None, &w.trace);
-            let cnt = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
-            cnt.saving_vs(&base)
-        })
+        .map(|reports| reports[1].saving_vs(&reports[0]))
         .collect();
     let itrace = icache_trace(icache_accesses);
-    let base = run_dcache(EncodingPolicy::None, &itrace);
-    let cnt = run_dcache(EncodingPolicy::adaptive_default(), &itrace);
-    (mean(&d), cnt.saving_vs(&base))
+    let ireports = run_dcache_set(&policies, &itrace);
+    (mean(&d), ireports[1].saving_vs(&ireports[0]))
 }
 
 /// Regenerates the D-vs-I comparison.

@@ -32,6 +32,13 @@ pub const ALL: &[&str] = &[
     "fig12", "fig13", "fig14", "fig15", "fig16", "table2", "table3", "table4", "table5", "table6",
 ];
 
+/// Whether `id` names an experiment [`run`] can dispatch (this includes
+/// the hidden `calibrate` id, which `ALL` deliberately omits).
+#[must_use]
+pub fn is_known(id: &str) -> bool {
+    id == "calibrate" || ALL.contains(&id)
+}
+
 /// Runs one experiment by id, returning its rendered report.
 ///
 /// # Errors
@@ -63,6 +70,16 @@ pub fn run(id: &str) -> Result<String, String> {
         "calibrate" => Ok(calibrate()),
         other => Err(format!("unknown experiment id `{other}`")),
     }
+}
+
+/// Runs several experiments on the shared thread pool, returning their
+/// reports **in submission order** (compute in parallel, print in order).
+///
+/// Every experiment is a deterministic function of its id, so the output
+/// is byte-identical to calling [`run`] in a sequential loop; only
+/// wall-clock time depends on the `--jobs` setting (see [`crate::pool`]).
+pub fn run_many(ids: &[&str]) -> Vec<Result<String, String>> {
+    crate::pool::par_map(ids, |id| run(id))
 }
 
 #[cfg(test)]

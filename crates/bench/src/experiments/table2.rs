@@ -52,13 +52,10 @@ impl OverheadRow {
 
 /// Overhead rows for a workload list.
 pub fn data(workloads: &[Workload]) -> Vec<OverheadRow> {
-    workloads
-        .iter()
-        .map(|w| {
-            let r = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
-            OverheadRow::from_report(&w.name, &r)
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let r = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
+        OverheadRow::from_report(&w.name, &r)
+    })
 }
 
 /// Regenerates the overhead table on the full suite.
@@ -119,8 +116,11 @@ mod tests {
     #[test]
     fn storage_overhead_is_about_three_percent() {
         let config = dcache_config("L1D", EncodingPolicy::adaptive_default());
-        let ratio = f64::from(config.policy.metadata_bits_per_line(config.geometry.line_bits()))
-            / f64::from(config.geometry.line_bits());
+        let ratio = f64::from(
+            config
+                .policy
+                .metadata_bits_per_line(config.geometry.line_bits()),
+        ) / f64::from(config.geometry.line_bits());
         assert!(ratio < 0.05, "H&D overhead {ratio:.3} too large");
     }
 }

@@ -11,32 +11,29 @@ use crate::runner::{geometric_mean, run_dcache_with_model};
 
 /// `(name, cmos_fj, cnfet_fj, cnfet_cnt_fj)` rows.
 pub fn data(workloads: &[Workload]) -> Vec<(String, f64, f64, f64)> {
-    workloads
-        .iter()
-        .map(|w| {
-            let cmos = run_dcache_with_model(
-                EncodingPolicy::None,
-                SramEnergyModel::cmos_default(),
-                &w.trace,
-            );
-            let cnfet = run_dcache_with_model(
-                EncodingPolicy::None,
-                SramEnergyModel::cnfet_default(),
-                &w.trace,
-            );
-            let cnt = run_dcache_with_model(
-                EncodingPolicy::adaptive_default(),
-                SramEnergyModel::cnfet_default(),
-                &w.trace,
-            );
-            (
-                w.name.clone(),
-                cmos.total().femtojoules(),
-                cnfet.total().femtojoules(),
-                cnt.total().femtojoules(),
-            )
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let cmos = run_dcache_with_model(
+            EncodingPolicy::None,
+            SramEnergyModel::cmos_default(),
+            &w.trace,
+        );
+        let cnfet = run_dcache_with_model(
+            EncodingPolicy::None,
+            SramEnergyModel::cnfet_default(),
+            &w.trace,
+        );
+        let cnt = run_dcache_with_model(
+            EncodingPolicy::adaptive_default(),
+            SramEnergyModel::cnfet_default(),
+            &w.trace,
+        );
+        (
+            w.name.clone(),
+            cmos.total().femtojoules(),
+            cnfet.total().femtojoules(),
+            cnt.total().femtojoules(),
+        )
+    })
 }
 
 /// Regenerates the technology comparison on the full suite.

@@ -10,7 +10,9 @@ use std::fmt::Write as _;
 
 use cnt_cache::EncodingPolicy;
 use cnt_energy::{BitEnergies, Energy};
-use cnt_sim::{Address, ArrayObserver, Cache, CacheGeometry, LineLocation, MainMemory, ReplacementKind};
+use cnt_sim::{
+    Address, ArrayObserver, Cache, CacheGeometry, LineLocation, MainMemory, ReplacementKind,
+};
 use cnt_workloads::Workload;
 
 use crate::runner::{mean, run_dcache};
@@ -31,7 +33,10 @@ impl OracleMeter {
 
     fn oracle_read(&mut self, word: u64) {
         let ones = word.count_ones();
-        self.total += self.bits.read_bits(ones, 64).min(self.bits.read_bits(64 - ones, 64));
+        self.total += self
+            .bits
+            .read_bits(ones, 64)
+            .min(self.bits.read_bits(64 - ones, 64));
     }
 
     fn oracle_write(&mut self, word: u64) {
@@ -73,7 +78,13 @@ pub fn oracle_total(trace: &cnt_sim::trace::Trace) -> Energy {
     for access in trace {
         if access.is_write() {
             cache
-                .write(access.addr, access.width, access.value, &mut mem, &mut oracle)
+                .write(
+                    access.addr,
+                    access.width,
+                    access.value,
+                    &mut mem,
+                    &mut oracle,
+                )
                 .expect("trace is well-formed");
         } else {
             cache
@@ -87,23 +98,20 @@ pub fn oracle_total(trace: &cnt_sim::trace::Trace) -> Energy {
 
 /// `(name, oracle_saving, achieved_saving, efficiency)` rows.
 pub fn data(workloads: &[Workload]) -> Vec<(String, f64, f64, f64)> {
-    workloads
-        .iter()
-        .map(|w| {
-            let base = run_dcache(EncodingPolicy::None, &w.trace);
-            let cnt = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
-            let oracle = oracle_total(&w.trace);
-            let base_fj = base.total().femtojoules();
-            let oracle_saving = (base_fj - oracle.femtojoules()) / base_fj * 100.0;
-            let achieved = cnt.saving_vs(&base);
-            let efficiency = if oracle_saving > 0.0 {
-                achieved / oracle_saving
-            } else {
-                0.0
-            };
-            (w.name.clone(), oracle_saving, achieved, efficiency)
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let base = run_dcache(EncodingPolicy::None, &w.trace);
+        let cnt = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
+        let oracle = oracle_total(&w.trace);
+        let base_fj = base.total().femtojoules();
+        let oracle_saving = (base_fj - oracle.femtojoules()) / base_fj * 100.0;
+        let achieved = cnt.saving_vs(&base);
+        let efficiency = if oracle_saving > 0.0 {
+            achieved / oracle_saving
+        } else {
+            0.0
+        };
+        (w.name.clone(), oracle_saving, achieved, efficiency)
+    })
 }
 
 /// Regenerates the oracle-bound table on the full suite.
@@ -129,7 +137,11 @@ pub fn run() -> String {
             eff * 100.0
         );
     }
-    let _ = writeln!(out, "\nmean predictor efficiency: {:.1}%", mean(&efficiencies) * 100.0);
+    let _ = writeln!(
+        out,
+        "\nmean predictor efficiency: {:.1}%",
+        mean(&efficiencies) * 100.0
+    );
     out
 }
 

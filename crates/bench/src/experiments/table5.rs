@@ -10,28 +10,28 @@ use std::fmt::Write as _;
 use cnt_cache::{AdaptiveParams, EncodingPolicy, TimingModel};
 use cnt_workloads::Workload;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix};
 
 /// `(name, fifo_overhead_pct, inline_overhead_pct, inline_stall_flips)` rows.
 pub fn data(workloads: &[Workload]) -> Vec<(String, f64, f64, u64)> {
     let timing = TimingModel::default();
-    workloads
+    let policies = [
+        EncodingPolicy::None,
+        EncodingPolicy::adaptive_default(),
+        EncodingPolicy::Adaptive(AdaptiveParams {
+            inline_updates: true,
+            ..AdaptiveParams::paper_default()
+        }),
+    ];
+    run_dcache_matrix(workloads, &policies)
         .iter()
-        .map(|w| {
-            let base = run_dcache(EncodingPolicy::None, &w.trace);
-            let fifo = run_dcache(EncodingPolicy::adaptive_default(), &w.trace);
-            let inline = run_dcache(
-                EncodingPolicy::Adaptive(AdaptiveParams {
-                    inline_updates: true,
-                    ..AdaptiveParams::paper_default()
-                }),
-                &w.trace,
-            );
+        .zip(workloads)
+        .map(|(r, w)| {
             (
                 w.name.clone(),
-                timing.overhead(&base, &fifo) * 100.0,
-                timing.overhead(&base, &inline) * 100.0,
-                inline.encoding.inline_partition_flips,
+                timing.overhead(&r[0], &r[1]) * 100.0,
+                timing.overhead(&r[0], &r[2]) * 100.0,
+                r[2].encoding.inline_partition_flips,
             )
         })
         .collect()
@@ -94,6 +94,9 @@ mod tests {
     fn inline_design_pays_on_switch_heavy_kernels() {
         let rows = data(&cnt_workloads::suite_small());
         let any_pays = rows.iter().any(|(_, _, inline, _)| *inline > 0.01);
-        assert!(any_pays, "some kernel must show inline stall cost: {rows:?}");
+        assert!(
+            any_pays,
+            "some kernel must show inline stall cost: {rows:?}"
+        );
     }
 }

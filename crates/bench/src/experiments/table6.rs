@@ -9,22 +9,20 @@ use std::fmt::Write as _;
 use cnt_cache::EncodingPolicy;
 use cnt_workloads::suite_seeded;
 
-use crate::runner::{mean, run_dcache};
+use crate::runner::{mean, run_dcache_matrix};
 
 /// The seeds swept.
 pub const SEEDS: [u64; 5] = [0xC47, 1, 42, 0xDEAD, 0xBEEF];
 
 /// Mean suite saving per seed.
 pub fn data(seeds: &[u64]) -> Vec<(u64, f64)> {
+    let policies = [EncodingPolicy::None, EncodingPolicy::adaptive_default()];
     seeds
         .iter()
         .map(|&seed| {
-            let savings: Vec<f64> = suite_seeded(seed)
+            let savings: Vec<f64> = run_dcache_matrix(&suite_seeded(seed), &policies)
                 .iter()
-                .map(|w| {
-                    let base = run_dcache(EncodingPolicy::None, &w.trace);
-                    run_dcache(EncodingPolicy::adaptive_default(), &w.trace).saving_vs(&base)
-                })
+                .map(|r| r[1].saving_vs(&r[0]))
                 .collect();
             (seed, mean(&savings))
         })
@@ -59,6 +57,7 @@ pub fn run() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_dcache;
     use cnt_workloads::suite_small;
 
     #[test]

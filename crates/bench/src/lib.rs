@@ -14,4 +14,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod pool;
+pub mod record;
 pub mod runner;
+
+pub use record::{BenchRecord, PassRecord};

@@ -1,0 +1,204 @@
+//! A small deterministic work-sharing thread pool.
+//!
+//! The harness originally targeted `rayon`, but this workspace vendors
+//! every dependency, so the two primitives the runner actually needs are
+//! implemented directly on `std::thread`:
+//!
+//! * [`par_map`] — apply a function to every element of a slice on worker
+//!   threads, returning results **in input order** regardless of which
+//!   thread computed them (this is what keeps parallel experiment output
+//!   byte-identical to sequential output), and
+//! * a **global concurrency budget** shared by nested `par_map` calls
+//!   (experiments fan out over workloads *inside* an experiment fan-out),
+//!   so `--jobs N` bounds total worker threads rather than multiplying at
+//!   each nesting level.
+//!
+//! Workers pull indices from a shared atomic counter (work sharing, not
+//! work stealing — equivalent for the coarse-grained trace replays here),
+//! and the calling thread always participates, so `par_map` makes
+//! progress even when the budget is exhausted and degrades to exactly the
+//! sequential loop at `--jobs 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Extra worker threads available globally, beyond every `par_map`'s
+/// caller thread. `jobs - 1` for a `--jobs N` run.
+static BUDGET: AtomicUsize = AtomicUsize::new(0);
+/// Whether [`set_jobs`] has been called; before that, [`jobs`] reports
+/// the detected parallelism without reserving it.
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the global concurrency level: at most `jobs` threads (including
+/// callers) ever run simultaneously across all nested [`par_map`] calls.
+///
+/// `jobs = 1` makes every subsequent [`par_map`] strictly sequential.
+pub fn set_jobs(jobs: usize) {
+    let jobs = jobs.max(1);
+    BUDGET.store(jobs - 1, Ordering::SeqCst);
+    CONFIGURED.store(jobs, Ordering::SeqCst);
+}
+
+/// The configured concurrency level, or the machine's available
+/// parallelism when [`set_jobs`] has not been called.
+pub fn jobs() -> usize {
+    match CONFIGURED.load(Ordering::SeqCst) {
+        0 => default_jobs(),
+        n => n,
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Tries to reserve `want` extra worker threads from the global budget;
+/// returns how many were actually reserved (possibly 0). Never blocks,
+/// so nested calls cannot deadlock.
+fn reserve(want: usize) -> usize {
+    if CONFIGURED.load(Ordering::SeqCst) == 0 {
+        // Not configured: take the lazy default once.
+        set_jobs(default_jobs());
+    }
+    let mut granted = 0;
+    while granted < want {
+        let current = BUDGET.load(Ordering::SeqCst);
+        if current == 0 {
+            break;
+        }
+        if BUDGET
+            .compare_exchange(current, current - 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            granted += 1;
+        }
+    }
+    granted
+}
+
+/// Returns reserved worker threads to the global budget.
+fn release(count: usize) {
+    BUDGET.fetch_add(count, Ordering::SeqCst);
+}
+
+/// Applies `f` to every element of `items` using up to the globally
+/// configured number of threads, returning the results in input order.
+///
+/// `f` runs exactly once per element. Panics in `f` propagate to the
+/// caller after all workers have stopped.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // One slot per remaining element is the most extra threads that can
+    // ever be useful (the caller takes one element itself).
+    let workers = reserve(n.saturating_sub(1));
+    if workers == 0 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // Each thread claims indices from the shared counter and collects
+    // (index, result) pairs locally; pairs are merged back into input
+    // order afterwards.
+    let run = || {
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, f(&items[i])));
+        }
+        local
+    };
+    let result = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run)).collect();
+        let mut pairs = run(); // the caller participates too
+        let mut panicked = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => pairs.extend(local),
+                Err(panic) => panicked = Some(panic),
+            }
+        }
+        match panicked {
+            Some(panic) => Err(panic),
+            None => Ok(pairs),
+        }
+    });
+    release(workers);
+    let pairs = match result {
+        Ok(pairs) => pairs,
+        Err(panic) => std::panic::resume_unwind(panic),
+    };
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, value) in pairs {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn preserves_input_order() {
+        set_jobs(4);
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_each_element_once() {
+        set_jobs(4);
+        let seen = Mutex::new(vec![0u32; 64]);
+        let items: Vec<usize> = (0..64).collect();
+        par_map(&items, |&i| {
+            seen.lock().unwrap()[i] += 1;
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn nested_calls_complete() {
+        set_jobs(3);
+        let outer: Vec<usize> = (0..8).collect();
+        let sums = par_map(&outer, |&o| {
+            let inner: Vec<usize> = (0..16).collect();
+            par_map(&inner, |&i| o * 100 + i).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|o| (0..16).map(|i| o * 100 + i).sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn sequential_when_one_job() {
+        set_jobs(1);
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(&items, |&x| x + 1);
+        assert_eq!(out, (1..33).collect::<Vec<_>>());
+        set_jobs(default_jobs());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(&[] as &[u64], |&x| x);
+        assert!(out.is_empty());
+    }
+}

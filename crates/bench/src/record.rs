@@ -1,0 +1,84 @@
+//! Serialisable result records for the throughput benchmark
+//! (`bench_throughput` writes one as `BENCH_parallel.json`).
+
+use serde::{Deserialize, Serialize};
+
+/// One timed replay of the suite matrix at a fixed `--jobs` setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassRecord {
+    /// Worker threads the pool was capped at.
+    pub jobs: usize,
+    /// Wall-clock time for the whole matrix, in seconds.
+    pub wall_seconds: f64,
+    /// Trace accesses replayed per second of wall-clock.
+    pub accesses_per_second: f64,
+}
+
+/// The full sequential-vs-parallel comparison written to disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Hardware threads the machine reported at measurement time. A
+    /// speedup near 1.0x on `cores: 1` is the honest expectation, not a
+    /// regression.
+    pub cores: usize,
+    /// Workloads in the replayed suite.
+    pub workloads: usize,
+    /// Encoding policies replayed per workload.
+    pub policies_per_workload: usize,
+    /// Trace accesses replayed per pass (workload trace lengths x
+    /// policies).
+    pub accesses_per_pass: u64,
+    /// The `--jobs 1` pass.
+    pub sequential: PassRecord,
+    /// The `--jobs N` pass.
+    pub parallel: PassRecord,
+}
+
+impl BenchRecord {
+    /// Sequential wall-clock divided by parallel wall-clock.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential.wall_seconds / self.parallel.wall_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass(jobs: usize, wall: f64) -> PassRecord {
+        PassRecord {
+            jobs,
+            wall_seconds: wall,
+            accesses_per_second: 1000.0 / wall,
+        }
+    }
+
+    #[test]
+    fn speedup_is_seq_over_par() {
+        let record = BenchRecord {
+            cores: 4,
+            workloads: 8,
+            policies_per_workload: 2,
+            accesses_per_pass: 1000,
+            sequential: pass(1, 4.0),
+            parallel: pass(4, 1.0),
+        };
+        assert!((record.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let record = BenchRecord {
+            cores: 2,
+            workloads: 8,
+            policies_per_workload: 2,
+            accesses_per_pass: 123_456,
+            sequential: pass(1, 2.5),
+            parallel: pass(2, 1.5),
+        };
+        let json = serde_json::to_string_pretty(&record).expect("serialises");
+        let back: BenchRecord = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, record);
+    }
+}

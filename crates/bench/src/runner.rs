@@ -4,6 +4,9 @@ use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy, EnergyReport};
 use cnt_energy::SramEnergyModel;
 use cnt_sim::trace::Trace;
 use cnt_sim::ReplacementKind;
+use cnt_workloads::Workload;
+
+use crate::pool;
 
 /// The paper's D-Cache configuration: 32 KiB, 64-byte lines, 8-way, LRU.
 ///
@@ -31,9 +34,11 @@ pub fn dcache_config(name: &str, policy: EncodingPolicy) -> CntCacheConfig {
 /// accesses — both indicate harness bugs, not user errors.
 pub fn run_trace(config: CntCacheConfig, trace: &Trace) -> EnergyReport {
     let mut cache = CntCache::new(config).expect("experiment configuration must be valid");
-    cache.run(trace.iter()).expect("experiment traces are well-formed");
+    cache
+        .run(trace.iter())
+        .expect("experiment traces are well-formed");
     cache.flush();
-    cache.report()
+    cache.into_report()
 }
 
 /// Runs a trace under the paper's D-Cache geometry with the given policy.
@@ -50,6 +55,39 @@ pub fn run_dcache_with_model(
     let mut config = dcache_config("L1D", policy);
     config.energy = model;
     run_trace(config, trace)
+}
+
+/// Replays every (workload × policy) combination on the shared thread
+/// pool and returns, for each workload in input order, the reports in
+/// policy order.
+///
+/// Each replay is an independent deterministic simulation, so the result
+/// is byte-identical to the equivalent nested sequential loops — only
+/// wall-clock time changes with the `--jobs` setting.
+pub fn run_dcache_matrix(
+    workloads: &[Workload],
+    policies: &[EncodingPolicy],
+) -> Vec<Vec<EnergyReport>> {
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..policies.len()).map(move |p| (w, p)))
+        .collect();
+    let mut reports = pool::par_map(&jobs, |&(w, p)| {
+        run_dcache(policies[p], &workloads[w].trace)
+    })
+    .into_iter();
+    workloads
+        .iter()
+        .map(|_| {
+            (0..policies.len())
+                .map(|_| reports.next().expect("one per job"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Replays one trace under several policies in parallel, in policy order.
+pub fn run_dcache_set(policies: &[EncodingPolicy], trace: &Trace) -> Vec<EnergyReport> {
+    pool::par_map(policies, |policy| run_dcache(*policy, trace))
 }
 
 /// Geometric-mean helper for relative metrics.

@@ -1,0 +1,44 @@
+//! The parallel harness must be invisible in the output: running every
+//! experiment through `run_many` on a multi-worker pool has to produce
+//! byte-identical reports to running them one at a time sequentially.
+//!
+//! This replays each id once sequentially and once in parallel and
+//! compares the rendered strings. It covers the real `ALL` list (plus
+//! the hidden `calibrate` id), so it is the slowest test in the tree —
+//! run it in release when iterating (`cargo test --release -p cnt-bench
+//! --test parallel_determinism`).
+
+use cnt_bench::{experiments, pool};
+
+#[test]
+fn run_many_matches_sequential_for_every_id() {
+    let mut ids: Vec<&str> = experiments::ALL.to_vec();
+    ids.push("calibrate");
+
+    // Sequential reference: pool capped at one worker, plain run() loop.
+    pool::set_jobs(1);
+    let reference: Vec<Result<String, String>> =
+        ids.iter().map(|id| experiments::run(id)).collect();
+
+    // Parallel pass: as many workers as the harness would use (at least
+    // two so the parallel path is actually exercised on 1-core runners).
+    pool::set_jobs(pool::default_jobs().max(2));
+    let parallel = experiments::run_many(&ids);
+
+    assert_eq!(parallel.len(), reference.len());
+    for ((id, seq), par) in ids.iter().zip(&reference).zip(&parallel) {
+        assert_eq!(
+            seq, par,
+            "experiment `{id}`: parallel output diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn run_many_reports_unknown_ids_in_place() {
+    pool::set_jobs(2);
+    let results = experiments::run_many(&["table1", "nope", "fig2"]);
+    assert!(results[0].is_ok());
+    assert!(results[1].as_ref().is_err_and(|e| e.contains("nope")));
+    assert!(results[2].is_ok());
+}

@@ -321,9 +321,10 @@ impl CntCache {
                 },
             };
             match write {
-                Some(value) => self
-                    .cache
-                    .write_outcome(addr, width, value, lower, &mut observer)?,
+                Some(value) => {
+                    self.cache
+                        .write_outcome(addr, width, value, lower, &mut observer)?
+                }
                 None => self.cache.read_outcome(addr, width, lower, &mut observer)?,
             }
         };
@@ -465,9 +466,9 @@ impl CntCache {
             // The history counters are re-written on every access.
             let hist_bits = AccessHistory::storage_bits(predictor.config().window);
             let state = &self.states[idx];
-            let ones =
-                (state.history.accesses().count_ones() + state.history.writes().count_ones())
-                    .min(hist_bits);
+            let ones = (state.history.accesses().count_ones()
+                + state.history.writes().count_ones())
+            .min(hist_bits);
             self.meter.charge_write_bits_scaled(
                 ones,
                 hist_bits,
@@ -551,10 +552,19 @@ impl CntCache {
         let state = &mut self.states[idx];
         state.dirs.apply_flips(flips);
         state.history.reset();
-        let counts = self.codec.stored_partition_popcounts(line.as_words(), &state.dirs);
         let partition_bits = self.codec.layout().partition_bits();
-        for (p, &ones) in counts.iter().enumerate() {
+        // Only flipped partitions are charged, so only those need their
+        // popcount — computed per partition to keep this path free of
+        // per-update heap allocation.
+        for p in 0..self.codec.layout().partitions() {
             if flips >> p & 1 == 1 {
+                let (start, len) = self.codec.layout().range(p);
+                let raw = cnt_encoding::popcount::popcount_range(line.as_words(), start, len);
+                let ones = if state.dirs.is_inverted(p) {
+                    len - raw
+                } else {
+                    raw
+                };
                 self.meter
                     .charge_write_bits_kind(ones, partition_bits, ChargeKind::EncodeSwitch);
                 self.counters.partition_flips += 1;
@@ -609,10 +619,10 @@ impl CntCache {
             fill_preference: self.fill_preference,
             zero_flag: self.zero_flag,
             metadata_scale: if self.config.meter_metadata {
-                    self.config.metadata_energy_scale
-                } else {
-                    0.0
-                },
+                self.config.metadata_energy_scale
+            } else {
+                0.0
+            },
         };
         self.cache.flush(lower, &mut observer)
     }
@@ -631,6 +641,26 @@ impl CntCache {
                 .config
                 .policy
                 .metadata_bits_per_line(self.config.geometry.line_bits()),
+        }
+    }
+
+    /// [`report`](Self::report), but consuming the cache: the accumulated
+    /// breakdown, statistics, and name move into the report instead of
+    /// being cloned. Use at end of run when the cache is done.
+    pub fn into_report(mut self) -> EnergyReport {
+        let metadata_bits_per_line = self
+            .config
+            .policy
+            .metadata_bits_per_line(self.config.geometry.line_bits());
+        EnergyReport {
+            name: std::mem::take(&mut self.config.name),
+            policy: self.config.policy.to_string(),
+            technology: self.config.energy.technology(),
+            breakdown: self.meter.take_breakdown(),
+            stats: self.cache.into_stats(),
+            encoding: self.counters,
+            fifo: *self.fifo.stats(),
+            metadata_bits_per_line,
         }
     }
 
@@ -697,13 +727,9 @@ impl CntCache {
         // hardware. The dirty flag is preserved (an upset is not a write).
         let (start, len) = self.codec.layout().range(partition);
         let line = self.cache.line_at_mut(loc);
-        let was_dirty = line.is_dirty();
-        let mut words: Vec<u64> = line.as_words().to_vec();
-        cnt_encoding::popcount::invert_range(&mut words, start, len);
-        line.write_all(&words);
-        if !was_dirty {
-            line.mark_clean();
-        }
+        // Mutating through `as_words_mut` leaves the dirty flag alone,
+        // which is exactly right: an upset is not a write.
+        cnt_encoding::popcount::invert_range(line.as_words_mut(), start, len);
         true
     }
 
@@ -754,7 +780,9 @@ impl CntCache {
             (1u64 << partitions) - 1
         };
         for update in self.fifo.iter() {
-            if update.set >= geometry.num_sets() || u64::from(update.way) >= u64::from(geometry.associativity()) {
+            if update.set >= geometry.num_sets()
+                || u64::from(update.way) >= u64::from(geometry.associativity())
+            {
                 return Err(AuditError::new(format!(
                     "fifo references out-of-range location set {} way {}",
                     update.set, update.way
@@ -833,7 +861,8 @@ impl ArrayObserver for MeterObserver<'_> {
                 self.metadata_scale,
             );
             if value != 0 {
-                self.meter.charge_read_word_kind(value, 64, ChargeKind::DataRead);
+                self.meter
+                    .charge_read_word_kind(value, 64, ChargeKind::DataRead);
             }
             return;
         }
@@ -853,7 +882,8 @@ impl ArrayObserver for MeterObserver<'_> {
                 self.metadata_scale,
             );
             if new != 0 {
-                self.meter.charge_write_word_kind(new, 64, ChargeKind::DataWrite);
+                self.meter
+                    .charge_write_word_kind(new, 64, ChargeKind::DataWrite);
             }
             return;
         }
@@ -878,7 +908,8 @@ impl ArrayObserver for MeterObserver<'_> {
                 self.metadata_scale,
             );
             for &w in data.iter().filter(|&&w| w != 0) {
-                self.meter.charge_write_word_kind(w, 64, ChargeKind::LineFill);
+                self.meter
+                    .charge_write_word_kind(w, 64, ChargeKind::LineFill);
             }
             return;
         }
@@ -888,8 +919,11 @@ impl ArrayObserver for MeterObserver<'_> {
         };
         self.states[idx] = LineState::fresh(dirs);
         let ones = self.codec.stored_popcount(data, &dirs);
-        self.meter
-            .charge_write_bits_kind(ones, self.codec.layout().line_bits(), ChargeKind::LineFill);
+        self.meter.charge_write_bits_kind(
+            ones,
+            self.codec.layout().line_bits(),
+            ChargeKind::LineFill,
+        );
     }
 
     fn line_evicted(&mut self, loc: LineLocation, _base: Address, data: &[u64], dirty: bool) {
@@ -904,14 +938,18 @@ impl ArrayObserver for MeterObserver<'_> {
                 self.metadata_scale,
             );
             for &w in data.iter().filter(|&&w| w != 0) {
-                self.meter.charge_read_word_kind(w, 64, ChargeKind::Writeback);
+                self.meter
+                    .charge_read_word_kind(w, 64, ChargeKind::Writeback);
             }
             return;
         }
         let dirs = &self.states[self.index(loc)].dirs;
         let ones = self.codec.stored_popcount(data, dirs);
-        self.meter
-            .charge_read_bits_kind(ones, self.codec.layout().line_bits(), ChargeKind::Writeback);
+        self.meter.charge_read_bits_kind(
+            ones,
+            self.codec.layout().line_bits(),
+            ChargeKind::Writeback,
+        );
     }
 }
 
@@ -951,7 +989,9 @@ mod tests {
         ] {
             let mut cache = CntCache::new(config(policy)).expect("valid cache");
             for i in 0..64u64 {
-                cache.write(Address::new(i * 8), 8, i * 0x0101).expect("write");
+                cache
+                    .write(Address::new(i * 8), 8, i * 0x0101)
+                    .expect("write");
             }
             for i in 0..64u64 {
                 let v = cache.read(Address::new(i * 8), 8).expect("read");
@@ -1005,7 +1045,11 @@ mod tests {
             cache.read(Address::new(0), 8).expect("read");
         }
         let report = cache.report();
-        assert!(report.encoding.windows >= 3, "windows: {}", report.encoding.windows);
+        assert!(
+            report.encoding.windows >= 3,
+            "windows: {}",
+            report.encoding.windows
+        );
         assert!(report.encoding.switches_applied >= 1, "no switch applied");
         let (loc, _, dirs) = cache.valid_lines().next().expect("resident line");
         assert_eq!(dirs.inverted_count(), 8);
@@ -1288,7 +1332,9 @@ mod tests {
             for round in 0..16 {
                 for line in 0..8u64 {
                     let _ = round;
-                    cache.write(Address::new(line * 64), 8, value).expect("write");
+                    cache
+                        .write(Address::new(line * 64), 8, value)
+                        .expect("write");
                     cache.read(Address::new(line * 64), 8).expect("read");
                 }
             }

@@ -7,7 +7,9 @@ use serde::{Deserialize, Serialize};
 
 use cnt_encoding::EncodingError;
 use cnt_energy::SramEnergyModel;
-use cnt_sim::{CacheGeometry, FillPattern, GeometryError, PrefetchPolicy, ReplacementKind, WriteMode};
+use cnt_sim::{
+    CacheGeometry, FillPattern, GeometryError, PrefetchPolicy, ReplacementKind, WriteMode,
+};
 
 use crate::policy::EncodingPolicy;
 

@@ -236,10 +236,7 @@ mod tests {
     use super::*;
     use crate::EncodingPolicy;
 
-    fn small_config(
-        l1d_policy: EncodingPolicy,
-        l2_policy: EncodingPolicy,
-    ) -> CntHierarchyConfig {
+    fn small_config(l1d_policy: EncodingPolicy, l2_policy: EncodingPolicy) -> CntHierarchyConfig {
         CntHierarchyConfig {
             l1i: CntCacheConfig::builder()
                 .name("L1I")
@@ -302,8 +299,10 @@ mod tests {
                 .expect("write");
         }
         for i in 0..512u64 {
-            h.access(&MemoryAccess::ifetch(Address::new(0x10_0000 + (i % 64) * 64)))
-                .expect("ifetch");
+            h.access(&MemoryAccess::ifetch(Address::new(
+                0x10_0000 + (i % 64) * 64,
+            )))
+            .expect("ifetch");
         }
         let reports = h.reports();
         assert_eq!(reports.len(), 3);
@@ -349,9 +348,11 @@ mod tests {
         let mut config = small_config(EncodingPolicy::adaptive_default(), EncodingPolicy::None);
         config.l2 = None;
         let mut h = CntHierarchy::new(config).expect("valid");
-        h.access(&MemoryAccess::write(Address::new(0x40), 8, 9)).expect("write");
+        h.access(&MemoryAccess::write(Address::new(0x40), 8, 9))
+            .expect("write");
         assert_eq!(
-            h.access(&MemoryAccess::read(Address::new(0x40), 8)).expect("read"),
+            h.access(&MemoryAccess::read(Address::new(0x40), 8))
+                .expect("read"),
             9
         );
         h.flush_all();

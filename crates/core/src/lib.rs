@@ -68,8 +68,8 @@ mod policy;
 mod report;
 
 pub use cnt::{AuditError, CntCache, PendingUpdate};
-pub use hierarchy::{CntHierarchy, CntHierarchyConfig};
 pub use config::{CntCacheConfig, CntCacheConfigBuilder, ConfigError};
+pub use hierarchy::{CntHierarchy, CntHierarchyConfig};
 pub use policy::{AdaptiveParams, EncodingPolicy};
 pub use report::{ComparisonRow, EncodingCounters, EnergyReport, TimingModel};
 

@@ -66,8 +66,7 @@ impl Default for AdaptiveParams {
 }
 
 /// The encoding behaviour of a [`CntCache`](crate::CntCache).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum EncodingPolicy {
     /// No encoding: the baseline CNFET cache the paper compares against.
     #[default]
@@ -120,7 +119,6 @@ impl EncodingPolicy {
     }
 }
 
-
 impl fmt::Display for EncodingPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -172,6 +170,8 @@ mod tests {
     #[test]
     fn display_names_policies() {
         assert!(EncodingPolicy::None.to_string().contains("baseline"));
-        assert!(EncodingPolicy::adaptive_default().to_string().contains("W=15"));
+        assert!(EncodingPolicy::adaptive_default()
+            .to_string()
+            .contains("W=15"));
     }
 }

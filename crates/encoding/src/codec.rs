@@ -136,7 +136,11 @@ impl PartitionLayout {
     /// Panics if `dirs` has a different partition count or `word_index` is
     /// out of range.
     pub fn xor_mask_for_word(&self, dirs: &DirectionBits, word_index: usize) -> u64 {
-        assert_eq!(dirs.partitions(), self.partitions, "direction bits mismatch");
+        assert_eq!(
+            dirs.partitions(),
+            self.partitions,
+            "direction bits mismatch"
+        );
         assert!(word_index < self.words(), "word {word_index} out of range");
         // Fast paths: whole-word partitions are the common geometry.
         let pb = self.partition_bits();
@@ -278,18 +282,33 @@ impl LineCodec {
     ///
     /// Panics if lengths or partition counts mismatch.
     pub fn stored_partition_popcounts(&self, logical: &[u64], dirs: &DirectionBits) -> Vec<u32> {
-        self.check_len(logical);
-        (0..self.layout.partitions)
-            .map(|p| {
-                let (start, len) = self.layout.range(p);
-                let raw = popcount_range(logical, start, len);
-                if dirs.is_inverted(p) {
-                    len - raw
-                } else {
-                    raw
-                }
-            })
+        self.stored_partition_popcounts_iter(logical, dirs)
             .collect()
+    }
+
+    /// Lazy form of
+    /// [`stored_partition_popcounts`](Self::stored_partition_popcounts):
+    /// yields the per-partition popcounts without allocating, for the
+    /// per-window demand path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or partition counts mismatch.
+    pub fn stored_partition_popcounts_iter<'a>(
+        &'a self,
+        logical: &'a [u64],
+        dirs: &'a DirectionBits,
+    ) -> impl Iterator<Item = u32> + 'a {
+        self.check_len(logical);
+        (0..self.layout.partitions).map(move |p| {
+            let (start, len) = self.layout.range(p);
+            let raw = popcount_range(logical, start, len);
+            if dirs.is_inverted(p) {
+                len - raw
+            } else {
+                raw
+            }
+        })
     }
 
     /// Metadata overhead of this codec per line: one direction bit per
@@ -324,7 +343,10 @@ mod tests {
         assert!(PartitionLayout::new(512, 64).is_ok());
         assert!(PartitionLayout::new(512, 0).is_err());
         assert!(PartitionLayout::new(512, 65).is_err());
-        assert!(PartitionLayout::new(512, 7).is_err(), "7 does not divide 512");
+        assert!(
+            PartitionLayout::new(512, 7).is_err(),
+            "7 does not divide 512"
+        );
         assert!(PartitionLayout::new(100, 2).is_err(), "not a word multiple");
         assert!(PartitionLayout::new(0, 1).is_err());
         // 192/8 = 24-bit partitions straddle words unevenly: rejected.
@@ -411,7 +433,9 @@ mod tests {
     #[test]
     fn apply_is_involution_and_in_place_agrees() {
         let c = codec(4);
-        let logical: Vec<u64> = (0..8).map(|i| 0x1111_2222_3333_4444u64.wrapping_mul(i + 1)).collect();
+        let logical: Vec<u64> = (0..8)
+            .map(|i| 0x1111_2222_3333_4444u64.wrapping_mul(i + 1))
+            .collect();
         let dirs = DirectionBits::from_mask(0b1010, 4);
         let stored = c.apply(&logical, &dirs);
         let mut in_place = logical.clone();

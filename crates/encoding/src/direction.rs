@@ -83,7 +83,10 @@ impl DirectionBits {
             (1..=64).contains(&partitions),
             "partition count must be in 1..=64, got {partitions}"
         );
-        DirectionBits { mask: 0, partitions }
+        DirectionBits {
+            mask: 0,
+            partitions,
+        }
     }
 
     /// Builds direction bits from a raw mask (bits above `partitions` must
@@ -98,7 +101,10 @@ impl DirectionBits {
             "partition count must be in 1..=64, got {partitions}"
         );
         if partitions < 64 {
-            assert!(mask >> partitions == 0, "mask has bits above partition count");
+            assert!(
+                mask >> partitions == 0,
+                "mask has bits above partition count"
+            );
         }
         DirectionBits { mask, partitions }
     }

@@ -40,7 +40,10 @@ impl fmt::Display for EncodingError {
                 "cannot split a {line_bits}-bit line into {partitions} partitions: {reason}"
             ),
             EncodingError::WindowTooSmall { window } => {
-                write!(f, "prediction window must be at least 2 accesses, got {window}")
+                write!(
+                    f,
+                    "prediction window must be at least 2 accesses, got {window}"
+                )
             }
             EncodingError::BadDeltaT { delta_t } => {
                 write!(f, "hysteresis margin must be in [0, 1), got {delta_t}")

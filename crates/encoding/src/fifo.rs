@@ -13,8 +13,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// What to do when an update arrives at a full FIFO.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum OverflowPolicy {
     /// Drop the incoming update: the line keeps its old (suboptimal but
     /// correct) encoding — the paper's natural best-effort semantics.
@@ -23,7 +22,6 @@ pub enum OverflowPolicy {
     /// Drop the oldest queued update to make room for the newest.
     DropOldest,
 }
-
 
 /// FIFO traffic statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]

@@ -60,7 +60,10 @@ impl AccessHistory {
     /// caller failed to reset) or `window` is zero.
     pub fn record(&mut self, is_write: bool, window: u32) -> bool {
         assert!(window > 0, "window must be positive");
-        assert!(self.a_num < window, "window already full; reset() was not called");
+        assert!(
+            self.a_num < window,
+            "window already full; reset() was not called"
+        );
         self.a_num += 1;
         if is_write {
             self.wr_num += 1;

@@ -127,7 +127,8 @@ impl DirectionPredictor {
     /// `ΔT` is invalid.
     pub fn new(bits: &BitEnergies, config: PredictorConfig) -> Result<Self, EncodingError> {
         let layout = PartitionLayout::new(config.line_bits, config.partitions)?;
-        let table = ThresholdTable::new(bits, config.window, layout.partition_bits(), config.delta_t)?;
+        let table =
+            ThresholdTable::new(bits, config.window, layout.partition_bits(), config.delta_t)?;
         Ok(DirectionPredictor {
             config,
             codec: LineCodec::new(layout),
@@ -192,10 +193,10 @@ impl DirectionPredictor {
         let pattern = self.table.pattern(summary.wr_num);
         let stored_counts = self
             .codec
-            .stored_partition_popcounts(logical_line, current_directions);
+            .stored_partition_popcounts_iter(logical_line, current_directions);
         let mut flips = 0u64;
         let mut saving = 0.0;
-        for (p, &n1) in stored_counts.iter().enumerate() {
+        for (p, n1) in stored_counts.enumerate() {
             if self.table.should_flip(summary.wr_num, n1) {
                 flips |= 1 << p;
                 saving += self.table.flip_benefit(&self.bits, summary.wr_num, n1);

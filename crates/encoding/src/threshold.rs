@@ -193,7 +193,12 @@ impl ThresholdTable {
     /// number, or `None` when the denominator vanishes. Provided for
     /// comparison with the exact rule table (they agree when `ΔT = 0`; see
     /// the tests).
-    pub fn paper_threshold(bits: &BitEnergies, window: u32, wr_num: u32, region_bits: u32) -> Option<f64> {
+    pub fn paper_threshold(
+        bits: &BitEnergies,
+        window: u32,
+        wr_num: u32,
+        region_bits: u32,
+    ) -> Option<f64> {
         let e = EnergyTerms::new(bits, window, wr_num);
         let denom = 2.0 * e.e_save - (e.wr1 - e.wr0);
         if denom.abs() < 1e-12 {
@@ -343,7 +348,8 @@ impl EnergyTerms {
     fn keep(&self, l: u32, n1: u32) -> f64 {
         let n1 = f64::from(n1);
         let l = f64::from(l);
-        self.r * (n1 * self.rd1 + (l - n1) * self.rd0) + self.wr * (n1 * self.wr1 + (l - n1) * self.wr0)
+        self.r * (n1 * self.rd1 + (l - n1) * self.rd0)
+            + self.wr * (n1 * self.wr1 + (l - n1) * self.wr0)
     }
 
     /// keep − flip − E_encode.
@@ -487,7 +493,10 @@ mod tests {
         let t = table(15, 512, 0.0);
         let wr = t.th_rd().round() as u32;
         for n1 in [128u32, 192, 256, 320, 384, 448, 512] {
-            assert!(!t.should_flip(wr, n1), "flipped at balanced wr={wr}, n1={n1}");
+            assert!(
+                !t.should_flip(wr, n1),
+                "flipped at balanced wr={wr}, n1={n1}"
+            );
         }
     }
 

@@ -1,6 +1,6 @@
 //! Property-based tests for the encoding contribution.
 
-use cnt_encoding::popcount::{invert_range, popcount_range, popcount_words};
+use cnt_encoding::popcount::{invert_range, popcount_range, popcount_range_masked, popcount_words};
 use cnt_encoding::{
     AccessHistory, BitPreference, DirectionBits, DirectionPredictor, LineCodec, PartitionLayout,
     PredictorConfig, ThresholdTable,
@@ -92,6 +92,25 @@ proptest! {
         let outside_before = popcount_words(&words) - naive;
         let outside_after = popcount_words(&inverted) - (len - naive);
         prop_assert_eq!(outside_before, outside_after);
+    }
+
+    /// The word-aligned fast path of `popcount_range` agrees with the
+    /// general masked path on every range, aligned or not.
+    #[test]
+    fn popcount_fast_path_matches_masked(words in prop::collection::vec(any::<u64>(), 1..6), start in 0u32..320, len in 0u32..320) {
+        let total = words.len() as u32 * 64;
+        prop_assume!(len >= 1 && start + len <= total);
+        prop_assert_eq!(
+            popcount_range(&words, start, len),
+            popcount_range_masked(&words, start, len)
+        );
+        // Word-aligned ranges (the fast path's trigger) specifically.
+        let wstart = (start / 64) * 64;
+        let wlen = (len.div_ceil(64) * 64).min(total - wstart);
+        prop_assert_eq!(
+            popcount_range(&words, wstart, wlen),
+            popcount_range_masked(&words, wstart, wlen)
+        );
     }
 
     /// The threshold table's decision always matches the sign of the exact

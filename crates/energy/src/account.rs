@@ -266,7 +266,10 @@ impl EnergyMeter {
     /// `width`.
     pub fn charge_read_word_kind(&mut self, value: u64, width: u32, kind: ChargeKind) {
         assert!(width <= 64, "word width {width} exceeds 64");
-        debug_assert!(width == 64 || value >> width == 0, "value has bits above width");
+        debug_assert!(
+            width == 64 || value >> width == 0,
+            "value has bits above width"
+        );
         let ones = value.count_ones();
         self.charge_read_bits_kind(ones, width, kind);
     }
@@ -279,7 +282,10 @@ impl EnergyMeter {
     /// `width`.
     pub fn charge_write_word_kind(&mut self, value: u64, width: u32, kind: ChargeKind) {
         assert!(width <= 64, "word width {width} exceeds 64");
-        debug_assert!(width == 64 || value >> width == 0, "value has bits above width");
+        debug_assert!(
+            width == 64 || value >> width == 0,
+            "value has bits above width"
+        );
         let ones = value.count_ones();
         self.charge_write_bits_kind(ones, width, kind);
     }
@@ -321,7 +327,10 @@ impl EnergyMeter {
     /// Panics if `ones > width` or `scale` is negative or non-finite.
     pub fn charge_read_bits_scaled(&mut self, ones: u32, width: u32, kind: ChargeKind, scale: f64) {
         assert!(ones <= width, "ones {ones} > width {width}");
-        assert!(scale.is_finite() && scale >= 0.0, "bad energy scale {scale}");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "bad energy scale {scale}"
+        );
         let energy = self.model.bits().read_bits(ones, width) * scale;
         self.breakdown
             .record(kind, u64::from(ones), u64::from(width), energy);
@@ -335,9 +344,18 @@ impl EnergyMeter {
     /// # Panics
     ///
     /// Panics if `ones > width` or `scale` is negative or non-finite.
-    pub fn charge_write_bits_scaled(&mut self, ones: u32, width: u32, kind: ChargeKind, scale: f64) {
+    pub fn charge_write_bits_scaled(
+        &mut self,
+        ones: u32,
+        width: u32,
+        kind: ChargeKind,
+        scale: f64,
+    ) {
         assert!(ones <= width, "ones {ones} > width {width}");
-        assert!(scale.is_finite() && scale >= 0.0, "bad energy scale {scale}");
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "bad energy scale {scale}"
+        );
         let energy = self.model.bits().write_bits(ones, width) * scale;
         self.breakdown
             .record(kind, u64::from(ones), u64::from(width), energy);

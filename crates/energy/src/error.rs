@@ -34,7 +34,10 @@ impl fmt::Display for EnergyModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EnergyModelError::NegativeEnergy { which, value } => {
-                write!(f, "energy `{which}` must be finite and non-negative, got {value}")
+                write!(
+                    f,
+                    "energy `{which}` must be finite and non-negative, got {value}"
+                )
             }
             EnergyModelError::InvertedAsymmetry { which } => {
                 write!(f, "inverted {which} asymmetry")

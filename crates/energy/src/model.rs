@@ -469,7 +469,9 @@ mod tests {
 
     #[test]
     fn energy_sum_and_ordering() {
-        let total: Energy = (0..10).map(|i| Energy::from_femtojoules(f64::from(i))).sum();
+        let total: Energy = (0..10)
+            .map(|i| Energy::from_femtojoules(f64::from(i)))
+            .sum();
         assert_eq!(total.femtojoules(), 45.0);
         assert!(Energy::from_femtojoules(2.0) > Energy::from_femtojoules(1.0));
         assert_eq!(
@@ -538,7 +540,10 @@ mod tests {
         let mut bits = BitEnergies::cnfet_default();
         bits.rd0 = Energy::from_femtojoules(-1.0);
         let err = bits.validate().unwrap_err();
-        assert!(matches!(err, EnergyModelError::NegativeEnergy { which: "rd0", .. }));
+        assert!(matches!(
+            err,
+            EnergyModelError::NegativeEnergy { which: "rd0", .. }
+        ));
     }
 
     #[test]

@@ -118,8 +118,8 @@ impl DeviceParams {
     /// device (4 tubes of 1.5 nm). Fewer/thinner tubes mean weaker drive,
     /// slower transitions and more crowbar energy, so the factor grows.
     fn drive_factor(&self) -> f64 {
-        let tube_term =
-            (1.0 + TUBE_SENSITIVITY / f64::from(self.tubes_per_fet)) / (1.0 + TUBE_SENSITIVITY / REF_TUBES);
+        let tube_term = (1.0 + TUBE_SENSITIVITY / f64::from(self.tubes_per_fet))
+            / (1.0 + TUBE_SENSITIVITY / REF_TUBES);
         let diameter_term = (REF_DIAMETER_NM / self.tube_diameter_nm).sqrt();
         tube_term * diameter_term
     }
@@ -150,7 +150,9 @@ impl DeviceParams {
         let bits = BitEnergies {
             rd0: Energy::from_femtojoules(self.bitline_cap_ff * v2 * 0.800 * k),
             rd1: Energy::from_femtojoules(self.bitline_cap_ff * v2 * 0.140 * k),
-            wr1: Energy::from_femtojoules((0.59 * self.bitline_cap_ff + self.internal_cap_ff) * v2 * k),
+            wr1: Energy::from_femtojoules(
+                (0.59 * self.bitline_cap_ff + self.internal_cap_ff) * v2 * k,
+            ),
             wr0: Energy::from_femtojoules(self.internal_cap_ff * v2 * 0.777 * k),
         };
         bits.validate()?;
@@ -179,7 +181,10 @@ mod tests {
             (derived.wr1, reference.wr1),
         ] {
             let rel = (d - r).abs().femtojoules() / r.femtojoules();
-            assert!(rel < 0.05, "derived {d} vs reference {r} ({rel:.3} rel err)");
+            assert!(
+                rel < 0.05,
+                "derived {d} vs reference {r} ({rel:.3} rel err)"
+            );
         }
     }
 

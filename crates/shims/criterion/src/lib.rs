@@ -1,0 +1,249 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the group / `bench_function` / `bench_with_input` API subset
+//! the workspace's benches use, backed by a simple wall-clock measurement
+//! loop. Passing `--test` (as `cargo test` does for bench targets) runs
+//! each benchmark exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo's test runner invokes bench binaries with `--test`; in
+        // that mode we only smoke-run each benchmark once.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            smoke: self.smoke,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let smoke = self.smoke;
+        run_one(&id.into(), None, smoke, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, self.smoke, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.throughput,
+            self.smoke,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Units-per-iteration annotation used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Mean wall-clock time per iteration from the measurement phase.
+    per_iter: Duration,
+}
+
+enum BenchMode {
+    /// Run exactly once (smoke mode under `cargo test`).
+    Smoke,
+    /// Calibrate then measure.
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(routine());
+                self.per_iter = Duration::ZERO;
+            }
+            BenchMode::Measure => {
+                // Calibrate: find an iteration count that takes ~50 ms.
+                let mut iters: u64 = 1;
+                let budget = Duration::from_millis(50);
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= budget || iters >= 1 << 30 {
+                        self.per_iter = elapsed / iters as u32;
+                        break;
+                    }
+                    // Aim past the budget next round to finish quickly.
+                    iters = if elapsed.is_zero() {
+                        iters * 16
+                    } else {
+                        let scale = budget.as_nanos() as u64 * 2 / elapsed.as_nanos().max(1) as u64;
+                        (iters * scale.clamp(2, 16)).min(1 << 30)
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F>(label: &str, throughput: Option<Throughput>, smoke: bool, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mode: if smoke {
+            BenchMode::Smoke
+        } else {
+            BenchMode::Measure
+        },
+        per_iter: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if smoke {
+        println!("bench {label}: ok (smoke)");
+        return;
+    }
+    let nanos = bencher.per_iter.as_nanos() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if nanos > 0.0 => {
+            format!("  {:.1} Melem/s", n as f64 / nanos * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if nanos > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / nanos * 1e9 / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label}: {nanos:.0} ns/iter{rate}");
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = <$crate::Criterion as ::std::default::Default>::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            mode: BenchMode::Smoke,
+            per_iter: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { smoke: true };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 8), &8u32, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,385 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this
+//! crate parses the item's token stream by hand. It supports exactly the
+//! shapes the workspace uses:
+//!
+//! * structs with named fields,
+//! * single-field tuple structs (serialized as the inner value, i.e. the
+//!   serde newtype/`#[serde(transparent)]` representation),
+//! * enums whose variants are units or carry named fields (externally
+//!   tagged, serde's default).
+//!
+//! Generics, tuple variants, and field attributes are rejected with a
+//! `compile_error!` instead of silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { f1: T1, … }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T);` — serialized transparently as the inner value.
+    Newtype { name: String },
+    /// `enum Name { Unit, Newtype(T), Struct { f: T }, … }`
+    Enum {
+        name: String,
+        variants: Vec<(String, Variant)>,
+    },
+}
+
+/// The shape of one enum variant.
+enum Variant {
+    Unit,
+    /// Single-field tuple variant, externally tagged as `{"Name": value}`.
+    Newtype,
+    /// Named-field variant, externally tagged as `{"Name": {fields…}}`.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i).as_deref() {
+        Some(k @ ("struct" | "enum")) => k.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i)
+        .ok_or("serde shim derive: expected item name")?
+        .to_string();
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            let fields = parse_named_fields(g.stream())?;
+            Ok(Item::Struct { name, fields })
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let arity = top_level_comma_groups(g.stream());
+            if arity == 1 {
+                Ok(Item::Newtype { name })
+            } else {
+                Err(format!(
+                    "serde shim derive: tuple struct `{name}` must have exactly one field"
+                ))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            let variants = parse_variants(g.stream())?;
+            Ok(Item::Enum { name, variants })
+        }
+        _ => Err(format!("serde shim derive: malformed body for `{name}`")),
+    }
+}
+
+/// Advances past any `#[…]` attributes and `pub` / `pub(…)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracket group.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses `f1: T1, f2: T2, …` (with attributes and visibility) into the
+/// ordered field-name list. Types are skipped with angle-bracket tracking
+/// so `HashMap<u64, Box<[u64; 8]>>` does not split on its inner comma.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(name) = ident_at(&tokens, i) else {
+            if i >= tokens.len() {
+                return Ok(fields);
+            }
+            return Err(format!(
+                "serde shim derive: expected field name, got {:?}",
+                tokens[i].to_string()
+            ));
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+    }
+}
+
+/// Parses enum variants: `Unit, Newtype(T), WithFields { f: T }, …`.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Variant)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(name) = ident_at(&tokens, i) else {
+            if i >= tokens.len() {
+                return Ok(variants);
+            }
+            return Err("serde shim derive: expected variant name".into());
+        };
+        i += 1;
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Variant::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if top_level_comma_groups(g.stream()) != 1 {
+                    return Err(format!(
+                        "serde shim derive: multi-field tuple variant `{name}` is not supported"
+                    ));
+                }
+                i += 1;
+                Variant::Newtype
+            }
+            _ => Variant::Unit,
+        };
+        variants.push((name, variant));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Counts top-level comma-separated groups in a token stream (trailing
+/// comma tolerated). Used to check tuple-struct arity.
+fn top_level_comma_groups(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut groups = 0usize;
+    let mut in_group = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    in_group = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_group {
+            in_group = true;
+            groups += 1;
+        }
+    }
+    groups
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn map_entries(fields: &[String], access: &str) -> String {
+    let mut out = String::from("::std::vec![");
+    for f in fields {
+        out.push_str(&format!(
+            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({access}{f})),"
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn struct_builder(ty_path: &str, ty_label: &str, fields: &[String], source: &str) -> String {
+    let mut out = format!("{ty_path} {{");
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::struct_field({source}, {f:?}, {ty_label:?})?)?,"
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                fn to_value(&self) -> ::serde::Value {{\
+                    ::serde::Value::Map({entries})\
+                }}\
+            }}",
+            entries = map_entries(fields, "&self.")
+        ),
+        Item::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                fn to_value(&self) -> ::serde::Value {{\
+                    ::serde::Serialize::to_value(&self.0)\
+                }}\
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (variant, shape) in variants {
+                match shape {
+                    Variant::Unit => arms.push_str(&format!(
+                        "{name}::{variant} => ::serde::Value::Str(::std::string::String::from({variant:?})),"
+                    )),
+                    Variant::Newtype => arms.push_str(&format!(
+                        "{name}::{variant}(inner) => ::serde::Value::Map(::std::vec![\
+                            (::std::string::String::from({variant:?}), ::serde::Serialize::to_value(inner)),\
+                        ]),"
+                    )),
+                    Variant::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{variant} {{ {bindings} }} => ::serde::Value::Map(::std::vec![\
+                                (::std::string::String::from({variant:?}), ::serde::Value::Map({entries})),\
+                            ]),",
+                            entries = map_entries(fields, "")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                    fn to_value(&self) -> ::serde::Value {{\
+                        match self {{ {arms} }}\
+                    }}\
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = |name: &str, body: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\
+                fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                    {body}\
+                }}\
+            }}"
+        )
+    };
+    match item {
+        Item::Struct { name, fields } => header(
+            name,
+            &format!(
+                "::std::result::Result::Ok({})",
+                struct_builder(name, name, fields, "v")
+            ),
+        ),
+        Item::Newtype { name } => header(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (variant, shape) in variants {
+                match shape {
+                    Variant::Unit => unit_arms.push_str(&format!(
+                        "{variant:?} => ::std::result::Result::Ok({name}::{variant}),"
+                    )),
+                    Variant::Newtype => tagged_arms.push_str(&format!(
+                        "{variant:?} => ::std::result::Result::Ok({name}::{variant}(\
+                            ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Variant::Struct(fields) => {
+                        let label = format!("{name}::{variant}");
+                        tagged_arms.push_str(&format!(
+                            "{variant:?} => ::std::result::Result::Ok({}),",
+                            struct_builder(&label, &label, fields, "inner")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\
+                    ::serde::Value::Str(s) => match s.as_str() {{\
+                        {unit_arms}\
+                        other => ::std::result::Result::Err(::serde::DeError::custom(\
+                            ::std::format!(\"unknown {name} variant `{{other}}`\"))),\
+                    }},\
+                    ::serde::Value::Map(entries) if entries.len() == 1 => {{\
+                        let (tag, inner) = &entries[0];\
+                        match tag.as_str() {{\
+                            {tagged_arms}\
+                            other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                ::std::format!(\"unknown {name} variant `{{other}}`\"))),\
+                        }}\
+                    }},\
+                    other => ::std::result::Result::Err(::serde::DeError::expected({name:?}, other)),\
+                }}"
+            );
+            header(name, &body)
+        }
+    }
+}

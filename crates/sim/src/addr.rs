@@ -42,7 +42,10 @@ impl Address {
     ///
     /// Panics if `alignment` is not a power of two.
     pub fn align_down(self, alignment: u64) -> Address {
-        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            alignment.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         Address(self.0 & !(alignment - 1))
     }
 
@@ -52,7 +55,10 @@ impl Address {
     ///
     /// Panics if `alignment` is not a power of two.
     pub fn is_aligned(self, alignment: u64) -> bool {
-        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            alignment.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         self.0 & (alignment - 1) == 0
     }
 
@@ -62,7 +68,10 @@ impl Address {
     ///
     /// Panics if `alignment` is not a power of two.
     pub fn offset_in(self, alignment: u64) -> u64 {
-        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            alignment.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         self.0 & (alignment - 1)
     }
 }

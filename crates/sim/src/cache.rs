@@ -68,7 +68,9 @@ pub trait Backing {
 }
 
 /// Hardware prefetching performed by the cache itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum PrefetchPolicy {
     /// No prefetching (the default).
     #[default]
@@ -88,8 +90,9 @@ impl fmt::Display for PrefetchPolicy {
 }
 
 /// How demand writes interact with the array and the backing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
 pub enum WriteMode {
     /// Write-back, write-allocate (the default): stores dirty the line and
     /// reach the backing only on eviction.
@@ -102,7 +105,6 @@ pub enum WriteMode {
     /// array entirely; hits behave like [`WriteMode::WriteThrough`].
     WriteThroughNoAllocate,
 }
-
 
 impl std::fmt::Display for WriteMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -182,7 +184,11 @@ pub struct Cache {
 
 impl Cache {
     /// Creates an empty write-back, write-allocate cache.
-    pub fn new(name: impl Into<String>, geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        geometry: CacheGeometry,
+        replacement: ReplacementKind,
+    ) -> Self {
         let ways = geometry.associativity() as usize;
         let words = geometry.words_per_line();
         let sets = (0..geometry.num_sets())
@@ -250,6 +256,12 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Consumes the cache, returning its accumulated statistics without
+    /// copying them (for end-of-run report assembly).
+    pub fn into_stats(self) -> CacheStats {
+        self.stats
+    }
+
     /// Reads `width` bytes at `addr`, returning the zero-extended value.
     ///
     /// # Errors
@@ -262,7 +274,8 @@ impl Cache {
         lower: &mut dyn Backing,
         observer: &mut dyn ArrayObserver,
     ) -> Result<u64, AccessError> {
-        self.read_outcome(addr, width, lower, observer).map(|o| o.value)
+        self.read_outcome(addr, width, lower, observer)
+            .map(|o| o.value)
     }
 
     /// Reads `width` bytes at `addr` with full outcome detail.
@@ -314,7 +327,8 @@ impl Cache {
         lower: &mut dyn Backing,
         observer: &mut dyn ArrayObserver,
     ) -> Result<(), AccessError> {
-        self.write_outcome(addr, width, value, lower, observer).map(|_| ())
+        self.write_outcome(addr, width, value, lower, observer)
+            .map(|_| ())
     }
 
     /// Writes with full outcome detail.
@@ -511,10 +525,12 @@ impl Cache {
     /// disturbing replacement state or statistics.
     pub fn find(&self, addr: Address) -> Option<LineLocation> {
         let parts = self.geometry.split(addr);
-        self.sets[parts.set as usize].find(parts.tag).map(|way| LineLocation {
-            set: parts.set,
-            way: way as u32,
-        })
+        self.sets[parts.set as usize]
+            .find(parts.tag)
+            .map(|way| LineLocation {
+                set: parts.set,
+                way: way as u32,
+            })
     }
 
     /// Direct access to a line by location (e.g. for the encoding layer).
@@ -617,10 +633,12 @@ impl Backing for CacheLevel<'_> {
         self.cache.stats.record_write(hit);
         self.cache.sets[loc.set as usize].touch_hit(loc.way as usize);
         let line = self.cache.line_at_mut(loc);
-        let old: Vec<u64> = line.as_words().to_vec();
-        line.write_all(data);
-        for (i, (&o, &n)) in old.iter().zip(data.iter()).enumerate() {
-            self.observer.word_written(loc, i, o, n);
+        assert_eq!(data.len(), line.words(), "write size mismatch");
+        for (i, &n) in data.iter().enumerate() {
+            // write_word hands back the replaced word, so the observer
+            // sees the old/new pair without a scratch copy of the line.
+            let old = line.write_word(i, n);
+            self.observer.word_written(loc, i, old, n);
         }
     }
 
@@ -649,7 +667,9 @@ mod tests {
         cache
             .write(Address::new(0x40), 8, 0x1234, &mut mem, &mut ())
             .expect("write ok");
-        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("read ok");
+        let v = cache
+            .read(Address::new(0x40), 8, &mut mem, &mut ())
+            .expect("read ok");
         assert_eq!(v, 0x1234);
     }
 
@@ -657,8 +677,12 @@ mod tests {
     fn miss_then_hit_statistics() {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
-        cache.read(Address::new(0), 8, &mut mem, &mut ()).expect("ok");
-        cache.read(Address::new(8), 8, &mut mem, &mut ()).expect("ok");
+        cache
+            .read(Address::new(0), 8, &mut mem, &mut ())
+            .expect("ok");
+        cache
+            .read(Address::new(8), 8, &mut mem, &mut ())
+            .expect("ok");
         let s = cache.stats();
         assert_eq!(s.read_misses, 1);
         assert_eq!(s.read_hits, 1);
@@ -670,8 +694,12 @@ mod tests {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
         // Three lines mapping to set 0 in a 2-way cache: 0x000, 0x100, 0x200.
-        cache.write(Address::new(0x000), 8, 0xAA, &mut mem, &mut ()).expect("ok");
-        cache.read(Address::new(0x100), 8, &mut mem, &mut ()).expect("ok");
+        cache
+            .write(Address::new(0x000), 8, 0xAA, &mut mem, &mut ())
+            .expect("ok");
+        cache
+            .read(Address::new(0x100), 8, &mut mem, &mut ())
+            .expect("ok");
         let out = cache
             .read_outcome(Address::new(0x200), 8, &mut mem, &mut ())
             .expect("ok");
@@ -680,7 +708,9 @@ mod tests {
         // The dirty value must have landed in memory.
         assert_eq!(mem.load(Address::new(0x000), 8), 0xAA);
         // And reading it again pulls it back correctly.
-        let v = cache.read(Address::new(0x000), 8, &mut mem, &mut ()).expect("ok");
+        let v = cache
+            .read(Address::new(0x000), 8, &mut mem, &mut ())
+            .expect("ok");
         assert_eq!(v, 0xAA);
     }
 
@@ -688,8 +718,12 @@ mod tests {
     fn clean_eviction_skips_writeback() {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
-        cache.read(Address::new(0x000), 8, &mut mem, &mut ()).expect("ok");
-        cache.read(Address::new(0x100), 8, &mut mem, &mut ()).expect("ok");
+        cache
+            .read(Address::new(0x000), 8, &mut mem, &mut ())
+            .expect("ok");
+        cache
+            .read(Address::new(0x100), 8, &mut mem, &mut ())
+            .expect("ok");
         let out = cache
             .read_outcome(Address::new(0x200), 8, &mut mem, &mut ())
             .expect("ok");
@@ -702,8 +736,12 @@ mod tests {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
         mem.store(Address::new(0x40), 8, 0xFFFF_FFFF_FFFF_FFFF);
-        cache.write(Address::new(0x42), 2, 0, &mut mem, &mut ()).expect("ok");
-        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("ok");
+        cache
+            .write(Address::new(0x42), 2, 0, &mut mem, &mut ())
+            .expect("ok");
+        let v = cache
+            .read(Address::new(0x40), 8, &mut mem, &mut ())
+            .expect("ok");
         assert_eq!(v, 0xFFFF_FFFF_0000_FFFF);
     }
 
@@ -712,8 +750,18 @@ mod tests {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
         mem.store(Address::new(0x40), 8, 0x8877_6655_4433_2211);
-        assert_eq!(cache.read(Address::new(0x41), 1, &mut mem, &mut ()).unwrap(), 0x22);
-        assert_eq!(cache.read(Address::new(0x44), 4, &mut mem, &mut ()).unwrap(), 0x8877_6655);
+        assert_eq!(
+            cache
+                .read(Address::new(0x41), 1, &mut mem, &mut ())
+                .unwrap(),
+            0x22
+        );
+        assert_eq!(
+            cache
+                .read(Address::new(0x44), 4, &mut mem, &mut ())
+                .unwrap(),
+            0x8877_6655
+        );
     }
 
     #[test]
@@ -734,9 +782,15 @@ mod tests {
     fn flush_writes_all_dirty_lines() {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
-        cache.write(Address::new(0x00), 8, 1, &mut mem, &mut ()).expect("ok");
-        cache.write(Address::new(0x40), 8, 2, &mut mem, &mut ()).expect("ok");
-        cache.read(Address::new(0x80), 8, &mut mem, &mut ()).expect("ok");
+        cache
+            .write(Address::new(0x00), 8, 1, &mut mem, &mut ())
+            .expect("ok");
+        cache
+            .write(Address::new(0x40), 8, 2, &mut mem, &mut ())
+            .expect("ok");
+        cache
+            .read(Address::new(0x80), 8, &mut mem, &mut ())
+            .expect("ok");
         let written = cache.flush(&mut mem, &mut ());
         assert_eq!(written, 2);
         assert_eq!(mem.load(Address::new(0x00), 8), 1);
@@ -748,18 +802,28 @@ mod tests {
     #[test]
     fn next_line_prefetch_fills_ahead() {
         let g = CacheGeometry::new(4096, 64, 2).expect("valid");
-        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
+        let mut cache =
+            Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
         let mut mem = MainMemory::new();
         mem.store(Address::new(0x40), 8, 99);
-        cache.read(Address::new(0x00), 8, &mut mem, &mut ()).expect("miss");
+        cache
+            .read(Address::new(0x00), 8, &mut mem, &mut ())
+            .expect("miss");
         assert_eq!(cache.stats().prefetch_fills, 1);
-        assert!(cache.peek(Address::new(0x40)).is_some(), "next line resident");
+        assert!(
+            cache.peek(Address::new(0x40)).is_some(),
+            "next line resident"
+        );
         // The subsequent sequential access hits thanks to the prefetch.
-        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("hit");
+        let v = cache
+            .read(Address::new(0x40), 8, &mut mem, &mut ())
+            .expect("hit");
         assert_eq!(v, 99);
         assert_eq!(cache.stats().read_hits, 1);
         // Hitting again issues no further prefetch.
-        cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("hit");
+        cache
+            .read(Address::new(0x40), 8, &mut mem, &mut ())
+            .expect("hit");
         assert_eq!(cache.stats().prefetch_fills, 1);
     }
 
@@ -770,10 +834,13 @@ mod tests {
         // the prefetch immediately evicts the demand line. The demand
         // value must still be correct.
         let g = CacheGeometry::new(64, 64, 1).expect("valid");
-        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
+        let mut cache =
+            Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
         let mut mem = MainMemory::new();
         mem.store(Address::new(0x00), 8, 7);
-        let v = cache.read(Address::new(0x00), 8, &mut mem, &mut ()).expect("ok");
+        let v = cache
+            .read(Address::new(0x00), 8, &mut mem, &mut ())
+            .expect("ok");
         assert_eq!(v, 7, "prefetch eviction must not affect the demand value");
         // The prefetched line displaced the demand line.
         assert!(cache.peek(Address::new(0x00)).is_none());
@@ -783,21 +850,32 @@ mod tests {
     #[test]
     fn prefetch_preserves_dirty_data_through_conflicts() {
         let g = CacheGeometry::new(64, 64, 1).expect("valid");
-        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
+        let mut cache =
+            Cache::new("t", g, ReplacementKind::Lru).with_prefetch(PrefetchPolicy::NextLine);
         let mut mem = MainMemory::new();
-        cache.write(Address::new(0x00), 8, 0xAB, &mut mem, &mut ()).expect("ok");
+        cache
+            .write(Address::new(0x00), 8, 0xAB, &mut mem, &mut ())
+            .expect("ok");
         // The write missed, the prefetch of 0x40 evicted the dirty line,
         // which must have been written back.
         assert_eq!(mem.load(Address::new(0x00), 8), 0xAB);
-        assert_eq!(cache.read(Address::new(0x00), 8, &mut mem, &mut ()).expect("ok"), 0xAB);
+        assert_eq!(
+            cache
+                .read(Address::new(0x00), 8, &mut mem, &mut ())
+                .expect("ok"),
+            0xAB
+        );
     }
 
     #[test]
     fn write_through_keeps_lines_clean_and_memory_fresh() {
         let g = CacheGeometry::new(512, 64, 2).expect("valid");
-        let mut cache = Cache::new("t", g, ReplacementKind::Lru).with_write_mode(WriteMode::WriteThrough);
+        let mut cache =
+            Cache::new("t", g, ReplacementKind::Lru).with_write_mode(WriteMode::WriteThrough);
         let mut mem = MainMemory::new();
-        cache.write(Address::new(0x40), 8, 0xAB, &mut mem, &mut ()).expect("ok");
+        cache
+            .write(Address::new(0x40), 8, 0xAB, &mut mem, &mut ())
+            .expect("ok");
         // Memory already has the value, no flush needed.
         assert_eq!(mem.load(Address::new(0x40), 8), 0xAB);
         assert_eq!(cache.stats().writethroughs, 1);
@@ -806,7 +884,9 @@ mod tests {
         assert!(!line.is_dirty());
         assert_eq!(cache.flush(&mut mem, &mut ()), 0);
         // Sub-word write-through merges correctly.
-        cache.write(Address::new(0x42), 2, 0xFFFF, &mut mem, &mut ()).expect("ok");
+        cache
+            .write(Address::new(0x42), 2, 0xFFFF, &mut mem, &mut ())
+            .expect("ok");
         assert_eq!(mem.load(Address::new(0x40), 8), 0xFFFF_00AB);
     }
 
@@ -825,7 +905,9 @@ mod tests {
         assert!(cache.peek(Address::new(0x40)).is_none());
         assert_eq!(cache.stats().fills, 0);
         // A read allocates; subsequent write hits update the line in place.
-        let v = cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("ok");
+        let v = cache
+            .read(Address::new(0x40), 8, &mut mem, &mut ())
+            .expect("ok");
         assert_eq!(v, 7);
         let out = cache
             .write_outcome(Address::new(0x40), 8, 9, &mut mem, &mut ())
@@ -833,7 +915,12 @@ mod tests {
         assert!(out.hit);
         assert!(out.location.is_some());
         assert_eq!(mem.load(Address::new(0x40), 8), 9);
-        assert_eq!(cache.read(Address::new(0x40), 8, &mut mem, &mut ()).expect("ok"), 9);
+        assert_eq!(
+            cache
+                .read(Address::new(0x40), 8, &mut mem, &mut ())
+                .expect("ok"),
+            9
+        );
     }
 
     #[test]
@@ -843,7 +930,9 @@ mod tests {
             .with_write_mode(WriteMode::WriteThroughNoAllocate);
         let mut mem = MainMemory::new();
         mem.store(Address::new(0x40), 8, 0x1111_2222_3333_4444);
-        cache.write(Address::new(0x42), 2, 0xAAAA, &mut mem, &mut ()).expect("ok");
+        cache
+            .write(Address::new(0x42), 2, 0xAAAA, &mut mem, &mut ())
+            .expect("ok");
         assert_eq!(mem.load(Address::new(0x40), 8), 0x1111_2222_AAAA_4444);
     }
 
@@ -874,9 +963,15 @@ mod tests {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
         let mut obs = Counter::default();
-        cache.write(Address::new(0x000), 8, 1, &mut mem, &mut obs).expect("ok");
-        cache.read(Address::new(0x100), 8, &mut mem, &mut obs).expect("ok");
-        cache.read(Address::new(0x200), 8, &mut mem, &mut obs).expect("ok");
+        cache
+            .write(Address::new(0x000), 8, 1, &mut mem, &mut obs)
+            .expect("ok");
+        cache
+            .read(Address::new(0x100), 8, &mut mem, &mut obs)
+            .expect("ok");
+        cache
+            .read(Address::new(0x200), 8, &mut mem, &mut obs)
+            .expect("ok");
         assert_eq!(obs.fills, 3);
         assert_eq!(obs.writes, 1);
         assert_eq!(obs.reads, 2);
@@ -888,7 +983,9 @@ mod tests {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
         assert!(cache.peek(Address::new(0)).is_none());
-        cache.read(Address::new(0), 8, &mut mem, &mut ()).expect("ok");
+        cache
+            .read(Address::new(0), 8, &mut mem, &mut ())
+            .expect("ok");
         let before = cache.stats().clone();
         assert!(cache.peek(Address::new(0)).is_some());
         assert_eq!(cache.stats(), &before);
@@ -899,7 +996,9 @@ mod tests {
         let mut cache = small_cache();
         let mut mem = MainMemory::new();
         for i in 0..4u64 {
-            cache.read(Address::new(i * 64), 8, &mut mem, &mut ()).expect("ok");
+            cache
+                .read(Address::new(i * 64), 8, &mut mem, &mut ())
+                .expect("ok");
         }
         assert_eq!(cache.valid_lines().count(), 4);
     }
@@ -918,22 +1017,38 @@ mod tests {
             lower: &mut mem,
             observer: &mut (),
         };
-        let v = l1.read(Address::new(0x40), 8, &mut level2, &mut ()).expect("ok");
+        let v = l1
+            .read(Address::new(0x40), 8, &mut level2, &mut ())
+            .expect("ok");
         assert_eq!(v, 777);
         assert_eq!(l1.stats().read_misses, 1);
         assert_eq!(l2.stats().read_misses, 1);
 
         // A second L1 miss to a conflicting line hits in L2.
-        let _ = l1.read(Address::new(0x140), 8, &mut CacheLevel {
-            cache: &mut l2,
-            lower: &mut mem,
-            observer: &mut (),
-        }, &mut ()).expect("ok");
-        let v = l1.read(Address::new(0x40), 8, &mut CacheLevel {
-            cache: &mut l2,
-            lower: &mut mem,
-            observer: &mut (),
-        }, &mut ()).expect("ok");
+        let _ = l1
+            .read(
+                Address::new(0x140),
+                8,
+                &mut CacheLevel {
+                    cache: &mut l2,
+                    lower: &mut mem,
+                    observer: &mut (),
+                },
+                &mut (),
+            )
+            .expect("ok");
+        let v = l1
+            .read(
+                Address::new(0x40),
+                8,
+                &mut CacheLevel {
+                    cache: &mut l2,
+                    lower: &mut mem,
+                    observer: &mut (),
+                },
+                &mut (),
+            )
+            .expect("ok");
         assert_eq!(v, 777);
     }
 
@@ -943,15 +1058,23 @@ mod tests {
         // which must route it through L2's own demand path.
         let g1 = CacheGeometry::new(128, 64, 1).expect("ok");
         let g2 = CacheGeometry::new(512, 64, 2).expect("ok");
-        let mut l1 = Cache::new("L1", g1, ReplacementKind::Lru).with_write_mode(WriteMode::WriteThrough);
+        let mut l1 =
+            Cache::new("L1", g1, ReplacementKind::Lru).with_write_mode(WriteMode::WriteThrough);
         let mut l2 = Cache::new("L2", g2, ReplacementKind::Lru);
         let mut mem = MainMemory::new();
 
-        l1.write(Address::new(0x40), 8, 123, &mut CacheLevel {
-            cache: &mut l2,
-            lower: &mut mem,
-            observer: &mut (),
-        }, &mut ()).expect("ok");
+        l1.write(
+            Address::new(0x40),
+            8,
+            123,
+            &mut CacheLevel {
+                cache: &mut l2,
+                lower: &mut mem,
+                observer: &mut (),
+            },
+            &mut (),
+        )
+        .expect("ok");
 
         // The word reached L2 (dirty there, write-back L2) but not memory.
         assert_eq!(l1.stats().writethroughs, 1);
@@ -959,17 +1082,31 @@ mod tests {
         l2.flush(&mut mem, &mut ());
         assert_eq!(mem.load(Address::new(0x40), 8), 123);
         // And L1's copy stays clean and coherent.
-        let v = l1.read(Address::new(0x40), 8, &mut CacheLevel {
-            cache: &mut l2,
-            lower: &mut mem,
-            observer: &mut (),
-        }, &mut ()).expect("ok");
+        let v = l1
+            .read(
+                Address::new(0x40),
+                8,
+                &mut CacheLevel {
+                    cache: &mut l2,
+                    lower: &mut mem,
+                    observer: &mut (),
+                },
+                &mut (),
+            )
+            .expect("ok");
         assert_eq!(v, 123);
-        assert_eq!(l1.flush(&mut CacheLevel {
-            cache: &mut l2,
-            lower: &mut mem,
-            observer: &mut (),
-        }, &mut ()), 0, "write-through L1 has no dirty lines");
+        assert_eq!(
+            l1.flush(
+                &mut CacheLevel {
+                    cache: &mut l2,
+                    lower: &mut mem,
+                    observer: &mut (),
+                },
+                &mut ()
+            ),
+            0,
+            "write-through L1 has no dirty lines"
+        );
     }
 
     #[test]
@@ -981,16 +1118,29 @@ mod tests {
         let mut mem = MainMemory::new();
 
         // Dirty line at 0x000, then conflict-evict it via 0x080 (same L1 set).
-        l1.write(Address::new(0x000), 8, 42, &mut CacheLevel {
-            cache: &mut l2,
-            lower: &mut mem,
-            observer: &mut (),
-        }, &mut ()).expect("ok");
-        l1.read(Address::new(0x080), 8, &mut CacheLevel {
-            cache: &mut l2,
-            lower: &mut mem,
-            observer: &mut (),
-        }, &mut ()).expect("ok");
+        l1.write(
+            Address::new(0x000),
+            8,
+            42,
+            &mut CacheLevel {
+                cache: &mut l2,
+                lower: &mut mem,
+                observer: &mut (),
+            },
+            &mut (),
+        )
+        .expect("ok");
+        l1.read(
+            Address::new(0x080),
+            8,
+            &mut CacheLevel {
+                cache: &mut l2,
+                lower: &mut mem,
+                observer: &mut (),
+            },
+            &mut (),
+        )
+        .expect("ok");
 
         // The dirty data now lives in L2 (write hit there), not yet memory.
         assert_eq!(l2.stats().write_hits + l2.stats().write_misses, 1);

@@ -92,7 +92,11 @@ impl CacheGeometry {
     /// Returns a [`GeometryError`] if any parameter is zero or not a power
     /// of two, if the line is smaller than 8 bytes, or if the capacity is
     /// not an exact multiple of `line_bytes * associativity`.
-    pub fn new(size_bytes: u64, line_bytes: u32, associativity: u32) -> Result<Self, GeometryError> {
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u32,
+        associativity: u32,
+    ) -> Result<Self, GeometryError> {
         for (name, value) in [
             ("size_bytes", size_bytes),
             ("line_bytes", u64::from(line_bytes)),
@@ -177,7 +181,9 @@ impl CacheGeometry {
     /// Reconstructs the base address of the line with the given tag in the
     /// given set (the inverse of [`split`](Self::split) with zero offset).
     pub fn line_base(&self, tag: u64, set: u64) -> Address {
-        Address::new((tag << (self.offset_bits() + self.index_bits())) | (set << self.offset_bits()))
+        Address::new(
+            (tag << (self.offset_bits() + self.index_bits())) | (set << self.offset_bits()),
+        )
     }
 }
 
@@ -236,7 +242,10 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(
             CacheGeometry::new(3000, 64, 4),
-            Err(GeometryError::NotPowerOfTwo { name: "size_bytes", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                name: "size_bytes",
+                ..
+            })
         ));
         assert!(CacheGeometry::new(4096, 48, 4).is_err());
         assert!(CacheGeometry::new(4096, 64, 3).is_err());

@@ -104,7 +104,13 @@ impl CacheHierarchy {
                     observer: &mut (),
                 };
                 if is_write {
-                    l1.write(access.addr, access.width, access.value, &mut level2, &mut ())?;
+                    l1.write(
+                        access.addr,
+                        access.width,
+                        access.value,
+                        &mut level2,
+                        &mut (),
+                    )?;
                     Ok(access.value)
                 } else {
                     l1.read(access.addr, access.width, &mut level2, &mut ())
@@ -112,7 +118,13 @@ impl CacheHierarchy {
             }
             None => {
                 if is_write {
-                    l1.write(access.addr, access.width, access.value, &mut self.memory, &mut ())?;
+                    l1.write(
+                        access.addr,
+                        access.width,
+                        access.value,
+                        &mut self.memory,
+                        &mut (),
+                    )?;
                     Ok(access.value)
                 } else {
                     l1.read(access.addr, access.width, &mut self.memory, &mut ())
@@ -191,8 +203,10 @@ mod tests {
     #[test]
     fn ifetch_routes_to_l1i() {
         let mut h = CacheHierarchy::new(HierarchyConfig::typical());
-        h.access(&MemoryAccess::ifetch(Address::new(0x100))).expect("ok");
-        h.access(&MemoryAccess::ifetch(Address::new(0x100))).expect("ok");
+        h.access(&MemoryAccess::ifetch(Address::new(0x100)))
+            .expect("ok");
+        h.access(&MemoryAccess::ifetch(Address::new(0x100)))
+            .expect("ok");
         assert_eq!(h.l1i_stats().accesses(), 2);
         assert_eq!(h.l1i_stats().read_hits, 1);
         assert_eq!(h.l1d_stats().accesses(), 0);
@@ -201,15 +215,19 @@ mod tests {
     #[test]
     fn data_round_trip_through_two_levels() {
         let mut h = CacheHierarchy::new(HierarchyConfig::typical());
-        h.access(&MemoryAccess::write(Address::new(0x2000), 8, 0xABC)).expect("ok");
-        let v = h.access(&MemoryAccess::read(Address::new(0x2000), 8)).expect("ok");
+        h.access(&MemoryAccess::write(Address::new(0x2000), 8, 0xABC))
+            .expect("ok");
+        let v = h
+            .access(&MemoryAccess::read(Address::new(0x2000), 8))
+            .expect("ok");
         assert_eq!(v, 0xABC);
     }
 
     #[test]
     fn flush_propagates_to_memory() {
         let mut h = CacheHierarchy::new(HierarchyConfig::typical());
-        h.access(&MemoryAccess::write(Address::new(0x3000), 8, 77)).expect("ok");
+        h.access(&MemoryAccess::write(Address::new(0x3000), 8, 77))
+            .expect("ok");
         h.flush_all();
         assert_eq!(h.memory_mut().load(Address::new(0x3000), 8), 77);
     }
@@ -219,8 +237,11 @@ mod tests {
         let mut config = HierarchyConfig::typical();
         config.l2 = None;
         let mut h = CacheHierarchy::new(config);
-        h.access(&MemoryAccess::write(Address::new(0x40), 8, 5)).expect("ok");
-        let v = h.access(&MemoryAccess::read(Address::new(0x40), 8)).expect("ok");
+        h.access(&MemoryAccess::write(Address::new(0x40), 8, 5))
+            .expect("ok");
+        let v = h
+            .access(&MemoryAccess::read(Address::new(0x40), 8))
+            .expect("ok");
         assert_eq!(v, 5);
         assert!(h.l2_stats().is_none());
         h.flush_all();
@@ -230,9 +251,11 @@ mod tests {
     #[test]
     fn run_executes_whole_trace() {
         let mut h = CacheHierarchy::new(HierarchyConfig::typical());
-        let trace = [MemoryAccess::write(Address::new(0x0), 8, 1),
+        let trace = [
+            MemoryAccess::write(Address::new(0x0), 8, 1),
             MemoryAccess::read(Address::new(0x0), 8),
-            MemoryAccess::ifetch(Address::new(0x1000))];
+            MemoryAccess::ifetch(Address::new(0x1000)),
+        ];
         let n = h.run(trace.iter()).expect("ok");
         assert_eq!(n, 3);
         assert_eq!(h.l1d_stats().accesses(), 2);

@@ -70,6 +70,16 @@ impl CacheLine {
         &self.data
     }
 
+    /// Mutable view of the stored words, bypassing the dirty flag.
+    ///
+    /// For modelling *physical* effects that are not architectural
+    /// writes (fault injection, in-place re-encoding). Architectural
+    /// stores must go through [`write_word`](Self::write_word) /
+    /// [`write_all`](Self::write_all) so the line is marked dirty.
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
     /// Installs new contents, making the line valid and clean.
     ///
     /// # Panics

@@ -15,8 +15,7 @@ use crate::cache::Backing;
 /// Since the energy model prices bit values, what "cold" memory contains is
 /// an experimental knob: all-zero memory flatters zero-preferring encodings,
 /// while random memory is the adversarial baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum FillPattern {
     /// Uninitialized lines read as all-zero words.
     #[default]
@@ -27,7 +26,6 @@ pub enum FillPattern {
         seed: u64,
     },
 }
-
 
 /// A sparse, word-granular main memory.
 ///
@@ -78,7 +76,8 @@ impl MainMemory {
         match fill {
             FillPattern::Zero => Box::new([0; WORDS_PER_CHUNK]),
             FillPattern::Random { seed } => {
-                let mut rng = SmallRng::seed_from_u64(seed ^ base.wrapping_mul(0xA076_1D64_78BD_642F));
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ base.wrapping_mul(0xA076_1D64_78BD_642F));
                 let mut words = [0u64; WORDS_PER_CHUNK];
                 for w in &mut words {
                     *w = rng.gen();

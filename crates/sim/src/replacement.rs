@@ -27,8 +27,7 @@ use serde::{Deserialize, Serialize};
 /// lru.on_hit(0); // way 0 becomes most recent
 /// assert_eq!(lru.victim(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ReplacementKind {
     /// Least-recently-used (true LRU stack).
     #[default]
@@ -64,7 +63,6 @@ impl ReplacementKind {
         }
     }
 }
-
 
 impl fmt::Display for ReplacementKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -43,10 +43,16 @@ impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseTraceError::BadFieldCount { line, fields } => {
-                write!(f, "line {line}: expected `KIND ADDR WIDTH [VALUE]`, got {fields} fields")
+                write!(
+                    f,
+                    "line {line}: expected `KIND ADDR WIDTH [VALUE]`, got {fields} fields"
+                )
             }
             ParseTraceError::BadKind { line, token } => {
-                write!(f, "line {line}: access kind must be R, W or I, got `{token}`")
+                write!(
+                    f,
+                    "line {line}: access kind must be R, W or I, got `{token}`"
+                )
             }
             ParseTraceError::BadNumber { line, field, token } => {
                 write!(f, "line {line}: cannot parse {field} from `{token}`")
@@ -247,7 +253,9 @@ impl Trace {
 }
 
 fn parse_u64(token: &str, line: usize, field: &'static str) -> Result<u64, ParseTraceError> {
-    let digits = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X"));
+    let digits = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"));
     let result = match digits {
         Some(hex) => u64::from_str_radix(hex, 16),
         None => token.parse(),
@@ -423,11 +431,24 @@ mod tests {
     #[test]
     fn text_parser_reports_errors_with_line_numbers() {
         let err = "R 0x10 8\nX 0x20 8\n".parse::<Trace>().unwrap_err();
-        assert!(matches!(err, ParseTraceError::BadKind { line: 2, .. }), "{err}");
+        assert!(
+            matches!(err, ParseTraceError::BadKind { line: 2, .. }),
+            "{err}"
+        );
         let err = "R zzz 8\n".parse::<Trace>().unwrap_err();
-        assert!(matches!(err, ParseTraceError::BadNumber { line: 1, field: "addr", .. }));
+        assert!(matches!(
+            err,
+            ParseTraceError::BadNumber {
+                line: 1,
+                field: "addr",
+                ..
+            }
+        ));
         let err = "R\n".parse::<Trace>().unwrap_err();
-        assert!(matches!(err, ParseTraceError::BadFieldCount { line: 1, fields: 1 }));
+        assert!(matches!(
+            err,
+            ParseTraceError::BadFieldCount { line: 1, fields: 1 }
+        ));
         let err = "W 0x10 8 1 extra\n".parse::<Trace>().unwrap_err();
         assert!(matches!(err, ParseTraceError::BadFieldCount { .. }));
     }

@@ -82,7 +82,10 @@ pub fn dct8x8(blocks_x: usize, blocks_y: usize, seed: u64) -> Workload {
         } else {
             (word >> 32) as u32
         };
-        assert_eq!(got, expect, "dct self-check failed at block x={bx}, y={y}, u={u}");
+        assert_eq!(
+            got, expect,
+            "dct self-check failed at block x={bx}, y={y}, u={u}"
+        );
     };
     check(0, 0, 0);
     check(blocks_x - 1, height - 1, 7);

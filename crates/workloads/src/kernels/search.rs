@@ -17,7 +17,10 @@ use crate::traced::TracedMemory;
 /// Panics if `n` or `probes` is zero, or a search returns a wrong index
 /// (self-check).
 pub fn binary_search(n: usize, probes: usize, seed: u64) -> Workload {
-    assert!(n > 0 && probes > 0, "binary_search needs n > 0 and probes > 0");
+    assert!(
+        n > 0 && probes > 0,
+        "binary_search needs n > 0 and probes > 0"
+    );
     let mut mem = TracedMemory::new();
     let arr = mem.alloc((n * 8) as u64);
     let at = |i: usize| arr + (i * 8) as u64;
@@ -63,7 +66,10 @@ mod tests {
         let n = 1024;
         let w = binary_search(n, 10, 3);
         let compute = w.trace.len() - n; // minus init writes
-        assert!(compute <= 10 * 11, "at most ~log2(n) reads per probe: {compute}");
+        assert!(
+            compute <= 10 * 11,
+            "at most ~log2(n) reads per probe: {compute}"
+        );
         assert!(compute >= 10, "at least one read per probe");
     }
 

@@ -73,7 +73,10 @@ pub fn quicksort(n: usize, seed: u64) -> Workload {
     }
     let mut check_rng = SmallRng::seed_from_u64(seed);
     let sum_before: u64 = (0..n).fold(0u64, |acc, _| acc.wrapping_add(check_rng.gen::<u64>()));
-    assert_eq!(sum_before, sum_after, "quicksort self-check: checksum changed");
+    assert_eq!(
+        sum_before, sum_after,
+        "quicksort self-check: checksum changed"
+    );
 
     Workload::new(
         "quicksort",

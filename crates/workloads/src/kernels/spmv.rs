@@ -20,7 +20,10 @@ use crate::traced::TracedMemory;
 /// Panics if `rows` or `nnz_per_row` is zero, or the result vector
 /// disagrees with an untraced reference (self-check).
 pub fn spmv(rows: usize, nnz_per_row: usize, seed: u64) -> Workload {
-    assert!(rows > 0 && nnz_per_row > 0, "spmv needs rows > 0 and nnz_per_row > 0");
+    assert!(
+        rows > 0 && nnz_per_row > 0,
+        "spmv needs rows > 0 and nnz_per_row > 0"
+    );
     let nnz = rows * nnz_per_row;
     let mut mem = TracedMemory::new();
     let elements = mem.alloc((nnz * 16) as u64); // interleaved [idx, value]
@@ -95,13 +98,27 @@ mod tests {
             .map(|a| a.value)
             .take(2 * 64 * 8)
             .collect();
-        let idx_density: f64 = writes.iter().step_by(2).map(|v| v.count_ones() as f64).sum::<f64>()
+        let idx_density: f64 = writes
+            .iter()
+            .step_by(2)
+            .map(|v| v.count_ones() as f64)
+            .sum::<f64>()
             / (writes.len() as f64 / 2.0 * 64.0);
-        let val_density: f64 =
-            writes.iter().skip(1).step_by(2).map(|v| v.count_ones() as f64).sum::<f64>()
-                / (writes.len() as f64 / 2.0 * 64.0);
-        assert!(idx_density < 0.1, "index words must be sparse: {idx_density}");
-        assert!((val_density - 0.5).abs() < 0.05, "value words must be dense: {val_density}");
+        let val_density: f64 = writes
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|v| v.count_ones() as f64)
+            .sum::<f64>()
+            / (writes.len() as f64 / 2.0 * 64.0);
+        assert!(
+            idx_density < 0.1,
+            "index words must be sparse: {idx_density}"
+        );
+        assert!(
+            (val_density - 0.5).abs() < 0.05,
+            "value words must be dense: {val_density}"
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ use crate::traced::TracedMemory;
 /// Panics if the grid is smaller than 3×3, `iters` is zero, or the
 /// self-check fails.
 pub fn stencil2d(width: usize, height: usize, iters: usize) -> Workload {
-    assert!(width >= 3 && height >= 3, "stencil needs at least a 3x3 grid");
+    assert!(
+        width >= 3 && height >= 3,
+        "stencil needs at least a 3x3 grid"
+    );
     assert!(iters > 0, "stencil needs at least one sweep");
     let mut mem = TracedMemory::new();
     let bytes = (width * height * 4) as u64;
@@ -57,7 +60,10 @@ pub fn stencil2d(width: usize, height: usize, iters: usize) -> Workload {
             } else {
                 (word >> 32) as u32
             };
-            assert!(v <= 96, "stencil self-check: averaging exceeded extrema at ({x},{y})");
+            assert!(
+                v <= 96,
+                "stencil self-check: averaging exceeded extrema at ({x},{y})"
+            );
         }
     }
 

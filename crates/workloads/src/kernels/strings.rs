@@ -19,7 +19,10 @@ use crate::traced::TracedMemory;
 /// traced scan disagrees with an untraced reference count (self-check).
 pub fn string_search(text_len: usize, pattern_len: usize, seed: u64) -> Workload {
     assert!(pattern_len > 0, "pattern must be non-empty");
-    assert!(text_len > pattern_len, "text must be longer than the pattern");
+    assert!(
+        text_len > pattern_len,
+        "text must be longer than the pattern"
+    );
     let mut mem = TracedMemory::new();
     let text = mem.alloc(text_len as u64);
     let pattern = mem.alloc(pattern_len as u64);

@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
-pub mod synthetic;
 mod suite;
+pub mod synthetic;
 mod traced;
 
 pub use suite::{suite, suite_extended, suite_seeded, suite_small, Workload};

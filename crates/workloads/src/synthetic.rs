@@ -107,7 +107,11 @@ impl SyntheticSpec {
         for line in 0..self.footprint_lines {
             for word in 0..8u64 {
                 let addr = Address::new(BASE + (line as u64) * 64 + word * 8);
-                trace.push(MemoryAccess::write(addr, 8, word_with_density(&mut rng, self.ones_density)));
+                trace.push(MemoryAccess::write(
+                    addr,
+                    8,
+                    word_with_density(&mut rng, self.ones_density),
+                ));
             }
         }
 
@@ -134,7 +138,8 @@ impl SyntheticSpec {
                 AddressPattern::Zipfian { .. } => {
                     let cdf = zipf_cdf.as_ref().expect("cdf precomputed");
                     let u: f64 = rng.gen();
-                    cdf.partition_point(|&c| c < u).min(self.footprint_lines - 1)
+                    cdf.partition_point(|&c| c < u)
+                        .min(self.footprint_lines - 1)
                 }
             };
             let word = rng.gen_range(0..8u64);
@@ -210,7 +215,11 @@ impl StripedSpec {
         for line in 0..self.footprint_lines {
             for (word, &density) in self.densities.iter().enumerate() {
                 let addr = Address::new(BASE + (line as u64) * 64 + (word as u64) * 8);
-                trace.push(MemoryAccess::write(addr, 8, word_with_density(&mut rng, density)));
+                trace.push(MemoryAccess::write(
+                    addr,
+                    8,
+                    word_with_density(&mut rng, density),
+                ));
             }
         }
         for _ in 0..self.accesses {
@@ -270,7 +279,9 @@ mod tests {
     fn density_controls_written_bits() {
         let mut rng = SmallRng::seed_from_u64(1);
         for &d in &[0.0, 0.1, 0.5, 0.9, 1.0] {
-            let ones: u32 = (0..64).map(|_| word_with_density(&mut rng, d).count_ones()).sum();
+            let ones: u32 = (0..64)
+                .map(|_| word_with_density(&mut rng, d).count_ones())
+                .sum();
             let measured = f64::from(ones) / (64.0 * 64.0);
             assert!(
                 (measured - d).abs() < 0.08,

@@ -81,7 +81,8 @@ impl TracedMemory {
 
     /// Stores a 32-bit word (traced).
     pub fn store_u32(&mut self, addr: Address, value: u32) {
-        self.trace.push(MemoryAccess::write(addr, 4, u64::from(value)));
+        self.trace
+            .push(MemoryAccess::write(addr, 4, u64::from(value)));
         self.memory.store(addr, 4, u64::from(value));
     }
 
@@ -93,7 +94,8 @@ impl TracedMemory {
 
     /// Stores one byte (traced).
     pub fn store_u8(&mut self, addr: Address, value: u8) {
-        self.trace.push(MemoryAccess::write(addr, 1, u64::from(value)));
+        self.trace
+            .push(MemoryAccess::write(addr, 1, u64::from(value)));
         self.memory.store(addr, 1, u64::from(value));
     }
 

@@ -10,7 +10,10 @@ use cnt_encoding::BitPreference;
 use cnt_sim::trace::Trace;
 use cnt_workloads::suite;
 
-fn simulate(policy: EncodingPolicy, trace: &Trace) -> Result<EnergyReport, Box<dyn std::error::Error>> {
+fn simulate(
+    policy: EncodingPolicy,
+    trace: &Trace,
+) -> Result<EnergyReport, Box<dyn std::error::Error>> {
     let mut cache = CntCache::new(CntCacheConfig::builder().policy(policy).build()?)?;
     cache.run(trace.iter())?;
     cache.flush();

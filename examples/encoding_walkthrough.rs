@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = LineCodec::new(PartitionLayout::full_line(512)?);
     let part = LineCodec::new(PartitionLayout::new(512, 8)?);
 
-    println!("read-intensive line, raw ones = {}/512", popcount_words(&line));
+    println!(
+        "read-intensive line, raw ones = {}/512",
+        popcount_words(&line)
+    );
     let d_full = full.choose_directions(&line, BitPreference::MoreOnes);
     let d_part = part.choose_directions(&line, BitPreference::MoreOnes);
     println!(

@@ -50,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Energy view: CNT encoding placed at different levels ----------
     println!("\nwhole-hierarchy dynamic energy by encoder placement:");
     let placements: [(&str, EncodingPolicy, EncodingPolicy, EncodingPolicy); 4] = [
-        ("none", EncodingPolicy::None, EncodingPolicy::None, EncodingPolicy::None),
+        (
+            "none",
+            EncodingPolicy::None,
+            EncodingPolicy::None,
+            EncodingPolicy::None,
+        ),
         (
             "L1D only",
             EncodingPolicy::None,
@@ -76,8 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // "Load the program": realistic ~30%-density instruction words.
         let mut rng = SmallRng::seed_from_u64(0xC0DE);
         for word in 0..64 * 8u64 {
-            h.memory_mut()
-                .store(Address::new(0x0040_0000 + word * 8), 8, word_with_density(&mut rng, 0.30));
+            h.memory_mut().store(
+                Address::new(0x0040_0000 + word * 8),
+                8,
+                word_with_density(&mut rng, 0.30),
+            );
         }
         h.run(trace.iter())?;
         h.flush_all();

@@ -105,7 +105,11 @@ fn reads_see_writes_in_program_order() {
             } else {
                 let expect = flat.load(access.addr, access.width);
                 let got = cache.read(access.addr, access.width).expect("read ok");
-                assert_eq!(got, expect, "{}: read mismatch at {}", workload.name, access.addr);
+                assert_eq!(
+                    got, expect,
+                    "{}: read mismatch at {}",
+                    workload.name, access.addr
+                );
             }
         }
     }
@@ -132,7 +136,11 @@ fn wide_lines_and_many_partitions_work_end_to_end() {
             cache.run(w.trace.iter()).expect("trace runs");
         }
         cache.flush();
-        assert!(cache.audit().is_ok(), "partitions={partitions}: {:?}", cache.audit());
+        assert!(
+            cache.audit().is_ok(),
+            "partitions={partitions}: {:?}",
+            cache.audit()
+        );
         // All resident lines still decode.
         let lines: Vec<_> = cache
             .valid_lines()
@@ -160,16 +168,30 @@ fn sixteen_bit_accesses_preserve_semantics_under_encoding() {
     // Dense interleaving of 1/2/4/8-byte accesses to overlapping words.
     for i in 0..512u64 {
         let base = (i % 32) * 64;
-        cache.write(Address::new(base), 8, i.wrapping_mul(0x0101_0101_0101_0101)).expect("w8");
-        cache.write(Address::new(base + 8), 2, i & 0xFFFF).expect("w2");
-        cache.write(Address::new(base + 12), 4, (i ^ 0xFFFF_FFFF) & 0xFFFF_FFFF).expect("w4");
-        cache.write(Address::new(base + 17), 1, i & 0xFF).expect("w1");
-        assert_eq!(cache.read(Address::new(base + 8), 2).expect("r2"), i & 0xFFFF);
+        cache
+            .write(Address::new(base), 8, i.wrapping_mul(0x0101_0101_0101_0101))
+            .expect("w8");
+        cache
+            .write(Address::new(base + 8), 2, i & 0xFFFF)
+            .expect("w2");
+        cache
+            .write(Address::new(base + 12), 4, (i ^ 0xFFFF_FFFF) & 0xFFFF_FFFF)
+            .expect("w4");
+        cache
+            .write(Address::new(base + 17), 1, i & 0xFF)
+            .expect("w1");
+        assert_eq!(
+            cache.read(Address::new(base + 8), 2).expect("r2"),
+            i & 0xFFFF
+        );
         assert_eq!(
             cache.read(Address::new(base + 12), 4).expect("r4"),
             (i ^ 0xFFFF_FFFF) & 0xFFFF_FFFF
         );
-        assert_eq!(cache.read(Address::new(base + 17), 1).expect("r1"), i & 0xFF);
+        assert_eq!(
+            cache.read(Address::new(base + 17), 1).expect("r1"),
+            i & 0xFF
+        );
     }
     assert!(cache.audit().is_ok());
 }
@@ -193,10 +215,7 @@ fn stored_lines_always_decode_to_logical_content() {
     for (loc, logical, dirs) in lines {
         let stored = cache.stored_line(loc).expect("valid line");
         // XOR involution: applying the direction mask twice restores.
-        assert!(
-            !stored.is_empty(),
-            "stored line must materialize at {loc}"
-        );
+        assert!(!stored.is_empty(), "stored line must materialize at {loc}");
         if dirs.all_normal_dirs() {
             assert_eq!(stored, logical, "normal lines are stored verbatim");
         } else {

@@ -5,7 +5,9 @@
 
 use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
 use cnt_energy::{BitEnergies, ChargeKind, Energy};
-use cnt_sim::{Address, ArrayObserver, Cache, CacheGeometry, LineLocation, MainMemory, ReplacementKind};
+use cnt_sim::{
+    Address, ArrayObserver, Cache, CacheGeometry, LineLocation, MainMemory, ReplacementKind,
+};
 use cnt_workloads::suite_small;
 
 /// Independent accountant: counts stored bits the way the physical array
@@ -75,8 +77,14 @@ fn baseline_meter_matches_independent_accounting() {
         let mut accountant = ReferenceAccountant::default();
         for access in workload.trace.iter() {
             if access.is_write() {
-                raw.write(access.addr, access.width, access.value, &mut mem, &mut accountant)
-                    .expect("write ok");
+                raw.write(
+                    access.addr,
+                    access.width,
+                    access.value,
+                    &mut mem,
+                    &mut accountant,
+                )
+                .expect("write ok");
             } else {
                 raw.read(access.addr, access.width, &mut mem, &mut accountant)
                     .expect("read ok");
@@ -97,9 +105,18 @@ fn baseline_meter_matches_independent_accounting() {
         // Bit counts agree too.
         let b = cache.meter().breakdown();
         assert_eq!(b.bits_read(), accountant.read_bits, "{}", workload.name);
-        assert_eq!(b.bits_written(), accountant.written_bits, "{}", workload.name);
+        assert_eq!(
+            b.bits_written(),
+            accountant.written_bits,
+            "{}",
+            workload.name
+        );
         assert_eq!(b.bits_read_one, accountant.read_ones, "{}", workload.name);
-        assert_eq!(b.bits_written_one, accountant.written_ones, "{}", workload.name);
+        assert_eq!(
+            b.bits_written_one, accountant.written_ones,
+            "{}",
+            workload.name
+        );
     }
 }
 

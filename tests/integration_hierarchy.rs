@@ -3,7 +3,9 @@
 //! invariants.
 
 use cnt_sim::trace::{MemoryAccess, Trace};
-use cnt_sim::{Address, CacheGeometry, CacheHierarchy, HierarchyConfig, MainMemory, ReplacementKind};
+use cnt_sim::{
+    Address, CacheGeometry, CacheHierarchy, HierarchyConfig, MainMemory, ReplacementKind,
+};
 use cnt_workloads::suite_small;
 
 fn tiny_hierarchy() -> CacheHierarchy {
@@ -59,7 +61,10 @@ fn l2_sees_only_l1_misses() {
         l1_misses + l1_writebacks,
         "every L2 access is an L1 refill or spill"
     );
-    assert!(l2.accesses() < workload.trace.len() as u64, "L1 must filter");
+    assert!(
+        l2.accesses() < workload.trace.len() as u64,
+        "L1 must filter"
+    );
 }
 
 #[test]

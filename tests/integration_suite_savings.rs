@@ -7,7 +7,10 @@ use cnt_workloads::suite_small;
 
 fn run(policy: EncodingPolicy, trace: &Trace) -> EnergyReport {
     let mut cache = CntCache::new(
-        CntCacheConfig::builder().policy(policy).build().expect("valid config"),
+        CntCacheConfig::builder()
+            .policy(policy)
+            .build()
+            .expect("valid config"),
     )
     .expect("valid cache");
     cache.run(trace.iter()).expect("trace runs");
