@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! bench_throughput [--jobs N] [--out PATH]
+//!                  [--metrics-out FILE [--metrics-every N]]
 //! ```
 //!
 //! Both passes run the identical (benchmark x policy) replay matrix —
@@ -24,6 +25,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs = pool::default_jobs();
     let mut out_path = String::from("BENCH_parallel.json");
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_every: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -45,12 +48,42 @@ fn main() -> ExitCode {
                 };
                 out_path = p.clone();
             }
+            "--metrics-out" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("error: --metrics-out needs a path");
+                    return ExitCode::from(2);
+                };
+                metrics_out = Some(p.clone());
+            }
+            "--metrics-every" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("error: --metrics-every needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --metrics-every needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                metrics_every = Some(n);
+            }
             other => {
-                eprintln!("usage: bench_throughput [--jobs N] [--out PATH]");
+                eprintln!(
+                    "usage: bench_throughput [--jobs N] [--out PATH] \
+                     [--metrics-out FILE [--metrics-every N]]"
+                );
                 eprintln!("error: unknown argument `{other}`");
                 return ExitCode::from(2);
             }
         }
+    }
+    if metrics_every.is_some() && metrics_out.is_none() {
+        eprintln!("error: --metrics-every needs --metrics-out");
+        return ExitCode::from(2);
+    }
+    if metrics_out.is_some() {
+        let every = metrics_every.unwrap_or(10_000);
+        cnt_obs::install(every);
+        eprintln!("metrics: snapshot every {every} accesses");
     }
 
     let workloads = cnt_workloads::suite();
@@ -61,12 +94,21 @@ fn main() -> ExitCode {
         .map(|w| w.trace.len() as u64 * policies.len() as u64)
         .sum();
 
-    let measure = |jobs: usize| -> PassRecord {
+    let measure = |label: &str, jobs: usize| -> PassRecord {
         pool::set_jobs(jobs);
-        // Full warm-up replay so neither measured pass pays first-touch
-        // costs the other would not (the first pass would otherwise warm
-        // the allocator and page cache for the second).
-        let _ = run_dcache_matrix(&workloads, &policies);
+        // Distinct scope labels per pass: the same matrix replays four
+        // times (warmup + measured, sequential + parallel), so snapshot
+        // ids must not collide across passes.
+        let _pass = cnt_obs::scoped(label);
+        {
+            // Full warm-up replay so neither measured pass pays
+            // first-touch costs the other would not (the first pass
+            // would otherwise warm the allocator and page cache for the
+            // second).
+            let _warmup = cnt_obs::scoped("warmup");
+            let _ = run_dcache_matrix(&workloads, &policies);
+        }
+        let _measured = cnt_obs::scoped("measured");
         let start = Instant::now();
         let matrix = run_dcache_matrix(&workloads, &policies);
         let wall = start.elapsed().as_secs_f64();
@@ -74,18 +116,24 @@ fn main() -> ExitCode {
         PassRecord {
             jobs,
             wall_seconds: wall,
-            accesses_per_second: accesses_per_pass as f64 / wall,
+            // Guard the degenerate zero-wall case: the record must stay
+            // serializable, and serde_json rejects non-finite floats.
+            accesses_per_second: if wall > 0.0 {
+                accesses_per_pass as f64 / wall
+            } else {
+                0.0
+            },
         }
     };
 
     eprintln!("replaying suite sequentially (--jobs 1)...");
-    let seq = measure(1);
+    let seq = measure("seq", 1);
     eprintln!(
         "  {:.3} s  ({:.0} accesses/s)",
         seq.wall_seconds, seq.accesses_per_second
     );
     eprintln!("replaying suite in parallel (--jobs {jobs})...");
-    let par = measure(jobs);
+    let par = measure("par", jobs);
     eprintln!(
         "  {:.3} s  ({:.0} accesses/s)",
         par.wall_seconds, par.accesses_per_second
@@ -111,5 +159,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
+
+    if let Some(path) = metrics_out {
+        let snapshots = cnt_obs::drain();
+        let jsonl = match cnt_obs::to_jsonl(&snapshots) {
+            Ok(jsonl) => jsonl,
+            Err(e) => {
+                eprintln!("error: cannot serialize metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics: wrote {} snapshots to {path}", snapshots.len());
+    }
     ExitCode::SUCCESS
 }

@@ -8,16 +8,29 @@
 //! experiments --jobs 4 all    # cap the worker pool at 4 threads
 //! experiments --seq all       # force fully sequential execution
 //! experiments --list           # list available ids
+//! experiments --metrics-out metrics.jsonl --metrics-every 10000 fig9
+//!                              # also stream epoch snapshots as JSONL
 //! ```
 //!
 //! Experiments are computed in parallel on a shared thread pool but the
 //! reports are always printed in submission order, so the output is
-//! byte-identical whatever `--jobs` is set to.
+//! byte-identical whatever `--jobs` is set to. The same holds for the
+//! metrics stream: snapshots are sorted by (replay id, epoch) before
+//! writing, and replay ids are deterministic, so the JSONL file is also
+//! byte-identical across `--jobs` settings. Metrics notices go to
+//! stderr; stdout carries only the reports.
 
 use std::process::ExitCode;
 
+/// Default snapshot epoch length (accesses) when only `--metrics-out`
+/// is given.
+const DEFAULT_METRICS_EVERY: u64 = 10_000;
+
 fn usage() {
-    eprintln!("usage: experiments [--list] [--jobs N | --seq] <id>... | all");
+    eprintln!(
+        "usage: experiments [--list] [--jobs N | --seq] \
+         [--metrics-out FILE [--metrics-every N]] <id>... | all"
+    );
     eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
 }
 
@@ -37,6 +50,8 @@ fn main() -> ExitCode {
     // Parse flags; everything else is an experiment id.
     let mut ids: Vec<&str> = Vec::new();
     let mut jobs: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_every: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -52,9 +67,31 @@ fn main() -> ExitCode {
                 }
                 jobs = Some(n);
             }
+            "--metrics-out" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("error: --metrics-out needs a path");
+                    return ExitCode::from(2);
+                };
+                metrics_out = Some(path.clone());
+            }
+            "--metrics-every" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("error: --metrics-every needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --metrics-every needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                metrics_every = Some(n);
+            }
             "all" => ids.extend_from_slice(cnt_bench::experiments::ALL),
             other => ids.push(other),
         }
+    }
+    if metrics_every.is_some() && metrics_out.is_none() {
+        eprintln!("error: --metrics-every needs --metrics-out");
+        return ExitCode::from(2);
     }
     if ids.is_empty() {
         usage();
@@ -77,6 +114,11 @@ fn main() -> ExitCode {
     }
 
     cnt_bench::pool::set_jobs(jobs.unwrap_or_else(cnt_bench::pool::default_jobs));
+    if metrics_out.is_some() {
+        let every = metrics_every.unwrap_or(DEFAULT_METRICS_EVERY);
+        cnt_obs::install(every);
+        eprintln!("metrics: snapshot every {every} accesses");
+    }
 
     for (id, report) in ids.iter().zip(cnt_bench::experiments::run_many(&ids)) {
         match report {
@@ -89,6 +131,22 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = metrics_out {
+        let snapshots = cnt_obs::drain();
+        let jsonl = match cnt_obs::to_jsonl(&snapshots) {
+            Ok(jsonl) => jsonl,
+            Err(e) => {
+                eprintln!("error: cannot serialize metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics: wrote {} snapshots to {path}", snapshots.len());
     }
     ExitCode::SUCCESS
 }

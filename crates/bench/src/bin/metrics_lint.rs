@@ -1,0 +1,55 @@
+//! Validates a JSONL metrics stream produced by `--metrics-out`.
+//!
+//! Usage:
+//!
+//! ```text
+//! metrics_lint metrics.jsonl [...]
+//! ```
+//!
+//! Every line must parse as a `cnt_obs::Snapshot` with at least one
+//! cache level, and within each experiment stream the epochs must count
+//! up from zero with non-decreasing access totals. Exits non-zero on the
+//! first violation, naming the offending line. CI runs this over the
+//! stream emitted by the metrics smoke job.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: metrics_lint <metrics.jsonl>...");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        if text.is_empty() {
+            eprintln!("{path}: empty metrics stream");
+            failed = true;
+            continue;
+        }
+        match cnt_obs::validate_jsonl(&text) {
+            Ok(summary) => println!(
+                "{path}: ok — {} snapshots across {} experiments",
+                summary.snapshots, summary.experiments
+            ),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

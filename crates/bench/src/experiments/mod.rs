@@ -41,10 +41,15 @@ pub fn is_known(id: &str) -> bool {
 
 /// Runs one experiment by id, returning its rendered report.
 ///
+/// The whole experiment executes inside an observability scope named
+/// after the id, so snapshot streams from `--metrics-out` carry replay
+/// ids like `fig9/i0003/r0000` (see `cnt_obs::scope`).
+///
 /// # Errors
 ///
 /// Returns the unknown id back as an error.
 pub fn run(id: &str) -> Result<String, String> {
+    let _scope = cnt_obs::scoped(id);
     match id {
         "table1" => Ok(table1::run()),
         "fig2" => Ok(fig2::run()),

@@ -88,6 +88,13 @@ fn release(count: usize) {
 ///
 /// `f` runs exactly once per element. Panics in `f` propagate to the
 /// caller after all workers have stopped.
+///
+/// The whole call opens an observability fan-out scope (numbered per
+/// parent scope in program order) and every element runs inside an index
+/// scope; worker threads adopt the caller's scope path first. Replay ids
+/// minted inside `f` are therefore pure functions of call site and
+/// element index — identical whether the element ran on the caller, a
+/// worker, or the sequential fallback path.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -98,31 +105,49 @@ where
     if n == 0 {
         return Vec::new();
     }
+    // Fan-out scope first: it is numbered in program order on the caller
+    // thread, so it must exist before any path decisions are made.
+    let _fanout = cnt_obs::scoped_fanout();
     // One slot per remaining element is the most extra threads that can
     // ever be useful (the caller takes one element itself).
     let workers = reserve(n.saturating_sub(1));
     if workers == 0 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let _scope = cnt_obs::scoped_index(i);
+                f(item)
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
+    let forked = cnt_obs::fork();
     // Each thread claims indices from the shared counter and collects
     // (index, result) pairs locally; pairs are merged back into input
     // order afterwards.
-    let run = || {
+    let pull = || {
         let mut local = Vec::new();
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
+            let _scope = cnt_obs::scoped_index(i);
             local.push((i, f(&items[i])));
         }
         local
     };
+    // Workers adopt the caller's scope path; the caller already has it
+    // (adopting would reset its in-progress replay counters).
+    let worker = || {
+        let _adopted = cnt_obs::adopt(&forked);
+        pull()
+    };
     let result = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run)).collect();
-        let mut pairs = run(); // the caller participates too
+        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+        let mut pairs = pull(); // the caller participates too
         let mut panicked = None;
         for handle in handles {
             match handle.join() {

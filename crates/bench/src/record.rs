@@ -35,10 +35,16 @@ pub struct BenchRecord {
 }
 
 impl BenchRecord {
-    /// Sequential wall-clock divided by parallel wall-clock.
+    /// Sequential wall-clock divided by parallel wall-clock, or `0.0`
+    /// for a degenerate zero-length parallel pass (the ratio must stay
+    /// finite so it can be rendered and serialized anywhere).
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        self.sequential.wall_seconds / self.parallel.wall_seconds
+        if self.parallel.wall_seconds > 0.0 {
+            self.sequential.wall_seconds / self.parallel.wall_seconds
+        } else {
+            0.0
+        }
     }
 }
 

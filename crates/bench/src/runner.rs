@@ -28,15 +28,18 @@ pub fn dcache_config(name: &str, policy: EncodingPolicy) -> CntCacheConfig {
 /// Runs one trace to completion (including a final flush) under the given
 /// configuration and returns the report.
 ///
+/// The replay goes through [`cnt_obs::replay`]: with no metrics sink
+/// installed that is the same allocation-free loop as [`CntCache::run`];
+/// with one installed (`--metrics-out`) it emits one snapshot per epoch
+/// under this replay's deterministic scope id.
+///
 /// # Panics
 ///
 /// Panics if the configuration is invalid or the trace contains malformed
 /// accesses — both indicate harness bugs, not user errors.
 pub fn run_trace(config: CntCacheConfig, trace: &Trace) -> EnergyReport {
     let mut cache = CntCache::new(config).expect("experiment configuration must be valid");
-    cache
-        .run(trace.iter())
-        .expect("experiment traces are well-formed");
+    cnt_obs::replay(&mut cache, trace).expect("experiment traces are well-formed");
     cache.flush();
     cache.into_report()
 }

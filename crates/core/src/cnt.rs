@@ -55,7 +55,7 @@ impl LineState {
 ///
 /// This is the joint content of the paper's index FIFO (the location) and
 /// data FIFO (the flip set; the data itself is re-read at apply time).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PendingUpdate {
     /// Where the line lives.
     pub set: u64,
@@ -63,6 +63,9 @@ pub struct PendingUpdate {
     pub way: u32,
     /// Bitmask of partitions to flip.
     pub flips: u64,
+    /// The decision's projected net saving (fJ), carried so the realized
+    /// total can be attributed when (and only when) the update applies.
+    pub saving_fj: f64,
 }
 
 impl PendingUpdate {
@@ -229,6 +232,21 @@ impl CntCache {
         self.fifo.stats()
     }
 
+    /// Updates currently queued in the deferred-update FIFO.
+    pub fn fifo_len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Capacity of the deferred-update FIFO.
+    pub fn fifo_capacity(&self) -> usize {
+        self.fifo.capacity()
+    }
+
+    /// The cache's display name (e.g. `L1D`).
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
     /// The backing memory.
     pub fn memory_mut(&mut self) -> &mut MainMemory {
         &mut self.memory
@@ -283,6 +301,52 @@ impl CntCache {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Runs every access of a trace like [`run`](Self::run), invoking
+    /// `epoch_hook(&self, epoch, accesses_so_far)` after every `every`
+    /// accesses (an *epoch boundary*). A final call is made at the end of
+    /// the trace when a partial epoch remains — or when the trace was
+    /// empty — so every replay yields at least one observation.
+    ///
+    /// The hook borrows the cache immutably, so it can capture statistics,
+    /// the energy breakdown, encoding counters, and FIFO occupancy
+    /// mid-replay without disturbing the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`AccessError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_observed<'a, I, F>(
+        &mut self,
+        trace: I,
+        every: u64,
+        mut epoch_hook: F,
+    ) -> Result<usize, AccessError>
+    where
+        I: IntoIterator<Item = &'a MemoryAccess>,
+        F: FnMut(&Self, u64, u64),
+    {
+        assert!(every > 0, "epoch length must be positive");
+        let mut n: u64 = 0;
+        let mut epoch: u64 = 0;
+        for access in trace {
+            self.access(access)?;
+            n += 1;
+            if n.is_multiple_of(every) {
+                epoch_hook(self, epoch, n);
+                epoch += 1;
+            }
+        }
+        if !n.is_multiple_of(every) || n == 0 {
+            // Trailing partial epoch (or an empty replay): emit the final
+            // state so the last accesses are never silently discarded.
+            epoch_hook(self, epoch, n);
+        }
+        Ok(n as usize)
     }
 
     fn demand(
@@ -505,12 +569,13 @@ impl CntCache {
                     if self.inline_updates {
                         // No FIFO: the re-encode stalls the demand path.
                         let flips = decision.flips;
-                        self.apply_update(location, flips, true);
+                        self.apply_update(location, flips, decision.projected_saving_fj, true);
                     } else {
                         self.fifo.push(PendingUpdate {
                             set: location.set,
                             way: location.way,
                             flips: decision.flips,
+                            saving_fj: decision.projected_saving_fj,
                         });
                     }
                 }
@@ -535,13 +600,13 @@ impl CntCache {
         let Some(update) = self.fifo.pop() else {
             return false;
         };
-        self.apply_update(update.location(), update.flips, false);
+        self.apply_update(update.location(), update.flips, update.saving_fj, false);
         true
     }
 
     /// Re-encodes the line at `loc` by flipping `flips`, charging the
     /// switch writes. `inline` marks the flips as demand-path stalls.
-    fn apply_update(&mut self, loc: LineLocation, flips: u64, inline: bool) {
+    fn apply_update(&mut self, loc: LineLocation, flips: u64, saving_fj: f64, inline: bool) {
         let idx = self.line_index(loc);
         let line = self.cache.line_at(loc);
         if !line.is_valid() {
@@ -584,6 +649,11 @@ impl CntCache {
             );
         }
         self.counters.switches_applied += 1;
+        // Projected savings realize only when the switch actually lands:
+        // decisions dropped on FIFO overflow or cancelled by an eviction
+        // never add here, which is exactly the projected/realized gap the
+        // observability snapshots expose.
+        self.counters.realized_saving_fj += saving_fj;
     }
 
     /// Applies every queued re-encoding immediately (e.g. before a
@@ -796,6 +866,12 @@ impl CntCache {
             }
             if update.flips == 0 {
                 return Err(AuditError::new("fifo holds a no-op update".to_string()));
+            }
+            if !update.saving_fj.is_finite() || update.saving_fj < 0.0 {
+                return Err(AuditError::new(format!(
+                    "fifo update carries a non-finite or negative projected saving {}",
+                    update.saving_fj
+                )));
             }
             if !self.cache.line_at(update.location()).is_valid() {
                 return Err(AuditError::new(format!(

@@ -27,6 +27,10 @@ pub struct EncodingCounters {
     pub suppressed_by_confirmation: u64,
     /// Sum of projected net savings (fJ) over all queued decisions.
     pub projected_saving_fj: f64,
+    /// Sum of projected savings (fJ) over the switches that actually
+    /// applied. The gap to `projected_saving_fj` is the work lost to FIFO
+    /// overflow drops and eviction cancellations.
+    pub realized_saving_fj: f64,
 }
 
 /// A simple cycle model for the performance-overhead study (`table5`).
@@ -143,8 +147,14 @@ impl EnergyReport {
 
     /// Percentage of dynamic energy saved relative to `baseline`
     /// (positive = this report is cheaper).
+    ///
+    /// A zero-energy baseline yields `0.0` rather than a non-finite
+    /// value, so the result is always renderable and serializable.
     pub fn saving_vs(&self, baseline: &EnergyReport) -> f64 {
         let base = baseline.total().femtojoules();
+        if base == 0.0 {
+            return 0.0;
+        }
         let own = self.total().femtojoules();
         (base - own) / base * 100.0
     }
@@ -179,8 +189,17 @@ impl fmt::Display for EnergyReport {
         )?;
         writeln!(
             f,
-            "  fifo: {} pushed, {} dropped, {} drained (peak {})",
-            self.fifo.pushed, self.fifo.dropped, self.fifo.drained, self.fifo.max_occupancy
+            "  savings: {:.1} fJ projected, {:.1} fJ realized",
+            self.encoding.projected_saving_fj, self.encoding.realized_saving_fj
+        )?;
+        writeln!(
+            f,
+            "  fifo: {} pushed, {} dropped, {} drained, {} cancelled (peak {})",
+            self.fifo.pushed,
+            self.fifo.dropped,
+            self.fifo.drained,
+            self.fifo.cancelled,
+            self.fifo.max_occupancy
         )?;
         write!(f, "{}", self.breakdown)
     }
@@ -290,5 +309,32 @@ mod tests {
         let json = serde_json::to_string(&r).expect("serialize");
         let back: EnergyReport = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn all_zero_report_serializes() {
+        // Regression: a replay with zero accesses must produce a report
+        // whose every derived value is finite — `serde_json` rejects
+        // non-finite floats, so `NaN` here used to make the report
+        // unserializable (and printed "NaN% hits").
+        let empty = EnergyReport {
+            name: "idle".into(),
+            policy: "none".into(),
+            technology: Technology::Cnfet,
+            breakdown: EnergyBreakdown::default(),
+            stats: CacheStats::default(),
+            encoding: EncodingCounters::default(),
+            fifo: FifoStats::default(),
+            metadata_bits_per_line: 0,
+        };
+        assert_eq!(empty.stats.hit_rate(), 0.0);
+        assert_eq!(empty.switch_rate(), 0.0);
+        assert_eq!(empty.energy_per_access(), Energy::ZERO);
+        assert_eq!(empty.saving_vs(&empty), 0.0);
+        let json = serde_json::to_string(&empty).expect("all-zero report serializes");
+        assert!(!json.contains("null"), "no non-finite float leaked: {json}");
+        let back: EnergyReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(empty, back);
+        assert!(!empty.to_string().contains("NaN"), "Display stays finite");
     }
 }

@@ -24,6 +24,12 @@ pub enum OverflowPolicy {
 }
 
 /// FIFO traffic statistics.
+///
+/// The counters reconcile with the live queue: every accepted update is
+/// eventually drained, cancelled, or (under
+/// [`OverflowPolicy::DropOldest`]) dropped, so
+/// `pushed == drained + cancelled + dropped_from_queue + len()` always
+/// holds — see [`FifoStats::in_queue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FifoStats {
     /// Updates accepted into the queue.
@@ -32,8 +38,27 @@ pub struct FifoStats {
     pub dropped: u64,
     /// Updates drained (applied).
     pub drained: u64,
+    /// Updates removed by [`UpdateFifo::cancel_where`] (e.g. because
+    /// their target line was evicted) without ever being applied.
+    pub cancelled: u64,
+    /// Updates evicted from the queue by [`OverflowPolicy::DropOldest`]
+    /// (a subset of `dropped`; `DropNewest` rejections never entered the
+    /// queue and are counted in `dropped` only).
+    pub dropped_from_queue: u64,
     /// High-water mark of queue occupancy.
     pub max_occupancy: usize,
+}
+
+impl FifoStats {
+    /// Occupancy derived from the counters alone:
+    /// `pushed - drained - cancelled - dropped_from_queue`.
+    ///
+    /// Matches [`UpdateFifo::len`] at all times; this is the invariant
+    /// that used to go stale when `cancel_where` bypassed the stats.
+    #[must_use]
+    pub fn in_queue(&self) -> u64 {
+        self.pushed - self.drained - self.cancelled - self.dropped_from_queue
+    }
 }
 
 /// A bounded queue of pending encoding updates.
@@ -111,6 +136,7 @@ impl<T> UpdateFifo<T> {
                 OverflowPolicy::DropOldest => {
                     self.queue.pop_front();
                     self.stats.dropped += 1;
+                    self.stats.dropped_from_queue += 1;
                 }
             }
         }
@@ -136,10 +162,16 @@ impl<T> UpdateFifo<T> {
 
     /// Removes every queued update matching a predicate (e.g. updates for
     /// a line that was just evicted), returning how many were removed.
+    ///
+    /// Cancellations are recorded in [`FifoStats::cancelled`], so
+    /// occupancy derived from the counters ([`FifoStats::in_queue`])
+    /// stays in sync with [`len`](Self::len).
     pub fn cancel_where<F: FnMut(&T) -> bool>(&mut self, mut predicate: F) -> usize {
         let before = self.queue.len();
         self.queue.retain(|u| !predicate(u));
-        before - self.queue.len()
+        let removed = before - self.queue.len();
+        self.stats.cancelled += removed as u64;
+        removed
     }
 
     /// Iterates over the pending updates, oldest first.
@@ -225,6 +257,41 @@ mod tests {
         assert_eq!(removed, 3);
         let rest: Vec<i32> = f.iter().copied().collect();
         assert_eq!(rest, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn cancel_where_updates_stats() {
+        // Regression: cancellations used to bypass `FifoStats`, so
+        // `pushed - drained` overstated the live occupancy forever after.
+        let mut f = UpdateFifo::new(8, OverflowPolicy::DropNewest);
+        for i in 0..6 {
+            f.push(i);
+        }
+        f.pop();
+        f.cancel_where(|&i| i >= 4);
+        assert_eq!(f.stats().cancelled, 2);
+        assert_eq!(f.stats().in_queue(), f.len() as u64);
+        // Keep going: more traffic after the cancellation stays in sync.
+        f.push(7);
+        f.pop();
+        assert_eq!(f.stats().in_queue(), f.len() as u64);
+    }
+
+    #[test]
+    fn counter_occupancy_matches_len_under_both_policies() {
+        for policy in [OverflowPolicy::DropNewest, OverflowPolicy::DropOldest] {
+            let mut f = UpdateFifo::new(3, policy);
+            for i in 0..5 {
+                f.push(i); // overflows twice
+                assert_eq!(f.stats().in_queue(), f.len() as u64, "{policy:?}");
+            }
+            f.cancel_where(|&i| i % 2 == 1);
+            assert_eq!(f.stats().in_queue(), f.len() as u64, "{policy:?}");
+            while f.pop().is_some() {
+                assert_eq!(f.stats().in_queue(), f.len() as u64, "{policy:?}");
+            }
+            assert_eq!(f.stats().in_queue(), 0, "{policy:?}");
+        }
     }
 
     #[test]

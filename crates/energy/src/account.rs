@@ -5,7 +5,7 @@
 //! with its [`SramEnergyModel`] and accumulates an [`EnergyBreakdown`].
 
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +181,34 @@ impl AddAssign for EnergyBreakdown {
         for i in 0..self.energy_by_kind.len() {
             self.energy_by_kind[i] += rhs.energy_by_kind[i];
             self.bits_by_kind[i] += rhs.bits_by_kind[i];
+        }
+    }
+}
+
+impl Sub for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn sub(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self -= rhs;
+        self
+    }
+}
+
+/// Componentwise subtraction for epoch deltas: `later - earlier` yields
+/// the activity accrued between two snapshots of the same meter.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any counter of `rhs` exceeds `self`'s —
+/// i.e. if the operands are not ordered snapshots of one accumulator.
+impl SubAssign for EnergyBreakdown {
+    fn sub_assign(&mut self, rhs: EnergyBreakdown) {
+        self.bits_read_zero -= rhs.bits_read_zero;
+        self.bits_read_one -= rhs.bits_read_one;
+        self.bits_written_zero -= rhs.bits_written_zero;
+        self.bits_written_one -= rhs.bits_written_one;
+        for i in 0..self.energy_by_kind.len() {
+            self.energy_by_kind[i] -= rhs.energy_by_kind[i];
+            self.bits_by_kind[i] -= rhs.bits_by_kind[i];
         }
     }
 }
@@ -462,6 +490,22 @@ mod tests {
         assert_eq!(sum.bits_written_zero, 4);
         let expected = m1.total() + m2.total();
         assert!((sum.total() - expected).abs().femtojoules() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_subtraction_yields_epoch_delta() {
+        let mut m = meter();
+        m.charge_read_word(0xFF, 8);
+        let earlier = m.breakdown().clone();
+        m.charge_write_word_kind(0x0F, 8, ChargeKind::LineFill);
+        m.charge_read_word(0xF0, 8);
+        let delta = m.breakdown().clone() - earlier.clone();
+        assert_eq!(delta.bits_read_one, 4);
+        assert_eq!(delta.bits_written(), 8);
+        assert_eq!(delta.bits(ChargeKind::LineFill), 8);
+        // Delta plus the earlier snapshot reconstructs the total.
+        let rebuilt = earlier + delta;
+        assert_eq!(&rebuilt, m.breakdown());
     }
 
     #[test]

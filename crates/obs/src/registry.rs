@@ -1,0 +1,237 @@
+//! A lightweight counter/gauge registry.
+//!
+//! Handles are cheap to clone (`Arc<AtomicU64>` underneath) and safe to
+//! bump from any thread without locking; the registry itself is only
+//! locked on (rare) handle creation and on export. Counters accumulate
+//! monotonically; gauges hold the latest `f64` sample.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` metric.
+///
+/// # Example
+///
+/// ```
+/// use cnt_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let emitted = registry.counter("snapshots_emitted");
+/// emitted.inc();
+/// emitted.add(2);
+/// assert_eq!(registry.counter("snapshots_emitted").get(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` metric (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Records a sample, replacing the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite — a gauge must always be
+    /// renderable and serializable.
+    pub fn set(&self, value: f64) {
+        assert!(value.is_finite(), "gauge sample must be finite: {value}");
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The latest sample (`0.0` before the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// One exported metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A [`Counter`] reading.
+    Counter(u64),
+    /// A [`Gauge`] reading.
+    Gauge(f64),
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Counter(n) => write!(f, "{n}"),
+            MetricValue::Gauge(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+}
+
+/// A named collection of counters and gauges.
+///
+/// Metrics are registered on first use and listed in registration order,
+/// so an export is deterministic for a deterministic program.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a gauge.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        for (existing, metric) in metrics.iter() {
+            if existing == name {
+                match metric {
+                    Metric::Counter(c) => return c.clone(),
+                    Metric::Gauge(_) => panic!("metric `{name}` is a gauge, not a counter"),
+                }
+            }
+        }
+        let counter = Counter(Arc::new(AtomicU64::new(0)));
+        metrics.push((name.to_string(), Metric::Counter(counter.clone())));
+        counter
+    }
+
+    /// Returns the gauge named `name`, creating it at `0.0` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a counter.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        for (existing, metric) in metrics.iter() {
+            if existing == name {
+                match metric {
+                    Metric::Gauge(g) => return g.clone(),
+                    Metric::Counter(_) => panic!("metric `{name}` is a counter, not a gauge"),
+                }
+            }
+        }
+        let gauge = Gauge(Arc::new(AtomicU64::new(0f64.to_bits())));
+        metrics.push((name.to_string(), Metric::Gauge(gauge.clone())));
+        gauge
+    }
+
+    /// Reads every metric, in registration order.
+    pub fn export(&self) -> Vec<(String, MetricValue)> {
+        let metrics = self.metrics.lock().expect("registry lock");
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (name, value) in self.export() {
+            map.entry(&name, &value.to_string());
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn gauges_hold_latest_sample() {
+        let r = Registry::new();
+        let g = r.gauge("occupancy");
+        assert_eq!(g.get(), 0.0);
+        g.set(3.5);
+        g.set(1.25);
+        assert_eq!(r.gauge("occupancy").get(), 1.25);
+    }
+
+    #[test]
+    fn export_preserves_registration_order() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.gauge("a").set(2.0);
+        r.counter("c").add(7);
+        let names: Vec<String> = r.export().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+        assert_eq!(r.export()[2].1, MetricValue::Counter(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("m");
+        r.counter("m");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_gauge_panics() {
+        Registry::new().gauge("g").set(f64::NAN);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_lossless() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

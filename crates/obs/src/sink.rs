@@ -1,0 +1,138 @@
+//! The process-wide snapshot sink.
+//!
+//! Tracing is off by default and costs one relaxed atomic load on the
+//! disabled path — the replay hot loop stays allocation-free (proven by
+//! `tests/no_alloc_disabled.rs`). When a binary installs a sink with
+//! [`install`], instrumented replays record [`Snapshot`]s here from any
+//! worker thread; [`drain`] then returns them **sorted by (experiment
+//! id, epoch)**, so the emitted JSONL is deterministic no matter how the
+//! thread pool interleaved the replays.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::registry::Registry;
+use crate::snapshot::Snapshot;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH_LEN: AtomicU64 = AtomicU64::new(0);
+static SNAPSHOTS: Mutex<Vec<Snapshot>> = Mutex::new(Vec::new());
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide metrics registry (live whether or not a snapshot
+/// sink is installed).
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Enables snapshot collection with an epoch of `every` accesses.
+/// Replays started after this call emit one snapshot per epoch.
+///
+/// # Panics
+///
+/// Panics if `every` is zero.
+pub fn install(every: u64) {
+    assert!(every > 0, "epoch length must be positive");
+    EPOCH_LEN.store(every, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// `true` when a sink is installed. One relaxed load: this is the entire
+/// cost tracing adds to an uninstrumented replay.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The configured epoch length, or `None` when tracing is disabled.
+pub fn epoch_len() -> Option<u64> {
+    if is_enabled() {
+        Some(EPOCH_LEN.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+/// Records one snapshot (no-op when tracing is disabled, so late
+/// stragglers after [`drain`] are dropped rather than leaked into the
+/// next collection).
+pub fn record(snapshot: Snapshot) {
+    if !is_enabled() {
+        return;
+    }
+    registry().counter("obs.snapshots_recorded").inc();
+    SNAPSHOTS.lock().expect("sink lock").push(snapshot);
+}
+
+/// Disables collection and returns everything recorded, sorted by
+/// (experiment id, epoch). Replay ids are deterministic (see
+/// [`crate::scope`]) and epochs are unique within a replay, so the sort
+/// key is total and the result is byte-identical across `--jobs`
+/// settings.
+pub fn drain() -> Vec<Snapshot> {
+    ENABLED.store(false, Ordering::SeqCst);
+    EPOCH_LEN.store(0, Ordering::SeqCst);
+    let mut snapshots = std::mem::take(&mut *SNAPSHOTS.lock().expect("sink lock"));
+    snapshots.sort_by(|a, b| a.experiment.cmp(&b.experiment).then(a.epoch.cmp(&b.epoch)));
+    snapshots
+}
+
+/// Renders snapshots as JSON Lines: one compact JSON object per line,
+/// with a trailing newline.
+///
+/// # Errors
+///
+/// Returns the underlying serialization error (e.g. a non-finite float,
+/// which `serde_json` rejects).
+pub fn to_jsonl(snapshots: &[Snapshot]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for snapshot in snapshots {
+        out.push_str(&serde_json::to_string(snapshot)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-sink tests share process state; keep them inside ONE #[test]
+    // so the libtest thread pool cannot interleave install/drain calls.
+    #[test]
+    fn install_record_drain_lifecycle() {
+        assert!(!is_enabled());
+        assert_eq!(epoch_len(), None);
+
+        install(100);
+        assert!(is_enabled());
+        assert_eq!(epoch_len(), Some(100));
+
+        // Out-of-order arrival (as from pool workers) sorts on drain.
+        record(Snapshot::empty("b/r0001", 0, 10));
+        record(Snapshot::empty("a/r0000", 1, 20));
+        record(Snapshot::empty("a/r0000", 0, 10));
+        let drained = drain();
+        assert!(!is_enabled(), "drain disables the sink");
+        let order: Vec<(String, u64)> = drained
+            .iter()
+            .map(|s| (s.experiment.clone(), s.epoch))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a/r0000".to_string(), 0),
+                ("a/r0000".to_string(), 1),
+                ("b/r0001".to_string(), 0)
+            ]
+        );
+
+        // Stragglers after drain are dropped, not carried over.
+        record(Snapshot::empty("late", 0, 1));
+        assert!(drain().is_empty());
+
+        let jsonl = to_jsonl(&drained).expect("snapshots serialize");
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.ends_with('\n'));
+        assert!(registry().counter("obs.snapshots_recorded").get() >= 3);
+    }
+}

@@ -1,0 +1,306 @@
+//! Epoch snapshots of replay state.
+//!
+//! A [`Snapshot`] is a point-in-time capture of everything a replay
+//! accumulates — per-level hit/miss statistics, the energy-breakdown
+//! accumulators, encoding/predictor decision counters, and deferred
+//! update FIFO occupancy — tagged with the replay's deterministic id and
+//! epoch number so interleaved parallel emission can be reordered at the
+//! sink (see [`crate::sink`]).
+
+use serde::{Deserialize, Serialize};
+
+use cnt_cache::{CntCache, CntHierarchy, EncodingCounters};
+use cnt_encoding::FifoStats;
+use cnt_energy::EnergyBreakdown;
+use cnt_sim::trace::Trace;
+use cnt_sim::{AccessError, CacheStats};
+
+use crate::{scope, sink};
+
+/// Deferred-update FIFO occupancy at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FifoSnapshot {
+    /// Updates queued right now.
+    pub len: u64,
+    /// Queue capacity.
+    pub capacity: u64,
+    /// Cumulative push/drain/cancel/drop counters.
+    pub stats: FifoStats,
+}
+
+/// Everything one cache level has accumulated so far.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelSnapshot {
+    /// Level name from the cache config (e.g. `L1D`).
+    pub level: String,
+    /// Hit/miss/write statistics.
+    pub stats: CacheStats,
+    /// Per-charge-kind energy accumulators.
+    pub energy: EnergyBreakdown,
+    /// Predictor windows, flips taken/rejected, projected vs realized
+    /// savings.
+    pub encoding: EncodingCounters,
+    /// Deferred-update FIFO occupancy and overflow stats.
+    pub fifo: FifoSnapshot,
+}
+
+impl LevelSnapshot {
+    /// Captures one cache level.
+    pub fn capture(cache: &CntCache) -> Self {
+        LevelSnapshot {
+            level: cache.name().to_string(),
+            stats: cache.stats().clone(),
+            energy: cache.meter().breakdown().clone(),
+            encoding: *cache.encoding_counters(),
+            fifo: FifoSnapshot {
+                len: cache.fifo_len() as u64,
+                capacity: cache.fifo_capacity() as u64,
+                stats: *cache.fifo_stats(),
+            },
+        }
+    }
+}
+
+/// One epoch snapshot of a replay, as emitted on the JSONL stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Deterministic replay id, e.g. `fig9/i0003/r0000` (see
+    /// [`crate::scope`]).
+    pub experiment: String,
+    /// Zero-based epoch index within the replay.
+    pub epoch: u64,
+    /// Accesses replayed so far (cumulative, not per-epoch).
+    pub accesses: u64,
+    /// One entry per cache level.
+    pub levels: Vec<LevelSnapshot>,
+}
+
+impl Snapshot {
+    /// Captures a single-level replay.
+    pub fn capture(cache: &CntCache, experiment: &str, epoch: u64, accesses: u64) -> Self {
+        Snapshot {
+            experiment: experiment.to_string(),
+            epoch,
+            accesses,
+            levels: vec![LevelSnapshot::capture(cache)],
+        }
+    }
+
+    /// Captures every level of a hierarchy (L1I, L1D, and L2 when
+    /// present).
+    pub fn capture_hierarchy(
+        hierarchy: &CntHierarchy,
+        experiment: &str,
+        epoch: u64,
+        accesses: u64,
+    ) -> Self {
+        let mut levels = vec![
+            LevelSnapshot::capture(hierarchy.l1i()),
+            LevelSnapshot::capture(hierarchy.l1d()),
+        ];
+        if let Some(l2) = hierarchy.l2() {
+            levels.push(LevelSnapshot::capture(l2));
+        }
+        Snapshot {
+            experiment: experiment.to_string(),
+            epoch,
+            accesses,
+            levels,
+        }
+    }
+
+    /// A snapshot with no levels — only useful as a sink-test fixture.
+    pub fn empty(experiment: &str, epoch: u64, accesses: u64) -> Self {
+        Snapshot {
+            experiment: experiment.to_string(),
+            epoch,
+            accesses,
+            levels: Vec::new(),
+        }
+    }
+}
+
+/// Replays `trace` through `cache`, emitting one snapshot per epoch to
+/// the global sink when tracing is enabled.
+///
+/// When the sink is disabled (the default) this delegates straight to
+/// [`CntCache::run`] and adds exactly one relaxed atomic load — the hot
+/// path stays allocation-free (see `tests/no_alloc_disabled.rs`).
+///
+/// # Errors
+///
+/// Propagates [`AccessError`] from the underlying replay.
+pub fn replay(cache: &mut CntCache, trace: &Trace) -> Result<usize, AccessError> {
+    let Some(every) = sink::epoch_len() else {
+        return cache.run(trace.iter());
+    };
+    let experiment = scope::next_replay_path();
+    sink::registry().counter("obs.replays_observed").inc();
+    cache.run_observed(trace.iter(), every, |cache, epoch, accesses| {
+        sink::record(Snapshot::capture(cache, &experiment, epoch, accesses));
+    })
+}
+
+/// Like [`replay`] but collecting into a caller-supplied buffer instead
+/// of the global sink — independent of process-wide state, so tests can
+/// run in parallel.
+///
+/// # Errors
+///
+/// Propagates [`AccessError`] from the underlying replay.
+///
+/// # Panics
+///
+/// Panics if `every` is zero.
+pub fn replay_into(
+    cache: &mut CntCache,
+    trace: &Trace,
+    experiment: &str,
+    every: u64,
+    out: &mut Vec<Snapshot>,
+) -> Result<usize, AccessError> {
+    cache.run_observed(trace.iter(), every, |cache, epoch, accesses| {
+        out.push(Snapshot::capture(cache, experiment, epoch, accesses));
+    })
+}
+
+/// A summary of a validated JSONL metrics stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// Total snapshot lines.
+    pub snapshots: usize,
+    /// Distinct experiment ids.
+    pub experiments: usize,
+}
+
+/// Validates a JSONL metrics stream: every line must parse as a
+/// [`Snapshot`] with at least one level, and within each experiment the
+/// epochs must increase by exactly one from zero with non-decreasing
+/// access counts.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
+    // (experiment, last epoch, last accesses) per stream; linear scan is
+    // fine for lint-sized inputs and keeps ordering deterministic.
+    let mut streams: Vec<(String, u64, u64)> = Vec::new();
+    let mut snapshots = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: blank line in metrics stream"));
+        }
+        let snapshot: Snapshot =
+            serde_json::from_str(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if snapshot.levels.is_empty() {
+            return Err(format!(
+                "line {lineno}: snapshot for `{}` has no cache levels",
+                snapshot.experiment
+            ));
+        }
+        match streams
+            .iter_mut()
+            .find(|(id, _, _)| *id == snapshot.experiment)
+        {
+            None => {
+                if snapshot.epoch != 0 {
+                    return Err(format!(
+                        "line {lineno}: experiment `{}` starts at epoch {} (expected 0)",
+                        snapshot.experiment, snapshot.epoch
+                    ));
+                }
+                streams.push((snapshot.experiment.clone(), 0, snapshot.accesses));
+            }
+            Some((id, last_epoch, last_accesses)) => {
+                if snapshot.epoch != *last_epoch + 1 {
+                    return Err(format!(
+                        "line {lineno}: experiment `{id}` jumps from epoch {last_epoch} to {}",
+                        snapshot.epoch
+                    ));
+                }
+                if snapshot.accesses < *last_accesses {
+                    return Err(format!(
+                        "line {lineno}: experiment `{id}` access count went backwards \
+                         ({last_accesses} -> {})",
+                        snapshot.accesses
+                    ));
+                }
+                *last_epoch = snapshot.epoch;
+                *last_accesses = snapshot.accesses;
+            }
+        }
+        snapshots += 1;
+    }
+    Ok(JsonlSummary {
+        snapshots,
+        experiments: streams.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(experiment: &str, epoch: u64, accesses: u64) -> String {
+        let mut snapshot = Snapshot::empty(experiment, epoch, accesses);
+        snapshot.levels.push(LevelSnapshot {
+            level: "L1D".to_string(),
+            stats: CacheStats::default(),
+            energy: EnergyBreakdown::default(),
+            encoding: EncodingCounters::default(),
+            fifo: FifoSnapshot {
+                len: 0,
+                capacity: 8,
+                stats: FifoStats::default(),
+            },
+        });
+        serde_json::to_string(&snapshot).expect("snapshot serializes")
+    }
+
+    #[test]
+    fn validate_accepts_interleaved_monotonic_streams() {
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            line("a/r0000", 0, 25),
+            line("b/r0000", 0, 25),
+            line("a/r0000", 1, 50),
+            line("b/r0000", 1, 30),
+        );
+        let summary = validate_jsonl(&text).expect("valid stream");
+        assert_eq!(
+            summary,
+            JsonlSummary {
+                snapshots: 4,
+                experiments: 2
+            }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_epoch_gap_and_bad_start() {
+        let gap = format!("{}\n{}\n", line("a", 0, 10), line("a", 2, 20));
+        assert!(validate_jsonl(&gap).unwrap_err().contains("jumps"));
+        let start = format!("{}\n", line("a", 3, 10));
+        assert!(validate_jsonl(&start).unwrap_err().contains("expected 0"));
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_empty_levels() {
+        assert!(validate_jsonl("not json\n").is_err());
+        let no_levels = serde_json::to_string(&Snapshot::empty("a", 0, 0)).expect("serializes");
+        assert!(validate_jsonl(&format!("{no_levels}\n"))
+            .unwrap_err()
+            .contains("no cache levels"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let text = line("fig9/i0001/r0000", 3, 400);
+        let parsed: Snapshot = serde_json::from_str(&text).expect("parses");
+        assert_eq!(parsed.experiment, "fig9/i0001/r0000");
+        assert_eq!(parsed.epoch, 3);
+        assert_eq!(parsed.levels.len(), 1);
+        assert_eq!(parsed.levels[0].fifo.capacity, 8);
+    }
+}

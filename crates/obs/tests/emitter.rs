@@ -1,0 +1,102 @@
+//! Epoch-boundary behaviour of the snapshot emitter.
+//!
+//! Uses `replay_into` (caller-supplied buffer) rather than the global
+//! sink, so the tests are independent of process-wide state and can run
+//! in parallel. The parallel-vs-sequential determinism of the *global*
+//! sink is covered by `crates/bench/tests/metrics_determinism.rs`.
+
+use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
+use cnt_obs::{replay_into, validate_jsonl, Snapshot};
+use cnt_sim::trace::{MemoryAccess, Trace};
+use cnt_sim::Address;
+
+fn small_cache() -> CntCache {
+    let config = CntCacheConfig::builder()
+        .name("L1D")
+        .size_bytes(4 * 1024)
+        .line_bytes(64)
+        .associativity(2)
+        .policy(EncodingPolicy::adaptive_default())
+        .build()
+        .expect("valid geometry");
+    CntCache::new(config).expect("valid config")
+}
+
+fn trace_of(n: u64) -> Trace {
+    let mut trace = Trace::new();
+    for i in 0..n {
+        let addr = Address::new((i % 512) * 8);
+        if i % 4 == 0 {
+            trace.push(MemoryAccess::write(addr, 8, i.wrapping_mul(0x9E37)));
+        } else {
+            trace.push(MemoryAccess::read(addr, 8));
+        }
+    }
+    trace
+}
+
+fn snapshots_for(accesses: u64, every: u64) -> Vec<Snapshot> {
+    let mut cache = small_cache();
+    let trace = trace_of(accesses);
+    let mut out = Vec::new();
+    let replayed =
+        replay_into(&mut cache, &trace, "test/r0000", every, &mut out).expect("replay succeeds");
+    assert_eq!(replayed as u64, accesses);
+    out
+}
+
+#[test]
+fn exact_multiple_emits_one_snapshot_per_epoch() {
+    let snapshots = snapshots_for(100, 25);
+    assert_eq!(snapshots.len(), 4, "100 accesses / 25 per epoch");
+    let seen: Vec<(u64, u64)> = snapshots.iter().map(|s| (s.epoch, s.accesses)).collect();
+    assert_eq!(seen, vec![(0, 25), (1, 50), (2, 75), (3, 100)]);
+}
+
+#[test]
+fn trailing_partial_epoch_is_captured() {
+    let snapshots = snapshots_for(105, 25);
+    assert_eq!(snapshots.len(), 5, "four full epochs plus the remainder");
+    let last = snapshots.last().expect("non-empty");
+    assert_eq!((last.epoch, last.accesses), (4, 105));
+}
+
+#[test]
+fn zero_access_replay_still_emits_one_snapshot() {
+    let snapshots = snapshots_for(0, 25);
+    assert_eq!(snapshots.len(), 1);
+    let only = &snapshots[0];
+    assert_eq!((only.epoch, only.accesses), (0, 0));
+    assert_eq!(only.levels.len(), 1);
+    assert_eq!(only.levels[0].stats.accesses(), 0);
+    // An all-zero snapshot must serialize: no rate may be NaN.
+    let json = serde_json::to_string(only).expect("all-zero snapshot serializes");
+    assert!(!json.contains("null"), "no non-finite floats: {json}");
+}
+
+#[test]
+fn snapshot_counters_are_cumulative_and_consistent() {
+    let snapshots = snapshots_for(100, 25);
+    for window in snapshots.windows(2) {
+        let (prev, next) = (&window[0], &window[1]);
+        assert!(next.levels[0].stats.accesses() > prev.levels[0].stats.accesses());
+        assert!(next.levels[0].energy.total() >= prev.levels[0].energy.total());
+    }
+    let last = snapshots.last().expect("non-empty");
+    assert_eq!(last.levels[0].stats.accesses(), 100);
+    let fifo = &last.levels[0].fifo;
+    assert_eq!(
+        fifo.stats.in_queue(),
+        fifo.len,
+        "FIFO counters must reconcile with live occupancy"
+    );
+}
+
+#[test]
+fn emitted_stream_passes_jsonl_validation() {
+    let snapshots = snapshots_for(105, 25);
+    let jsonl = cnt_obs::to_jsonl(&snapshots).expect("serializes");
+    let summary = validate_jsonl(&jsonl).expect("valid stream");
+    assert_eq!(summary.snapshots, 5);
+    assert_eq!(summary.experiments, 1);
+}

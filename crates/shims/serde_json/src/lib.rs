@@ -15,15 +15,33 @@ pub fn to_value<T: Serialize>(value: &T) -> Value {
 }
 
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = value.to_value();
+    check_finite(&v)?;
     let mut out = String::new();
-    render(&value.to_value(), &mut out, None, 0);
+    render(&v, &mut out, None, 0);
     Ok(out)
 }
 
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = value.to_value();
+    check_finite(&v)?;
     let mut out = String::new();
-    render(&value.to_value(), &mut out, Some(2), 0);
+    render(&v, &mut out, Some(2), 0);
     Ok(out)
+}
+
+/// Real `serde_json` refuses to serialize non-finite floats
+/// (`Error("float must be finite")`); mirror that so NaN/∞ bugs surface
+/// here in tests instead of silently producing invalid-by-intent JSON.
+fn check_finite(v: &Value) -> Result<()> {
+    match v {
+        Value::F64(f) if !f.is_finite() => {
+            Err(DeError::custom(format!("float must be finite, got {f}")))
+        }
+        Value::Seq(items) => items.iter().try_for_each(check_finite),
+        Value::Map(entries) => entries.iter().try_for_each(|(_, item)| check_finite(item)),
+        _ => Ok(()),
+    }
 }
 
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
@@ -94,8 +112,8 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 
 fn render_f64(f: f64, out: &mut String) {
     if f.is_nan() || f.is_infinite() {
-        // Real serde_json refuses non-finite floats; we emit null, which
-        // the shim's f64 Deserialize maps back to NaN.
+        // Unreachable through to_string/to_string_pretty (check_finite
+        // rejects first); kept as a safe fallback for direct render use.
         out.push_str("null");
     } else if f == f.trunc() && f.abs() < 1e15 {
         // Match serde_json's "always show a fraction for floats" style.
@@ -387,6 +405,18 @@ mod tests {
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains('\n'));
         assert_eq!(from_str::<Vec<Vec<u64>>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_non_finite_floats() {
+        // Parity with real serde_json: NaN and infinities are errors, at
+        // any nesting depth.
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+        assert!(to_string_pretty(&f64::NEG_INFINITY).is_err());
+        assert!(to_string(&vec![1.0, f64::NAN]).is_err());
+        assert!(to_string(&vec![vec![f64::INFINITY]]).is_err());
+        assert!(to_string(&vec![1.0, 2.0]).is_ok());
     }
 
     #[test]

@@ -85,19 +85,35 @@ impl CacheStats {
         self.read_misses + self.write_misses
     }
 
-    /// Hit fraction over all demand accesses (`NaN` if there were none).
+    /// Hit fraction over all demand accesses.
+    ///
+    /// Returns `0.0` when there were no accesses: every rate helper here
+    /// is defined to be finite so derived values can always be rendered
+    /// and serialized (real `serde_json` rejects non-finite floats).
     pub fn hit_rate(&self) -> f64 {
-        self.hits() as f64 / self.accesses() as f64
+        Self::rate(self.hits(), self.accesses())
     }
 
-    /// Miss fraction over all demand accesses (`NaN` if there were none).
+    /// Miss fraction over all demand accesses (`0.0` if there were none;
+    /// see [`hit_rate`](Self::hit_rate)).
     pub fn miss_rate(&self) -> f64 {
-        self.misses() as f64 / self.accesses() as f64
+        Self::rate(self.misses(), self.accesses())
     }
 
-    /// Fraction of demand accesses that are writes (`NaN` if none).
+    /// Fraction of demand accesses that are writes (`0.0` if none; see
+    /// [`hit_rate`](Self::hit_rate)).
     pub fn write_fraction(&self) -> f64 {
-        self.writes() as f64 / self.accesses() as f64
+        Self::rate(self.writes(), self.accesses())
+    }
+
+    /// `part / whole` as a fraction, defined as `0.0` for an empty whole
+    /// so a rate is always finite.
+    fn rate(part: u64, whole: u64) -> f64 {
+        if whole == 0 {
+            0.0
+        } else {
+            part as f64 / whole as f64
+        }
     }
 }
 
@@ -175,10 +191,14 @@ mod tests {
     }
 
     #[test]
-    fn empty_rates_are_nan() {
+    fn empty_rates_are_zero() {
+        // An idle cache must report finite rates: `NaN` used to leak into
+        // `Display` ("NaN% hits") and break JSON serialization.
         let s = CacheStats::default();
-        assert!(s.hit_rate().is_nan());
-        assert!(s.miss_rate().is_nan());
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert!(s.to_string().contains("0.00% hits"));
     }
 
     #[test]
