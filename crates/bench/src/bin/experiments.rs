@@ -10,6 +10,8 @@
 //! experiments --list           # list available ids
 //! experiments --metrics-out metrics.jsonl --metrics-every 10000 fig9
 //!                              # also stream epoch snapshots as JSONL
+//! experiments --metrics-final fig13b
+//!                              # dump registry counters (sorted) at exit
 //! ```
 //!
 //! Experiments are computed in parallel on a shared thread pool but the
@@ -29,7 +31,7 @@ const DEFAULT_METRICS_EVERY: u64 = 10_000;
 fn usage() {
     eprintln!(
         "usage: experiments [--list] [--jobs N | --seq] \
-         [--metrics-out FILE [--metrics-every N]] <id>... | all"
+         [--metrics-out FILE [--metrics-every N]] [--metrics-final] <id>... | all"
     );
     eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
 }
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
     let mut metrics_every: Option<u64> = None;
+    let mut metrics_final = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -85,6 +88,7 @@ fn main() -> ExitCode {
                 }
                 metrics_every = Some(n);
             }
+            "--metrics-final" => metrics_final = true,
             "all" => ids.extend_from_slice(cnt_bench::experiments::ALL),
             other => ids.push(other),
         }
@@ -147,6 +151,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("metrics: wrote {} snapshots to {path}", snapshots.len());
+    }
+    // Sorted by name so the export is byte-identical whatever order the
+    // worker pool first touched each metric in.
+    if metrics_final {
+        let mut export = cnt_obs::registry().export();
+        export.sort_by(|a, b| a.0.cmp(&b.0));
+        println!("==== final metrics ====");
+        for (name, value) in export {
+            println!("{name} {value}");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,173 @@
+//! Seeded direction-metadata fault-injection campaigns from the command
+//! line.
+//!
+//! Usage:
+//!
+//! ```text
+//! fault_campaign                      # default grid (faults 2,8,16, seed 0xFA17)
+//! fault_campaign --faults 4,32 --seed 7 --dim 16
+//! fault_campaign --jobs 4             # cap the worker pool
+//! fault_campaign --seq                # force sequential execution
+//! fault_campaign --metrics-out m.jsonl --metrics-every 5000
+//! fault_campaign --metrics-final      # dump registry counters at exit
+//! ```
+//!
+//! Campaign cells are computed on the shared worker pool but rendered in
+//! grid order, and registry counters are additive and exported sorted by
+//! name — so stdout and the metrics stream are byte-identical whatever
+//! `--jobs` is set to.
+
+use std::process::ExitCode;
+
+use cnt_bench::campaign;
+use cnt_workloads::kernels;
+
+/// Default snapshot epoch length (accesses) when only `--metrics-out`
+/// is given.
+const DEFAULT_METRICS_EVERY: u64 = 10_000;
+
+fn usage() {
+    eprintln!(
+        "usage: fault_campaign [--faults N,N,...] [--seed S] [--dim N] \
+         [--jobs N | --seq] [--metrics-out FILE [--metrics-every N]] \
+         [--metrics-final]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+
+    let mut faults: Vec<usize> = vec![2, 8, 16];
+    let mut seed = 0xFA17u64;
+    let mut dim = 24usize;
+    let mut jobs: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_every: Option<u64> = None;
+    let mut metrics_final = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seq" => jobs = Some(1),
+            "--jobs" | "-j" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --jobs needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --jobs needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                jobs = Some(n);
+            }
+            "--faults" => {
+                let parsed: Option<Vec<usize>> = iter
+                    .next()
+                    .map(|v| v.split(',').map(|p| p.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                let Some(list) = parsed.filter(|l| !l.is_empty()) else {
+                    eprintln!("error: --faults needs a comma-separated list of counts");
+                    return ExitCode::from(2);
+                };
+                faults = list;
+            }
+            "--seed" => {
+                let Some(s) = iter.next().and_then(|v| {
+                    v.strip_prefix("0x")
+                        .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+                }) else {
+                    eprintln!("error: --seed needs an integer (decimal or 0x-hex)");
+                    return ExitCode::from(2);
+                };
+                seed = s;
+            }
+            "--dim" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("error: --dim needs a positive matrix dimension");
+                    return ExitCode::from(2);
+                };
+                dim = n;
+            }
+            "--metrics-out" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("error: --metrics-out needs a path");
+                    return ExitCode::from(2);
+                };
+                metrics_out = Some(path.clone());
+            }
+            "--metrics-every" => {
+                let Some(n) = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("error: --metrics-every needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                metrics_every = Some(n);
+            }
+            "--metrics-final" => metrics_final = true,
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if metrics_every.is_some() && metrics_out.is_none() {
+        eprintln!("error: --metrics-every needs --metrics-out");
+        return ExitCode::from(2);
+    }
+
+    cnt_bench::pool::set_jobs(jobs.unwrap_or_else(cnt_bench::pool::default_jobs));
+    if metrics_out.is_some() {
+        let every = metrics_every.unwrap_or(DEFAULT_METRICS_EVERY);
+        cnt_obs::install(every);
+        eprintln!("metrics: snapshot every {every} accesses");
+    }
+
+    let w = kernels::matmul(dim, 1);
+    let grid = campaign::default_grid(&faults, seed);
+    let outcomes = {
+        let _scope = cnt_obs::scoped("fault_campaign");
+        campaign::sweep(&w.trace, &grid)
+    };
+    println!(
+        "Fault-injection campaign: matmul {dim}x{dim}, seed {seed:#x}, \
+         {} cells.\n",
+        grid.len()
+    );
+    print!("{}", campaign::render(&outcomes));
+
+    if let Some(path) = metrics_out {
+        let snapshots = cnt_obs::drain();
+        let jsonl = match cnt_obs::to_jsonl(&snapshots) {
+            Ok(jsonl) => jsonl,
+            Err(e) => {
+                eprintln!("error: cannot serialize metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics: wrote {} snapshots to {path}", snapshots.len());
+    }
+    if metrics_final {
+        let mut export = cnt_obs::registry().export();
+        export.sort_by(|a, b| a.0.cmp(&b.0));
+        println!("\n==== final metrics ====");
+        for (name, value) in export {
+            println!("{name} {value}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -41,11 +41,16 @@ pub fn corrupted_words(trace: &Trace, faults: usize, seed: u64) -> usize {
     for (i, access) in trace.iter().enumerate() {
         cache.access(access).expect("trace runs");
         if injected < faults && i % interval == interval - 1 {
-            // Upset a random partition of a random valid line.
-            let lines: Vec<_> = cache.valid_lines().map(|(loc, ..)| loc).collect();
-            if !lines.is_empty() {
-                let loc = lines[rng.gen_range(0..lines.len())];
-                let partition = rng.gen_range(0..8);
+            // Upset a random partition of a random valid line. The line
+            // is picked by counted index (no per-upset allocation) and
+            // the partition range comes from the cache's codec layout,
+            // so non-default geometries inject valid faults too.
+            let count = cache.valid_line_count();
+            if count > 0 {
+                let loc = cache
+                    .nth_valid_line(rng.gen_range(0..count))
+                    .expect("index below the valid-line count");
+                let partition = rng.gen_range(0..cache.partitions());
                 if cache.inject_direction_fault(loc, partition) {
                     injected += 1;
                 }

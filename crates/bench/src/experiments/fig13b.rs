@@ -1,0 +1,70 @@
+//! Fig. 13b (extension): the fig13 fault study, re-run with the
+//! direction metadata *protected*.
+//!
+//! Fig. 13 established that an unprotected D field corrupts memory
+//! silently. This companion sweeps the same seeded upset campaign across
+//! the protection modes and fault policies of DESIGN.md §10: parity
+//! detects every single upset and degrades gracefully (invalidate and
+//! refetch, or pin to baseline encoding), SECDED with interval scrubbing
+//! corrects everything in place, and the unprotected row reproduces the
+//! original fig13 corruption counts as the control. The last column
+//! prices the protection against the replay's total dynamic energy.
+
+use std::fmt::Write as _;
+
+use cnt_workloads::kernels;
+
+use crate::campaign;
+
+/// Fault counts swept per protection row — the fig13 x-axis, minus the
+/// trivial zero row.
+const FAULT_COUNTS: &[usize] = &[2, 8, 16];
+
+/// Same seed as fig13, so the unprotected control row is comparable.
+const SEED: u64 = 0xFA17;
+
+/// Runs the protected fault-injection sweep on the fig13 workload.
+pub fn run() -> String {
+    let w = kernels::matmul(24, 1);
+    let grid = campaign::default_grid(FAULT_COUNTS, SEED);
+    let outcomes = campaign::sweep(&w.trace, &grid);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Direction-metadata protection under the fig13 upset campaign\n\
+         (matmul, 24x24, seed {SEED:#x}): injected upsets vs corruption,\n\
+         by protection mode and fault policy. Scrub runs once per\n\
+         injection interval, so at most one upset is outstanding per\n\
+         line. `none` is the unprotected fig13 control; `silent` counts\n\
+         corrupted words on lines the cache never flagged.\n"
+    );
+    out.push_str(&campaign::render(&outcomes));
+    let silent_protected: u64 = outcomes
+        .iter()
+        .filter(|o| o.spec.protection != cnt_cache::prelude::ProtectionMode::None)
+        .map(|o| o.silent_corruptions)
+        .sum();
+    let _ = writeln!(
+        out,
+        "\nEvery protected row is silent-corruption-free (total silent\n\
+         words across protected cells: {silent_protected}); SECDED additionally loses\n\
+         no data at all. The D field is a few bits per 512-bit line, so\n\
+         parity costs well under 1% of the replay's dynamic energy and\n\
+         full SECDED stays around 2%."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_zero_silent_guarantee() {
+        let report = run();
+        assert!(report.contains("| faults |"));
+        assert!(report.contains("secded"));
+        assert!(report.contains("total silent\nwords across protected cells: 0"));
+    }
+}

@@ -6,6 +6,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fig13b;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
@@ -29,7 +30,8 @@ pub use calibrate::calibrate;
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
     "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "table2", "table3", "table4", "table5", "table6",
+    "fig12", "fig13", "fig13b", "fig14", "fig15", "fig16", "table2", "table3", "table4", "table5",
+    "table6",
 ];
 
 /// Whether `id` names an experiment [`run`] can dispatch (this includes
@@ -64,6 +66,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "fig11" => Ok(fig11::run()),
         "fig12" => Ok(fig12::run()),
         "fig13" => Ok(fig13::run()),
+        "fig13b" => Ok(fig13b::run()),
         "fig14" => Ok(fig14::run()),
         "fig15" => Ok(fig15::run()),
         "fig16" => Ok(fig16::run()),

@@ -14,7 +14,8 @@
 
 use cnt_encoding::{
     AccessHistory, BitPreference, DirectionBits, DirectionPredictor, LineCodec, OverflowPolicy,
-    PartitionLayout, PredictorConfig, UpdateFifo,
+    PartitionLayout, PredictorConfig, ProtectedDirectionBits, ProtectionMode, ProtectionVerdict,
+    UpdateFifo,
 };
 use cnt_energy::{ChargeKind, EnergyMeter};
 use cnt_sim::trace::{AccessKind, MemoryAccess};
@@ -25,28 +26,32 @@ use cnt_sim::{
 use serde::{Deserialize, Serialize};
 
 use crate::config::{CntCacheConfig, ConfigError};
-use crate::policy::EncodingPolicy;
-use crate::report::{EncodingCounters, EnergyReport};
+use crate::policy::{EncodingPolicy, MetadataFaultPolicy};
+use crate::report::{EncodingCounters, EnergyReport, ReliabilityCounters};
 
 /// Per-line encoding state: direction bits, window counters, and the
 /// sticky-classifier streak.
 #[derive(Debug, Clone, Copy)]
 struct LineState {
-    dirs: DirectionBits,
+    dirs: ProtectedDirectionBits,
     history: AccessHistory,
     /// Last window's pattern classification (sticky classifier only).
     last_pattern: Option<cnt_encoding::AccessPattern>,
     /// Consecutive windows with the same classification.
     streak: u32,
+    /// Pinned to baseline encoding by `MetadataFaultPolicy::FallbackBaseline`
+    /// until the line is replaced.
+    pinned: bool,
 }
 
 impl LineState {
-    fn fresh(dirs: DirectionBits) -> Self {
+    fn fresh(dirs: ProtectedDirectionBits) -> Self {
         LineState {
             dirs,
             history: AccessHistory::new(),
             last_pattern: None,
             streak: 0,
+            pinned: false,
         }
     }
 }
@@ -75,6 +80,18 @@ impl PendingUpdate {
             way: self.way,
         }
     }
+}
+
+/// The outcome of one background scrub sweep over the direction
+/// metadata (see [`CntCache::scrub_metadata`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Valid lines whose metadata was verified.
+    pub lines_checked: u64,
+    /// Upsets repaired in place during this sweep.
+    pub corrected: u64,
+    /// Uncorrectable faults found (the fault policy fired).
+    pub uncorrectable: u64,
 }
 
 /// The CNT-Cache: a CNFET data cache with (optional) adaptive encoding and
@@ -112,6 +129,14 @@ pub struct CntCache {
     inline_updates: bool,
     confirm_windows: u32,
     zero_flag: bool,
+    /// Effective protection mode: the configured one, or forced `None`
+    /// for policies without direction bits.
+    protection: ProtectionMode,
+    fault_policy: MetadataFaultPolicy,
+    reliability: ReliabilityCounters,
+    /// Base addresses of lines degraded by the fault policy (invalidated
+    /// or pinned), in occurrence order; a base repeats if hit again.
+    degraded_lines: Vec<Address>,
 }
 
 impl CntCache {
@@ -177,13 +202,25 @@ impl CntCache {
         let inline_updates = adaptive.is_some_and(|p| p.inline_updates);
         let confirm_windows = adaptive.map_or(1, |p| p.confirm_windows.max(1));
         let zero_flag = config.policy == EncodingPolicy::ZeroFlag;
+        // Policies without direction bits have nothing to protect; forcing
+        // `None` keeps their hot path byte-identical to the unprotected
+        // build.
+        let protection = match config.policy {
+            EncodingPolicy::None | EncodingPolicy::ZeroFlag => ProtectionMode::None,
+            EncodingPolicy::StaticInvert { .. } | EncodingPolicy::Adaptive(_) => config.protection,
+        };
 
         let cache = Cache::new(config.name.clone(), config.geometry, config.replacement)
             .with_write_mode(config.write_mode)
             .with_prefetch(config.prefetch);
         let lines = config.geometry.num_lines() as usize;
-        let states =
-            vec![LineState::fresh(DirectionBits::all_normal(codec.layout().partitions())); lines];
+        let states = vec![
+            LineState::fresh(ProtectedDirectionBits::all_normal(
+                codec.layout().partitions(),
+                protection
+            ));
+            lines
+        ];
         Ok(CntCache {
             meter: EnergyMeter::new(config.energy),
             cache,
@@ -198,6 +235,10 @@ impl CntCache {
             inline_updates,
             confirm_windows,
             zero_flag,
+            protection,
+            fault_policy: config.fault_policy,
+            reliability: ReliabilityCounters::default(),
+            degraded_lines: Vec::new(),
             config,
         })
     }
@@ -225,6 +266,48 @@ impl CntCache {
     /// Encoding activity counters.
     pub fn encoding_counters(&self) -> &EncodingCounters {
         &self.counters
+    }
+
+    /// Metadata-protection and fault-handling counters.
+    pub fn reliability_counters(&self) -> &ReliabilityCounters {
+        &self.reliability
+    }
+
+    /// The *effective* protection mode: the configured one, or `None`
+    /// when the encoding policy carries no direction bits.
+    pub fn protection(&self) -> ProtectionMode {
+        self.protection
+    }
+
+    /// Base addresses of lines degraded by the fault policy (invalidated
+    /// or pinned after an uncorrectable metadata fault), in occurrence
+    /// order. Campaigns use this to attribute end-of-run corruption as
+    /// *detected* (the line is in this log) versus *silent*.
+    pub fn degraded_line_bases(&self) -> &[Address] {
+        &self.degraded_lines
+    }
+
+    /// Encoding partitions per line in the active codec layout.
+    pub fn partitions(&self) -> u32 {
+        self.codec.layout().partitions()
+    }
+
+    /// Number of currently valid (resident) lines.
+    pub fn valid_line_count(&self) -> usize {
+        self.cache.valid_lines().count()
+    }
+
+    /// The location of the `n`-th valid line in set/way iteration order,
+    /// without allocating. `None` when fewer than `n + 1` lines are
+    /// resident.
+    pub fn nth_valid_line(&self, n: usize) -> Option<LineLocation> {
+        self.cache.valid_lines().nth(n).map(|(loc, _)| loc)
+    }
+
+    /// Base address of the line at `loc` (valid for resident lines;
+    /// reconstructed from the stored tag otherwise).
+    pub fn line_base(&self, loc: LineLocation) -> Address {
+        self.cache.line_base_at(loc)
     }
 
     /// Pending-update FIFO statistics.
@@ -368,6 +451,15 @@ impl CntCache {
         write: Option<u64>,
         lower: &mut dyn Backing,
     ) -> Result<AccessOutcome, AccessError> {
+        // Decode-path check: the addressed line's metadata is verified
+        // *before* the direction bits are trusted. An uncorrectable fault
+        // may invalidate the line here, turning the access into a clean
+        // refetch miss.
+        if self.protection != ProtectionMode::None {
+            if let Some(loc) = self.cache.find(addr) {
+                self.verify_line_metadata(loc);
+            }
+        }
         let ways = self.config.geometry.associativity();
         let outcome = {
             let mut observer = MeterObserver {
@@ -378,6 +470,7 @@ impl CntCache {
                 ways,
                 fill_preference: self.fill_preference,
                 zero_flag: self.zero_flag,
+                protection: self.protection,
                 metadata_scale: if self.config.meter_metadata {
                     self.config.metadata_energy_scale
                 } else {
@@ -421,6 +514,11 @@ impl CntCache {
     /// Serves a whole-line read for an upper cache level, with full
     /// energy metering and encoding bookkeeping at this level.
     pub fn load_line_through(&mut self, base: Address, buf: &mut [u64], lower: &mut dyn Backing) {
+        if self.protection != ProtectionMode::None {
+            if let Some(loc) = self.cache.find(base) {
+                self.verify_line_metadata(loc);
+            }
+        }
         let ways = self.config.geometry.associativity();
         {
             let mut observer = MeterObserver {
@@ -431,6 +529,7 @@ impl CntCache {
                 ways,
                 fill_preference: self.fill_preference,
                 zero_flag: self.zero_flag,
+                protection: self.protection,
                 metadata_scale: if self.config.meter_metadata {
                     self.config.metadata_energy_scale
                 } else {
@@ -450,6 +549,11 @@ impl CntCache {
     /// Accepts a whole-line spill from an upper cache level, with full
     /// energy metering and encoding bookkeeping at this level.
     pub fn store_line_through(&mut self, base: Address, data: &[u64], lower: &mut dyn Backing) {
+        if self.protection != ProtectionMode::None {
+            if let Some(loc) = self.cache.find(base) {
+                self.verify_line_metadata(loc);
+            }
+        }
         let ways = self.config.geometry.associativity();
         {
             let mut observer = MeterObserver {
@@ -460,6 +564,7 @@ impl CntCache {
                 ways,
                 fill_preference: self.fill_preference,
                 zero_flag: self.zero_flag,
+                protection: self.protection,
                 metadata_scale: if self.config.meter_metadata {
                     self.config.metadata_energy_scale
                 } else {
@@ -523,6 +628,12 @@ impl CntCache {
         let Some(predictor) = &self.predictor else {
             return;
         };
+
+        if self.states[idx].pinned {
+            // FallbackBaseline: the line sits out the predictor entirely
+            // until it is replaced.
+            return;
+        }
 
         let summary = predictor.observe(&mut self.states[idx].history, is_write);
 
@@ -594,6 +705,150 @@ impl CntCache {
         }
     }
 
+    /// Verifies the protected direction metadata of the line at `loc`,
+    /// repairing correctable upsets in place (metadata register *and*
+    /// decoded data view) and invoking the fault policy on uncorrectable
+    /// ones. No-op for invalid lines or when protection is off.
+    fn verify_line_metadata(&mut self, loc: LineLocation) -> ProtectionVerdict {
+        if self.protection == ProtectionMode::None || !self.cache.line_at(loc).is_valid() {
+            return ProtectionVerdict::Clean;
+        }
+        let idx = self.line_index(loc);
+        if self.config.meter_metadata {
+            // The check bits are read out alongside the D field.
+            let dirs = &self.states[idx].dirs;
+            self.meter.charge_read_bits_scaled(
+                dirs.check_ones(),
+                dirs.check_storage_bits(),
+                ChargeKind::ProtectionCheck,
+                self.config.metadata_energy_scale,
+            );
+        }
+        let verdict = self.states[idx].dirs.verify_and_repair();
+        match verdict {
+            ProtectionVerdict::Clean => {}
+            ProtectionVerdict::CorrectedData(p) => {
+                self.reliability.faults_detected += 1;
+                self.reliability.faults_corrected += 1;
+                // The metadata register was repaired; now restore the
+                // decoded view. The stored array bits were never wrong —
+                // only the direction lying about them — so re-deriving
+                // the logical partition is an exact inverse of the upset.
+                let (start, len) = self.codec.layout().range(p);
+                let line = self.cache.line_at_mut(loc);
+                cnt_encoding::popcount::invert_range(line.as_words_mut(), start, len);
+                self.charge_protection_repair(idx);
+            }
+            ProtectionVerdict::CorrectedCheck => {
+                self.reliability.faults_detected += 1;
+                self.reliability.faults_corrected += 1;
+                self.charge_protection_repair(idx);
+            }
+            ProtectionVerdict::Uncorrectable => {
+                self.reliability.faults_detected += 1;
+                self.reliability.faults_uncorrected += 1;
+                self.handle_uncorrectable(loc, idx);
+            }
+        }
+        verdict
+    }
+
+    /// Charges the re-write of the protected D register after a repair.
+    fn charge_protection_repair(&mut self, idx: usize) {
+        if self.config.meter_metadata {
+            let dirs = &self.states[idx].dirs;
+            self.meter.charge_write_bits_scaled(
+                dirs.bits().inverted_count() + dirs.check_ones(),
+                dirs.storage_bits(),
+                ChargeKind::ProtectionUpdate,
+                self.config.metadata_energy_scale,
+            );
+        }
+    }
+
+    /// Executes the configured [`MetadataFaultPolicy`] on the line at
+    /// `loc`, whose direction vector can no longer be trusted.
+    fn handle_uncorrectable(&mut self, loc: LineLocation, idx: usize) {
+        let base = self.cache.line_base_at(loc);
+        match self.fault_policy {
+            MetadataFaultPolicy::Panic => panic!(
+                "uncorrectable direction-metadata fault at {base} (set {}, way {})",
+                loc.set, loc.way
+            ),
+            MetadataFaultPolicy::InvalidateLine => {
+                self.degraded_lines.push(base);
+                self.fifo.cancel_where(|u| u.location() == loc);
+                let was_dirty = self.cache.line_at_mut(loc).invalidate();
+                if was_dirty {
+                    // Unwritten stores are lost — detected data loss,
+                    // never silent: the base is in the degraded log.
+                    self.reliability.dirty_lines_invalidated += 1;
+                }
+                self.reliability.lines_invalidated += 1;
+                self.states[idx] = LineState::fresh(ProtectedDirectionBits::all_normal(
+                    self.codec.layout().partitions(),
+                    self.protection,
+                ));
+            }
+            MetadataFaultPolicy::FallbackBaseline => {
+                self.degraded_lines.push(base);
+                self.fifo.cancel_where(|u| u.location() == loc);
+                // The array's physical content becomes the logical
+                // truth: re-derive the logical view under the untrusted
+                // direction belief, then declare every partition normal
+                // and pin the line so the predictor leaves it alone.
+                let dirs_mask = self.states[idx].dirs.mask();
+                for p in 0..self.codec.layout().partitions() {
+                    if dirs_mask >> p & 1 == 1 {
+                        let (start, len) = self.codec.layout().range(p);
+                        let line = self.cache.line_at_mut(loc);
+                        cnt_encoding::popcount::invert_range(line.as_words_mut(), start, len);
+                    }
+                }
+                self.states[idx].dirs.normalize();
+                self.states[idx].pinned = true;
+                self.reliability.lines_pinned += 1;
+                self.charge_protection_repair(idx);
+            }
+        }
+    }
+
+    /// Verifies every valid line's metadata (used by flush and scrub).
+    fn sweep_metadata(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        if self.protection == ProtectionMode::None {
+            return report;
+        }
+        for set in 0..self.config.geometry.num_sets() {
+            for way in 0..self.config.geometry.associativity() {
+                let loc = LineLocation { set, way };
+                if !self.cache.line_at(loc).is_valid() {
+                    continue;
+                }
+                report.lines_checked += 1;
+                match self.verify_line_metadata(loc) {
+                    ProtectionVerdict::Clean => {}
+                    ProtectionVerdict::CorrectedData(_) | ProtectionVerdict::CorrectedCheck => {
+                        report.corrected += 1;
+                    }
+                    ProtectionVerdict::Uncorrectable => report.uncorrectable += 1,
+                }
+            }
+        }
+        report
+    }
+
+    /// One background scrub pass: verifies (and repairs where possible)
+    /// the direction metadata of every valid line. Replay loops call this
+    /// every N accesses so upsets on idle lines are caught before a
+    /// second one lands and defeats SECDED.
+    pub fn scrub_metadata(&mut self) -> ScrubReport {
+        let report = self.sweep_metadata();
+        self.reliability.scrub_passes += 1;
+        self.reliability.scrub_lines_checked += report.lines_checked;
+        report
+    }
+
     /// Applies the oldest pending re-encoding, charging the switch write.
     /// Returns `false` when the FIFO is empty.
     fn apply_one_pending(&mut self) -> bool {
@@ -607,11 +862,21 @@ impl CntCache {
     /// Re-encodes the line at `loc` by flipping `flips`, charging the
     /// switch writes. `inline` marks the flips as demand-path stalls.
     fn apply_update(&mut self, loc: LineLocation, flips: u64, saving_fj: f64, inline: bool) {
+        // The queued decision was made against metadata that may have
+        // upset since: verify (and possibly degrade) before re-encoding.
+        if self.protection != ProtectionMode::None {
+            self.verify_line_metadata(loc);
+        }
         let idx = self.line_index(loc);
         let line = self.cache.line_at(loc);
         if !line.is_valid() {
-            // Fills cancel their location's pending updates, so this can
-            // only happen if the whole cache was reset; drop silently.
+            // Fills cancel their location's pending updates, so this is
+            // reached only after a whole-cache reset or a fault-policy
+            // invalidation that raced the drain; drop silently.
+            return;
+        }
+        if self.states[idx].pinned {
+            // FallbackBaseline pinned the line to normal encoding.
             return;
         }
         let state = &mut self.states[idx];
@@ -642,11 +907,20 @@ impl CntCache {
             // The direction bits themselves are re-written.
             let state = &self.states[idx];
             self.meter.charge_write_bits_scaled(
-                state.dirs.inverted_count(),
-                state.dirs.storage_bits(),
+                state.dirs.bits().inverted_count(),
+                state.dirs.bits().storage_bits(),
                 ChargeKind::MetadataWrite,
                 self.config.metadata_energy_scale,
             );
+            if self.protection != ProtectionMode::None {
+                // ... and so are their protection check bits.
+                self.meter.charge_write_bits_scaled(
+                    state.dirs.check_ones(),
+                    state.dirs.check_storage_bits(),
+                    ChargeKind::ProtectionUpdate,
+                    self.config.metadata_energy_scale,
+                );
+            }
         }
         self.counters.switches_applied += 1;
         // Projected savings realize only when the switch actually lands:
@@ -678,6 +952,9 @@ impl CntCache {
     /// [`flush`](Self::flush) against an external backing (for stacked
     /// levels).
     pub fn flush_through(&mut self, lower: &mut dyn Backing) -> usize {
+        // Every line's directions are about to be trusted for the final
+        // write-back: verify them all first (not counted as a scrub pass).
+        self.sweep_metadata();
         self.drain_pending();
         let ways = self.config.geometry.associativity();
         let mut observer = MeterObserver {
@@ -688,6 +965,7 @@ impl CntCache {
             ways,
             fill_preference: self.fill_preference,
             zero_flag: self.zero_flag,
+            protection: self.protection,
             metadata_scale: if self.config.meter_metadata {
                 self.config.metadata_energy_scale
             } else {
@@ -695,6 +973,14 @@ impl CntCache {
             },
         };
         self.cache.flush(lower, &mut observer)
+    }
+
+    /// H&D metadata bits per line, including protection check bits.
+    fn total_metadata_bits_per_line(&self) -> u32 {
+        self.config
+            .policy
+            .metadata_bits_per_line(self.config.geometry.line_bits())
+            + self.protection.check_bits(self.codec.layout().partitions())
     }
 
     /// Produces the full energy/activity report.
@@ -707,10 +993,8 @@ impl CntCache {
             stats: self.cache.stats().clone(),
             encoding: self.counters,
             fifo: *self.fifo.stats(),
-            metadata_bits_per_line: self
-                .config
-                .policy
-                .metadata_bits_per_line(self.config.geometry.line_bits()),
+            metadata_bits_per_line: self.total_metadata_bits_per_line(),
+            reliability: self.reliability,
         }
     }
 
@@ -718,10 +1002,7 @@ impl CntCache {
     /// breakdown, statistics, and name move into the report instead of
     /// being cloned. Use at end of run when the cache is done.
     pub fn into_report(mut self) -> EnergyReport {
-        let metadata_bits_per_line = self
-            .config
-            .policy
-            .metadata_bits_per_line(self.config.geometry.line_bits());
+        let metadata_bits_per_line = self.total_metadata_bits_per_line();
         EnergyReport {
             name: std::mem::take(&mut self.config.name),
             policy: self.config.policy.to_string(),
@@ -731,6 +1012,7 @@ impl CntCache {
             encoding: self.counters,
             fifo: *self.fifo.stats(),
             metadata_bits_per_line,
+            reliability: self.reliability,
         }
     }
 
@@ -740,6 +1022,16 @@ impl CntCache {
     ///
     /// Panics if `loc` is out of range.
     pub fn direction_bits(&self, loc: LineLocation) -> &DirectionBits {
+        self.states[self.line_index(loc)].dirs.bits()
+    }
+
+    /// The protected direction metadata (vector + check bits) of the
+    /// line at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn protected_direction_bits(&self, loc: LineLocation) -> &ProtectedDirectionBits {
         &self.states[self.line_index(loc)].dirs
     }
 
@@ -754,7 +1046,7 @@ impl CntCache {
         if !line.is_valid() {
             return None;
         }
-        let dirs = &self.states[self.line_index(loc)].dirs;
+        let dirs = self.states[self.line_index(loc)].dirs.bits();
         Some(self.codec.apply(line.as_words(), dirs))
     }
 
@@ -763,7 +1055,7 @@ impl CntCache {
     pub fn valid_lines(&self) -> impl Iterator<Item = (LineLocation, &CacheLine, &DirectionBits)> {
         self.cache
             .valid_lines()
-            .map(move |(loc, line)| (loc, line, &self.states[self.line_index(loc)].dirs))
+            .map(move |(loc, line)| (loc, line, self.states[self.line_index(loc)].dirs.bits()))
     }
 
     fn line_index(&self, loc: LineLocation) -> usize {
@@ -786,7 +1078,11 @@ impl CntCache {
             return false;
         }
         let idx = self.line_index(loc);
-        self.states[idx].dirs.toggle(partition);
+        // `upset_direction` (not a legal update) leaves the protection
+        // check bits stale — exactly what a particle strike does, and what
+        // the next verification must catch.
+        self.states[idx].dirs.upset_direction(partition);
+        self.reliability.faults_injected += 1;
         // The simulator stores *logical* data and derives the physical
         // stored bits as `logical ^ direction`. A metadata upset leaves
         // the physical bits untouched while the direction lies about
@@ -800,6 +1096,30 @@ impl CntCache {
         // Mutating through `as_words_mut` leaves the dirty flag alone,
         // which is exactly right: an upset is not a write.
         cnt_encoding::popcount::invert_range(line.as_words_mut(), start, len);
+        true
+    }
+
+    /// Fault injection into the protection *check* bits themselves: flips
+    /// stored check bit `bit` of the line at `loc` without touching the
+    /// direction vector or the data. SECDED corrects these; parity
+    /// detects its own bit's upset.
+    ///
+    /// Returns `false` (and injects nothing) if the line is invalid or
+    /// the active protection mode stores fewer than `bit + 1` check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn inject_check_fault(&mut self, loc: LineLocation, bit: u32) -> bool {
+        if !self.cache.line_at(loc).is_valid() {
+            return false;
+        }
+        let idx = self.line_index(loc);
+        if bit >= self.states[idx].dirs.check_storage_bits() {
+            return false;
+        }
+        self.states[idx].dirs.upset_check(bit);
+        self.reliability.faults_injected += 1;
         true
     }
 
@@ -842,6 +1162,17 @@ impl CntCache {
                         state.history.accesses()
                     )));
                 }
+            }
+            // On a fault-free run the protection code must be clean for
+            // every line; only injected upsets may break it (until the
+            // next verification repairs or degrades the line).
+            if self.reliability.faults_injected == 0
+                && state.dirs.verdict() != ProtectionVerdict::Clean
+            {
+                return Err(AuditError::new(format!(
+                    "line {i}: protection check bits inconsistent with the direction \
+                     vector on a fault-free run"
+                )));
             }
         }
         let partition_mask = if partitions == 64 {
@@ -916,6 +1247,9 @@ struct MeterObserver<'a> {
     /// Zero-flag compression: all-zero words skip the array, paying only
     /// their (sidecar) flag access.
     zero_flag: bool,
+    /// Direction-metadata protection active on this cache (fresh fills
+    /// compute and charge their check bits here).
+    protection: ProtectionMode,
     /// Sidecar-array energy scale for the zero flags.
     metadata_scale: f64,
 }
@@ -974,7 +1308,8 @@ impl ArrayObserver for MeterObserver<'_> {
         // Any queued update belongs to the evicted occupant of this slot.
         self.fifo.cancel_where(|u| u.location() == loc);
         if self.zero_flag {
-            self.states[idx] = LineState::fresh(DirectionBits::all_normal(1));
+            self.states[idx] =
+                LineState::fresh(ProtectedDirectionBits::all_normal(1, self.protection));
             let nonzero = data.iter().filter(|&&w| w != 0).count() as u32;
             // One flag per word is written; only non-zero words hit the array.
             self.meter.charge_write_bits_scaled(
@@ -993,8 +1328,18 @@ impl ArrayObserver for MeterObserver<'_> {
             Some(pref) => self.codec.choose_directions(data, pref),
             None => DirectionBits::all_normal(self.codec.layout().partitions()),
         };
+        let dirs = ProtectedDirectionBits::new(dirs, self.protection);
         self.states[idx] = LineState::fresh(dirs);
-        let ones = self.codec.stored_popcount(data, &dirs);
+        if self.protection != ProtectionMode::None {
+            // A fresh line's check bits are computed and written with it.
+            self.meter.charge_write_bits_scaled(
+                dirs.check_ones(),
+                dirs.check_storage_bits(),
+                ChargeKind::ProtectionUpdate,
+                self.metadata_scale,
+            );
+        }
+        let ones = self.codec.stored_popcount(data, dirs.bits());
         self.meter.charge_write_bits_kind(
             ones,
             self.codec.layout().line_bits(),

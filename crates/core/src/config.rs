@@ -5,13 +5,13 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use cnt_encoding::EncodingError;
+use cnt_encoding::{EncodingError, ProtectionMode};
 use cnt_energy::SramEnergyModel;
 use cnt_sim::{
     CacheGeometry, FillPattern, GeometryError, PrefetchPolicy, ReplacementKind, WriteMode,
 };
 
-use crate::policy::EncodingPolicy;
+use crate::policy::{EncodingPolicy, MetadataFaultPolicy};
 
 /// Errors produced when assembling a [`CntCache`](crate::CntCache).
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +95,13 @@ pub struct CntCacheConfig {
     pub metadata_energy_scale: f64,
     /// Cold-memory content pattern for the backing store.
     pub fill_pattern: FillPattern,
+    /// How (and whether) the per-line direction vector is protected
+    /// against soft-error upsets. Policies without direction bits
+    /// (`None`, `ZeroFlag`) ignore this.
+    pub protection: ProtectionMode,
+    /// What to do when a protected direction vector is detected corrupt
+    /// beyond repair.
+    pub fault_policy: MetadataFaultPolicy,
 }
 
 impl CntCacheConfig {
@@ -121,6 +128,8 @@ pub struct CntCacheConfigBuilder {
     meter_metadata: bool,
     metadata_energy_scale: f64,
     fill_pattern: FillPattern,
+    protection: ProtectionMode,
+    fault_policy: MetadataFaultPolicy,
 }
 
 impl CntCacheConfigBuilder {
@@ -138,6 +147,8 @@ impl CntCacheConfigBuilder {
             meter_metadata: true,
             metadata_energy_scale: 0.1,
             fill_pattern: FillPattern::Zero,
+            protection: ProtectionMode::None,
+            fault_policy: MetadataFaultPolicy::InvalidateLine,
         }
     }
 
@@ -213,6 +224,18 @@ impl CntCacheConfigBuilder {
         self
     }
 
+    /// Sets the direction-metadata protection mode.
+    pub fn protection(mut self, mode: ProtectionMode) -> Self {
+        self.protection = mode;
+        self
+    }
+
+    /// Sets the response to uncorrectable metadata faults.
+    pub fn fault_policy(mut self, policy: MetadataFaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -232,6 +255,8 @@ impl CntCacheConfigBuilder {
             meter_metadata: self.meter_metadata,
             metadata_energy_scale: self.metadata_energy_scale,
             fill_pattern: self.fill_pattern,
+            protection: self.protection,
+            fault_policy: self.fault_policy,
         })
     }
 }
@@ -254,6 +279,19 @@ mod tests {
         assert_eq!(c.geometry.associativity(), 8);
         assert_eq!(c.policy, EncodingPolicy::None);
         assert!(c.meter_metadata);
+        assert_eq!(c.protection, ProtectionMode::None);
+        assert_eq!(c.fault_policy, MetadataFaultPolicy::InvalidateLine);
+    }
+
+    #[test]
+    fn protection_setters_apply() {
+        let c = CntCacheConfig::builder()
+            .protection(ProtectionMode::Secded)
+            .fault_policy(MetadataFaultPolicy::FallbackBaseline)
+            .build()
+            .expect("valid");
+        assert_eq!(c.protection, ProtectionMode::Secded);
+        assert_eq!(c.fault_policy, MetadataFaultPolicy::FallbackBaseline);
     }
 
     #[test]

@@ -67,18 +67,19 @@ mod hierarchy;
 mod policy;
 mod report;
 
-pub use cnt::{AuditError, CntCache, PendingUpdate};
+pub use cnt::{AuditError, CntCache, PendingUpdate, ScrubReport};
 pub use config::{CntCacheConfig, CntCacheConfigBuilder, ConfigError};
 pub use hierarchy::{CntHierarchy, CntHierarchyConfig};
-pub use policy::{AdaptiveParams, EncodingPolicy};
-pub use report::{ComparisonRow, EncodingCounters, EnergyReport, TimingModel};
+pub use policy::{AdaptiveParams, EncodingPolicy, MetadataFaultPolicy};
+pub use report::{ComparisonRow, EncodingCounters, EnergyReport, ReliabilityCounters, TimingModel};
 
 /// Convenience re-exports of the most commonly used substrate types.
 pub mod prelude {
     pub use crate::{
         AdaptiveParams, CntCache, CntCacheConfig, ComparisonRow, EncodingPolicy, EnergyReport,
+        MetadataFaultPolicy,
     };
-    pub use cnt_encoding::{BitPreference, OverflowPolicy};
+    pub use cnt_encoding::{BitPreference, OverflowPolicy, ProtectionMode};
     pub use cnt_energy::{ChargeKind, Energy, SramEnergyModel};
     pub use cnt_sim::trace::{AccessKind, MemoryAccess, Trace};
     pub use cnt_sim::{Address, CacheGeometry, FillPattern, ReplacementKind};

@@ -119,6 +119,36 @@ impl EncodingPolicy {
     }
 }
 
+/// What the cache does when protected direction metadata turns out
+/// corrupt beyond repair (see
+/// [`ProtectionMode`](cnt_encoding::ProtectionMode) and DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MetadataFaultPolicy {
+    /// Fail-stop: abort the simulation. For debugging and for arguing a
+    /// detected fault can never propagate.
+    Panic,
+    /// Safe degradation: invalidate the line and let the access miss and
+    /// refetch from the backing. Clean lines lose nothing; dirty lines
+    /// lose their unwritten stores (counted separately).
+    #[default]
+    InvalidateLine,
+    /// Keep serving: re-read the array as-is, declare every partition
+    /// `Normal`, and pin the line to baseline encoding for the rest of
+    /// its residency. Data already stored inverted stays wrong — this
+    /// trades correctness for availability.
+    FallbackBaseline,
+}
+
+impl fmt::Display for MetadataFaultPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetadataFaultPolicy::Panic => f.write_str("panic"),
+            MetadataFaultPolicy::InvalidateLine => f.write_str("invalidate-line"),
+            MetadataFaultPolicy::FallbackBaseline => f.write_str("fallback-baseline"),
+        }
+    }
+}
+
 impl fmt::Display for EncodingPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -173,5 +203,17 @@ mod tests {
         assert!(EncodingPolicy::adaptive_default()
             .to_string()
             .contains("W=15"));
+    }
+
+    #[test]
+    fn fault_policy_defaults_to_safe_degradation() {
+        assert_eq!(
+            MetadataFaultPolicy::default(),
+            MetadataFaultPolicy::InvalidateLine
+        );
+        assert_eq!(
+            MetadataFaultPolicy::FallbackBaseline.to_string(),
+            "fallback-baseline"
+        );
     }
 }

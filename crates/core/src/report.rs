@@ -33,6 +33,42 @@ pub struct EncodingCounters {
     pub realized_saving_fj: f64,
 }
 
+/// Counters of the direction-metadata reliability machinery
+/// (protection, scrub, and fault-policy degradation — DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReliabilityCounters {
+    /// Soft-error upsets injected into direction or check bits.
+    pub faults_injected: u64,
+    /// Verifications that found the metadata corrupt (correctably or
+    /// not).
+    pub faults_detected: u64,
+    /// Upsets repaired in place (SECDED single-bit corrections).
+    pub faults_corrected: u64,
+    /// Detected faults the code could not locate; the configured
+    /// [`MetadataFaultPolicy`](crate::MetadataFaultPolicy) fired.
+    pub faults_uncorrected: u64,
+    /// Lines invalidated by `MetadataFaultPolicy::InvalidateLine`.
+    pub lines_invalidated: u64,
+    /// Of those, lines that were dirty — their unwritten stores were
+    /// lost (detected data loss, never silent).
+    pub dirty_lines_invalidated: u64,
+    /// Lines pinned to baseline encoding by
+    /// `MetadataFaultPolicy::FallbackBaseline`.
+    pub lines_pinned: u64,
+    /// Background scrub sweeps completed.
+    pub scrub_passes: u64,
+    /// Valid lines checked across all scrub sweeps.
+    pub scrub_lines_checked: u64,
+}
+
+impl ReliabilityCounters {
+    /// `true` when nothing reliability-related happened (the default
+    /// unprotected, fault-free run).
+    pub fn is_quiet(&self) -> bool {
+        *self == ReliabilityCounters::default()
+    }
+}
+
 /// A simple cycle model for the performance-overhead study (`table5`).
 ///
 /// The paper argues the encoder "has negligible influence on the timing of
@@ -125,8 +161,11 @@ pub struct EnergyReport {
     pub encoding: EncodingCounters,
     /// Deferred-update FIFO statistics.
     pub fifo: FifoStats,
-    /// H&D metadata bits carried per line.
+    /// H&D metadata bits carried per line, including any protection
+    /// check bits.
     pub metadata_bits_per_line: u32,
+    /// Metadata-protection and fault-handling activity.
+    pub reliability: ReliabilityCounters,
 }
 
 impl EnergyReport {
@@ -201,6 +240,20 @@ impl fmt::Display for EnergyReport {
             self.fifo.cancelled,
             self.fifo.max_occupancy
         )?;
+        if !self.reliability.is_quiet() {
+            writeln!(
+                f,
+                "  reliability: {} injected, {} detected, {} corrected, {} uncorrected, \
+                 {} invalidated, {} pinned, {} scrub passes",
+                self.reliability.faults_injected,
+                self.reliability.faults_detected,
+                self.reliability.faults_corrected,
+                self.reliability.faults_uncorrected,
+                self.reliability.lines_invalidated,
+                self.reliability.lines_pinned,
+                self.reliability.scrub_passes
+            )?;
+        }
         write!(f, "{}", self.breakdown)
     }
 }
@@ -259,6 +312,7 @@ mod tests {
             encoding: EncodingCounters::default(),
             fifo: FifoStats::default(),
             metadata_bits_per_line: 0,
+            reliability: ReliabilityCounters::default(),
         }
     }
 
@@ -304,6 +358,19 @@ mod tests {
     }
 
     #[test]
+    fn reliability_line_renders_only_when_active() {
+        let quiet = report_with_energy(1);
+        assert!(quiet.reliability.is_quiet());
+        assert!(!quiet.to_string().contains("reliability"));
+        let mut noisy = report_with_energy(1);
+        noisy.reliability.faults_injected = 3;
+        noisy.reliability.faults_corrected = 2;
+        let text = noisy.to_string();
+        assert!(text.contains("reliability: 3 injected"));
+        assert!(text.contains("2 corrected"));
+    }
+
+    #[test]
     fn serde_round_trip() {
         let r = report_with_energy(7);
         let json = serde_json::to_string(&r).expect("serialize");
@@ -326,6 +393,7 @@ mod tests {
             encoding: EncodingCounters::default(),
             fifo: FifoStats::default(),
             metadata_bits_per_line: 0,
+            reliability: ReliabilityCounters::default(),
         };
         assert_eq!(empty.stats.hit_rate(), 0.0);
         assert_eq!(empty.switch_rate(), 0.0);

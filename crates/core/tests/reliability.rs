@@ -1,0 +1,399 @@
+//! Integration tests for the direction-metadata reliability subsystem:
+//! protection modes, fault policies, scrubbing, energy attribution, and
+//! the zero-silent-corruption degradation guarantee.
+//!
+//! The injection model mirrors a real soft-error upset: the stored D bit
+//! flips while the array contents stay put, so the cache's *belief* about
+//! a partition's encoding inverts. Without protection that belief error
+//! is architecturally silent; these tests pin down exactly what each
+//! `ProtectionMode` × `MetadataFaultPolicy` combination guarantees.
+
+use proptest::prelude::*;
+
+use cnt_cache::prelude::*;
+use cnt_cache::ReliabilityCounters;
+use cnt_sim::{MainMemory, WriteMode};
+
+fn protected_config(
+    protection: ProtectionMode,
+    policy: MetadataFaultPolicy,
+    write_mode: WriteMode,
+) -> CntCacheConfig {
+    CntCacheConfig::builder()
+        .policy(EncodingPolicy::adaptive_default())
+        .protection(protection)
+        .fault_policy(policy)
+        .write_mode(write_mode)
+        .build()
+        .expect("static geometry")
+}
+
+/// Warm one line with a known value and return its base address.
+fn warm_one_line(cache: &mut CntCache, value: u64) -> Address {
+    let addr = Address::new(0x4000);
+    cache.write(addr, 8, value).expect("write succeeds");
+    assert_eq!(cache.valid_line_count(), 1);
+    addr
+}
+
+#[test]
+fn secded_corrects_on_next_access_with_data_intact() {
+    let mut cache = CntCache::new(protected_config(
+        ProtectionMode::Secded,
+        MetadataFaultPolicy::Panic, // must never trigger
+        WriteMode::WriteBack,
+    ))
+    .expect("valid cache");
+    let addr = warm_one_line(&mut cache, 0xDEAD_BEEF_CAFE_F00D);
+
+    let loc = cache.nth_valid_line(0).expect("line resident");
+    assert!(cache.inject_direction_fault(loc, 3));
+
+    // The next demand access verifies, corrects the D bit, and restores
+    // the logical view — the read must return the original value.
+    assert_eq!(
+        cache.read(addr, 8).expect("read succeeds"),
+        0xDEAD_BEEF_CAFE_F00D
+    );
+    let r = cache.reliability_counters();
+    assert_eq!(r.faults_injected, 1);
+    assert_eq!(r.faults_detected, 1);
+    assert_eq!(r.faults_corrected, 1);
+    assert_eq!(r.faults_uncorrected, 0);
+    assert!(cache.degraded_line_bases().is_empty());
+    cache.audit().expect("invariants hold after repair");
+}
+
+#[test]
+fn parity_invalidate_line_refetches_golden_value() {
+    let mut cache = CntCache::new(protected_config(
+        ProtectionMode::Parity,
+        MetadataFaultPolicy::InvalidateLine,
+        WriteMode::WriteThrough, // line stays clean: invalidation is lossless
+    ))
+    .expect("valid cache");
+    let addr = warm_one_line(&mut cache, 0x1234_5678_9ABC_DEF0);
+
+    let loc = cache.nth_valid_line(0).expect("line resident");
+    let base = cache.line_base(loc);
+    assert!(cache.inject_direction_fault(loc, 0));
+
+    // Parity detects but cannot correct: the line is invalidated and the
+    // access misses, refetching the (write-through, thus current) backing.
+    assert_eq!(
+        cache.read(addr, 8).expect("read succeeds"),
+        0x1234_5678_9ABC_DEF0
+    );
+    let r = cache.reliability_counters();
+    assert_eq!(r.faults_detected, 1);
+    assert_eq!(r.faults_corrected, 0);
+    assert_eq!(r.faults_uncorrected, 1);
+    assert_eq!(r.lines_invalidated, 1);
+    assert_eq!(
+        r.dirty_lines_invalidated, 0,
+        "write-through lines are clean"
+    );
+    assert_eq!(cache.degraded_line_bases(), &[base]);
+    cache.audit().expect("invariants hold after degradation");
+}
+
+#[test]
+fn fallback_baseline_pins_line_and_keeps_serving() {
+    let mut cache = CntCache::new(protected_config(
+        ProtectionMode::Parity,
+        MetadataFaultPolicy::FallbackBaseline,
+        WriteMode::WriteBack,
+    ))
+    .expect("valid cache");
+    let addr = warm_one_line(&mut cache, 7);
+
+    let loc = cache.nth_valid_line(0).expect("line resident");
+    assert!(cache.inject_direction_fault(loc, 1));
+
+    // The line is pinned to baseline encoding; the access is served.
+    cache.read(addr, 8).expect("availability is preserved");
+    let r = cache.reliability_counters();
+    assert_eq!(r.faults_uncorrected, 1);
+    assert_eq!(r.lines_pinned, 1);
+    assert_eq!(r.lines_invalidated, 0);
+    assert_eq!(cache.degraded_line_bases().len(), 1);
+
+    // A pinned line never re-encodes again: hammer it with all-ones data
+    // (which adaptive encoding would invert) and check every direction
+    // bit stays Normal.
+    for _ in 0..64 {
+        cache.write(addr, 8, u64::MAX).expect("write succeeds");
+        cache.read(addr, 8).expect("read succeeds");
+    }
+    let loc = cache.nth_valid_line(0).expect("line still resident");
+    let dirs = cache.protected_direction_bits(loc);
+    assert_eq!(
+        dirs.bits().inverted_count(),
+        0,
+        "pinned line must stay baseline-encoded"
+    );
+    cache.audit().expect("invariants hold while pinned");
+}
+
+#[test]
+#[should_panic(expected = "uncorrectable direction-metadata fault")]
+fn panic_policy_fails_stop() {
+    let mut cache = CntCache::new(protected_config(
+        ProtectionMode::Parity,
+        MetadataFaultPolicy::Panic,
+        WriteMode::WriteBack,
+    ))
+    .expect("valid cache");
+    let addr = warm_one_line(&mut cache, 1);
+    let loc = cache.nth_valid_line(0).expect("line resident");
+    assert!(cache.inject_direction_fault(loc, 0));
+    let _ = cache.read(addr, 8);
+}
+
+#[test]
+fn scrub_corrects_idle_line_upset() {
+    let mut cache = CntCache::new(protected_config(
+        ProtectionMode::Secded,
+        MetadataFaultPolicy::Panic,
+        WriteMode::WriteBack,
+    ))
+    .expect("valid cache");
+    let addr = warm_one_line(&mut cache, 42);
+    let loc = cache.nth_valid_line(0).expect("line resident");
+    assert!(cache.inject_direction_fault(loc, 5));
+
+    // No demand access touches the line; a scrub pass finds and repairs
+    // the upset anyway.
+    let report = cache.scrub_metadata();
+    assert_eq!(report.corrected, 1);
+    assert_eq!(report.uncorrectable, 0);
+    assert!(report.lines_checked >= 1);
+
+    let r = cache.reliability_counters();
+    assert_eq!(r.scrub_passes, 1);
+    assert!(r.scrub_lines_checked >= 1);
+    assert_eq!(cache.read(addr, 8).expect("read succeeds"), 42);
+
+    // A second pass over a clean cache corrects nothing.
+    let report = cache.scrub_metadata();
+    assert_eq!(report.corrected, 0);
+    assert_eq!(cache.reliability_counters().scrub_passes, 2);
+}
+
+#[test]
+fn check_bit_upsets_are_repaired_without_touching_data() {
+    let mut cache = CntCache::new(protected_config(
+        ProtectionMode::Secded,
+        MetadataFaultPolicy::Panic,
+        WriteMode::WriteBack,
+    ))
+    .expect("valid cache");
+    let addr = warm_one_line(&mut cache, 99);
+    let loc = cache.nth_valid_line(0).expect("line resident");
+    assert!(cache.inject_check_fault(loc, 0));
+
+    assert_eq!(cache.read(addr, 8).expect("read succeeds"), 99);
+    let r = cache.reliability_counters();
+    assert_eq!(r.faults_corrected, 1);
+    assert_eq!(r.faults_uncorrected, 0);
+    cache.audit().expect("invariants hold");
+}
+
+#[test]
+fn protection_energy_is_nonzero_and_itemized() {
+    let run = |protection: ProtectionMode| {
+        let mut cache = CntCache::new(protected_config(
+            protection,
+            MetadataFaultPolicy::Panic,
+            WriteMode::WriteBack,
+        ))
+        .expect("valid cache");
+        for i in 0..256u64 {
+            let addr = Address::new((i % 16) * 64);
+            if i % 3 == 0 {
+                cache.write(addr, 8, i.wrapping_mul(0x9E37_79B9)).unwrap();
+            } else {
+                cache.read(addr, 8).unwrap();
+            }
+        }
+        cache.into_report()
+    };
+
+    let unprotected = run(ProtectionMode::None);
+    let parity = run(ProtectionMode::Parity);
+    let secded = run(ProtectionMode::Secded);
+
+    assert_eq!(unprotected.breakdown.protection_energy().picojoules(), 0.0);
+    let parity_pj = parity.breakdown.protection_energy().picojoules();
+    let secded_pj = secded.breakdown.protection_energy().picojoules();
+    assert!(parity_pj > 0.0, "parity checks must cost energy");
+    assert!(
+        secded_pj > parity_pj,
+        "SECDED stores and checks more bits than parity ({secded_pj} vs {parity_pj} pJ)"
+    );
+    // Itemization: protection energy is part of the total, not double
+    // counted — totals strictly increase with protection strength.
+    assert!(parity.breakdown.total().picojoules() > unprotected.breakdown.total().picojoules());
+    assert!(secded.breakdown.total().picojoules() > parity.breakdown.total().picojoules());
+}
+
+#[test]
+fn protection_is_forced_off_for_policies_without_direction_bits() {
+    for policy in [EncodingPolicy::None, EncodingPolicy::ZeroFlag] {
+        let config = CntCacheConfig::builder()
+            .policy(policy)
+            .protection(ProtectionMode::Secded)
+            .build()
+            .expect("valid config");
+        let mut cache = CntCache::new(config).expect("valid cache");
+        assert_eq!(cache.protection(), ProtectionMode::None);
+        for i in 0..64u64 {
+            cache.write(Address::new(i * 8), 8, i).unwrap();
+        }
+        let report = cache.into_report();
+        assert_eq!(
+            report.breakdown.protection_energy().picojoules(),
+            0.0,
+            "no direction bits means nothing to protect"
+        );
+        assert!(report.reliability.is_quiet());
+    }
+}
+
+#[test]
+fn reliability_counters_flow_into_the_report() {
+    let mut cache = CntCache::new(protected_config(
+        ProtectionMode::Parity,
+        MetadataFaultPolicy::InvalidateLine,
+        WriteMode::WriteThrough,
+    ))
+    .expect("valid cache");
+    let addr = warm_one_line(&mut cache, 5);
+    let loc = cache.nth_valid_line(0).expect("line resident");
+    assert!(cache.inject_direction_fault(loc, 0));
+    cache.read(addr, 8).expect("read succeeds");
+    cache.scrub_metadata();
+
+    let report = cache.report();
+    let r: &ReliabilityCounters = &report.reliability;
+    assert_eq!(r.faults_injected, 1);
+    assert_eq!(r.lines_invalidated, 1);
+    assert_eq!(r.scrub_passes, 1);
+    assert!(!r.is_quiet());
+    assert!(report.to_string().contains("reliability"));
+}
+
+// ---------------------------------------------------------------------
+// Satellite 4: the graceful-degradation guarantee, property-tested.
+//
+// A random trace interleaved with random direction-bit upsets — each
+// followed by a demand read of the victim line — must produce exactly
+// the memory image and read values of a fault-free golden replay, for
+// both Parity+InvalidateLine (detect, drop, refetch) and Secded (detect,
+// correct in place). Zero silent corruption, by construction.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { slot: u64 },
+    Write { slot: u64, value: u64 },
+    Inject { pick: u64, partition_pick: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..10, 0u64..64, any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+        |(kind, slot, value, pick, partition_pick)| match kind {
+            0..=3 => Op::Read { slot },
+            4..=7 => Op::Write { slot, value },
+            _ => Op::Inject {
+                pick,
+                partition_pick,
+            },
+        },
+    )
+}
+
+fn degradation_matches_golden_replay(protection: ProtectionMode, ops: &[Op]) {
+    let mut cache = CntCache::new(protected_config(
+        protection,
+        MetadataFaultPolicy::InvalidateLine,
+        WriteMode::WriteThrough,
+    ))
+    .expect("valid cache");
+    let mut golden = MainMemory::new();
+    let mut written = std::collections::BTreeSet::new();
+
+    for op in ops {
+        match *op {
+            Op::Read { slot } => {
+                let addr = Address::new(slot * 8);
+                let got = cache.read(addr, 8).expect("read succeeds");
+                let want = golden.load(addr, 8);
+                assert_eq!(got, want, "read of {addr} diverged from golden replay");
+            }
+            Op::Write { slot, value } => {
+                let addr = Address::new(slot * 8);
+                cache.write(addr, 8, value).expect("write succeeds");
+                golden.store(addr, 8, value);
+                written.insert(addr);
+            }
+            Op::Inject {
+                pick,
+                partition_pick,
+            } => {
+                let count = cache.valid_line_count();
+                if count == 0 {
+                    continue;
+                }
+                let loc = cache
+                    .nth_valid_line((pick % count as u64) as usize)
+                    .expect("index in range");
+                let base = cache.line_base(loc);
+                let partition = partition_pick % cache.partitions();
+                if cache.inject_direction_fault(loc, partition) {
+                    // The very next access to the victim line must see
+                    // the golden value: Secded repairs in place, parity
+                    // invalidates and refetches.
+                    let got = cache.read(base, 8).expect("read succeeds");
+                    assert_eq!(
+                        got,
+                        golden.load(base, 8),
+                        "post-fault read of {base} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    cache.flush();
+    for &addr in &written {
+        assert_eq!(
+            cache.memory_mut().load(addr, 8),
+            golden.load(addr, 8),
+            "final memory image diverged at {addr}"
+        );
+    }
+    let r = cache.reliability_counters();
+    assert_eq!(
+        r.faults_detected, r.faults_injected,
+        "every injected upset must be detected"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parity_invalidate_degradation_has_zero_silent_corruption(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        degradation_matches_golden_replay(ProtectionMode::Parity, &ops);
+    }
+
+    #[test]
+    fn secded_correction_has_zero_silent_corruption(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        degradation_matches_golden_replay(ProtectionMode::Secded, &ops);
+    }
+}

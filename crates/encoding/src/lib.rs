@@ -23,7 +23,9 @@
 //!   hysteresis margin from the authors' draft notes,
 //! * [`DirectionPredictor`] — Algorithm 1 (two-step window prediction),
 //! * [`UpdateFifo`] — the data/index FIFOs that defer re-encoding writes to
-//!   idle slots.
+//!   idle slots,
+//! * [`ProtectedDirectionBits`] — optional parity / SECDED protection of
+//!   the direction metadata against soft-error upsets.
 //!
 //! # Example
 //!
@@ -55,6 +57,7 @@ mod fifo;
 mod history;
 pub mod popcount;
 mod predictor;
+mod protect;
 mod threshold;
 
 pub use codec::{BitPreference, LineCodec, PartitionLayout};
@@ -63,4 +66,5 @@ pub use error::EncodingError;
 pub use fifo::{FifoStats, OverflowPolicy, UpdateFifo};
 pub use history::AccessHistory;
 pub use predictor::{Decision, DirectionPredictor, PredictorConfig, WindowSummary};
+pub use protect::{ProtectedDirectionBits, ProtectionMode, ProtectionVerdict};
 pub use threshold::{AccessPattern, FlipRule, ThresholdTable};

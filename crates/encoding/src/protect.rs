@@ -1,0 +1,534 @@
+//! Protection of the direction ("D") metadata: parity and SECDED.
+//!
+//! The direction bits are the cache's single point of silent failure: a
+//! soft-error upset in one D bit makes an entire partition decode
+//! inverted with zero detection (experiment `fig13`). This module adds
+//! the two classic code points over the per-line direction vector:
+//!
+//! * [`ProtectionMode::Parity`] — one even-parity bit over the D vector.
+//!   Detects every odd-weight upset (in particular all single upsets),
+//!   corrects nothing, and misses even-weight upsets.
+//! * [`ProtectionMode::Secded`] — an extended Hamming code: corrects any
+//!   single-bit upset (in the D vector *or* in the check bits) and
+//!   detects all double upsets.
+//!
+//! [`ProtectedDirectionBits`] bundles a [`DirectionBits`] vector with its
+//! check bits and recomputes them on every *legal* mutation; soft errors
+//! are modelled by the `upset_*` methods, which corrupt state without
+//! touching the check bits — exactly what a particle strike does.
+
+use std::fmt;
+use std::ops::Deref;
+
+use serde::{Deserialize, Serialize};
+
+use crate::direction::{DirectionBits, EncodingDirection};
+
+/// How (and whether) the per-line direction vector is protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ProtectionMode {
+    /// No protection: upsets corrupt silently (the seed behaviour).
+    #[default]
+    None,
+    /// One even-parity bit over the direction vector: detect-only.
+    Parity,
+    /// Extended Hamming (SECDED): single-error correct, double-error
+    /// detect, over direction vector plus check bits.
+    Secded,
+}
+
+impl ProtectionMode {
+    /// Check bits stored per line for a `partitions`-bit direction vector.
+    pub fn check_bits(self, partitions: u32) -> u32 {
+        match self {
+            ProtectionMode::None => 0,
+            ProtectionMode::Parity => 1,
+            ProtectionMode::Secded => hamming_parity_bits(partitions) + 1,
+        }
+    }
+
+    /// Computes the check word for a direction mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is out of `1..=64`.
+    pub fn encode(self, mask: u64, partitions: u32) -> u64 {
+        assert!(
+            (1..=64).contains(&partitions),
+            "partition count must be in 1..=64, got {partitions}"
+        );
+        match self {
+            ProtectionMode::None => 0,
+            ProtectionMode::Parity => u64::from(mask.count_ones() & 1),
+            ProtectionMode::Secded => secded_encode(mask, partitions),
+        }
+    }
+}
+
+impl fmt::Display for ProtectionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectionMode::None => f.write_str("none"),
+            ProtectionMode::Parity => f.write_str("parity"),
+            ProtectionMode::Secded => f.write_str("secded"),
+        }
+    }
+}
+
+/// Number of Hamming parity bits `r` needed for `data_bits` data bits:
+/// the smallest `r` with `2^r >= data_bits + r + 1`.
+fn hamming_parity_bits(data_bits: u32) -> u32 {
+    let mut r = 0u32;
+    while (1u32 << r) < data_bits + r + 1 {
+        r += 1;
+    }
+    r
+}
+
+/// The 1-based codeword position of data bit `i`: the `(i + 1)`-th
+/// non-power-of-two position.
+fn data_position(i: u32) -> u32 {
+    let mut pos = 1u32;
+    let mut seen = 0u32;
+    loop {
+        if !pos.is_power_of_two() {
+            if seen == i {
+                return pos;
+            }
+            seen += 1;
+        }
+        pos += 1;
+    }
+}
+
+/// The data-bit index stored at codeword position `pos`, or `None` if
+/// `pos` is a parity position or beyond the codeword.
+fn data_index_at(pos: u32, data_bits: u32, parity_bits: u32) -> Option<u32> {
+    if pos == 0 || pos.is_power_of_two() || pos > data_bits + parity_bits {
+        return None;
+    }
+    // Data bits fill non-power positions in order; the index is the
+    // count of non-power positions strictly below `pos`.
+    let below = pos - 1;
+    let powers_below = below.checked_ilog2().map_or(0, |l| l + 1);
+    let idx = below - powers_below;
+    (idx < data_bits).then_some(idx)
+}
+
+/// Extended-Hamming check word for `mask` (low `data_bits` significant):
+/// bits `0..r` hold the Hamming parities (parity `j` covers codeword
+/// positions with bit `j` set), bit `r` holds the overall parity over
+/// data plus Hamming parities.
+fn secded_encode(mask: u64, data_bits: u32) -> u64 {
+    let r = hamming_parity_bits(data_bits);
+    let mut parities = 0u64;
+    for i in 0..data_bits {
+        if mask >> i & 1 == 1 {
+            let pos = data_position(i);
+            for j in 0..r {
+                if pos >> j & 1 == 1 {
+                    parities ^= 1 << j;
+                }
+            }
+        }
+    }
+    let overall = (mask.count_ones() + parities.count_ones()) & 1;
+    parities | (u64::from(overall) << r)
+}
+
+/// The outcome of verifying (and possibly repairing) protected metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectionVerdict {
+    /// Check bits match the direction vector.
+    Clean,
+    /// A single upset in direction bit `p` was located and repaired in
+    /// the metadata register. The caller must restore the partition's
+    /// decoded view (the data array itself was never wrong).
+    CorrectedData(u32),
+    /// A single upset in the check bits themselves was repaired; the
+    /// direction vector (and therefore the data) was never wrong.
+    CorrectedCheck,
+    /// A fault was detected but cannot be located (parity mode, or a
+    /// multi-bit upset under SECDED). The direction vector can no longer
+    /// be trusted.
+    Uncorrectable,
+}
+
+impl ProtectionVerdict {
+    /// `true` when a fault was detected (whether or not it was repaired).
+    pub fn detected(self) -> bool {
+        self != ProtectionVerdict::Clean
+    }
+}
+
+/// A [`DirectionBits`] vector bundled with its protection check bits.
+///
+/// Legal mutations ([`set`](Self::set), [`toggle`](Self::toggle),
+/// [`apply_flips`](Self::apply_flips), [`normalize`](Self::normalize))
+/// recompute the check word; soft errors are injected with
+/// [`upset_direction`](Self::upset_direction) /
+/// [`upset_check`](Self::upset_check), which corrupt state *without*
+/// updating the check bits. [`verify_and_repair`](Self::verify_and_repair)
+/// then plays the decoder.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::{ProtectedDirectionBits, ProtectionMode, ProtectionVerdict};
+///
+/// let mut dirs = ProtectedDirectionBits::all_normal(8, ProtectionMode::Secded);
+/// dirs.toggle(3); // legal update: check bits follow
+/// assert_eq!(dirs.verify_and_repair(), ProtectionVerdict::Clean);
+///
+/// dirs.upset_direction(5); // soft error: check bits do NOT follow
+/// assert_eq!(dirs.verify_and_repair(), ProtectionVerdict::CorrectedData(5));
+/// assert!(!dirs.is_inverted(5), "the upset was rolled back");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProtectedDirectionBits {
+    dirs: DirectionBits,
+    mode: ProtectionMode,
+    check: u64,
+}
+
+impl ProtectedDirectionBits {
+    /// Wraps a direction vector, computing its check bits.
+    pub fn new(dirs: DirectionBits, mode: ProtectionMode) -> Self {
+        let check = mode.encode(dirs.mask(), dirs.partitions());
+        ProtectedDirectionBits { dirs, mode, check }
+    }
+
+    /// All partitions normal, check bits consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is out of `1..=64`.
+    pub fn all_normal(partitions: u32, mode: ProtectionMode) -> Self {
+        ProtectedDirectionBits::new(DirectionBits::all_normal(partitions), mode)
+    }
+
+    /// The protected direction vector.
+    pub fn bits(&self) -> &DirectionBits {
+        &self.dirs
+    }
+
+    /// The protection mode.
+    pub fn mode(&self) -> ProtectionMode {
+        self.mode
+    }
+
+    /// The stored check word.
+    pub fn check(&self) -> u64 {
+        self.check
+    }
+
+    /// Check bits stored alongside this vector.
+    pub fn check_storage_bits(&self) -> u32 {
+        self.mode.check_bits(self.dirs.partitions())
+    }
+
+    /// One-bits currently stored in the check word (for energy pricing).
+    pub fn check_ones(&self) -> u32 {
+        self.check.count_ones()
+    }
+
+    /// Total metadata storage: direction bits plus check bits.
+    pub fn storage_bits(&self) -> u32 {
+        self.dirs.storage_bits() + self.check_storage_bits()
+    }
+
+    /// Legal update: sets partition `p`'s direction and recomputes the
+    /// check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set(&mut self, p: u32, direction: EncodingDirection) {
+        self.dirs.set(p, direction);
+        self.recompute();
+    }
+
+    /// Legal update: flips partition `p`'s direction and recomputes the
+    /// check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn toggle(&mut self, p: u32) {
+        self.dirs.toggle(p);
+        self.recompute();
+    }
+
+    /// Legal update: applies a flip mask and recomputes the check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flip mask has bits above the partition count.
+    pub fn apply_flips(&mut self, flips: u64) {
+        self.dirs.apply_flips(flips);
+        self.recompute();
+    }
+
+    /// Legal update: forces every partition back to `Normal` (the
+    /// fallback-baseline degradation) and recomputes the check bits.
+    pub fn normalize(&mut self) {
+        self.dirs = DirectionBits::all_normal(self.dirs.partitions());
+        self.recompute();
+    }
+
+    /// Soft error: flips direction bit `p` *without* updating the check
+    /// bits (what a particle strike on the D register does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn upset_direction(&mut self, p: u32) {
+        self.dirs.toggle(p);
+    }
+
+    /// Soft error: flips check bit `bit` *without* updating anything
+    /// else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not a stored check bit under this mode.
+    pub fn upset_check(&mut self, bit: u32) {
+        assert!(
+            bit < self.check_storage_bits(),
+            "check bit {bit} out of range for {} mode",
+            self.mode
+        );
+        self.check ^= 1 << bit;
+    }
+
+    /// Verifies the check bits against the direction vector, repairing
+    /// the metadata register when the code allows it.
+    ///
+    /// For [`ProtectionVerdict::CorrectedData`] the direction bit has
+    /// already been rolled back here, but the *caller* owns the decoded
+    /// data view and must restore it too. All other verdicts leave the
+    /// direction vector as it was.
+    pub fn verify_and_repair(&mut self) -> ProtectionVerdict {
+        let verdict = self.verdict();
+        match verdict {
+            ProtectionVerdict::CorrectedData(p) => {
+                self.dirs.toggle(p);
+                self.recompute();
+            }
+            ProtectionVerdict::CorrectedCheck => self.recompute(),
+            ProtectionVerdict::Clean | ProtectionVerdict::Uncorrectable => {}
+        }
+        verdict
+    }
+
+    /// The decoder's verdict without mutating anything.
+    pub fn verdict(&self) -> ProtectionVerdict {
+        let d = self.dirs.partitions();
+        let mask = self.dirs.mask();
+        match self.mode {
+            ProtectionMode::None => ProtectionVerdict::Clean,
+            ProtectionMode::Parity => {
+                if self.mode.encode(mask, d) == self.check {
+                    ProtectionVerdict::Clean
+                } else {
+                    ProtectionVerdict::Uncorrectable
+                }
+            }
+            ProtectionMode::Secded => {
+                let r = hamming_parity_bits(d);
+                let expected = secded_encode(mask, d);
+                // Syndrome: which Hamming parities disagree with the data.
+                let syndrome = ((expected ^ self.check) & ((1 << r) - 1)) as u32;
+                // Overall parity over the *received* codeword: data bits,
+                // stored Hamming parities, stored overall bit.
+                let stored_parities = self.check & ((1 << r) - 1);
+                let stored_overall = (self.check >> r & 1) as u32;
+                let overall =
+                    (mask.count_ones() + stored_parities.count_ones() + stored_overall) & 1;
+                match (syndrome, overall) {
+                    (0, 0) => ProtectionVerdict::Clean,
+                    // Odd overall parity: a single upset at codeword
+                    // position `syndrome` (0 = the overall bit itself).
+                    (0, _) => ProtectionVerdict::CorrectedCheck,
+                    (s, 1) => {
+                        if s.is_power_of_two() && s.trailing_zeros() < r {
+                            ProtectionVerdict::CorrectedCheck
+                        } else {
+                            match data_index_at(s, d, r) {
+                                Some(i) => ProtectionVerdict::CorrectedData(i),
+                                // Syndrome points outside the codeword:
+                                // must be a multi-bit upset.
+                                None => ProtectionVerdict::Uncorrectable,
+                            }
+                        }
+                    }
+                    // Non-zero syndrome with even overall parity: double
+                    // upset.
+                    (_, _) => ProtectionVerdict::Uncorrectable,
+                }
+            }
+        }
+    }
+
+    fn recompute(&mut self) {
+        self.check = self.mode.encode(self.dirs.mask(), self.dirs.partitions());
+    }
+}
+
+impl Deref for ProtectedDirectionBits {
+    type Target = DirectionBits;
+    fn deref(&self) -> &DirectionBits {
+        &self.dirs
+    }
+}
+
+impl fmt::Display for ProtectedDirectionBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.dirs, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_bit_counts_match_theory() {
+        // Parity: always 1. SECDED: r Hamming bits + overall.
+        assert_eq!(ProtectionMode::None.check_bits(8), 0);
+        assert_eq!(ProtectionMode::Parity.check_bits(8), 1);
+        assert_eq!(ProtectionMode::Secded.check_bits(1), 3); // r=2
+        assert_eq!(ProtectionMode::Secded.check_bits(4), 4); // r=3
+        assert_eq!(ProtectionMode::Secded.check_bits(8), 5); // r=4
+        assert_eq!(ProtectionMode::Secded.check_bits(11), 5); // r=4
+        assert_eq!(ProtectionMode::Secded.check_bits(64), 8); // r=7
+    }
+
+    #[test]
+    fn data_positions_skip_parity_slots() {
+        // Codeword positions 3, 5, 6, 7, 9, ... carry data.
+        assert_eq!(data_position(0), 3);
+        assert_eq!(data_position(1), 5);
+        assert_eq!(data_position(2), 6);
+        assert_eq!(data_position(3), 7);
+        assert_eq!(data_position(4), 9);
+        for i in 0..64 {
+            let pos = data_position(i);
+            assert_eq!(data_index_at(pos, 64, 7), Some(i));
+        }
+        assert_eq!(data_index_at(4, 64, 7), None, "parity position");
+        assert_eq!(data_index_at(0, 64, 7), None);
+        assert_eq!(data_index_at(72, 64, 7), None, "beyond the codeword");
+    }
+
+    #[test]
+    fn parity_detects_single_upsets_only() {
+        let mut p = ProtectedDirectionBits::new(
+            DirectionBits::from_mask(0b1010, 8),
+            ProtectionMode::Parity,
+        );
+        assert_eq!(p.verify_and_repair(), ProtectionVerdict::Clean);
+        p.upset_direction(0);
+        assert_eq!(p.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+        // A second upset cancels the parity: the classic blind spot.
+        p.upset_direction(5);
+        assert_eq!(p.verify_and_repair(), ProtectionVerdict::Clean);
+    }
+
+    #[test]
+    fn parity_covers_its_own_check_bit() {
+        let mut p = ProtectedDirectionBits::all_normal(8, ProtectionMode::Parity);
+        p.upset_check(0);
+        assert_eq!(p.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+    }
+
+    #[test]
+    fn secded_corrects_any_single_direction_upset() {
+        for partitions in [1u32, 3, 8, 13, 64] {
+            for bit in 0..partitions {
+                let mask = 0x5A5A_5A5A_5A5A_5A5A
+                    & if partitions == 64 {
+                        u64::MAX
+                    } else {
+                        (1 << partitions) - 1
+                    };
+                let reference = DirectionBits::from_mask(mask, partitions);
+                let mut p = ProtectedDirectionBits::new(reference, ProtectionMode::Secded);
+                p.upset_direction(bit);
+                assert_eq!(
+                    p.verify_and_repair(),
+                    ProtectionVerdict::CorrectedData(bit),
+                    "partitions={partitions} bit={bit}"
+                );
+                assert_eq!(*p.bits(), reference, "repair must restore the vector");
+                assert_eq!(p.verify_and_repair(), ProtectionVerdict::Clean);
+            }
+        }
+    }
+
+    #[test]
+    fn secded_corrects_check_bit_upsets() {
+        for bit in 0..ProtectionMode::Secded.check_bits(8) {
+            let mut p = ProtectedDirectionBits::new(
+                DirectionBits::from_mask(0b0110_0001, 8),
+                ProtectionMode::Secded,
+            );
+            let reference = *p.bits();
+            p.upset_check(bit);
+            assert_eq!(
+                p.verify_and_repair(),
+                ProtectionVerdict::CorrectedCheck,
+                "check bit {bit}"
+            );
+            assert_eq!(*p.bits(), reference, "data was never wrong");
+            assert_eq!(p.verify_and_repair(), ProtectionVerdict::Clean);
+        }
+    }
+
+    #[test]
+    fn secded_detects_double_upsets() {
+        let mut p = ProtectedDirectionBits::all_normal(8, ProtectionMode::Secded);
+        p.upset_direction(1);
+        p.upset_direction(6);
+        assert_eq!(p.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+        // Mixed data + check double upsets are detected too.
+        let mut q = ProtectedDirectionBits::all_normal(8, ProtectionMode::Secded);
+        q.upset_direction(3);
+        q.upset_check(0);
+        assert_eq!(q.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+    }
+
+    #[test]
+    fn legal_updates_keep_the_code_clean() {
+        let mut p = ProtectedDirectionBits::all_normal(8, ProtectionMode::Secded);
+        p.set(2, EncodingDirection::Inverted);
+        p.toggle(7);
+        p.apply_flips(0b0001_1000);
+        assert_eq!(p.verdict(), ProtectionVerdict::Clean);
+        p.normalize();
+        assert!(p.all_normal_dirs());
+        assert_eq!(p.verdict(), ProtectionVerdict::Clean);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = ProtectedDirectionBits::all_normal(8, ProtectionMode::Secded);
+        assert_eq!(p.storage_bits(), 8 + 5);
+        assert_eq!(p.check_storage_bits(), 5);
+        let none = ProtectedDirectionBits::all_normal(8, ProtectionMode::None);
+        assert_eq!(none.storage_bits(), 8);
+        assert_eq!(none.verdict(), ProtectionVerdict::Clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn upsetting_missing_check_bit_panics() {
+        ProtectedDirectionBits::all_normal(8, ProtectionMode::Parity).upset_check(1);
+    }
+
+    #[test]
+    fn display_names_mode() {
+        let p = ProtectedDirectionBits::all_normal(4, ProtectionMode::Parity);
+        assert_eq!(p.to_string(), "0000 [parity]");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for direction-metadata protection.
+
+use cnt_encoding::{DirectionBits, ProtectedDirectionBits, ProtectionMode, ProtectionVerdict};
+use proptest::prelude::*;
+
+fn arb_partitions() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![1u32, 2, 4, 8, 16, 32, 64])
+}
+
+fn clamp(mask: u64, partitions: u32) -> u64 {
+    if partitions == 64 {
+        mask
+    } else {
+        mask & ((1 << partitions) - 1)
+    }
+}
+
+proptest! {
+    /// For any direction vector and any single direction-bit upset,
+    /// `Parity` detects and `Secded` corrects back to the original.
+    #[test]
+    fn single_upset_parity_detects_secded_corrects(
+        mask in any::<u64>(),
+        partitions in arb_partitions(),
+        bit in any::<u32>(),
+    ) {
+        let mask = clamp(mask, partitions);
+        let bit = bit % partitions;
+        let reference = DirectionBits::from_mask(mask, partitions);
+
+        let mut parity = ProtectedDirectionBits::new(reference, ProtectionMode::Parity);
+        parity.upset_direction(bit);
+        prop_assert_eq!(parity.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+
+        let mut secded = ProtectedDirectionBits::new(reference, ProtectionMode::Secded);
+        secded.upset_direction(bit);
+        prop_assert_eq!(secded.verify_and_repair(), ProtectionVerdict::CorrectedData(bit));
+        prop_assert_eq!(*secded.bits(), reference);
+        prop_assert_eq!(secded.verify_and_repair(), ProtectionVerdict::Clean);
+    }
+
+    /// A single upset anywhere in the *check* word is corrected by
+    /// SECDED and detected by parity, without disturbing the vector.
+    #[test]
+    fn check_bit_upsets_never_corrupt_the_vector(
+        mask in any::<u64>(),
+        partitions in arb_partitions(),
+        bit in any::<u32>(),
+    ) {
+        let mask = clamp(mask, partitions);
+        let reference = DirectionBits::from_mask(mask, partitions);
+
+        let mut parity = ProtectedDirectionBits::new(reference, ProtectionMode::Parity);
+        parity.upset_check(0);
+        prop_assert_eq!(parity.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+        prop_assert_eq!(*parity.bits(), reference);
+
+        let mut secded = ProtectedDirectionBits::new(reference, ProtectionMode::Secded);
+        let bit = bit % secded.check_storage_bits();
+        secded.upset_check(bit);
+        prop_assert_eq!(secded.verify_and_repair(), ProtectionVerdict::CorrectedCheck);
+        prop_assert_eq!(*secded.bits(), reference);
+        prop_assert_eq!(secded.verify_and_repair(), ProtectionVerdict::Clean);
+    }
+
+    /// Any *two distinct* upsets across vector + check bits are detected
+    /// (never silently accepted, never "corrected" to a wrong vector) by
+    /// SECDED.
+    #[test]
+    fn secded_double_upsets_are_detected_not_miscorrected(
+        mask in any::<u64>(),
+        partitions in arb_partitions(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let mask = clamp(mask, partitions);
+        let reference = DirectionBits::from_mask(mask, partitions);
+        let mut p = ProtectedDirectionBits::new(reference, ProtectionMode::Secded);
+        let total = partitions + p.check_storage_bits();
+        let a = a % total;
+        let b = b % total;
+        prop_assume!(a != b);
+        for bit in [a, b] {
+            if bit < partitions {
+                p.upset_direction(bit);
+            } else {
+                p.upset_check(bit - partitions);
+            }
+        }
+        prop_assert_eq!(p.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+    }
+
+    /// Legal updates always leave the code clean, for every mode.
+    #[test]
+    fn legal_updates_stay_clean(
+        mask in any::<u64>(),
+        flips in any::<u64>(),
+        partitions in arb_partitions(),
+    ) {
+        let mask = clamp(mask, partitions);
+        let flips = clamp(flips, partitions);
+        for mode in [ProtectionMode::None, ProtectionMode::Parity, ProtectionMode::Secded] {
+            let mut p = ProtectedDirectionBits::new(
+                DirectionBits::from_mask(mask, partitions),
+                mode,
+            );
+            p.apply_flips(flips);
+            prop_assert_eq!(p.verdict(), ProtectionVerdict::Clean, "mode={}", mode);
+            p.toggle(partitions - 1);
+            prop_assert_eq!(p.verdict(), ProtectionVerdict::Clean, "mode={}", mode);
+            p.normalize();
+            prop_assert_eq!(p.verdict(), ProtectionVerdict::Clean, "mode={}", mode);
+            prop_assert!(p.all_normal_dirs());
+        }
+    }
+}

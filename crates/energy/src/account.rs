@@ -29,11 +29,17 @@ pub enum ChargeKind {
     MetadataRead,
     /// Writing H&D metadata bits.
     MetadataWrite,
+    /// Reading protection check bits (parity / SECDED) to verify the
+    /// direction vector.
+    ProtectionCheck,
+    /// Writing protection check bits after a legal direction update or a
+    /// repair.
+    ProtectionUpdate,
 }
 
 impl ChargeKind {
     /// All charge kinds, in breakdown-report order.
-    pub const ALL: [ChargeKind; 7] = [
+    pub const ALL: [ChargeKind; 9] = [
         ChargeKind::DataRead,
         ChargeKind::DataWrite,
         ChargeKind::LineFill,
@@ -41,6 +47,8 @@ impl ChargeKind {
         ChargeKind::EncodeSwitch,
         ChargeKind::MetadataRead,
         ChargeKind::MetadataWrite,
+        ChargeKind::ProtectionCheck,
+        ChargeKind::ProtectionUpdate,
     ];
 
     fn index(self) -> usize {
@@ -52,6 +60,8 @@ impl ChargeKind {
             ChargeKind::EncodeSwitch => 4,
             ChargeKind::MetadataRead => 5,
             ChargeKind::MetadataWrite => 6,
+            ChargeKind::ProtectionCheck => 7,
+            ChargeKind::ProtectionUpdate => 8,
         }
     }
 
@@ -60,7 +70,10 @@ impl ChargeKind {
     pub fn is_read(self) -> bool {
         matches!(
             self,
-            ChargeKind::DataRead | ChargeKind::Writeback | ChargeKind::MetadataRead
+            ChargeKind::DataRead
+                | ChargeKind::Writeback
+                | ChargeKind::MetadataRead
+                | ChargeKind::ProtectionCheck
         )
     }
 }
@@ -75,6 +88,8 @@ impl fmt::Display for ChargeKind {
             ChargeKind::EncodeSwitch => "encode switch",
             ChargeKind::MetadataRead => "metadata read",
             ChargeKind::MetadataWrite => "metadata write",
+            ChargeKind::ProtectionCheck => "protect check",
+            ChargeKind::ProtectionUpdate => "protect update",
         };
         f.write_str(s)
     }
@@ -95,9 +110,9 @@ pub struct EnergyBreakdown {
     /// Number of `1` bits written into the array.
     pub bits_written_one: u64,
     /// Energy per charge kind, indexed by [`ChargeKind::ALL`] order.
-    energy_by_kind: [Energy; 7],
+    energy_by_kind: [Energy; 9],
     /// Bit count per charge kind, indexed by [`ChargeKind::ALL`] order.
-    bits_by_kind: [u64; 7],
+    bits_by_kind: [u64; 9],
 }
 
 impl EnergyBreakdown {
@@ -138,6 +153,12 @@ impl EnergyBreakdown {
             .filter(|k| k.is_read())
             .map(|k| self.energy(*k))
             .sum()
+    }
+
+    /// Energy attributed to metadata protection (check-bit reads and
+    /// writes) — the reliability overhead, itemized.
+    pub fn protection_energy(&self) -> Energy {
+        self.energy(ChargeKind::ProtectionCheck) + self.energy(ChargeKind::ProtectionUpdate)
     }
 
     /// Total energy spent writing (all write-like kinds).
@@ -560,6 +581,23 @@ mod tests {
     #[should_panic(expected = "bad energy scale")]
     fn negative_scale_panics() {
         meter().charge_read_bits_scaled(0, 8, ChargeKind::MetadataRead, -1.0);
+    }
+
+    #[test]
+    fn protection_kinds_are_attributed_and_classified() {
+        let mut m = meter();
+        m.charge_read_bits_scaled(2, 5, ChargeKind::ProtectionCheck, 0.1);
+        m.charge_write_bits_scaled(3, 5, ChargeKind::ProtectionUpdate, 0.1);
+        let b = m.breakdown();
+        assert!(b.energy(ChargeKind::ProtectionCheck).femtojoules() > 0.0);
+        assert!(b.energy(ChargeKind::ProtectionUpdate).femtojoules() > 0.0);
+        let itemized = b.protection_energy();
+        assert!((itemized - b.total()).abs().femtojoules() < 1e-12);
+        // Check reads flow out of the array, updates flow in.
+        assert!(ChargeKind::ProtectionCheck.is_read());
+        assert!(!ChargeKind::ProtectionUpdate.is_read());
+        assert_eq!(b.bits_read(), 5);
+        assert_eq!(b.bits_written(), 5);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cnt_cache::{CntCache, CntHierarchy, EncodingCounters};
+use cnt_cache::{CntCache, CntHierarchy, EncodingCounters, ReliabilityCounters};
 use cnt_encoding::FifoStats;
 use cnt_energy::EnergyBreakdown;
 use cnt_sim::trace::Trace;
@@ -42,6 +42,10 @@ pub struct LevelSnapshot {
     pub encoding: EncodingCounters,
     /// Deferred-update FIFO occupancy and overflow stats.
     pub fifo: FifoSnapshot,
+    /// Metadata-protection and fault-handling activity (all zero unless
+    /// the level protects its direction bits or a campaign injects
+    /// faults).
+    pub reliability: ReliabilityCounters,
 }
 
 impl LevelSnapshot {
@@ -57,6 +61,7 @@ impl LevelSnapshot {
                 capacity: cache.fifo_capacity() as u64,
                 stats: *cache.fifo_stats(),
             },
+            reliability: *cache.reliability_counters(),
         }
     }
 }
@@ -254,6 +259,7 @@ mod tests {
                 capacity: 8,
                 stats: FifoStats::default(),
             },
+            reliability: ReliabilityCounters::default(),
         });
         serde_json::to_string(&snapshot).expect("snapshot serializes")
     }
