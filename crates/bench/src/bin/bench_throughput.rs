@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_throughput [--jobs N] [--out PATH]
+//! bench_throughput [--jobs N] [--out PATH] [--trace FILE.ctr]
 //!                  [--metrics-out FILE [--metrics-every N]]
 //! ```
 //!
@@ -13,23 +13,38 @@
 //! speedup column isolates the thread-pool gain. The recorded numbers
 //! are whatever this machine produced: on a single-core runner the
 //! honest speedup is ~1.0x, and `cores` in the JSON says so.
+//!
+//! With `--trace FILE.ctr` the suite matrix is replaced by streamed
+//! replays of the external trace (baseline and adaptive), so the
+//! speedup column instead isolates the chunk-parallel decode gain of
+//! the `cnt-trace` ingestion pipeline.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use cnt_bench::runner::run_dcache_matrix;
+use cnt_bench::stream::run_dcache_stream;
 use cnt_bench::{pool, BenchRecord, PassRecord};
 use cnt_cache::EncodingPolicy;
+use cnt_trace::ReadOptions;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs = pool::default_jobs();
     let mut out_path = String::from("BENCH_parallel.json");
+    let mut trace_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut metrics_every: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--trace" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("error: --trace needs a .ctr path");
+                    return ExitCode::from(2);
+                };
+                trace_path = Some(p.clone());
+            }
             "--jobs" | "-j" => {
                 let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("error: --jobs needs a positive integer");
@@ -68,7 +83,7 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "usage: bench_throughput [--jobs N] [--out PATH] \
+                    "usage: bench_throughput [--jobs N] [--out PATH] [--trace FILE.ctr] \
                      [--metrics-out FILE [--metrics-every N]]"
                 );
                 eprintln!("error: unknown argument `{other}`");
@@ -86,15 +101,56 @@ fn main() -> ExitCode {
         eprintln!("metrics: snapshot every {every} accesses");
     }
 
-    let workloads = cnt_workloads::suite();
     let policies = [EncodingPolicy::None, EncodingPolicy::adaptive_default()];
-    // Each matrix cell replays the full trace once.
-    let accesses_per_pass: u64 = workloads
-        .iter()
-        .map(|w| w.trace.len() as u64 * policies.len() as u64)
-        .sum();
+    // One pass = the full replay matrix; returns accesses replayed.
+    let (run_pass, workload_count): (Box<dyn Fn() -> u64>, usize) = match &trace_path {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            // Surface an unreadable or malformed trace before any
+            // measurement, not halfway through the warmup.
+            let header_check = std::fs::File::open(&path)
+                .map_err(cnt_trace::TraceError::from)
+                .and_then(|f| {
+                    cnt_trace::StreamReader::new(std::io::BufReader::new(f), ReadOptions::default())
+                        .map(|_| ())
+                });
+            if let Err(e) = header_check {
+                eprintln!("error: `{}`: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            let pass = move || {
+                policies
+                    .iter()
+                    .map(
+                        |&policy| match run_dcache_stream(policy, &path, ReadOptions::default()) {
+                            Ok(outcome) => outcome.accesses,
+                            Err(e) => {
+                                eprintln!("error: `{}`: {e}", path.display());
+                                std::process::exit(1);
+                            }
+                        },
+                    )
+                    .sum()
+            };
+            (Box::new(pass), 1)
+        }
+        None => {
+            let workloads = cnt_workloads::suite();
+            let count = workloads.len();
+            let pass = move || {
+                let matrix = run_dcache_matrix(&workloads, &policies);
+                assert_eq!(matrix.len(), workloads.len());
+                // Each matrix cell replays the full trace once.
+                workloads
+                    .iter()
+                    .map(|w| w.trace.len() as u64 * policies.len() as u64)
+                    .sum()
+            };
+            (Box::new(pass), count)
+        }
+    };
 
-    let measure = |label: &str, jobs: usize| -> PassRecord {
+    let measure = |label: &str, jobs: usize| -> (PassRecord, u64) {
         pool::set_jobs(jobs);
         // Distinct scope labels per pass: the same matrix replays four
         // times (warmup + measured, sequential + parallel), so snapshot
@@ -106,44 +162,49 @@ fn main() -> ExitCode {
             // would otherwise warm the allocator and page cache for the
             // second).
             let _warmup = cnt_obs::scoped("warmup");
-            let _ = run_dcache_matrix(&workloads, &policies);
+            let _ = run_pass();
         }
         let _measured = cnt_obs::scoped("measured");
         let start = Instant::now();
-        let matrix = run_dcache_matrix(&workloads, &policies);
+        let accesses = run_pass();
         let wall = start.elapsed().as_secs_f64();
-        assert_eq!(matrix.len(), workloads.len());
-        PassRecord {
+        let record = PassRecord {
             jobs,
             wall_seconds: wall,
             // Guard the degenerate zero-wall case: the record must stay
             // serializable, and serde_json rejects non-finite floats.
             accesses_per_second: if wall > 0.0 {
-                accesses_per_pass as f64 / wall
+                accesses as f64 / wall
             } else {
                 0.0
             },
-        }
+        };
+        (record, accesses)
     };
 
-    eprintln!("replaying suite sequentially (--jobs 1)...");
-    let seq = measure("seq", 1);
+    let what = trace_path.as_deref().unwrap_or("suite");
+    eprintln!("replaying {what} sequentially (--jobs 1)...");
+    let (seq, seq_accesses) = measure("seq", 1);
     eprintln!(
         "  {:.3} s  ({:.0} accesses/s)",
         seq.wall_seconds, seq.accesses_per_second
     );
-    eprintln!("replaying suite in parallel (--jobs {jobs})...");
-    let par = measure("par", jobs);
+    eprintln!("replaying {what} in parallel (--jobs {jobs})...");
+    let (par, par_accesses) = measure("par", jobs);
     eprintln!(
         "  {:.3} s  ({:.0} accesses/s)",
         par.wall_seconds, par.accesses_per_second
     );
+    assert_eq!(
+        seq_accesses, par_accesses,
+        "both passes replay the identical matrix"
+    );
 
     let record = BenchRecord {
         cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-        workloads: workloads.len(),
+        workloads: workload_count,
         policies_per_workload: policies.len(),
-        accesses_per_pass,
+        accesses_per_pass: seq_accesses,
         sequential: seq,
         parallel: par,
     };

@@ -30,7 +30,7 @@ const DEFAULT_METRICS_EVERY: u64 = 10_000;
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--list] [--jobs N | --seq] \
+        "usage: experiments [--list] [--jobs N | --seq] [--trace FILE.ctr]... \
          [--metrics-out FILE [--metrics-every N]] [--metrics-final] <id>... | all"
     );
     eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
@@ -51,6 +51,7 @@ fn main() -> ExitCode {
 
     // Parse flags; everything else is an experiment id.
     let mut ids: Vec<&str> = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
     let mut jobs: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
     let mut metrics_every: Option<u64> = None;
@@ -59,6 +60,13 @@ fn main() -> ExitCode {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--seq" => jobs = Some(1),
+            "--trace" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("error: --trace needs a .ctr path");
+                    return ExitCode::from(2);
+                };
+                traces.push(path.clone());
+            }
             "--jobs" | "-j" => {
                 let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("error: --jobs needs a positive integer");
@@ -97,7 +105,7 @@ fn main() -> ExitCode {
         eprintln!("error: --metrics-every needs --metrics-out");
         return ExitCode::from(2);
     }
-    if ids.is_empty() {
+    if ids.is_empty() && traces.is_empty() {
         usage();
         return ExitCode::from(2);
     }
@@ -135,6 +143,35 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // External `.ctr` traces replay streamed (bounded memory,
+    // chunk-parallel decode) — baseline vs adaptive, like the built-in
+    // policy comparisons.
+    for path in &traces {
+        use cnt_bench::stream::run_dcache_stream;
+        use cnt_cache::EncodingPolicy;
+        let opts = cnt_trace::ReadOptions::default();
+        let run = |policy| run_dcache_stream(policy, std::path::Path::new(path), opts);
+        let (base, cnt) = match (
+            run(EncodingPolicy::None),
+            run(EncodingPolicy::adaptive_default()),
+        ) {
+            (Ok(base), Ok(cnt)) => (base, cnt),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("==== trace:{path} ====");
+        println!(
+            "accesses:  {} ({} chunks, {} skipped)",
+            cnt.accesses, cnt.ingest.chunks_read, cnt.ingest.chunks_skipped
+        );
+        println!("baseline:  {:.1}", base.report.total());
+        println!("CNT-Cache: {:.1}", cnt.report.total());
+        println!("saving:    {:.2}%", cnt.report.saving_vs(&base.report));
+        println!();
     }
 
     if let Some(path) = metrics_out {

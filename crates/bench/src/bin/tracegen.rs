@@ -1,34 +1,458 @@
-//! Generates workload traces as JSON and prints their summary statistics.
+//! Generates, converts, and replays workload traces.
 //!
-//! Useful for inspecting what the kernels actually emit and for feeding
-//! the same traces to external tools.
+//! Besides inspecting the built-in kernels (`list`/`stats`/`dump`/`text`)
+//! this is the CLI front end of the `cnt-trace` streaming pipeline:
+//! `pack` converts JSON/text traces into the chunked `.ctr` binary form,
+//! `pack-synth` streams a synthetic workload straight to disk without
+//! materializing it, `unpack` recovers text/JSON, and `stream-replay`
+//! runs a `.ctr` file through the simulator in bounded memory with
+//! chunk-parallel decode.
 //!
 //! ```text
 //! tracegen list
 //! tracegen stats matmul
 //! tracegen dump quicksort > quicksort_trace.json
 //! tracegen synth --reads 0.8 --density 0.1 --accesses 5000 > synth.json
+//! tracegen pack quicksort_trace.json quicksort.ctr --chunk 1024
+//! tracegen pack-synth big.ctr --accesses 50000000 --density 0.1
+//! tracegen unpack quicksort.ctr --json
+//! tracegen stream-replay big.ctr --budget-mib 8 --jobs 4
 //! ```
+//!
+//! Flag parsing is strict: unknown flags, missing values, non-finite or
+//! out-of-range fractions, and stray positional arguments are all errors
+//! (exit code 2), never silent defaults.
 
+use std::io::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 
+use cnt_bench::pool;
+use cnt_bench::stream::run_dcache_stream;
+use cnt_cache::EncodingPolicy;
 use cnt_sim::trace::Trace;
+use cnt_trace::{
+    pack_accesses, pack_trace, read_trace, CorruptionPolicy, PackSummary, ReadOptions,
+    StreamReader, DEFAULT_CHUNK_ACCESSES,
+};
 use cnt_workloads::synthetic::{AddressPattern, SyntheticSpec};
 use cnt_workloads::{suite_extended, Workload};
 
-fn usage() -> ExitCode {
-    eprintln!("usage:");
-    eprintln!("  tracegen list");
-    eprintln!("  tracegen stats <kernel>");
-    eprintln!("  tracegen dump <kernel>          # JSON to stdout");
-    eprintln!("  tracegen text <kernel>          # `KIND ADDR WIDTH [VALUE]` lines to stdout");
-    eprintln!("  tracegen replay <file.trace>    # run a text trace: baseline vs CNT-Cache");
-    eprintln!("  tracegen synth [--reads F] [--density F] [--accesses N] [--lines N] [--seed N]");
-    ExitCode::from(2)
+const USAGE: &str = "usage:
+  tracegen list
+  tracegen stats <kernel>
+  tracegen dump <kernel>            # JSON to stdout
+  tracegen text <kernel>            # `KIND ADDR WIDTH [VALUE]` lines to stdout
+  tracegen replay <file.trace>      # run a text trace: baseline vs CNT-Cache
+  tracegen synth [--reads F] [--density F] [--accesses N] [--lines N] [--seed N]
+  tracegen pack <in.json|in.trace> <out.ctr> [--chunk N]
+  tracegen pack-synth <out.ctr> [synth flags] [--chunk N]
+  tracegen unpack <in.ctr> [--json]
+  tracegen stream-replay <file.ctr> [--budget-mib N] [--skip-corrupt]
+                         [--jobs N | --seq]
+                         [--metrics-out FILE [--metrics-every N]]";
+
+/// A subcommand failure: bad invocation (exit 2) vs runtime error (exit 1).
+enum CmdError {
+    Usage(String),
+    Runtime(String),
 }
 
-fn find(name: &str) -> Option<Workload> {
-    suite_extended().into_iter().find(|w| w.name == name)
+use CmdError::{Runtime, Usage};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let rest = &args[1..];
+    let result = match args[0].as_str() {
+        "list" => cmd_list(rest),
+        "stats" => cmd_kernel(rest, |w| print_stats(&w.name, &w.description, &w.trace)),
+        "dump" => cmd_dump(rest),
+        "text" => cmd_kernel(rest, |w| print!("{}", w.trace.to_text())),
+        "replay" => cmd_replay(rest),
+        "synth" => cmd_synth(rest),
+        "pack" => cmd_pack(rest),
+        "pack-synth" => cmd_pack_synth(rest),
+        "unpack" => cmd_unpack(rest),
+        "stream-replay" => cmd_stream_replay(rest),
+        other => Err(Usage(format!("unknown subcommand `{other}`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Takes the value following `flag`, or errors.
+fn flag_value<'a>(
+    iter: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a str, CmdError> {
+    iter.next()
+        .map(String::as_str)
+        .ok_or_else(|| Usage(format!("{flag} needs a value")))
+}
+
+/// Parses a fraction flag: must be a finite number in `[0, 1]`.
+fn fraction_flag(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<f64, CmdError> {
+    let raw = flag_value(iter, flag)?;
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| Usage(format!("{flag}: `{raw}` is not a number")))?;
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(Usage(format!(
+            "{flag}: `{raw}` must be a finite fraction in [0, 1]"
+        )));
+    }
+    Ok(v)
+}
+
+/// Parses an integer flag (floats like `5000.5` are rejected).
+fn int_flag<T: std::str::FromStr>(
+    iter: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, CmdError> {
+    let raw = flag_value(iter, flag)?;
+    raw.parse()
+        .map_err(|_| Usage(format!("{flag}: `{raw}` is not a valid integer")))
+}
+
+/// Exactly one positional argument, no flags.
+fn one_positional<'a>(args: &'a [String], what: &str) -> Result<&'a str, CmdError> {
+    match args {
+        [only] => Ok(only.as_str()),
+        [] => Err(Usage(format!("missing {what}"))),
+        _ => Err(Usage(format!("expected exactly one {what}"))),
+    }
+}
+
+/// Parses the shared synthetic-spec flags; `--chunk` is accepted only
+/// when `allow_chunk` (the packing subcommand).
+fn parse_synth(args: &[String], allow_chunk: bool) -> Result<(SyntheticSpec, u32), CmdError> {
+    let mut spec = SyntheticSpec {
+        accesses: 10_000,
+        footprint_lines: 64,
+        read_fraction: 0.7,
+        ones_density: 0.25,
+        pattern: AddressPattern::UniformRandom,
+        seed: 7,
+    };
+    let mut chunk = DEFAULT_CHUNK_ACCESSES;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--reads" => spec.read_fraction = fraction_flag(&mut iter, "--reads")?,
+            "--density" => spec.ones_density = fraction_flag(&mut iter, "--density")?,
+            "--accesses" => spec.accesses = int_flag(&mut iter, "--accesses")?,
+            "--lines" => {
+                spec.footprint_lines = int_flag(&mut iter, "--lines")?;
+                if spec.footprint_lines == 0 {
+                    return Err(Usage("--lines must be at least 1".into()));
+                }
+            }
+            "--seed" => spec.seed = int_flag(&mut iter, "--seed")?,
+            "--chunk" if allow_chunk => {
+                chunk = int_flag(&mut iter, "--chunk")?;
+                if chunk == 0 {
+                    return Err(Usage("--chunk must be at least 1".into()));
+                }
+            }
+            other => return Err(Usage(format!("unknown flag `{other}` for synth"))),
+        }
+    }
+    Ok((spec, chunk))
+}
+
+// ------------------------------------------------------------ subcommands
+
+fn cmd_list(args: &[String]) -> Result<(), CmdError> {
+    if !args.is_empty() {
+        return Err(Usage("`list` takes no arguments".into()));
+    }
+    for w in suite_extended() {
+        println!("{:<16} {}", w.name, w.description);
+    }
+    Ok(())
+}
+
+fn find_kernel(name: &str) -> Result<Workload, CmdError> {
+    suite_extended()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| Runtime(format!("unknown kernel `{name}` (try `tracegen list`)")))
+}
+
+fn cmd_kernel(args: &[String], show: impl Fn(&Workload)) -> Result<(), CmdError> {
+    let name = one_positional(args, "kernel name")?;
+    show(&find_kernel(name)?);
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), CmdError> {
+    let name = one_positional(args, "kernel name")?;
+    let w = find_kernel(name)?;
+    let json = serde_json::to_string(&w.trace)
+        .map_err(|e| Runtime(format!("serialization failed: {e}")))?;
+    println!("{json}");
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), CmdError> {
+    let path = one_positional(args, "trace path")?;
+    let trace = load_text_or_json(path)?;
+    print_stats(path, "external trace", &trace);
+    let base = cnt_bench::runner::run_dcache(EncodingPolicy::None, &trace);
+    let cnt = cnt_bench::runner::run_dcache(EncodingPolicy::adaptive_default(), &trace);
+    println!();
+    print_comparison(&base, &cnt);
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), CmdError> {
+    let (spec, _) = parse_synth(args, false)?;
+    let trace = spec.generate();
+    let json =
+        serde_json::to_string(&trace).map_err(|e| Runtime(format!("serialization failed: {e}")))?;
+    eprintln!("# {spec:?}");
+    println!("{json}");
+    Ok(())
+}
+
+fn cmd_pack(args: &[String]) -> Result<(), CmdError> {
+    let (positionals, flags) = split_positionals(args);
+    let [input, output] = positionals[..] else {
+        return Err(Usage("`pack` needs <in.json|in.trace> <out.ctr>".into()));
+    };
+    let mut chunk = DEFAULT_CHUNK_ACCESSES;
+    let mut iter = flags.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--chunk" => {
+                chunk = int_flag(&mut iter, "--chunk")?;
+                if chunk == 0 {
+                    return Err(Usage("--chunk must be at least 1".into()));
+                }
+            }
+            other => return Err(Usage(format!("unknown flag `{other}` for pack"))),
+        }
+    }
+    let trace = load_text_or_json(input)?;
+    let summary = write_ctr(output, |sink| pack_trace(&trace, sink, chunk))?;
+    print_pack_summary(output, &summary);
+    Ok(())
+}
+
+fn cmd_pack_synth(args: &[String]) -> Result<(), CmdError> {
+    let (positionals, flags) = split_positionals(args);
+    let [output] = positionals[..] else {
+        return Err(Usage("`pack-synth` needs <out.ctr>".into()));
+    };
+    let (spec, chunk) = parse_synth(&flags, true)?;
+    // The spec streams straight into the writer: memory stays bounded by
+    // one chunk however many accesses are requested.
+    let summary = write_ctr(output, |sink| pack_accesses(spec.stream(), sink, chunk))?;
+    eprintln!("# {spec:?}");
+    print_pack_summary(output, &summary);
+    Ok(())
+}
+
+fn cmd_unpack(args: &[String]) -> Result<(), CmdError> {
+    let (positionals, flags) = split_positionals(args);
+    let [input] = positionals[..] else {
+        return Err(Usage("`unpack` needs <in.ctr>".into()));
+    };
+    let mut as_json = false;
+    for arg in &flags {
+        match arg.as_str() {
+            "--json" => as_json = true,
+            other => return Err(Usage(format!("unknown flag `{other}` for unpack"))),
+        }
+    }
+    let file =
+        std::fs::File::open(input).map_err(|e| Runtime(format!("cannot read `{input}`: {e}")))?;
+    let trace = read_trace(std::io::BufReader::new(file), ReadOptions::default())
+        .map_err(|e| Runtime(format!("`{input}`: {e}")))?;
+    if as_json {
+        let json = serde_json::to_string(&trace)
+            .map_err(|e| Runtime(format!("serialization failed: {e}")))?;
+        println!("{json}");
+    } else {
+        print!("{}", trace.to_text());
+    }
+    Ok(())
+}
+
+fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
+    let (positionals, flags) = split_positionals(args);
+    let [input] = positionals[..] else {
+        return Err(Usage("`stream-replay` needs <file.ctr>".into()));
+    };
+    let mut budget_mib: usize = 8;
+    let mut corruption = CorruptionPolicy::FailFast;
+    let mut jobs: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_every: Option<u64> = None;
+    let mut iter = flags.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--budget-mib" => {
+                budget_mib = int_flag(&mut iter, "--budget-mib")?;
+                if budget_mib == 0 {
+                    return Err(Usage("--budget-mib must be at least 1".into()));
+                }
+            }
+            "--skip-corrupt" => corruption = CorruptionPolicy::SkipWithReport,
+            "--seq" => jobs = Some(1),
+            "--jobs" | "-j" => {
+                let n: usize = int_flag(&mut iter, "--jobs")?;
+                if n == 0 {
+                    return Err(Usage("--jobs needs a positive integer".into()));
+                }
+                jobs = Some(n);
+            }
+            "--metrics-out" => metrics_out = Some(flag_value(&mut iter, "--metrics-out")?.into()),
+            "--metrics-every" => {
+                let n: u64 = int_flag(&mut iter, "--metrics-every")?;
+                if n == 0 {
+                    return Err(Usage("--metrics-every needs a positive integer".into()));
+                }
+                metrics_every = Some(n);
+            }
+            other => return Err(Usage(format!("unknown flag `{other}` for stream-replay"))),
+        }
+    }
+    if metrics_every.is_some() && metrics_out.is_none() {
+        return Err(Usage("--metrics-every needs --metrics-out".into()));
+    }
+
+    pool::set_jobs(jobs.unwrap_or_else(pool::default_jobs));
+    if metrics_out.is_some() {
+        let every = metrics_every.unwrap_or(10_000);
+        cnt_obs::install(every);
+        eprintln!("metrics: snapshot every {every} accesses");
+    }
+    let opts = ReadOptions {
+        budget_bytes: budget_mib * 1024 * 1024,
+        corruption,
+    };
+    let path = Path::new(input);
+
+    // Peek at the header for the banner before either replay pass.
+    {
+        let file = std::fs::File::open(path)
+            .map_err(|e| Runtime(format!("cannot read `{input}`: {e}")))?;
+        let reader = StreamReader::new(std::io::BufReader::new(file), opts)
+            .map_err(|e| Runtime(format!("`{input}`: {e}")))?;
+        let header = reader.header();
+        println!(
+            "header:     .ctr v{}, chunk target {} accesses",
+            header.version, header.chunk_target
+        );
+    }
+
+    let run = |policy| {
+        run_dcache_stream(policy, path, opts).map_err(|e| Runtime(format!("`{input}`: {e}")))
+    };
+    let base = run(EncodingPolicy::None)?;
+    let cnt = run(EncodingPolicy::adaptive_default())?;
+
+    let ingest = cnt.ingest;
+    println!(
+        "chunks:     {} read, {} consumed, {} skipped ({} CRC failures, {} bad payloads)",
+        ingest.chunks_read,
+        ingest.chunks_consumed,
+        ingest.chunks_skipped,
+        ingest.crc_failures,
+        ingest.decode_failures
+    );
+    println!(
+        "ingest:     {:.2} MiB read, {:.2} MiB decoded, peak buffered {:.2} MiB (budget {budget_mib} MiB)",
+        mib(ingest.bytes_read),
+        mib(ingest.bytes_decoded),
+        mib(ingest.peak_buffered_bytes)
+    );
+    println!("accesses:   {}", cnt.accesses);
+    println!();
+    print_comparison(&base.report, &cnt.report);
+
+    if let Some(path) = metrics_out {
+        let snapshots = cnt_obs::drain();
+        let jsonl = cnt_obs::to_jsonl(&snapshots)
+            .map_err(|e| Runtime(format!("cannot serialize metrics: {e}")))?;
+        std::fs::write(&path, jsonl).map_err(|e| Runtime(format!("cannot write {path}: {e}")))?;
+        eprintln!("metrics: wrote {} snapshots to {path}", snapshots.len());
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- helpers
+
+/// Splits arguments into leading positionals and the flag tail (the
+/// first `--`-prefixed argument starts the flags).
+fn split_positionals(args: &[String]) -> (Vec<&String>, Vec<String>) {
+    let boundary = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    (args[..boundary].iter().collect(), args[boundary..].to_vec())
+}
+
+fn load_text_or_json(path: &str) -> Result<Trace, CmdError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| Runtime(format!("cannot read `{path}`: {e}")))?;
+    if path.ends_with(".json") {
+        serde_json::from_str(&text).map_err(|e| Runtime(format!("cannot parse `{path}`: {e}")))
+    } else {
+        text.parse()
+            .map_err(|e| Runtime(format!("cannot parse `{path}`: {e}")))
+    }
+}
+
+fn write_ctr(
+    path: &str,
+    pack: impl FnOnce(
+        &mut std::io::BufWriter<std::fs::File>,
+    ) -> Result<PackSummary, cnt_trace::TraceError>,
+) -> Result<PackSummary, CmdError> {
+    let file =
+        std::fs::File::create(path).map_err(|e| Runtime(format!("cannot create `{path}`: {e}")))?;
+    let mut sink = std::io::BufWriter::new(file);
+    let summary = pack(&mut sink).map_err(|e| Runtime(format!("cannot write `{path}`: {e}")))?;
+    sink.flush()
+        .map_err(|e| Runtime(format!("cannot write `{path}`: {e}")))?;
+    Ok(summary)
+}
+
+fn print_pack_summary(path: &str, summary: &PackSummary) {
+    println!(
+        "packed {} accesses into {} chunks ({:.2} MiB payload) -> {path}",
+        summary.accesses,
+        summary.chunks,
+        mib(summary.payload_bytes)
+    );
+}
+
+fn print_comparison(base: &cnt_cache::EnergyReport, cnt: &cnt_cache::EnergyReport) {
+    println!("baseline:  {:.1}", base.total());
+    println!("CNT-Cache: {:.1}", cnt.total());
+    println!("saving:    {:.2}%", cnt.saving_vs(base));
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
 }
 
 fn print_stats(name: &str, description: &str, trace: &Trace) {
@@ -51,119 +475,5 @@ fn print_stats(name: &str, description: &str, trace: &Trace) {
             "write ones: {:.2}% bit density",
             ones as f64 / bits as f64 * 100.0
         );
-    }
-}
-
-fn parse_flag(args: &[String], flag: &str, default: f64) -> f64 {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("list") => {
-            for w in suite_extended() {
-                println!("{:<16} {}", w.name, w.description);
-            }
-            ExitCode::SUCCESS
-        }
-        Some("stats") => {
-            let Some(name) = args.get(1) else {
-                return usage();
-            };
-            let Some(w) = find(name) else {
-                eprintln!("unknown kernel `{name}` (try `tracegen list`)");
-                return ExitCode::FAILURE;
-            };
-            print_stats(&w.name, &w.description, &w.trace);
-            ExitCode::SUCCESS
-        }
-        Some("dump") => {
-            let Some(name) = args.get(1) else {
-                return usage();
-            };
-            let Some(w) = find(name) else {
-                eprintln!("unknown kernel `{name}` (try `tracegen list`)");
-                return ExitCode::FAILURE;
-            };
-            match serde_json::to_string(&w.trace) {
-                Ok(json) => {
-                    println!("{json}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("serialization failed: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        Some("text") => {
-            let Some(name) = args.get(1) else {
-                return usage();
-            };
-            let Some(w) = find(name) else {
-                eprintln!("unknown kernel `{name}` (try `tracegen list`)");
-                return ExitCode::FAILURE;
-            };
-            print!("{}", w.trace.to_text());
-            ExitCode::SUCCESS
-        }
-        Some("replay") => {
-            let Some(path) = args.get(1) else {
-                return usage();
-            };
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("cannot read `{path}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let trace: Trace = match text.parse() {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("cannot parse `{path}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            print_stats(path, "external trace", &trace);
-            let base = cnt_bench::runner::run_dcache(cnt_cache::EncodingPolicy::None, &trace);
-            let cnt = cnt_bench::runner::run_dcache(
-                cnt_cache::EncodingPolicy::adaptive_default(),
-                &trace,
-            );
-            println!();
-            println!("baseline:  {:.1}", base.total());
-            println!("CNT-Cache: {:.1}", cnt.total());
-            println!("saving:    {:.2}%", cnt.saving_vs(&base));
-            ExitCode::SUCCESS
-        }
-        Some("synth") => {
-            let spec = SyntheticSpec {
-                accesses: parse_flag(&args, "--accesses", 10_000.0) as usize,
-                footprint_lines: parse_flag(&args, "--lines", 64.0) as usize,
-                read_fraction: parse_flag(&args, "--reads", 0.7),
-                ones_density: parse_flag(&args, "--density", 0.25),
-                pattern: AddressPattern::UniformRandom,
-                seed: parse_flag(&args, "--seed", 7.0) as u64,
-            };
-            let trace = spec.generate();
-            match serde_json::to_string(&trace) {
-                Ok(json) => {
-                    eprintln!("# {spec:?}");
-                    println!("{json}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("serialization failed: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        _ => usage(),
     }
 }

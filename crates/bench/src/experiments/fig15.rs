@@ -66,7 +66,10 @@ fn total_energy(
     let config = CntHierarchyConfig::typical(l1i, l1d, l2).expect("static geometries");
     let mut h = CntHierarchy::new(config).expect("valid hierarchy");
     load_code(&mut h);
-    h.run(trace.iter()).expect("trace runs");
+    // Observed replay: with `--metrics-out` installed this emits one
+    // multi-level (L1I/L1D/L2) snapshot per epoch; without a sink it is
+    // the same plain loop as `h.run`.
+    cnt_obs::replay_hierarchy(&mut h, trace).expect("trace runs");
     h.flush_all();
     h.total_energy().femtojoules()
 }

@@ -18,5 +18,6 @@ pub mod experiments;
 pub mod pool;
 pub mod record;
 pub mod runner;
+pub mod stream;
 
 pub use record::{BenchRecord, PassRecord};

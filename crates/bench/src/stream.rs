@@ -1,0 +1,391 @@
+//! Chunk-parallel replay of streamed `.ctr` traces.
+//!
+//! The pipeline between `cnt-trace` and the simulator:
+//!
+//! ```text
+//! .ctr file ──▶ StreamReader ──▶ [window of raw chunks ≤ budget]
+//!                  (seq I/O)          │ pool::par_map
+//!                                     ▼
+//!                              [decoded chunks, input order]
+//!                                     │ in-order consumption
+//!                                     ▼
+//!                                 CntCache ──▶ EnergyReport
+//! ```
+//!
+//! File I/O stays sequential; decode fans out across the shared worker
+//! pool; the simulator consumes chunks strictly in file order. Because
+//! windowing is a pure function of the byte budget and [`pool::par_map`]
+//! returns results in input order, a replay is **byte-identical**
+//! between `--seq` and `--jobs N` — including the metrics stream, whose
+//! epoch snapshots carry chunk-ingest counters sampled only at
+//! deterministic consumption points. Peak buffered payload never
+//! exceeds the reader's configured budget.
+
+use std::io::Read;
+use std::path::Path;
+
+use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy, EnergyReport};
+use cnt_obs::{IngestSnapshot, Snapshot};
+use cnt_sim::AccessError;
+use cnt_trace::reader::Fetch;
+use cnt_trace::{CorruptionPolicy, RawChunk, ReadOptions, StreamReader, TraceError};
+
+use crate::pool;
+use crate::runner::dcache_config;
+
+/// A streamed-replay failure: either the trace stream or the simulation.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The `.ctr` stream failed (I/O, corruption under fail-fast,
+    /// truncation, budget overflow).
+    Trace(TraceError),
+    /// The simulator rejected an access.
+    Access(AccessError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Trace(e) => write!(f, "trace stream: {e}"),
+            StreamError::Access(e) => write!(f, "replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Trace(e) => Some(e),
+            StreamError::Access(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceError> for StreamError {
+    fn from(e: TraceError) -> Self {
+        StreamError::Trace(e)
+    }
+}
+
+impl From<AccessError> for StreamError {
+    fn from(e: AccessError) -> Self {
+        StreamError::Access(e)
+    }
+}
+
+/// What one streamed replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// The final energy report (after a flush).
+    pub report: EnergyReport,
+    /// Final chunk-ingest counters.
+    pub ingest: IngestSnapshot,
+    /// Accesses replayed.
+    pub accesses: u64,
+}
+
+/// Merges read-side reader stats with driver-side consumption counters
+/// into the snapshot-ready form.
+fn sample_ingest(
+    reader_stats: cnt_trace::IngestStats,
+    driver: &IngestSnapshot,
+    prefetch_buffered: u64,
+) -> IngestSnapshot {
+    IngestSnapshot {
+        chunks_read: reader_stats.chunks_read,
+        chunks_consumed: driver.chunks_consumed,
+        chunks_skipped: reader_stats.chunks_skipped + driver.chunks_skipped,
+        crc_failures: reader_stats.crc_failures,
+        decode_failures: reader_stats.decode_failures + driver.decode_failures,
+        bytes_read: reader_stats.bytes_read,
+        bytes_decoded: driver.bytes_decoded,
+        prefetch_buffered,
+        peak_buffered_bytes: driver.peak_buffered_bytes,
+    }
+}
+
+/// Replays a streamed trace through `cache`, decoding chunks on the
+/// shared worker pool while the simulator consumes them in order.
+///
+/// Memory: at most one window of raw payloads plus its decoded accesses
+/// are alive at a time, and the raw window never exceeds the reader's
+/// byte budget (tracked in `peak_buffered_bytes`).
+///
+/// Observability: when a metrics sink is installed this emits one
+/// [`Snapshot`] per epoch — per-level counters, per-epoch energy deltas,
+/// *and* the chunk-ingest block — under the same deterministic replay id
+/// scheme as `cnt_obs::replay`.
+///
+/// # Errors
+///
+/// [`StreamError::Trace`] for stream damage (per the reader's
+/// [`CorruptionPolicy`]) and [`StreamError::Access`] for malformed
+/// accesses.
+pub fn replay_stream<R: Read>(
+    cache: &mut CntCache,
+    reader: &mut StreamReader<R>,
+) -> Result<(IngestSnapshot, u64), StreamError> {
+    let every = cnt_obs::epoch_len();
+    let experiment = every.map(|_| cnt_obs::next_replay_path());
+    let mut deltas = cnt_obs::DeltaTracker::new();
+    let budget = reader.options().budget_bytes;
+    let corruption = reader.options().corruption;
+
+    let mut driver = IngestSnapshot::default();
+    let mut accesses: u64 = 0;
+    let mut epoch: u64 = 0;
+
+    loop {
+        // Fill one prefetch window, hard-bounded by the byte budget: a
+        // chunk that does not fit the remaining window stays inside the
+        // reader (only its frame header was consumed).
+        let mut window: Vec<RawChunk> = Vec::new();
+        let mut window_bytes = 0usize;
+        let mut eof = false;
+        loop {
+            match reader.next_raw_within(budget - window_bytes)? {
+                Fetch::Chunk(raw) => {
+                    window_bytes += raw.payload.len();
+                    window.push(raw);
+                    if window_bytes >= budget {
+                        break;
+                    }
+                }
+                Fetch::WouldExceed { .. } => break,
+                Fetch::Eof => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        driver.peak_buffered_bytes = driver.peak_buffered_bytes.max(window_bytes as u64);
+
+        if window.is_empty() {
+            debug_assert!(eof, "a non-fitting chunk within budget is impossible");
+            break;
+        }
+
+        // Decode the whole window on the worker pool; results come back
+        // in input order, so consumption order equals file order.
+        let decoded = pool::par_map(&window, RawChunk::decode);
+
+        for (position, (raw, result)) in window.iter().zip(decoded).enumerate() {
+            let chunk_accesses = match result {
+                Ok(chunk_accesses) => chunk_accesses,
+                Err(e) => {
+                    driver.decode_failures += 1;
+                    match corruption {
+                        CorruptionPolicy::FailFast => return Err(e.into()),
+                        CorruptionPolicy::SkipWithReport => {
+                            driver.chunks_skipped += 1;
+                            continue;
+                        }
+                    }
+                }
+            };
+            for access in &chunk_accesses {
+                cache.access(access)?;
+                accesses += 1;
+                if let (Some(every), Some(experiment)) = (every, experiment.as_deref()) {
+                    if accesses.is_multiple_of(every) {
+                        // Chunks after `position` (and the remainder of
+                        // this one) are buffered but unconsumed.
+                        let buffered = (window.len() - position) as u64;
+                        let mut snapshot = Snapshot::capture(cache, experiment, epoch, accesses);
+                        snapshot.ingest = Some(sample_ingest(reader.stats(), &driver, buffered));
+                        deltas.apply(&mut snapshot);
+                        cnt_obs::record(snapshot);
+                        epoch += 1;
+                    }
+                }
+            }
+            driver.chunks_consumed += 1;
+            driver.bytes_decoded += raw.payload.len() as u64;
+        }
+
+        if eof {
+            break;
+        }
+    }
+
+    let final_ingest = sample_ingest(reader.stats(), &driver, 0);
+    if let (Some(every), Some(experiment)) = (every, experiment.as_deref()) {
+        if !accesses.is_multiple_of(every) || accesses == 0 {
+            // Trailing partial epoch (or an empty stream): emit the final
+            // state so the last accesses are never silently discarded.
+            let mut snapshot = Snapshot::capture(cache, experiment, epoch, accesses);
+            snapshot.ingest = Some(final_ingest);
+            deltas.apply(&mut snapshot);
+            cnt_obs::record(snapshot);
+        }
+    }
+
+    // Mirror the totals into the process-wide registry so `--metrics-final`
+    // exports see ingest activity without a snapshot sink.
+    let registry = cnt_obs::registry();
+    registry
+        .counter("trace.chunks_read")
+        .add(final_ingest.chunks_read);
+    registry
+        .counter("trace.chunks_skipped")
+        .add(final_ingest.chunks_skipped);
+    registry
+        .counter("trace.crc_failures")
+        .add(final_ingest.crc_failures);
+    registry
+        .counter("trace.bytes_decoded")
+        .add(final_ingest.bytes_decoded);
+    registry.counter("trace.replays").inc();
+
+    Ok((final_ingest, accesses))
+}
+
+/// Streams `path` through a fresh cache built from `config`, flushes,
+/// and returns the report plus ingest counters.
+///
+/// # Errors
+///
+/// As [`replay_stream`], plus I/O errors opening the file.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid — a harness bug, not a user error.
+pub fn replay_stream_file(
+    path: &Path,
+    config: CntCacheConfig,
+    opts: ReadOptions,
+) -> Result<StreamOutcome, StreamError> {
+    let file = std::fs::File::open(path).map_err(TraceError::from)?;
+    let mut reader = StreamReader::new(std::io::BufReader::new(file), opts)?;
+    let mut cache = CntCache::new(config).expect("stream-replay configuration must be valid");
+    let (ingest, accesses) = replay_stream(&mut cache, &mut reader)?;
+    cache.flush();
+    Ok(StreamOutcome {
+        report: cache.into_report(),
+        ingest,
+        accesses,
+    })
+}
+
+/// Streams `path` under the paper's D-Cache geometry with the given
+/// policy.
+///
+/// # Errors
+///
+/// As [`replay_stream_file`].
+pub fn run_dcache_stream(
+    policy: EncodingPolicy,
+    path: &Path,
+    opts: ReadOptions,
+) -> Result<StreamOutcome, StreamError> {
+    replay_stream_file(path, dcache_config("L1D", policy), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_dcache;
+    use cnt_sim::trace::{MemoryAccess, Trace};
+    use cnt_sim::Address;
+    use cnt_trace::pack_trace;
+
+    fn sample_trace(n: u64) -> Trace {
+        (0..n)
+            .map(|i| {
+                let addr = Address::new(0x4000 + (i % 300) * 8);
+                if i % 5 == 0 {
+                    MemoryAccess::write(addr, 8, i.wrapping_mul(0x0101_0101_0101_0101))
+                } else {
+                    MemoryAccess::read(addr, 8)
+                }
+            })
+            .collect()
+    }
+
+    fn packed(trace: &Trace, chunk_accesses: u32) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        pack_trace(trace, &mut bytes, chunk_accesses).expect("packs");
+        bytes
+    }
+
+    #[test]
+    fn streamed_replay_matches_in_memory_replay() {
+        let trace = sample_trace(5_000);
+        let bytes = packed(&trace, 128);
+        let expected = run_dcache(EncodingPolicy::adaptive_default(), &trace);
+
+        let mut reader = StreamReader::new(
+            &bytes[..],
+            ReadOptions {
+                budget_bytes: 4 * 1024, // forces many windows
+                corruption: CorruptionPolicy::FailFast,
+            },
+        )
+        .expect("opens");
+        let mut cache =
+            CntCache::new(dcache_config("L1D", EncodingPolicy::adaptive_default())).expect("valid");
+        let (ingest, accesses) = replay_stream(&mut cache, &mut reader).expect("streams");
+        cache.flush();
+        let report = cache.into_report();
+
+        assert_eq!(accesses, 5_000);
+        assert_eq!(report, expected);
+        assert!(ingest.peak_buffered_bytes <= 4 * 1024, "budget respected");
+        assert_eq!(ingest.chunks_consumed, ingest.chunks_read);
+        assert_eq!(ingest.bytes_decoded, ingest.bytes_read);
+    }
+
+    #[test]
+    fn skip_policy_replays_the_intact_remainder() {
+        let trace = sample_trace(1_000);
+        let mut bytes = packed(&trace, 100);
+        // Flip a bit somewhere in the middle of the file body.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+
+        let mut reader = StreamReader::new(
+            &bytes[..],
+            ReadOptions {
+                budget_bytes: 64 * 1024,
+                corruption: CorruptionPolicy::SkipWithReport,
+            },
+        )
+        .expect("opens");
+        let mut cache =
+            CntCache::new(dcache_config("L1D", EncodingPolicy::adaptive_default())).expect("valid");
+        let (ingest, accesses) = replay_stream(&mut cache, &mut reader).expect("skips");
+        assert!(ingest.chunks_skipped >= 1);
+        assert!(accesses < 1_000, "the damaged chunk's accesses are gone");
+        assert_eq!(
+            accesses,
+            1_000 - 100 * ingest.chunks_skipped,
+            "every skip drops exactly one chunk of accesses"
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_streams_are_identical() {
+        let trace = sample_trace(3_000);
+        let bytes = packed(&trace, 64);
+        let replay = |jobs: usize| {
+            pool::set_jobs(jobs);
+            let mut reader = StreamReader::new(
+                &bytes[..],
+                ReadOptions {
+                    budget_bytes: 2 * 1024,
+                    corruption: CorruptionPolicy::FailFast,
+                },
+            )
+            .expect("opens");
+            let mut cache = CntCache::new(dcache_config("L1D", EncodingPolicy::adaptive_default()))
+                .expect("valid");
+            let outcome = replay_stream(&mut cache, &mut reader).expect("streams");
+            cache.flush();
+            (outcome, cache.into_report())
+        };
+        let seq = replay(1);
+        let par = replay(4);
+        pool::set_jobs(pool::default_jobs());
+        assert_eq!(seq, par);
+    }
+}

@@ -170,6 +170,46 @@ impl CntHierarchy {
         Ok(n)
     }
 
+    /// Runs a whole trace like [`run`](Self::run), invoking
+    /// `epoch_hook(&self, epoch, accesses_so_far)` after every `every`
+    /// accesses, with a final call for a trailing partial epoch (or an
+    /// empty trace) — the hierarchy counterpart of
+    /// [`CntCache::run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`AccessError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_observed<'a, I, F>(
+        &mut self,
+        trace: I,
+        every: u64,
+        mut epoch_hook: F,
+    ) -> Result<usize, AccessError>
+    where
+        I: IntoIterator<Item = &'a MemoryAccess>,
+        F: FnMut(&Self, u64, u64),
+    {
+        assert!(every > 0, "epoch length must be positive");
+        let mut n: u64 = 0;
+        let mut epoch: u64 = 0;
+        for access in trace {
+            self.access(access)?;
+            n += 1;
+            if n.is_multiple_of(every) {
+                epoch_hook(self, epoch, n);
+                epoch += 1;
+            }
+        }
+        if !n.is_multiple_of(every) || n == 0 {
+            epoch_hook(self, epoch, n);
+        }
+        Ok(n as usize)
+    }
+
     /// Flushes every level (L1s through the L2, then the L2 to memory).
     pub fn flush_all(&mut self) {
         match &mut self.l2 {

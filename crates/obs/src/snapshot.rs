@@ -28,6 +28,32 @@ pub struct FifoSnapshot {
     pub stats: FifoStats,
 }
 
+/// Chunk-ingest counters for replays fed from a streamed `.ctr` trace
+/// (see `cnt-trace` and `cnt_bench::stream`). All zero / absent for
+/// in-memory replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestSnapshot {
+    /// Intact chunks read from the source so far.
+    pub chunks_read: u64,
+    /// Chunks fully fed to the simulator so far.
+    pub chunks_consumed: u64,
+    /// Damaged chunks stepped over (skip-with-report policy).
+    pub chunks_skipped: u64,
+    /// CRC32 mismatches seen.
+    pub crc_failures: u64,
+    /// Payload-shape decode failures seen.
+    pub decode_failures: u64,
+    /// Payload bytes read from the source (including skipped chunks).
+    pub bytes_read: u64,
+    /// Payload bytes decoded into access records.
+    pub bytes_decoded: u64,
+    /// Chunks sitting decoded-but-unconsumed in the prefetch window.
+    pub prefetch_buffered: u64,
+    /// High-water mark of buffered payload bytes — must stay within the
+    /// reader's configured budget.
+    pub peak_buffered_bytes: u64,
+}
+
 /// Everything one cache level has accumulated so far.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LevelSnapshot {
@@ -37,6 +63,11 @@ pub struct LevelSnapshot {
     pub stats: CacheStats,
     /// Per-charge-kind energy accumulators.
     pub energy: EnergyBreakdown,
+    /// Energy spent in this epoch alone: `energy` minus the previous
+    /// epoch's `energy` (equal to `energy` at epoch 0). Filled by
+    /// [`DeltaTracker`]; emitters that bypass it leave the cumulative
+    /// value here.
+    pub energy_delta: EnergyBreakdown,
     /// Predictor windows, flips taken/rejected, projected vs realized
     /// savings.
     pub encoding: EncodingCounters,
@@ -55,6 +86,8 @@ impl LevelSnapshot {
             level: cache.name().to_string(),
             stats: cache.stats().clone(),
             energy: cache.meter().breakdown().clone(),
+            // Delta-from-zero until a DeltaTracker refines it.
+            energy_delta: cache.meter().breakdown().clone(),
             encoding: *cache.encoding_counters(),
             fifo: FifoSnapshot {
                 len: cache.fifo_len() as u64,
@@ -78,6 +111,9 @@ pub struct Snapshot {
     pub accesses: u64,
     /// One entry per cache level.
     pub levels: Vec<LevelSnapshot>,
+    /// Chunk-ingest counters when the replay streams a `.ctr` trace;
+    /// `None` (JSON `null`) for in-memory replays.
+    pub ingest: Option<IngestSnapshot>,
 }
 
 impl Snapshot {
@@ -88,6 +124,7 @@ impl Snapshot {
             epoch,
             accesses,
             levels: vec![LevelSnapshot::capture(cache)],
+            ingest: None,
         }
     }
 
@@ -111,6 +148,7 @@ impl Snapshot {
             epoch,
             accesses,
             levels,
+            ingest: None,
         }
     }
 
@@ -121,6 +159,52 @@ impl Snapshot {
             epoch,
             accesses,
             levels: Vec::new(),
+            ingest: None,
+        }
+    }
+}
+
+/// Rewrites each level's `energy_delta` from cumulative to per-epoch by
+/// remembering the previous epoch's accumulators, per level index.
+///
+/// One tracker per replay: feed it every snapshot of that replay in
+/// epoch order (exactly how the `replay*` emitters in this module call
+/// it).
+///
+/// # Example
+///
+/// ```
+/// use cnt_obs::DeltaTracker;
+/// # use cnt_obs::Snapshot;
+/// let mut deltas = DeltaTracker::new();
+/// let mut snapshot = Snapshot::empty("demo", 0, 0);
+/// deltas.apply(&mut snapshot); // epoch 0: delta == cumulative
+/// ```
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    prev: Vec<EnergyBreakdown>,
+}
+
+impl DeltaTracker {
+    /// A tracker with no history (first epoch's delta = cumulative).
+    pub fn new() -> Self {
+        DeltaTracker::default()
+    }
+
+    /// Rewrites `energy_delta` on every level of `snapshot` and records
+    /// the cumulative values for the next epoch.
+    pub fn apply(&mut self, snapshot: &mut Snapshot) {
+        for (i, level) in snapshot.levels.iter_mut().enumerate() {
+            let cumulative = level.energy.clone();
+            level.energy_delta = match self.prev.get(i) {
+                Some(prev) => cumulative.clone() - prev.clone(),
+                None => cumulative.clone(),
+            };
+            if i < self.prev.len() {
+                self.prev[i] = cumulative;
+            } else {
+                self.prev.push(cumulative);
+            }
         }
     }
 }
@@ -141,8 +225,34 @@ pub fn replay(cache: &mut CntCache, trace: &Trace) -> Result<usize, AccessError>
     };
     let experiment = scope::next_replay_path();
     sink::registry().counter("obs.replays_observed").inc();
+    let mut deltas = DeltaTracker::new();
     cache.run_observed(trace.iter(), every, |cache, epoch, accesses| {
-        sink::record(Snapshot::capture(cache, &experiment, epoch, accesses));
+        let mut snapshot = Snapshot::capture(cache, &experiment, epoch, accesses);
+        deltas.apply(&mut snapshot);
+        sink::record(snapshot);
+    })
+}
+
+/// Replays `trace` through a full hierarchy, emitting one multi-level
+/// snapshot per epoch to the global sink when tracing is enabled — the
+/// hierarchy counterpart of [`replay`], used by the placement study.
+///
+/// # Errors
+///
+/// Propagates [`AccessError`] from the underlying replay.
+pub fn replay_hierarchy(hierarchy: &mut CntHierarchy, trace: &Trace) -> Result<usize, AccessError> {
+    let Some(every) = sink::epoch_len() else {
+        return hierarchy.run(trace.iter());
+    };
+    let experiment = scope::next_replay_path();
+    sink::registry()
+        .counter("obs.hierarchy_replays_observed")
+        .inc();
+    let mut deltas = DeltaTracker::new();
+    hierarchy.run_observed(trace.iter(), every, |hierarchy, epoch, accesses| {
+        let mut snapshot = Snapshot::capture_hierarchy(hierarchy, &experiment, epoch, accesses);
+        deltas.apply(&mut snapshot);
+        sink::record(snapshot);
     })
 }
 
@@ -164,8 +274,11 @@ pub fn replay_into(
     every: u64,
     out: &mut Vec<Snapshot>,
 ) -> Result<usize, AccessError> {
+    let mut deltas = DeltaTracker::new();
     cache.run_observed(trace.iter(), every, |cache, epoch, accesses| {
-        out.push(Snapshot::capture(cache, experiment, epoch, accesses));
+        let mut snapshot = Snapshot::capture(cache, experiment, epoch, accesses);
+        deltas.apply(&mut snapshot);
+        out.push(snapshot);
     })
 }
 
@@ -181,7 +294,8 @@ pub struct JsonlSummary {
 /// Validates a JSONL metrics stream: every line must parse as a
 /// [`Snapshot`] with at least one level, and within each experiment the
 /// epochs must increase by exactly one from zero with non-decreasing
-/// access counts.
+/// access counts. Snapshots carrying chunk-ingest counters must keep
+/// them non-decreasing too, and consumption can never outrun reading.
 ///
 /// # Errors
 ///
@@ -190,6 +304,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
     // (experiment, last epoch, last accesses) per stream; linear scan is
     // fine for lint-sized inputs and keeps ordering deterministic.
     let mut streams: Vec<(String, u64, u64)> = Vec::new();
+    let mut ingests: Vec<(String, IngestSnapshot)> = Vec::new();
     let mut snapshots = 0usize;
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -203,6 +318,32 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                 "line {lineno}: snapshot for `{}` has no cache levels",
                 snapshot.experiment
             ));
+        }
+        if let Some(ingest) = snapshot.ingest {
+            if ingest.chunks_consumed > ingest.chunks_read {
+                return Err(format!(
+                    "line {lineno}: experiment `{}` consumed {} chunks but only read {}",
+                    snapshot.experiment, ingest.chunks_consumed, ingest.chunks_read
+                ));
+            }
+            match ingests
+                .iter_mut()
+                .find(|(id, _)| *id == snapshot.experiment)
+            {
+                None => ingests.push((snapshot.experiment.clone(), ingest)),
+                Some((id, last)) => {
+                    if ingest.chunks_read < last.chunks_read
+                        || ingest.chunks_consumed < last.chunks_consumed
+                        || ingest.bytes_read < last.bytes_read
+                        || ingest.crc_failures < last.crc_failures
+                    {
+                        return Err(format!(
+                            "line {lineno}: experiment `{id}` ingest counters went backwards"
+                        ));
+                    }
+                    *last = ingest;
+                }
+            }
         }
         match streams
             .iter_mut()
@@ -253,6 +394,7 @@ mod tests {
             level: "L1D".to_string(),
             stats: CacheStats::default(),
             energy: EnergyBreakdown::default(),
+            energy_delta: EnergyBreakdown::default(),
             encoding: EncodingCounters::default(),
             fifo: FifoSnapshot {
                 len: 0,

@@ -1,0 +1,160 @@
+//! Errors produced while writing or streaming `.ctr` traces.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while packing or streaming a `.ctr`
+/// trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An underlying I/O failure from the source or sink.
+    Io(io::Error),
+    /// The first bytes of the stream are not the `.ctr` magic.
+    BadMagic {
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The header declares a format version this reader cannot decode.
+    UnsupportedVersion {
+        /// The declared version.
+        version: u16,
+    },
+    /// The stream ended in the middle of a header, frame, or payload.
+    Truncated {
+        /// Zero-based index of the chunk being read (`u64::MAX` for the
+        /// file header).
+        chunk: u64,
+        /// What was being read when the bytes ran out.
+        while_reading: &'static str,
+    },
+    /// A chunk's stored CRC32 does not match its payload.
+    CrcMismatch {
+        /// Zero-based chunk index.
+        chunk: u64,
+        /// CRC32 recorded in the chunk frame.
+        stored: u32,
+        /// CRC32 recomputed over the payload as read.
+        computed: u32,
+    },
+    /// A chunk's payload is larger than the reader's memory budget, so it
+    /// can never be buffered for decode.
+    ChunkExceedsBudget {
+        /// Zero-based chunk index.
+        chunk: u64,
+        /// Payload size declared in the frame.
+        payload_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+    },
+    /// A frame declared an implausible shape (zero-length payload with
+    /// accesses, or a payload/access-count mismatch discovered on decode).
+    BadRecord {
+        /// Zero-based chunk index.
+        chunk: u64,
+        /// Byte offset of the offending record inside the payload.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "not a .ctr trace (magic bytes {found:02x?})")
+            }
+            TraceError::UnsupportedVersion { version } => {
+                write!(f, "unsupported .ctr format version {version}")
+            }
+            TraceError::Truncated {
+                chunk,
+                while_reading,
+            } => {
+                if *chunk == u64::MAX {
+                    write!(
+                        f,
+                        "truncated trace: ran out of bytes in the {while_reading}"
+                    )
+                } else {
+                    write!(f, "truncated trace: chunk {chunk} ends mid-{while_reading}")
+                }
+            }
+            TraceError::CrcMismatch {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "chunk {chunk} is corrupt: stored CRC32 {stored:#010x}, computed {computed:#010x}"
+            ),
+            TraceError::ChunkExceedsBudget {
+                chunk,
+                payload_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "chunk {chunk} needs {payload_bytes} bytes but the memory budget is \
+                 {budget_bytes} bytes"
+            ),
+            TraceError::BadRecord {
+                chunk,
+                offset,
+                what,
+            } => write!(f, "chunk {chunk}, payload offset {offset}: {what}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl TraceError {
+    /// `true` for per-chunk damage a [`SkipWithReport`] reader can step
+    /// over (the frame itself was intact, so the stream stays in sync).
+    ///
+    /// [`SkipWithReport`]: crate::reader::CorruptionPolicy::SkipWithReport
+    pub fn is_skippable(&self) -> bool {
+        matches!(
+            self,
+            TraceError::CrcMismatch { .. } | TraceError::BadRecord { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_chunk() {
+        let e = TraceError::CrcMismatch {
+            chunk: 3,
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("chunk 3"));
+        assert!(e.is_skippable());
+        let t = TraceError::Truncated {
+            chunk: u64::MAX,
+            while_reading: "file header",
+        };
+        assert!(t.to_string().contains("file header"));
+        assert!(!t.is_skippable());
+    }
+}

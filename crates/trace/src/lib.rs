@@ -1,0 +1,39 @@
+//! # cnt-trace — streaming trace ingestion for multi-GB workload replay
+//!
+//! The in-memory [`cnt_sim::trace::Trace`] caps replay at RAM-sized
+//! workloads. This crate adds the I/O layer between workload generation
+//! and simulation: a chunked, length-prefixed binary trace format
+//! (`.ctr`) plus a bounded-memory streaming reader, so the adaptive
+//! encoder's policies can be evaluated over access streams far larger
+//! than memory.
+//!
+//! - [`format`] — the on-disk layout: versioned header, 12-byte chunk
+//!   frames carrying payload length / access count / CRC32, and packed
+//!   access records;
+//! - [`writer`] — [`TraceWriter`] and the `pack_*` one-shots, which
+//!   buffer at most one chunk while packing any access iterator;
+//! - [`reader`] — [`StreamReader`], which yields CRC-verified chunks
+//!   from any [`std::io::Read`] source under a hard byte budget, with
+//!   fail-fast or skip-with-report corruption handling;
+//! - [`crc32`] — the vendored CRC-32 (IEEE) used by frames.
+//!
+//! Reading and decoding are deliberately split ([`RawChunk::decode`])
+//! so a replay harness can keep file I/O sequential while fanning chunk
+//! decode across worker threads — see `cnt_bench::stream`, which keeps
+//! such replays byte-identical between sequential and parallel runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod error;
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use error::TraceError;
+pub use format::{Header, FRAME_BYTES, HEADER_BYTES, MAGIC, VERSION};
+pub use reader::{
+    read_trace, CorruptionPolicy, Fetch, IngestStats, RawChunk, ReadOptions, StreamReader,
+};
+pub use writer::{pack_accesses, pack_trace, PackSummary, TraceWriter, DEFAULT_CHUNK_ACCESSES};

@@ -1,0 +1,519 @@
+//! Bounded-memory streaming of `.ctr` chunks from any [`Read`] source.
+//!
+//! [`StreamReader`] never materializes the trace: it holds at most one
+//! frame of lookahead plus the single chunk payload currently being
+//! returned, and it refuses up front any chunk that could not fit the
+//! configured [`ReadOptions::budget_bytes`]. Callers building a prefetch
+//! window use [`StreamReader::next_raw_within`] to fill up to a byte
+//! budget without ever over-reading: a chunk that does not fit the
+//! remaining window stays inside the reader (only its 12-byte frame has
+//! been consumed) and is returned by the next call.
+//!
+//! Corruption handling is a per-reader policy: [`CorruptionPolicy::FailFast`]
+//! surfaces the first CRC mismatch as an error; with
+//! [`CorruptionPolicy::SkipWithReport`] damaged chunks are counted in
+//! [`IngestStats`] and stepped over (the length-prefixed framing keeps
+//! the stream in sync). Truncation — a stream ending mid-frame or
+//! mid-payload — is always fatal: past the damage there is no frame
+//! boundary left to resynchronize on.
+
+use std::io::Read;
+
+use cnt_sim::trace::{MemoryAccess, Trace};
+
+use crate::crc32::crc32;
+use crate::error::TraceError;
+use crate::format::{decode_payload, Frame, Header, FRAME_BYTES, HEADER_BYTES};
+
+/// What to do when a chunk's CRC32 (or payload shape) is wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorruptionPolicy {
+    /// Surface the first damaged chunk as an error (the default).
+    #[default]
+    FailFast,
+    /// Skip damaged chunks, counting them in [`IngestStats`], and keep
+    /// streaming the intact remainder.
+    SkipWithReport,
+}
+
+/// Reader configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Upper bound on buffered payload bytes; chunks larger than this are
+    /// rejected with [`TraceError::ChunkExceedsBudget`].
+    pub budget_bytes: usize,
+    /// Damaged-chunk handling.
+    pub corruption: CorruptionPolicy,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            budget_bytes: 8 * 1024 * 1024,
+            corruption: CorruptionPolicy::FailFast,
+        }
+    }
+}
+
+/// Read-side counters, updated as the stream advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Intact chunks yielded to the caller.
+    pub chunks_read: u64,
+    /// Damaged chunks stepped over (skip policy only).
+    pub chunks_skipped: u64,
+    /// CRC32 mismatches seen.
+    pub crc_failures: u64,
+    /// Payload-shape errors seen while decoding via [`StreamReader::next_chunk`].
+    pub decode_failures: u64,
+    /// Access records declared by yielded chunk frames.
+    pub accesses_declared: u64,
+    /// Payload bytes read from the source, including skipped chunks.
+    pub bytes_read: u64,
+}
+
+/// A CRC-verified chunk that has not been decoded yet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawChunk {
+    /// Zero-based position in the file, counting skipped chunks.
+    pub index: u64,
+    /// Records the frame declares.
+    pub access_count: u32,
+    /// The packed records.
+    pub payload: Vec<u8>,
+}
+
+impl RawChunk {
+    /// Decodes the payload into access records.
+    ///
+    /// This is intentionally separate from reading so callers can fan
+    /// decode work out across worker threads while I/O stays sequential.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadRecord`] for malformed payloads.
+    pub fn decode(&self) -> Result<Vec<MemoryAccess>, TraceError> {
+        decode_payload(&self.payload, self.access_count, self.index)
+    }
+}
+
+/// Result of one bounded fetch attempt.
+#[derive(Debug)]
+pub enum Fetch {
+    /// The next intact chunk, within the requested byte bound.
+    Chunk(RawChunk),
+    /// The next chunk needs more bytes than the caller has left in its
+    /// window; nothing was buffered. Retry with a fresh window.
+    WouldExceed {
+        /// Payload bytes the pending chunk requires.
+        needed: usize,
+    },
+    /// Clean end of stream.
+    Eof,
+}
+
+/// A streaming `.ctr` reader over any [`Read`] source.
+pub struct StreamReader<R: Read> {
+    src: R,
+    header: Header,
+    opts: ReadOptions,
+    /// Index of the next chunk to be read (skipped chunks advance it too).
+    next_index: u64,
+    /// A frame whose payload has not been fetched yet (window overflow).
+    lookahead: Option<Frame>,
+    stats: IngestStats,
+    finished: bool,
+}
+
+impl<R: Read> StreamReader<R> {
+    /// Reads and validates the file header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`],
+    /// [`TraceError::Truncated`], or an I/O error.
+    pub fn new(mut src: R, opts: ReadOptions) -> Result<Self, TraceError> {
+        let mut bytes = [0u8; HEADER_BYTES];
+        read_exact_or(&mut src, &mut bytes, u64::MAX, "file header")?;
+        let header = Header::from_bytes(&bytes)?;
+        Ok(StreamReader {
+            src,
+            header,
+            opts,
+            next_index: 0,
+            lookahead: None,
+            stats: IngestStats::default(),
+            finished: false,
+        })
+    }
+
+    /// The parsed file header.
+    pub fn header(&self) -> Header {
+        self.header
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> ReadOptions {
+        self.opts
+    }
+
+    /// Read-side counters so far.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Reads the next frame, distinguishing clean EOF (exactly at a
+    /// frame boundary) from truncation.
+    fn read_frame(&mut self) -> Result<Option<Frame>, TraceError> {
+        let mut bytes = [0u8; FRAME_BYTES];
+        // A clean end of stream yields zero bytes here; anything between
+        // 1 and FRAME_BYTES-1 is a torn frame.
+        let mut filled = 0usize;
+        while filled < FRAME_BYTES {
+            let n = self.src.read(&mut bytes[filled..])?;
+            if n == 0 {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(TraceError::Truncated {
+                        chunk: self.next_index,
+                        while_reading: "chunk frame",
+                    })
+                };
+            }
+            filled += n;
+        }
+        Ok(Some(Frame::from_bytes(&bytes)))
+    }
+
+    /// Fetches the next intact chunk if its payload fits in `max_bytes`.
+    ///
+    /// On [`Fetch::WouldExceed`] the chunk remains pending inside the
+    /// reader — no payload bytes were buffered — so a later call with a
+    /// larger bound picks it up. This is what lets a prefetching replay
+    /// bound its total buffered bytes *exactly* by its budget.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::ChunkExceedsBudget`] when the chunk can never fit
+    /// the reader's budget, [`TraceError::CrcMismatch`] under
+    /// [`CorruptionPolicy::FailFast`], [`TraceError::Truncated`], or I/O
+    /// errors. All of these end the stream.
+    pub fn next_raw_within(&mut self, max_bytes: usize) -> Result<Fetch, TraceError> {
+        loop {
+            if self.finished {
+                return Ok(Fetch::Eof);
+            }
+            let frame = match self.lookahead.take() {
+                Some(frame) => frame,
+                None => match self.read_frame()? {
+                    Some(frame) => frame,
+                    None => {
+                        self.finished = true;
+                        return Ok(Fetch::Eof);
+                    }
+                },
+            };
+            let len = frame.payload_len as usize;
+            if len > self.opts.budget_bytes {
+                self.finished = true;
+                return Err(TraceError::ChunkExceedsBudget {
+                    chunk: self.next_index,
+                    payload_bytes: len as u64,
+                    budget_bytes: self.opts.budget_bytes as u64,
+                });
+            }
+            if len > max_bytes {
+                self.lookahead = Some(frame);
+                return Ok(Fetch::WouldExceed { needed: len });
+            }
+            let index = self.next_index;
+            self.next_index += 1;
+            let mut payload = vec![0u8; len];
+            if let Err(e) = read_exact_or(&mut self.src, &mut payload, index, "chunk payload") {
+                // Truncation is unrecoverable; poison the stream.
+                self.finished = true;
+                return Err(e);
+            }
+            self.stats.bytes_read += len as u64;
+            let computed = crc32(&payload);
+            if computed != frame.crc32 {
+                self.stats.crc_failures += 1;
+                match self.opts.corruption {
+                    CorruptionPolicy::FailFast => {
+                        self.finished = true;
+                        return Err(TraceError::CrcMismatch {
+                            chunk: index,
+                            stored: frame.crc32,
+                            computed,
+                        });
+                    }
+                    CorruptionPolicy::SkipWithReport => {
+                        self.stats.chunks_skipped += 1;
+                        continue;
+                    }
+                }
+            }
+            self.stats.chunks_read += 1;
+            self.stats.accesses_declared += u64::from(frame.access_count);
+            return Ok(Fetch::Chunk(RawChunk {
+                index,
+                access_count: frame.access_count,
+                payload,
+            }));
+        }
+    }
+
+    /// Fetches the next intact chunk, bounded only by the reader budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`next_raw_within`](Self::next_raw_within).
+    pub fn next_raw(&mut self) -> Result<Option<RawChunk>, TraceError> {
+        match self.next_raw_within(self.opts.budget_bytes)? {
+            Fetch::Chunk(raw) => Ok(Some(raw)),
+            Fetch::Eof => Ok(None),
+            Fetch::WouldExceed { .. } => {
+                unreachable!("budget-bounded fetch cannot overflow the budget")
+            }
+        }
+    }
+
+    /// Fetches and decodes the next chunk, applying the corruption
+    /// policy to payload-shape errors as well.
+    ///
+    /// # Errors
+    ///
+    /// As [`next_raw_within`](Self::next_raw_within), plus
+    /// [`TraceError::BadRecord`] under [`CorruptionPolicy::FailFast`].
+    pub fn next_chunk(&mut self) -> Result<Option<(u64, Vec<MemoryAccess>)>, TraceError> {
+        loop {
+            let Some(raw) = self.next_raw()? else {
+                return Ok(None);
+            };
+            match raw.decode() {
+                Ok(accesses) => return Ok(Some((raw.index, accesses))),
+                Err(e) => {
+                    self.stats.decode_failures += 1;
+                    match self.opts.corruption {
+                        CorruptionPolicy::FailFast => {
+                            self.finished = true;
+                            return Err(e);
+                        }
+                        CorruptionPolicy::SkipWithReport => {
+                            self.stats.chunks_skipped += 1;
+                            // The frame-declared counters no longer hold.
+                            self.stats.chunks_read -= 1;
+                            self.stats.accesses_declared -= u64::from(raw.access_count);
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads a whole `.ctr` stream into an in-memory [`Trace`] — the
+/// non-streaming convenience for tools and tests.
+///
+/// # Errors
+///
+/// As [`StreamReader::next_chunk`].
+pub fn read_trace<R: Read>(src: R, opts: ReadOptions) -> Result<Trace, TraceError> {
+    let mut reader = StreamReader::new(src, opts)?;
+    let mut trace = Trace::new();
+    while let Some((_, accesses)) = reader.next_chunk()? {
+        trace.extend(accesses);
+    }
+    Ok(trace)
+}
+
+fn read_exact_or<R: Read>(
+    src: &mut R,
+    buf: &mut [u8],
+    chunk: u64,
+    while_reading: &'static str,
+) -> Result<(), TraceError> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated {
+                chunk,
+                while_reading,
+            }
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::pack_trace;
+    use cnt_sim::Address;
+
+    fn sample_trace(n: u64) -> Trace {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    MemoryAccess::write(Address::new(0x1000 + i * 8), 8, i.wrapping_mul(0x9E37))
+                } else {
+                    MemoryAccess::read(Address::new(0x1000 + i * 8), 8)
+                }
+            })
+            .collect()
+    }
+
+    fn packed(n: u64, chunk_accesses: u32) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        pack_trace(&sample_trace(n), &mut bytes, chunk_accesses).expect("packs");
+        bytes
+    }
+
+    #[test]
+    fn round_trips_across_chunks() {
+        let trace = sample_trace(100);
+        let bytes = packed(100, 7);
+        let back = read_trace(&bytes[..], ReadOptions::default()).expect("reads");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn stats_count_reads() {
+        let bytes = packed(100, 7);
+        let mut reader = StreamReader::new(&bytes[..], ReadOptions::default()).expect("opens");
+        let mut total = 0usize;
+        while let Some((_, accesses)) = reader.next_chunk().expect("streams") {
+            total += accesses.len();
+        }
+        assert_eq!(total, 100);
+        let stats = reader.stats();
+        assert_eq!(stats.chunks_read, 15); // ceil(100 / 7)
+        assert_eq!(stats.accesses_declared, 100);
+        assert_eq!(stats.chunks_skipped, 0);
+        assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn truncated_payload_is_fatal_even_when_skipping() {
+        let bytes = packed(20, 5);
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader = StreamReader::new(
+            cut,
+            ReadOptions {
+                corruption: CorruptionPolicy::SkipWithReport,
+                ..ReadOptions::default()
+            },
+        )
+        .expect("opens");
+        let mut err = None;
+        loop {
+            match reader.next_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(err, Some(TraceError::Truncated { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_fast_or_skips() {
+        let mut bytes = packed(20, 5);
+        // Flip one payload bit in the second chunk. Layout: header,
+        // then frames+payloads; find the second payload start.
+        let second_payload =
+            HEADER_BYTES + FRAME_BYTES + chunk_payload_len(&bytes, 0) + FRAME_BYTES;
+        bytes[second_payload + 2] ^= 0x40;
+
+        let err = read_trace(&bytes[..], ReadOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::CrcMismatch { chunk: 1, .. }),
+            "{err}"
+        );
+
+        let mut reader = StreamReader::new(
+            &bytes[..],
+            ReadOptions {
+                corruption: CorruptionPolicy::SkipWithReport,
+                ..ReadOptions::default()
+            },
+        )
+        .expect("opens");
+        let mut seen = Vec::new();
+        while let Some((index, accesses)) = reader.next_chunk().expect("skips damage") {
+            seen.push((index, accesses.len()));
+        }
+        assert_eq!(seen, vec![(0, 5), (2, 5), (3, 5)]);
+        let stats = reader.stats();
+        assert_eq!(stats.crc_failures, 1);
+        assert_eq!(stats.chunks_skipped, 1);
+        assert_eq!(stats.chunks_read, 3);
+    }
+
+    #[test]
+    fn oversized_chunk_is_rejected_by_budget() {
+        let bytes = packed(100, 100); // one big chunk: 100 records
+        let err = read_trace(
+            &bytes[..],
+            ReadOptions {
+                budget_bytes: 64,
+                ..ReadOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TraceError::ChunkExceedsBudget { chunk: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn would_exceed_leaves_chunk_pending() {
+        let bytes = packed(10, 5); // two chunks
+        let mut reader = StreamReader::new(&bytes[..], ReadOptions::default()).expect("opens");
+        let first = match reader.next_raw_within(usize::MAX).expect("fetch") {
+            Fetch::Chunk(raw) => raw,
+            other => panic!("expected chunk, got {other:?}"),
+        };
+        // Window too small for the second chunk: it must stay pending.
+        let needed = match reader.next_raw_within(1).expect("fetch") {
+            Fetch::WouldExceed { needed } => needed,
+            other => panic!("expected overflow, got {other:?}"),
+        };
+        assert!(needed > 1);
+        // A fresh window picks it up, identical content.
+        let second = match reader.next_raw_within(needed).expect("fetch") {
+            Fetch::Chunk(raw) => raw,
+            other => panic!("expected chunk, got {other:?}"),
+        };
+        assert_eq!(second.index, first.index + 1);
+        assert!(matches!(
+            reader.next_raw_within(usize::MAX).expect("fetch"),
+            Fetch::Eof
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = packed(4, 2);
+        bytes[0] = b'X';
+        assert!(matches!(
+            StreamReader::new(&bytes[..], ReadOptions::default()),
+            Err(TraceError::BadMagic { .. })
+        ));
+    }
+
+    fn chunk_payload_len(bytes: &[u8], nth: usize) -> usize {
+        let mut offset = HEADER_BYTES;
+        for _ in 0..nth {
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+            offset += FRAME_BYTES + len;
+        }
+        u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize
+    }
+}

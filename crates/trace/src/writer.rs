@@ -1,0 +1,199 @@
+//! Packing accesses into `.ctr` chunks.
+//!
+//! [`TraceWriter`] buffers at most one chunk of records before flushing
+//! its frame + payload to the sink, so packing a multi-GB stream needs
+//! only chunk-sized memory. [`pack_accesses`] and [`pack_trace`] are the
+//! convenience one-shots built on it.
+
+use std::io::Write;
+
+use cnt_sim::trace::{MemoryAccess, Trace};
+
+use crate::crc32::crc32;
+use crate::error::TraceError;
+use crate::format::{encode_access, Frame, Header, VERSION};
+
+/// Default target accesses per chunk (~72 KiB of write-heavy payload).
+pub const DEFAULT_CHUNK_ACCESSES: u32 = 4096;
+
+/// What one packing pass produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackSummary {
+    /// Chunks written.
+    pub chunks: u64,
+    /// Access records written.
+    pub accesses: u64,
+    /// Payload bytes written (excluding header and frames).
+    pub payload_bytes: u64,
+}
+
+/// A streaming `.ctr` writer: push accesses, chunks flush themselves.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::trace::MemoryAccess;
+/// use cnt_sim::Address;
+/// use cnt_trace::writer::TraceWriter;
+///
+/// let mut bytes = Vec::new();
+/// let mut writer = TraceWriter::new(&mut bytes, 2).expect("header writes");
+/// for i in 0..5u64 {
+///     writer.push(&MemoryAccess::read(Address::new(i * 8), 8)).expect("packs");
+/// }
+/// let summary = writer.finish().expect("flushes");
+/// assert_eq!(summary.chunks, 3); // 2 + 2 + 1
+/// assert_eq!(summary.accesses, 5);
+/// ```
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    chunk_accesses: u32,
+    payload: Vec<u8>,
+    pending: u32,
+    summary: PackSummary,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the file header and returns a writer targeting
+    /// `chunk_accesses` records per chunk (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn new(mut sink: W, chunk_accesses: u32) -> Result<Self, TraceError> {
+        let chunk_accesses = chunk_accesses.max(1);
+        let header = Header {
+            version: VERSION,
+            flags: 0,
+            chunk_target: chunk_accesses,
+        };
+        sink.write_all(&header.to_bytes())?;
+        Ok(TraceWriter {
+            sink,
+            chunk_accesses,
+            payload: Vec::new(),
+            pending: 0,
+            summary: PackSummary::default(),
+        })
+    }
+
+    /// Appends one access, flushing a chunk when the target is reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn push(&mut self, access: &MemoryAccess) -> Result<(), TraceError> {
+        encode_access(access, &mut self.payload);
+        self.pending += 1;
+        self.summary.accesses += 1;
+        if self.pending >= self.chunk_accesses {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        let frame = Frame {
+            payload_len: u32::try_from(self.payload.len()).expect("chunk payloads are small"),
+            access_count: self.pending,
+            crc32: crc32(&self.payload),
+        };
+        self.sink.write_all(&frame.to_bytes())?;
+        self.sink.write_all(&self.payload)?;
+        self.summary.chunks += 1;
+        self.summary.payload_bytes += self.payload.len() as u64;
+        self.payload.clear();
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Flushes the trailing partial chunk and the sink, returning the
+    /// pack summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn finish(mut self) -> Result<PackSummary, TraceError> {
+        self.flush_chunk()?;
+        self.sink.flush()?;
+        Ok(self.summary)
+    }
+}
+
+/// Packs any access stream into `.ctr` form without materializing it.
+///
+/// # Errors
+///
+/// Propagates sink I/O errors.
+pub fn pack_accesses<I, W>(
+    accesses: I,
+    sink: W,
+    chunk_accesses: u32,
+) -> Result<PackSummary, TraceError>
+where
+    I: IntoIterator<Item = MemoryAccess>,
+    W: Write,
+{
+    let mut writer = TraceWriter::new(sink, chunk_accesses)?;
+    for access in accesses {
+        writer.push(&access)?;
+    }
+    writer.finish()
+}
+
+/// Packs an in-memory [`Trace`].
+///
+/// # Errors
+///
+/// Propagates sink I/O errors.
+pub fn pack_trace<W: Write>(
+    trace: &Trace,
+    sink: W,
+    chunk_accesses: u32,
+) -> Result<PackSummary, TraceError> {
+    pack_accesses(trace.iter().copied(), sink, chunk_accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{FRAME_BYTES, HEADER_BYTES};
+    use cnt_sim::Address;
+
+    #[test]
+    fn empty_trace_is_just_a_header() {
+        let mut bytes = Vec::new();
+        let summary = pack_trace(&Trace::new(), &mut bytes, 64).expect("packs");
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        assert_eq!(summary, PackSummary::default());
+    }
+
+    #[test]
+    fn chunking_splits_on_target() {
+        let trace: Trace = (0..10)
+            .map(|i| MemoryAccess::read(Address::new(i * 8), 8))
+            .collect();
+        let mut bytes = Vec::new();
+        let summary = pack_trace(&trace, &mut bytes, 4).expect("packs");
+        assert_eq!(summary.chunks, 3); // 4 + 4 + 2
+        assert_eq!(summary.accesses, 10);
+        assert_eq!(summary.payload_bytes, 10 * 10);
+        assert_eq!(
+            bytes.len(),
+            HEADER_BYTES + 3 * FRAME_BYTES + summary.payload_bytes as usize
+        );
+    }
+
+    #[test]
+    fn zero_chunk_target_is_clamped() {
+        let trace: Trace = (0..3)
+            .map(|i| MemoryAccess::read(Address::new(i * 8), 8))
+            .collect();
+        let mut bytes = Vec::new();
+        let summary = pack_trace(&trace, &mut bytes, 0).expect("packs");
+        assert_eq!(summary.chunks, 3, "clamped to one access per chunk");
+    }
+}

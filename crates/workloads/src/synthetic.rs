@@ -86,11 +86,34 @@ impl SyntheticSpec {
     /// Generates the trace: one initializing write per line (so reads see
     /// density-distributed data), then `accesses` demand accesses.
     ///
+    /// Materializes [`stream`](Self::stream) — the two produce the exact
+    /// same access sequence.
+    ///
     /// # Panics
     ///
     /// Panics if `footprint_lines` is zero, a fraction is outside
     /// `[0, 1]`, or a strided pattern has a zero stride.
     pub fn generate(&self) -> Trace {
+        self.stream().collect()
+    }
+
+    /// Lazily yields the same sequence as [`generate`](Self::generate)
+    /// without materializing it, so multi-GB traces can be packed (or
+    /// replayed) in bounded memory:
+    ///
+    /// ```
+    /// use cnt_workloads::synthetic::SyntheticSpec;
+    ///
+    /// let spec = SyntheticSpec::default();
+    /// let streamed: Vec<_> = spec.stream().collect();
+    /// assert_eq!(streamed.len(), spec.stream().len());
+    /// assert_eq!(cnt_sim::trace::Trace::from_iter(streamed), spec.generate());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As [`generate`](Self::generate).
+    pub fn stream(&self) -> SyntheticStream {
         assert!(self.footprint_lines > 0, "footprint must be non-empty");
         assert!(
             (0.0..=1.0).contains(&self.read_fraction),
@@ -100,63 +123,96 @@ impl SyntheticSpec {
             (0.0..=1.0).contains(&self.ones_density),
             "ones_density must be in [0, 1]"
         );
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut trace = Trace::new();
-
-        // Initialize every word of every line with density-controlled data.
-        for line in 0..self.footprint_lines {
-            for word in 0..8u64 {
-                let addr = Address::new(BASE + (line as u64) * 64 + word * 8);
-                trace.push(MemoryAccess::write(
-                    addr,
-                    8,
-                    word_with_density(&mut rng, self.ones_density),
-                ));
-            }
+        if let AddressPattern::Strided { stride_lines } = self.pattern {
+            assert!(stride_lines > 0, "stride must be non-zero");
         }
-
         let zipf_cdf = match self.pattern {
             AddressPattern::Zipfian { theta } => Some(zipf_cdf(self.footprint_lines, theta)),
             _ => None,
         };
-
-        let mut cursor = 0usize;
-        for _ in 0..self.accesses {
-            let line = match self.pattern {
-                AddressPattern::Sequential => {
-                    let l = cursor % self.footprint_lines;
-                    cursor += 1;
-                    l
-                }
-                AddressPattern::Strided { stride_lines } => {
-                    assert!(stride_lines > 0, "stride must be non-zero");
-                    let l = cursor % self.footprint_lines;
-                    cursor = cursor.wrapping_add(stride_lines as usize);
-                    l
-                }
-                AddressPattern::UniformRandom => rng.gen_range(0..self.footprint_lines),
-                AddressPattern::Zipfian { .. } => {
-                    let cdf = zipf_cdf.as_ref().expect("cdf precomputed");
-                    let u: f64 = rng.gen();
-                    cdf.partition_point(|&c| c < u)
-                        .min(self.footprint_lines - 1)
-                }
-            };
-            let word = rng.gen_range(0..8u64);
-            let addr = Address::new(BASE + (line as u64) * 64 + word * 8);
-            if rng.gen_bool(self.read_fraction) {
-                trace.push(MemoryAccess::read(addr, 8));
-            } else {
-                trace.push(MemoryAccess::write(
-                    addr,
-                    8,
-                    word_with_density(&mut rng, self.ones_density),
-                ));
-            }
+        SyntheticStream {
+            spec: *self,
+            rng: SmallRng::seed_from_u64(self.seed),
+            zipf_cdf,
+            init_emitted: 0,
+            demand_emitted: 0,
+            cursor: 0,
         }
-        trace
     }
 }
+
+/// Lazy iterator form of [`SyntheticSpec`]; see
+/// [`SyntheticSpec::stream`]. Draws from the RNG in exactly the order
+/// the eager generator did, so the sequence is byte-identical.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    spec: SyntheticSpec,
+    rng: SmallRng,
+    zipf_cdf: Option<Vec<f64>>,
+    init_emitted: usize,
+    demand_emitted: usize,
+    cursor: usize,
+}
+
+impl Iterator for SyntheticStream {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        let spec = self.spec;
+        // Phase 1: initialize every word of every line with
+        // density-controlled data.
+        if self.init_emitted < spec.footprint_lines * 8 {
+            let line = (self.init_emitted / 8) as u64;
+            let word = (self.init_emitted % 8) as u64;
+            self.init_emitted += 1;
+            let addr = Address::new(BASE + line * 64 + word * 8);
+            return Some(MemoryAccess::write(
+                addr,
+                8,
+                word_with_density(&mut self.rng, spec.ones_density),
+            ));
+        }
+        // Phase 2: demand accesses.
+        if self.demand_emitted >= spec.accesses {
+            return None;
+        }
+        self.demand_emitted += 1;
+        let line = match spec.pattern {
+            AddressPattern::Sequential => {
+                let l = self.cursor % spec.footprint_lines;
+                self.cursor += 1;
+                l
+            }
+            AddressPattern::Strided { stride_lines } => {
+                let l = self.cursor % spec.footprint_lines;
+                self.cursor = self.cursor.wrapping_add(stride_lines as usize);
+                l
+            }
+            AddressPattern::UniformRandom => self.rng.gen_range(0..spec.footprint_lines),
+            AddressPattern::Zipfian { .. } => {
+                let cdf = self.zipf_cdf.as_ref().expect("cdf precomputed");
+                let u: f64 = self.rng.gen();
+                cdf.partition_point(|&c| c < u)
+                    .min(spec.footprint_lines - 1)
+            }
+        };
+        let word = self.rng.gen_range(0..8u64);
+        let addr = Address::new(BASE + (line as u64) * 64 + word * 8);
+        Some(if self.rng.gen_bool(spec.read_fraction) {
+            MemoryAccess::read(addr, 8)
+        } else {
+            MemoryAccess::write(addr, 8, word_with_density(&mut self.rng, spec.ones_density))
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.spec.footprint_lines * 8 - self.init_emitted)
+            + (self.spec.accesses - self.demand_emitted);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SyntheticStream {}
 
 /// A heterogeneous-line generator: each 64-byte line holds eight words
 /// with per-word one-bit densities — e.g. records interleaving sparse ids
@@ -350,6 +406,29 @@ mod tests {
     fn generation_is_deterministic() {
         let spec = SyntheticSpec::default();
         assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn stream_is_identical_to_generate_for_every_pattern() {
+        for pattern in [
+            AddressPattern::Sequential,
+            AddressPattern::Strided { stride_lines: 5 },
+            AddressPattern::UniformRandom,
+            AddressPattern::Zipfian { theta: 0.8 },
+        ] {
+            let spec = SyntheticSpec {
+                accesses: 3_000,
+                footprint_lines: 48,
+                read_fraction: 0.6,
+                ones_density: 0.3,
+                pattern,
+                seed: 0xBEEF,
+            };
+            let stream = spec.stream();
+            assert_eq!(stream.len(), 48 * 8 + 3_000, "{pattern:?}");
+            let streamed: Trace = stream.collect();
+            assert_eq!(streamed, spec.generate(), "{pattern:?}");
+        }
     }
 
     #[test]
