@@ -6,6 +6,8 @@
 //! ```text
 //! bench_throughput [--jobs N] [--out PATH] [--trace FILE.ctr]
 //!                  [--metrics-out FILE [--metrics-every N]]
+//! bench_throughput --stages [--iters N] [--warmup N] [--out PATH]
+//!                  [--baseline FILE] [--gate FILE]
 //! ```
 //!
 //! Both passes run the identical (benchmark x policy) replay matrix —
@@ -18,23 +20,43 @@
 //! replays of the external trace (baseline and adaptive), so the
 //! speedup column instead isolates the chunk-parallel decode gain of
 //! the `cnt-trace` ingestion pipeline.
+//!
+//! With `--stages` the end-to-end matrix is replaced by isolated
+//! single-thread timings of the replay hot path — the `popcount`,
+//! `decode`, and `decision` kernels plus the batched end-to-end
+//! `replay` loop — each run `--warmup` untimed and `--iters` timed
+//! iterations and summarised as mean/stddev/min in `BENCH_simd.json`.
+//! `--gate FILE` additionally compares the fresh means against a
+//! committed record and exits with code 3 when any stage drops more
+//! than 20% below its committed mean (CI treats 3 as a warning: shared
+//! runners are noisy; byte-identity breakage elsewhere stays fatal).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cnt_bench::runner::run_dcache_matrix;
+use cnt_bench::runner::{run_dcache_batch, run_dcache_matrix};
 use cnt_bench::stream::run_dcache_stream;
-use cnt_bench::{pool, BenchRecord, PassRecord};
+use cnt_bench::{pool, BenchRecord, IterStats, PassRecord, SimdBenchRecord, StageRecord};
 use cnt_cache::EncodingPolicy;
+use cnt_encoding::popcount::popcount_word_partitions;
+use cnt_encoding::{DirectionBits, DirectionPredictor, PredictorConfig, WindowSummary};
+use cnt_energy::BitEnergies;
+use cnt_sim::trace::AccessBatch;
+use cnt_trace::format::{decode_payload_into, encode_access};
 use cnt_trace::ReadOptions;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut jobs = pool::default_jobs();
-    let mut out_path = String::from("BENCH_parallel.json");
+    let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut metrics_every: Option<u64> = None;
+    let mut stages = false;
+    let mut iters = 5u32;
+    let mut warmup = 2u32;
+    let mut baseline_path = String::from("BENCH_parallel.json");
+    let mut gate_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -61,7 +83,40 @@ fn main() -> ExitCode {
                     eprintln!("error: --out needs a path");
                     return ExitCode::from(2);
                 };
-                out_path = p.clone();
+                out_path = Some(p.clone());
+            }
+            "--stages" => stages = true,
+            "--iters" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    eprintln!("error: --iters needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --iters needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                iters = n;
+            }
+            "--warmup" => {
+                let Some(n) = iter.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    eprintln!("error: --warmup needs a non-negative integer");
+                    return ExitCode::from(2);
+                };
+                warmup = n;
+            }
+            "--baseline" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("error: --baseline needs a BENCH_parallel.json path");
+                    return ExitCode::from(2);
+                };
+                baseline_path = p.clone();
+            }
+            "--gate" => {
+                let Some(p) = iter.next() else {
+                    eprintln!("error: --gate needs a BENCH_simd.json path");
+                    return ExitCode::from(2);
+                };
+                gate_path = Some(p.clone());
             }
             "--metrics-out" => {
                 let Some(p) = iter.next() else {
@@ -84,7 +139,9 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "usage: bench_throughput [--jobs N] [--out PATH] [--trace FILE.ctr] \
-                     [--metrics-out FILE [--metrics-every N]]"
+                     [--metrics-out FILE [--metrics-every N]]\n       \
+                     bench_throughput --stages [--iters N] [--warmup N] [--out PATH] \
+                     [--baseline FILE] [--gate FILE]"
                 );
                 eprintln!("error: unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -95,6 +152,19 @@ fn main() -> ExitCode {
         eprintln!("error: --metrics-every needs --metrics-out");
         return ExitCode::from(2);
     }
+    if stages {
+        if trace_path.is_some() || metrics_out.is_some() {
+            eprintln!("error: --stages cannot be combined with --trace or --metrics-out");
+            return ExitCode::from(2);
+        }
+        let out = out_path.unwrap_or_else(|| String::from("BENCH_simd.json"));
+        return run_stage_suite(&out, iters, warmup, &baseline_path, gate_path.as_deref());
+    }
+    if gate_path.is_some() {
+        eprintln!("error: --gate only applies to --stages runs");
+        return ExitCode::from(2);
+    }
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_parallel.json"));
     if metrics_out.is_some() {
         let every = metrics_every.unwrap_or(10_000);
         cnt_obs::install(every);
@@ -178,6 +248,8 @@ fn main() -> ExitCode {
             } else {
                 0.0
             },
+            iters: 1,
+            warmup: 1,
         };
         (record, accesses)
     };
@@ -235,6 +307,297 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("metrics: wrote {} snapshots to {path}", snapshots.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Gate tolerance: a fresh stage mean more than this fraction below the
+/// committed mean exits with [`GATE_EXIT`].
+const GATE_TOLERANCE: f64 = 0.20;
+
+/// Exit code for a perf-gate violation — distinct from hard failures so
+/// CI can downgrade it to a warning on noisy shared runners.
+const GATE_EXIT: u8 = 3;
+
+/// `splitmix64` step: cheap, deterministic, well-mixed test data.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one stage body `warmup` untimed plus `iters` timed iterations
+/// and summarises throughput. The body returns a checksum that must be
+/// identical every iteration — a changing checksum means the stage is
+/// not deterministic and the timing compares different work.
+fn time_stage(
+    name: &str,
+    unit: &str,
+    items_per_iter: u64,
+    iters: u32,
+    warmup: u32,
+    baseline: f64,
+    mut body: impl FnMut() -> u64,
+) -> StageRecord {
+    let mut checksum: Option<u64> = None;
+    let mut check = |c: u64| match checksum {
+        None => checksum = Some(c),
+        Some(prev) => assert_eq!(prev, c, "stage `{name}` must be deterministic"),
+    };
+    for _ in 0..warmup {
+        check(std::hint::black_box(body()));
+    }
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let c = std::hint::black_box(body());
+        let wall = start.elapsed().as_secs_f64();
+        check(c);
+        samples.push(if wall > 0.0 {
+            items_per_iter as f64 / wall
+        } else {
+            0.0
+        });
+    }
+    let per_second = IterStats::from_samples(&samples);
+    let speedup = if baseline > 0.0 {
+        per_second.mean / baseline
+    } else {
+        0.0
+    };
+    eprintln!(
+        "stage {name:<8} {:>12.0} {unit}/s mean  (stddev {:.0}, min {:.0})  {:.1}x baseline",
+        per_second.mean, per_second.stddev, per_second.min, speedup
+    );
+    StageRecord {
+        stage: name.to_string(),
+        items_per_iter,
+        unit: unit.to_string(),
+        iters,
+        warmup,
+        per_second,
+        speedup_vs_baseline: speedup,
+    }
+}
+
+/// The `--stages` mode: isolated single-thread hot-path timings.
+fn run_stage_suite(
+    out_path: &str,
+    iters: u32,
+    warmup: u32,
+    baseline_path: &str,
+    gate_path: Option<&str>,
+) -> ExitCode {
+    // All stages are single-thread measurements by definition.
+    pool::set_jobs(1);
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match serde_json::from_str::<BenchRecord>(&text) {
+            Ok(record) => record.sequential.accesses_per_second,
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot parse baseline `{baseline_path}` ({e}); \
+                     speedup_vs_baseline columns will read 0.0"
+                );
+                0.0
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "warning: cannot read baseline `{baseline_path}` ({e}); \
+                 speedup_vs_baseline columns will read 0.0"
+            );
+            0.0
+        }
+    };
+    eprintln!("baseline: {baseline:.0} accesses/s end-to-end sequential ({baseline_path})");
+    eprintln!("timing each stage: {warmup} warmup + {iters} measured iterations");
+
+    let workloads = cnt_workloads::suite();
+    let policies = [EncodingPolicy::None, EncodingPolicy::adaptive_default()];
+    let mut records = Vec::new();
+
+    // Stage 1 — popcount: the per-partition stored-weight kernel over
+    // deterministic 512-bit lines (8 partitions of one word each, the
+    // paper's D-Cache shape), exactly the split the predictor asks for.
+    {
+        const LINES: usize = 1 << 16;
+        const WORDS_PER_LINE: usize = 8;
+        let mut seed = 0xC17_CAC4Eu64;
+        let words: Vec<u64> = (0..LINES * WORDS_PER_LINE)
+            .map(|_| splitmix64(&mut seed))
+            .collect();
+        let mut counts = [0u32; WORDS_PER_LINE];
+        records.push(time_stage(
+            "popcount",
+            "lines",
+            LINES as u64,
+            iters,
+            warmup,
+            baseline,
+            || {
+                let mut sum = 0u64;
+                for line in words.chunks_exact(WORDS_PER_LINE) {
+                    popcount_word_partitions(line, 1, &mut counts);
+                    sum += counts.iter().map(|&c| u64::from(c)).sum::<u64>();
+                }
+                sum
+            },
+        ));
+    }
+
+    // Stage 2 — decode: `.ctr` chunk payloads for the whole suite,
+    // decoded into one reused struct-of-arrays batch per chunk.
+    {
+        const CHUNK_ACCESSES: usize = 4096;
+        let mut payloads: Vec<(Vec<u8>, u32)> = Vec::new();
+        let mut total_records = 0u64;
+        for workload in &workloads {
+            for chunk in workload
+                .trace
+                .iter()
+                .collect::<Vec<_>>()
+                .chunks(CHUNK_ACCESSES)
+            {
+                let mut payload = Vec::new();
+                for access in chunk {
+                    encode_access(access, &mut payload);
+                }
+                payloads.push((payload, chunk.len() as u32));
+                total_records += chunk.len() as u64;
+            }
+        }
+        let mut batch = AccessBatch::with_capacity(CHUNK_ACCESSES);
+        records.push(time_stage(
+            "decode",
+            "records",
+            total_records,
+            iters,
+            warmup,
+            baseline,
+            || {
+                let mut sum = 0u64;
+                for (payload, count) in &payloads {
+                    decode_payload_into(payload, *count, 0, &mut batch)
+                        .expect("suite payloads are well-formed");
+                    sum = sum
+                        .wrapping_add(batch.len() as u64)
+                        .wrapping_add(batch.addrs().last().copied().unwrap_or(0));
+                }
+                sum
+            },
+        ));
+    }
+
+    // Stage 3 — decision: Algorithm 1 direction decisions (batched
+    // stored popcount + threshold-table consult) over deterministic
+    // lines, directions, and window summaries.
+    {
+        const LINES: usize = 1 << 14;
+        const WORDS_PER_LINE: usize = 8;
+        let config = PredictorConfig::paper_default();
+        let predictor = DirectionPredictor::new(&BitEnergies::cnfet_default(), config)
+            .expect("paper-default predictor is valid");
+        let mut seed = 0xD1C1_510Au64;
+        let lines: Vec<u64> = (0..LINES * WORDS_PER_LINE)
+            .map(|_| splitmix64(&mut seed))
+            .collect();
+        let dirs: Vec<DirectionBits> = (0..LINES)
+            .map(|_| DirectionBits::from_mask(splitmix64(&mut seed) & 0xFF, config.partitions))
+            .collect();
+        records.push(time_stage(
+            "decision",
+            "decisions",
+            LINES as u64,
+            iters,
+            warmup,
+            baseline,
+            || {
+                let mut sum = 0u64;
+                for (i, line) in lines.chunks_exact(WORDS_PER_LINE).enumerate() {
+                    let summary = WindowSummary {
+                        wr_num: (i % (config.window as usize + 1)) as u32,
+                    };
+                    let decision = predictor.decide(summary, line, &dirs[i]);
+                    sum = sum.wrapping_add(decision.flips).wrapping_add(1);
+                }
+                sum
+            },
+        ));
+    }
+
+    // Stage 4 — replay: the honest end-to-end number. The full
+    // (workload x policy) matrix through the batched columnar loop,
+    // single thread; compare against `baseline` to see what the batch
+    // path buys end-to-end (metering dominates, so expect ~1x here —
+    // the kernel stages above are where the 5x+ lives).
+    {
+        let batches: Vec<AccessBatch> = workloads
+            .iter()
+            .map(|w| AccessBatch::from_trace(&w.trace))
+            .collect();
+        let accesses: u64 =
+            batches.iter().map(|b| b.len() as u64).sum::<u64>() * policies.len() as u64;
+        records.push(time_stage(
+            "replay",
+            "accesses",
+            accesses,
+            iters,
+            warmup,
+            baseline,
+            || {
+                let mut sum = 0u64;
+                for batch in &batches {
+                    for &policy in &policies {
+                        let report = run_dcache_batch(policy, batch);
+                        sum = sum.wrapping_add(report.stats.accesses());
+                    }
+                }
+                sum
+            },
+        ));
+    }
+
+    let record = SimdBenchRecord {
+        cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        baseline_accesses_per_second: baseline,
+        stages: records,
+    };
+    println!(
+        "best stage speedup: {:.1}x over the end-to-end baseline",
+        record.best_speedup()
+    );
+    let json = serde_json::to_string_pretty(&record).expect("record serialises");
+    if let Err(e) = std::fs::write(out_path, json + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    if let Some(path) = gate_path {
+        let committed: SimdBenchRecord = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(committed) => committed,
+            Err(e) => {
+                eprintln!("error: cannot load gate record `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = committed.regressions_in(&record, GATE_TOLERANCE);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("perf-gate: {v}");
+            }
+            return ExitCode::from(GATE_EXIT);
+        }
+        println!(
+            "perf-gate: all {} committed stages within {:.0}% of their means",
+            committed.stages.len(),
+            GATE_TOLERANCE * 100.0
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,23 +1,94 @@
-//! Validates a JSONL metrics stream produced by `--metrics-out`.
+//! Validates benchmark artefacts: JSONL metrics streams produced by
+//! `--metrics-out` and the committed `BENCH_*.json` records.
 //!
 //! Usage:
 //!
 //! ```text
-//! metrics_lint metrics.jsonl [...]
+//! metrics_lint <metrics.jsonl | BENCH_record.json> [...]
 //! ```
 //!
-//! Every line must parse as a `cnt_obs::Snapshot` with at least one
-//! cache level, and within each experiment stream the epochs must count
-//! up from zero with non-decreasing access totals. Exits non-zero on the
-//! first violation, naming the offending line. CI runs this over the
-//! stream emitted by the metrics smoke job.
+//! Files ending in `.json` are linted as single benchmark records —
+//! either the sequential-vs-parallel `BenchRecord` shape (old records
+//! without the `iters`/`warmup` iteration fields still parse) or the
+//! `--stages` `SimdBenchRecord` shape, with every throughput figure
+//! required to be finite and non-negative. Anything else is linted as a
+//! snapshot stream: every line must parse as a `cnt_obs::Snapshot` with
+//! at least one cache level, and within each experiment stream the
+//! epochs must count up from zero with non-decreasing access totals.
+//! Exits non-zero on the first violation, naming the offending file.
+//! CI runs this over the metrics smoke stream and the committed bench
+//! records.
 
 use std::process::ExitCode;
+
+use cnt_bench::{BenchRecord, SimdBenchRecord, StageRecord};
+
+fn check_rate(what: &str, rate: f64) -> Result<(), String> {
+    if !rate.is_finite() || rate < 0.0 {
+        return Err(format!(
+            "{what}: throughput {rate} is not a finite non-negative number"
+        ));
+    }
+    Ok(())
+}
+
+fn lint_stage(stage: &StageRecord) -> Result<(), String> {
+    let name = &stage.stage;
+    if stage.iters == 0 {
+        return Err(format!("stage `{name}`: zero measured iterations"));
+    }
+    check_rate(&format!("stage `{name}` mean"), stage.per_second.mean)?;
+    check_rate(&format!("stage `{name}` stddev"), stage.per_second.stddev)?;
+    check_rate(&format!("stage `{name}` min"), stage.per_second.min)?;
+    if stage.per_second.min > stage.per_second.mean {
+        return Err(format!(
+            "stage `{name}`: min {} exceeds mean {}",
+            stage.per_second.min, stage.per_second.mean
+        ));
+    }
+    Ok(())
+}
+
+/// Lints one `BENCH_*.json` record of either shape.
+fn lint_bench_record(text: &str) -> Result<String, String> {
+    if let Ok(record) = serde_json::from_str::<SimdBenchRecord>(text) {
+        if record.stages.is_empty() {
+            return Err("stage record with no stages".into());
+        }
+        for stage in &record.stages {
+            lint_stage(stage)?;
+        }
+        return Ok(format!(
+            "ok — {} stages, best {:.1}x over baseline",
+            record.stages.len(),
+            record.best_speedup()
+        ));
+    }
+    match serde_json::from_str::<BenchRecord>(text) {
+        Ok(record) => {
+            check_rate("sequential pass", record.sequential.accesses_per_second)?;
+            check_rate("parallel pass", record.parallel.accesses_per_second)?;
+            if record.sequential.jobs != 1 {
+                return Err(format!(
+                    "sequential pass ran with --jobs {}",
+                    record.sequential.jobs
+                ));
+            }
+            Ok(format!(
+                "ok — {} accesses/pass, {:.2}x speedup on {} core(s)",
+                record.accesses_per_pass,
+                record.speedup(),
+                record.cores
+            ))
+        }
+        Err(e) => Err(format!("not a recognised bench record: {e}")),
+    }
+}
 
 fn main() -> ExitCode {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() || paths.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: metrics_lint <metrics.jsonl>...");
+        eprintln!("usage: metrics_lint <metrics.jsonl | BENCH_record.json>...");
         return ExitCode::from(2);
     }
 
@@ -34,6 +105,16 @@ fn main() -> ExitCode {
         if text.is_empty() {
             eprintln!("{path}: empty metrics stream");
             failed = true;
+            continue;
+        }
+        if path.ends_with(".json") {
+            match lint_bench_record(&text) {
+                Ok(summary) => println!("{path}: {summary}"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    failed = true;
+                }
+            }
             continue;
         }
         match cnt_obs::validate_jsonl(&text) {

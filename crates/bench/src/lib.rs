@@ -20,4 +20,4 @@ pub mod record;
 pub mod runner;
 pub mod stream;
 
-pub use record::{BenchRecord, PassRecord};
+pub use record::{BenchRecord, IterStats, PassRecord, SimdBenchRecord, StageRecord};

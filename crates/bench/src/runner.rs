@@ -2,7 +2,7 @@
 
 use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy, EnergyReport};
 use cnt_energy::SramEnergyModel;
-use cnt_sim::trace::Trace;
+use cnt_sim::trace::{AccessBatch, Trace};
 use cnt_sim::ReplacementKind;
 use cnt_workloads::Workload;
 
@@ -47,6 +47,26 @@ pub fn run_trace(config: CntCacheConfig, trace: &Trace) -> EnergyReport {
 /// Runs a trace under the paper's D-Cache geometry with the given policy.
 pub fn run_dcache(policy: EncodingPolicy, trace: &Trace) -> EnergyReport {
     run_trace(dcache_config("L1D", policy), trace)
+}
+
+/// Batched counterpart of [`run_trace`]: replays a prebuilt
+/// struct-of-arrays [`AccessBatch`] through the columnar hot loop
+/// ([`cnt_obs::replay_batch`]). Produces a report identical to
+/// [`run_trace`] over the same records — only the loop shape differs.
+///
+/// # Panics
+///
+/// As [`run_trace`].
+pub fn run_trace_batch(config: CntCacheConfig, batch: &AccessBatch) -> EnergyReport {
+    let mut cache = CntCache::new(config).expect("experiment configuration must be valid");
+    cnt_obs::replay_batch(&mut cache, batch).expect("experiment traces are well-formed");
+    cache.flush();
+    cache.into_report()
+}
+
+/// Runs a prebuilt batch under the paper's D-Cache geometry.
+pub fn run_dcache_batch(policy: EncodingPolicy, batch: &AccessBatch) -> EnergyReport {
+    run_trace_batch(dcache_config("L1D", policy), batch)
 }
 
 /// Runs a trace under the D-Cache geometry with a specific energy model.
@@ -138,6 +158,17 @@ mod tests {
         let r = run_dcache(EncodingPolicy::None, &w.trace);
         assert_eq!(r.stats.accesses() as usize, w.trace.len());
         assert!(r.total().femtojoules() > 0.0);
+    }
+
+    #[test]
+    fn batched_replay_matches_iterator_replay() {
+        let w = kernels::histogram(256, 16, 1);
+        let batch = AccessBatch::from_trace(&w.trace);
+        for policy in [EncodingPolicy::None, EncodingPolicy::adaptive_default()] {
+            let a = run_dcache(policy, &w.trace);
+            let b = run_dcache_batch(policy, &batch);
+            assert_eq!(a, b, "batched and iterator replays must agree exactly");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::path::Path;
 
 use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy, EnergyReport};
 use cnt_obs::{IngestSnapshot, Snapshot};
+use cnt_sim::trace::AccessBatch;
 use cnt_sim::AccessError;
 use cnt_trace::reader::Fetch;
 use cnt_trace::{CorruptionPolicy, RawChunk, ReadOptions, StreamReader, TraceError};
@@ -165,13 +166,17 @@ pub fn replay_stream<R: Read>(
             break;
         }
 
-        // Decode the whole window on the worker pool; results come back
-        // in input order, so consumption order equals file order.
-        let decoded = pool::par_map(&window, RawChunk::decode);
+        // Decode the whole window on the worker pool into struct-of-arrays
+        // batches; results come back in input order, so consumption order
+        // equals file order.
+        let decoded = pool::par_map(&window, |raw| {
+            let mut batch = AccessBatch::with_capacity(raw.access_count as usize);
+            raw.decode_batch(&mut batch).map(|()| batch)
+        });
 
         for (position, (raw, result)) in window.iter().zip(decoded).enumerate() {
-            let chunk_accesses = match result {
-                Ok(chunk_accesses) => chunk_accesses,
+            let batch = match result {
+                Ok(batch) => batch,
                 Err(e) => {
                     driver.decode_failures += 1;
                     match corruption {
@@ -183,19 +188,28 @@ pub fn replay_stream<R: Read>(
                     }
                 }
             };
-            for access in &chunk_accesses {
-                cache.access(access)?;
-                accesses += 1;
-                if let (Some(every), Some(experiment)) = (every, experiment.as_deref()) {
-                    if accesses.is_multiple_of(every) {
-                        // Chunks after `position` (and the remainder of
-                        // this one) are buffered but unconsumed.
-                        let buffered = (window.len() - position) as u64;
-                        let mut snapshot = Snapshot::capture(cache, experiment, epoch, accesses);
-                        snapshot.ingest = Some(sample_ingest(reader.stats(), &driver, buffered));
-                        deltas.apply(&mut snapshot);
-                        cnt_obs::record(snapshot);
-                        epoch += 1;
+            if every.is_none() {
+                // Untraced replay: stream the whole batch through the
+                // columnar loop with no per-record epoch bookkeeping.
+                cache.run_batch(&batch)?;
+                accesses += batch.len() as u64;
+            } else {
+                for i in 0..batch.len() {
+                    cache.access(&batch.get(i))?;
+                    accesses += 1;
+                    if let (Some(every), Some(experiment)) = (every, experiment.as_deref()) {
+                        if accesses.is_multiple_of(every) {
+                            // Chunks after `position` (and the remainder of
+                            // this one) are buffered but unconsumed.
+                            let buffered = (window.len() - position) as u64;
+                            let mut snapshot =
+                                Snapshot::capture(cache, experiment, epoch, accesses);
+                            snapshot.ingest =
+                                Some(sample_ingest(reader.stats(), &driver, buffered));
+                            deltas.apply(&mut snapshot);
+                            cnt_obs::record(snapshot);
+                            epoch += 1;
+                        }
                     }
                 }
             }

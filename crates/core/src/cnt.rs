@@ -18,7 +18,7 @@ use cnt_encoding::{
     UpdateFifo,
 };
 use cnt_energy::{ChargeKind, EnergyMeter};
-use cnt_sim::trace::{AccessKind, MemoryAccess};
+use cnt_sim::trace::{AccessBatch, AccessKind, MemoryAccess};
 use cnt_sim::{
     AccessError, AccessOutcome, Address, ArrayObserver, Backing, Cache, CacheLevel, CacheLine,
     CacheStats, LineLocation, MainMemory,
@@ -427,6 +427,60 @@ impl CntCache {
         if !n.is_multiple_of(every) || n == 0 {
             // Trailing partial epoch (or an empty replay): emit the final
             // state so the last accesses are never silently discarded.
+            epoch_hook(self, epoch, n);
+        }
+        Ok(n as usize)
+    }
+
+    /// Runs every access of a struct-of-arrays batch, returning how many
+    /// were performed. Semantically identical to [`run`](Self::run) over
+    /// the same records, but the loop streams through the batch's columns
+    /// — no per-record struct decode, kind match, or pointer chase.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`AccessError`].
+    pub fn run_batch(&mut self, batch: &AccessBatch) -> Result<usize, AccessError> {
+        for i in 0..batch.len() {
+            self.demand(batch.addr(i), batch.width(i), batch.write_value(i))?;
+        }
+        Ok(batch.len())
+    }
+
+    /// [`run_batch`](Self::run_batch) with the epoch hook of
+    /// [`run_observed`](Self::run_observed): `epoch_hook(&self, epoch,
+    /// accesses_so_far)` fires every `every` accesses plus once for a
+    /// trailing partial (or empty) epoch, so observed batched replays
+    /// emit exactly the snapshots of their record-at-a-time equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first [`AccessError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_batch_observed<F>(
+        &mut self,
+        batch: &AccessBatch,
+        every: u64,
+        mut epoch_hook: F,
+    ) -> Result<usize, AccessError>
+    where
+        F: FnMut(&Self, u64, u64),
+    {
+        assert!(every > 0, "epoch length must be positive");
+        let mut n: u64 = 0;
+        let mut epoch: u64 = 0;
+        for i in 0..batch.len() {
+            self.demand(batch.addr(i), batch.width(i), batch.write_value(i))?;
+            n += 1;
+            if n.is_multiple_of(every) {
+                epoch_hook(self, epoch, n);
+                epoch += 1;
+            }
+        }
+        if !n.is_multiple_of(every) || n == 0 {
             epoch_hook(self, epoch, n);
         }
         Ok(n as usize)
@@ -882,16 +936,35 @@ impl CntCache {
         let state = &mut self.states[idx];
         state.dirs.apply_flips(flips);
         state.history.reset();
-        let partition_bits = self.codec.layout().partition_bits();
-        // Only flipped partitions are charged, so only those need their
-        // popcount — computed per partition to keep this path free of
-        // per-update heap allocation.
-        for p in 0..self.codec.layout().partitions() {
+        let layout = *self.codec.layout();
+        let partition_bits = layout.partition_bits();
+        // Raw (pre-direction) popcounts of the flipped partitions, on the
+        // stack so this path stays free of per-update heap allocation.
+        // A multi-flip update re-counts the whole line in one unrolled
+        // u64×4 pass; a single flip counts just its own range.
+        let mut raw_counts = [0u32; cnt_encoding::MAX_PARTITIONS];
+        let partitions = layout.partitions();
+        if flips.count_ones() > 1 && partition_bits.is_multiple_of(64) {
+            cnt_encoding::popcount::popcount_word_partitions(
+                line.as_words(),
+                (partition_bits / 64) as usize,
+                &mut raw_counts[..partitions as usize],
+            );
+        } else {
+            for p in 0..partitions {
+                if flips >> p & 1 == 1 {
+                    let (start, len) = layout.range(p);
+                    raw_counts[p as usize] =
+                        cnt_encoding::popcount::popcount_range(line.as_words(), start, len);
+                }
+            }
+        }
+        // Only flipped partitions are charged.
+        for p in 0..partitions {
             if flips >> p & 1 == 1 {
-                let (start, len) = self.codec.layout().range(p);
-                let raw = cnt_encoding::popcount::popcount_range(line.as_words(), start, len);
+                let raw = raw_counts[p as usize];
                 let ones = if state.dirs.is_inverted(p) {
-                    len - raw
+                    partition_bits - raw
                 } else {
                     raw
                 };

@@ -9,7 +9,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::direction::{DirectionBits, EncodingDirection};
 use crate::error::EncodingError;
-use crate::popcount::{popcount_range, range_mask_in_word};
+use crate::popcount::{
+    popcount_range, popcount_range_masked, popcount_word_partitions, range_mask_in_word,
+};
+
+/// Maximum partitions per line (the direction mask is one `u64`), sizing
+/// the stack buffers of the batched per-partition popcount paths.
+pub const MAX_PARTITIONS: usize = 64;
 
 /// Which stored bit value the current access pattern prefers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -266,14 +272,10 @@ impl LineCodec {
     ///
     /// Panics if lengths or partition counts mismatch.
     pub fn stored_popcount(&self, logical: &[u64], dirs: &DirectionBits) -> u32 {
-        self.check_len(logical);
-        let mut ones = 0;
-        for p in 0..self.layout.partitions {
-            let (start, len) = self.layout.range(p);
-            let raw = popcount_range(logical, start, len);
-            ones += if dirs.is_inverted(p) { len - raw } else { raw };
-        }
-        ones
+        let mut counts = [0u32; MAX_PARTITIONS];
+        let n = self.layout.partitions as usize;
+        self.stored_partition_popcounts_into(logical, dirs, &mut counts[..n]);
+        counts[..n].iter().sum()
     }
 
     /// Per-partition popcounts of the *stored* form.
@@ -282,33 +284,74 @@ impl LineCodec {
     ///
     /// Panics if lengths or partition counts mismatch.
     pub fn stored_partition_popcounts(&self, logical: &[u64], dirs: &DirectionBits) -> Vec<u32> {
-        self.stored_partition_popcounts_iter(logical, dirs)
-            .collect()
+        let mut out = vec![0u32; self.layout.partitions as usize];
+        self.stored_partition_popcounts_into(logical, dirs, &mut out);
+        out
     }
 
-    /// Lazy form of
+    /// Batched form of
     /// [`stored_partition_popcounts`](Self::stored_partition_popcounts):
-    /// yields the per-partition popcounts without allocating, for the
-    /// per-window demand path.
+    /// fills `out[p]` with the stored popcount of partition `p` in one
+    /// streaming pass over the line (unrolled u64×4 for word-aligned
+    /// partitions) instead of one range walk per partition. Sub-word
+    /// partitions take the masked scalar reference path.
+    ///
+    /// This is the per-window demand-path kernel: callers keep a
+    /// `[u32; MAX_PARTITIONS]` on the stack, so no allocation happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or partition counts mismatch, or if `out` does
+    /// not hold exactly one slot per partition.
+    pub fn stored_partition_popcounts_into(
+        &self,
+        logical: &[u64],
+        dirs: &DirectionBits,
+        out: &mut [u32],
+    ) {
+        self.check_len(logical);
+        assert_eq!(
+            dirs.partitions(),
+            self.layout.partitions,
+            "direction bits mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.layout.partitions as usize,
+            "need one output slot per partition"
+        );
+        let pb = self.layout.partition_bits();
+        if pb.is_multiple_of(64) {
+            popcount_word_partitions(logical, (pb / 64) as usize, out);
+        } else {
+            for (p, count) in out.iter_mut().enumerate() {
+                let (start, len) = self.layout.range(p as u32);
+                *count = popcount_range_masked(logical, start, len);
+            }
+        }
+        for (p, count) in out.iter_mut().enumerate() {
+            if dirs.is_inverted(p as u32) {
+                *count = pb - *count;
+            }
+        }
+    }
+
+    /// Iterator form of the batched per-partition popcounts: computes all
+    /// counts up front into a stack buffer (no allocation), then yields
+    /// them in partition order.
     ///
     /// # Panics
     ///
     /// Panics if lengths or partition counts mismatch.
-    pub fn stored_partition_popcounts_iter<'a>(
-        &'a self,
-        logical: &'a [u64],
-        dirs: &'a DirectionBits,
-    ) -> impl Iterator<Item = u32> + 'a {
-        self.check_len(logical);
-        (0..self.layout.partitions).map(move |p| {
-            let (start, len) = self.layout.range(p);
-            let raw = popcount_range(logical, start, len);
-            if dirs.is_inverted(p) {
-                len - raw
-            } else {
-                raw
-            }
-        })
+    pub fn stored_partition_popcounts_iter(
+        &self,
+        logical: &[u64],
+        dirs: &DirectionBits,
+    ) -> impl Iterator<Item = u32> {
+        let mut counts = [0u32; MAX_PARTITIONS];
+        let n = self.layout.partitions as usize;
+        self.stored_partition_popcounts_into(logical, dirs, &mut counts[..n]);
+        counts.into_iter().take(n)
     }
 
     /// Metadata overhead of this codec per line: one direction bit per

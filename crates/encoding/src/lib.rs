@@ -60,7 +60,7 @@ mod predictor;
 mod protect;
 mod threshold;
 
-pub use codec::{BitPreference, LineCodec, PartitionLayout};
+pub use codec::{BitPreference, LineCodec, PartitionLayout, MAX_PARTITIONS};
 pub use direction::{DirectionBits, EncodingDirection};
 pub use error::EncodingError;
 pub use fifo::{FifoStats, OverflowPolicy, UpdateFifo};

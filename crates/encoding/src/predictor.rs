@@ -191,12 +191,19 @@ impl DirectionPredictor {
         current_directions: &DirectionBits,
     ) -> Decision {
         let pattern = self.table.pattern(summary.wr_num);
-        let stored_counts = self
-            .codec
-            .stored_partition_popcounts_iter(logical_line, current_directions);
+        // Batched popcount: all partitions counted in one streaming pass
+        // over the line into a stack buffer, then the threshold table is
+        // consulted per partition — no per-partition range walks.
+        let mut stored_counts = [0u32; crate::codec::MAX_PARTITIONS];
+        let partitions = self.config.partitions as usize;
+        self.codec.stored_partition_popcounts_into(
+            logical_line,
+            current_directions,
+            &mut stored_counts[..partitions],
+        );
         let mut flips = 0u64;
         let mut saving = 0.0;
-        for (p, n1) in stored_counts.enumerate() {
+        for (p, &n1) in stored_counts[..partitions].iter().enumerate() {
             if self.table.should_flip(summary.wr_num, n1) {
                 flips |= 1 << p;
                 saving += self.table.flip_benefit(&self.bits, summary.wr_num, n1);

@@ -1,6 +1,9 @@
 //! Property-based tests for the encoding contribution.
 
-use cnt_encoding::popcount::{invert_range, popcount_range, popcount_range_masked, popcount_words};
+use cnt_encoding::popcount::{
+    invert_range, popcount_range, popcount_range_masked, popcount_word_partitions, popcount_words,
+    popcount_words_x4,
+};
 use cnt_encoding::{
     AccessHistory, BitPreference, DirectionBits, DirectionPredictor, LineCodec, PartitionLayout,
     PredictorConfig, ThresholdTable,
@@ -111,6 +114,62 @@ proptest! {
             popcount_range(&words, wstart, wlen),
             popcount_range_masked(&words, wstart, wlen)
         );
+    }
+
+    /// The unrolled u64x4 kernel agrees with the masked scalar oracle on
+    /// every whole-buffer count, whatever the buffer length (covering
+    /// all four chunks_exact remainder classes).
+    #[test]
+    fn x4_kernel_matches_masked_oracle(words in prop::collection::vec(any::<u64>(), 0..23)) {
+        let expected = if words.is_empty() {
+            0
+        } else {
+            popcount_range_masked(&words, 0, words.len() as u32 * 64)
+        };
+        prop_assert_eq!(popcount_words_x4(&words), expected);
+        prop_assert_eq!(popcount_words(&words), expected);
+    }
+
+    /// The batched partition re-popcount agrees with per-partition
+    /// masked counts for every word-multiple split.
+    #[test]
+    fn word_partition_kernel_matches_masked_oracle(
+        words in prop::collection::vec(any::<u64>(), 1..17),
+        partitions in prop::sample::select(vec![1usize, 2, 4, 8, 16]),
+    ) {
+        prop_assume!(words.len() % partitions == 0);
+        let wpp = words.len() / partitions;
+        let mut batched = vec![0u32; partitions];
+        popcount_word_partitions(&words, wpp, &mut batched);
+        for (p, &count) in batched.iter().enumerate() {
+            let start = (p * wpp) as u32 * 64;
+            let len = wpp as u32 * 64;
+            prop_assert_eq!(count, popcount_range_masked(&words, start, len));
+        }
+    }
+
+    /// The codec's batched stored-popcount path (word-aligned partitions
+    /// take the x4 kernel, ragged ones the masked oracle) agrees with
+    /// masked per-partition counts under every direction assignment —
+    /// including non-word-aligned partition widths like 512/32 = 16 bits.
+    #[test]
+    fn stored_partition_counts_match_masked_oracle(
+        line in arb_line(),
+        partitions in arb_partitions(),
+        mask in any::<u64>(),
+    ) {
+        let layout = PartitionLayout::new(512, partitions).expect("valid");
+        let codec = LineCodec::new(layout);
+        let mask = if partitions == 64 { mask } else { mask & ((1 << partitions) - 1) };
+        let dirs = DirectionBits::from_mask(mask, partitions);
+        let stored = codec.apply(&line, &dirs);
+        let counts: Vec<u32> = codec.stored_partition_popcounts_iter(&line, &dirs).collect();
+        prop_assert_eq!(counts.len(), partitions as usize);
+        let bits_per = 512 / partitions;
+        for (p, &count) in counts.iter().enumerate() {
+            let start = p as u32 * bits_per;
+            prop_assert_eq!(count, popcount_range_masked(&stored, start, bits_per));
+        }
     }
 
     /// The threshold table's decision always matches the sign of the exact

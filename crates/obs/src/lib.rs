@@ -37,6 +37,6 @@ pub use scope::{
 };
 pub use sink::{drain, epoch_len, install, is_enabled, record, registry, to_jsonl};
 pub use snapshot::{
-    replay, replay_hierarchy, replay_into, validate_jsonl, DeltaTracker, FifoSnapshot,
-    IngestSnapshot, JsonlSummary, LevelSnapshot, Snapshot,
+    replay, replay_batch, replay_hierarchy, replay_into, validate_jsonl, DeltaTracker,
+    FifoSnapshot, IngestSnapshot, JsonlSummary, LevelSnapshot, Snapshot,
 };

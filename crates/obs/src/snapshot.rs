@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use cnt_cache::{CntCache, CntHierarchy, EncodingCounters, ReliabilityCounters};
 use cnt_encoding::FifoStats;
 use cnt_energy::EnergyBreakdown;
-use cnt_sim::trace::Trace;
+use cnt_sim::trace::{AccessBatch, Trace};
 use cnt_sim::{AccessError, CacheStats};
 
 use crate::{scope, sink};
@@ -227,6 +227,32 @@ pub fn replay(cache: &mut CntCache, trace: &Trace) -> Result<usize, AccessError>
     sink::registry().counter("obs.replays_observed").inc();
     let mut deltas = DeltaTracker::new();
     cache.run_observed(trace.iter(), every, |cache, epoch, accesses| {
+        let mut snapshot = Snapshot::capture(cache, &experiment, epoch, accesses);
+        deltas.apply(&mut snapshot);
+        sink::record(snapshot);
+    })
+}
+
+/// Batched counterpart of [`replay`]: streams a struct-of-arrays
+/// [`AccessBatch`] through `cache`, emitting one snapshot per epoch to
+/// the global sink when tracing is enabled.
+///
+/// When the sink is disabled this delegates straight to the columnar
+/// [`CntCache::run_batch`] loop — the SIMD-friendly hot path of the
+/// throughput benchmark. The snapshot stream under an installed sink is
+/// byte-identical to [`replay`] over the same records.
+///
+/// # Errors
+///
+/// Propagates [`AccessError`] from the underlying replay.
+pub fn replay_batch(cache: &mut CntCache, batch: &AccessBatch) -> Result<usize, AccessError> {
+    let Some(every) = sink::epoch_len() else {
+        return cache.run_batch(batch);
+    };
+    let experiment = scope::next_replay_path();
+    sink::registry().counter("obs.replays_observed").inc();
+    let mut deltas = DeltaTracker::new();
+    cache.run_batch_observed(batch, every, |cache, epoch, accesses| {
         let mut snapshot = Snapshot::capture(cache, &experiment, epoch, accesses);
         deltas.apply(&mut snapshot);
         sink::record(snapshot);

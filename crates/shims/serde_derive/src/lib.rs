@@ -8,17 +8,30 @@
 //! * single-field tuple structs (serialized as the inner value, i.e. the
 //!   serde newtype/`#[serde(transparent)]` representation),
 //! * enums whose variants are units or carry named fields (externally
-//!   tagged, serde's default).
+//!   tagged, serde's default),
+//! * `#[serde(default)]` and `#[serde(default = "path")]` on named
+//!   fields — a missing key deserializes to `Default::default()` or
+//!   `path()` instead of erroring, so on-disk records can grow fields
+//!   without invalidating old files. Serialization always writes every
+//!   field, matching real serde.
 //!
-//! Generics, tuple variants, and field attributes are rejected with a
-//! `compile_error!` instead of silently mis-serializing.
+//! Generics, tuple variants, and other field attributes are ignored or
+//! rejected rather than silently mis-serializing.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field and its `#[serde(default …)]` marker, if any.
+struct Field {
+    name: String,
+    /// `None` — required field. `Some(None)` — `#[serde(default)]`.
+    /// `Some(Some(path))` — `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
 
 /// The parsed shape of the deriving item.
 enum Item {
     /// `struct Name { f1: T1, … }`
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// `struct Name(T);` — serialized transparently as the inner value.
     Newtype { name: String },
     /// `enum Name { Unit, Newtype(T), Struct { f: T }, … }`
@@ -34,7 +47,7 @@ enum Variant {
     /// Single-field tuple variant, externally tagged as `{"Name": value}`.
     Newtype,
     /// Named-field variant, externally tagged as `{"Name": {fields…}}`.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -131,15 +144,85 @@ fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
     }
 }
 
+/// Inspects the attributes preceding a field for a `#[serde(default)]`
+/// or `#[serde(default = "path")]` marker while advancing past them and
+/// any visibility tokens — the collecting counterpart of
+/// [`skip_attrs_and_vis`].
+fn parse_field_attrs(
+    tokens: &[TokenTree],
+    i: &mut usize,
+) -> Result<Option<Option<String>>, String> {
+    let mut default = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+                    if let Some(found) = parse_serde_default(attr.stream())? {
+                        default = Some(found);
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(default),
+        }
+    }
+}
+
+/// Extracts the `default` marker from one attribute's token stream
+/// (`serde (…)` for a `#[serde(…)]` attribute; anything else yields
+/// `None`). Inside the parens, `default` and `default = "path"` are
+/// recognised; other serde arguments are ignored.
+fn parse_serde_default(stream: TokenStream) -> Result<Option<Option<String>>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if matches!(&inner[j], TokenTree::Ident(id) if id.to_string() == "default") {
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(j + 1), inner.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let text = lit.to_string();
+                            let path = text.trim_matches('"').to_string();
+                            if path.is_empty() || path == text {
+                                return Err(format!(
+                                    "serde shim derive: `default = {text}` needs a \
+                                     quoted function path"
+                                ));
+                            }
+                            return Ok(Some(Some(path)));
+                        }
+                    }
+                    return Ok(Some(None));
+                }
+                j += 1;
+            }
+            Ok(None)
+        }
+        _ => Ok(None),
+    }
+}
+
 /// Parses `f1: T1, f2: T2, …` (with attributes and visibility) into the
-/// ordered field-name list. Types are skipped with angle-bracket tracking
+/// ordered field list. Types are skipped with angle-bracket tracking
 /// so `HashMap<u64, Box<[u64; 8]>>` does not split on its inner comma.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = parse_field_attrs(&tokens, &mut i)?;
         let Some(name) = ident_at(&tokens, i) else {
             if i >= tokens.len() {
                 return Ok(fields);
@@ -171,7 +254,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         if i < tokens.len() {
             i += 1; // consume the comma
         }
@@ -245,9 +328,10 @@ fn top_level_comma_groups(stream: TokenStream) -> usize {
 // Code generation
 // ---------------------------------------------------------------------------
 
-fn map_entries(fields: &[String], access: &str) -> String {
+fn map_entries(fields: &[Field], access: &str) -> String {
     let mut out = String::from("::std::vec![");
-    for f in fields {
+    for field in fields {
+        let f = &field.name;
         out.push_str(&format!(
             "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({access}{f})),"
         ));
@@ -256,12 +340,29 @@ fn map_entries(fields: &[String], access: &str) -> String {
     out
 }
 
-fn struct_builder(ty_path: &str, ty_label: &str, fields: &[String], source: &str) -> String {
+fn struct_builder(ty_path: &str, ty_label: &str, fields: &[Field], source: &str) -> String {
     let mut out = format!("{ty_path} {{");
-    for f in fields {
-        out.push_str(&format!(
-            "{f}: ::serde::Deserialize::from_value(::serde::struct_field({source}, {f:?}, {ty_label:?})?)?,"
-        ));
+    for field in fields {
+        let f = &field.name;
+        match &field.default {
+            // Required field: a missing key is an error naming the type.
+            None => out.push_str(&format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::struct_field({source}, {f:?}, {ty_label:?})?)?,"
+            )),
+            // Defaulted field: a missing key falls back instead.
+            Some(fallback) => {
+                let fallback = match fallback {
+                    None => String::from("::std::default::Default::default()"),
+                    Some(path) => format!("{path}()"),
+                };
+                out.push_str(&format!(
+                    "{f}: match ::serde::Value::get({source}, {f:?}) {{\
+                        ::std::option::Option::Some(found) => ::serde::Deserialize::from_value(found)?,\
+                        ::std::option::Option::None => {fallback},\
+                    }},"
+                ));
+            }
+        }
     }
     out.push('}');
     out
@@ -297,7 +398,11 @@ fn gen_serialize(item: &Item) -> String {
                         ]),"
                     )),
                     Variant::Struct(fields) => {
-                        let bindings = fields.join(", ");
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         arms.push_str(&format!(
                             "{name}::{variant} {{ {bindings} }} => ::serde::Value::Map(::std::vec![\
                                 (::std::string::String::from({variant:?}), ::serde::Value::Map({entries})),\

@@ -321,6 +321,186 @@ impl FromStr for Trace {
     }
 }
 
+/// A struct-of-arrays batch of accesses: kinds, addresses, widths, and
+/// write values live in separate contiguous buffers.
+///
+/// The replay hot path streams through these columns without the
+/// pointer-chasing and per-record padding of a `Vec<MemoryAccess>`;
+/// trace decoders append into a reused batch without allocating per
+/// record. Values are dense (reads hold `0`), so every column is indexed
+/// by the same record number.
+///
+/// # Example
+///
+/// ```
+/// use cnt_sim::trace::{AccessBatch, MemoryAccess};
+/// use cnt_sim::Address;
+///
+/// let mut batch = AccessBatch::new();
+/// batch.push(MemoryAccess::write(Address::new(0x40), 8, 7));
+/// batch.push(MemoryAccess::read(Address::new(0x40), 8));
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.get(0), MemoryAccess::write(Address::new(0x40), 8, 7));
+/// assert_eq!(batch.write_value(1), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessBatch {
+    kinds: Vec<AccessKind>,
+    addrs: Vec<u64>,
+    widths: Vec<u8>,
+    values: Vec<u64>,
+}
+
+impl AccessBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        AccessBatch::default()
+    }
+
+    /// An empty batch with room for `capacity` records in every column.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AccessBatch {
+            kinds: Vec::with_capacity(capacity),
+            addrs: Vec::with_capacity(capacity),
+            widths: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Columnar copy of a whole trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut batch = AccessBatch::with_capacity(trace.len());
+        for access in trace {
+            batch.push(*access);
+        }
+        batch
+    }
+
+    /// Records in the batch.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` if the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Drops all records, keeping the column buffers for reuse.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.addrs.clear();
+        self.widths.clear();
+        self.values.clear();
+    }
+
+    /// Reserves room for `additional` more records in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        self.kinds.reserve(additional);
+        self.addrs.reserve(additional);
+        self.widths.reserve(additional);
+        self.values.reserve(additional);
+    }
+
+    /// Appends one access.
+    pub fn push(&mut self, access: MemoryAccess) {
+        self.push_parts(access.kind, access.addr, access.width, access.value);
+    }
+
+    /// Appends one access from its columns.
+    pub fn push_parts(&mut self, kind: AccessKind, addr: Address, width: u8, value: u64) {
+        self.kinds.push(kind);
+        self.addrs.push(addr.value());
+        self.widths.push(width);
+        self.values.push(value);
+    }
+
+    /// The kind column.
+    pub fn kinds(&self) -> &[AccessKind] {
+        &self.kinds
+    }
+
+    /// The address column (raw byte addresses).
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The width column.
+    pub fn widths(&self) -> &[u8] {
+        &self.widths
+    }
+
+    /// The value column (dense; reads hold `0`).
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Kind of record `i`.
+    pub fn kind(&self, i: usize) -> AccessKind {
+        self.kinds[i]
+    }
+
+    /// Address of record `i`.
+    pub fn addr(&self, i: usize) -> Address {
+        Address::new(self.addrs[i])
+    }
+
+    /// Width of record `i`.
+    pub fn width(&self, i: usize) -> u8 {
+        self.widths[i]
+    }
+
+    /// `Some(value)` if record `i` writes, `None` otherwise — the shape
+    /// the demand path consumes directly.
+    pub fn write_value(&self, i: usize) -> Option<u64> {
+        if self.kinds[i] == AccessKind::Write {
+            Some(self.values[i])
+        } else {
+            None
+        }
+    }
+
+    /// Materializes record `i` (a cheap all-register construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> MemoryAccess {
+        MemoryAccess {
+            kind: self.kinds[i],
+            addr: Address::new(self.addrs[i]),
+            width: self.widths[i],
+            value: self.values[i],
+        }
+    }
+
+    /// Iterates the records in order, materializing each on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = MemoryAccess> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Rebuilds the array-of-structs form.
+    pub fn to_trace(&self) -> Trace {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<MemoryAccess> for AccessBatch {
+    fn from_iter<I: IntoIterator<Item = MemoryAccess>>(iter: I) -> Self {
+        let mut batch = AccessBatch::new();
+        for access in iter {
+            batch.push(access);
+        }
+        batch
+    }
+}
+
+impl From<&Trace> for AccessBatch {
+    fn from(trace: &Trace) -> Self {
+        AccessBatch::from_trace(trace)
+    }
+}
+
 impl FromIterator<MemoryAccess> for Trace {
     fn from_iter<I: IntoIterator<Item = MemoryAccess>>(iter: I) -> Self {
         Trace {
@@ -451,6 +631,49 @@ mod tests {
         ));
         let err = "W 0x10 8 1 extra\n".parse::<Trace>().unwrap_err();
         assert!(matches!(err, ParseTraceError::BadFieldCount { .. }));
+    }
+
+    #[test]
+    fn batch_round_trips_and_exposes_columns() {
+        let trace: Trace = [
+            MemoryAccess::read(Address::new(0x100), 8),
+            MemoryAccess::write(Address::new(0x108), 4, 0xAB),
+            MemoryAccess::ifetch(Address::new(0x40)),
+        ]
+        .into_iter()
+        .collect();
+        let batch = AccessBatch::from_trace(&trace);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.to_trace(), trace);
+        for (i, access) in trace.iter().enumerate() {
+            assert_eq!(batch.get(i), *access);
+            assert_eq!(batch.kind(i), access.kind);
+            assert_eq!(batch.addr(i), access.addr);
+            assert_eq!(batch.width(i), access.width);
+        }
+        assert_eq!(batch.write_value(0), None);
+        assert_eq!(batch.write_value(1), Some(0xAB));
+        assert_eq!(batch.write_value(2), None);
+        assert_eq!(batch.addrs(), &[0x100, 0x108, 0x40]);
+        assert_eq!(batch.widths(), &[8, 4, 8]);
+        assert_eq!(batch.values(), &[0, 0xAB, 0]);
+        assert_eq!(batch.kinds().len(), 3);
+        assert_eq!(batch.iter().collect::<Vec<_>>(), trace.as_slice());
+
+        let collected: AccessBatch = trace.iter().copied().collect();
+        assert_eq!(collected, batch);
+        assert_eq!(AccessBatch::from(&trace), batch);
+    }
+
+    #[test]
+    fn batch_clear_keeps_capacity() {
+        let mut batch = AccessBatch::with_capacity(16);
+        batch.reserve(8);
+        batch.push(MemoryAccess::read(Address::new(0), 8));
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(AccessBatch::new().len(), 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! fetches pack to 10 bytes, writes to 18 — the length prefix plus the
 //! access count let a reader skip or budget a chunk without decoding it.
 
-use cnt_sim::trace::{AccessKind, MemoryAccess};
+use cnt_sim::trace::{AccessBatch, AccessKind, MemoryAccess};
 use cnt_sim::Address;
 
 use crate::error::TraceError;
@@ -153,7 +153,31 @@ pub fn decode_payload(
     expected: u32,
     chunk: u64,
 ) -> Result<Vec<MemoryAccess>, TraceError> {
-    let mut out = Vec::with_capacity(expected as usize);
+    let mut batch = AccessBatch::with_capacity(expected as usize);
+    decode_payload_into(payload, expected, chunk, &mut batch)?;
+    Ok(batch.iter().collect())
+}
+
+/// Decodes an entire chunk payload into a reusable struct-of-arrays
+/// batch. The batch is cleared first, then every record's columns are
+/// appended directly — no intermediate `MemoryAccess` vector, so a
+/// replay loop can stream chunk after chunk through one set of buffers.
+///
+/// `chunk` is only used for error reporting; `expected` is the frame's
+/// access count and must match exactly.
+///
+/// # Errors
+///
+/// As [`decode_payload`]. On error the batch contents are unspecified
+/// (but always internally consistent).
+pub fn decode_payload_into(
+    payload: &[u8],
+    expected: u32,
+    chunk: u64,
+    out: &mut AccessBatch,
+) -> Result<(), TraceError> {
+    out.clear();
+    out.reserve(expected as usize);
     let mut offset = 0usize;
     while offset < payload.len() {
         let rest = &payload[offset..];
@@ -169,16 +193,11 @@ pub fn decode_payload(
         let addr = Address::new(u64::from_le_bytes(rest[2..10].try_into().expect("8 bytes")));
         match kind {
             KIND_READ => {
-                out.push(MemoryAccess::read(addr, width));
+                out.push_parts(AccessKind::Read, addr, width, 0);
                 offset += 10;
             }
             KIND_IFETCH => {
-                out.push(MemoryAccess {
-                    kind: AccessKind::InstrFetch,
-                    addr,
-                    width,
-                    value: 0,
-                });
+                out.push_parts(AccessKind::InstrFetch, addr, width, 0);
                 offset += 10;
             }
             KIND_WRITE => {
@@ -190,7 +209,7 @@ pub fn decode_payload(
                     });
                 }
                 let value = u64::from_le_bytes(rest[10..18].try_into().expect("8 bytes"));
-                out.push(MemoryAccess::write(addr, width, value));
+                out.push_parts(AccessKind::Write, addr, width, value);
                 offset += 18;
             }
             _ => {
@@ -209,7 +228,7 @@ pub fn decode_payload(
             what: "payload record count disagrees with frame access count",
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

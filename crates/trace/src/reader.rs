@@ -19,11 +19,13 @@
 
 use std::io::Read;
 
-use cnt_sim::trace::{MemoryAccess, Trace};
+use cnt_sim::trace::{AccessBatch, MemoryAccess, Trace};
 
 use crate::crc32::crc32;
 use crate::error::TraceError;
-use crate::format::{decode_payload, Frame, Header, FRAME_BYTES, HEADER_BYTES};
+use crate::format::{
+    decode_payload, decode_payload_into, Frame, Header, FRAME_BYTES, HEADER_BYTES,
+};
 
 /// What to do when a chunk's CRC32 (or payload shape) is wrong.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +96,17 @@ impl RawChunk {
     /// [`TraceError::BadRecord`] for malformed payloads.
     pub fn decode(&self) -> Result<Vec<MemoryAccess>, TraceError> {
         decode_payload(&self.payload, self.access_count, self.index)
+    }
+
+    /// Decodes the payload into a reusable struct-of-arrays batch (the
+    /// replay hot path — see [`decode_payload_into`]). The batch is
+    /// cleared first.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadRecord`] for malformed payloads.
+    pub fn decode_batch(&self, out: &mut AccessBatch) -> Result<(), TraceError> {
+        decode_payload_into(&self.payload, self.access_count, self.index, out)
     }
 }
 
