@@ -8,20 +8,24 @@
 //! ```
 //!
 //! Files ending in `.json` are linted as single benchmark records —
-//! either the sequential-vs-parallel `BenchRecord` shape (old records
-//! without the `iters`/`warmup` iteration fields still parse) or the
-//! `--stages` `SimdBenchRecord` shape, with every throughput figure
-//! required to be finite and non-negative. Anything else is linted as a
-//! snapshot stream: every line must parse as a `cnt_obs::Snapshot` with
-//! at least one cache level, and within each experiment stream the
-//! epochs must count up from zero with non-decreasing access totals.
-//! Exits non-zero on the first violation, naming the offending file.
-//! CI runs this over the metrics smoke stream and the committed bench
-//! records.
+//! the sequential-vs-parallel `BenchRecord` shape (old records without
+//! the `iters`/`warmup` iteration fields still parse), the `--stages`
+//! `SimdBenchRecord` shape, or the `--ws` scheduler-comparison
+//! `WsBenchRecord` shape — with every throughput figure required to be
+//! finite and non-negative. Any record claiming a parallel speedup with
+//! more jobs than the machine had cores at measurement time is rejected
+//! as unreliable: oversubscribed "speedups" measure scheduler jitter,
+//! not the pool (`BENCH_parallel.json` once shipped exactly that —
+//! `jobs: 4` on `cores: 1`). Anything else is linted as a snapshot
+//! stream: every line must parse as a `cnt_obs::Snapshot` with at least
+//! one cache level, and within each experiment stream the epochs must
+//! count up from zero with non-decreasing access totals. Exits non-zero
+//! on the first violation, naming the offending file. CI runs this over
+//! the metrics smoke stream and the committed bench records.
 
 use std::process::ExitCode;
 
-use cnt_bench::{BenchRecord, SimdBenchRecord, StageRecord};
+use cnt_bench::{BenchRecord, SimdBenchRecord, StageRecord, WsBenchRecord};
 
 fn check_rate(what: &str, rate: f64) -> Result<(), String> {
     if !rate.is_finite() || rate < 0.0 {
@@ -49,7 +53,18 @@ fn lint_stage(stage: &StageRecord) -> Result<(), String> {
     Ok(())
 }
 
-/// Lints one `BENCH_*.json` record of either shape.
+/// Rejects speedup claims measured with more jobs than hardware threads.
+fn check_jobs_vs_cores(what: &str, jobs: usize, cores: usize) -> Result<(), String> {
+    if jobs > cores {
+        return Err(format!(
+            "{what}: --jobs {jobs} exceeds the {cores} core(s) present at measurement \
+             time; the recorded speedup is unreliable (remeasure with jobs <= cores)"
+        ));
+    }
+    Ok(())
+}
+
+/// Lints one `BENCH_*.json` record of any recognised shape.
 fn lint_bench_record(text: &str) -> Result<String, String> {
     if let Ok(record) = serde_json::from_str::<SimdBenchRecord>(text) {
         if record.stages.is_empty() {
@@ -64,6 +79,27 @@ fn lint_bench_record(text: &str) -> Result<String, String> {
             record.best_speedup()
         ));
     }
+    if let Ok(record) = serde_json::from_str::<WsBenchRecord>(text) {
+        check_rate("static pass", record.static_pass.accesses_per_second)?;
+        check_rate("work-stealing pass", record.ws_pass.accesses_per_second)?;
+        if record.skew == 0 {
+            return Err("ws record with zero skew (no straggler was injected)".into());
+        }
+        if record.static_pass.jobs != record.jobs || record.ws_pass.jobs != record.jobs {
+            return Err(format!(
+                "ws record claims --jobs {} but passes ran with {} and {}",
+                record.jobs, record.static_pass.jobs, record.ws_pass.jobs
+            ));
+        }
+        check_jobs_vs_cores("ws comparison", record.jobs, record.cores)?;
+        return Ok(format!(
+            "ok — skew x{}, {:.2}x work-stealing speedup at --jobs {} on {} core(s)",
+            record.skew,
+            record.speedup(),
+            record.jobs,
+            record.cores
+        ));
+    }
     match serde_json::from_str::<BenchRecord>(text) {
         Ok(record) => {
             check_rate("sequential pass", record.sequential.accesses_per_second)?;
@@ -74,6 +110,7 @@ fn lint_bench_record(text: &str) -> Result<String, String> {
                     record.sequential.jobs
                 ));
             }
+            check_jobs_vs_cores("parallel pass", record.parallel.jobs, record.cores)?;
             Ok(format!(
                 "ok — {} accesses/pass, {:.2}x speedup on {} core(s)",
                 record.accesses_per_pass,

@@ -19,5 +19,6 @@ pub mod pool;
 pub mod record;
 pub mod runner;
 pub mod stream;
+pub mod ws;
 
-pub use record::{BenchRecord, IterStats, PassRecord, SimdBenchRecord, StageRecord};
+pub use record::{BenchRecord, IterStats, PassRecord, SimdBenchRecord, StageRecord, WsBenchRecord};

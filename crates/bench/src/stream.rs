@@ -152,7 +152,22 @@ pub fn replay_stream<R: Read>(
                         break;
                     }
                 }
-                Fetch::WouldExceed { .. } => break,
+                Fetch::WouldExceed { chunk, needed } => {
+                    if window.is_empty() {
+                        // The pending chunk cannot fit even a *fresh*
+                        // window, so it will never be replayed. Breaking
+                        // out here (as this loop once did) would end the
+                        // replay with `Ok`, silently dropping the rest of
+                        // the trace; surface it as a budget error instead.
+                        return Err(TraceError::ChunkExceedsBudget {
+                            chunk,
+                            payload_bytes: needed as u64,
+                            budget_bytes: budget as u64,
+                        }
+                        .into());
+                    }
+                    break;
+                }
                 Fetch::Eof => {
                     eof = true;
                     break;
@@ -162,7 +177,9 @@ pub fn replay_stream<R: Read>(
         driver.peak_buffered_bytes = driver.peak_buffered_bytes.max(window_bytes as u64);
 
         if window.is_empty() {
-            debug_assert!(eof, "a non-fitting chunk within budget is impossible");
+            // An empty window now implies a clean end of stream: the
+            // non-fitting-chunk case errored out above.
+            debug_assert!(eof);
             break;
         }
 
@@ -199,9 +216,11 @@ pub fn replay_stream<R: Read>(
                     accesses += 1;
                     if let (Some(every), Some(experiment)) = (every, experiment.as_deref()) {
                         if accesses.is_multiple_of(every) {
-                            // Chunks after `position` (and the remainder of
-                            // this one) are buffered but unconsumed.
-                            let buffered = (window.len() - position) as u64;
+                            // Only chunks strictly after `position` are
+                            // buffered-and-unconsumed; the chunk currently
+                            // being replayed is partially consumed and must
+                            // not inflate the gauge.
+                            let buffered = (window.len() - position - 1) as u64;
                             let mut snapshot =
                                 Snapshot::capture(cache, experiment, epoch, accesses);
                             snapshot.ingest =
@@ -374,6 +393,33 @@ mod tests {
             accesses,
             1_000 - 100 * ingest.chunks_skipped,
             "every skip drops exactly one chunk of accesses"
+        );
+    }
+
+    #[test]
+    fn oversized_chunk_errors_instead_of_truncating() {
+        // One giant chunk that can never fit the byte budget. The replay
+        // must surface a budget error — ending with `Ok` here would mean
+        // the trace was silently truncated to zero accesses.
+        let trace = sample_trace(1_000);
+        let bytes = packed(&trace, 1_000);
+        let mut reader = StreamReader::new(
+            &bytes[..],
+            ReadOptions {
+                budget_bytes: 256,
+                corruption: CorruptionPolicy::FailFast,
+            },
+        )
+        .expect("opens");
+        let mut cache =
+            CntCache::new(dcache_config("L1D", EncodingPolicy::adaptive_default())).expect("valid");
+        let err = replay_stream(&mut cache, &mut reader).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamError::Trace(TraceError::ChunkExceedsBudget { chunk: 0, .. })
+            ),
+            "expected a budget error, got {err}"
         );
     }
 

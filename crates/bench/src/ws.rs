@@ -1,0 +1,264 @@
+//! A Chase-Lev work-stealing deque over `usize` task ids.
+//!
+//! This is the classic algorithm (Chase & Lev, *Dynamic Circular
+//! Work-Stealing Deque*, SPAA'05, with the memory-ordering corrections
+//! of Lê et al., PPoPP'13) specialised to the one shape the scheduler
+//! needs: tasks are **slice indices**, so every buffer slot is a single
+//! machine word and the whole structure is expressible in safe Rust —
+//! slots are `AtomicUsize`, a racy read of a slot that loses the `top`
+//! CAS yields a value that is simply discarded, never a dangling
+//! pointer. The buffer does not grow: the scheduler knows the fan-out
+//! size up front and sizes each deque to its block, so [`Worker::push`]
+//! asserts instead of reallocating.
+//!
+//! Roles are enforced by the type split:
+//!
+//! * [`Worker`] — the single owner. Pushes and pops at the **bottom**
+//!   (LIFO), uncontended in the common case. `Worker` is `Send` but not
+//!   `Sync` and not `Clone`, so exactly one thread drives it.
+//! * [`Stealer`] — any number of thieves. Steal from the **top**
+//!   (FIFO), serialised by a compare-exchange on `top`.
+//!
+//! All orderings are `SeqCst`. The tasks scheduled through this deque
+//! are whole trace replays (milliseconds to seconds each), so deque
+//! traffic is nowhere near a hot path and the simplest correct fencing
+//! wins.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Outcome of one [`Stealer::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// A task was claimed.
+    Success(usize),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+}
+
+struct Inner {
+    /// Next slot the owner pushes into / pops from (grows on push,
+    /// shrinks transiently during pop). `isize` so an owner pop on an
+    /// empty deque can step to `top - 1` without underflow.
+    bottom: AtomicIsize,
+    /// Next slot thieves steal from; only ever incremented.
+    top: AtomicIsize,
+    /// Power-of-two circular buffer of task ids.
+    buf: Box<[AtomicUsize]>,
+    mask: usize,
+}
+
+/// Creates a deque sized for at most `capacity` simultaneously queued
+/// tasks, returning the owner and thief handles.
+#[must_use]
+pub fn deque(capacity: usize) -> (Worker, Stealer) {
+    let cap = capacity.max(1).next_power_of_two();
+    let buf: Vec<AtomicUsize> = (0..cap).map(|_| AtomicUsize::new(0)).collect();
+    let inner = Arc::new(Inner {
+        bottom: AtomicIsize::new(0),
+        top: AtomicIsize::new(0),
+        buf: buf.into_boxed_slice(),
+        mask: cap - 1,
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: std::marker::PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+/// The owning end of a deque: single-threaded push/pop at the bottom.
+pub struct Worker {
+    inner: Arc<Inner>,
+    /// `Cell` keeps `Worker: !Sync`, so two threads cannot share one
+    /// owner end by reference.
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+impl Worker {
+    /// Enqueues a task at the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deque is full — the scheduler sizes deques to their
+    /// whole block up front, so overflow is a harness bug.
+    pub fn push(&self, task: usize) {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::SeqCst);
+        assert!(
+            (b - t) as usize <= inner.mask,
+            "ws deque overflow: capacity {} exhausted",
+            inner.mask + 1
+        );
+        inner.buf[(b as usize) & inner.mask].store(task, Ordering::SeqCst);
+        inner.bottom.store(b + 1, Ordering::SeqCst);
+    }
+
+    /// Dequeues the most recently pushed task, racing thieves for the
+    /// last element.
+    pub fn pop(&self) -> Option<usize> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::SeqCst) - 1;
+        inner.bottom.store(b, Ordering::SeqCst);
+        let t = inner.top.load(Ordering::SeqCst);
+        if t > b {
+            // Already empty: undo the transient decrement.
+            inner.bottom.store(b + 1, Ordering::SeqCst);
+            return None;
+        }
+        let task = inner.buf[(b as usize) & inner.mask].load(Ordering::SeqCst);
+        if t < b {
+            // More than one element left: the bottom one is ours alone.
+            return Some(task);
+        }
+        // Exactly one element: race thieves for it via `top`.
+        let won = inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        // Empty either way; restore the canonical empty shape.
+        inner.bottom.store(b + 1, Ordering::SeqCst);
+        won.then_some(task)
+    }
+
+    /// A [`Stealer`] for this deque.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// The thieving end of a deque: shared, steals from the top.
+#[derive(Clone)]
+pub struct Stealer {
+    inner: Arc<Inner>,
+}
+
+impl Stealer {
+    /// Attempts to claim the oldest queued task.
+    pub fn steal(&self) -> Steal {
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the slot *before* claiming it: if the CAS wins, no other
+        // party can have overwritten this slot (the owner only writes
+        // `bottom`-side slots of a non-full deque, thieves only advance
+        // `top`). If the CAS loses, the value is discarded.
+        let task = inner.buf[(t as usize) & inner.mask].load(Ordering::SeqCst);
+        match inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => Steal::Success(task),
+            Err(_) => Steal::Retry,
+        }
+    }
+
+    /// Whether the deque looked empty at the moment of the call (racy,
+    /// advisory — used only as a recruitment heuristic).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::SeqCst);
+        t >= b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let (worker, stealer) = deque(8);
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        assert_eq!(stealer.steal(), Steal::Success(1), "thief takes oldest");
+        assert_eq!(worker.pop(), Some(3), "owner takes newest");
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(worker.pop(), None);
+        assert_eq!(stealer.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_wraps() {
+        let (worker, stealer) = deque(3); // rounds to 4
+        for round in 0..5 {
+            // Fill and drain repeatedly so indices wrap the ring.
+            for i in 0..4 {
+                worker.push(round * 10 + i);
+            }
+            for _ in 0..2 {
+                assert!(worker.pop().is_some());
+            }
+            for _ in 0..2 {
+                assert!(matches!(stealer.steal(), Steal::Success(_)));
+            }
+            assert!(stealer.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ws deque overflow")]
+    fn overflow_panics() {
+        let (worker, _stealer) = deque(2);
+        worker.push(0);
+        worker.push(1);
+        worker.push(2);
+    }
+
+    /// The core safety property: under concurrent owner pops and
+    /// multi-thief steals, every task is claimed exactly once.
+    #[test]
+    fn concurrent_claims_are_exactly_once() {
+        const TASKS: usize = 10_000;
+        const THIEVES: usize = 4;
+        for _round in 0..4 {
+            let (worker, stealer) = deque(TASKS);
+            for i in 0..TASKS {
+                worker.push(i);
+            }
+            let claimed = Mutex::new(Vec::<usize>::new());
+            std::thread::scope(|scope| {
+                for _ in 0..THIEVES {
+                    let stealer = stealer.clone();
+                    let claimed = &claimed;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            match stealer.steal() {
+                                Steal::Success(task) => local.push(task),
+                                Steal::Empty => break,
+                                Steal::Retry => std::hint::spin_loop(),
+                            }
+                        }
+                        claimed.lock().unwrap().extend(local);
+                    });
+                }
+                let mut local = Vec::new();
+                while let Some(task) = worker.pop() {
+                    local.push(task);
+                }
+                claimed.lock().unwrap().extend(local);
+            });
+            let claimed = claimed.into_inner().unwrap();
+            assert_eq!(claimed.len(), TASKS, "no task lost or duplicated");
+            let unique: BTreeSet<usize> = claimed.iter().copied().collect();
+            assert_eq!(unique.len(), TASKS);
+            assert_eq!(unique.iter().next_back(), Some(&(TASKS - 1)));
+        }
+    }
+}

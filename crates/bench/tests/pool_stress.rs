@@ -1,0 +1,196 @@
+//! Stress tests for the global pool budget and both scheduling engines.
+//!
+//! These tests assert on [`pool::available_budget`], a process-global
+//! counter, so they must not overlap with each other (or any other
+//! `par_map` in this binary): every test serialises on [`lock`]. The
+//! library's unit tests run in a separate binary, so they cannot
+//! interfere.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use cnt_bench::pool::{self, SchedulerKind};
+use cnt_bench::stream::replay_stream;
+use cnt_cache::{CntCache, EncodingPolicy};
+use cnt_sim::trace::{MemoryAccess, Trace};
+use cnt_sim::Address;
+use cnt_trace::{pack_trace, CorruptionPolicy, ReadOptions, StreamReader};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serialises the tests in this file and restores the default pool
+/// configuration afterwards (via [`Restore`]).
+fn lock() -> (MutexGuard<'static, ()>, Restore) {
+    let guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    (guard, Restore)
+}
+
+struct Restore;
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        pool::set_scheduler(SchedulerKind::WorkStealing);
+        pool::set_jobs(pool::default_jobs());
+    }
+}
+
+fn engines() -> [SchedulerKind; 2] {
+    [SchedulerKind::WorkStealing, SchedulerKind::Static]
+}
+
+#[test]
+fn budget_is_restored_after_worker_panic() {
+    let (_guard, _restore) = lock();
+    for kind in engines() {
+        pool::set_scheduler(kind);
+        pool::set_jobs(4);
+        assert_eq!(pool::available_budget(), 3, "fresh budget ({kind:?})");
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool::par_map(&items, |&i| {
+                if i == 17 {
+                    panic!("injected failure");
+                }
+                i * 2
+            })
+        }));
+        let panic = result.expect_err("the injected panic must propagate");
+        let message = panic
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("injected failure"), "{kind:?}: {message}");
+        assert_eq!(
+            pool::available_budget(),
+            3,
+            "no leaked reservations after a panic ({kind:?})"
+        );
+    }
+}
+
+#[test]
+fn nested_fanout_under_exhausted_budget_completes() {
+    let (_guard, _restore) = lock();
+    for kind in engines() {
+        pool::set_scheduler(kind);
+        // Budget of exactly one extra thread: the outer fan-out takes
+        // it, so inner fan-outs start with nothing and must make
+        // progress on their calling thread alone.
+        pool::set_jobs(2);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let outer: Vec<usize> = (0..4).collect();
+        let sums = pool::par_map(&outer, |&o| {
+            let inner: Vec<usize> = (0..32).collect();
+            let inner_sum: usize = pool::par_map(&inner, |&i| {
+                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                concurrent.fetch_sub(1, Ordering::SeqCst);
+                o * 1000 + i
+            })
+            .iter()
+            .sum();
+            inner_sum
+        });
+        let expect: Vec<usize> = (0..4)
+            .map(|o| (0..32).map(|i| o * 1000 + i).sum())
+            .collect();
+        assert_eq!(sums, expect, "nested results intact ({kind:?})");
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "at most --jobs threads ever ran ({kind:?})"
+        );
+        assert_eq!(
+            pool::available_budget(),
+            1,
+            "budget restored after nesting ({kind:?})"
+        );
+    }
+}
+
+#[test]
+fn deep_uneven_nesting_terminates_with_correct_results() {
+    let (_guard, _restore) = lock();
+    pool::set_scheduler(SchedulerKind::WorkStealing);
+    pool::set_jobs(8);
+    // Skew: element 0 fans out again (the straggler shape the scheduler
+    // exists for); recruitment and incremental release must neither
+    // deadlock nor drop results.
+    let outer: Vec<usize> = (0..16).collect();
+    let totals = pool::par_map(&outer, |&o| {
+        if o == 0 {
+            let inner: Vec<usize> = (0..64).collect();
+            pool::par_map(&inner, |&i| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                i
+            })
+            .iter()
+            .sum::<usize>()
+        } else {
+            o
+        }
+    });
+    let mut expect: Vec<usize> = (1..16).collect();
+    expect.insert(0, (0..64).sum());
+    assert_eq!(totals, expect);
+    assert_eq!(pool::available_budget(), 7, "budget restored");
+}
+
+fn sample_trace(n: u64) -> Trace {
+    (0..n)
+        .map(|i| {
+            let addr = Address::new(0x8000 + (i % 512) * 8);
+            if i % 7 == 0 {
+                MemoryAccess::write(addr, 8, i.wrapping_mul(0x0F0F_F0F0_1234_5678))
+            } else {
+                MemoryAccess::read(addr, 8)
+            }
+        })
+        .collect()
+}
+
+/// The satellite acceptance sweep: the streamed-replay path must be
+/// byte-identical across `--jobs {1, 2, 4, 8}` — same energy report,
+/// same ingest counters, same access totals — under both engines.
+#[test]
+fn jobs_sweep_is_identical_on_streamed_replay() {
+    let (_guard, _restore) = lock();
+    let trace = sample_trace(4_000);
+    let mut bytes = Vec::new();
+    pack_trace(&trace, &mut bytes, 64).expect("packs");
+
+    let replay = |kind: SchedulerKind, jobs: usize| {
+        pool::set_scheduler(kind);
+        pool::set_jobs(jobs);
+        let mut reader = StreamReader::new(
+            &bytes[..],
+            ReadOptions {
+                budget_bytes: 2 * 1024, // forces many prefetch windows
+                corruption: CorruptionPolicy::FailFast,
+            },
+        )
+        .expect("opens");
+        let mut cache = CntCache::new(cnt_bench::runner::dcache_config(
+            "L1D",
+            EncodingPolicy::adaptive_default(),
+        ))
+        .expect("valid");
+        let outcome = replay_stream(&mut cache, &mut reader).expect("streams");
+        cache.flush();
+        (outcome, cache.into_report())
+    };
+
+    let baseline = replay(SchedulerKind::WorkStealing, 1);
+    for kind in engines() {
+        for jobs in [1usize, 2, 4, 8] {
+            let run = replay(kind, jobs);
+            assert_eq!(
+                run, baseline,
+                "streamed replay diverged at --jobs {jobs} under {kind:?}"
+            );
+        }
+    }
+}

@@ -321,7 +321,9 @@ pub struct JsonlSummary {
 /// [`Snapshot`] with at least one level, and within each experiment the
 /// epochs must increase by exactly one from zero with non-decreasing
 /// access counts. Snapshots carrying chunk-ingest counters must keep
-/// them non-decreasing too, and consumption can never outrun reading.
+/// them non-decreasing too, consumption can never outrun reading, and
+/// the prefetch gauge must stay strictly below the read-but-unconsumed
+/// chunk gap (counting the in-flight chunk as buffered was a real bug).
 ///
 /// # Errors
 ///
@@ -352,6 +354,29 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                     snapshot.experiment, ingest.chunks_consumed, ingest.chunks_read
                 ));
             }
+            // Prefetch-gauge sanity. Read-but-unconsumed chunks split
+            // into: fully buffered (the gauge), the one being consumed,
+            // and decode-skipped ones. A snapshot is always emitted while
+            // a chunk is mid-consumption, so the gauge must be *strictly*
+            // less than the read/consumed gap — equality is exactly the
+            // historical off-by-one that counted the current chunk as
+            // buffered. With no gap there is nothing to buffer.
+            let gap = ingest.chunks_read - ingest.chunks_consumed;
+            if gap == 0 {
+                if ingest.prefetch_buffered != 0 {
+                    return Err(format!(
+                        "line {lineno}: experiment `{}` reports {} buffered chunks \
+                         with none unconsumed",
+                        snapshot.experiment, ingest.prefetch_buffered
+                    ));
+                }
+            } else if ingest.prefetch_buffered >= gap {
+                return Err(format!(
+                    "line {lineno}: experiment `{}` reports {} buffered chunks but only \
+                     {} are read-but-unconsumed (gauge counts the in-flight chunk?)",
+                    snapshot.experiment, ingest.prefetch_buffered, gap
+                ));
+            }
             match ingests
                 .iter_mut()
                 .find(|(id, _)| *id == snapshot.experiment)
@@ -361,7 +386,9 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                     if ingest.chunks_read < last.chunks_read
                         || ingest.chunks_consumed < last.chunks_consumed
                         || ingest.bytes_read < last.bytes_read
+                        || ingest.bytes_decoded < last.bytes_decoded
                         || ingest.crc_failures < last.crc_failures
+                        || ingest.peak_buffered_bytes < last.peak_buffered_bytes
                     {
                         return Err(format!(
                             "line {lineno}: experiment `{id}` ingest counters went backwards"
@@ -466,6 +493,87 @@ mod tests {
         assert!(validate_jsonl(&format!("{no_levels}\n"))
             .unwrap_err()
             .contains("no cache levels"));
+    }
+
+    fn ingest_line(experiment: &str, epoch: u64, ingest: IngestSnapshot) -> String {
+        let mut snapshot: Snapshot =
+            serde_json::from_str(&line(experiment, epoch, (epoch + 1) * 10)).expect("parses");
+        snapshot.ingest = Some(ingest);
+        serde_json::to_string(&snapshot).expect("snapshot serializes")
+    }
+
+    #[test]
+    fn validate_rejects_inflated_prefetch_gauge() {
+        // The historical off-by-one: gauge equal to the read/consumed gap
+        // means the chunk currently being replayed was counted as
+        // buffered.
+        let inflated = ingest_line(
+            "a",
+            0,
+            IngestSnapshot {
+                chunks_read: 4,
+                chunks_consumed: 1,
+                prefetch_buffered: 3,
+                ..IngestSnapshot::default()
+            },
+        );
+        let err = validate_jsonl(&format!("{inflated}\n")).unwrap_err();
+        assert!(err.contains("buffered"), "{err}");
+
+        // Nothing unconsumed: the gauge must read zero.
+        let stale = ingest_line(
+            "a",
+            0,
+            IngestSnapshot {
+                chunks_read: 4,
+                chunks_consumed: 4,
+                prefetch_buffered: 1,
+                ..IngestSnapshot::default()
+            },
+        );
+        let err = validate_jsonl(&format!("{stale}\n")).unwrap_err();
+        assert!(err.contains("none unconsumed"), "{err}");
+
+        // A sane mid-stream gauge passes.
+        let sane = ingest_line(
+            "a",
+            0,
+            IngestSnapshot {
+                chunks_read: 4,
+                chunks_consumed: 1,
+                prefetch_buffered: 2,
+                ..IngestSnapshot::default()
+            },
+        );
+        validate_jsonl(&format!("{sane}\n")).expect("valid gauge accepted");
+    }
+
+    #[test]
+    fn validate_rejects_backwards_ingest_bytes() {
+        let first = ingest_line(
+            "a",
+            0,
+            IngestSnapshot {
+                chunks_read: 2,
+                chunks_consumed: 1,
+                bytes_decoded: 100,
+                peak_buffered_bytes: 64,
+                ..IngestSnapshot::default()
+            },
+        );
+        let second = ingest_line(
+            "a",
+            1,
+            IngestSnapshot {
+                chunks_read: 3,
+                chunks_consumed: 2,
+                bytes_decoded: 90, // went backwards
+                peak_buffered_bytes: 64,
+                ..IngestSnapshot::default()
+            },
+        );
+        let err = validate_jsonl(&format!("{first}\n{second}\n")).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
     }
 
     #[test]

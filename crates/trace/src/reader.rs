@@ -118,6 +118,8 @@ pub enum Fetch {
     /// The next chunk needs more bytes than the caller has left in its
     /// window; nothing was buffered. Retry with a fresh window.
     WouldExceed {
+        /// Index of the pending chunk.
+        chunk: u64,
         /// Payload bytes the pending chunk requires.
         needed: usize,
     },
@@ -238,7 +240,10 @@ impl<R: Read> StreamReader<R> {
             }
             if len > max_bytes {
                 self.lookahead = Some(frame);
-                return Ok(Fetch::WouldExceed { needed: len });
+                return Ok(Fetch::WouldExceed {
+                    chunk: self.next_index,
+                    needed: len,
+                });
             }
             let index = self.next_index;
             self.next_index += 1;
@@ -495,7 +500,10 @@ mod tests {
         };
         // Window too small for the second chunk: it must stay pending.
         let needed = match reader.next_raw_within(1).expect("fetch") {
-            Fetch::WouldExceed { needed } => needed,
+            Fetch::WouldExceed { chunk, needed } => {
+                assert_eq!(chunk, first.index + 1, "pending chunk is identified");
+                needed
+            }
             other => panic!("expected overflow, got {other:?}"),
         };
         assert!(needed > 1);
