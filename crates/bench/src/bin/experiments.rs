@@ -28,12 +28,100 @@ use std::process::ExitCode;
 /// is given.
 const DEFAULT_METRICS_EVERY: u64 = 10_000;
 
+/// Hysteresis margins swept by `--warm-fork` (the paper default is 0.1).
+const WARM_FORK_DELTA_TS: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+
 fn usage() {
     eprintln!(
         "usage: experiments [--list] [--jobs N | --seq] [--trace FILE.ctr]... \
-         [--metrics-out FILE [--metrics-every N]] [--metrics-final] <id>... | all"
+         [--metrics-out FILE [--metrics-every N]] [--metrics-final] <id>... | all\n       \
+         experiments --warm-fork FILE.ctrs --trace FILE.ctr   # ΔT sweep from a warmed checkpoint"
     );
     eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
+}
+
+/// Fans a ΔT (hysteresis) sweep out of one warmed checkpoint: every fork
+/// restores the same mid-trace cache state, swaps in a different
+/// hysteresis margin (a non-shape knob, so the restored state is valid
+/// for every fork), and replays only the remaining tail of the trace.
+/// The warmup cost is paid once — by the run that wrote the checkpoint —
+/// instead of once per sweep point.
+fn run_warm_fork(ckpt_path: &str, trace_path: &str) -> Result<(), String> {
+    use cnt_bench::stream::{replay_stream_resumable, ReplayCursor};
+    use cnt_cache::{AdaptiveParams, CntCache, EncodingPolicy};
+    use cnt_trace::{ReadOptions, StreamReader};
+
+    let (file, driver) = cnt_bench::ckpt::load_for_fork(std::path::Path::new(ckpt_path))
+        .map_err(|e| format!("`{ckpt_path}`: {e}"))?;
+
+    println!("==== warm-fork:{ckpt_path} ====");
+    println!(
+        "resume:    pass {} at chunk {} ({} accesses) over `{trace_path}`",
+        driver.pass, driver.cursor.chunk, driver.cursor.accesses
+    );
+    println!(
+        "{:<8} {:>14} {:>10} {:>10} {:>12}",
+        "delta_t", "total", "windows", "switches", "saving-vs-0"
+    );
+    let mut first_report = None;
+    for delta_t in WARM_FORK_DELTA_TS {
+        let config = cnt_bench::runner::dcache_config(
+            "L1D",
+            EncodingPolicy::Adaptive(AdaptiveParams {
+                delta_t,
+                ..AdaptiveParams::paper_default()
+            }),
+        );
+        // The shape gate: geometry, protection, window, partitions must
+        // match the checkpointed state; ΔT deliberately does not count.
+        if config.shape_fingerprint() != file.manifest.shape_fingerprint {
+            return Err(format!(
+                "`{ckpt_path}`: checkpoint shape {:#018x} does not match the adaptive D-Cache \
+                 shape {:#018x} — warm-fork needs a checkpoint taken during the adaptive \
+                 (second) replay pass",
+                file.manifest.shape_fingerprint,
+                config.shape_fingerprint()
+            ));
+        }
+        let mut cache = CntCache::new(config).expect("sweep configuration is valid");
+        file.restore_component(&mut cache)
+            .map_err(|e| format!("`{ckpt_path}`: {e}"))?;
+
+        let f = std::fs::File::open(trace_path)
+            .map_err(|e| format!("cannot read `{trace_path}`: {e}"))?;
+        let mut reader = StreamReader::new(std::io::BufReader::new(f), ReadOptions::default())
+            .map_err(|e| format!("`{trace_path}`: {e}"))?;
+        reader
+            .seek_to_chunk(driver.cursor.chunk)
+            .map_err(|e| format!("`{trace_path}`: {e}"))?;
+        cnt_bench::ckpt::verify_trace_identity(file.manifest.trace_identity, reader.identity())
+            .map_err(|e| format!("`{trace_path}`: {e}"))?;
+
+        // Forks run without a metrics stream: drop the original run's
+        // experiment id and delta seed, keep the replay position.
+        let cursor = ReplayCursor {
+            experiment: None,
+            delta_prev: Vec::new(),
+            ..driver.cursor.clone()
+        };
+        replay_stream_resumable(&mut cache, &mut reader, Some(cursor), None)
+            .map_err(|e| format!("`{trace_path}`: {e}"))?;
+        cache.flush();
+        let counters = *cache.encoding_counters();
+        let report = cache.into_report();
+        let saving = first_report
+            .as_ref()
+            .map(|first| format!("{:>11.2}%", report.saving_vs(first)))
+            .unwrap_or_else(|| format!("{:>12}", "-"));
+        println!(
+            "{delta_t:<8.2} {:>14.1} {:>10} {:>10} {saving}",
+            report.total(),
+            counters.windows,
+            counters.switches_applied
+        );
+        first_report.get_or_insert(report);
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -56,10 +144,18 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut metrics_every: Option<u64> = None;
     let mut metrics_final = false;
+    let mut warm_fork: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--seq" => jobs = Some(1),
+            "--warm-fork" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("error: --warm-fork needs a .ctrs path");
+                    return ExitCode::from(2);
+                };
+                warm_fork = Some(path.clone());
+            }
             "--trace" => {
                 let Some(path) = iter.next() else {
                     eprintln!("error: --trace needs a .ctr path");
@@ -104,6 +200,27 @@ fn main() -> ExitCode {
     if metrics_every.is_some() && metrics_out.is_none() {
         eprintln!("error: --metrics-every needs --metrics-out");
         return ExitCode::from(2);
+    }
+    if let Some(ckpt_path) = warm_fork {
+        // Warm-fork is its own mode: one checkpoint, one trace, a ΔT
+        // sweep — no experiment ids and no metrics stream (the forks
+        // share the checkpoint's mid-stream position, not its metrics).
+        if !ids.is_empty() || metrics_out.is_some() || metrics_final {
+            eprintln!("error: --warm-fork takes only --trace (and --jobs/--seq)");
+            return ExitCode::from(2);
+        }
+        let [trace] = &traces[..] else {
+            eprintln!("error: --warm-fork needs exactly one --trace FILE.ctr");
+            return ExitCode::from(2);
+        };
+        cnt_bench::pool::set_jobs(jobs.unwrap_or_else(cnt_bench::pool::default_jobs));
+        return match run_warm_fork(&ckpt_path, trace) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if ids.is_empty() && traces.is_empty() {
         usage();

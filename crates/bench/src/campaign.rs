@@ -305,6 +305,170 @@ pub fn render(outcomes: &[CampaignOutcome]) -> String {
     out
 }
 
+/// One history-register (H-counter) fault-injection cell: the same
+/// seeded replay-and-upset schedule as [`run_cell`], but the victims are
+/// the per-line prediction history counters rather than the direction
+/// vector. An upset here never corrupts data — it corrupts *decisions*:
+/// the predictor sees a wrong access/write count and mistimes or
+/// misdirects encoding switches. "Skew" is any divergence of the
+/// encoding counters from a fault-free replay under the same
+/// protection; skew with zero detections is the silent failure mode the
+/// protected H register exists to eliminate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryOutcome {
+    /// Protection mode under test.
+    pub protection: ProtectionMode,
+    /// Upsets requested.
+    pub faults: usize,
+    /// Upsets actually landed.
+    pub injected: u64,
+    /// Upsets noticed by a protection check.
+    pub detected: u64,
+    /// Upsets repaired in place.
+    pub corrected: u64,
+    /// Upsets beyond repair (reset to a clean window).
+    pub uncorrected: u64,
+    /// Prediction windows completed in the faulted replay.
+    pub windows: u64,
+    /// Prediction windows completed in the fault-free golden replay.
+    pub golden_windows: u64,
+    /// Encoding switches applied in the faulted replay.
+    pub switches: u64,
+    /// Encoding switches applied in the golden replay.
+    pub golden_switches: u64,
+}
+
+impl HistoryOutcome {
+    /// Did the upsets change any encoding decision?
+    #[must_use]
+    pub fn skewed(&self) -> bool {
+        self.windows != self.golden_windows || self.switches != self.golden_switches
+    }
+
+    /// Skewed decisions that nothing detected — silent prediction skew.
+    #[must_use]
+    pub fn silent_skew(&self) -> bool {
+        self.skewed() && self.detected == 0
+    }
+}
+
+/// Runs one H-register fault cell over `trace`: a fault-free golden
+/// replay and a faulted replay, both under `protection`, and compares
+/// their encoding counters.
+///
+/// # Panics
+///
+/// Panics if the trace fails to replay.
+#[must_use]
+pub fn run_history_cell(
+    trace: &Trace,
+    protection: ProtectionMode,
+    faults: usize,
+    seed: u64,
+) -> HistoryOutcome {
+    let build = |protection| {
+        let config = CntCacheConfig::builder()
+            .policy(EncodingPolicy::adaptive_default())
+            .protection(protection)
+            .build()
+            .expect("static geometry");
+        CntCache::new(config).expect("valid cache")
+    };
+
+    // Golden counters: same protection, no upsets — protection overhead
+    // itself must not count as skew.
+    let mut golden = build(protection);
+    for access in trace {
+        golden.access(access).expect("trace runs");
+    }
+    golden.flush();
+    let golden_counters = *golden.encoding_counters();
+
+    let mut cache = build(protection);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let interval = (trace.len() / (faults + 1)).max(1);
+    let mut injected = 0;
+    for (i, access) in trace.iter().enumerate() {
+        cache.access(access).expect("trace runs");
+        if injected < faults && i % interval == interval - 1 {
+            let count = cache.valid_line_count();
+            if count > 0 {
+                let loc = cache
+                    .nth_valid_line(rng.gen_range(0..count))
+                    .expect("index below the valid-line count");
+                let bit = rng.gen_range(0..cache.history_data_bits());
+                if cache.inject_history_fault(loc, bit) {
+                    injected += 1;
+                }
+            }
+        }
+    }
+    cache.flush();
+
+    let r = *cache.reliability_counters();
+    let counters = *cache.encoding_counters();
+    HistoryOutcome {
+        protection,
+        faults,
+        injected: injected as u64,
+        detected: r.faults_detected,
+        corrected: r.faults_corrected,
+        uncorrected: r.faults_uncorrected,
+        windows: counters.windows,
+        golden_windows: golden_counters.windows,
+        switches: counters.switches_applied,
+        golden_switches: golden_counters.switches_applied,
+    }
+}
+
+/// Runs an H-register cell for every (protection, fault count) pair on
+/// the shared worker pool, in grid order.
+#[must_use]
+pub fn sweep_history(
+    trace: &Trace,
+    grid: &[(ProtectionMode, usize)],
+    seed: u64,
+) -> Vec<HistoryOutcome> {
+    crate::pool::par_map(grid, |&(protection, faults)| {
+        run_history_cell(trace, protection, faults, seed)
+    })
+}
+
+/// Renders a history sweep as a markdown-style table.
+#[must_use]
+pub fn render_history(outcomes: &[HistoryOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| {:>6} | {:>6} | {:>8} | {:>8} | {:>9} | {:>15} | {:>17} | {:>11} |",
+        "faults",
+        "mode",
+        "injected",
+        "detected",
+        "corrected",
+        "windows (gold)",
+        "switches (gold)",
+        "silent skew"
+    );
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "| {:>6} | {:>6} | {:>8} | {:>8} | {:>9} | {:>6} ({:>6}) | {:>7} ({:>7}) | {:>11} |",
+            o.faults,
+            o.protection,
+            o.injected,
+            o.detected,
+            o.corrected,
+            o.windows,
+            o.golden_windows,
+            o.switches,
+            o.golden_switches,
+            if o.silent_skew() { "YES" } else { "no" },
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +555,53 @@ mod tests {
             cell.silent_corruptions, 0,
             "every lost word sits on a logged degraded line"
         );
+    }
+
+    #[test]
+    fn unprotected_history_cell_skews_silently() {
+        let w = kernels::matmul(12, 1);
+        let cell = run_history_cell(&w.trace, ProtectionMode::None, 8, 0xFA17);
+        assert!(cell.injected > 0, "upsets must land");
+        assert_eq!(cell.detected, 0, "nothing detects without protection");
+        assert!(
+            cell.skewed(),
+            "H upsets must change encoding decisions: {cell:?}"
+        );
+        assert!(cell.silent_skew());
+    }
+
+    #[test]
+    fn protected_history_cell_has_zero_skew() {
+        let w = kernels::matmul(12, 1);
+        for faults in [2, 8, 16] {
+            let cell = run_history_cell(&w.trace, ProtectionMode::Secded, faults, 0xFA17);
+            assert!(cell.injected > 0, "upsets must land");
+            assert!(!cell.skewed(), "SECDED must repair before skew: {cell:?}");
+            // Not every upset is *seen*: a victim line can be evicted
+            // and refilled clean before its next access, and two upsets
+            // stacking on one register become a detected-uncorrectable
+            // reset (2 upsets -> 1 event). What must never happen is a
+            // seen upset left unflagged — the skew check above — and at
+            // least some singles must be corrected in place.
+            assert!(cell.corrected >= 1, "some upsets must be caught: {cell:?}");
+            assert!(cell.corrected + cell.uncorrected <= cell.injected);
+            assert_eq!(cell.detected, cell.corrected + cell.uncorrected);
+        }
+    }
+
+    #[test]
+    fn history_sweep_matches_sequential_and_renders() {
+        let w = kernels::matmul(10, 1);
+        let grid = [(ProtectionMode::None, 4), (ProtectionMode::Secded, 4)];
+        let pooled = sweep_history(&w.trace, &grid, 7);
+        let sequential: Vec<_> = grid
+            .iter()
+            .map(|&(p, f)| run_history_cell(&w.trace, p, f, 7))
+            .collect();
+        assert_eq!(pooled, sequential);
+        let rendered = render_history(&pooled);
+        assert!(rendered.contains("silent skew"));
+        assert_eq!(rendered.lines().count(), 3);
     }
 
     #[test]

@@ -20,6 +20,11 @@ use crate::campaign;
 /// trivial zero row.
 const FAULT_COUNTS: &[usize] = &[2, 8, 16];
 
+/// Fault counts for the prediction-history (H) table. H upsets only
+/// matter if the victim counter is *read* before the window resets it,
+/// so the unprotected control needs a denser schedule to exhibit skew.
+const HISTORY_FAULT_COUNTS: &[usize] = &[16, 64, 256];
+
 /// Same seed as fig13, so the unprotected control row is comparable.
 const SEED: u64 = 0xFA17;
 
@@ -51,7 +56,51 @@ pub fn run() -> String {
          words across protected cells: {silent_protected}); SECDED additionally loses\n\
          no data at all. The D field is a few bits per 512-bit line, so\n\
          parity costs well under 1% of the replay's dynamic energy and\n\
-         full SECDED stays around 2%."
+         full SECDED stays around 2%.\n"
+    );
+
+    // Second table: the same upset schedule aimed at the prediction
+    // history (H) registers. An H upset never corrupts data — it skews
+    // *decisions*: the predictor mistimes or misdirects encoding
+    // switches, visible as window/switch counts diverging from the
+    // fault-free golden replay. Unprotected, the skew is silent
+    // (detected = 0); under SECDED every single upset is corrected in
+    // place, and when two stack on one register the error is detected
+    // and the register reset — the reset can still nudge a window
+    // boundary, but it is *flagged*, never silent.
+    // H counters are few and churn fast, so on this footprint it takes
+    // a denser upset schedule than the D sweep for the unprotected
+    // control to visibly mistime a switch.
+    let history_grid: Vec<(cnt_cache::prelude::ProtectionMode, usize)> = HISTORY_FAULT_COUNTS
+        .iter()
+        .flat_map(|&faults| {
+            [
+                (cnt_cache::prelude::ProtectionMode::None, faults),
+                (cnt_cache::prelude::ProtectionMode::Secded, faults),
+            ]
+        })
+        .collect();
+    let history = campaign::sweep_history(&w.trace, &history_grid, SEED);
+    let _ = writeln!(
+        out,
+        "Prediction-history (H) upsets under the same campaign: encoding\n\
+         decisions vs the fault-free golden replay, by protection mode.\n"
+    );
+    out.push_str(&campaign::render_history(&history));
+    let silent_skewed_protected = history
+        .iter()
+        .filter(|o| o.protection != cnt_cache::prelude::ProtectionMode::None)
+        .filter(|o| o.silent_skew())
+        .count();
+    let _ = writeln!(
+        out,
+        "\nProtected cells with silent prediction skew: {silent_skewed_protected}. The H\n\
+         register is a handful of counter bits per line; protecting it\n\
+         like the D field closes the last silent path through the\n\
+         encoding metadata. (At the densest schedule, upsets stacking\n\
+         two-deep on one register exceed SECDED's correction radius —\n\
+         the register is detected-and-reset, which can nudge a window\n\
+         boundary, but the event is flagged, never silent.)"
     );
     out
 }
@@ -66,5 +115,9 @@ mod tests {
         assert!(report.contains("| faults |"));
         assert!(report.contains("secded"));
         assert!(report.contains("total silent\nwords across protected cells: 0"));
+        assert!(report.contains("silent skew"));
+        assert!(report.contains("Protected cells with silent prediction skew: 0"));
+        // The unprotected control must actually exhibit the hazard.
+        assert!(report.contains("YES"));
     }
 }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod ckpt;
 pub mod experiments;
 pub mod pool;
 pub mod record;

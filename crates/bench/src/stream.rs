@@ -25,11 +25,15 @@ use std::io::Read;
 use std::path::Path;
 
 use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy, EnergyReport};
+use cnt_energy::EnergyBreakdown;
 use cnt_obs::{IngestSnapshot, Snapshot};
 use cnt_sim::trace::AccessBatch;
 use cnt_sim::AccessError;
 use cnt_trace::reader::Fetch;
-use cnt_trace::{CorruptionPolicy, RawChunk, ReadOptions, StreamReader, TraceError};
+use cnt_trace::{
+    CheckpointError, CorruptionPolicy, RawChunk, ReadOptions, StreamReader, TraceError,
+};
+use serde::{Deserialize, Serialize};
 
 use crate::pool;
 use crate::runner::dcache_config;
@@ -42,6 +46,8 @@ pub enum StreamError {
     Trace(TraceError),
     /// The simulator rejected an access.
     Access(AccessError),
+    /// A periodic checkpoint write failed.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for StreamError {
@@ -49,6 +55,7 @@ impl std::fmt::Display for StreamError {
         match self {
             StreamError::Trace(e) => write!(f, "trace stream: {e}"),
             StreamError::Access(e) => write!(f, "replay: {e}"),
+            StreamError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -58,7 +65,14 @@ impl std::error::Error for StreamError {
         match self {
             StreamError::Trace(e) => Some(e),
             StreamError::Access(e) => Some(e),
+            StreamError::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<CheckpointError> for StreamError {
+    fn from(e: CheckpointError) -> Self {
+        StreamError::Checkpoint(e)
     }
 }
 
@@ -75,7 +89,7 @@ impl From<AccessError> for StreamError {
 }
 
 /// What one streamed replay produced.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamOutcome {
     /// The final energy report (after a flush).
     pub report: EnergyReport,
@@ -83,6 +97,46 @@ pub struct StreamOutcome {
     pub ingest: IngestSnapshot,
     /// Accesses replayed.
     pub accesses: u64,
+}
+
+/// Driver-side replay state that must survive a checkpoint — everything
+/// [`replay_stream`] accumulates outside the cache itself. Captured at a
+/// window boundary (nothing buffered, nothing in flight), handed to the
+/// checkpoint hook, and fed back via [`replay_stream_resumable`] after a
+/// restart.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplayCursor {
+    /// Chunks fully consumed. Checkpoints are taken only at window
+    /// boundaries under fail-fast corruption handling, so this equals
+    /// the reader cursor: `StreamReader::seek_to_chunk(chunk)` puts a
+    /// fresh reader exactly where this replay left off.
+    pub chunk: u64,
+    /// Accesses replayed so far (cumulative).
+    pub accesses: u64,
+    /// Next snapshot epoch index.
+    pub epoch: u64,
+    /// Driver-side ingest counters (consumption, decoded bytes, peaks).
+    pub driver: IngestSnapshot,
+    /// The replay's deterministic experiment id (`None` when no metrics
+    /// sink was installed).
+    pub experiment: Option<String>,
+    /// Per-level cumulative energy at the last emitted epoch — the
+    /// [`cnt_obs::DeltaTracker`] seed, so a resumed replay's next
+    /// per-epoch delta subtracts the right baseline.
+    pub delta_prev: Vec<EnergyBreakdown>,
+}
+
+/// Periodic-checkpoint policy for [`replay_stream_resumable`].
+pub struct CheckpointEvery<'a> {
+    /// Minimum chunks between checkpoint writes; the hook fires at the
+    /// first window boundary at least this many chunks after the last
+    /// write (never mid-window — nothing buffered is ever checkpointed).
+    pub chunks: u64,
+    /// Persists one checkpoint. Receives the cache, the cursor, and the
+    /// reader's trace-identity digest at the cursor (for the checkpoint
+    /// manifest). An error aborts the replay.
+    #[allow(clippy::type_complexity)]
+    pub write: &'a mut dyn FnMut(&CntCache, &ReplayCursor, u64) -> Result<(), CheckpointError>,
 }
 
 /// Merges read-side reader stats with driver-side consumption counters
@@ -126,15 +180,67 @@ pub fn replay_stream<R: Read>(
     cache: &mut CntCache,
     reader: &mut StreamReader<R>,
 ) -> Result<(IngestSnapshot, u64), StreamError> {
+    replay_stream_resumable(cache, reader, None, None)
+}
+
+/// [`replay_stream`] with checkpoint/resume support.
+///
+/// `resume` continues a replay from a [`ReplayCursor`] saved by an
+/// earlier checkpoint: the caller must have restored `cache` from the
+/// same checkpoint and seeked `reader` to `resume.chunk` (via
+/// [`StreamReader::seek_to_chunk`]). Accesses, epochs, ingest counters,
+/// and energy deltas all continue from the cursor, so the resumed run's
+/// outputs are byte-identical to an uninterrupted one.
+///
+/// `checkpoint` persists the replay periodically at window boundaries.
+/// Checkpointing requires [`CorruptionPolicy::FailFast`]: under
+/// skip-with-report the consumed-chunk count diverges from the reader
+/// cursor and a resume could silently replay the wrong suffix.
+///
+/// # Errors
+///
+/// As [`replay_stream`], plus [`StreamError::Checkpoint`] when the hook
+/// fails.
+///
+/// # Panics
+///
+/// Panics if `checkpoint` is combined with
+/// [`CorruptionPolicy::SkipWithReport`], or if `resume` is given but the
+/// reader is not positioned at the cursor — both are driver bugs, not
+/// runtime conditions.
+pub fn replay_stream_resumable<R: Read>(
+    cache: &mut CntCache,
+    reader: &mut StreamReader<R>,
+    resume: Option<ReplayCursor>,
+    mut checkpoint: Option<CheckpointEvery<'_>>,
+) -> Result<(IngestSnapshot, u64), StreamError> {
     let every = cnt_obs::epoch_len();
-    let experiment = every.map(|_| cnt_obs::next_replay_path());
-    let mut deltas = cnt_obs::DeltaTracker::new();
+    assert!(
+        checkpoint.is_none() || reader.options().corruption == CorruptionPolicy::FailFast,
+        "checkpointing requires fail-fast corruption handling"
+    );
+    let resuming = resume.is_some();
+    let cursor = resume.unwrap_or_default();
+    if resuming {
+        assert_eq!(
+            reader.cursor(),
+            cursor.chunk,
+            "reader must be seeked to the checkpoint cursor before resuming"
+        );
+    }
+    let experiment = if resuming {
+        cursor.experiment.clone()
+    } else {
+        every.map(|_| cnt_obs::next_replay_path())
+    };
+    let mut deltas = cnt_obs::DeltaTracker::seeded(cursor.delta_prev);
     let budget = reader.options().budget_bytes;
     let corruption = reader.options().corruption;
 
-    let mut driver = IngestSnapshot::default();
-    let mut accesses: u64 = 0;
-    let mut epoch: u64 = 0;
+    let mut driver = cursor.driver;
+    let mut accesses: u64 = cursor.accesses;
+    let mut epoch: u64 = cursor.epoch;
+    let mut last_checkpoint: u64 = cursor.chunk;
 
     loop {
         // Fill one prefetch window, hard-bounded by the byte budget: a
@@ -234,6 +340,25 @@ pub fn replay_stream<R: Read>(
             }
             driver.chunks_consumed += 1;
             driver.bytes_decoded += raw.payload.len() as u64;
+        }
+
+        // Window boundary: everything fetched is consumed, so the reader
+        // cursor is the exact resume point. Write a checkpoint when the
+        // interval has elapsed (skipped at EOF — the run is about to
+        // finish and the final state supersedes any checkpoint).
+        if let Some(ck) = checkpoint.as_mut() {
+            if !eof && reader.cursor() - last_checkpoint >= ck.chunks {
+                let state = ReplayCursor {
+                    chunk: reader.cursor(),
+                    accesses,
+                    epoch,
+                    driver,
+                    experiment: experiment.clone(),
+                    delta_prev: deltas.state().to_vec(),
+                };
+                (ck.write)(cache, &state, reader.identity())?;
+                last_checkpoint = state.chunk;
+            }
         }
 
         if eof {
@@ -421,6 +546,84 @@ mod tests {
             ),
             "expected a budget error, got {err}"
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        use cnt_trace::Checkpointable;
+
+        let trace = sample_trace(4_000);
+        let bytes = packed(&trace, 64);
+        let opts = ReadOptions {
+            budget_bytes: 2 * 1024,
+            corruption: CorruptionPolicy::FailFast,
+        };
+        let config = dcache_config("L1D", EncodingPolicy::adaptive_default());
+
+        // Uninterrupted control run.
+        let mut reader = StreamReader::new(std::io::Cursor::new(&bytes[..]), opts).expect("opens");
+        let mut cache = CntCache::new(config.clone()).expect("valid");
+        let control = replay_stream(&mut cache, &mut reader).expect("streams");
+        cache.flush();
+        let control_report = cache.into_report();
+        let control_identity = reader.identity();
+
+        // Checkpointed run: save the first checkpoint that fires, then let
+        // the run finish — checkpointing must not perturb the outcome.
+        let mut saved: Option<(Vec<u8>, ReplayCursor, u64)> = None;
+        let mut hook = |cache: &CntCache, cursor: &ReplayCursor, identity: u64| {
+            if saved.is_none() {
+                saved = Some((cache.encode_state()?, cursor.clone(), identity));
+            }
+            Ok(())
+        };
+        let mut reader = StreamReader::new(std::io::Cursor::new(&bytes[..]), opts).expect("opens");
+        let mut cache = CntCache::new(config.clone()).expect("valid");
+        let observed = replay_stream_resumable(
+            &mut cache,
+            &mut reader,
+            None,
+            Some(CheckpointEvery {
+                chunks: 10,
+                write: &mut hook,
+            }),
+        )
+        .expect("streams");
+        cache.flush();
+        assert_eq!(observed, control, "checkpointing perturbed the replay");
+        assert_eq!(cache.into_report(), control_report);
+
+        let (state, cursor, mid_identity) = saved.expect("a checkpoint fired mid-stream");
+        assert!(cursor.chunk >= 10, "checkpoint landed before the interval");
+        assert!(cursor.accesses < 4_000, "checkpoint landed at the end");
+
+        // Kill-and-resume at the checkpoint, once sequential and once on
+        // the pool: fresh process state, seeked reader, restored cache.
+        let resume = |jobs: usize| {
+            pool::set_jobs(jobs);
+            let mut reader =
+                StreamReader::new(std::io::Cursor::new(&bytes[..]), opts).expect("opens");
+            reader.seek_to_chunk(cursor.chunk).expect("seeks");
+            assert_eq!(
+                reader.identity(),
+                mid_identity,
+                "seek reconstructed a different trace identity"
+            );
+            let mut cache = CntCache::new(config.clone()).expect("valid");
+            cache.restore_state(&state).expect("restores");
+            let outcome =
+                replay_stream_resumable(&mut cache, &mut reader, Some(cursor.clone()), None)
+                    .expect("resumes");
+            cache.flush();
+            (outcome, cache.into_report(), reader.identity())
+        };
+        let seq = resume(1);
+        let par = resume(4);
+        pool::set_jobs(pool::default_jobs());
+        assert_eq!(seq.0, control, "resumed ingest/accesses diverged");
+        assert_eq!(seq.1, control_report, "resumed report diverged");
+        assert_eq!(seq.2, control_identity, "resumed identity diverged");
+        assert_eq!(seq, par, "resume is jobs-sensitive");
     }
 
     #[test]

@@ -13,16 +13,17 @@
 //! energy is always computed on the stored view.
 
 use cnt_encoding::{
-    AccessHistory, BitPreference, DirectionBits, DirectionPredictor, LineCodec, OverflowPolicy,
-    PartitionLayout, PredictorConfig, ProtectedDirectionBits, ProtectionMode, ProtectionVerdict,
-    UpdateFifo,
+    AccessHistory, BitPreference, DirectionBits, DirectionPredictor, FifoSnapshot, FifoStats,
+    LineCodec, OverflowPolicy, PartitionLayout, PredictorConfig, ProtectedDirectionBits,
+    ProtectedHistory, ProtectionMode, ProtectionVerdict, UpdateFifo,
 };
-use cnt_energy::{ChargeKind, EnergyMeter};
+use cnt_energy::{ChargeKind, EnergyBreakdown, EnergyMeter};
 use cnt_sim::trace::{AccessBatch, AccessKind, MemoryAccess};
 use cnt_sim::{
     AccessError, AccessOutcome, Address, ArrayObserver, Backing, Cache, CacheLevel, CacheLine,
-    CacheStats, LineLocation, MainMemory,
+    CacheSnapshot, CacheStats, LineLocation, MainMemory, MemorySnapshot,
 };
+use cnt_trace::{CheckpointError, Checkpointable};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{CntCacheConfig, ConfigError};
@@ -34,7 +35,10 @@ use crate::report::{EncodingCounters, EnergyReport, ReliabilityCounters};
 #[derive(Debug, Clone, Copy)]
 struct LineState {
     dirs: ProtectedDirectionBits,
-    history: AccessHistory,
+    /// Window counters in a protected register: the H field is guarded
+    /// by the same code family as the D bits (DESIGN.md §10), so an
+    /// upset cannot silently skew the predictor.
+    history: ProtectedHistory,
     /// Last window's pattern classification (sticky classifier only).
     last_pattern: Option<cnt_encoding::AccessPattern>,
     /// Consecutive windows with the same classification.
@@ -45,15 +49,42 @@ struct LineState {
 }
 
 impl LineState {
-    fn fresh(dirs: ProtectedDirectionBits) -> Self {
+    fn fresh(dirs: ProtectedDirectionBits, history: ProtectedHistory) -> Self {
         LineState {
             dirs,
-            history: AccessHistory::new(),
+            history,
             last_pattern: None,
             streak: 0,
             pinned: false,
         }
     }
+}
+
+/// One line's encoding state as it travels through a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct LineStateSnapshot {
+    dirs: ProtectedDirectionBits,
+    history: ProtectedHistory,
+    last_pattern: Option<cnt_encoding::AccessPattern>,
+    streak: u32,
+    pinned: bool,
+}
+
+/// Everything a [`CntCache`] needs to resume exactly where it stopped:
+/// the data-carrying cache, the backing memory, per-line encoding state,
+/// the deferred-update FIFO, every counter, and the accumulated energy
+/// breakdown. Serialized (as JSON) into one checkpoint section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CacheCheckpoint {
+    cache: CacheSnapshot,
+    memory: MemorySnapshot,
+    states: Vec<LineStateSnapshot>,
+    fifo_queue: Vec<PendingUpdate>,
+    fifo_stats: FifoStats,
+    counters: EncodingCounters,
+    reliability: ReliabilityCounters,
+    degraded_lines: Vec<Address>,
+    breakdown: EnergyBreakdown,
 }
 
 /// A queued re-encoding: which line, and which partitions flip.
@@ -132,6 +163,9 @@ pub struct CntCache {
     /// Effective protection mode: the configured one, or forced `None`
     /// for policies without direction bits.
     protection: ProtectionMode,
+    /// Template for a freshly-filled line's history register (window
+    /// length and protection mode fixed by the configuration).
+    fresh_history: ProtectedHistory,
     fault_policy: MetadataFaultPolicy,
     reliability: ReliabilityCounters,
     /// Base addresses of lines degraded by the fault policy (invalidated
@@ -214,11 +248,18 @@ impl CntCache {
             .with_write_mode(config.write_mode)
             .with_prefetch(config.prefetch);
         let lines = config.geometry.num_lines() as usize;
+        // The H counters live in the same protected metadata word as the
+        // D bits; policies without a predictor carry a degenerate
+        // single-access window that is never recorded into.
+        let fresh_history = ProtectedHistory::new(
+            predictor.as_ref().map_or(1, |p| p.config().window),
+            protection,
+        );
         let states = vec![
-            LineState::fresh(ProtectedDirectionBits::all_normal(
-                codec.layout().partitions(),
-                protection
-            ));
+            LineState::fresh(
+                ProtectedDirectionBits::all_normal(codec.layout().partitions(), protection),
+                fresh_history,
+            );
             lines
         ];
         Ok(CntCache {
@@ -236,6 +277,7 @@ impl CntCache {
             confirm_windows,
             zero_flag,
             protection,
+            fresh_history,
             fault_policy: config.fault_policy,
             reliability: ReliabilityCounters::default(),
             degraded_lines: Vec::new(),
@@ -525,6 +567,7 @@ impl CntCache {
                 fill_preference: self.fill_preference,
                 zero_flag: self.zero_flag,
                 protection: self.protection,
+                fresh_history: self.fresh_history,
                 metadata_scale: if self.config.meter_metadata {
                     self.config.metadata_energy_scale
                 } else {
@@ -584,6 +627,7 @@ impl CntCache {
                 fill_preference: self.fill_preference,
                 zero_flag: self.zero_flag,
                 protection: self.protection,
+                fresh_history: self.fresh_history,
                 metadata_scale: if self.config.meter_metadata {
                     self.config.metadata_energy_scale
                 } else {
@@ -619,6 +663,7 @@ impl CntCache {
                 fill_preference: self.fill_preference,
                 zero_flag: self.zero_flag,
                 protection: self.protection,
+                fresh_history: self.fresh_history,
                 metadata_scale: if self.config.meter_metadata {
                     self.config.metadata_energy_scale
                 } else {
@@ -689,7 +734,7 @@ impl CntCache {
             return;
         }
 
-        let summary = predictor.observe(&mut self.states[idx].history, is_write);
+        let summary = predictor.observe_protected(&mut self.states[idx].history, is_write);
 
         if self.config.meter_metadata {
             // The history counters are re-written on every access.
@@ -778,6 +823,25 @@ impl CntCache {
                 self.config.metadata_energy_scale,
             );
         }
+        // The H counters ride in the same protected metadata word as the
+        // D bits: verify and repair them first. A history fault never
+        // endangers stored data — the worst case is a skewed prediction —
+        // so an uncorrectable one resets the window (a lost window, never
+        // a silent skew) instead of firing the line fault policy. The
+        // check is deliberately unmetered; DESIGN.md §14 explains why.
+        let history_verdict = self.states[idx].history.verify_and_repair();
+        match history_verdict {
+            ProtectionVerdict::Clean => {}
+            ProtectionVerdict::CorrectedData(_) | ProtectionVerdict::CorrectedCheck => {
+                self.reliability.faults_detected += 1;
+                self.reliability.faults_corrected += 1;
+            }
+            ProtectionVerdict::Uncorrectable => {
+                self.reliability.faults_detected += 1;
+                self.reliability.faults_uncorrected += 1;
+                self.states[idx].history.reset();
+            }
+        }
         let verdict = self.states[idx].dirs.verify_and_repair();
         match verdict {
             ProtectionVerdict::Clean => {}
@@ -804,7 +868,7 @@ impl CntCache {
                 self.handle_uncorrectable(loc, idx);
             }
         }
-        verdict
+        worse_verdict(verdict, history_verdict)
     }
 
     /// Charges the re-write of the protected D register after a repair.
@@ -839,10 +903,13 @@ impl CntCache {
                     self.reliability.dirty_lines_invalidated += 1;
                 }
                 self.reliability.lines_invalidated += 1;
-                self.states[idx] = LineState::fresh(ProtectedDirectionBits::all_normal(
-                    self.codec.layout().partitions(),
-                    self.protection,
-                ));
+                self.states[idx] = LineState::fresh(
+                    ProtectedDirectionBits::all_normal(
+                        self.codec.layout().partitions(),
+                        self.protection,
+                    ),
+                    self.fresh_history,
+                );
             }
             MetadataFaultPolicy::FallbackBaseline => {
                 self.degraded_lines.push(base);
@@ -1039,6 +1106,7 @@ impl CntCache {
             fill_preference: self.fill_preference,
             zero_flag: self.zero_flag,
             protection: self.protection,
+            fresh_history: self.fresh_history,
             metadata_scale: if self.config.meter_metadata {
                 self.config.metadata_energy_scale
             } else {
@@ -1196,6 +1264,62 @@ impl CntCache {
         true
     }
 
+    /// Fault injection into the history (H) counters: flips stored bit
+    /// `bit` of the packed `A_num`/`Wr_num` register of the line at `loc`
+    /// without updating the protection check bits — a soft-error upset in
+    /// the H metadata array. Unprotected, the corrupted counters silently
+    /// skew the next window's prediction (fired early or late, with a
+    /// wrong `Wr_num`); protected, the next verification repairs them.
+    ///
+    /// Returns `false` (and injects nothing) if the line is invalid or
+    /// the register stores fewer than `bit + 1` counter bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn inject_history_fault(&mut self, loc: LineLocation, bit: u32) -> bool {
+        if !self.cache.line_at(loc).is_valid() {
+            return false;
+        }
+        let idx = self.line_index(loc);
+        if bit >= self.states[idx].history.data_bits() {
+            return false;
+        }
+        self.states[idx].history.upset_bit(bit);
+        self.reliability.faults_injected += 1;
+        true
+    }
+
+    /// Stored data bits of each line's history (H) register — the valid
+    /// `bit` range for [`inject_history_fault`](Self::inject_history_fault).
+    pub fn history_data_bits(&self) -> u32 {
+        self.fresh_history.data_bits()
+    }
+
+    /// Fault injection into the history register's protection *check*
+    /// bits (the counterpart of [`inject_check_fault`](Self::inject_check_fault)
+    /// for the H field).
+    ///
+    /// Returns `false` (and injects nothing) if the line is invalid or
+    /// the active mode stores fewer than `bit + 1` check bits over the
+    /// history register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn inject_history_check_fault(&mut self, loc: LineLocation, bit: u32) -> bool {
+        if !self.cache.line_at(loc).is_valid() {
+            return false;
+        }
+        let idx = self.line_index(loc);
+        if bit >= self.states[idx].history.check_storage_bits() {
+            return false;
+        }
+        self.states[idx].history.upset_check(bit);
+        self.reliability.faults_injected += 1;
+        true
+    }
+
     /// Audits the cache's internal invariants: per-line metadata shape,
     /// history-counter bounds, and FIFO referential integrity. Intended
     /// for tests and debugging; a healthy cache always passes.
@@ -1221,19 +1345,31 @@ impl CntCache {
                     state.dirs.partitions()
                 )));
             }
-            if state.history.writes() > state.history.accesses() {
+            if state.history.window() != self.fresh_history.window() {
                 return Err(AuditError::new(format!(
-                    "line {i}: write counter {} exceeds access counter {}",
-                    state.history.writes(),
-                    state.history.accesses()
+                    "line {i}: history register window {} does not match the cache's {}",
+                    state.history.window(),
+                    self.fresh_history.window()
                 )));
             }
-            if let Some(w) = window {
-                if state.history.accesses() >= w {
+            // Counter-bound invariants hold on fault-free runs; injected
+            // history upsets legitimately push the counters out of range
+            // until the next verification repairs or resets them.
+            if self.reliability.faults_injected == 0 {
+                if state.history.writes() > state.history.accesses() {
                     return Err(AuditError::new(format!(
-                        "line {i}: history counter {} reached the window {w} without reset",
+                        "line {i}: write counter {} exceeds access counter {}",
+                        state.history.writes(),
                         state.history.accesses()
                     )));
+                }
+                if let Some(w) = window {
+                    if state.history.accesses() >= w {
+                        return Err(AuditError::new(format!(
+                            "line {i}: history counter {} reached the window {w} without reset",
+                            state.history.accesses()
+                        )));
+                    }
                 }
             }
             // On a fault-free run the protection code must be clean for
@@ -1286,6 +1422,152 @@ impl CntCache {
         }
         Ok(())
     }
+
+    /// Captures the complete resumable state: lines, memory, per-line
+    /// encoding metadata, the deferred-update FIFO, all counters, and the
+    /// accumulated energy breakdown. Everything derived purely from the
+    /// configuration (codec, predictor, threshold table) is *not*
+    /// captured — it is rebuilt identically on restore.
+    pub(crate) fn checkpoint_data(&self) -> CacheCheckpoint {
+        CacheCheckpoint {
+            cache: self.cache.snapshot(),
+            memory: self.memory.snapshot(),
+            states: self
+                .states
+                .iter()
+                .map(|s| LineStateSnapshot {
+                    dirs: s.dirs,
+                    history: s.history,
+                    last_pattern: s.last_pattern,
+                    streak: s.streak,
+                    pinned: s.pinned,
+                })
+                .collect(),
+            fifo_queue: self.fifo.iter().copied().collect(),
+            fifo_stats: *self.fifo.stats(),
+            counters: self.counters,
+            reliability: self.reliability,
+            degraded_lines: self.degraded_lines.clone(),
+            breakdown: self.meter.breakdown().clone(),
+        }
+    }
+
+    /// Replaces the cache's state with `ckpt`, validating every shape
+    /// against the live configuration *before* mutating anything: on
+    /// error the cache is exactly as it was (never a partial restore).
+    pub(crate) fn restore_from(&mut self, ckpt: CacheCheckpoint) -> Result<(), String> {
+        let expected = self.config.geometry.num_lines() as usize;
+        if ckpt.states.len() != expected {
+            return Err(format!(
+                "checkpoint carries {} line states, geometry has {expected} lines",
+                ckpt.states.len()
+            ));
+        }
+        let partitions = self.codec.layout().partitions();
+        for (i, s) in ckpt.states.iter().enumerate() {
+            if s.dirs.partitions() != partitions {
+                return Err(format!(
+                    "line {i}: direction bits track {} partitions, codec has {partitions}",
+                    s.dirs.partitions()
+                ));
+            }
+            if s.dirs.mode() != self.protection {
+                return Err(format!(
+                    "line {i}: direction protection {:?} does not match the configured {:?}",
+                    s.dirs.mode(),
+                    self.protection
+                ));
+            }
+            if s.history.window() != self.fresh_history.window() {
+                return Err(format!(
+                    "line {i}: history window {} does not match the configured {}",
+                    s.history.window(),
+                    self.fresh_history.window()
+                ));
+            }
+            if s.history.mode() != self.protection {
+                return Err(format!(
+                    "line {i}: history protection {:?} does not match the configured {:?}",
+                    s.history.mode(),
+                    self.protection
+                ));
+            }
+        }
+        // Build every fallible piece on the side first ...
+        let memory = MainMemory::from_snapshot(ckpt.memory)?;
+        let mut fifo = self.fifo.clone();
+        fifo.restore(FifoSnapshot {
+            queue: ckpt.fifo_queue,
+            stats: ckpt.fifo_stats,
+        })?;
+        // ... then perform the one in-place (but itself all-or-nothing)
+        // restore, and only after it succeeds commit the rest.
+        self.cache.restore(ckpt.cache)?;
+        self.memory = memory;
+        self.fifo = fifo;
+        self.states = ckpt
+            .states
+            .into_iter()
+            .map(|s| LineState {
+                dirs: s.dirs,
+                history: s.history,
+                last_pattern: s.last_pattern,
+                streak: s.streak,
+                pinned: s.pinned,
+            })
+            .collect();
+        self.counters = ckpt.counters;
+        self.reliability = ckpt.reliability;
+        self.degraded_lines = ckpt.degraded_lines;
+        self.meter.restore_breakdown(ckpt.breakdown);
+        Ok(())
+    }
+}
+
+pub(crate) fn bad_state(section: &str, what: impl Into<String>) -> CheckpointError {
+    CheckpointError::BadState {
+        section: section.to_string(),
+        what: what.into(),
+    }
+}
+
+impl Checkpointable for CntCache {
+    fn section_name(&self) -> &'static str {
+        "cache"
+    }
+
+    fn encode_state(&self) -> Result<Vec<u8>, CheckpointError> {
+        serde_json::to_string(&self.checkpoint_data())
+            .map(String::into_bytes)
+            .map_err(|e| bad_state("cache", format!("serialize: {e}")))
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| bad_state("cache", "payload is not UTF-8"))?;
+        let ckpt: CacheCheckpoint =
+            serde_json::from_str(text).map_err(|e| bad_state("cache", format!("decode: {e}")))?;
+        self.restore_from(ckpt)
+            .map_err(|what| bad_state("cache", what))
+    }
+}
+
+/// The more severe of two protection verdicts, for combined reporting of
+/// the D-bit and H-counter checks on one line.
+fn worse_verdict(a: ProtectionVerdict, b: ProtectionVerdict) -> ProtectionVerdict {
+    fn rank(v: ProtectionVerdict) -> u8 {
+        match v {
+            ProtectionVerdict::Clean => 0,
+            ProtectionVerdict::CorrectedCheck => 1,
+            ProtectionVerdict::CorrectedData(_) => 2,
+            ProtectionVerdict::Uncorrectable => 3,
+        }
+    }
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
 }
 
 /// An internal invariant violated, as reported by [`CntCache::audit`].
@@ -1323,6 +1605,8 @@ struct MeterObserver<'a> {
     /// Direction-metadata protection active on this cache (fresh fills
     /// compute and charge their check bits here).
     protection: ProtectionMode,
+    /// Template history register for freshly-filled lines.
+    fresh_history: ProtectedHistory,
     /// Sidecar-array energy scale for the zero flags.
     metadata_scale: f64,
 }
@@ -1381,8 +1665,10 @@ impl ArrayObserver for MeterObserver<'_> {
         // Any queued update belongs to the evicted occupant of this slot.
         self.fifo.cancel_where(|u| u.location() == loc);
         if self.zero_flag {
-            self.states[idx] =
-                LineState::fresh(ProtectedDirectionBits::all_normal(1, self.protection));
+            self.states[idx] = LineState::fresh(
+                ProtectedDirectionBits::all_normal(1, self.protection),
+                self.fresh_history,
+            );
             let nonzero = data.iter().filter(|&&w| w != 0).count() as u32;
             // One flag per word is written; only non-zero words hit the array.
             self.meter.charge_write_bits_scaled(
@@ -1402,7 +1688,7 @@ impl ArrayObserver for MeterObserver<'_> {
             None => DirectionBits::all_normal(self.codec.layout().partitions()),
         };
         let dirs = ProtectedDirectionBits::new(dirs, self.protection);
-        self.states[idx] = LineState::fresh(dirs);
+        self.states[idx] = LineState::fresh(dirs, self.fresh_history);
         if self.protection != ProtectionMode::None {
             // A fresh line's check bits are computed and written with it.
             self.meter.charge_write_bits_scaled(
@@ -1846,6 +2132,169 @@ mod tests {
             ratio_dense > 0.85 && ratio_dense < 1.05,
             "dense data: ratio {ratio_dense}"
         );
+    }
+
+    /// A deterministic mixed read/write stream with enough conflict
+    /// misses and window completions to exercise every piece of state.
+    fn churn(cache: &mut CntCache, range: std::ops::Range<u64>) {
+        for i in range {
+            let addr = Address::new((i.wrapping_mul(0x61C8_8647) % 0x2000) & !7);
+            if i % 3 == 0 {
+                cache.write(addr, 8, i.wrapping_mul(0x9E37)).expect("write");
+            } else {
+                cache.read(addr, 8).expect("read");
+            }
+        }
+    }
+
+    fn report_json(cache: &CntCache) -> String {
+        serde_json::to_string(&cache.report()).expect("report serializes")
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let mut cfg = config(adaptive(4, 8));
+        cfg.protection = ProtectionMode::Secded;
+        // Uninterrupted control run.
+        let mut control = CntCache::new(cfg.clone()).expect("valid");
+        churn(&mut control, 0..300);
+
+        // Checkpoint halfway, continue the original ...
+        let mut original = CntCache::new(cfg.clone()).expect("valid");
+        churn(&mut original, 0..150);
+        let bytes = original.encode_state().expect("encodes");
+        churn(&mut original, 150..300);
+
+        // ... and resume a fresh cache from the checkpoint.
+        let mut resumed = CntCache::new(cfg).expect("valid");
+        resumed.restore_state(&bytes).expect("restores");
+        assert!(resumed.audit().is_ok(), "restored cache must audit clean");
+        churn(&mut resumed, 150..300);
+
+        let expected = report_json(&control);
+        assert_eq!(report_json(&original), expected);
+        assert_eq!(report_json(&resumed), expected, "resume diverged");
+        assert_eq!(
+            resumed.fifo_stats(),
+            control.fifo_stats(),
+            "FIFO history diverged"
+        );
+        // The backing memories agree too.
+        assert_eq!(
+            serde_json::to_string(&resumed.memory_mut().snapshot()).expect("json"),
+            serde_json::to_string(&control.memory_mut().snapshot()).expect("json"),
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_state_untouched() {
+        let mut donor = CntCache::new(config(adaptive(4, 8))).expect("valid");
+        churn(&mut donor, 0..100);
+        let bytes = donor.encode_state().expect("encodes");
+
+        // Same geometry, different predictor window: history registers
+        // do not fit.
+        let mut other_window = CntCache::new(config(adaptive(15, 8))).expect("valid");
+        churn(&mut other_window, 0..10);
+        let before = report_json(&other_window);
+        let err = other_window.restore_state(&bytes).expect_err("must refuse");
+        assert!(
+            matches!(err, CheckpointError::BadState { .. }),
+            "unexpected error {err:?}"
+        );
+        assert_eq!(report_json(&other_window), before, "partial restore");
+
+        // Different geometry: wrong number of line states.
+        let big = CntCacheConfig::builder()
+            .size_bytes(8192)
+            .line_bytes(64)
+            .associativity(2)
+            .policy(adaptive(4, 8))
+            .build()
+            .expect("valid");
+        let mut other_geometry = CntCache::new(big).expect("valid");
+        assert!(matches!(
+            other_geometry.restore_state(&bytes),
+            Err(CheckpointError::BadState { .. })
+        ));
+
+        // Garbage payload.
+        let mut target = CntCache::new(config(adaptive(4, 8))).expect("valid");
+        assert!(matches!(
+            target.restore_state(b"not json"),
+            Err(CheckpointError::BadState { .. })
+        ));
+    }
+
+    #[test]
+    fn unprotected_history_fault_skews_predictions_silently() {
+        let run = |inject: bool| {
+            let mut cache = CntCache::new(config(adaptive(8, 8))).expect("valid");
+            // Make line 0 resident and two accesses into its window.
+            for _ in 0..3 {
+                cache.read(Address::new(0), 8).expect("read");
+            }
+            if inject {
+                // Flip A_num bit 2: counter 3 -> 7, one short of the
+                // window — the next access fires the window early and
+                // every later boundary lands 4 accesses sooner.
+                assert!(cache.inject_history_fault(LineLocation { set: 0, way: 0 }, 2));
+            }
+            // 36 accesses total: the clean run completes windows at
+            // accesses 8/16/24/32, the skewed run at 4/12/20/28/36.
+            for _ in 0..33 {
+                cache.read(Address::new(0), 8).expect("read");
+            }
+            cache
+        };
+        let clean = run(false);
+        let skewed = run(true);
+        assert_ne!(
+            clean.encoding_counters().windows,
+            skewed.encoding_counters().windows,
+            "the upset must shift every subsequent window boundary"
+        );
+        // ... and nothing detected it: that is the silent skew.
+        assert_eq!(skewed.reliability_counters().faults_detected, 0);
+    }
+
+    #[test]
+    fn protected_history_fault_is_repaired_with_zero_skew() {
+        let run = |inject: bool| {
+            let mut cfg = config(adaptive(8, 8));
+            cfg.protection = ProtectionMode::Secded;
+            let mut cache = CntCache::new(cfg).expect("valid");
+            for _ in 0..3 {
+                cache.read(Address::new(0), 8).expect("read");
+            }
+            if inject {
+                assert!(cache.inject_history_fault(LineLocation { set: 0, way: 0 }, 2));
+            }
+            for _ in 0..32 {
+                cache.read(Address::new(0), 8).expect("read");
+            }
+            cache
+        };
+        let clean = run(false);
+        let faulted = run(true);
+        assert_eq!(
+            clean.encoding_counters(),
+            faulted.encoding_counters(),
+            "SECDED must repair the H counters before they skew a window"
+        );
+        assert!(faulted.reliability_counters().faults_corrected >= 1);
+        assert_eq!(faulted.reliability_counters().faults_uncorrected, 0);
+    }
+
+    #[test]
+    fn history_check_faults_are_detected() {
+        let mut cfg = config(adaptive(8, 8));
+        cfg.protection = ProtectionMode::Secded;
+        let mut cache = CntCache::new(cfg).expect("valid");
+        cache.read(Address::new(0), 8).expect("read");
+        assert!(cache.inject_history_check_fault(LineLocation { set: 0, way: 0 }, 0));
+        cache.read(Address::new(0), 8).expect("read");
+        assert!(cache.reliability_counters().faults_corrected >= 1);
     }
 
     #[test]

@@ -111,6 +111,36 @@ impl CntCacheConfig {
     pub fn builder() -> CntCacheConfigBuilder {
         CntCacheConfigBuilder::new()
     }
+
+    /// FNV-1a digest of the *complete* configuration (over its canonical
+    /// JSON form). `--resume` requires an exact match: any knob that
+    /// differs means the checkpointed run and the resuming run are not
+    /// the same experiment.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("a valid config always serializes");
+        cnt_trace::fnv1a(json.as_bytes())
+    }
+
+    /// FNV-1a digest of the configuration's *shape*: everything that
+    /// determines whether a checkpointed state is structurally loadable
+    /// (geometry, policy kind, window, partitions, FIFO, protection, ...)
+    /// with the fork-safe knobs neutralized — the display name, the
+    /// energy model, the metadata energy scale, the predictor's `ΔT`
+    /// hysteresis, and the fault policy. Warm-fork sweeps vary exactly
+    /// those knobs from one warmed checkpoint, so they match on this
+    /// digest instead of [`fingerprint`](Self::fingerprint).
+    pub fn shape_fingerprint(&self) -> u64 {
+        let mut shape = self.clone();
+        shape.name = String::new();
+        shape.energy = SramEnergyModel::cnfet_default();
+        shape.metadata_energy_scale = 0.0;
+        shape.fault_policy = MetadataFaultPolicy::default();
+        if let EncodingPolicy::Adaptive(params) = &mut shape.policy {
+            params.delta_t = 0.0;
+        }
+        let json = serde_json::to_string(&shape).expect("a valid config always serializes");
+        cnt_trace::fnv1a(json.as_bytes())
+    }
 }
 
 /// Builder for [`CntCacheConfig`].

@@ -7,9 +7,11 @@
 //! D-Cache; here any subset of levels can be encoded and compared.
 
 use cnt_sim::trace::{AccessKind, MemoryAccess};
-use cnt_sim::{AccessError, Address, Backing, MainMemory};
+use cnt_sim::{AccessError, Address, Backing, MainMemory, MemorySnapshot};
+use cnt_trace::{CheckpointError, Checkpointable};
+use serde::{Deserialize, Serialize};
 
-use crate::cnt::CntCache;
+use crate::cnt::{bad_state, CacheCheckpoint, CntCache};
 use crate::config::{CntCacheConfig, ConfigError};
 use crate::report::EnergyReport;
 
@@ -271,6 +273,70 @@ impl CntHierarchy {
     }
 }
 
+/// The complete resumable state of a [`CntHierarchy`]: one
+/// [`CacheCheckpoint`] per level plus the shared backing memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HierarchyCheckpoint {
+    l1i: CacheCheckpoint,
+    l1d: CacheCheckpoint,
+    l2: Option<CacheCheckpoint>,
+    memory: MemorySnapshot,
+}
+
+impl Checkpointable for CntHierarchy {
+    fn section_name(&self) -> &'static str {
+        "hierarchy"
+    }
+
+    fn encode_state(&self) -> Result<Vec<u8>, CheckpointError> {
+        let ckpt = HierarchyCheckpoint {
+            l1i: self.l1i.checkpoint_data(),
+            l1d: self.l1d.checkpoint_data(),
+            l2: self.l2.as_ref().map(CntCache::checkpoint_data),
+            memory: self.memory.snapshot(),
+        };
+        serde_json::to_string(&ckpt)
+            .map(String::into_bytes)
+            .map_err(|e| bad_state("hierarchy", format!("serialize: {e}")))
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| bad_state("hierarchy", "payload is not UTF-8"))?;
+        let ckpt: HierarchyCheckpoint = serde_json::from_str(text)
+            .map_err(|e| bad_state("hierarchy", format!("decode: {e}")))?;
+        if ckpt.l2.is_some() != self.l2.is_some() {
+            return Err(bad_state(
+                "hierarchy",
+                "checkpoint and configuration disagree on the presence of an L2",
+            ));
+        }
+        // Restore into fresh levels on the side so a failure at any point
+        // leaves the live hierarchy exactly as it was.
+        let restore_level = |live: &CntCache, data| -> Result<CntCache, CheckpointError> {
+            let mut level = CntCache::new(live.config().clone())
+                .map_err(|e| bad_state("hierarchy", format!("rebuild level: {e}")))?;
+            level
+                .restore_from(data)
+                .map_err(|what| bad_state("hierarchy", what))?;
+            Ok(level)
+        };
+        let l1i = restore_level(&self.l1i, ckpt.l1i)?;
+        let l1d = restore_level(&self.l1d, ckpt.l1d)?;
+        let l2 = match (&self.l2, ckpt.l2) {
+            (Some(live), Some(data)) => Some(restore_level(live, data)?),
+            _ => None,
+        };
+        let memory =
+            MainMemory::from_snapshot(ckpt.memory).map_err(|what| bad_state("hierarchy", what))?;
+        self.l1i = l1i;
+        self.l1d = l1d;
+        self.l2 = l2;
+        self.memory = memory;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +446,63 @@ mod tests {
             l2.encoding.switches_applied > 0,
             "L2 never adapted: {:?}",
             l2.encoding
+        );
+    }
+
+    fn mixed(h: &mut CntHierarchy, range: std::ops::Range<u64>) {
+        for i in range {
+            let addr = Address::new((i.wrapping_mul(0x61C8_8647) % 0x4000) & !7);
+            match i % 3 {
+                0 => h.access(&MemoryAccess::write(addr, 8, i)).expect("write"),
+                1 => h.access(&MemoryAccess::read(addr, 8)).expect("read"),
+                _ => h
+                    .access(&MemoryAccess::ifetch(Address::new(
+                        0x10_0000 + (i % 64) * 64,
+                    )))
+                    .expect("ifetch"),
+            };
+        }
+    }
+
+    fn reports_json(h: &CntHierarchy) -> String {
+        serde_json::to_string(&h.reports()).expect("reports serialize")
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let config = small_config(
+            EncodingPolicy::adaptive_default(),
+            EncodingPolicy::adaptive_default(),
+        );
+        let mut control = CntHierarchy::new(config.clone()).expect("valid");
+        mixed(&mut control, 0..400);
+
+        let mut original = CntHierarchy::new(config.clone()).expect("valid");
+        mixed(&mut original, 0..200);
+        let bytes = original.encode_state().expect("encodes");
+
+        let mut resumed = CntHierarchy::new(config).expect("valid");
+        resumed.restore_state(&bytes).expect("restores");
+        mixed(&mut resumed, 200..400);
+        mixed(&mut original, 200..400);
+
+        let expected = reports_json(&control);
+        assert_eq!(reports_json(&original), expected);
+        assert_eq!(reports_json(&resumed), expected, "resume diverged");
+    }
+
+    #[test]
+    fn restore_rejects_l2_mismatch() {
+        let with_l2 = small_config(EncodingPolicy::None, EncodingPolicy::None);
+        let mut no_l2 = with_l2.clone();
+        no_l2.l2 = None;
+
+        let donor = CntHierarchy::new(with_l2).expect("valid");
+        let bytes = donor.encode_state().expect("encodes");
+        let mut target = CntHierarchy::new(no_l2).expect("valid");
+        assert!(
+            target.restore_state(&bytes).is_err(),
+            "a checkpoint with an L2 must not restore into a 2-level hierarchy"
         );
     }
 

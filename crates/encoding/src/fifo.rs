@@ -61,6 +61,19 @@ impl FifoStats {
     }
 }
 
+/// Image of an [`UpdateFifo`]: the pending updates (oldest first) plus
+/// traffic statistics. Produced by [`UpdateFifo::snapshot`] and consumed
+/// by [`UpdateFifo::restore`]. (Not itself serde-serializable — the
+/// vendored derive shim has no generics support — so checkpoint formats
+/// serialize the two public fields themselves.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct FifoSnapshot<T> {
+    /// Pending updates, oldest first.
+    pub queue: Vec<T>,
+    /// Traffic statistics at capture time.
+    pub stats: FifoStats,
+}
+
 /// A bounded queue of pending encoding updates.
 ///
 /// # Example
@@ -178,6 +191,58 @@ impl<T> UpdateFifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.queue.iter()
     }
+
+    /// Captures the queue contents and statistics for checkpointing.
+    pub fn snapshot(&self) -> FifoSnapshot<T>
+    where
+        T: Clone,
+    {
+        FifoSnapshot {
+            queue: self.queue.iter().cloned().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured with [`snapshot`](Self::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Fails — leaving this FIFO untouched — if the snapshot overflows
+    /// this FIFO's capacity or its statistics do not reconcile with the
+    /// queue (`pushed == drained + cancelled + dropped_from_queue + len`).
+    pub fn restore(&mut self, snap: FifoSnapshot<T>) -> Result<(), String> {
+        if snap.queue.len() > self.capacity {
+            return Err(format!(
+                "snapshot holds {} pending updates, capacity is {}",
+                snap.queue.len(),
+                self.capacity
+            ));
+        }
+        let accounted = snap
+            .stats
+            .drained
+            .checked_add(snap.stats.cancelled)
+            .and_then(|n| n.checked_add(snap.stats.dropped_from_queue))
+            .and_then(|n| n.checked_add(snap.queue.len() as u64));
+        if accounted != Some(snap.stats.pushed) {
+            return Err(format!(
+                "snapshot stats do not reconcile with {} queued updates: {:?}",
+                snap.queue.len(),
+                snap.stats
+            ));
+        }
+        if snap.stats.max_occupancy < snap.queue.len() || snap.stats.max_occupancy > self.capacity {
+            return Err(format!(
+                "snapshot max_occupancy {} is impossible for a queue of {} in capacity {}",
+                snap.stats.max_occupancy,
+                snap.queue.len(),
+                self.capacity
+            ));
+        }
+        self.queue = snap.queue.into();
+        self.stats = snap.stats;
+        Ok(())
+    }
 }
 
 impl<T> fmt::Display for UpdateFifo<T> {
@@ -292,6 +357,60 @@ mod tests {
             }
             assert_eq!(f.stats().in_queue(), 0, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut f = UpdateFifo::new(4, OverflowPolicy::DropOldest);
+        for i in 0..7 {
+            f.push(i);
+        }
+        f.pop();
+        f.cancel_where(|&i| i == 4);
+        let snap = f.snapshot();
+        let mut g = UpdateFifo::new(4, OverflowPolicy::DropOldest);
+        g.restore(snap).expect("valid snapshot");
+        assert_eq!(g.stats(), f.stats());
+        assert_eq!(
+            g.iter().copied().collect::<Vec<_>>(),
+            f.iter().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(g.stats().in_queue(), g.len() as u64);
+        assert_eq!(g.pop(), f.pop());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut f = UpdateFifo::new(2, OverflowPolicy::DropNewest);
+        let over = FifoSnapshot {
+            queue: vec![1, 2, 3],
+            stats: FifoStats {
+                pushed: 3,
+                max_occupancy: 3,
+                ..FifoStats::default()
+            },
+        };
+        assert!(f.restore(over).is_err(), "over capacity");
+        let unbalanced = FifoSnapshot {
+            queue: vec![1],
+            stats: FifoStats {
+                pushed: 5,
+                max_occupancy: 2,
+                ..FifoStats::default()
+            },
+        };
+        assert!(f.restore(unbalanced).is_err(), "stats do not reconcile");
+        let impossible_peak = FifoSnapshot {
+            queue: vec![1, 2],
+            stats: FifoStats {
+                pushed: 2,
+                max_occupancy: 1,
+                ..FifoStats::default()
+            },
+        };
+        assert!(f.restore(impossible_peak).is_err(), "peak below occupancy");
+        assert!(f.is_empty(), "rejected restores leave the FIFO untouched");
+        assert_eq!(f.stats(), &FifoStats::default());
     }
 
     #[test]

@@ -35,6 +35,21 @@ impl AccessHistory {
         AccessHistory::default()
     }
 
+    /// Rebuilds counters from raw values (checkpoint restore, protected
+    /// decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wr_num > a_num` — more writes than accesses is not a
+    /// state [`record`](Self::record) can produce.
+    pub fn from_raw(a_num: u32, wr_num: u32) -> Self {
+        assert!(
+            wr_num <= a_num,
+            "wr_num {wr_num} exceeds a_num {a_num}: not a reachable history"
+        );
+        AccessHistory { a_num, wr_num }
+    }
+
     /// `A_num`: accesses recorded this window.
     pub fn accesses(&self) -> u32 {
         self.a_num

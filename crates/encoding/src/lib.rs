@@ -63,8 +63,8 @@ mod threshold;
 pub use codec::{BitPreference, LineCodec, PartitionLayout, MAX_PARTITIONS};
 pub use direction::{DirectionBits, EncodingDirection};
 pub use error::EncodingError;
-pub use fifo::{FifoStats, OverflowPolicy, UpdateFifo};
+pub use fifo::{FifoSnapshot, FifoStats, OverflowPolicy, UpdateFifo};
 pub use history::AccessHistory;
 pub use predictor::{Decision, DirectionPredictor, PredictorConfig, WindowSummary};
-pub use protect::{ProtectedDirectionBits, ProtectionMode, ProtectionVerdict};
+pub use protect::{ProtectedDirectionBits, ProtectedHistory, ProtectionMode, ProtectionVerdict};
 pub use threshold::{AccessPattern, FlipRule, ThresholdTable};

@@ -174,6 +174,39 @@ impl DirectionPredictor {
         }
     }
 
+    /// [`observe`](Self::observe) against a *protected* history register.
+    ///
+    /// Unlike the plain path this never panics on counters an upset has
+    /// pushed out of range: the window fires as soon as `A_num` reaches
+    /// `W` and `Wr_num` is clamped into `0 ..= W` for the table lookup.
+    /// That clamping is the *silent prediction skew* an unprotected
+    /// register suffers — the `fig13` history campaign quantifies it —
+    /// while a protected register repairs the upset before it gets here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` was built for a different window length.
+    pub fn observe_protected(
+        &self,
+        history: &mut crate::ProtectedHistory,
+        is_write: bool,
+    ) -> Option<WindowSummary> {
+        assert_eq!(
+            history.window(),
+            self.config.window,
+            "history register window does not match the predictor's"
+        );
+        if history.record(is_write) {
+            let summary = WindowSummary {
+                wr_num: history.writes().min(self.config.window),
+            };
+            history.reset();
+            Some(summary)
+        } else {
+            None
+        }
+    }
+
     /// Algorithm 1 steps 1–2 for one line at a window boundary.
     ///
     /// `logical_line` is the line's logical (decoded) content;
@@ -260,6 +293,41 @@ mod tests {
         let s = p.observe(&mut h, false).expect("fourth access completes");
         assert_eq!(s.wr_num, 2);
         assert_eq!(h.accesses(), 0, "history must reset after the window");
+    }
+
+    #[test]
+    fn observe_protected_matches_plain_path_and_clamps_upsets() {
+        use crate::{ProtectedHistory, ProtectionMode};
+        let p = predictor(4, 8, 0.0);
+        let mut plain = AccessHistory::new();
+        let mut protected = ProtectedHistory::new(4, ProtectionMode::Secded);
+        for i in 0..12 {
+            let is_write = i % 3 == 0;
+            assert_eq!(
+                p.observe(&mut plain, is_write),
+                p.observe_protected(&mut protected, is_write),
+                "paths diverged at access {i}"
+            );
+        }
+        // An upset-inflated Wr_num is clamped into the table's domain
+        // instead of panicking: the skewed-but-running behaviour an
+        // unprotected register exhibits.
+        let mut upset = ProtectedHistory::new(4, ProtectionMode::None);
+        upset.record(true); // A_num = 1, Wr_num = 1
+        upset.upset_bit(upset.counter_bits()); // Wr_num 1 -> 0
+        upset.upset_bit(upset.counter_bits() + 1); // Wr_num 0 -> 2
+        upset.upset_bit(upset.counter_bits() + 2); // Wr_num 2 -> 6 > window
+        upset.upset_bit(0); // A_num 1 -> 0
+        upset.upset_bit(1); // A_num 0 -> 2, still below the window
+        let mut fired = None;
+        for _ in 0..4 {
+            if let Some(s) = p.observe_protected(&mut upset, true) {
+                fired = Some(s);
+                break;
+            }
+        }
+        let s = fired.expect("inflated A_num fires the window early");
+        assert!(s.wr_num <= 4, "clamped into the table domain");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::ops::Deref;
 use serde::{Deserialize, Serialize};
 
 use crate::direction::{DirectionBits, EncodingDirection};
+use crate::history::AccessHistory;
 
 /// How (and whether) the per-line direction vector is protected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -134,6 +135,53 @@ fn secded_encode(mask: u64, data_bits: u32) -> u64 {
     }
     let overall = (mask.count_ones() + parities.count_ones()) & 1;
     parities | (u64::from(overall) << r)
+}
+
+/// The decoder shared by every protected metadata register: verdict for
+/// a `data_bits`-bit data word against its stored check word.
+fn code_verdict(mode: ProtectionMode, data: u64, data_bits: u32, check: u64) -> ProtectionVerdict {
+    match mode {
+        ProtectionMode::None => ProtectionVerdict::Clean,
+        ProtectionMode::Parity => {
+            if mode.encode(data, data_bits) == check {
+                ProtectionVerdict::Clean
+            } else {
+                ProtectionVerdict::Uncorrectable
+            }
+        }
+        ProtectionMode::Secded => {
+            let r = hamming_parity_bits(data_bits);
+            let expected = secded_encode(data, data_bits);
+            // Syndrome: which Hamming parities disagree with the data.
+            let syndrome = ((expected ^ check) & ((1 << r) - 1)) as u32;
+            // Overall parity over the *received* codeword: data bits,
+            // stored Hamming parities, stored overall bit.
+            let stored_parities = check & ((1 << r) - 1);
+            let stored_overall = (check >> r & 1) as u32;
+            let overall = (data.count_ones() + stored_parities.count_ones() + stored_overall) & 1;
+            match (syndrome, overall) {
+                (0, 0) => ProtectionVerdict::Clean,
+                // Odd overall parity: a single upset at codeword
+                // position `syndrome` (0 = the overall bit itself).
+                (0, _) => ProtectionVerdict::CorrectedCheck,
+                (s, 1) => {
+                    if s.is_power_of_two() && s.trailing_zeros() < r {
+                        ProtectionVerdict::CorrectedCheck
+                    } else {
+                        match data_index_at(s, data_bits, r) {
+                            Some(i) => ProtectionVerdict::CorrectedData(i),
+                            // Syndrome points outside the codeword:
+                            // must be a multi-bit upset.
+                            None => ProtectionVerdict::Uncorrectable,
+                        }
+                    }
+                }
+                // Non-zero syndrome with even overall parity: double
+                // upset.
+                (_, _) => ProtectionVerdict::Uncorrectable,
+            }
+        }
+    }
 }
 
 /// The outcome of verifying (and possibly repairing) protected metadata.
@@ -323,51 +371,12 @@ impl ProtectedDirectionBits {
 
     /// The decoder's verdict without mutating anything.
     pub fn verdict(&self) -> ProtectionVerdict {
-        let d = self.dirs.partitions();
-        let mask = self.dirs.mask();
-        match self.mode {
-            ProtectionMode::None => ProtectionVerdict::Clean,
-            ProtectionMode::Parity => {
-                if self.mode.encode(mask, d) == self.check {
-                    ProtectionVerdict::Clean
-                } else {
-                    ProtectionVerdict::Uncorrectable
-                }
-            }
-            ProtectionMode::Secded => {
-                let r = hamming_parity_bits(d);
-                let expected = secded_encode(mask, d);
-                // Syndrome: which Hamming parities disagree with the data.
-                let syndrome = ((expected ^ self.check) & ((1 << r) - 1)) as u32;
-                // Overall parity over the *received* codeword: data bits,
-                // stored Hamming parities, stored overall bit.
-                let stored_parities = self.check & ((1 << r) - 1);
-                let stored_overall = (self.check >> r & 1) as u32;
-                let overall =
-                    (mask.count_ones() + stored_parities.count_ones() + stored_overall) & 1;
-                match (syndrome, overall) {
-                    (0, 0) => ProtectionVerdict::Clean,
-                    // Odd overall parity: a single upset at codeword
-                    // position `syndrome` (0 = the overall bit itself).
-                    (0, _) => ProtectionVerdict::CorrectedCheck,
-                    (s, 1) => {
-                        if s.is_power_of_two() && s.trailing_zeros() < r {
-                            ProtectionVerdict::CorrectedCheck
-                        } else {
-                            match data_index_at(s, d, r) {
-                                Some(i) => ProtectionVerdict::CorrectedData(i),
-                                // Syndrome points outside the codeword:
-                                // must be a multi-bit upset.
-                                None => ProtectionVerdict::Uncorrectable,
-                            }
-                        }
-                    }
-                    // Non-zero syndrome with even overall parity: double
-                    // upset.
-                    (_, _) => ProtectionVerdict::Uncorrectable,
-                }
-            }
-        }
+        code_verdict(
+            self.mode,
+            self.dirs.mask(),
+            self.dirs.partitions(),
+            self.check,
+        )
     }
 
     fn recompute(&mut self) {
@@ -379,6 +388,243 @@ impl Deref for ProtectedDirectionBits {
     type Target = DirectionBits;
     fn deref(&self) -> &DirectionBits {
         &self.dirs
+    }
+}
+
+/// The per-line access-history counters (the "H" bits) bundled with
+/// protection check bits, closing the metadata-vulnerability gap fig13
+/// exposed for the D bits: an upset in `A_num`/`Wr_num` silently skews
+/// *when* the predictor fires and what write ratio it sees.
+///
+/// The two counters are packed `A_num | Wr_num << counter_bits` into a
+/// `2 · counter_bits` data word and protected with the same codes as
+/// [`ProtectedDirectionBits`]. Legal updates ([`record`](Self::record),
+/// [`reset`](Self::reset)) recompute the check word; soft errors
+/// ([`upset_bit`](Self::upset_bit), [`upset_check`](Self::upset_check))
+/// do not.
+///
+/// # Example
+///
+/// ```
+/// use cnt_encoding::{ProtectedHistory, ProtectionMode, ProtectionVerdict};
+///
+/// let mut h = ProtectedHistory::new(15, ProtectionMode::Secded);
+/// h.record(true);
+/// h.record(false);
+/// assert_eq!(h.verify_and_repair(), ProtectionVerdict::Clean);
+///
+/// h.upset_bit(0); // A_num bit 0 flips: 2 -> 3
+/// assert_eq!(h.accesses(), 3);
+/// assert_eq!(h.verify_and_repair(), ProtectionVerdict::CorrectedData(0));
+/// assert_eq!(h.accesses(), 2, "the upset was rolled back");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtectedHistory {
+    a_num: u32,
+    wr_num: u32,
+    window: u32,
+    mode: ProtectionMode,
+    check: u64,
+}
+
+impl ProtectedHistory {
+    /// Fresh counters (both zero) for a window of length `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u32, mode: ProtectionMode) -> Self {
+        assert!(window > 0, "window must be positive");
+        let mut h = ProtectedHistory {
+            a_num: 0,
+            wr_num: 0,
+            window,
+            mode,
+            check: 0,
+        };
+        h.recompute();
+        h
+    }
+
+    /// Rebuilds a protected history from plain counters (checkpoint
+    /// restore), computing consistent check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn from_history(history: AccessHistory, window: u32, mode: ProtectionMode) -> Self {
+        let mut h = ProtectedHistory::new(window, mode);
+        h.a_num = history.accesses();
+        h.wr_num = history.writes();
+        h.recompute();
+        h
+    }
+
+    /// The counters as a plain [`AccessHistory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an un-repaired upset left `Wr_num > A_num` (not a
+    /// reachable state); call
+    /// [`verify_and_repair`](Self::verify_and_repair) first.
+    pub fn to_history(self) -> AccessHistory {
+        AccessHistory::from_raw(self.a_num, self.wr_num)
+    }
+
+    /// `A_num`: accesses recorded this window.
+    pub fn accesses(&self) -> u32 {
+        self.a_num
+    }
+
+    /// `Wr_num`: writes recorded this window.
+    pub fn writes(&self) -> u32 {
+        self.wr_num
+    }
+
+    /// Reads recorded this window (saturating: an un-repaired upset can
+    /// leave `Wr_num > A_num`).
+    pub fn reads(&self) -> u32 {
+        self.a_num.saturating_sub(self.wr_num)
+    }
+
+    /// The window length the counters are sized for.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The protection mode.
+    pub fn mode(&self) -> ProtectionMode {
+        self.mode
+    }
+
+    /// The stored check word.
+    pub fn check(&self) -> u64 {
+        self.check
+    }
+
+    /// Bits per counter: `⌈log₂(window + 1)⌉`.
+    pub fn counter_bits(&self) -> u32 {
+        32 - self.window.leading_zeros()
+    }
+
+    /// Protected data bits: both counters packed.
+    pub fn data_bits(&self) -> u32 {
+        2 * self.counter_bits()
+    }
+
+    /// Check bits stored alongside the counters under this mode.
+    pub fn check_storage_bits(&self) -> u32 {
+        self.mode.check_bits(self.data_bits())
+    }
+
+    /// Total metadata storage: counter bits plus check bits.
+    pub fn storage_bits(&self) -> u32 {
+        self.data_bits() + self.check_storage_bits()
+    }
+
+    /// Records one access; returns `true` when the window is full and
+    /// the caller should run the predictor and [`reset`](Self::reset).
+    ///
+    /// Unlike [`AccessHistory::record`] this never panics: an injected
+    /// counter upset can push `A_num` to (or past) the window boundary
+    /// without a reset, and a soft error must not abort the simulator.
+    /// Counters saturate at their physical width; an upset-inflated
+    /// `A_num` simply fires the window early — exactly the silent
+    /// prediction skew the protection modes exist to catch.
+    pub fn record(&mut self, is_write: bool) -> bool {
+        let cap = ((1u64 << self.counter_bits()) - 1) as u32;
+        self.a_num = self.a_num.saturating_add(1).min(cap);
+        if is_write {
+            self.wr_num = self.wr_num.saturating_add(1).min(cap);
+        }
+        self.recompute();
+        self.a_num >= self.window
+    }
+
+    /// Clears both counters and recomputes the check bits.
+    pub fn reset(&mut self) {
+        self.a_num = 0;
+        self.wr_num = 0;
+        self.recompute();
+    }
+
+    /// Soft error: flips packed counter bit `bit` *without* updating the
+    /// check bits. Bits `0..counter_bits` land in `A_num`, the rest in
+    /// `Wr_num`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not a stored counter bit.
+    pub fn upset_bit(&mut self, bit: u32) {
+        assert!(
+            bit < self.data_bits(),
+            "history bit {bit} out of range for {}-bit counters",
+            self.counter_bits()
+        );
+        let c = self.counter_bits();
+        if bit < c {
+            self.a_num ^= 1 << bit;
+        } else {
+            self.wr_num ^= 1 << (bit - c);
+        }
+    }
+
+    /// Soft error: flips check bit `bit` *without* updating anything
+    /// else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not a stored check bit under this mode.
+    pub fn upset_check(&mut self, bit: u32) {
+        assert!(
+            bit < self.check_storage_bits(),
+            "check bit {bit} out of range for {} mode",
+            self.mode
+        );
+        self.check ^= 1 << bit;
+    }
+
+    /// Verifies the check bits against the counters, repairing them when
+    /// the code allows it. Semantics mirror
+    /// [`ProtectedDirectionBits::verify_and_repair`]; here a repaired
+    /// data upset restores the counters themselves, so there is nothing
+    /// further for the caller to roll back.
+    pub fn verify_and_repair(&mut self) -> ProtectionVerdict {
+        let verdict = self.verdict();
+        match verdict {
+            ProtectionVerdict::CorrectedData(bit) => {
+                self.upset_bit(bit); // flip it back
+                self.recompute();
+            }
+            ProtectionVerdict::CorrectedCheck => self.recompute(),
+            ProtectionVerdict::Clean | ProtectionVerdict::Uncorrectable => {}
+        }
+        verdict
+    }
+
+    /// The decoder's verdict without mutating anything.
+    pub fn verdict(&self) -> ProtectionVerdict {
+        code_verdict(self.mode, self.packed(), self.data_bits(), self.check)
+    }
+
+    fn packed(&self) -> u64 {
+        let c = self.counter_bits();
+        let mask = (1u64 << c) - 1;
+        (u64::from(self.a_num) & mask) | (u64::from(self.wr_num) & mask) << c
+    }
+
+    fn recompute(&mut self) {
+        self.check = self.mode.encode(self.packed(), self.data_bits());
+    }
+}
+
+impl fmt::Display for ProtectedHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "A={}/{} Wr={} [{}]",
+            self.a_num, self.window, self.wr_num, self.mode
+        )
     }
 }
 
@@ -530,5 +776,114 @@ mod tests {
     fn display_names_mode() {
         let p = ProtectedDirectionBits::all_normal(4, ProtectionMode::Parity);
         assert_eq!(p.to_string(), "0000 [parity]");
+    }
+
+    #[test]
+    fn history_tracks_plain_counters_under_legal_updates() {
+        let mut plain = AccessHistory::new();
+        let mut protected = ProtectedHistory::new(15, ProtectionMode::Secded);
+        for i in 0..15u32 {
+            let done_plain = plain.record(i % 4 == 0, 15);
+            let done_prot = protected.record(i % 4 == 0);
+            assert_eq!(done_plain, done_prot, "access {i}");
+            assert_eq!(plain.accesses(), protected.accesses());
+            assert_eq!(plain.writes(), protected.writes());
+            assert_eq!(plain.reads(), protected.reads());
+            assert_eq!(protected.verdict(), ProtectionVerdict::Clean);
+        }
+        protected.reset();
+        plain.reset();
+        assert_eq!(protected.to_history(), plain);
+    }
+
+    #[test]
+    fn history_secded_corrects_any_single_counter_upset() {
+        for window in [7u32, 15, 63] {
+            let mut reference = ProtectedHistory::new(window, ProtectionMode::Secded);
+            for i in 0..window / 2 {
+                reference.record(i % 3 == 0);
+            }
+            for bit in 0..reference.data_bits() {
+                let mut h = reference;
+                h.upset_bit(bit);
+                assert_eq!(
+                    h.verify_and_repair(),
+                    ProtectionVerdict::CorrectedData(bit),
+                    "window={window} bit={bit}"
+                );
+                assert_eq!(h, reference, "repair must restore the counters");
+            }
+            for bit in 0..reference.check_storage_bits() {
+                let mut h = reference;
+                h.upset_check(bit);
+                assert_eq!(
+                    h.verify_and_repair(),
+                    ProtectionVerdict::CorrectedCheck,
+                    "window={window} check bit={bit}"
+                );
+                assert_eq!(h, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn history_parity_detects_single_upsets_only() {
+        let mut h = ProtectedHistory::new(15, ProtectionMode::Parity);
+        h.record(true);
+        h.upset_bit(2);
+        assert_eq!(h.verify_and_repair(), ProtectionVerdict::Uncorrectable);
+        h.upset_bit(5); // second upset cancels the parity: the blind spot
+        assert_eq!(h.verify_and_repair(), ProtectionVerdict::Clean);
+    }
+
+    #[test]
+    fn history_unprotected_upsets_are_silent() {
+        let mut h = ProtectedHistory::new(15, ProtectionMode::None);
+        h.record(false);
+        h.upset_bit(3); // A_num: 1 -> 9
+        assert_eq!(h.accesses(), 9);
+        assert_eq!(h.verify_and_repair(), ProtectionVerdict::Clean, "silent");
+        assert_eq!(h.accesses(), 9, "nothing was repaired");
+    }
+
+    #[test]
+    fn history_record_never_panics_after_upsets() {
+        // An upset can push A_num past the window with no reset; record
+        // must saturate and fire the window, not panic like the plain
+        // AccessHistory contract would.
+        let mut h = ProtectedHistory::new(15, ProtectionMode::None);
+        h.upset_bit(3); // A_num = 8
+        h.upset_bit(2); // A_num = 12
+        h.upset_bit(1); // A_num = 14
+        assert!(h.record(false), "A_num reaches 15: window fires");
+        assert!(h.record(false), "saturated at 15, still firing");
+        assert_eq!(h.accesses(), 15);
+        // Wr_num upsets can exceed A_num; reads() saturates.
+        let mut w = ProtectedHistory::new(15, ProtectionMode::None);
+        w.upset_bit(w.counter_bits() + 3); // Wr_num = 8
+        assert_eq!(w.reads(), 0);
+    }
+
+    #[test]
+    fn history_storage_accounting() {
+        // W=15: two 4-bit counters -> 8 data bits, same code sizes as an
+        // 8-partition direction vector.
+        let h = ProtectedHistory::new(15, ProtectionMode::Secded);
+        assert_eq!(h.data_bits(), AccessHistory::storage_bits(15));
+        assert_eq!(h.check_storage_bits(), 5);
+        assert_eq!(h.storage_bits(), 13);
+        assert_eq!(
+            ProtectedHistory::new(15, ProtectionMode::None).storage_bits(),
+            8
+        );
+    }
+
+    #[test]
+    fn history_from_raw_round_trips() {
+        let plain = AccessHistory::from_raw(9, 4);
+        let h = ProtectedHistory::from_history(plain, 15, ProtectionMode::Secded);
+        assert_eq!(h.verdict(), ProtectionVerdict::Clean);
+        assert_eq!(h.to_history(), plain);
+        assert_eq!(h.to_string(), "A=9/15 Wr=4 [secded]");
     }
 }

@@ -297,6 +297,13 @@ impl EnergyMeter {
         std::mem::take(&mut self.breakdown)
     }
 
+    /// Replaces the accumulated breakdown (checkpoint restore): the
+    /// meter continues accumulating on top of `breakdown` exactly as if
+    /// it had metered that activity itself.
+    pub fn restore_breakdown(&mut self, breakdown: EnergyBreakdown) {
+        self.breakdown = breakdown;
+    }
+
     /// Charges a read of the low `width` bits of `value` as [`ChargeKind::DataRead`].
     pub fn charge_read_word(&mut self, value: u64, width: u32) {
         self.charge_read_word_kind(value, width, ChargeKind::DataRead);

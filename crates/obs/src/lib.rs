@@ -35,7 +35,9 @@ pub use scope::{
     adopt, fork, next_replay_path, scoped, scoped_fanout, scoped_index, AdoptGuard, ScopeGuard,
     ScopeStack,
 };
-pub use sink::{drain, epoch_len, install, is_enabled, record, registry, to_jsonl};
+pub use sink::{
+    drain, epoch_len, install, is_enabled, pending, preload, record, registry, to_jsonl,
+};
 pub use snapshot::{
     replay, replay_batch, replay_hierarchy, replay_into, validate_jsonl, DeltaTracker,
     FifoSnapshot, IngestSnapshot, JsonlSummary, LevelSnapshot, Snapshot,

@@ -63,6 +63,29 @@ pub fn record(snapshot: Snapshot) {
     SNAPSHOTS.lock().expect("sink lock").push(snapshot);
 }
 
+/// A copy of everything recorded so far, sorted by (experiment id,
+/// epoch), **without** disabling the sink or clearing the buffer.
+///
+/// This is the checkpoint path: at a chunk boundary the driver saves the
+/// snapshots already emitted so a resumed process can [`preload`] them
+/// and [`drain`] a stream byte-identical to the uninterrupted run. Call
+/// it only while replays are quiescent (between chunks); a snapshot
+/// recorded concurrently may or may not be included.
+pub fn pending() -> Vec<Snapshot> {
+    let mut snapshots = SNAPSHOTS.lock().expect("sink lock").clone();
+    snapshots.sort_by(|a, b| a.experiment.cmp(&b.experiment).then(a.epoch.cmp(&b.epoch)));
+    snapshots
+}
+
+/// Seeds the sink buffer with snapshots captured by [`pending`] before a
+/// checkpoint — the resume-side counterpart. Call after [`install`] and
+/// before restarting replays; the preloaded epochs merge with the ones
+/// the resumed run emits and sort into one continuous stream on
+/// [`drain`].
+pub fn preload(snapshots: Vec<Snapshot>) {
+    SNAPSHOTS.lock().expect("sink lock").extend(snapshots);
+}
+
 /// Disables collection and returns everything recorded, sorted by
 /// (experiment id, epoch). Replay ids are deterministic (see
 /// [`crate::scope`]) and epochs are unique within a replay, so the sort
@@ -129,6 +152,22 @@ mod tests {
         // Stragglers after drain are dropped, not carried over.
         record(Snapshot::empty("late", 0, 1));
         assert!(drain().is_empty());
+
+        // Checkpoint/resume: pending() observes without draining, and a
+        // fresh install + preload continues the same stream.
+        install(100);
+        record(Snapshot::empty("a/r0000", 0, 10));
+        record(Snapshot::empty("a/r0000", 1, 20));
+        let saved = pending();
+        assert_eq!(saved.len(), 2, "pending copies without clearing");
+        assert_eq!(drain().len(), 2, "buffer survived pending()");
+
+        install(100); // "resumed process"
+        preload(saved);
+        record(Snapshot::empty("a/r0000", 2, 30));
+        let resumed = drain();
+        let epochs: Vec<u64> = resumed.iter().map(|s| s.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, 2], "preloaded epochs merge in order");
 
         let jsonl = to_jsonl(&drained).expect("snapshots serialize");
         assert_eq!(jsonl.lines().count(), 3);

@@ -191,6 +191,20 @@ impl DeltaTracker {
         DeltaTracker::default()
     }
 
+    /// A tracker resuming from the per-level cumulative accumulators of
+    /// the last emitted epoch — what [`state`](Self::state) returned when
+    /// the run was checkpointed. A resumed replay's next delta is then
+    /// computed against the correct previous epoch instead of zero.
+    pub fn seeded(prev: Vec<EnergyBreakdown>) -> Self {
+        DeltaTracker { prev }
+    }
+
+    /// The per-level cumulative accumulators of the last applied epoch
+    /// (what a checkpoint must save to [`seeded`](Self::seeded) later).
+    pub fn state(&self) -> &[EnergyBreakdown] {
+        &self.prev
+    }
+
     /// Rewrites `energy_delta` on every level of `snapshot` and records
     /// the cumulative values for the next epoch.
     pub fn apply(&mut self, snapshot: &mut Snapshot) {
@@ -329,9 +343,10 @@ pub struct JsonlSummary {
 ///
 /// Returns a message naming the first offending line.
 pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
-    // (experiment, last epoch, last accesses) per stream; linear scan is
-    // fine for lint-sized inputs and keeps ordering deterministic.
-    let mut streams: Vec<(String, u64, u64)> = Vec::new();
+    // (experiment, last epoch, last accesses, level count) per stream;
+    // linear scan is fine for lint-sized inputs and keeps ordering
+    // deterministic.
+    let mut streams: Vec<(String, u64, u64, usize)> = Vec::new();
     let mut ingests: Vec<(String, IngestSnapshot)> = Vec::new();
     let mut snapshots = 0usize;
     for (idx, line) in text.lines().enumerate() {
@@ -385,9 +400,11 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                 Some((id, last)) => {
                     if ingest.chunks_read < last.chunks_read
                         || ingest.chunks_consumed < last.chunks_consumed
+                        || ingest.chunks_skipped < last.chunks_skipped
+                        || ingest.crc_failures < last.crc_failures
+                        || ingest.decode_failures < last.decode_failures
                         || ingest.bytes_read < last.bytes_read
                         || ingest.bytes_decoded < last.bytes_decoded
-                        || ingest.crc_failures < last.crc_failures
                         || ingest.peak_buffered_bytes < last.peak_buffered_bytes
                     {
                         return Err(format!(
@@ -400,7 +417,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
         }
         match streams
             .iter_mut()
-            .find(|(id, _, _)| *id == snapshot.experiment)
+            .find(|(id, _, _, _)| *id == snapshot.experiment)
         {
             None => {
                 if snapshot.epoch != 0 {
@@ -409,9 +426,14 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                         snapshot.experiment, snapshot.epoch
                     ));
                 }
-                streams.push((snapshot.experiment.clone(), 0, snapshot.accesses));
+                streams.push((
+                    snapshot.experiment.clone(),
+                    0,
+                    snapshot.accesses,
+                    snapshot.levels.len(),
+                ));
             }
-            Some((id, last_epoch, last_accesses)) => {
+            Some((id, last_epoch, last_accesses, levels)) => {
                 if snapshot.epoch != *last_epoch + 1 {
                     return Err(format!(
                         "line {lineno}: experiment `{id}` jumps from epoch {last_epoch} to {}",
@@ -423,6 +445,16 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
                         "line {lineno}: experiment `{id}` access count went backwards \
                          ({last_accesses} -> {})",
                         snapshot.accesses
+                    ));
+                }
+                // A resumed stream spliced onto the wrong run changes the
+                // hierarchy shape mid-experiment; an uninterrupted (or
+                // correctly resumed) one never does.
+                if snapshot.levels.len() != *levels {
+                    return Err(format!(
+                        "line {lineno}: experiment `{id}` changes from {levels} cache \
+                         levels to {} mid-stream",
+                        snapshot.levels.len()
                     ));
                 }
                 *last_epoch = snapshot.epoch;
@@ -574,6 +606,48 @@ mod tests {
         );
         let err = validate_jsonl(&format!("{first}\n{second}\n")).unwrap_err();
         assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_backwards_skip_counters() {
+        // chunks_skipped and decode_failures are cumulative too — a
+        // resumed stream that restarted them at zero must be rejected.
+        let first = ingest_line(
+            "a",
+            0,
+            IngestSnapshot {
+                chunks_read: 4,
+                chunks_consumed: 3,
+                chunks_skipped: 2,
+                decode_failures: 1,
+                ..IngestSnapshot::default()
+            },
+        );
+        let second = ingest_line(
+            "a",
+            1,
+            IngestSnapshot {
+                chunks_read: 6,
+                chunks_consumed: 5,
+                chunks_skipped: 0,
+                decode_failures: 1,
+                ..IngestSnapshot::default()
+            },
+        );
+        let err = validate_jsonl(&format!("{first}\n{second}\n")).unwrap_err();
+        assert!(err.contains("went backwards"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_level_count_change_mid_stream() {
+        let two_levels = {
+            let mut snapshot: Snapshot = serde_json::from_str(&line("a", 1, 20)).expect("parses");
+            let extra = snapshot.levels[0].clone();
+            snapshot.levels.push(extra);
+            serde_json::to_string(&snapshot).expect("serializes")
+        };
+        let err = validate_jsonl(&format!("{}\n{two_levels}\n", line("a", 0, 10))).unwrap_err();
+        assert!(err.contains("cache levels"), "{err}");
     }
 
     #[test]

@@ -127,6 +127,20 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words (for checkpointing).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from raw state words captured with
+        /// [`state`](Self::state). The next draw continues the stream
+        /// exactly where the captured generator left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(state: u64) -> Self {
             // SplitMix64 expansion, identical to rand_core's seed_from_u64.
@@ -206,6 +220,18 @@ mod tests {
     fn same_seed_same_stream() {
         let mut a = SmallRng::seed_from_u64(42);
         let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = SmallRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }

@@ -7,9 +7,24 @@ use crate::addr::Address;
 use crate::config::CacheGeometry;
 use crate::line::CacheLine;
 use crate::memory::{check_access, extract, splice};
-use crate::replacement::ReplacementKind;
+use crate::replacement::{ReplacementKind, ReplacementState};
 use crate::set::CacheSet;
 use crate::stats::CacheStats;
+
+/// Serializable image of a cache's mutable state: every line
+/// (set-major, way-minor), per-set replacement state, and statistics.
+/// The shape itself (geometry, write mode, prefetch policy) is *not*
+/// captured — a snapshot restores only into a cache built with the same
+/// configuration, and [`Cache::restore`] rejects shape mismatches.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CacheSnapshot {
+    /// All lines, flattened as `set * ways + way`.
+    pub lines: Vec<CacheLine>,
+    /// One replacement-policy state per set.
+    pub replacement: Vec<ReplacementState>,
+    /// Accumulated statistics at capture time.
+    pub stats: CacheStats,
+}
 
 /// Where a line lives inside the cache array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -561,6 +576,76 @@ impl Cache {
         self.geometry.line_base(line.tag(), loc.set)
     }
 
+    /// Captures lines, replacement state, and statistics for
+    /// checkpointing.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            lines: self
+                .sets
+                .iter()
+                .flat_map(|set| (0..set.ways()).map(|w| set.line(w).clone()))
+                .collect(),
+            replacement: self.sets.iter().map(|s| s.replacement_state()).collect(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restores state captured with [`snapshot`](Self::snapshot) from a
+    /// cache of identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails — leaving this cache untouched — if the snapshot's shape
+    /// does not match this cache (line/set counts, words per line) or a
+    /// replacement state does not fit its set's policy.
+    pub fn restore(&mut self, snap: CacheSnapshot) -> Result<(), String> {
+        let ways = self.geometry.associativity() as usize;
+        let sets = self.geometry.num_sets() as usize;
+        let words = self.geometry.words_per_line();
+        if snap.lines.len() != sets * ways {
+            return Err(format!(
+                "snapshot has {} lines, cache holds {}",
+                snap.lines.len(),
+                sets * ways
+            ));
+        }
+        if snap.replacement.len() != sets {
+            return Err(format!(
+                "snapshot has {} replacement states, cache has {sets} sets",
+                snap.replacement.len()
+            ));
+        }
+        if let Some(bad) = snap.lines.iter().position(|l| l.words() != words) {
+            return Err(format!(
+                "snapshot line {bad} holds {} words, lines here hold {words}",
+                snap.lines[bad].words()
+            ));
+        }
+        // Apply replacement state first, keeping rollback copies so a
+        // mismatch partway through cannot leave a half-restored cache
+        // (the saved copies are valid by construction, so re-applying
+        // them cannot fail).
+        let rollback: Vec<ReplacementState> =
+            self.sets.iter().map(|s| s.replacement_state()).collect();
+        for (index, state) in snap.replacement.into_iter().enumerate() {
+            if let Err(err) = self.sets[index].load_replacement_state(state) {
+                for (set, saved) in self.sets.iter_mut().zip(rollback) {
+                    set.load_replacement_state(saved)
+                        .expect("rollback state came from these sets");
+                }
+                return Err(format!("set {index}: {err}"));
+            }
+        }
+        let mut lines = snap.lines.into_iter();
+        for set in &mut self.sets {
+            for way in 0..ways {
+                *set.line_mut(way) = lines.next().expect("length checked above");
+            }
+        }
+        self.stats = snap.stats;
+        Ok(())
+    }
+
     /// Iterates over all valid lines as `(location, line)`.
     pub fn valid_lines(&self) -> impl Iterator<Item = (LineLocation, &CacheLine)> {
         self.sets.iter().enumerate().flat_map(|(s, set)| {
@@ -1001,6 +1086,82 @@ mod tests {
                 .expect("ok");
         }
         assert_eq!(cache.valid_lines().count(), 4);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Run a workload, snapshot halfway, finish, then restore into a
+        // fresh cache and replay the second half: stats and contents
+        // must match the uninterrupted run exactly.
+        let accesses: Vec<(u64, bool)> = (0..200)
+            .map(|i: u64| {
+                (
+                    (i.wrapping_mul(0x61C8_8647) % 0x800) & !7,
+                    i.is_multiple_of(3),
+                )
+            })
+            .collect();
+        let run = |cache: &mut Cache, mem: &mut MainMemory, slice: &[(u64, bool)]| {
+            for &(addr, is_write) in slice {
+                if is_write {
+                    cache
+                        .write(Address::new(addr), 8, addr ^ 0x55, mem, &mut ())
+                        .unwrap();
+                } else {
+                    cache.read(Address::new(addr), 8, mem, &mut ()).unwrap();
+                }
+            }
+        };
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Random { seed: 7 },
+            ReplacementKind::Srrip,
+        ] {
+            let g = CacheGeometry::new(512, 64, 2).expect("valid geometry");
+            let mut full = Cache::new("t", g, kind);
+            let mut full_mem = MainMemory::new();
+            run(&mut full, &mut full_mem, &accesses[..100]);
+            let cache_snap = full.snapshot();
+            let mem_snap = full_mem.snapshot();
+            run(&mut full, &mut full_mem, &accesses[100..]);
+
+            let mut resumed = Cache::new("t", g, kind);
+            resumed.restore(cache_snap).expect("same shape restores");
+            let mut resumed_mem = MainMemory::from_snapshot(mem_snap).expect("valid");
+            run(&mut resumed, &mut resumed_mem, &accesses[100..]);
+
+            assert_eq!(resumed.stats(), full.stats(), "{kind}");
+            assert_eq!(resumed.snapshot().lines, full.snapshot().lines, "{kind}");
+            assert_eq!(resumed_mem.snapshot(), full_mem.snapshot(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes_untouched() {
+        let mut cache = small_cache();
+        let mut mem = MainMemory::new();
+        cache.read(Address::new(0), 8, &mut mem, &mut ()).unwrap();
+        let before = cache.snapshot();
+
+        let other = Cache::new(
+            "o",
+            CacheGeometry::new(1024, 64, 4).expect("valid"),
+            ReplacementKind::Lru,
+        );
+        assert!(cache.restore(other.snapshot()).is_err(), "wrong shape");
+
+        // Same shape, wrong policy kind inside.
+        let fifo = Cache::new(
+            "f",
+            CacheGeometry::new(512, 64, 2).expect("valid"),
+            ReplacementKind::Fifo,
+        );
+        assert!(cache.restore(fifo.snapshot()).is_err(), "wrong policy");
+
+        // Every rejection left the cache exactly as it was.
+        assert_eq!(cache.snapshot().lines, before.lines);
+        assert_eq!(cache.snapshot().stats, before.stats);
+        assert_eq!(cache.snapshot().replacement, before.replacement);
     }
 
     #[test]

@@ -55,13 +55,13 @@ pub mod trace;
 
 pub use addr::{Address, AddressParts};
 pub use cache::{
-    AccessError, AccessOutcome, ArrayObserver, Backing, Cache, CacheLevel, LineLocation,
-    PrefetchPolicy, WriteMode,
+    AccessError, AccessOutcome, ArrayObserver, Backing, Cache, CacheLevel, CacheSnapshot,
+    LineLocation, PrefetchPolicy, WriteMode,
 };
 pub use config::{CacheGeometry, GeometryError};
 pub use hierarchy::{CacheHierarchy, HierarchyConfig};
 pub use line::CacheLine;
-pub use memory::{FillPattern, MainMemory};
-pub use replacement::ReplacementKind;
+pub use memory::{FillPattern, MainMemory, MemorySnapshot};
+pub use replacement::{ReplacementKind, ReplacementState};
 pub use set::CacheSet;
 pub use stats::CacheStats;

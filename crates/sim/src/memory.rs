@@ -51,7 +51,20 @@ pub struct MainMemory {
 }
 
 const CHUNK_BYTES: u64 = 64;
-const WORDS_PER_CHUNK: usize = (CHUNK_BYTES / 8) as usize;
+
+/// Words in one materialized memory chunk.
+pub const WORDS_PER_CHUNK: usize = (CHUNK_BYTES / 8) as usize;
+
+/// Serializable image of a [`MainMemory`], with deterministic chunk
+/// order. Produced by [`MainMemory::snapshot`] and consumed by
+/// [`MainMemory::from_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemorySnapshot {
+    /// The cold-read pattern.
+    pub fill: FillPattern,
+    /// `(chunk base, words)` pairs sorted by base address.
+    pub chunks: Vec<(u64, Vec<u64>)>,
+}
 
 impl MainMemory {
     /// Creates an empty memory whose cold reads are zero.
@@ -70,6 +83,56 @@ impl MainMemory {
     /// Number of materialized 64-byte chunks (the touched footprint).
     pub fn touched_chunks(&self) -> usize {
         self.chunks.len()
+    }
+
+    /// The cold-read pattern in effect.
+    pub fn fill(&self) -> FillPattern {
+        self.fill
+    }
+
+    /// Captures the full memory contents for checkpointing, with chunks
+    /// sorted by base address so the same state always serializes to the
+    /// same bytes (the backing `HashMap` iterates in arbitrary order).
+    pub fn snapshot(&self) -> MemorySnapshot {
+        let mut chunks: Vec<(u64, Vec<u64>)> = self
+            .chunks
+            .iter()
+            .map(|(&base, words)| (base, words.to_vec()))
+            .collect();
+        chunks.sort_unstable_by_key(|&(base, _)| base);
+        MemorySnapshot {
+            fill: self.fill,
+            chunks,
+        }
+    }
+
+    /// Rebuilds a memory from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a chunk base is misaligned or a chunk does not hold
+    /// exactly [`WORDS_PER_CHUNK`] words. On error nothing is returned,
+    /// so the caller's current memory is untouched.
+    pub fn from_snapshot(snap: MemorySnapshot) -> Result<Self, String> {
+        let mut chunks = HashMap::with_capacity(snap.chunks.len());
+        for (base, words) in snap.chunks {
+            if base % CHUNK_BYTES != 0 {
+                return Err(format!(
+                    "memory chunk base {base:#x} is not 64-byte aligned"
+                ));
+            }
+            let words: Box<[u64; WORDS_PER_CHUNK]> = words
+                .into_boxed_slice()
+                .try_into()
+                .map_err(|_| format!("memory chunk {base:#x} is not {WORDS_PER_CHUNK} words"))?;
+            if chunks.insert(base, words).is_some() {
+                return Err(format!("memory chunk {base:#x} appears twice"));
+            }
+        }
+        Ok(MainMemory {
+            chunks,
+            fill: snap.fill,
+        })
     }
 
     fn chunk_content(fill: FillPattern, base: u64) -> Box<[u64; WORDS_PER_CHUNK]> {
@@ -286,6 +349,45 @@ mod tests {
         mem.store(Address::new(8), 8, 1); // same chunk
         mem.store(Address::new(64), 8, 1); // new chunk
         assert_eq!(mem.touched_chunks(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_orders_chunks() {
+        let mut mem = MainMemory::with_fill(FillPattern::Random { seed: 5 });
+        // Touch chunks in scrambled order.
+        for base in [0x1C0u64, 0x000, 0x300, 0x080] {
+            mem.store(Address::new(base), 8, base ^ 0xFF);
+        }
+        let snap = mem.snapshot();
+        let bases: Vec<u64> = snap.chunks.iter().map(|&(b, _)| b).collect();
+        assert_eq!(bases, vec![0x000, 0x080, 0x1C0, 0x300], "sorted by base");
+        assert_eq!(snap, mem.snapshot(), "snapshot is deterministic");
+        let mut back = MainMemory::from_snapshot(snap).expect("valid snapshot");
+        for base in [0x1C0u64, 0x000, 0x300, 0x080] {
+            assert_eq!(back.load(Address::new(base), 8), base ^ 0xFF);
+        }
+        assert_eq!(back.fill(), FillPattern::Random { seed: 5 });
+        assert_eq!(back.touched_chunks(), 4);
+    }
+
+    #[test]
+    fn from_snapshot_rejects_malformed_chunks() {
+        let good = |base| (base, vec![0u64; WORDS_PER_CHUNK]);
+        let misaligned = MemorySnapshot {
+            fill: FillPattern::Zero,
+            chunks: vec![good(0), (33, vec![0; WORDS_PER_CHUNK])],
+        };
+        assert!(MainMemory::from_snapshot(misaligned).is_err());
+        let short = MemorySnapshot {
+            fill: FillPattern::Zero,
+            chunks: vec![(64, vec![0; 3])],
+        };
+        assert!(MainMemory::from_snapshot(short).is_err());
+        let dup = MemorySnapshot {
+            fill: FillPattern::Zero,
+            chunks: vec![good(64), good(64)],
+        };
+        assert!(MainMemory::from_snapshot(dup).is_err());
     }
 
     #[test]

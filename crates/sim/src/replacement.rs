@@ -76,6 +76,70 @@ impl fmt::Display for ReplacementKind {
     }
 }
 
+/// Serializable snapshot of one set's replacement state, for
+/// checkpoint/resume. Captured with [`SetReplacement::save_state`] and
+/// re-applied with [`SetReplacement::load_state`]; a restored policy
+/// continues the exact victim sequence of the captured one (including
+/// the random policy, whose raw xoshiro state words are carried).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementState {
+    /// LRU recency stack, least-recent first.
+    Lru {
+        /// Permutation of `0..ways`, front = least recent.
+        order: Vec<usize>,
+    },
+    /// FIFO fill order, oldest first.
+    Fifo {
+        /// Permutation of `0..ways`, front = oldest fill.
+        queue: Vec<usize>,
+    },
+    /// Random policy generator state.
+    Random {
+        /// Raw xoshiro256++ state words.
+        rng: [u64; 4],
+    },
+    /// Tree-PLRU direction bits in heap order.
+    TreePlru {
+        /// `ways - 1` bits; `false` points left.
+        bits: Vec<bool>,
+    },
+    /// SRRIP re-reference prediction values.
+    Srrip {
+        /// One 2-bit RRPV per way.
+        rrpv: Vec<u8>,
+    },
+}
+
+impl ReplacementState {
+    /// The policy kind this state belongs to, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ReplacementState::Lru { .. } => "LRU",
+            ReplacementState::Fifo { .. } => "FIFO",
+            ReplacementState::Random { .. } => "random",
+            ReplacementState::TreePlru { .. } => "tree-PLRU",
+            ReplacementState::Srrip { .. } => "SRRIP",
+        }
+    }
+}
+
+fn check_permutation(what: &'static str, ways: usize, order: &[usize]) -> Result<(), String> {
+    if order.len() != ways {
+        return Err(format!(
+            "{what}: expected {ways} entries, got {}",
+            order.len()
+        ));
+    }
+    let mut seen = vec![false; ways];
+    for &w in order {
+        if w >= ways || seen[w] {
+            return Err(format!("{what}: not a permutation of 0..{ways}"));
+        }
+        seen[w] = true;
+    }
+    Ok(())
+}
+
 /// Per-set replacement state.
 ///
 /// Implementations may assume `way < ways` for every argument and that
@@ -87,6 +151,14 @@ pub trait SetReplacement: fmt::Debug + Send {
     fn on_fill(&mut self, way: usize);
     /// Picks the way to evict from a full set.
     fn victim(&mut self) -> usize;
+    /// Captures the full policy state for checkpointing.
+    fn save_state(&self) -> ReplacementState;
+    /// Replaces the policy state with a previously captured snapshot.
+    ///
+    /// Rejects (leaving the current state untouched) a snapshot from a
+    /// different policy kind or with a shape that does not fit this
+    /// set's way count.
+    fn load_state(&mut self, state: ReplacementState) -> Result<(), String>;
 }
 
 /// True-LRU recency stack: front = least recent, back = most recent.
@@ -125,6 +197,23 @@ impl SetReplacement for Lru {
     fn victim(&mut self) -> usize {
         self.order[0]
     }
+
+    fn save_state(&self) -> ReplacementState {
+        ReplacementState::Lru {
+            order: self.order.clone(),
+        }
+    }
+
+    fn load_state(&mut self, state: ReplacementState) -> Result<(), String> {
+        match state {
+            ReplacementState::Lru { order } => {
+                check_permutation("LRU order", self.order.len(), &order)?;
+                self.order = order;
+                Ok(())
+            }
+            other => Err(format!("policy is LRU, snapshot is {}", other.kind_name())),
+        }
+    }
 }
 
 /// FIFO: evict in fill order, hits do not refresh.
@@ -154,6 +243,23 @@ impl SetReplacement for Fifo {
     fn victim(&mut self) -> usize {
         *self.queue.front().expect("fifo never empty")
     }
+
+    fn save_state(&self) -> ReplacementState {
+        ReplacementState::Fifo {
+            queue: self.queue.iter().copied().collect(),
+        }
+    }
+
+    fn load_state(&mut self, state: ReplacementState) -> Result<(), String> {
+        match state {
+            ReplacementState::Fifo { queue } => {
+                check_permutation("FIFO queue", self.queue.len(), &queue)?;
+                self.queue = queue.into();
+                Ok(())
+            }
+            other => Err(format!("policy is FIFO, snapshot is {}", other.kind_name())),
+        }
+    }
 }
 
 /// Deterministic random victim selection.
@@ -178,6 +284,25 @@ impl SetReplacement for RandomPolicy {
 
     fn victim(&mut self) -> usize {
         self.rng.gen_range(0..self.ways)
+    }
+
+    fn save_state(&self) -> ReplacementState {
+        ReplacementState::Random {
+            rng: self.rng.state(),
+        }
+    }
+
+    fn load_state(&mut self, state: ReplacementState) -> Result<(), String> {
+        match state {
+            ReplacementState::Random { rng } => {
+                self.rng = SmallRng::from_state(rng);
+                Ok(())
+            }
+            other => Err(format!(
+                "policy is random, snapshot is {}",
+                other.kind_name()
+            )),
+        }
     }
 }
 
@@ -256,6 +381,32 @@ impl SetReplacement for TreePlru {
         }
         lo
     }
+
+    fn save_state(&self) -> ReplacementState {
+        ReplacementState::TreePlru {
+            bits: self.bits.clone(),
+        }
+    }
+
+    fn load_state(&mut self, state: ReplacementState) -> Result<(), String> {
+        match state {
+            ReplacementState::TreePlru { bits } => {
+                if bits.len() != self.bits.len() {
+                    return Err(format!(
+                        "tree-PLRU bits: expected {} entries, got {}",
+                        self.bits.len(),
+                        bits.len()
+                    ));
+                }
+                self.bits = bits;
+                Ok(())
+            }
+            other => Err(format!(
+                "policy is tree-PLRU, snapshot is {}",
+                other.kind_name()
+            )),
+        }
+    }
 }
 
 /// SRRIP with 2-bit re-reference prediction values.
@@ -292,6 +443,35 @@ impl SetReplacement for Srrip {
             for v in &mut self.rrpv {
                 *v += 1;
             }
+        }
+    }
+
+    fn save_state(&self) -> ReplacementState {
+        ReplacementState::Srrip {
+            rrpv: self.rrpv.clone(),
+        }
+    }
+
+    fn load_state(&mut self, state: ReplacementState) -> Result<(), String> {
+        match state {
+            ReplacementState::Srrip { rrpv } => {
+                if rrpv.len() != self.rrpv.len() {
+                    return Err(format!(
+                        "SRRIP rrpv: expected {} entries, got {}",
+                        self.rrpv.len(),
+                        rrpv.len()
+                    ));
+                }
+                if let Some(v) = rrpv.iter().find(|&&v| v > RRPV_MAX) {
+                    return Err(format!("SRRIP rrpv value {v} exceeds max {RRPV_MAX}"));
+                }
+                self.rrpv = rrpv;
+                Ok(())
+            }
+            other => Err(format!(
+                "policy is SRRIP, snapshot is {}",
+                other.kind_name()
+            )),
         }
     }
 }
@@ -417,6 +597,62 @@ mod tests {
     #[should_panic(expected = "at least one way")]
     fn zero_ways_panics() {
         ReplacementKind::Lru.build(0);
+    }
+
+    #[test]
+    fn state_round_trip_continues_victim_sequence() {
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Fifo,
+            ReplacementKind::Random { seed: 42 },
+            ReplacementKind::TreePlru,
+            ReplacementKind::Srrip,
+        ] {
+            let mut p = filled(kind, 4);
+            // Advance into a non-trivial state.
+            for step in 0..13 {
+                let v = p.victim();
+                p.on_fill(v);
+                p.on_hit(step % 4);
+            }
+            let state = p.save_state();
+            let mut q = filled(kind, 4);
+            q.load_state(state).expect("same shape must load");
+            for _ in 0..20 {
+                let (vp, vq) = (p.victim(), q.victim());
+                assert_eq!(vp, vq, "{kind}: restored policy must track original");
+                p.on_fill(vp);
+                q.on_fill(vq);
+            }
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_kind_and_shape_mismatch() {
+        let mut lru = filled(ReplacementKind::Lru, 4);
+        let fifo_state = filled(ReplacementKind::Fifo, 4).save_state();
+        assert!(lru.load_state(fifo_state).is_err(), "kind mismatch");
+        let wide = filled(ReplacementKind::Lru, 8).save_state();
+        assert!(lru.load_state(wide).is_err(), "way-count mismatch");
+        assert!(
+            lru.load_state(ReplacementState::Lru {
+                order: vec![0, 0, 1, 2],
+            })
+            .is_err(),
+            "duplicate ways are not a permutation"
+        );
+        let mut srrip = filled(ReplacementKind::Srrip, 2);
+        assert!(
+            srrip
+                .load_state(ReplacementState::Srrip { rrpv: vec![9, 0] })
+                .is_err(),
+            "out-of-range RRPV"
+        );
+        // A rejected load leaves the current state untouched.
+        assert_eq!(
+            srrip.save_state(),
+            ReplacementState::Srrip { rrpv: vec![2, 2] }
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::line::CacheLine;
-use crate::replacement::{ReplacementKind, SetReplacement};
+use crate::replacement::{ReplacementKind, ReplacementState, SetReplacement};
 
 /// A set of `ways` cache lines sharing one replacement-policy instance.
 pub struct CacheSet {
@@ -81,6 +81,18 @@ impl CacheSet {
     /// Iterates over `(way, line)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &CacheLine)> {
         self.lines.iter().enumerate()
+    }
+
+    /// Captures this set's replacement-policy state for checkpointing.
+    pub fn replacement_state(&self) -> ReplacementState {
+        self.policy.save_state()
+    }
+
+    /// Restores replacement-policy state captured with
+    /// [`replacement_state`](Self::replacement_state). Fails (leaving the
+    /// current state untouched) on a kind or shape mismatch.
+    pub fn load_replacement_state(&mut self, state: ReplacementState) -> Result<(), String> {
+        self.policy.load_state(state)
     }
 }
 

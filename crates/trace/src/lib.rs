@@ -15,7 +15,12 @@
 //! - [`reader`] — [`StreamReader`], which yields CRC-verified chunks
 //!   from any [`std::io::Read`] source under a hard byte budget, with
 //!   fail-fast or skip-with-report corruption handling;
-//! - [`crc32`] — the vendored CRC-32 (IEEE) used by frames.
+//! - [`crc32`] — the vendored CRC-32 (IEEE) used by frames;
+//! - [`checkpoint`] — the `.ctrs` snapshot container, which reuses the
+//!   same framing discipline to make long streamed replays
+//!   kill-and-resume safe ([`CheckpointFile`], [`Checkpointable`],
+//!   typed [`CheckpointError`] rejection of damaged or mismatched
+//!   snapshots).
 //!
 //! Reading and decoding are deliberately split ([`RawChunk::decode`])
 //! so a replay harness can keep file I/O sequential while fanning chunk
@@ -25,12 +30,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod crc32;
 pub mod error;
 pub mod format;
 pub mod reader;
 pub mod writer;
 
+pub use checkpoint::{
+    fnv1a, fnv1a_extend, CheckpointError, CheckpointFile, CheckpointManifest, Checkpointable,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION, FNV_OFFSET,
+};
 pub use error::TraceError;
 pub use format::{Header, FRAME_BYTES, HEADER_BYTES, MAGIC, VERSION};
 pub use reader::{

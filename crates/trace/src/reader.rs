@@ -17,10 +17,11 @@
 //! mid-payload — is always fatal: past the damage there is no frame
 //! boundary left to resynchronize on.
 
-use std::io::Read;
+use std::io::{Read, Seek, SeekFrom};
 
 use cnt_sim::trace::{AccessBatch, MemoryAccess, Trace};
 
+use crate::checkpoint::{fnv1a, fnv1a_extend};
 use crate::crc32::crc32;
 use crate::error::TraceError;
 use crate::format::{
@@ -138,6 +139,10 @@ pub struct StreamReader<R: Read> {
     lookahead: Option<Frame>,
     stats: IngestStats,
     finished: bool,
+    /// Rolling FNV-1a digest over the file header plus the 12-byte frame
+    /// of every chunk whose payload has been consumed (each frame embeds
+    /// its payload's CRC-32, so payload damage perturbs this too).
+    identity: u64,
 }
 
 impl<R: Read> StreamReader<R> {
@@ -151,6 +156,7 @@ impl<R: Read> StreamReader<R> {
         let mut bytes = [0u8; HEADER_BYTES];
         read_exact_or(&mut src, &mut bytes, u64::MAX, "file header")?;
         let header = Header::from_bytes(&bytes)?;
+        let identity = fnv1a(&bytes);
         Ok(StreamReader {
             src,
             header,
@@ -159,6 +165,7 @@ impl<R: Read> StreamReader<R> {
             lookahead: None,
             stats: IngestStats::default(),
             finished: false,
+            identity,
         })
     }
 
@@ -175,6 +182,34 @@ impl<R: Read> StreamReader<R> {
     /// Read-side counters so far.
     pub fn stats(&self) -> IngestStats {
         self.stats
+    }
+
+    /// Index of the next chunk to be consumed (the resume cursor).
+    ///
+    /// A frame held in lookahead after a window overflow is *not*
+    /// counted: its payload has not been consumed, and a resumed reader
+    /// re-reads that frame from the file.
+    pub fn cursor(&self) -> u64 {
+        self.next_index
+    }
+
+    /// The trace-identity digest: FNV-1a over the file header plus every
+    /// consumed chunk frame. Two readers at the same [`cursor`] over the
+    /// same file always agree, while a different trace — any re-pack of
+    /// different content perturbs the frames' lengths, access counts, or
+    /// recorded CRC-32s — diverges with overwhelming probability.
+    /// Checkpoints record this so a resume can refuse the wrong trace.
+    /// (Payload bytes themselves are deliberately not folded in: that is
+    /// what lets [`seek_to_chunk`] reconstruct the digest in O(frames).
+    /// Payload damage *below* the cursor is immaterial to a resume — the
+    /// prefix's effect lives in the restored cache state and those bytes
+    /// are never read again — and damage above it is still caught by the
+    /// normal per-chunk CRC check when the chunk is consumed.)
+    ///
+    /// [`cursor`]: Self::cursor
+    /// [`seek_to_chunk`]: Self::seek_to_chunk
+    pub fn identity(&self) -> u64 {
+        self.identity
     }
 
     /// Reads the next frame, distinguishing clean EOF (exactly at a
@@ -247,6 +282,7 @@ impl<R: Read> StreamReader<R> {
             }
             let index = self.next_index;
             self.next_index += 1;
+            self.identity = fnv1a_extend(self.identity, &frame.to_bytes());
             let mut payload = vec![0u8; len];
             if let Err(e) = read_exact_or(&mut self.src, &mut payload, index, "chunk payload") {
                 // Truncation is unrecoverable; poison the stream.
@@ -329,6 +365,79 @@ impl<R: Read> StreamReader<R> {
                 }
             }
         }
+    }
+}
+
+impl<R: Read + Seek> StreamReader<R> {
+    /// Advances a freshly-opened reader to chunk `n` without buffering
+    /// or CRC-checking any payload: each of the `n` frames is read and
+    /// validated (structure, byte budget, not running past the file),
+    /// its payload is stepped over with a relative seek, and the
+    /// identity digest plus [`IngestStats`] are reconstructed exactly as
+    /// an uninterrupted fail-fast run would have left them. Resume cost
+    /// is therefore O(frames), not O(payload bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`] if the file ends before chunk `n` (the
+    /// seek target lies beyond the trace), [`TraceError::ChunkExceedsBudget`]
+    /// if a skipped chunk could never have been replayed under this
+    /// reader's budget, or I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader has already consumed or looked ahead at any
+    /// chunk — seeking is only meaningful right after open.
+    pub fn seek_to_chunk(&mut self, n: u64) -> Result<(), TraceError> {
+        assert!(
+            self.next_index == 0 && self.lookahead.is_none() && !self.finished,
+            "seek_to_chunk requires a freshly-opened reader"
+        );
+        // Establish the file extent once so relative seeks cannot
+        // silently run past EOF (seeking beyond the end is not an error
+        // at the OS level, but it must be one here).
+        let start = self.src.stream_position()?;
+        let end = self.src.seek(SeekFrom::End(0))?;
+        self.src.seek(SeekFrom::Start(start))?;
+        let mut pos = start;
+
+        for _ in 0..n {
+            let frame = match self.read_frame()? {
+                Some(frame) => frame,
+                None => {
+                    self.finished = true;
+                    return Err(TraceError::Truncated {
+                        chunk: self.next_index,
+                        while_reading: "seek target (cursor beyond the trace)",
+                    });
+                }
+            };
+            pos += FRAME_BYTES as u64;
+            let len = u64::from(frame.payload_len);
+            if len > self.opts.budget_bytes as u64 {
+                self.finished = true;
+                return Err(TraceError::ChunkExceedsBudget {
+                    chunk: self.next_index,
+                    payload_bytes: len,
+                    budget_bytes: self.opts.budget_bytes as u64,
+                });
+            }
+            if pos + len > end {
+                self.finished = true;
+                return Err(TraceError::Truncated {
+                    chunk: self.next_index,
+                    while_reading: "chunk payload (during seek)",
+                });
+            }
+            self.src.seek(SeekFrom::Current(len as i64))?;
+            pos += len;
+            self.identity = fnv1a_extend(self.identity, &frame.to_bytes());
+            self.stats.chunks_read += 1;
+            self.stats.accesses_declared += u64::from(frame.access_count);
+            self.stats.bytes_read += len;
+            self.next_index += 1;
+        }
+        Ok(())
     }
 }
 
@@ -517,6 +626,135 @@ mod tests {
             reader.next_raw_within(usize::MAX).expect("fetch"),
             Fetch::Eof
         ));
+    }
+
+    #[test]
+    fn identity_tracks_consumed_prefix() {
+        let bytes = packed(40, 5);
+        let mut a = StreamReader::new(&bytes[..], ReadOptions::default()).expect("opens");
+        let mut b = StreamReader::new(&bytes[..], ReadOptions::default()).expect("opens");
+        assert_eq!(a.identity(), b.identity(), "same header, same digest");
+        a.next_raw().expect("reads").expect("chunk");
+        assert_ne!(a.identity(), b.identity(), "digest advances per chunk");
+        b.next_raw().expect("reads").expect("chunk");
+        assert_eq!(a.identity(), b.identity());
+        assert_eq!(a.cursor(), 1);
+        // A lookahead frame (window overflow) is not part of the digest.
+        let before = a.identity();
+        assert!(matches!(
+            a.next_raw_within(1).expect("fetch"),
+            Fetch::WouldExceed { .. }
+        ));
+        assert_eq!(a.identity(), before);
+        assert_eq!(a.cursor(), 1);
+        // A re-pack of different content diverges even with identical
+        // chunking: the affected chunk's recorded CRC-32 lands in its
+        // frame, and the frame feeds the digest.
+        let trace: Trace = (0..40)
+            .map(|i| {
+                if i == 39 {
+                    MemoryAccess::write(Address::new(0x1000 + i * 8), 8, 0xdead_beef)
+                } else if i % 3 == 0 {
+                    MemoryAccess::write(Address::new(0x1000 + i * 8), 8, i.wrapping_mul(0x9E37))
+                } else {
+                    MemoryAccess::read(Address::new(0x1000 + i * 8), 8)
+                }
+            })
+            .collect();
+        let mut other = Vec::new();
+        pack_trace(&trace, &mut other, 5).expect("packs");
+        assert_eq!(other.len(), bytes.len(), "same structure, different bytes");
+        let mut c = StreamReader::new(&other[..], ReadOptions::default()).expect("opens");
+        while c.next_raw().expect("reads").is_some() {}
+        let mut full = StreamReader::new(&bytes[..], ReadOptions::default()).expect("opens");
+        while full.next_raw().expect("reads").is_some() {}
+        assert_ne!(c.identity(), full.identity());
+    }
+
+    #[test]
+    fn seek_to_chunk_matches_sequential_consumption() {
+        let bytes = packed(100, 7);
+        for target in [0u64, 1, 7, 14, 15] {
+            let mut seq = StreamReader::new(&bytes[..], ReadOptions::default()).expect("opens");
+            for _ in 0..target {
+                seq.next_raw().expect("reads").expect("chunk");
+            }
+            let mut seeked =
+                StreamReader::new(std::io::Cursor::new(&bytes[..]), ReadOptions::default())
+                    .expect("opens");
+            seeked.seek_to_chunk(target).expect("seeks");
+            assert_eq!(seeked.identity(), seq.identity(), "target {target}");
+            assert_eq!(seeked.cursor(), seq.cursor());
+            assert_eq!(seeked.stats(), seq.stats());
+            // The remainder streams identically.
+            loop {
+                let a = seq.next_raw().expect("reads");
+                let b = seeked.next_raw().expect("reads");
+                assert_eq!(a, b, "target {target}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seek_past_end_of_trace_is_truncation() {
+        let bytes = packed(20, 5); // 4 chunks
+        let mut reader =
+            StreamReader::new(std::io::Cursor::new(&bytes[..]), ReadOptions::default())
+                .expect("opens");
+        let err = reader.seek_to_chunk(5).unwrap_err();
+        assert!(matches!(err, TraceError::Truncated { .. }), "{err}");
+        // A payload cut below the seek target is caught during the seek.
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader =
+            StreamReader::new(std::io::Cursor::new(cut), ReadOptions::default()).expect("opens");
+        let err = reader.seek_to_chunk(4).unwrap_err();
+        assert!(matches!(err, TraceError::Truncated { .. }), "{err}");
+    }
+
+    /// A `Read + Seek` source that counts bytes actually *read* (seeks
+    /// are free), to prove resume cost is O(frames), not O(payload).
+    struct CountingSource<'a> {
+        inner: std::io::Cursor<&'a [u8]>,
+        bytes_read: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl Read for CountingSource<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.inner.read(buf)?;
+            self.bytes_read.set(self.bytes_read.get() + n as u64);
+            Ok(n)
+        }
+    }
+
+    impl Seek for CountingSource<'_> {
+        fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+            self.inner.seek(pos)
+        }
+    }
+
+    #[test]
+    fn seek_cost_is_frames_not_payloads() {
+        // Large chunks: payload bytes dwarf frame bytes.
+        let bytes = packed(4_000, 500); // 8 chunks, ~5 KB payload each
+        let counter = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let src = CountingSource {
+            inner: std::io::Cursor::new(&bytes[..]),
+            bytes_read: counter.clone(),
+        };
+        let mut reader = StreamReader::new(src, ReadOptions::default()).expect("opens");
+        reader.seek_to_chunk(8).expect("seeks");
+        let read = counter.get();
+        let frames_only = (HEADER_BYTES + 8 * FRAME_BYTES) as u64;
+        assert_eq!(
+            read,
+            frames_only,
+            "seek must read exactly the header and frames ({frames_only} bytes), \
+             never payloads (file is {} bytes)",
+            bytes.len()
+        );
     }
 
     #[test]
