@@ -308,16 +308,18 @@ fn main() -> ExitCode {
         "both passes replay the identical matrix"
     );
 
+    let cores = pool::default_jobs();
     let record = BenchRecord {
         // The pool's own view of the hardware, sampled at measurement
         // time — the one number `metrics_lint` trusts when judging
         // whether a `jobs > cores` speedup claim is reliable.
-        cores: pool::default_jobs(),
+        cores,
         workloads: workload_count,
         policies_per_workload: policies.len(),
         accesses_per_pass: seq_accesses,
         sequential: seq,
         parallel: par,
+        skip_note: scaling_skip_note(cores),
     };
     println!(
         "speedup: {:.2}x on {} core(s)",
@@ -348,6 +350,20 @@ fn main() -> ExitCode {
         eprintln!("metrics: wrote {} snapshots to {path}", snapshots.len());
     }
     ExitCode::SUCCESS
+}
+
+/// The explicit skip record a scaling measurement carries when the box
+/// cannot support the claim (fewer than 4 hardware threads): the
+/// numbers are still real wall-clock, but any speedup is noise, and the
+/// committed JSON must say so rather than silently look like a
+/// regression.
+fn scaling_skip_note(cores: usize) -> Option<String> {
+    (cores < 4).then(|| {
+        format!(
+            "parallel-scaling measurement skipped: {cores} core(s) at measurement time, \
+             a >=4-core box is required for a meaningful speedup claim"
+        )
+    })
 }
 
 /// Gate tolerance: a fresh stage mean more than this fraction below the
@@ -455,6 +471,7 @@ fn run_ws_suite(out_path: &str, jobs: usize, skew: u32) -> ExitCode {
         accesses_per_pass,
         static_pass,
         ws_pass,
+        skip_note: scaling_skip_note(cores),
     };
     println!(
         "work-stealing speedup over static: {:.2}x at --jobs {} on {} core(s)",

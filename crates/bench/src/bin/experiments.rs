@@ -104,7 +104,7 @@ fn run_warm_fork(ckpt_path: &str, trace_path: &str) -> Result<(), String> {
             delta_prev: Vec::new(),
             ..driver.cursor.clone()
         };
-        replay_stream_resumable(&mut cache, &mut reader, Some(cursor), None)
+        replay_stream_resumable(&mut cache, &mut reader, Some(cursor), None, None)
             .map_err(|e| format!("`{trace_path}`: {e}"))?;
         cache.flush();
         let counters = *cache.encoding_counters();

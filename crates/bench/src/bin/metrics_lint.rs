@@ -4,28 +4,37 @@
 //! Usage:
 //!
 //! ```text
-//! metrics_lint <metrics.jsonl | BENCH_record.json> [...]
+//! metrics_lint [--sessions] <metrics.jsonl | BENCH_record.json> [...]
 //! ```
 //!
 //! Files ending in `.json` are linted as single benchmark records —
 //! the sequential-vs-parallel `BenchRecord` shape (old records without
 //! the `iters`/`warmup` iteration fields still parse), the `--stages`
-//! `SimdBenchRecord` shape, or the `--ws` scheduler-comparison
-//! `WsBenchRecord` shape — with every throughput figure required to be
-//! finite and non-negative. Any record claiming a parallel speedup with
+//! `SimdBenchRecord` shape, the `--ws` scheduler-comparison
+//! `WsBenchRecord` shape, or the replay-service `ServeBenchRecord`
+//! shape — with every throughput figure required to be finite and
+//! non-negative. Any record claiming a parallel speedup with
 //! more jobs than the machine had cores at measurement time is rejected
 //! as unreliable: oversubscribed "speedups" measure scheduler jitter,
 //! not the pool (`BENCH_parallel.json` once shipped exactly that —
-//! `jobs: 4` on `cores: 1`). Anything else is linted as a snapshot
-//! stream: every line must parse as a `cnt_obs::Snapshot` with at least
-//! one cache level, and within each experiment stream the epochs must
-//! count up from zero with non-decreasing access totals. Exits non-zero
-//! on the first violation, naming the offending file. CI runs this over
-//! the metrics smoke stream and the committed bench records.
+//! `jobs: 4` on `cores: 1`). A serve record measured on fewer than 4
+//! cores must carry its `skip_note` disclaimer — a bare concurrency
+//! "speedup" from a 1-core box is the same lie in multi-tenant
+//! clothing. Anything else is linted as a snapshot stream: every line
+//! must parse as a `cnt_obs::Snapshot` with at least one cache level,
+//! and within each experiment stream the epochs must count up from
+//! zero with non-decreasing access totals. With `--sessions`, streams
+//! are instead linted as **multiplexed per-session** logs (as written
+//! by `cnt_serve` into `serve_metrics.jsonl`): every experiment id
+//! must carry an `sNNNN/` session prefix, and the per-experiment
+//! monotonicity rules apply within each session's streams. Exits
+//! non-zero on the first violation, naming the offending file. CI runs
+//! this over the metrics smoke stream, the serve smoke log, and the
+//! committed bench records.
 
 use std::process::ExitCode;
 
-use cnt_bench::{BenchRecord, SimdBenchRecord, StageRecord, WsBenchRecord};
+use cnt_bench::{BenchRecord, ServeBenchRecord, SimdBenchRecord, StageRecord, WsBenchRecord};
 
 fn check_rate(what: &str, rate: f64) -> Result<(), String> {
     if !rate.is_finite() || rate < 0.0 {
@@ -100,6 +109,42 @@ fn lint_bench_record(text: &str) -> Result<String, String> {
             record.cores
         ));
     }
+    if let Ok(record) = serde_json::from_str::<ServeBenchRecord>(text) {
+        check_rate("serial sessions pass", record.serial.accesses_per_second)?;
+        check_rate(
+            "concurrent sessions pass",
+            record.concurrent.accesses_per_second,
+        )?;
+        if record.sessions == 0 {
+            return Err("serve record with zero sessions".into());
+        }
+        if record.serial.jobs != record.jobs || record.concurrent.jobs != record.jobs {
+            return Err(format!(
+                "serve record claims --jobs {} but passes ran with {} and {}",
+                record.jobs, record.serial.jobs, record.concurrent.jobs
+            ));
+        }
+        check_jobs_vs_cores("serve sessions", record.jobs, record.cores)?;
+        if record.cores < 4 && record.skip_note.is_none() {
+            return Err(format!(
+                "serve record measured on {} core(s) claims a {:.2}x concurrency speedup \
+                 without a skip_note disclaimer; remeasure on >=4 cores or record the skip",
+                record.cores,
+                record.speedup()
+            ));
+        }
+        return Ok(format!(
+            "ok — {} sessions, {:.2}x concurrent speedup on {} core(s){}",
+            record.sessions,
+            record.speedup(),
+            record.cores,
+            if record.skip_note.is_some() {
+                " (scaling claim skipped)"
+            } else {
+                ""
+            }
+        ));
+    }
     match serde_json::from_str::<BenchRecord>(text) {
         Ok(record) => {
             check_rate("sequential pass", record.sequential.accesses_per_second)?;
@@ -123,9 +168,12 @@ fn lint_bench_record(text: &str) -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sessions_mode = args.iter().any(|a| a == "--sessions");
+    args.retain(|a| a != "--sessions");
+    let paths = args;
     if paths.is_empty() || paths.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: metrics_lint <metrics.jsonl | BENCH_record.json>...");
+        eprintln!("usage: metrics_lint [--sessions] <metrics.jsonl | BENCH_record.json>...");
         return ExitCode::from(2);
     }
 
@@ -147,6 +195,19 @@ fn main() -> ExitCode {
         if path.ends_with(".json") {
             match lint_bench_record(&text) {
                 Ok(summary) => println!("{path}: {summary}"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        if sessions_mode {
+            match cnt_obs::validate_sessions_jsonl(&text) {
+                Ok(summary) => println!(
+                    "{path}: ok — {} snapshots across {} sessions ({} experiments)",
+                    summary.snapshots, summary.sessions, summary.experiments
+                ),
                 Err(e) => {
                     eprintln!("{path}: {e}");
                     failed = true;

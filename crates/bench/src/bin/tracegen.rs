@@ -28,14 +28,16 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use cnt_bench::ckpt;
+use cnt_bench::driver::{
+    restore_resume_obs, run_two_pass, CheckpointPlan, CheckpointStore, ResumeState, SessionPlan,
+    SingleFileStore,
+};
 use cnt_bench::pool;
-use cnt_bench::runner::dcache_config;
-use cnt_bench::stream::{replay_stream_resumable, CheckpointEvery, ReplayCursor, StreamOutcome};
-use cnt_cache::{CntCache, CntCacheConfig, EncodingPolicy};
+use cnt_cache::EncodingPolicy;
 use cnt_sim::trace::Trace;
 use cnt_trace::{
-    pack_accesses, pack_trace, read_trace, CorruptionPolicy, PackSummary, ReadOptions,
-    StreamReader, DEFAULT_CHUNK_ACCESSES,
+    pack_accesses, pack_trace, read_trace, rotate, CheckpointRotator, CorruptionPolicy,
+    PackSummary, ReadOptions, StreamReader, DEFAULT_CHUNK_ACCESSES,
 };
 use cnt_workloads::synthetic::{AddressPattern, SyntheticSpec};
 use cnt_workloads::{suite_extended, Workload};
@@ -53,8 +55,9 @@ const USAGE: &str = "usage:
   tracegen stream-replay <file.ctr> [--budget-mib N] [--skip-corrupt]
                          [--jobs N | --seq]
                          [--metrics-out FILE [--metrics-every N]]
-                         [--checkpoint-every N [--checkpoint-to FILE]]
-                         [--resume FILE.ctrs]";
+                         [--checkpoint-every N [--checkpoint-to FILE]
+                          [--checkpoint-keep K]]
+                         [--resume FILE.ctrs|FAMILY]";
 
 /// A subcommand failure: bad invocation (exit 2) vs runtime error (exit 1).
 enum CmdError {
@@ -299,69 +302,6 @@ fn cmd_unpack(args: &[String]) -> Result<(), CmdError> {
     Ok(())
 }
 
-/// Periodic-checkpoint settings for one `stream-replay` pass.
-struct CkptPlan<'a> {
-    every: u64,
-    to: &'a Path,
-    pass: u32,
-    baseline: Option<&'a StreamOutcome>,
-    replay_ids_allocated: u64,
-    metrics_every: Option<u64>,
-}
-
-/// Runs one replay pass over `input`, optionally resuming from a loaded
-/// checkpoint and/or writing periodic checkpoints per `plan`.
-fn stream_pass(
-    input: &str,
-    opts: ReadOptions,
-    config: &CntCacheConfig,
-    pair: (&CntCacheConfig, &CntCacheConfig),
-    resume: Option<(&cnt_trace::CheckpointFile, &ReplayCursor)>,
-    plan: Option<&CkptPlan<'_>>,
-) -> Result<StreamOutcome, CmdError> {
-    let fail = |e: &dyn std::fmt::Display| Runtime(format!("`{input}`: {e}"));
-    let file = std::fs::File::open(Path::new(input))
-        .map_err(|e| Runtime(format!("cannot read `{input}`: {e}")))?;
-    let mut reader =
-        StreamReader::new(std::io::BufReader::new(file), opts).map_err(|e| fail(&e))?;
-    let mut cache = CntCache::new(config.clone()).expect("stream-replay configuration is valid");
-
-    let cursor = if let Some((ckfile, cursor)) = resume {
-        reader.seek_to_chunk(cursor.chunk).map_err(|e| fail(&e))?;
-        ckpt::verify_trace_identity(ckfile.manifest.trace_identity, reader.identity())
-            .map_err(|e| fail(&e))?;
-        ckfile.restore_component(&mut cache).map_err(|e| fail(&e))?;
-        Some(cursor.clone())
-    } else {
-        None
-    };
-
-    let mut hook = |cache: &CntCache, state: &ReplayCursor, identity: u64| {
-        let plan = plan.expect("hook installed only with a checkpoint plan");
-        let driver = ckpt::DriverState {
-            pass: plan.pass,
-            baseline: plan.baseline.cloned(),
-            cursor: state.clone(),
-            replay_ids_allocated: plan.replay_ids_allocated,
-            metrics_every: plan.metrics_every,
-        };
-        ckpt::build(cache, pair, identity, &driver)?.write_atomic(plan.to)
-    };
-    let checkpoint = plan.map(|plan| CheckpointEvery {
-        chunks: plan.every,
-        write: &mut hook,
-    });
-
-    let (ingest, accesses) = replay_stream_resumable(&mut cache, &mut reader, cursor, checkpoint)
-        .map_err(|e| fail(&e))?;
-    cache.flush();
-    Ok(StreamOutcome {
-        report: cache.into_report(),
-        ingest,
-        accesses,
-    })
-}
-
 fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
     let (positionals, flags) = split_positionals(args);
     let [input] = positionals[..] else {
@@ -374,6 +314,7 @@ fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
     let mut metrics_every: Option<u64> = None;
     let mut ckpt_every: Option<u64> = None;
     let mut ckpt_to: Option<String> = None;
+    let mut ckpt_keep: Option<usize> = None;
     let mut resume_from: Option<String> = None;
     let mut iter = flags.iter();
     while let Some(arg) = iter.next() {
@@ -409,6 +350,13 @@ fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
                 ckpt_every = Some(n);
             }
             "--checkpoint-to" => ckpt_to = Some(flag_value(&mut iter, "--checkpoint-to")?.into()),
+            "--checkpoint-keep" => {
+                let k: usize = int_flag(&mut iter, "--checkpoint-keep")?;
+                if k == 0 {
+                    return Err(Usage("--checkpoint-keep needs a positive integer".into()));
+                }
+                ckpt_keep = Some(k);
+            }
             "--resume" => resume_from = Some(flag_value(&mut iter, "--resume")?.into()),
             other => return Err(Usage(format!("unknown flag `{other}` for stream-replay"))),
         }
@@ -418,6 +366,9 @@ fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
     }
     if ckpt_to.is_some() && ckpt_every.is_none() {
         return Err(Usage("--checkpoint-to needs --checkpoint-every".into()));
+    }
+    if ckpt_keep.is_some() && ckpt_every.is_none() {
+        return Err(Usage("--checkpoint-keep needs --checkpoint-every".into()));
     }
     if (ckpt_every.is_some() || resume_from.is_some()) && corruption != CorruptionPolicy::FailFast {
         // Under skip-with-report the consumed-chunk count diverges from
@@ -431,17 +382,24 @@ fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
         .as_ref()
         .map(|_| metrics_every.unwrap_or(10_000));
 
-    let base_cfg = dcache_config("L1D", EncodingPolicy::None);
-    let cnt_cfg = dcache_config("L1D", EncodingPolicy::adaptive_default());
-    let pair = (&base_cfg, &cnt_cfg);
+    let (base_cfg, cnt_cfg) = cnt_bench::driver::stream_config_pair();
 
     // Validate a resume checkpoint fully before touching any process
     // state: structure, CRCs, config fingerprint, metrics consistency.
+    // `--resume` accepts either an exact `.ctrs` file or a rotation
+    // family base, which resolves to its newest generation.
     let resumed = match &resume_from {
         Some(rp) => {
+            let resolved = rotate::resolve_resume(Path::new(rp))
+                .map_err(|e| Runtime(format!("`{rp}`: {e}")))?
+                .ok_or_else(|| {
+                    Runtime(format!(
+                        "`{rp}`: no checkpoint file or family generations found"
+                    ))
+                })?;
             let expected = ckpt::pair_fingerprint(base_cfg.fingerprint(), cnt_cfg.fingerprint());
-            let (file, driver, obs) =
-                ckpt::load(Path::new(rp), expected).map_err(|e| Runtime(format!("`{rp}`: {e}")))?;
+            let (file, driver, obs) = ckpt::load(&resolved, expected)
+                .map_err(|e| Runtime(format!("`{}`: {e}", resolved.display())))?;
             if driver.metrics_every != metrics_every_effective {
                 return Err(Usage(format!(
                     "--resume: checkpoint was taken with metrics epoch {:?}, \
@@ -460,13 +418,7 @@ fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
         eprintln!("metrics: snapshot every {every} accesses");
     }
     if let Some((_, driver, obs)) = &resumed {
-        ckpt::restore_obs(obs.clone());
-        // Burn the replay ids the interrupted process already allocated:
-        // the in-flight pass reuses its id from the cursor, and any later
-        // fresh pass must get the same id as in an uninterrupted run.
-        for _ in 0..driver.replay_ids_allocated {
-            let _ = cnt_obs::next_replay_path();
-        }
+        restore_resume_obs(driver, obs.clone());
         eprintln!(
             "resume: pass {} at chunk {} ({} accesses)",
             driver.pass, driver.cursor.chunk, driver.cursor.accesses
@@ -500,89 +452,33 @@ fn cmd_stream_replay(args: &[String]) -> Result<(), CmdError> {
             format!("{input}.ctrs")
         }
     });
-    fn plan_for<'a>(
-        ckpt_every: Option<u64>,
-        to: &'a Path,
-        pass: u32,
-        baseline: Option<&'a StreamOutcome>,
-        metrics_every: Option<u64>,
-    ) -> Option<CkptPlan<'a>> {
-        ckpt_every.map(|every| CkptPlan {
-            every,
-            to,
-            pass,
-            baseline,
-            replay_ids_allocated: if metrics_every.is_some() {
-                u64::from(pass) + 1
-            } else {
-                0
-            },
-            metrics_every,
-        })
-    }
     let ckpt_path = Path::new(&ckpt_path);
-    let every = metrics_every_effective;
 
-    let (base, cnt) = match &resumed {
-        Some((file, driver, _)) if driver.pass == 0 => {
-            let base = stream_pass(
-                input,
-                opts,
-                &base_cfg,
-                pair,
-                Some((file, &driver.cursor)),
-                plan_for(ckpt_every, ckpt_path, 0, None, every).as_ref(),
-            )?;
-            let cnt = stream_pass(
-                input,
-                opts,
-                &cnt_cfg,
-                pair,
-                None,
-                plan_for(ckpt_every, ckpt_path, 1, Some(&base), every).as_ref(),
-            )?;
-            (base, cnt)
-        }
-        Some((file, driver, _)) if driver.pass == 1 => {
-            let base = driver.baseline.clone().ok_or_else(|| {
-                Runtime("--resume: pass-1 checkpoint lacks the baseline outcome".into())
-            })?;
-            let cnt = stream_pass(
-                input,
-                opts,
-                &cnt_cfg,
-                pair,
-                Some((file, &driver.cursor)),
-                plan_for(ckpt_every, ckpt_path, 1, Some(&base), every).as_ref(),
-            )?;
-            (base, cnt)
-        }
-        Some((_, driver, _)) => {
-            return Err(Runtime(format!(
-                "--resume: checkpoint records unknown pass {}",
-                driver.pass
-            )));
-        }
-        None => {
-            let base = stream_pass(
-                input,
-                opts,
-                &base_cfg,
-                pair,
-                None,
-                plan_for(ckpt_every, ckpt_path, 0, None, every).as_ref(),
-            )?;
-            let cnt = stream_pass(
-                input,
-                opts,
-                &cnt_cfg,
-                pair,
-                None,
-                plan_for(ckpt_every, ckpt_path, 1, Some(&base), every).as_ref(),
-            )?;
-            (base, cnt)
-        }
+    // With --checkpoint-keep the path names a rotation family (numbered
+    // generations, GC'd to the newest K); without it, the original
+    // atomic overwrite-in-place single file.
+    let mut store: Box<dyn CheckpointStore> = match ckpt_keep {
+        Some(keep) => Box::new(
+            CheckpointRotator::new(ckpt_path, keep)
+                .map_err(|e| Runtime(format!("`{}`: {e}", ckpt_path.display())))?,
+        ),
+        None => Box::new(SingleFileStore(ckpt_path.to_path_buf())),
     };
+    let plan = SessionPlan {
+        input: path,
+        opts,
+        base_cfg: &base_cfg,
+        cnt_cfg: &cnt_cfg,
+        metrics_every: metrics_every_effective,
+        checkpoint: ckpt_every.map(|every| CheckpointPlan {
+            every,
+            store: &mut *store,
+        }),
+        cancel: None,
+    };
+    let resume_state = resumed.map(|(file, driver, _)| ResumeState { file, driver });
+    let outcome = run_two_pass(plan, resume_state.as_ref()).map_err(|e| Runtime(e.to_string()))?;
+    let (base, cnt) = (outcome.base, outcome.cnt);
 
     let ingest = cnt.ingest;
     println!(

@@ -46,20 +46,40 @@ pub struct ObsState {
     pub snapshots: Vec<Snapshot>,
 }
 
-/// Captures the process-wide registry and sink buffer.
+/// Captures the observability state the calling thread's replay is
+/// feeding. With a thread-local session sink installed (a `cnt-serve`
+/// session thread), this is that session's snapshots alone and **no**
+/// registry export — the registry is process-wide and shared across
+/// sessions, so freezing it into one tenant's checkpoint would leak the
+/// other tenants' counters. Otherwise it is the process-wide registry
+/// plus the global sink buffer, as the offline driver has always saved.
 #[must_use]
 pub fn capture_obs() -> ObsState {
+    if cnt_obs::local_installed() {
+        return ObsState {
+            metrics: Vec::new(),
+            snapshots: cnt_obs::local_pending(),
+        };
+    }
     ObsState {
         metrics: cnt_obs::registry().export(),
         snapshots: cnt_obs::pending(),
     }
 }
 
-/// Restores the process-wide registry and re-seeds the sink, so resumed
-/// counters continue from their checkpointed values and the final JSONL
-/// stream contains the pre-kill epochs. Call after `cnt_obs::install`
-/// and before restarting any replay.
+/// Restores checkpointed observability state into whichever sink the
+/// calling thread is using, so resumed counters continue from their
+/// checkpointed values and the final JSONL stream contains the pre-kill
+/// epochs. With a thread-local session sink installed the snapshots are
+/// preloaded there (and the registry is left alone — see
+/// [`capture_obs`]); otherwise this restores the process-wide registry
+/// and re-seeds the global sink. Call after `cnt_obs::install` (or
+/// `cnt_obs::install_local`) and before restarting any replay.
 pub fn restore_obs(state: ObsState) {
+    if cnt_obs::local_installed() {
+        cnt_obs::preload_local(state.snapshots);
+        return;
+    }
     cnt_obs::registry().restore(&state.metrics);
     cnt_obs::preload(state.snapshots);
 }

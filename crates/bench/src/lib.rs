@@ -15,6 +15,7 @@
 
 pub mod campaign;
 pub mod ckpt;
+pub mod driver;
 pub mod experiments;
 pub mod pool;
 pub mod record;
@@ -22,4 +23,7 @@ pub mod runner;
 pub mod stream;
 pub mod ws;
 
-pub use record::{BenchRecord, IterStats, PassRecord, SimdBenchRecord, StageRecord, WsBenchRecord};
+pub use record::{
+    BenchRecord, IterStats, PassRecord, ServeBenchRecord, SimdBenchRecord, StageRecord,
+    WsBenchRecord,
+};

@@ -47,6 +47,11 @@ pub struct BenchRecord {
     pub sequential: PassRecord,
     /// The `--jobs N` pass.
     pub parallel: PassRecord,
+    /// Why the numbers should not be read as a parallel-scaling claim —
+    /// set automatically when the measuring box has fewer than 4 cores,
+    /// `null`/absent on a real multi-core measurement.
+    #[serde(default)]
+    pub skip_note: Option<String>,
 }
 
 impl BenchRecord {
@@ -90,6 +95,11 @@ pub struct WsBenchRecord {
     pub static_pass: PassRecord,
     /// The pass under [`crate::pool::SchedulerKind::WorkStealing`].
     pub ws_pass: PassRecord,
+    /// Why the numbers should not be read as a parallel-scaling claim —
+    /// set automatically when the measuring box has fewer than 4 cores,
+    /// `null`/absent on a real multi-core measurement.
+    #[serde(default)]
+    pub skip_note: Option<String>,
 }
 
 impl WsBenchRecord {
@@ -99,6 +109,47 @@ impl WsBenchRecord {
     pub fn speedup(&self) -> f64 {
         if self.ws_pass.wall_seconds > 0.0 {
             self.static_pass.wall_seconds / self.ws_pass.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The trace-replay service comparison written to `BENCH_serve.json` by
+/// `bench_serve`: the same batch of sessions shipped to a `cnt-serve`
+/// instance one at a time (serial) and all at once (concurrent). The
+/// record only exists if every session's streamed metrics matched the
+/// offline replay byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchRecord {
+    /// Hardware threads the machine reported at measurement time.
+    pub cores: usize,
+    /// Worker threads each session's replay pool was capped at.
+    pub jobs: usize,
+    /// Sessions in the batch.
+    pub sessions: usize,
+    /// Trace accesses replayed per session (both passes of one session
+    /// count once — the session replays the same accesses twice).
+    pub accesses_per_session: u64,
+    /// Sessions submitted one at a time, each waited to completion.
+    pub serial: PassRecord,
+    /// All sessions submitted concurrently.
+    pub concurrent: PassRecord,
+    /// Why the numbers should not be read as a parallel-scaling claim —
+    /// set automatically when the measuring box has fewer than 4 cores,
+    /// `null`/absent on a real multi-core measurement.
+    #[serde(default)]
+    pub skip_note: Option<String>,
+}
+
+impl ServeBenchRecord {
+    /// Serial wall-clock divided by concurrent wall-clock (>1 means
+    /// overlapping sessions won), or `0.0` for a degenerate zero-length
+    /// concurrent pass.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.concurrent.wall_seconds > 0.0 {
+            self.serial.wall_seconds / self.concurrent.wall_seconds
         } else {
             0.0
         }
@@ -241,6 +292,7 @@ mod tests {
             accesses_per_pass: 1000,
             sequential: pass(1, 4.0),
             parallel: pass(4, 1.0),
+            skip_note: None,
         };
         assert!((record.speedup() - 4.0).abs() < 1e-12);
     }
@@ -254,6 +306,7 @@ mod tests {
             accesses_per_pass: 123_456,
             sequential: pass(1, 2.5),
             parallel: pass(2, 1.5),
+            skip_note: None,
         };
         let json = serde_json::to_string_pretty(&record).expect("serialises");
         let back: BenchRecord = serde_json::from_str(&json).expect("parses");
@@ -283,11 +336,39 @@ mod tests {
             accesses_per_pass: 50_000,
             static_pass: pass(4, 3.0),
             ws_pass: pass(4, 1.5),
+            skip_note: None,
         };
         assert!((record.speedup() - 2.0).abs() < 1e-12);
         let json = serde_json::to_string_pretty(&record).expect("serialises");
         let back: WsBenchRecord = serde_json::from_str(&json).expect("parses");
         assert_eq!(back, record);
+    }
+
+    #[test]
+    fn serve_record_round_trips_and_keeps_skip_notes() {
+        let record = ServeBenchRecord {
+            cores: 1,
+            jobs: 1,
+            sessions: 2,
+            accesses_per_session: 10_000,
+            serial: pass(1, 2.0),
+            concurrent: pass(1, 1.0),
+            skip_note: Some("measured on a 1-core box".to_string()),
+        };
+        assert!((record.speedup() - 2.0).abs() < 1e-12);
+        let json = serde_json::to_string_pretty(&record).expect("serialises");
+        assert!(json.contains("skip_note"));
+        let back: ServeBenchRecord = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, record);
+        // A record without the field (the pre-skip_note shape, like the
+        // committed BENCH_*.json files) still parses, as None.
+        let json = r#"{
+            "cores": 4, "jobs": 4, "sessions": 2, "accesses_per_session": 10000,
+            "serial": {"jobs": 4, "wall_seconds": 2.0, "accesses_per_second": 500.0},
+            "concurrent": {"jobs": 4, "wall_seconds": 1.0, "accesses_per_second": 1000.0}
+        }"#;
+        let back: ServeBenchRecord = serde_json::from_str(json).expect("old shape parses");
+        assert_eq!(back.skip_note, None);
     }
 
     #[test]

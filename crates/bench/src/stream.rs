@@ -48,6 +48,15 @@ pub enum StreamError {
     Access(AccessError),
     /// A periodic checkpoint write failed.
     Checkpoint(CheckpointError),
+    /// The replay was cancelled through its [`CancelToken`]. Carries how
+    /// far the replay got so the driver can report (and clean up) the
+    /// abandoned work precisely.
+    Cancelled {
+        /// Chunks fully consumed before cancellation was observed.
+        chunk: u64,
+        /// Accesses replayed before cancellation was observed.
+        accesses: u64,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -56,6 +65,10 @@ impl std::fmt::Display for StreamError {
             StreamError::Trace(e) => write!(f, "trace stream: {e}"),
             StreamError::Access(e) => write!(f, "replay: {e}"),
             StreamError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            StreamError::Cancelled { chunk, accesses } => write!(
+                f,
+                "replay cancelled after {chunk} chunks ({accesses} accesses)"
+            ),
         }
     }
 }
@@ -66,7 +79,36 @@ impl std::error::Error for StreamError {
             StreamError::Trace(e) => Some(e),
             StreamError::Access(e) => Some(e),
             StreamError::Checkpoint(e) => Some(e),
+            StreamError::Cancelled { .. } => None,
         }
+    }
+}
+
+/// A cooperative cancellation handle for long replays. Cloneable and
+/// thread-safe: a control thread (e.g. a server connection pump that
+/// just read a `Cancel` frame or lost its client) flips the token, and
+/// the replay observes it at its next deterministic check point — the
+/// window boundary and each chunk-consumption step — then returns
+/// [`StreamError::Cancelled`] instead of touching further input.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
     }
 }
 
@@ -180,7 +222,7 @@ pub fn replay_stream<R: Read>(
     cache: &mut CntCache,
     reader: &mut StreamReader<R>,
 ) -> Result<(IngestSnapshot, u64), StreamError> {
-    replay_stream_resumable(cache, reader, None, None)
+    replay_stream_resumable(cache, reader, None, None, None)
 }
 
 /// [`replay_stream`] with checkpoint/resume support.
@@ -197,10 +239,16 @@ pub fn replay_stream<R: Read>(
 /// skip-with-report the consumed-chunk count diverges from the reader
 /// cursor and a resume could silently replay the wrong suffix.
 ///
+/// `cancel` makes the replay abandonable from another thread: the token
+/// is polled before each window fill and before each chunk is consumed,
+/// and a set token surfaces as [`StreamError::Cancelled`] without
+/// reading further input — the isolation primitive a multi-tenant
+/// server needs to tear one session down without touching the rest.
+///
 /// # Errors
 ///
 /// As [`replay_stream`], plus [`StreamError::Checkpoint`] when the hook
-/// fails.
+/// fails and [`StreamError::Cancelled`] when `cancel` fires.
 ///
 /// # Panics
 ///
@@ -213,6 +261,7 @@ pub fn replay_stream_resumable<R: Read>(
     reader: &mut StreamReader<R>,
     resume: Option<ReplayCursor>,
     mut checkpoint: Option<CheckpointEvery<'_>>,
+    cancel: Option<&CancelToken>,
 ) -> Result<(IngestSnapshot, u64), StreamError> {
     let every = cnt_obs::epoch_len();
     assert!(
@@ -242,7 +291,15 @@ pub fn replay_stream_resumable<R: Read>(
     let mut epoch: u64 = cursor.epoch;
     let mut last_checkpoint: u64 = cursor.chunk;
 
+    let cancelled = |driver: &IngestSnapshot, accesses: u64| StreamError::Cancelled {
+        chunk: driver.chunks_consumed,
+        accesses,
+    };
+
     loop {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(cancelled(&driver, accesses));
+        }
         // Fill one prefetch window, hard-bounded by the byte budget: a
         // chunk that does not fit the remaining window stays inside the
         // reader (only its frame header was consumed).
@@ -298,6 +355,9 @@ pub fn replay_stream_resumable<R: Read>(
         });
 
         for (position, (raw, result)) in window.iter().zip(decoded).enumerate() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(cancelled(&driver, accesses));
+            }
             let batch = match result {
                 Ok(batch) => batch,
                 Err(e) => {
@@ -587,6 +647,7 @@ mod tests {
                 chunks: 10,
                 write: &mut hook,
             }),
+            None,
         )
         .expect("streams");
         cache.flush();
@@ -612,7 +673,7 @@ mod tests {
             let mut cache = CntCache::new(config.clone()).expect("valid");
             cache.restore_state(&state).expect("restores");
             let outcome =
-                replay_stream_resumable(&mut cache, &mut reader, Some(cursor.clone()), None)
+                replay_stream_resumable(&mut cache, &mut reader, Some(cursor.clone()), None, None)
                     .expect("resumes");
             cache.flush();
             (outcome, cache.into_report(), reader.identity())
@@ -624,6 +685,65 @@ mod tests {
         assert_eq!(seq.1, control_report, "resumed report diverged");
         assert_eq!(seq.2, control_identity, "resumed identity diverged");
         assert_eq!(seq, par, "resume is jobs-sensitive");
+    }
+
+    #[test]
+    fn cancel_token_aborts_with_progress_and_pre_set_token_replays_nothing() {
+        let trace = sample_trace(2_000);
+        let bytes = packed(&trace, 64);
+        let opts = ReadOptions {
+            budget_bytes: 1024,
+            corruption: CorruptionPolicy::FailFast,
+        };
+        let config = dcache_config("L1D", EncodingPolicy::adaptive_default());
+
+        // A token cancelled before the replay starts stops it at the very
+        // first check, with zero progress consumed.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut reader = StreamReader::new(&bytes[..], opts).expect("opens");
+        let mut cache = CntCache::new(config.clone()).expect("valid");
+        let err = replay_stream_resumable(&mut cache, &mut reader, None, None, Some(&token))
+            .expect_err("cancelled");
+        assert!(
+            matches!(
+                err,
+                StreamError::Cancelled {
+                    chunk: 0,
+                    accesses: 0
+                }
+            ),
+            "expected zero-progress cancellation, got {err}"
+        );
+
+        // Cancelling from the checkpoint hook (a deterministic mid-replay
+        // point) aborts with partial progress.
+        let token = CancelToken::new();
+        let hook_token = token.clone();
+        let mut hook = move |_: &CntCache, _: &ReplayCursor, _: u64| {
+            hook_token.cancel();
+            Ok(())
+        };
+        let mut reader = StreamReader::new(&bytes[..], opts).expect("opens");
+        let mut cache = CntCache::new(config).expect("valid");
+        let err = replay_stream_resumable(
+            &mut cache,
+            &mut reader,
+            None,
+            Some(CheckpointEvery {
+                chunks: 4,
+                write: &mut hook,
+            }),
+            Some(&token),
+        )
+        .expect_err("cancelled");
+        match err {
+            StreamError::Cancelled { chunk, accesses } => {
+                assert!(chunk > 0, "cancellation observed before any progress");
+                assert!(accesses > 0 && accesses < 2_000, "partial progress");
+            }
+            other => panic!("expected cancellation, got {other}"),
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   [`cnt_energy::EnergyBreakdown`], predictor/encoding counters, and
 //!   deferred-update FIFO occupancy;
 //! - [`sink`] — a global collector that orders interleaved snapshots by
-//!   (experiment id, epoch) before they are rendered to JSON Lines.
+//!   (experiment id, epoch) before they are rendered to JSON Lines;
+//! - [`local`] — thread-local session sinks, so a multi-tenant replay
+//!   server can keep per-session metrics streams isolated (and stream
+//!   them live) while sharing one process.
 //!
 //! ## Cost model
 //!
@@ -25,11 +28,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod local;
 pub mod registry;
 pub mod scope;
 pub mod sink;
 pub mod snapshot;
 
+pub use local::{
+    install_local, local_installed, local_pending, preload_local, LocalSinkGuard, OnRecord,
+};
 pub use registry::{Counter, Gauge, MetricValue, Registry};
 pub use scope::{
     adopt, fork, next_replay_path, scoped, scoped_fanout, scoped_index, AdoptGuard, ScopeGuard,
@@ -39,6 +46,7 @@ pub use sink::{
     drain, epoch_len, install, is_enabled, pending, preload, record, registry, to_jsonl,
 };
 pub use snapshot::{
-    replay, replay_batch, replay_hierarchy, replay_into, validate_jsonl, DeltaTracker,
-    FifoSnapshot, IngestSnapshot, JsonlSummary, LevelSnapshot, Snapshot,
+    replay, replay_batch, replay_hierarchy, replay_into, validate_jsonl, validate_sessions_jsonl,
+    DeltaTracker, FifoSnapshot, IngestSnapshot, JsonlSummary, LevelSnapshot, SessionsSummary,
+    Snapshot,
 };

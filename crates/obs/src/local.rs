@@ -1,0 +1,248 @@
+//! Thread-local session sinks — per-session snapshot isolation for
+//! multi-tenant replay servers.
+//!
+//! The process-wide sink in [`crate::sink`] is the right tool for a
+//! single replay driver, but a server replaying many tenants at once
+//! must keep their metrics streams apart: session A's epochs must never
+//! interleave into session B's JSONL, and each session's replay ids
+//! must start from `r0000` exactly as an offline run's would. Both fall
+//! out of one primitive: a **thread-local** sink. A server runs each
+//! session on its own thread; installing a local sink there captures
+//! that session's snapshots (and only those), while the thread-local
+//! scope stack in [`crate::scope`] already restarts id allocation per
+//! thread. Replays on threads with no local sink keep using the global
+//! sink, so existing drivers are unaffected.
+//!
+//! A local sink can also **stream**: an optional `on_record` callback
+//! observes every snapshot as it is recorded, in emission order, which
+//! is what lets a replay server push per-epoch observations down a
+//! socket while the replay is still running. Emission order within one
+//! session thread is (experiment, epoch)-sorted already — replays run
+//! sequentially on the session thread and epochs ascend — so the
+//! streamed order matches what [`crate::sink::drain`] would have
+//! produced.
+
+use std::cell::{Cell, RefCell};
+
+use crate::snapshot::Snapshot;
+
+thread_local! {
+    /// Cheap mirror of `LOCAL.is_some()` so the hot-path enablement
+    /// check stays a flag read (no `RefCell` borrow bookkeeping).
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static LOCAL: RefCell<Option<LocalSink>> = const { RefCell::new(None) };
+}
+
+/// Snapshot observer invoked synchronously on every local record.
+pub type OnRecord = Box<dyn FnMut(&Snapshot)>;
+
+struct LocalSink {
+    every: u64,
+    snapshots: Vec<Snapshot>,
+    on_record: Option<OnRecord>,
+}
+
+/// Keeps a thread-local sink installed; dropping it uninstalls the sink
+/// and discards anything still buffered. Call [`LocalSinkGuard::finish`]
+/// instead to take the collected snapshots.
+///
+/// The guard is deliberately `!Send`: the sink lives in this thread's
+/// storage and must be torn down by the thread that installed it.
+pub struct LocalSinkGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl LocalSinkGuard {
+    /// Uninstalls the sink and returns everything it recorded, sorted by
+    /// (experiment id, epoch) — the same ordering contract as
+    /// [`crate::sink::drain`].
+    #[must_use]
+    pub fn finish(self) -> Vec<Snapshot> {
+        let mut snapshots = LOCAL
+            .with(|slot| slot.borrow_mut().take())
+            .map(|sink| sink.snapshots)
+            .unwrap_or_default();
+        ACTIVE.with(|flag| flag.set(false));
+        snapshots.sort_by(|a, b| a.experiment.cmp(&b.experiment).then(a.epoch.cmp(&b.epoch)));
+        snapshots
+    }
+}
+
+impl Drop for LocalSinkGuard {
+    fn drop(&mut self) {
+        LOCAL.with(|slot| slot.borrow_mut().take());
+        ACTIVE.with(|flag| flag.set(false));
+    }
+}
+
+/// Installs a sink on the **current thread** with an epoch of `every`
+/// accesses. While installed, this thread's [`crate::record`] calls land
+/// here instead of the global sink, and [`crate::epoch_len`] reports
+/// `every` regardless of the global configuration.
+///
+/// `on_record` (if given) observes each snapshot synchronously at record
+/// time, before it is buffered. The callback must not call back into
+/// this module (the sink is borrowed while it runs).
+///
+/// # Panics
+///
+/// Panics if `every` is zero or a local sink is already installed on
+/// this thread — both driver bugs.
+pub fn install_local(every: u64, on_record: Option<OnRecord>) -> LocalSinkGuard {
+    assert!(every > 0, "epoch length must be positive");
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        assert!(
+            slot.is_none(),
+            "a local sink is already installed on this thread"
+        );
+        *slot = Some(LocalSink {
+            every,
+            snapshots: Vec::new(),
+            on_record,
+        });
+    });
+    ACTIVE.with(|flag| flag.set(true));
+    LocalSinkGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// `true` when the current thread has a local sink installed.
+#[must_use]
+pub fn local_installed() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// The local sink's epoch length, or `None` when this thread has none.
+pub(crate) fn local_epoch_len() -> Option<u64> {
+    if !local_installed() {
+        return None;
+    }
+    LOCAL.with(|slot| slot.borrow().as_ref().map(|sink| sink.every))
+}
+
+/// Offers a snapshot to the local sink. Returns `true` when consumed;
+/// `false` sends the caller back to the global sink.
+pub(crate) fn local_record(snapshot: Snapshot) -> bool {
+    if !local_installed() {
+        return false;
+    }
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(sink) = slot.as_mut() else {
+            return false;
+        };
+        if let Some(observer) = sink.on_record.as_mut() {
+            observer(&snapshot);
+        }
+        sink.snapshots.push(snapshot);
+        true
+    })
+}
+
+/// A copy of everything the local sink recorded so far, sorted by
+/// (experiment id, epoch) — the session-scoped analogue of
+/// [`crate::sink::pending`], used when checkpointing one session without
+/// touching the others. Empty when no local sink is installed.
+#[must_use]
+pub fn local_pending() -> Vec<Snapshot> {
+    let mut snapshots = LOCAL.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|sink| sink.snapshots.clone())
+            .unwrap_or_default()
+    });
+    snapshots.sort_by(|a, b| a.experiment.cmp(&b.experiment).then(a.epoch.cmp(&b.epoch)));
+    snapshots
+}
+
+/// Seeds the local sink with snapshots saved by [`local_pending`] before
+/// a checkpoint — the resume-side counterpart. The preloaded snapshots
+/// are **not** replayed through `on_record`: a resumed session streams
+/// only the epochs it newly produces, while [`LocalSinkGuard::finish`]
+/// still returns the complete merged stream.
+///
+/// # Panics
+///
+/// Panics if no local sink is installed on this thread (a driver bug:
+/// preloading into the void would silently drop the pre-kill epochs).
+pub fn preload_local(snapshots: Vec<Snapshot>) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let sink = slot
+            .as_mut()
+            .expect("preload_local requires an installed local sink");
+        sink.snapshots.extend(snapshots);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_sink_lifecycle_and_streaming() {
+        assert!(!local_installed());
+        assert_eq!(local_epoch_len(), None);
+        assert!(
+            !local_record(Snapshot::empty("x", 0, 1)),
+            "no sink: refused"
+        );
+
+        let streamed = std::rc::Rc::new(RefCell::new(Vec::new()));
+        let observer = std::rc::Rc::clone(&streamed);
+        let guard = install_local(
+            50,
+            Some(Box::new(move |s: &Snapshot| {
+                observer.borrow_mut().push((s.experiment.clone(), s.epoch));
+            })),
+        );
+        assert!(local_installed());
+        assert_eq!(local_epoch_len(), Some(50));
+
+        assert!(local_record(Snapshot::empty("a/r0000", 0, 10)));
+        assert!(local_record(Snapshot::empty("a/r0000", 1, 20)));
+        let saved = local_pending();
+        assert_eq!(saved.len(), 2, "pending copies without clearing");
+
+        let collected = guard.finish();
+        assert_eq!(collected.len(), 2);
+        assert!(!local_installed(), "finish uninstalls");
+        assert_eq!(
+            *streamed.borrow(),
+            vec![("a/r0000".to_string(), 0), ("a/r0000".to_string(), 1)],
+            "observer saw each snapshot in emission order"
+        );
+
+        // Resume path: preload does not re-stream, but finish merges.
+        let guard = install_local(50, None);
+        preload_local(saved);
+        assert!(local_record(Snapshot::empty("a/r0000", 2, 30)));
+        let merged = guard.finish();
+        let epochs: Vec<u64> = merged.iter().map(|s| s.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, 2], "preloaded epochs merge in order");
+    }
+
+    #[test]
+    fn dropping_the_guard_discards_and_uninstalls() {
+        {
+            let _guard = install_local(10, None);
+            assert!(local_record(Snapshot::empty("a", 0, 1)));
+        }
+        assert!(!local_installed());
+        assert!(local_pending().is_empty(), "dropped buffer is gone");
+    }
+
+    #[test]
+    fn local_sinks_are_per_thread() {
+        let _guard = install_local(10, None);
+        assert!(local_installed());
+        std::thread::spawn(|| {
+            assert!(!local_installed(), "other threads see no local sink");
+            assert!(!local_record(Snapshot::empty("b", 0, 1)));
+        })
+        .join()
+        .expect("spawned thread");
+    }
+}

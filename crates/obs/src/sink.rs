@@ -37,15 +37,22 @@ pub fn install(every: u64) {
     ENABLED.store(true, Ordering::SeqCst);
 }
 
-/// `true` when a sink is installed. One relaxed load: this is the entire
-/// cost tracing adds to an uninstrumented replay.
+/// `true` when a sink is installed — the process-wide one, or a
+/// thread-local session sink on the calling thread (see
+/// [`crate::local`]). One relaxed load plus one thread-local flag read:
+/// this is the entire cost tracing adds to an uninstrumented replay.
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) || crate::local::local_installed()
 }
 
-/// The configured epoch length, or `None` when tracing is disabled.
+/// The configured epoch length, or `None` when tracing is disabled. A
+/// thread-local session sink takes precedence over the global
+/// configuration on its own thread.
 pub fn epoch_len() -> Option<u64> {
-    if is_enabled() {
+    if let Some(every) = crate::local::local_epoch_len() {
+        return Some(every);
+    }
+    if ENABLED.load(Ordering::Relaxed) {
         Some(EPOCH_LEN.load(Ordering::Relaxed))
     } else {
         None
@@ -54,9 +61,16 @@ pub fn epoch_len() -> Option<u64> {
 
 /// Records one snapshot (no-op when tracing is disabled, so late
 /// stragglers after [`drain`] are dropped rather than leaked into the
-/// next collection).
+/// next collection). When the calling thread has a local session sink
+/// installed, the snapshot lands there and never touches the global
+/// buffer — session isolation is routing, not filtering.
 pub fn record(snapshot: Snapshot) {
-    if !is_enabled() {
+    if crate::local::local_installed() {
+        registry().counter("obs.snapshots_recorded").inc();
+        crate::local::local_record(snapshot);
+        return;
+    }
+    if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
     registry().counter("obs.snapshots_recorded").inc();

@@ -469,6 +469,63 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, String> {
     })
 }
 
+/// A summary of a validated multiplexed (multi-session) JSONL stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionsSummary {
+    /// Distinct session ids (`s0000`-style prefixes).
+    pub sessions: usize,
+    /// Total snapshot lines across all sessions.
+    pub snapshots: usize,
+    /// Distinct (session, replay) experiment ids.
+    pub experiments: usize,
+}
+
+/// Validates a **multiplexed** per-session JSONL stream, as written by a
+/// replay server that merges many tenants into one log. On top of every
+/// [`validate_jsonl`] rule (which is already keyed per experiment id, so
+/// per-session epoch monotonicity and ingest monotonicity follow from
+/// session-scoped ids), this requires each experiment id to carry an
+/// `sNNNN/` session prefix — an unprefixed id means some session leaked
+/// into the log without scoping, the exact bug this mode exists to
+/// catch.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_sessions_jsonl(text: &str) -> Result<SessionsSummary, String> {
+    let summary = validate_jsonl(text)?;
+    let mut sessions: Vec<String> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let snapshot: Snapshot =
+            serde_json::from_str(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let Some((session, rest)) = snapshot.experiment.split_once('/') else {
+            return Err(format!(
+                "line {lineno}: experiment `{}` has no session prefix",
+                snapshot.experiment
+            ));
+        };
+        let well_formed = session.len() >= 5
+            && session.starts_with('s')
+            && session[1..].bytes().all(|b| b.is_ascii_digit());
+        if !well_formed || rest.is_empty() {
+            return Err(format!(
+                "line {lineno}: experiment `{}` is not session-scoped \
+                 (expected an `sNNNN/` prefix)",
+                snapshot.experiment
+            ));
+        }
+        if !sessions.iter().any(|s| s == session) {
+            sessions.push(session.to_string());
+        }
+    }
+    Ok(SessionsSummary {
+        sessions: sessions.len(),
+        snapshots: summary.snapshots,
+        experiments: summary.experiments,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

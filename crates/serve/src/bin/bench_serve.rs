@@ -1,0 +1,286 @@
+//! Serial-vs-concurrent session throughput for the replay service,
+//! plus the byte-identity audit that makes the numbers trustworthy.
+//!
+//! Boots an in-process server on a loopback port, replays the same
+//! synthetic trace as N sessions twice — one at a time, then all at
+//! once — and writes a [`cnt_bench::ServeBenchRecord`] (`BENCH_serve.json`).
+//! Before timing anything it verifies that every session's streamed
+//! metrics JSONL is byte-identical to an offline
+//! `tracegen stream-replay` of the same trace, so the benchmark can
+//! never drift from the service's correctness bar.
+//!
+//! On a box with fewer than 4 cores the record still gets written, but
+//! with `skip_note` set: the concurrency numbers are not a scaling
+//! claim there.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use cnt_bench::driver::{run_two_pass, stream_config_pair, SessionPlan};
+use cnt_bench::pool;
+use cnt_bench::{PassRecord, ServeBenchRecord};
+use cnt_serve::client::replay_file;
+use cnt_serve::{Server, ServerConfig};
+use cnt_trace::{CorruptionPolicy, ReadOptions};
+use cnt_workloads::synthetic::SyntheticSpec;
+
+const MIB: usize = 1024 * 1024;
+
+struct Args {
+    sessions: usize,
+    accesses: usize,
+    budget_mib: usize,
+    metrics_every: u64,
+    jobs: usize,
+    iters: u32,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_serve [--sessions N] [--accesses N] [--budget-mib N]\n\
+         \u{20}                 [--metrics-every N] [--jobs N] [--iters N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sessions: 4,
+        accesses: 40_000,
+        budget_mib: 4,
+        metrics_every: 5_000,
+        jobs: pool::default_jobs(),
+        iters: 1,
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--sessions" => args.sessions = parse_num(&value("--sessions")),
+            "--accesses" => args.accesses = parse_num(&value("--accesses")),
+            "--budget-mib" => args.budget_mib = parse_num(&value("--budget-mib")),
+            "--metrics-every" => args.metrics_every = parse_num(&value("--metrics-every")),
+            "--jobs" => args.jobs = parse_num(&value("--jobs")),
+            "--iters" => args.iters = parse_num(&value("--iters")),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    if args.sessions == 0 || args.accesses == 0 || args.iters == 0 {
+        eprintln!("--sessions, --accesses, and --iters must be positive");
+        usage()
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("`{text}` is not a valid number");
+        usage()
+    })
+}
+
+/// The offline reference: the exact metrics JSONL `tracegen
+/// stream-replay` would write for this trace and budget. Runs on a
+/// fresh thread so replay ids start at `r0000`, same as a session.
+fn offline_metrics(trace: &Path, budget_mib: usize, metrics_every: u64) -> Result<String, String> {
+    let trace = trace.to_path_buf();
+    std::thread::spawn(move || -> Result<String, String> {
+        let (base_cfg, cnt_cfg) = stream_config_pair();
+        let guard = cnt_obs::install_local(metrics_every, None);
+        let plan = SessionPlan {
+            input: &trace,
+            opts: ReadOptions {
+                budget_bytes: budget_mib * MIB,
+                corruption: CorruptionPolicy::FailFast,
+            },
+            base_cfg: &base_cfg,
+            cnt_cfg: &cnt_cfg,
+            metrics_every: Some(metrics_every),
+            checkpoint: None,
+            cancel: None,
+        };
+        run_two_pass(plan, None).map_err(|e| e.to_string())?;
+        cnt_obs::to_jsonl(&guard.finish()).map_err(|e| e.to_string())
+    })
+    .join()
+    .map_err(|_| "offline replay thread panicked".to_string())?
+}
+
+fn main() -> ExitCode {
+    match run(parse_args()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(what) => {
+            eprintln!("bench_serve: {what}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    pool::set_jobs(args.jobs);
+    let cores = pool::default_jobs();
+
+    let scratch = std::env::temp_dir().join(format!("bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| e.to_string())?;
+    let result = run_in(&args, cores, &scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    result
+}
+
+fn run_in(args: &Args, cores: usize, scratch: &Path) -> Result<(), String> {
+    // One trace shared by every session.
+    let trace_path = scratch.join("bench.ctr");
+    let spec = SyntheticSpec {
+        accesses: args.accesses,
+        ..Default::default()
+    };
+    let file = std::fs::File::create(&trace_path).map_err(|e| e.to_string())?;
+    let summary = cnt_trace::pack_accesses(
+        spec.stream(),
+        std::io::BufWriter::new(file),
+        cnt_trace::DEFAULT_CHUNK_ACCESSES,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "bench_serve: trace ready ({} accesses, {} chunks)",
+        summary.accesses, summary.chunks
+    );
+
+    let reference = offline_metrics(&trace_path, args.budget_mib, args.metrics_every)?;
+
+    // Budget sized so every session fits at once: concurrency is what
+    // is being measured, not the admission queue.
+    let cfg = ServerConfig {
+        state_dir: scratch.join("state"),
+        global_budget_mib: args.budget_mib * args.sessions + 1,
+        checkpoint_every: None,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?.to_string();
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    let server_thread = std::thread::spawn(move || server.run(&SHUTDOWN, None));
+
+    let one_session = |label: &str| -> Result<(u64, String), String> {
+        let outcome = replay_file(
+            &addr,
+            &trace_path,
+            args.budget_mib,
+            args.metrics_every,
+            |_| {},
+        )
+        .map_err(|e| format!("{label}: {e}"))?;
+        Ok((outcome.done.accesses, outcome.metrics_jsonl))
+    };
+
+    // Correctness audit before any timing: streamed == offline, bytes.
+    let (accesses_per_session, streamed) = one_session("audit session")?;
+    if streamed != reference {
+        return Err(format!(
+            "streamed metrics diverge from the offline replay ({} vs {} bytes) — \
+             the service broke its byte-identity guarantee",
+            streamed.len(),
+            reference.len()
+        ));
+    }
+    eprintln!(
+        "bench_serve: byte-identity audit passed ({} metric bytes)",
+        streamed.len()
+    );
+
+    // Serial: sessions one at a time.
+    let serial_start = Instant::now();
+    for iter in 0..args.iters {
+        for session in 0..args.sessions {
+            one_session(&format!("serial iter {iter} session {session}"))?;
+        }
+    }
+    let serial_wall = serial_start.elapsed().as_secs_f64() / f64::from(args.iters);
+
+    // Concurrent: all sessions in flight at once.
+    let concurrent_start = Instant::now();
+    for iter in 0..args.iters {
+        let outcomes = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.sessions)
+                .map(|session| {
+                    let one_session = &one_session;
+                    scope.spawn(move || {
+                        one_session(&format!("concurrent iter {iter} session {session}"))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| "session thread panicked".to_string())?
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })?;
+        // Isolation spot-check rides along: every concurrent session
+        // must still match the offline bytes exactly.
+        for (session, (_, jsonl)) in outcomes.iter().enumerate() {
+            if *jsonl != reference {
+                return Err(format!(
+                    "concurrent session {session} diverged from the offline metrics"
+                ));
+            }
+        }
+    }
+    let concurrent_wall = concurrent_start.elapsed().as_secs_f64() / f64::from(args.iters);
+
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    // Nudge the accept loop awake so it notices the flag promptly.
+    std::net::TcpStream::connect(&addr).ok();
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+
+    let total_accesses = accesses_per_session * args.sessions as u64;
+    let pass = |wall: f64| PassRecord {
+        jobs: args.jobs,
+        wall_seconds: wall,
+        accesses_per_second: total_accesses as f64 / wall,
+        iters: args.iters,
+        warmup: 1, // the audit session warmed every path once
+    };
+    let record = ServeBenchRecord {
+        cores,
+        jobs: args.jobs,
+        sessions: args.sessions,
+        accesses_per_session,
+        serial: pass(serial_wall),
+        concurrent: pass(concurrent_wall),
+        skip_note: (cores < 4).then(|| {
+            format!(
+                "concurrent-session scaling skipped: {cores} core(s) at measurement time, \
+                 a >=4-core box is required for a meaningful speedup claim"
+            )
+        }),
+    };
+    let json = serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?;
+    std::fs::write(&args.out, json + "\n").map_err(|e| e.to_string())?;
+    eprintln!(
+        "bench_serve: serial {:.3}s, concurrent {:.3}s ({:.2}x) -> {}",
+        record.serial.wall_seconds,
+        record.concurrent.wall_seconds,
+        record.speedup(),
+        args.out.display()
+    );
+    Ok(())
+}

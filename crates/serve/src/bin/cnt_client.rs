@@ -1,0 +1,123 @@
+//! The `cnt_client` binary: replay one `.ctr` trace through a running
+//! `cnt_serve` instance and collect the streamed metrics.
+//!
+//! ```text
+//! cnt_client 127.0.0.1:7171 trace.ctr --budget-mib 8 \
+//!            --metrics-every 5000 --metrics-out metrics.jsonl
+//! ```
+//!
+//! The streamed metrics file is byte-identical to what
+//! `tracegen stream-replay` would have written offline for the same
+//! trace and budget — that is the service's core guarantee.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cnt_serve::client::{replay_file, Event};
+
+struct Args {
+    addr: String,
+    trace: PathBuf,
+    budget_mib: usize,
+    metrics_every: u64,
+    metrics_out: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cnt_client ADDR TRACE.ctr [--budget-mib N] [--metrics-every N]\n\
+         \u{20}                 [--metrics-out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut budget_mib = 8;
+    let mut metrics_every = 0;
+    let mut metrics_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--budget-mib" => {
+                budget_mib = value("--budget-mib").parse().unwrap_or_else(|_| usage())
+            }
+            "--metrics-every" => {
+                metrics_every = value("--metrics-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 2 {
+        usage()
+    }
+    let trace = PathBuf::from(positional.pop().expect("len checked"));
+    let addr = positional.pop().expect("len checked");
+    Args {
+        addr,
+        trace,
+        budget_mib,
+        metrics_every,
+        metrics_out,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let outcome = replay_file(
+        &args.addr,
+        &args.trace,
+        args.budget_mib,
+        args.metrics_every,
+        |event| match event {
+            Event::Status(report) => {
+                eprintln!(
+                    "client: {} {} at {}",
+                    report.session, report.phase, report.progress
+                )
+            }
+            Event::Warning(e) => eprintln!("client: server warning ({}): {}", e.code, e.message),
+            Event::Obs(_) | Event::Done(_) => {}
+        },
+    );
+    let outcome = match outcome {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("cnt_client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, &outcome.metrics_jsonl) {
+            eprintln!("cnt_client: write `{}`: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let done = &outcome.done;
+    let saving = if done.baseline_fj > 0.0 {
+        (1.0 - done.cnt_fj / done.baseline_fj) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "session {}: {} accesses, {} snapshots streamed",
+        done.session, done.accesses, done.snapshots
+    );
+    println!(
+        "energy: baseline {:.1} fJ, adaptive CNT {:.1} fJ ({saving:.2}% saving)",
+        done.baseline_fj, done.cnt_fj
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,181 @@
+//! The global replay-budget ledger — admission control for sessions.
+//!
+//! Every session replays under a bounded [`cnt_trace::ReadOptions`]
+//! byte budget; the server's ledger is the sum it is willing to have
+//! outstanding at once. A session acquires a [`BudgetLease`] for its
+//! requested budget before it may stream a single trace byte:
+//!
+//! * a request larger than the whole ledger is **rejected** outright —
+//!   it could never run;
+//! * a request that fits the ledger but not the current remainder is
+//!   **queued**: the caller blocks on the ledger's condvar until enough
+//!   leases are released;
+//! * otherwise the lease is granted immediately.
+//!
+//! Leases are RAII: dropping one (session done, cancelled, client
+//! vanished, handler panicked) returns the bytes and wakes every
+//! queued waiter. The server can therefore never over-commit replay
+//! memory — the OOM-free guarantee reduces to this ledger plus the
+//! streaming reader's own budget enforcement.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The shared ledger. Cheap to clone via [`Arc`].
+#[derive(Debug)]
+pub struct BudgetLedger {
+    total: u64,
+    state: Mutex<u64>,
+    freed: Condvar,
+}
+
+/// Why a lease could not be granted immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request can never fit the ledger, even completely idle.
+    TooLarge {
+        /// The ledger's total capacity in bytes.
+        total: u64,
+    },
+    /// The request fits the ledger but not its current remainder; the
+    /// caller may wait.
+    MustQueue {
+        /// Bytes currently unleased.
+        available: u64,
+    },
+}
+
+impl BudgetLedger {
+    /// A ledger holding `total` bytes of replay budget.
+    #[must_use]
+    pub fn new(total: u64) -> Arc<Self> {
+        Arc::new(BudgetLedger {
+            total,
+            state: Mutex::new(total),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bytes currently unleased. Advisory — another session may lease
+    /// them between this read and your acquire.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        *self.state.lock().expect("ledger lock")
+    }
+
+    /// Tries to lease `bytes` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`Admission::TooLarge`] or [`Admission::MustQueue`]; the ledger
+    /// is unchanged either way.
+    pub fn try_acquire(self: &Arc<Self>, bytes: u64) -> Result<BudgetLease, Admission> {
+        if bytes > self.total {
+            return Err(Admission::TooLarge { total: self.total });
+        }
+        let mut available = self.state.lock().expect("ledger lock");
+        if bytes > *available {
+            return Err(Admission::MustQueue {
+                available: *available,
+            });
+        }
+        *available -= bytes;
+        Ok(BudgetLease {
+            ledger: Arc::clone(self),
+            bytes,
+        })
+    }
+
+    /// Leases `bytes`, blocking until enough budget frees up.
+    ///
+    /// # Errors
+    ///
+    /// [`Admission::TooLarge`] if the request could never fit — this
+    /// never blocks forever on an impossible request.
+    pub fn acquire(self: &Arc<Self>, bytes: u64) -> Result<BudgetLease, Admission> {
+        if bytes > self.total {
+            return Err(Admission::TooLarge { total: self.total });
+        }
+        let mut available = self.state.lock().expect("ledger lock");
+        while bytes > *available {
+            available = self.freed.wait(available).expect("ledger lock");
+        }
+        *available -= bytes;
+        Ok(BudgetLease {
+            ledger: Arc::clone(self),
+            bytes,
+        })
+    }
+}
+
+/// A granted slice of the global budget; returning it is automatic.
+#[derive(Debug)]
+pub struct BudgetLease {
+    ledger: Arc<BudgetLedger>,
+    bytes: u64,
+}
+
+impl BudgetLease {
+    /// How many bytes this lease holds.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        let mut available = self.ledger.state.lock().expect("ledger lock");
+        *available += self.bytes;
+        self.ledger.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_granted_queued_rejected_and_returned() {
+        let ledger = BudgetLedger::new(100);
+        assert!(matches!(
+            ledger.try_acquire(101),
+            Err(Admission::TooLarge { total: 100 })
+        ));
+        let a = ledger.try_acquire(60).expect("fits");
+        assert_eq!(ledger.available(), 40);
+        assert!(matches!(
+            ledger.try_acquire(50),
+            Err(Admission::MustQueue { available: 40 })
+        ));
+        drop(a);
+        assert_eq!(ledger.available(), 100);
+        let _b = ledger.try_acquire(50).expect("fits after release");
+    }
+
+    #[test]
+    fn blocked_acquire_wakes_on_release() {
+        let ledger = BudgetLedger::new(10);
+        let held = ledger.try_acquire(10).expect("fits");
+        let waiter = {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                let lease = ledger.acquire(5).expect("eventually granted");
+                lease.bytes()
+            })
+        };
+        // Give the waiter time to block, then release.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(held);
+        assert_eq!(waiter.join().expect("no panic"), 5);
+        assert!(matches!(
+            ledger.acquire(11),
+            Err(Admission::TooLarge { total: 10 })
+        ));
+    }
+}

@@ -1,0 +1,31 @@
+//! `cnt-serve`: a multi-tenant trace-replay service.
+//!
+//! Turns the offline `tracegen stream-replay` pipeline into a
+//! long-running server: clients stream `.ctr` traces over a small
+//! framed TCP protocol ([`proto`]), the server replays each through the
+//! shared two-pass driver under a leased slice of a global byte budget
+//! ([`budget`]), and per-epoch observability snapshots stream back to
+//! the client live. Sessions are isolated (own directory, own
+//! thread-local metrics sink, own checkpoint family) and crash-safe
+//! (periodic `.ctrs` checkpoints; a restarted server resumes every
+//! in-flight session byte-identically).
+//!
+//! Built entirely on `std` networking — no external dependencies.
+//!
+//! * [`proto`] — wire protocol: hello exchange, CRC-framed messages.
+//! * [`budget`] — the global admission-control ledger.
+//! * [`server`] — the accept loop, session lifecycle, crash resume.
+//! * [`client`] — the client state machine and one-call replay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use budget::{Admission, BudgetLease, BudgetLedger};
+pub use client::{replay_file, Client, ClientError, Event, ReplayOutcome};
+pub use proto::{Hello, Kind, ProtoError};
+pub use server::{Server, ServerConfig};

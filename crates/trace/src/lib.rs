@@ -20,7 +20,12 @@
 //!   same framing discipline to make long streamed replays
 //!   kill-and-resume safe ([`CheckpointFile`], [`Checkpointable`],
 //!   typed [`CheckpointError`] rejection of damaged or mismatched
-//!   snapshots).
+//!   snapshots);
+//! - [`rotate`] — generation-rotated checkpoint families
+//!   ([`CheckpointRotator`]): periodic checkpoints write
+//!   `base.gNNNN.ctrs` atomically and garbage-collect all but the
+//!   newest K, so a long-running session never overwrites its only
+//!   good snapshot and never grows without bound.
 //!
 //! Reading and decoding are deliberately split ([`RawChunk::decode`])
 //! so a replay harness can keep file I/O sequential while fanning chunk
@@ -35,6 +40,7 @@ pub mod crc32;
 pub mod error;
 pub mod format;
 pub mod reader;
+pub mod rotate;
 pub mod writer;
 
 pub use checkpoint::{
@@ -46,4 +52,5 @@ pub use format::{Header, FRAME_BYTES, HEADER_BYTES, MAGIC, VERSION};
 pub use reader::{
     read_trace, CorruptionPolicy, Fetch, IngestStats, RawChunk, ReadOptions, StreamReader,
 };
+pub use rotate::CheckpointRotator;
 pub use writer::{pack_accesses, pack_trace, PackSummary, TraceWriter, DEFAULT_CHUNK_ACCESSES};

@@ -1,0 +1,271 @@
+//! Generation-rotated checkpoint families with garbage collection.
+//!
+//! A long-running replay (or a server session) that checkpoints
+//! periodically should not overwrite its only good snapshot in place,
+//! nor grow an unbounded pile of `.ctrs` files. A **family** solves
+//! both: checkpoints for one logical stream are written as numbered
+//! generations next to a base path —
+//!
+//! ```text
+//! base:         session.ctrs
+//! generations:  session.g0000.ctrs, session.g0001.ctrs, …
+//! ```
+//!
+//! Each generation is written with [`CheckpointFile::write_atomic`]
+//! (temp file, fsync, rename), so a generation either exists completely
+//! or not at all — a kill mid-write can never leave a partial family,
+//! only a missing newest generation, and resume falls back to the
+//! previous one. After each successful write the rotator deletes all
+//! but the newest `keep` generations. Every failure is a typed
+//! [`CheckpointError`].
+
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{CheckpointError, CheckpointFile};
+
+/// Writes a rotating, garbage-collected family of `.ctrs` generations.
+#[derive(Debug)]
+pub struct CheckpointRotator {
+    base: PathBuf,
+    keep: usize,
+    next_gen: u64,
+}
+
+impl CheckpointRotator {
+    /// Creates a rotator for `base`, keeping the newest `keep`
+    /// generations. Existing generations of the family are scanned so a
+    /// restarted process continues numbering after them instead of
+    /// overwriting history.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the family directory cannot be
+    /// scanned (a missing directory counts as an empty family).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero — "rotate and keep nothing" is a driver
+    /// bug, not a runtime condition.
+    pub fn new(base: &Path, keep: usize) -> Result<Self, CheckpointError> {
+        assert!(
+            keep > 0,
+            "a checkpoint family must keep at least one generation"
+        );
+        let next_gen = scan(base)?
+            .last()
+            .map(|(generation, _)| generation + 1)
+            .unwrap_or(0);
+        Ok(CheckpointRotator {
+            base: base.to_path_buf(),
+            keep,
+            next_gen,
+        })
+    }
+
+    /// The base path this family rotates around.
+    #[must_use]
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// The generation number the next [`CheckpointRotator::write`] will
+    /// use.
+    #[must_use]
+    pub fn next_generation(&self) -> u64 {
+        self.next_gen
+    }
+
+    /// Writes `file` as the next generation (atomically), then deletes
+    /// generations older than the newest `keep`. Returns the path the
+    /// new generation landed at.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] from the atomic write or the collection
+    /// sweep. A failed write leaves the family exactly as it was; a
+    /// failed sweep leaves extra old generations behind (never a
+    /// damaged one).
+    pub fn write(&mut self, file: &CheckpointFile) -> Result<PathBuf, CheckpointError> {
+        let path = generation_path(&self.base, self.next_gen);
+        file.write_atomic(&path)?;
+        self.next_gen += 1;
+        let generations = scan(&self.base)?;
+        let expired = generations.len().saturating_sub(self.keep);
+        for (_, old) in &generations[..expired] {
+            std::fs::remove_file(old).map_err(CheckpointError::Io)?;
+        }
+        Ok(path)
+    }
+}
+
+/// The on-disk path of one generation of the family at `base`:
+/// `dir/stem.gNNNN.ctrs` (a trailing `.ctrs` on `base` is treated as
+/// the family extension, not part of the stem).
+#[must_use]
+pub fn generation_path(base: &Path, generation: u64) -> PathBuf {
+    let name = base.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt");
+    let stem = name.strip_suffix(".ctrs").unwrap_or(name);
+    base.with_file_name(format!("{stem}.g{generation:04}.ctrs"))
+}
+
+/// Every existing generation of the family at `base`, sorted ascending
+/// by generation number. A missing directory is an empty family.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the directory exists but cannot be read.
+pub fn scan(base: &Path) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+    let dir = match base.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = base.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt");
+    let stem = name.strip_suffix(".ctrs").unwrap_or(name);
+    let prefix = format!("{stem}.g");
+
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(CheckpointError::Io(e)),
+    };
+    let mut generations = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(CheckpointError::Io)?;
+        let Ok(file_name) = entry.file_name().into_string() else {
+            continue;
+        };
+        let Some(rest) = file_name
+            .strip_prefix(&prefix)
+            .and_then(|r| r.strip_suffix(".ctrs"))
+        else {
+            continue;
+        };
+        if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(generation) = rest.parse::<u64>() else {
+            continue;
+        };
+        generations.push((generation, dir.join(file_name)));
+    }
+    generations.sort_by_key(|(generation, _)| *generation);
+    Ok(generations)
+}
+
+/// The newest existing generation of the family at `base`, if any.
+///
+/// # Errors
+///
+/// As [`scan`].
+pub fn latest(base: &Path) -> Result<Option<(u64, PathBuf)>, CheckpointError> {
+    Ok(scan(base)?.pop())
+}
+
+/// Resolves a resume argument against rotation: an existing file is
+/// used as-is (the single-file checkpoint layout), otherwise the newest
+/// generation of the family at `path` is used, otherwise `None` — the
+/// caller decides whether "nothing to resume" is an error or a fresh
+/// start.
+///
+/// # Errors
+///
+/// As [`scan`].
+pub fn resolve_resume(path: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+    if path.is_file() {
+        return Ok(Some(path.to_path_buf()));
+    }
+    Ok(latest(path)?.map(|(_, newest)| newest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{CheckpointFile, CheckpointManifest};
+
+    fn sample_file(cursor: u64) -> CheckpointFile {
+        let mut file = CheckpointFile::new(CheckpointManifest {
+            config_fingerprint: 1,
+            shape_fingerprint: 2,
+            trace_identity: 3,
+            resume_cursor: cursor,
+            accesses: cursor * 10,
+        });
+        file.add_section("state", vec![0xAB; 16]);
+        file
+    }
+
+    fn temp_family(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cnt_rotate_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join("session.ctrs")
+    }
+
+    #[test]
+    fn rotation_keeps_newest_k_and_numbers_monotonically() {
+        let base = temp_family("keep");
+        let mut rotator = CheckpointRotator::new(&base, 2).expect("rotator");
+        assert_eq!(rotator.next_generation(), 0);
+
+        for cursor in 0..5 {
+            let path = rotator.write(&sample_file(cursor)).expect("writes");
+            assert!(path.is_file(), "generation exists after write");
+        }
+        let generations = scan(&base).expect("scans");
+        let numbers: Vec<u64> = generations.iter().map(|(g, _)| *g).collect();
+        assert_eq!(numbers, vec![3, 4], "only the newest two survive GC");
+
+        // Every surviving generation is a complete, valid checkpoint.
+        for (generation, path) in &generations {
+            let file = CheckpointFile::read(path).expect("valid generation");
+            assert_eq!(file.manifest.resume_cursor, *generation);
+        }
+
+        // The newest generation is what resume resolves to.
+        let resolved = resolve_resume(&base)
+            .expect("resolves")
+            .expect("family found");
+        assert_eq!(resolved, generation_path(&base, 4));
+
+        // A restarted rotator continues after the survivors, never
+        // overwriting history.
+        let resumed = CheckpointRotator::new(&base, 2).expect("rescans");
+        assert_eq!(resumed.next_generation(), 5);
+        std::fs::remove_dir_all(base.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn resolve_prefers_exact_files_and_reports_empty_families() {
+        let base = temp_family("resolve");
+        assert_eq!(resolve_resume(&base).expect("scans"), None, "empty family");
+
+        // An exact .ctrs file (single-file layout) wins over the family.
+        let exact = base.with_file_name("single.ctrs");
+        sample_file(7).write_atomic(&exact).expect("writes");
+        assert_eq!(
+            resolve_resume(&exact).expect("resolves"),
+            Some(exact.clone())
+        );
+        std::fs::remove_dir_all(base.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn scan_ignores_foreign_files() {
+        let base = temp_family("foreign");
+        let dir = base.parent().unwrap().to_path_buf();
+        std::fs::write(dir.join("session.g000x.ctrs"), b"junk").expect("writes");
+        std::fs::write(dir.join("other.g0000.ctrs"), b"junk").expect("writes");
+        std::fs::write(dir.join("session.g.ctrs"), b"junk").expect("writes");
+        let mut rotator = CheckpointRotator::new(&base, 1).expect("rotator");
+        assert_eq!(
+            rotator.next_generation(),
+            0,
+            "junk files are not generations"
+        );
+        rotator.write(&sample_file(1)).expect("writes");
+        let generations = scan(&base).expect("scans");
+        assert_eq!(generations.len(), 1);
+        assert_eq!(generations[0].0, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
