@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! bench_throughput [--jobs N] [--out PATH] [--trace FILE.ctr]
+//!                  [--workloads GLOB] [--trace-dir DIR]...
 //!                  [--metrics-out FILE [--metrics-every N]]
 //! bench_throughput --stages [--iters N] [--warmup N] [--out PATH]
 //!                  [--baseline FILE] [--gate FILE]
@@ -21,6 +22,12 @@
 //! replays of the external trace (baseline and adaptive), so the
 //! speedup column instead isolates the chunk-parallel decode gain of
 //! the `cnt-trace` ingestion pipeline.
+//!
+//! With `--workloads GLOB` (and optionally `--trace-dir DIR` to pull
+//! imported `.ctr` captures into the namespace) the matrix is built
+//! from the workload registry instead of the fixed suite, so imported
+//! real-application traces replay through the identical measurement
+//! path as the synthetic kernels.
 //!
 //! With `--stages` the end-to-end matrix is replaced by isolated
 //! single-thread timings of the replay hot path — the `popcount`,
@@ -44,6 +51,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use cnt_bench::cli;
 use cnt_bench::pool::SchedulerKind;
 use cnt_bench::runner::{run_dcache, run_dcache_batch, run_dcache_matrix};
 use cnt_bench::stream::run_dcache_stream;
@@ -72,100 +80,43 @@ fn main() -> ExitCode {
     let mut warmup = 2u32;
     let mut baseline_path = String::from("BENCH_parallel.json");
     let mut gate_path: Option<String> = None;
+    let mut workloads_pattern: Option<String> = None;
+    let mut trace_dirs: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--trace" => {
-                let Some(p) = iter.next() else {
-                    eprintln!("error: --trace needs a .ctr path");
-                    return ExitCode::from(2);
-                };
-                trace_path = Some(p.clone());
+        let parsed = match arg.as_str() {
+            "--trace" => cli::flag_value(&mut iter, "--trace").map(|p| trace_path = Some(p.into())),
+            "--jobs" | "-j" => cli::positive_int_flag(&mut iter, "--jobs").map(|n| jobs = n),
+            "--out" => cli::flag_value(&mut iter, "--out").map(|p| out_path = Some(p.into())),
+            "--stages" => {
+                stages = true;
+                Ok(())
             }
-            "--jobs" | "-j" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("error: --jobs needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --jobs needs a positive integer");
-                    return ExitCode::from(2);
-                }
-                jobs = n;
+            "--ws" => {
+                ws = true;
+                Ok(())
             }
-            "--out" => {
-                let Some(p) = iter.next() else {
-                    eprintln!("error: --out needs a path");
-                    return ExitCode::from(2);
-                };
-                out_path = Some(p.clone());
-            }
-            "--stages" => stages = true,
-            "--ws" => ws = true,
-            "--skew" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<u32>().ok()) else {
-                    eprintln!("error: --skew needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --skew needs a positive integer");
-                    return ExitCode::from(2);
-                }
-                skew = n;
-            }
-            "--iters" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<u32>().ok()) else {
-                    eprintln!("error: --iters needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --iters needs a positive integer");
-                    return ExitCode::from(2);
-                }
-                iters = n;
-            }
-            "--warmup" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<u32>().ok()) else {
-                    eprintln!("error: --warmup needs a non-negative integer");
-                    return ExitCode::from(2);
-                };
-                warmup = n;
-            }
+            "--skew" => cli::positive_int_flag(&mut iter, "--skew").map(|n| skew = n),
+            "--iters" => cli::positive_int_flag(&mut iter, "--iters").map(|n| iters = n),
+            "--warmup" => cli::int_flag(&mut iter, "--warmup").map(|n| warmup = n),
             "--baseline" => {
-                let Some(p) = iter.next() else {
-                    eprintln!("error: --baseline needs a BENCH_parallel.json path");
-                    return ExitCode::from(2);
-                };
-                baseline_path = p.clone();
+                cli::flag_value(&mut iter, "--baseline").map(|p| baseline_path = p.into())
             }
-            "--gate" => {
-                let Some(p) = iter.next() else {
-                    eprintln!("error: --gate needs a BENCH_simd.json path");
-                    return ExitCode::from(2);
-                };
-                gate_path = Some(p.clone());
+            "--gate" => cli::flag_value(&mut iter, "--gate").map(|p| gate_path = Some(p.into())),
+            "--workloads" => cli::flag_value(&mut iter, "--workloads")
+                .map(|p| workloads_pattern = Some(p.into())),
+            "--trace-dir" => {
+                cli::flag_value(&mut iter, "--trace-dir").map(|d| trace_dirs.push(d.into()))
             }
             "--metrics-out" => {
-                let Some(p) = iter.next() else {
-                    eprintln!("error: --metrics-out needs a path");
-                    return ExitCode::from(2);
-                };
-                metrics_out = Some(p.clone());
+                cli::flag_value(&mut iter, "--metrics-out").map(|p| metrics_out = Some(p.into()))
             }
-            "--metrics-every" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
-                    eprintln!("error: --metrics-every needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --metrics-every needs a positive integer");
-                    return ExitCode::from(2);
-                }
-                metrics_every = Some(n);
-            }
+            "--metrics-every" => cli::positive_int_flag(&mut iter, "--metrics-every")
+                .map(|n| metrics_every = Some(n)),
             other => {
                 eprintln!(
                     "usage: bench_throughput [--jobs N] [--out PATH] [--trace FILE.ctr] \
+                     [--workloads GLOB] [--trace-dir DIR]... \
                      [--metrics-out FILE [--metrics-every N]]\n       \
                      bench_throughput --stages [--iters N] [--warmup N] [--out PATH] \
                      [--baseline FILE] [--gate FILE]\n       \
@@ -174,15 +125,26 @@ fn main() -> ExitCode {
                 eprintln!("error: unknown argument `{other}`");
                 return ExitCode::from(2);
             }
+        };
+        if let Err(e) = parsed {
+            return e.exit();
         }
     }
     if metrics_every.is_some() && metrics_out.is_none() {
         eprintln!("error: --metrics-every needs --metrics-out");
         return ExitCode::from(2);
     }
+    let registry_flags = workloads_pattern.is_some() || !trace_dirs.is_empty();
+    if registry_flags && trace_path.is_some() {
+        eprintln!("error: --workloads/--trace-dir select from the registry; drop --trace");
+        return ExitCode::from(2);
+    }
     if stages {
-        if trace_path.is_some() || metrics_out.is_some() || ws {
-            eprintln!("error: --stages cannot be combined with --trace, --metrics-out, or --ws");
+        if trace_path.is_some() || metrics_out.is_some() || ws || registry_flags {
+            eprintln!(
+                "error: --stages cannot be combined with --trace, --metrics-out, --ws, \
+                 --workloads, or --trace-dir"
+            );
             return ExitCode::from(2);
         }
         let out = out_path.unwrap_or_else(|| String::from("BENCH_simd.json"));
@@ -193,8 +155,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if ws {
-        if trace_path.is_some() || metrics_out.is_some() {
-            eprintln!("error: --ws cannot be combined with --trace or --metrics-out");
+        if trace_path.is_some() || metrics_out.is_some() || registry_flags {
+            eprintln!(
+                "error: --ws cannot be combined with --trace, --metrics-out, --workloads, \
+                 or --trace-dir"
+            );
             return ExitCode::from(2);
         }
         let out = out_path.unwrap_or_else(|| String::from("BENCH_ws.json"));
@@ -241,7 +206,42 @@ fn main() -> ExitCode {
             (Box::new(pass), 1)
         }
         None => {
-            let workloads = cnt_workloads::suite();
+            // The default matrix is the classic suite; --workloads /
+            // --trace-dir swap in a registry selection so imported
+            // captures replay through the identical measurement path.
+            let workloads = if registry_flags {
+                let mut registry = cnt_workloads::WorkloadRegistry::builtin();
+                for dir in &trace_dirs {
+                    match registry.add_trace_dir(std::path::Path::new(dir)) {
+                        Ok(added) => eprintln!("registry: {added} imported workload(s) from {dir}"),
+                        Err(e) => {
+                            eprintln!("error: --trace-dir {dir}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                let pattern = workloads_pattern.as_deref().unwrap_or("*");
+                let selected = match registry.select(pattern) {
+                    Ok(selected) => selected,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let mut loaded = Vec::with_capacity(selected.len());
+                for entry in selected {
+                    match entry.load() {
+                        Ok(workload) => loaded.push(workload),
+                        Err(e) => {
+                            eprintln!("error: workload `{}`: {e}", entry.id);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                loaded
+            } else {
+                cnt_workloads::suite()
+            };
             let count = workloads.len();
             let pass = move || {
                 let matrix = run_dcache_matrix(&workloads, &policies);

@@ -24,9 +24,14 @@
 
 use std::process::ExitCode;
 
+use cnt_bench::cli::{self, CmdError};
+
 /// Default snapshot epoch length (accesses) when only `--metrics-out`
 /// is given.
 const DEFAULT_METRICS_EVERY: u64 = 10_000;
+
+/// Default output path for the `--per-workload-baseline` record.
+const DEFAULT_WORKLOADS_OUT: &str = "BENCH_workloads.json";
 
 /// Hysteresis margins swept by `--warm-fork` (the paper default is 0.1).
 const WARM_FORK_DELTA_TS: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
@@ -35,7 +40,9 @@ fn usage() {
     eprintln!(
         "usage: experiments [--list] [--jobs N | --seq] [--trace FILE.ctr]... \
          [--metrics-out FILE [--metrics-every N]] [--metrics-final] <id>... | all\n       \
-         experiments --warm-fork FILE.ctrs --trace FILE.ctr   # ΔT sweep from a warmed checkpoint"
+         experiments --warm-fork FILE.ctrs --trace FILE.ctr   # ΔT sweep from a warmed checkpoint\n       \
+         experiments --per-workload-baseline [--workloads GLOB] [--trace-dir DIR]... [--out FILE]\n                                            \
+         # baseline-vs-adaptive energy table over the workload registry"
     );
     eprintln!("known ids: {}", cnt_bench::experiments::ALL.join(", "));
 }
@@ -124,6 +131,121 @@ fn run_warm_fork(ckpt_path: &str, trace_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays every selected registry workload under the baseline
+/// (no-encoding) policy and the paper-default adaptive policy, prints
+/// the comparison as a markdown table, and writes the machine-readable
+/// [`cnt_bench::WorkloadBenchRecord`] to `out`. Synthetic kernels and
+/// imported `.ctr` captures run through the identical path, so the
+/// table is an apples-to-apples energy comparison across sources.
+fn run_per_workload_baseline(
+    pattern: &str,
+    trace_dirs: &[String],
+    out: &str,
+) -> Result<(), CmdError> {
+    use cnt_bench::{WorkloadBenchRecord, WorkloadRow};
+    use cnt_cache::EncodingPolicy;
+    use cnt_sim::trace::AccessKind;
+    use cnt_workloads::WorkloadRegistry;
+
+    let mut registry = WorkloadRegistry::builtin();
+    for dir in trace_dirs {
+        let added = registry
+            .add_trace_dir(std::path::Path::new(dir))
+            .map_err(|e| CmdError::Runtime(format!("--trace-dir {dir}: {e}")))?;
+        eprintln!("registry: {added} imported workload(s) from {dir}");
+    }
+    let selected = registry
+        .select(pattern)
+        .map_err(|e| CmdError::Usage(e.to_string()))?;
+
+    // Load sequentially (imported entries do file IO), then fan the
+    // deterministic energy replays out on the shared pool. Entries are
+    // already sorted by id, so the rows come back sorted too.
+    let mut loaded = Vec::with_capacity(selected.len());
+    for entry in &selected {
+        let workload = entry
+            .load()
+            .map_err(|e| CmdError::Runtime(format!("workload `{}`: {e}", entry.id)))?;
+        loaded.push((entry.id.clone(), entry.source_kind(), workload));
+    }
+    let rows: Vec<WorkloadRow> = cnt_bench::pool::par_map(&loaded, |(id, source, workload)| {
+        let base = cnt_bench::runner::run_dcache(EncodingPolicy::None, &workload.trace);
+        let adaptive =
+            cnt_bench::runner::run_dcache(EncodingPolicy::adaptive_default(), &workload.trace);
+        let reads = workload
+            .trace
+            .iter()
+            .filter(|a| matches!(a.kind, AccessKind::Read | AccessKind::InstrFetch))
+            .count() as u64;
+        let writes = workload
+            .trace
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .count() as u64;
+        let baseline_total = base.total().femtojoules();
+        let adaptive_total = adaptive.total().femtojoules();
+        let saving = if baseline_total > 0.0 {
+            100.0 * (baseline_total - adaptive_total) / baseline_total
+        } else {
+            0.0
+        };
+        WorkloadRow {
+            id: id.clone(),
+            source: (*source).to_string(),
+            accesses: workload.trace.len() as u64,
+            reads,
+            writes,
+            bits_written: base.breakdown.bits_written(),
+            baseline_read_fj: base.breakdown.read_energy().femtojoules(),
+            baseline_write_fj: base.breakdown.write_energy().femtojoules(),
+            baseline_total_fj: baseline_total,
+            adaptive_total_fj: adaptive_total,
+            saving_percent: saving,
+        }
+    });
+
+    let cores = cnt_bench::pool::default_jobs();
+    let record = WorkloadBenchRecord {
+        cores,
+        policies_per_workload: 2,
+        rows,
+        skip_note: (cores < 4).then(|| {
+            format!("measured on {cores} core(s); energy numbers are deterministic but do not read throughput from this box")
+        }),
+    };
+
+    println!(
+        "| workload | source | accesses | reads | writes | bits written | baseline read (fJ) | baseline write (fJ) | baseline total (fJ) | adaptive total (fJ) | saving |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for row in &record.rows {
+        println!(
+            "| `{}` | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2}% |",
+            row.id,
+            row.source,
+            row.accesses,
+            row.reads,
+            row.writes,
+            row.bits_written,
+            row.baseline_read_fj,
+            row.baseline_write_fj,
+            row.baseline_total_fj,
+            row.adaptive_total_fj,
+            row.saving_percent,
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&record)
+        .map_err(|e| CmdError::Runtime(format!("cannot serialize {out}: {e}")))?;
+    std::fs::write(out, json + "\n")
+        .map_err(|e| CmdError::Runtime(format!("cannot write {out}: {e}")))?;
+    eprintln!(
+        "per-workload baseline: wrote {} row(s) to {out}",
+        record.rows.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -145,54 +267,50 @@ fn main() -> ExitCode {
     let mut metrics_every: Option<u64> = None;
     let mut metrics_final = false;
     let mut warm_fork: Option<String> = None;
+    let mut per_workload = false;
+    let mut workloads_pattern: Option<String> = None;
+    let mut trace_dirs: Vec<String> = Vec::new();
+    let mut workloads_out: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--seq" => jobs = Some(1),
-            "--warm-fork" => {
-                let Some(path) = iter.next() else {
-                    eprintln!("error: --warm-fork needs a .ctrs path");
-                    return ExitCode::from(2);
-                };
-                warm_fork = Some(path.clone());
-            }
-            "--trace" => {
-                let Some(path) = iter.next() else {
-                    eprintln!("error: --trace needs a .ctr path");
-                    return ExitCode::from(2);
-                };
-                traces.push(path.clone());
-            }
-            "--jobs" | "-j" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("error: --jobs needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --jobs needs a positive integer");
-                    return ExitCode::from(2);
-                }
-                jobs = Some(n);
-            }
-            "--metrics-out" => {
-                let Some(path) = iter.next() else {
-                    eprintln!("error: --metrics-out needs a path");
-                    return ExitCode::from(2);
-                };
-                metrics_out = Some(path.clone());
-            }
+            "--warm-fork" => match cli::flag_value(&mut iter, "--warm-fork") {
+                Ok(path) => warm_fork = Some(path.to_string()),
+                Err(e) => return e.exit(),
+            },
+            "--trace" => match cli::flag_value(&mut iter, "--trace") {
+                Ok(path) => traces.push(path.to_string()),
+                Err(e) => return e.exit(),
+            },
+            "--jobs" | "-j" => match cli::positive_int_flag::<usize>(&mut iter, "--jobs") {
+                Ok(n) => jobs = Some(n),
+                Err(e) => return e.exit(),
+            },
+            "--metrics-out" => match cli::flag_value(&mut iter, "--metrics-out") {
+                Ok(path) => metrics_out = Some(path.to_string()),
+                Err(e) => return e.exit(),
+            },
             "--metrics-every" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
-                    eprintln!("error: --metrics-every needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --metrics-every needs a positive integer");
-                    return ExitCode::from(2);
+                match cli::positive_int_flag::<u64>(&mut iter, "--metrics-every") {
+                    Ok(n) => metrics_every = Some(n),
+                    Err(e) => return e.exit(),
                 }
-                metrics_every = Some(n);
             }
             "--metrics-final" => metrics_final = true,
+            "--per-workload-baseline" => per_workload = true,
+            "--workloads" => match cli::flag_value(&mut iter, "--workloads") {
+                Ok(pattern) => workloads_pattern = Some(pattern.to_string()),
+                Err(e) => return e.exit(),
+            },
+            "--trace-dir" => match cli::flag_value(&mut iter, "--trace-dir") {
+                Ok(dir) => trace_dirs.push(dir.to_string()),
+                Err(e) => return e.exit(),
+            },
+            "--out" => match cli::flag_value(&mut iter, "--out") {
+                Ok(path) => workloads_out = Some(path.to_string()),
+                Err(e) => return e.exit(),
+            },
             "all" => ids.extend_from_slice(cnt_bench::experiments::ALL),
             other => ids.push(other),
         }
@@ -200,6 +318,33 @@ fn main() -> ExitCode {
     if metrics_every.is_some() && metrics_out.is_none() {
         eprintln!("error: --metrics-every needs --metrics-out");
         return ExitCode::from(2);
+    }
+    if !per_workload
+        && (workloads_pattern.is_some() || !trace_dirs.is_empty() || workloads_out.is_some())
+    {
+        eprintln!("error: --workloads/--trace-dir/--out need --per-workload-baseline");
+        return ExitCode::from(2);
+    }
+    if per_workload {
+        // The registry comparison is its own mode: it selects from the
+        // workload registry, not the experiment-id list, and writes its
+        // own record instead of the metrics stream.
+        if !ids.is_empty() || !traces.is_empty() || warm_fork.is_some() {
+            eprintln!(
+                "error: --per-workload-baseline takes only --workloads/--trace-dir/--out \
+                 (and --jobs/--seq)"
+            );
+            return ExitCode::from(2);
+        }
+        cnt_bench::pool::set_jobs(jobs.unwrap_or_else(cnt_bench::pool::default_jobs));
+        return match run_per_workload_baseline(
+            workloads_pattern.as_deref().unwrap_or("*"),
+            &trace_dirs,
+            workloads_out.as_deref().unwrap_or(DEFAULT_WORKLOADS_OUT),
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => e.exit(),
+        };
     }
     if let Some(ckpt_path) = warm_fork {
         // Warm-fork is its own mode: one checkpoint, one trace, a ΔT

@@ -20,6 +20,7 @@
 use std::process::ExitCode;
 
 use cnt_bench::campaign;
+use cnt_bench::cli::{self, CmdError};
 use cnt_workloads::kernels;
 
 /// Default snapshot epoch length (accesses) when only `--metrics-out`
@@ -50,75 +51,51 @@ fn main() -> ExitCode {
     let mut metrics_final = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--seq" => jobs = Some(1),
-            "--jobs" | "-j" => {
-                let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("error: --jobs needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                if n == 0 {
-                    eprintln!("error: --jobs needs a positive integer");
-                    return ExitCode::from(2);
+        let parsed = match arg.as_str() {
+            "--seq" => {
+                jobs = Some(1);
+                Ok(())
+            }
+            "--jobs" | "-j" => cli::positive_int_flag(&mut iter, "--jobs").map(|n| jobs = Some(n)),
+            "--faults" => cli::flag_value(&mut iter, "--faults").and_then(|raw| {
+                let parsed: Option<Vec<usize>> =
+                    raw.split(',').map(|p| p.trim().parse().ok()).collect();
+                match parsed.filter(|l| !l.is_empty()) {
+                    Some(list) => {
+                        faults = list;
+                        Ok(())
+                    }
+                    None => Err(CmdError::Usage(String::from(
+                        "--faults needs a comma-separated list of counts",
+                    ))),
                 }
-                jobs = Some(n);
-            }
-            "--faults" => {
-                let parsed: Option<Vec<usize>> = iter
-                    .next()
-                    .map(|v| v.split(',').map(|p| p.trim().parse().ok()).collect())
-                    .unwrap_or(None);
-                let Some(list) = parsed.filter(|l| !l.is_empty()) else {
-                    eprintln!("error: --faults needs a comma-separated list of counts");
-                    return ExitCode::from(2);
-                };
-                faults = list;
-            }
-            "--seed" => {
-                let Some(s) = iter.next().and_then(|v| {
-                    v.strip_prefix("0x")
-                        .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
-                }) else {
-                    eprintln!("error: --seed needs an integer (decimal or 0x-hex)");
-                    return ExitCode::from(2);
-                };
-                seed = s;
-            }
-            "--dim" => {
-                let Some(n) = iter
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-                else {
-                    eprintln!("error: --dim needs a positive matrix dimension");
-                    return ExitCode::from(2);
-                };
-                dim = n;
-            }
+            }),
+            "--seed" => cli::flag_value(&mut iter, "--seed").and_then(|raw| {
+                raw.strip_prefix("0x")
+                    .map_or_else(|| raw.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+                    .map(|s| seed = s)
+                    .ok_or_else(|| {
+                        CmdError::Usage(String::from("--seed needs an integer (decimal or 0x-hex)"))
+                    })
+            }),
+            "--dim" => cli::positive_int_flag(&mut iter, "--dim").map(|n| dim = n),
             "--metrics-out" => {
-                let Some(path) = iter.next() else {
-                    eprintln!("error: --metrics-out needs a path");
-                    return ExitCode::from(2);
-                };
-                metrics_out = Some(path.clone());
+                cli::flag_value(&mut iter, "--metrics-out").map(|p| metrics_out = Some(p.into()))
             }
-            "--metrics-every" => {
-                let Some(n) = iter
-                    .next()
-                    .and_then(|v| v.parse::<u64>().ok())
-                    .filter(|&n| n > 0)
-                else {
-                    eprintln!("error: --metrics-every needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                metrics_every = Some(n);
+            "--metrics-every" => cli::positive_int_flag(&mut iter, "--metrics-every")
+                .map(|n| metrics_every = Some(n)),
+            "--metrics-final" => {
+                metrics_final = true;
+                Ok(())
             }
-            "--metrics-final" => metrics_final = true,
             other => {
                 eprintln!("error: unknown argument `{other}`");
                 usage();
                 return ExitCode::from(2);
             }
+        };
+        if let Err(e) = parsed {
+            return e.exit();
         }
     }
     if metrics_every.is_some() && metrics_out.is_none() {

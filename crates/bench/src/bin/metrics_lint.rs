@@ -11,9 +11,13 @@
 //! the sequential-vs-parallel `BenchRecord` shape (old records without
 //! the `iters`/`warmup` iteration fields still parse), the `--stages`
 //! `SimdBenchRecord` shape, the `--ws` scheduler-comparison
-//! `WsBenchRecord` shape, or the replay-service `ServeBenchRecord`
-//! shape — with every throughput figure required to be finite and
-//! non-negative. Any record claiming a parallel speedup with
+//! `WsBenchRecord` shape, the replay-service `ServeBenchRecord`
+//! shape, the per-workload baseline `WorkloadBenchRecord` shape
+//! (sorted rows, balanced read/write arithmetic, recomputed saving
+//! column), or a `tracegen import --report` `ImportReport` (balanced
+//! access counts; drops only in lenient mode, and then with a named
+//! first casualty) — with every throughput figure required to be
+//! finite and non-negative. Any record claiming a parallel speedup with
 //! more jobs than the machine had cores at measurement time is rejected
 //! as unreliable: oversubscribed "speedups" measure scheduler jitter,
 //! not the pool (`BENCH_parallel.json` once shipped exactly that —
@@ -34,7 +38,10 @@
 
 use std::process::ExitCode;
 
-use cnt_bench::{BenchRecord, ServeBenchRecord, SimdBenchRecord, StageRecord, WsBenchRecord};
+use cnt_bench::{
+    BenchRecord, ServeBenchRecord, SimdBenchRecord, StageRecord, WorkloadBenchRecord, WsBenchRecord,
+};
+use cnt_import::ImportReport;
 
 fn check_rate(what: &str, rate: f64) -> Result<(), String> {
     if !rate.is_finite() || rate < 0.0 {
@@ -73,8 +80,157 @@ fn check_jobs_vs_cores(what: &str, jobs: usize, cores: usize) -> Result<(), Stri
     Ok(())
 }
 
+/// Checks one energy figure: finite and non-negative.
+fn check_energy(what: &str, fj: f64) -> Result<(), String> {
+    if !fj.is_finite() || fj < 0.0 {
+        return Err(format!(
+            "{what}: energy {fj} fJ is not a finite non-negative number"
+        ));
+    }
+    Ok(())
+}
+
+/// Lints a `tracegen import --report` record: the access arithmetic
+/// must balance and a lossy import must say so.
+fn lint_import_report(report: &ImportReport) -> Result<String, String> {
+    if report.accesses == 0 {
+        return Err("import report with zero accesses (the importer refuses these)".into());
+    }
+    if report.accesses != report.reads + report.writes + report.ifetches {
+        return Err(format!(
+            "import report arithmetic is broken: {} accesses != {} reads + {} writes + {} ifetches",
+            report.accesses, report.reads, report.writes, report.ifetches
+        ));
+    }
+    if report.dropped > 0 {
+        if !report.lenient {
+            return Err(format!(
+                "import report drops {} record(s) without lenient mode — strict imports \
+                 must fail, not skip",
+                report.dropped
+            ));
+        }
+        if report.first_drop.is_none() {
+            return Err(format!(
+                "import report drops {} record(s) but first_drop is absent; lossy imports \
+                 must name their first casualty",
+                report.dropped
+            ));
+        }
+    }
+    if report.chunks == 0 {
+        return Err("import report with zero output chunks".into());
+    }
+    if report.identity.len() != 16 || !report.identity.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!(
+            "import report identity `{}` is not a 16-digit hex fingerprint",
+            report.identity
+        ));
+    }
+    Ok(format!(
+        "ok — {} {} record(s) -> {} accesses ({} dropped), identity {}",
+        report.records_in, report.format, report.accesses, report.dropped, report.identity
+    ))
+}
+
+/// Lints the `--per-workload-baseline` record: sorted rows, balanced
+/// access arithmetic, finite energies, and an honest saving column.
+fn lint_workload_record(record: &WorkloadBenchRecord) -> Result<String, String> {
+    if record.rows.is_empty() {
+        return Err("workload record with no rows".into());
+    }
+    for pair in record.rows.windows(2) {
+        if pair[0].id >= pair[1].id {
+            return Err(format!(
+                "workload rows are not strictly sorted by id: `{}` then `{}`",
+                pair[0].id, pair[1].id
+            ));
+        }
+    }
+    for row in &record.rows {
+        let id = &row.id;
+        if row.source != "synthetic" && row.source != "imported" {
+            return Err(format!(
+                "workload `{id}`: source `{}` is neither synthetic nor imported",
+                row.source
+            ));
+        }
+        if row.accesses == 0 {
+            return Err(format!("workload `{id}` has zero accesses"));
+        }
+        if row.accesses != row.reads + row.writes {
+            return Err(format!(
+                "workload `{id}` arithmetic is broken: {} accesses != {} reads + {} writes",
+                row.accesses, row.reads, row.writes
+            ));
+        }
+        check_energy(
+            &format!("workload `{id}` baseline read"),
+            row.baseline_read_fj,
+        )?;
+        check_energy(
+            &format!("workload `{id}` baseline write"),
+            row.baseline_write_fj,
+        )?;
+        check_energy(
+            &format!("workload `{id}` baseline total"),
+            row.baseline_total_fj,
+        )?;
+        check_energy(
+            &format!("workload `{id}` adaptive total"),
+            row.adaptive_total_fj,
+        )?;
+        let expect = if row.baseline_total_fj > 0.0 {
+            100.0 * (row.baseline_total_fj - row.adaptive_total_fj) / row.baseline_total_fj
+        } else {
+            0.0
+        };
+        if (row.saving_percent - expect).abs() > 1e-6 {
+            return Err(format!(
+                "workload `{id}` saving column says {:.6}% but the totals give {expect:.6}%",
+                row.saving_percent
+            ));
+        }
+    }
+    if record.cores < 4 && record.skip_note.is_none() {
+        return Err(format!(
+            "workload record measured on {} core(s) without a skip_note disclaimer",
+            record.cores
+        ));
+    }
+    let imported = record
+        .rows
+        .iter()
+        .filter(|r| r.source == "imported")
+        .count();
+    Ok(format!(
+        "ok — {} workload(s) ({} imported), savings {:.2}%..{:.2}%",
+        record.rows.len(),
+        imported,
+        record
+            .rows
+            .iter()
+            .map(|r| r.saving_percent)
+            .fold(f64::INFINITY, f64::min),
+        record
+            .rows
+            .iter()
+            .map(|r| r.saving_percent)
+            .fold(f64::NEG_INFINITY, f64::max),
+    ))
+}
+
 /// Lints one `BENCH_*.json` record of any recognised shape.
 fn lint_bench_record(text: &str) -> Result<String, String> {
+    // Most-distinctive shapes first: every record type here has at
+    // least one required field no other type shares, so the try-order
+    // only matters for error messages, not correctness.
+    if let Ok(report) = serde_json::from_str::<ImportReport>(text) {
+        return lint_import_report(&report);
+    }
+    if let Ok(record) = serde_json::from_str::<WorkloadBenchRecord>(text) {
+        return lint_workload_record(&record);
+    }
     if let Ok(record) = serde_json::from_str::<SimdBenchRecord>(text) {
         if record.stages.is_empty() {
             return Err("stage record with no stages".into());

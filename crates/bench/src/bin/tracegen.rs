@@ -28,16 +28,18 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use cnt_bench::ckpt;
+use cnt_bench::cli::{flag_value, fraction_flag, int_flag, one_positional, CmdError};
 use cnt_bench::driver::{
     restore_resume_obs, run_two_pass, CheckpointPlan, CheckpointStore, ResumeState, SessionPlan,
     SingleFileStore,
 };
 use cnt_bench::pool;
 use cnt_cache::EncodingPolicy;
+use cnt_import::{import_file, ImportOptions, SourceFormat};
 use cnt_sim::trace::Trace;
 use cnt_trace::{
-    pack_accesses, pack_trace, read_trace, rotate, CheckpointRotator, CorruptionPolicy,
-    PackSummary, ReadOptions, StreamReader, DEFAULT_CHUNK_ACCESSES,
+    pack_accesses_with, pack_trace_with, read_trace, rotate, CheckpointRotator, CorruptionPolicy,
+    PackSummary, ReadOptions, StreamReader, WriteOptions,
 };
 use cnt_workloads::synthetic::{AddressPattern, SyntheticSpec};
 use cnt_workloads::{suite_extended, Workload};
@@ -49,8 +51,11 @@ const USAGE: &str = "usage:
   tracegen text <kernel>            # `KIND ADDR WIDTH [VALUE]` lines to stdout
   tracegen replay <file.trace>      # run a text trace: baseline vs CNT-Cache
   tracegen synth [--reads F] [--density F] [--accesses N] [--lines N] [--seed N]
-  tracegen pack <in.json|in.trace> <out.ctr> [--chunk N]
-  tracegen pack-synth <out.ctr> [synth flags] [--chunk N]
+  tracegen pack <in.json|in.trace> <out.ctr> [--chunk N] [--compress]
+  tracegen pack-synth <out.ctr> [synth flags] [--chunk N] [--compress]
+  tracegen import <in> <out.ctr> [--format champsim|memtrace] [--lenient]
+                  [--chunk N] [--compress] [--report FILE.json]
+                  # in: ChampSim binary or memtrace text, plain or .gz
   tracegen unpack <in.ctr> [--json]
   tracegen stream-replay <file.ctr> [--budget-mib N] [--skip-corrupt]
                          [--jobs N | --seq]
@@ -59,13 +64,22 @@ const USAGE: &str = "usage:
                           [--checkpoint-keep K]]
                          [--resume FILE.ctrs|FAMILY]";
 
-/// A subcommand failure: bad invocation (exit 2) vs runtime error (exit 1).
-enum CmdError {
-    Usage(String),
-    Runtime(String),
-}
-
 use CmdError::{Runtime, Usage};
+
+/// Every subcommand, for the unknown-subcommand error.
+const SUBCOMMANDS: &[&str] = &[
+    "list",
+    "stats",
+    "dump",
+    "text",
+    "replay",
+    "synth",
+    "pack",
+    "pack-synth",
+    "unpack",
+    "import",
+    "stream-replay",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,8 +98,12 @@ fn main() -> ExitCode {
         "pack" => cmd_pack(rest),
         "pack-synth" => cmd_pack_synth(rest),
         "unpack" => cmd_unpack(rest),
+        "import" => cmd_import(rest),
         "stream-replay" => cmd_stream_replay(rest),
-        other => Err(Usage(format!("unknown subcommand `{other}`"))),
+        other => Err(Usage(format!(
+            "unknown subcommand `{other}` (known: {})",
+            SUBCOMMANDS.join(", ")
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -102,53 +120,15 @@ fn main() -> ExitCode {
 }
 
 // ---------------------------------------------------------------- parsing
-
-/// Takes the value following `flag`, or errors.
-fn flag_value<'a>(
-    iter: &mut std::slice::Iter<'a, String>,
-    flag: &str,
-) -> Result<&'a str, CmdError> {
-    iter.next()
-        .map(String::as_str)
-        .ok_or_else(|| Usage(format!("{flag} needs a value")))
-}
-
-/// Parses a fraction flag: must be a finite number in `[0, 1]`.
-fn fraction_flag(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<f64, CmdError> {
-    let raw = flag_value(iter, flag)?;
-    let v: f64 = raw
-        .parse()
-        .map_err(|_| Usage(format!("{flag}: `{raw}` is not a number")))?;
-    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
-        return Err(Usage(format!(
-            "{flag}: `{raw}` must be a finite fraction in [0, 1]"
-        )));
-    }
-    Ok(v)
-}
-
-/// Parses an integer flag (floats like `5000.5` are rejected).
-fn int_flag<T: std::str::FromStr>(
-    iter: &mut std::slice::Iter<'_, String>,
-    flag: &str,
-) -> Result<T, CmdError> {
-    let raw = flag_value(iter, flag)?;
-    raw.parse()
-        .map_err(|_| Usage(format!("{flag}: `{raw}` is not a valid integer")))
-}
-
-/// Exactly one positional argument, no flags.
-fn one_positional<'a>(args: &'a [String], what: &str) -> Result<&'a str, CmdError> {
-    match args {
-        [only] => Ok(only.as_str()),
-        [] => Err(Usage(format!("missing {what}"))),
-        _ => Err(Usage(format!("expected exactly one {what}"))),
-    }
-}
+// (The strict flag helpers live in `cnt_bench::cli`, shared with the
+// other bench bins.)
 
 /// Parses the shared synthetic-spec flags; `--chunk` is accepted only
 /// when `allow_chunk` (the packing subcommand).
-fn parse_synth(args: &[String], allow_chunk: bool) -> Result<(SyntheticSpec, u32), CmdError> {
+fn parse_synth(
+    args: &[String],
+    allow_chunk: bool,
+) -> Result<(SyntheticSpec, WriteOptions), CmdError> {
     let mut spec = SyntheticSpec {
         accesses: 10_000,
         footprint_lines: 64,
@@ -157,7 +137,7 @@ fn parse_synth(args: &[String], allow_chunk: bool) -> Result<(SyntheticSpec, u32
         pattern: AddressPattern::UniformRandom,
         seed: 7,
     };
-    let mut chunk = DEFAULT_CHUNK_ACCESSES;
+    let mut options = WriteOptions::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -172,15 +152,16 @@ fn parse_synth(args: &[String], allow_chunk: bool) -> Result<(SyntheticSpec, u32
             }
             "--seed" => spec.seed = int_flag(&mut iter, "--seed")?,
             "--chunk" if allow_chunk => {
-                chunk = int_flag(&mut iter, "--chunk")?;
-                if chunk == 0 {
+                options.chunk_accesses = int_flag(&mut iter, "--chunk")?;
+                if options.chunk_accesses == 0 {
                     return Err(Usage("--chunk must be at least 1".into()));
                 }
             }
+            "--compress" if allow_chunk => options.compress = true,
             other => return Err(Usage(format!("unknown flag `{other}` for synth"))),
         }
     }
-    Ok((spec, chunk))
+    Ok((spec, options))
 }
 
 // ------------------------------------------------------------ subcommands
@@ -243,21 +224,22 @@ fn cmd_pack(args: &[String]) -> Result<(), CmdError> {
     let [input, output] = positionals[..] else {
         return Err(Usage("`pack` needs <in.json|in.trace> <out.ctr>".into()));
     };
-    let mut chunk = DEFAULT_CHUNK_ACCESSES;
+    let mut options = WriteOptions::default();
     let mut iter = flags.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--chunk" => {
-                chunk = int_flag(&mut iter, "--chunk")?;
-                if chunk == 0 {
+                options.chunk_accesses = int_flag(&mut iter, "--chunk")?;
+                if options.chunk_accesses == 0 {
                     return Err(Usage("--chunk must be at least 1".into()));
                 }
             }
+            "--compress" => options.compress = true,
             other => return Err(Usage(format!("unknown flag `{other}` for pack"))),
         }
     }
     let trace = load_text_or_json(input)?;
-    let summary = write_ctr(output, |sink| pack_trace(&trace, sink, chunk))?;
+    let summary = write_ctr(output, |sink| pack_trace_with(&trace, sink, options))?;
     print_pack_summary(output, &summary);
     Ok(())
 }
@@ -267,10 +249,12 @@ fn cmd_pack_synth(args: &[String]) -> Result<(), CmdError> {
     let [output] = positionals[..] else {
         return Err(Usage("`pack-synth` needs <out.ctr>".into()));
     };
-    let (spec, chunk) = parse_synth(&flags, true)?;
+    let (spec, options) = parse_synth(&flags, true)?;
     // The spec streams straight into the writer: memory stays bounded by
     // one chunk however many accesses are requested.
-    let summary = write_ctr(output, |sink| pack_accesses(spec.stream(), sink, chunk))?;
+    let summary = write_ctr(output, |sink| {
+        pack_accesses_with(spec.stream(), sink, options)
+    })?;
     eprintln!("# {spec:?}");
     print_pack_summary(output, &summary);
     Ok(())
@@ -298,6 +282,79 @@ fn cmd_unpack(args: &[String]) -> Result<(), CmdError> {
         println!("{json}");
     } else {
         print!("{}", trace.to_text());
+    }
+    Ok(())
+}
+
+/// `tracegen import <in> <out.ctr>`: converts a real-application
+/// capture (ChampSim-style binary or memtrace-style text, plain or
+/// gzip'd) into the repo's `.ctr` format. Strict by default — the
+/// first malformed record is a usage-class failure (exit 2) naming its
+/// line or byte offset; `--lenient` opts into drop-and-count.
+fn cmd_import(args: &[String]) -> Result<(), CmdError> {
+    let (positionals, flags) = split_positionals(args);
+    let [input, output] = positionals[..] else {
+        return Err(Usage("`import` needs <in> <out.ctr>".into()));
+    };
+    let mut opts = ImportOptions::default();
+    let mut report_out: Option<String> = None;
+    let mut iter = flags.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                let raw = flag_value(&mut iter, "--format")?;
+                opts.format = Some(SourceFormat::from_flag(raw).ok_or_else(|| {
+                    Usage(format!(
+                        "--format: `{raw}` is not a known format (champsim, memtrace)"
+                    ))
+                })?);
+            }
+            "--lenient" => opts.lenient = true,
+            "--chunk" => {
+                opts.chunk_accesses = int_flag(&mut iter, "--chunk")?;
+                if opts.chunk_accesses == 0 {
+                    return Err(Usage("--chunk must be at least 1".into()));
+                }
+            }
+            "--compress" => opts.compress = true,
+            "--report" => report_out = Some(flag_value(&mut iter, "--report")?.into()),
+            other => return Err(Usage(format!("unknown flag `{other}` for import"))),
+        }
+    }
+    // Parse failures exit 2 (the input contract was violated, pointing
+    // at line/offset context); I/O failures exit 1.
+    let report = import_file(Path::new(input), Path::new(output), opts).map_err(|e| match e {
+        cnt_import::ImportError::Io(_) | cnt_import::ImportError::Trace(_) => {
+            Runtime(format!("`{input}`: {e}"))
+        }
+        other => Usage(format!("`{input}`: {other}")),
+    })?;
+    eprintln!(
+        "# imported {} ({}{}) -> {} accesses ({} R / {} W / {} I), {} chunks, {} dropped",
+        report.source,
+        report.format,
+        if report.gzip { ", gzip" } else { "" },
+        report.accesses,
+        report.reads,
+        report.writes,
+        report.ifetches,
+        report.chunks,
+        report.dropped,
+    );
+    println!(
+        "packed  {}: {} chunks, {} accesses, {} payload ({} on disk), identity {}",
+        output,
+        report.chunks,
+        report.accesses,
+        mib(report.payload_bytes),
+        mib(report.output_bytes),
+        report.identity
+    );
+    if let Some(path) = report_out {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| Runtime(format!("serializing import report failed: {e}")))?;
+        std::fs::write(&path, json + "\n")
+            .map_err(|e| Runtime(format!("cannot write `{path}`: {e}")))?;
     }
     Ok(())
 }

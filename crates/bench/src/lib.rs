@@ -15,6 +15,7 @@
 
 pub mod campaign;
 pub mod ckpt;
+pub mod cli;
 pub mod driver;
 pub mod experiments;
 pub mod pool;
@@ -25,5 +26,5 @@ pub mod ws;
 
 pub use record::{
     BenchRecord, IterStats, PassRecord, ServeBenchRecord, SimdBenchRecord, StageRecord,
-    WsBenchRecord,
+    WorkloadBenchRecord, WorkloadRow, WsBenchRecord,
 };

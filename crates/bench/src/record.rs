@@ -269,6 +269,56 @@ impl SimdBenchRecord {
     }
 }
 
+/// One workload's baseline-vs-adaptive energy comparison, one row of
+/// the `--per-workload-baseline` table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadRow {
+    /// Registry id: `synth/<kernel>` or `import/<stem>`.
+    pub id: String,
+    /// `synthetic` or `imported` — where the trace came from.
+    pub source: String,
+    /// Accesses in the workload trace (reads + writes; instruction
+    /// fetches count as reads).
+    pub accesses: u64,
+    /// Read accesses, including instruction fetches.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Cache-line bits written under the baseline (no-encoding) policy.
+    /// The energy model charges per bit value written, so this — not a
+    /// flip count — is the write-side work both policies share.
+    pub bits_written: u64,
+    /// Baseline read energy, femtojoules.
+    pub baseline_read_fj: f64,
+    /// Baseline write energy, femtojoules.
+    pub baseline_write_fj: f64,
+    /// Baseline total energy, femtojoules.
+    pub baseline_total_fj: f64,
+    /// Adaptive-encoding total energy, femtojoules.
+    pub adaptive_total_fj: f64,
+    /// `100 * (baseline_total - adaptive_total) / baseline_total`.
+    pub saving_percent: f64,
+}
+
+/// The per-workload baseline table written to `BENCH_workloads.json`
+/// by `experiments --per-workload-baseline`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadBenchRecord {
+    /// Hardware threads the machine reported at measurement time.
+    /// Energy numbers are deterministic regardless, but `metrics_lint`
+    /// still wants the provenance note on small boxes.
+    pub cores: usize,
+    /// Encoding policies replayed per workload (baseline + adaptive).
+    pub policies_per_workload: usize,
+    /// One row per selected workload, sorted by id.
+    pub rows: Vec<WorkloadRow>,
+    /// Why throughput-adjacent readings from this box should not be
+    /// trusted — set automatically when the measuring box has fewer
+    /// than 4 cores, `null`/absent otherwise.
+    #[serde(default)]
+    pub skip_note: Option<String>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +373,31 @@ mod tests {
         let pass: PassRecord = serde_json::from_str(json).expect("old shape parses");
         assert_eq!(pass.iters, 1);
         assert_eq!(pass.warmup, 0);
+    }
+
+    #[test]
+    fn workload_record_round_trips_through_json() {
+        let record = WorkloadBenchRecord {
+            cores: 2,
+            policies_per_workload: 2,
+            rows: vec![WorkloadRow {
+                id: "synth/pointer_chase".into(),
+                source: "synthetic".into(),
+                accesses: 1000,
+                reads: 700,
+                writes: 300,
+                bits_written: 153_600,
+                baseline_read_fj: 1.0e6,
+                baseline_write_fj: 3.0e6,
+                baseline_total_fj: 4.0e6,
+                adaptive_total_fj: 3.2e6,
+                saving_percent: 20.0,
+            }],
+            skip_note: Some("measured on 2 cores".into()),
+        };
+        let json = serde_json::to_string_pretty(&record).expect("serialises");
+        let back: WorkloadBenchRecord = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, record);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Typed errors for trace importing.
+//!
+//! Every parse failure names where it happened — a 1-based line number
+//! for text streams, a byte offset for binary ones — so a failed import
+//! of a multi-GB capture points at the damage instead of just refusing.
+//! Nothing here is ever silently skipped: strict mode surfaces the
+//! first bad record as an error, and lenient mode (opt-in) counts every
+//! drop in the [`ImportReport`](crate::ImportReport).
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use cnt_trace::TraceError;
+
+/// Everything that can go wrong while importing a foreign trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImportError {
+    /// An underlying I/O failure on the input or output file.
+    Io(io::Error),
+    /// The gzip wrapper is damaged (bad magic, header, CRC-32 or
+    /// length trailer). Never recoverable: past a broken DEFLATE
+    /// stream there is no record boundary to resynchronize on, so
+    /// lenient mode does not apply.
+    Gzip {
+        /// What the gzip decoder reported.
+        what: String,
+    },
+    /// A text line's first field is not `R`, `W` or `I`.
+    BadOpcode {
+        /// 1-based line number.
+        line: u64,
+        /// The offending field.
+        found: String,
+    },
+    /// A text line's address field is not hexadecimal.
+    BadAddress {
+        /// 1-based line number.
+        line: u64,
+        /// The offending field.
+        found: String,
+    },
+    /// A text line's width field is not one of 1, 2, 4, 8.
+    BadWidth {
+        /// 1-based line number.
+        line: u64,
+        /// The offending field.
+        found: String,
+    },
+    /// A text line's value field is not hexadecimal.
+    BadValue {
+        /// 1-based line number.
+        line: u64,
+        /// The offending field.
+        found: String,
+    },
+    /// A text line has too many fields for its opcode.
+    BadFieldCount {
+        /// 1-based line number.
+        line: u64,
+        /// Fields found.
+        found: usize,
+        /// Maximum fields this opcode admits.
+        max: usize,
+    },
+    /// A binary record's one-byte flag holds something other than 0/1.
+    BadFlag {
+        /// Byte offset of the record start.
+        offset: u64,
+        /// Which flag field.
+        field: &'static str,
+        /// The byte actually found.
+        value: u8,
+    },
+    /// The input ends in the middle of a fixed-size binary record.
+    TruncatedRecord {
+        /// Byte offset of the torn record.
+        offset: u64,
+        /// Bytes present.
+        have: usize,
+        /// Bytes a whole record needs.
+        need: usize,
+    },
+    /// The input produced zero accesses — empty, all comments, or (in
+    /// lenient mode) everything dropped. An empty `.ctr` would replay
+    /// as a silent no-op, so this is surfaced instead.
+    Empty,
+    /// The `.ctr` writer or verification reader failed.
+    Trace(TraceError),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "import I/O error: {e}"),
+            ImportError::Gzip { what } => write!(f, "gzip wrapper is damaged: {what}"),
+            ImportError::BadOpcode { line, found } => {
+                write!(f, "line {line}: bad opcode `{found}` (expected R, W or I)")
+            }
+            ImportError::BadAddress { line, found } => {
+                write!(f, "line {line}: bad address `{found}` (expected hex)")
+            }
+            ImportError::BadWidth { line, found } => {
+                write!(
+                    f,
+                    "line {line}: bad width `{found}` (expected 1, 2, 4 or 8)"
+                )
+            }
+            ImportError::BadValue { line, found } => {
+                write!(f, "line {line}: bad value `{found}` (expected hex)")
+            }
+            ImportError::BadFieldCount { line, found, max } => {
+                write!(
+                    f,
+                    "line {line}: {found} fields (this opcode admits at most {max})"
+                )
+            }
+            ImportError::BadFlag {
+                offset,
+                field,
+                value,
+            } => write!(
+                f,
+                "record at byte {offset}: {field} flag is {value:#04x} (expected 0 or 1)"
+            ),
+            ImportError::TruncatedRecord { offset, have, need } => write!(
+                f,
+                "truncated record at byte {offset}: {have} of {need} bytes"
+            ),
+            ImportError::Empty => write!(f, "input produced zero accesses"),
+            ImportError::Trace(e) => write!(f, "writing .ctr output failed: {e}"),
+        }
+    }
+}
+
+impl Error for ImportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImportError::Io(e) => Some(e),
+            ImportError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImportError {
+    fn from(e: io::Error) -> Self {
+        ImportError::Io(e)
+    }
+}
+
+impl From<TraceError> for ImportError {
+    fn from(e: TraceError) -> Self {
+        ImportError::Trace(e)
+    }
+}
+
+impl ImportError {
+    /// `true` for per-record damage lenient mode may drop; wrapper-level
+    /// damage (gzip, I/O, truncated binary tail mid-stream) stays fatal.
+    pub fn is_droppable(&self) -> bool {
+        matches!(
+            self,
+            ImportError::BadOpcode { .. }
+                | ImportError::BadAddress { .. }
+                | ImportError::BadWidth { .. }
+                | ImportError::BadValue { .. }
+                | ImportError::BadFieldCount { .. }
+                | ImportError::BadFlag { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_location() {
+        let e = ImportError::BadOpcode {
+            line: 7,
+            found: "X".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.is_droppable());
+        let t = ImportError::TruncatedRecord {
+            offset: 128,
+            have: 12,
+            need: 64,
+        };
+        assert!(t.to_string().contains("byte 128"));
+        assert!(!t.is_droppable());
+        assert!(!ImportError::Empty.is_droppable());
+    }
+}

@@ -1,0 +1,258 @@
+//! Robustness properties of the trace importers, mirroring the
+//! checkpoint robustness suite: valid inputs import deterministically,
+//! arbitrary byte damage yields a typed error (or a clean parse of what
+//! remained valid) — never a panic, never silently wrong counts — and
+//! the committed golden fixtures keep their exact shape and identity.
+
+use std::path::PathBuf;
+
+use cnt_import::{import_bytes, ImportError, ImportOptions, SourceFormat};
+use proptest::prelude::*;
+
+/// The committed golden fixtures under `tests/fixtures/` at the repo
+/// root (shared with the CI import-smoke job).
+fn fixture(name: &str) -> Vec<u8> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("fixture `{}`: {e}", path.display()))
+}
+
+fn opts() -> ImportOptions {
+    ImportOptions::default()
+}
+
+fn lenient() -> ImportOptions {
+    ImportOptions {
+        lenient: true,
+        ..ImportOptions::default()
+    }
+}
+
+/// Forced ChampSim parsing: random record bytes can look like a
+/// memtrace opcode to the sniffer (e.g. an `ip` whose low bytes are
+/// `R `), so the binary proptests pin the format like a real user
+/// importing a known capture would.
+fn champsim(lenient: bool) -> ImportOptions {
+    ImportOptions {
+        format: Some(SourceFormat::Champsim),
+        lenient,
+        ..ImportOptions::default()
+    }
+}
+
+// ---------------------------------------------------------------- golden
+
+#[test]
+fn golden_champsim_fixture_keeps_its_shape_and_identity() {
+    let raw = fixture("champsim_small.bin");
+    let (ctr, report) = import_bytes(&raw, "champsim_small.bin", opts()).expect("imports");
+    assert_eq!(report.format, "champsim");
+    assert_eq!(report.records_in, 6);
+    assert_eq!(
+        (
+            report.accesses,
+            report.reads,
+            report.writes,
+            report.ifetches
+        ),
+        (18, 8, 4, 6)
+    );
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.identity, "0bcbe4fa2c838cbc");
+
+    // The gzip'd variant is byte-for-byte the same import.
+    let gz = fixture("champsim_small.bin.gz");
+    let (ctr_gz, report_gz) = import_bytes(&gz, "champsim_small.bin.gz", opts()).expect("imports");
+    assert!(report_gz.gzip);
+    assert_eq!(ctr_gz, ctr, "gzip wrapper must not change the output");
+    assert_eq!(report_gz.identity, report.identity);
+}
+
+#[test]
+fn golden_memtrace_fixture_keeps_its_shape_and_identity() {
+    let raw = fixture("memtrace_small.txt");
+    let (ctr, report) = import_bytes(&raw, "memtrace_small.txt", opts()).expect("imports");
+    assert_eq!(report.format, "memtrace");
+    assert_eq!(report.records_in, 7);
+    assert_eq!(
+        (
+            report.accesses,
+            report.reads,
+            report.writes,
+            report.ifetches
+        ),
+        (7, 3, 3, 1)
+    );
+    assert_eq!(report.identity, "d878a841dda66ddc");
+
+    let gz = fixture("memtrace_small.txt.gz");
+    let (ctr_gz, report_gz) = import_bytes(&gz, "memtrace_small.txt.gz", opts()).expect("imports");
+    assert!(report_gz.gzip);
+    assert_eq!(ctr_gz, ctr);
+    assert_eq!(report_gz.identity, report.identity);
+}
+
+// ------------------------------------------------------------ generators
+
+/// One valid memtrace line (no comments — those are exercised
+/// separately so access counting stays exact).
+fn arb_text_line() -> impl Strategy<Value = String> {
+    let width = prop::sample::select(vec![1u8, 2, 4, 8]);
+    (0u8..3, 0u64..0x1_0000_0000u64, width, any::<u64>()).prop_map(|(op, addr, width, value)| {
+        match op {
+            0 => format!("R 0x{addr:x} {width}"),
+            1 => format!("W 0x{addr:x} {width} 0x{value:x}"),
+            _ => format!("I 0x{addr:x}"),
+        }
+    })
+}
+
+fn arb_text_stream() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_text_line(), 1..80).prop_map(|lines| lines.join("\n") + "\n")
+}
+
+/// A valid ChampSim record stream: flags constrained to 0/1, at least
+/// one record (empty imports are refused by design).
+fn arb_champsim_stream() -> impl Strategy<Value = Vec<u8>> {
+    let record = (
+        any::<u64>(),
+        any::<bool>(),
+        prop::collection::vec(any::<u64>(), 2),
+        prop::collection::vec(any::<u64>(), 4),
+    )
+        .prop_map(|(ip, branch, dests, srcs)| {
+            let mut b = vec![0u8; 64];
+            b[..8].copy_from_slice(&ip.to_le_bytes());
+            b[8] = u8::from(branch);
+            b[9] = u8::from(branch);
+            for (i, a) in dests.iter().enumerate() {
+                b[16 + 8 * i..24 + 8 * i].copy_from_slice(&a.to_le_bytes());
+            }
+            for (i, a) in srcs.iter().enumerate() {
+                b[32 + 8 * i..40 + 8 * i].copy_from_slice(&a.to_le_bytes());
+            }
+            b
+        });
+    prop::collection::vec(record, 1..40).prop_map(|records| records.concat())
+}
+
+// ------------------------------------------------------------ properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Valid text streams import with exact counts, deterministically.
+    #[test]
+    fn valid_text_imports_deterministically(text in arb_text_stream()) {
+        let lines = text.lines().count() as u64;
+        let (ctr_a, report) = import_bytes(text.as_bytes(), "t", opts()).expect("valid text");
+        prop_assert_eq!(report.records_in, lines);
+        prop_assert_eq!(report.accesses, lines);
+        prop_assert_eq!(report.dropped, 0);
+        let (ctr_b, _) = import_bytes(text.as_bytes(), "t", opts()).expect("valid text");
+        prop_assert_eq!(ctr_a, ctr_b, "same bytes in, same .ctr out");
+    }
+
+    /// Any single-byte mutation of a valid text stream either still
+    /// imports (counts balanced) or fails with a typed error — and in
+    /// lenient mode record-level damage is dropped and counted, never
+    /// silently absorbed.
+    #[test]
+    fn mutated_text_is_typed_or_clean(
+        text in arb_text_stream(),
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = text.into_bytes();
+        let at = pos % bytes.len();
+        bytes[at] = byte;
+        match import_bytes(&bytes, "t", opts()) {
+            Ok((_, report)) => {
+                prop_assert_eq!(report.dropped, 0, "strict mode never drops");
+                prop_assert_eq!(
+                    report.accesses,
+                    report.reads + report.writes + report.ifetches
+                );
+            }
+            Err(e) => {
+                // The error display names a location (line or source)
+                // and lenient mode either recovers or refuses for the
+                // same wrapper-level reason.
+                prop_assert!(!e.to_string().is_empty());
+                match import_bytes(&bytes, "t", lenient()) {
+                    Ok((_, report)) => {
+                        prop_assert!(e.is_droppable(), "lenient only absorbs record damage");
+                        prop_assert!(report.dropped > 0);
+                        prop_assert!(report.first_drop.is_some());
+                    }
+                    Err(again) => {
+                        // Wrapper damage (or every record dropped).
+                        prop_assert!(!again.to_string().is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Valid ChampSim streams import with one access per non-zero
+    /// memory operand plus one ifetch per record.
+    #[test]
+    fn valid_champsim_imports_deterministically(raw in arb_champsim_stream()) {
+        let records = (raw.len() / 64) as u64;
+        let (ctr_a, report) =
+            import_bytes(&raw, "c", champsim(false)).expect("valid champsim");
+        prop_assert_eq!(report.records_in, records);
+        prop_assert_eq!(report.ifetches, records);
+        prop_assert_eq!(
+            report.accesses,
+            report.reads + report.writes + report.ifetches
+        );
+        let (ctr_b, _) = import_bytes(&raw, "c", champsim(false)).expect("valid champsim");
+        prop_assert_eq!(ctr_a, ctr_b);
+    }
+
+    /// Cutting a ChampSim stream anywhere is either a clean
+    /// record-boundary prefix (imports the remaining records) or a
+    /// typed truncation error — fatal even in lenient mode.
+    #[test]
+    fn champsim_prefixes_parse_clean_or_fail_typed(
+        raw in arb_champsim_stream(),
+        cut in any::<usize>(),
+    ) {
+        let keep = cut % (raw.len() + 1);
+        let prefix = &raw[..keep];
+        let expect_records = (keep / 64) as u64;
+        for o in [champsim(false), champsim(true)] {
+            match import_bytes(prefix, "c", o) {
+                Ok((_, report)) => {
+                    prop_assert_eq!(keep % 64, 0, "partial trailing record must not import");
+                    prop_assert_eq!(report.records_in, expect_records);
+                }
+                Err(ImportError::TruncatedRecord { offset, .. }) => {
+                    prop_assert!(keep % 64 != 0);
+                    prop_assert_eq!(offset, keep as u64 - keep as u64 % 64);
+                }
+                Err(ImportError::Empty) => prop_assert_eq!(keep, 0),
+                Err(other) => {
+                    panic!("unexpected error for a {keep}-byte prefix: {other}");
+                }
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic the importer: every outcome is a
+    /// clean import or a typed error, under both format forcings.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        for format in [SourceFormat::Champsim, SourceFormat::Memtrace] {
+            let forced = ImportOptions { format: Some(format), ..ImportOptions::default() };
+            match import_bytes(&bytes, "x", forced) {
+                Ok((_, report)) => {
+                    prop_assert!(report.accesses > 0);
+                }
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+        }
+    }
+}

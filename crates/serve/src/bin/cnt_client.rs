@@ -4,7 +4,12 @@
 //! ```text
 //! cnt_client 127.0.0.1:7171 trace.ctr --budget-mib 8 \
 //!            --metrics-every 5000 --metrics-out metrics.jsonl
+//! cnt_client 127.0.0.1:7171 --workload synth/matmul --budget-mib 8
 //! ```
+//!
+//! With `--workload ID` no trace file is given: the server materializes
+//! the named registry workload itself and the client only consumes the
+//! streamed replay.
 //!
 //! The streamed metrics file is byte-identical to what
 //! `tracegen stream-replay` would have written offline for the same
@@ -13,19 +18,27 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cnt_serve::client::{replay_file, Event};
+use cnt_serve::client::{replay_file, replay_workload, Event, ReplayOutcome};
 
 struct Args {
     addr: String,
-    trace: PathBuf,
+    /// A local `.ctr` to stream, or a registry id the server replays.
+    source: Source,
     budget_mib: usize,
     metrics_every: u64,
     metrics_out: Option<PathBuf>,
 }
 
+enum Source {
+    Trace(PathBuf),
+    Workload(String),
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: cnt_client ADDR TRACE.ctr [--budget-mib N] [--metrics-every N]\n\
+         \u{20}                 [--metrics-out FILE]\n\
+         \u{20}      cnt_client ADDR --workload ID [--budget-mib N] [--metrics-every N]\n\
          \u{20}                 [--metrics-out FILE]"
     );
     std::process::exit(2);
@@ -36,6 +49,7 @@ fn parse_args() -> Args {
     let mut budget_mib = 8;
     let mut metrics_every = 0;
     let mut metrics_out = None;
+    let mut workload = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> String {
@@ -52,6 +66,7 @@ fn parse_args() -> Args {
                 metrics_every = value("--metrics-every").parse().unwrap_or_else(|_| usage())
             }
             "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            "--workload" => workload = Some(value("--workload")),
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag `{other}`");
@@ -60,14 +75,17 @@ fn parse_args() -> Args {
             _ => positional.push(arg),
         }
     }
-    if positional.len() != 2 {
-        usage()
-    }
-    let trace = PathBuf::from(positional.pop().expect("len checked"));
-    let addr = positional.pop().expect("len checked");
+    let (addr, source) = match (workload, positional.len()) {
+        (Some(id), 1) => (positional.pop().expect("len checked"), Source::Workload(id)),
+        (None, 2) => {
+            let trace = PathBuf::from(positional.pop().expect("len checked"));
+            (positional.pop().expect("len checked"), Source::Trace(trace))
+        }
+        _ => usage(),
+    };
     Args {
         addr,
-        trace,
+        source,
         budget_mib,
         metrics_every,
         metrics_out,
@@ -76,22 +94,32 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let outcome = replay_file(
-        &args.addr,
-        &args.trace,
-        args.budget_mib,
-        args.metrics_every,
-        |event| match event {
-            Event::Status(report) => {
-                eprintln!(
-                    "client: {} {} at {}",
-                    report.session, report.phase, report.progress
-                )
-            }
-            Event::Warning(e) => eprintln!("client: server warning ({}): {}", e.code, e.message),
-            Event::Obs(_) | Event::Done(_) => {}
-        },
-    );
+    let on_event = |event: &Event| match event {
+        Event::Status(report) => {
+            eprintln!(
+                "client: {} {} at {}",
+                report.session, report.phase, report.progress
+            )
+        }
+        Event::Warning(e) => eprintln!("client: server warning ({}): {}", e.code, e.message),
+        Event::Obs(_) | Event::Done(_) => {}
+    };
+    let outcome: Result<ReplayOutcome, _> = match &args.source {
+        Source::Trace(path) => replay_file(
+            &args.addr,
+            path,
+            args.budget_mib,
+            args.metrics_every,
+            on_event,
+        ),
+        Source::Workload(id) => replay_workload(
+            &args.addr,
+            id,
+            args.budget_mib,
+            args.metrics_every,
+            on_event,
+        ),
+    };
     let outcome = match outcome {
         Ok(outcome) => outcome,
         Err(e) => {

@@ -5,7 +5,12 @@
 //! cnt_serve --listen 127.0.0.1:7171 --state-dir serve_state \
 //!           --global-budget-mib 64 --checkpoint-every 8 \
 //!           --checkpoint-keep 2 [--jobs N] [--once N] [--resume-only]
+//!           [--trace-dir DIR]
 //! ```
+//!
+//! `--trace-dir DIR` adds the directory's `.ctr` captures to the
+//! server's workload registry (as `import/<stem>` ids) so clients can
+//! open registry-named sessions (`cnt_client --workload ID`).
 //!
 //! `--once N` exits after handling `N` connections (CI and tests);
 //! `--resume-only` completes pending sessions from a killed instance
@@ -28,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: cnt_serve [--listen ADDR] [--state-dir DIR] [--global-budget-mib N]\n\
          \u{20}                [--checkpoint-every CHUNKS] [--checkpoint-keep K]\n\
-         \u{20}                [--jobs N] [--once N] [--resume-only]"
+         \u{20}                [--jobs N] [--once N] [--resume-only] [--trace-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -52,6 +57,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--listen" => args.listen = value("--listen"),
             "--state-dir" => args.cfg.state_dir = value("--state-dir").into(),
+            "--trace-dir" => args.cfg.trace_dir = Some(value("--trace-dir").into()),
             "--global-budget-mib" => {
                 args.cfg.global_budget_mib = parse_num(&value("--global-budget-mib"))
             }

@@ -275,11 +275,49 @@ pub fn replay_file(
             budget_mib,
             metrics_every,
             trace_bytes,
+            workload: None,
         },
         |available| eprintln!("client: queued for budget ({available} bytes available)"),
     )?;
     client.send_trace_file(path)?;
     client.finish()?;
+    collect_replay(&mut client, &mut on_event)
+}
+
+/// Connects and opens a registry-named session: the server materializes
+/// the workload itself, so nothing is streamed — the client goes
+/// straight to consuming events. `workload` is a registry id like
+/// `synth/matmul` or `import/mcf_like`.
+///
+/// # Errors
+///
+/// As the underlying [`Client`] calls; [`ClientError::Rejected`] with
+/// code `workload` when the server does not know the id.
+pub fn replay_workload(
+    addr: &str,
+    workload: &str,
+    budget_mib: usize,
+    metrics_every: u64,
+    mut on_event: impl FnMut(&Event),
+) -> Result<ReplayOutcome, ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.open(
+        &proto::OpenSession {
+            budget_mib,
+            metrics_every,
+            trace_bytes: 0,
+            workload: Some(workload.to_string()),
+        },
+        |available| eprintln!("client: queued for budget ({available} bytes available)"),
+    )?;
+    collect_replay(&mut client, &mut on_event)
+}
+
+/// Drains events until [`Event::Done`], accumulating obs lines.
+fn collect_replay(
+    client: &mut Client,
+    on_event: &mut impl FnMut(&Event),
+) -> Result<ReplayOutcome, ClientError> {
     let mut metrics_jsonl = String::new();
     loop {
         let event = client.recv_event()?;

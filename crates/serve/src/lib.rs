@@ -26,6 +26,6 @@ pub mod proto;
 pub mod server;
 
 pub use budget::{Admission, BudgetLease, BudgetLedger};
-pub use client::{replay_file, Client, ClientError, Event, ReplayOutcome};
+pub use client::{replay_file, replay_workload, Client, ClientError, Event, ReplayOutcome};
 pub use proto::{Hello, Kind, ProtoError};
 pub use server::{Server, ServerConfig};

@@ -446,6 +446,13 @@ pub struct OpenSession {
     /// included). The server enforces this as a hard ceiling on the
     /// spool.
     pub trace_bytes: u64,
+    /// Registry workload id (`synth/<kernel>` or `import/<stem>`) to
+    /// replay instead of a client-streamed trace. When set, the server
+    /// materializes the trace itself from its workload registry and
+    /// `trace_bytes` must be `0` (there is nothing to spool). Absent
+    /// (`None`) in requests from older clients, which always stream.
+    #[serde(default)]
+    pub workload: Option<String>,
 }
 
 /// Server → client: the session is admitted and may stream its trace.
@@ -588,6 +595,7 @@ mod tests {
             budget_mib: 8,
             metrics_every: 5000,
             trace_bytes: 123_456,
+            workload: None,
         };
         let bytes = encode_msg("OpenSession", &open).expect("encodes");
         let back: OpenSession = decode_msg("OpenSession", &bytes).expect("decodes");

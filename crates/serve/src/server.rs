@@ -79,6 +79,10 @@ pub struct ServerConfig {
     /// Socket poll interval during replay — the cadence at which
     /// streamed obs frames drain and `Cancel` is noticed.
     pub pump_interval: Duration,
+    /// Directory of imported `.ctr` captures added to the server's
+    /// workload registry (as `import/<stem>` ids) for registry-named
+    /// sessions. `None` serves only the built-in `synth/*` kernels.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +94,7 @@ impl Default for ServerConfig {
             checkpoint_keep: 2,
             spool_timeout: Duration::from_secs(10),
             pump_interval: Duration::from_millis(25),
+            trace_dir: None,
         }
     }
 }
@@ -102,6 +107,11 @@ struct SessionMeta {
     budget_mib: usize,
     metrics_every: u64,
     trace_bytes: u64,
+    /// Registry workload id the server materialized the trace from,
+    /// `None` for client-streamed sessions (and in meta files written
+    /// before the field existed).
+    #[serde(default)]
+    workload: Option<String>,
 }
 
 /// Shared across the accept loop and every handler thread.
@@ -404,7 +414,23 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
             }
         }
     };
-    if open.budget_mib == 0 || open.trace_bytes < HEADER_BYTES as u64 {
+    if let Some(id) = &open.workload {
+        // Registry-named sessions carry no client trace: the server
+        // materializes the workload itself, so a nonzero trace_bytes is
+        // a confused client, not a small one.
+        if open.budget_mib == 0 || open.trace_bytes != 0 {
+            send_error(
+                &mut stream,
+                "admission",
+                true,
+                format!(
+                    "workload session `{id}` needs a positive budget_mib and trace_bytes of 0 \
+                     (the server generates the trace)"
+                ),
+            );
+            return;
+        }
+    } else if open.budget_mib == 0 || open.trace_bytes < HEADER_BYTES as u64 {
         send_error(
             &mut stream,
             "admission",
@@ -452,12 +478,30 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
         sid
     };
     let dir = shared.cfg.state_dir.join(&sid);
-    let meta = SessionMeta {
+    let mut meta = SessionMeta {
         session: sid.clone(),
         budget_mib: open.budget_mib,
         metrics_every: open.metrics_every,
         trace_bytes: open.trace_bytes,
+        workload: open.workload.clone(),
     };
+    if let Some(id) = &open.workload {
+        // Registry-named session: materialize the trace server-side
+        // before admission completes, so a bad id is rejected while the
+        // client is still waiting on OpenSession.
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            send_error(&mut stream, "io", true, e.to_string());
+            return;
+        }
+        match materialize_workload(id, shared.cfg.trace_dir.as_deref(), &dir.join("trace.ctr")) {
+            Ok(bytes) => meta.trace_bytes = bytes,
+            Err(what) => {
+                send_error(&mut stream, "workload", true, what);
+                std::fs::remove_dir_all(&dir).ok();
+                return;
+            }
+        }
+    }
     if let Err(e) = prepare_session_dir(&dir, &meta) {
         send_error(&mut stream, "io", true, e);
         return;
@@ -474,28 +518,37 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
         open.budget_mib, open.metrics_every
     );
 
-    // Phase 2: spool the trace.
-    match spool_trace(&mut stream, &dir, &sid, &open) {
-        Ok(chunks) => {
-            eprintln!("serve: session {sid} spooled {chunks} chunks");
-        }
-        Err(end) => {
-            match end {
-                SpoolEnd::Cancelled => {
-                    eprintln!("serve: session {sid} cancelled during spool");
-                    send_error(&mut stream, "cancelled", true, "session cancelled".into());
-                }
-                SpoolEnd::Proto(e) => {
-                    eprintln!("serve: session {sid} spool failed: {e}");
-                    send_error(&mut stream, e.code(), true, e.to_string());
-                }
-                SpoolEnd::Io(what) => {
-                    eprintln!("serve: session {sid} spool failed: {what}");
-                    send_error(&mut stream, "io", true, what);
-                }
+    // Phase 2: spool the trace — unless the server already materialized
+    // it from the registry, in which case the replay starts immediately
+    // and the client goes straight to consuming events.
+    if let Some(id) = &meta.workload {
+        eprintln!(
+            "serve: session {sid} replaying workload `{id}` ({} bytes, server-generated)",
+            meta.trace_bytes
+        );
+    } else {
+        match spool_trace(&mut stream, &dir, &sid, &open) {
+            Ok(chunks) => {
+                eprintln!("serve: session {sid} spooled {chunks} chunks");
             }
-            std::fs::remove_dir_all(&dir).ok();
-            return;
+            Err(end) => {
+                match end {
+                    SpoolEnd::Cancelled => {
+                        eprintln!("serve: session {sid} cancelled during spool");
+                        send_error(&mut stream, "cancelled", true, "session cancelled".into());
+                    }
+                    SpoolEnd::Proto(e) => {
+                        eprintln!("serve: session {sid} spool failed: {e}");
+                        send_error(&mut stream, e.code(), true, e.to_string());
+                    }
+                    SpoolEnd::Io(what) => {
+                        eprintln!("serve: session {sid} spool failed: {what}");
+                        send_error(&mut stream, "io", true, what);
+                    }
+                }
+                std::fs::remove_dir_all(&dir).ok();
+                return;
+            }
         }
     }
 
@@ -554,6 +607,37 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
             std::fs::remove_dir_all(&dir).ok();
         }
     }
+}
+
+/// Materializes a registry workload into `<dir>/trace.ctr`: built-in
+/// `synth/*` kernels plus any `import/*` captures from the server's
+/// configured trace directory. Returns the packed byte length. The id
+/// must match exactly one entry — globs are a client-side convenience,
+/// a session replays one workload.
+fn materialize_workload(id: &str, trace_dir: Option<&Path>, path: &Path) -> Result<u64, String> {
+    let mut registry = cnt_workloads::WorkloadRegistry::builtin();
+    if let Some(dir) = trace_dir {
+        registry
+            .add_trace_dir(dir)
+            .map_err(|e| format!("trace dir `{}`: {e}", dir.display()))?;
+    }
+    let selected = registry.select(id).map_err(|e| e.to_string())?;
+    let [entry] = selected.as_slice() else {
+        return Err(format!(
+            "workload id `{id}` matches {} entries; a session replays exactly one",
+            selected.len()
+        ));
+    };
+    let workload = entry.load().map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut out = std::io::BufWriter::new(file);
+    cnt_trace::pack_trace(&workload.trace, &mut out, cnt_trace::DEFAULT_CHUNK_ACCESSES)
+        .map_err(|e| e.to_string())?;
+    use std::io::Write;
+    out.flush().map_err(|e| e.to_string())?;
+    std::fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| e.to_string())
 }
 
 fn prepare_session_dir(dir: &Path, meta: &SessionMeta) -> Result<(), String> {

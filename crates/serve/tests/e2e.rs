@@ -242,6 +242,7 @@ fn admission_queues_what_fits_and_rejects_what_never_can() {
             budget_mib: 5,
             metrics_every: 0,
             trace_bytes,
+            workload: None,
         },
         |_| {},
     );
@@ -259,6 +260,7 @@ fn admission_queues_what_fits_and_rejects_what_never_can() {
                 budget_mib: 3,
                 metrics_every: 0,
                 trace_bytes,
+                workload: None,
             },
             |_| panic!("holder must be admitted immediately"),
         )
@@ -278,6 +280,7 @@ fn admission_queues_what_fits_and_rejects_what_never_can() {
                         budget_mib: 3,
                         metrics_every: 0,
                         trace_bytes,
+                        workload: None,
                     },
                     |_| queued.store(true, Ordering::SeqCst),
                 )
@@ -330,6 +333,7 @@ fn cancel_mid_replay_frees_the_session_completely() {
                 budget_mib: 2,
                 metrics_every: 1_000,
                 trace_bytes: std::fs::metadata(&trace).expect("metadata").len(),
+                workload: None,
             },
             |_| {},
         )
@@ -387,6 +391,7 @@ fn client_disconnect_mid_spool_frees_the_session() {
                 budget_mib: 2,
                 metrics_every: 0,
                 trace_bytes,
+                workload: None,
             },
             |_| {},
         )
@@ -535,4 +540,81 @@ fn resume_pending_completes_interrupted_sessions_byte_identically() {
     // Resuming again is a no-op: the session is done.
     assert!(server.resume_pending().is_empty());
     drop(server);
+}
+
+#[test]
+fn registry_named_sessions_replay_byte_identically_to_streamed_traces() {
+    let scratch = Scratch::new("workload");
+
+    // An "imported" capture: a synthetic trace dropped into the trace
+    // dir the server scans, registered as `import/capture`.
+    let capture_dir = scratch.path("captures");
+    std::fs::create_dir_all(&capture_dir).expect("capture dir");
+    let capture = capture_dir.join("capture.ctr");
+    make_trace(&capture, 30_000);
+
+    let server = TestServer::start(
+        scratch.path("state"),
+        ServerConfig {
+            trace_dir: Some(capture_dir),
+            ..quick_cfg()
+        },
+    );
+
+    // A synthetic registry workload: the server materializes the same
+    // bytes a local `pack_trace` produces, so streaming the local pack
+    // and naming the workload must give byte-identical metrics.
+    let entry_trace = scratch.path("dct.ctr");
+    {
+        let registry = cnt_workloads::WorkloadRegistry::builtin();
+        let selected = registry.select("synth/dct8x8").expect("known kernel");
+        assert_eq!(selected.len(), 1);
+        let workload = selected[0].load().expect("synthetic load");
+        let file = std::fs::File::create(&entry_trace).expect("trace file");
+        cnt_trace::pack_trace(
+            &workload.trace,
+            std::io::BufWriter::new(file),
+            cnt_trace::DEFAULT_CHUNK_ACCESSES,
+        )
+        .expect("packs");
+    }
+    let streamed = replay_file(&server.addr, &entry_trace, 1, 2_000, |_| {})
+        .expect("streamed session completes");
+    let named = cnt_serve::replay_workload(&server.addr, "synth/dct8x8", 1, 2_000, |_| {})
+        .expect("workload session completes");
+    assert_eq!(
+        named.metrics_jsonl, streamed.metrics_jsonl,
+        "registry-named session diverged from streaming the same trace"
+    );
+    assert_eq!(named.done.accesses, streamed.done.accesses);
+
+    // The imported capture replays through the same registry path.
+    let imported = cnt_serve::replay_workload(&server.addr, "import/capture", 1, 2_000, |_| {})
+        .expect("imported workload session completes");
+    let reference =
+        replay_file(&server.addr, &capture, 1, 2_000, |_| {}).expect("streamed capture completes");
+    assert_eq!(imported.metrics_jsonl, reference.metrics_jsonl);
+
+    // Unknown ids are rejected during admission with the typed code.
+    match cnt_serve::replay_workload(&server.addr, "import/nope", 1, 0, |_| {}) {
+        Err(ClientError::Rejected(e)) => assert_eq!(e.code, "workload"),
+        other => panic!("expected a workload rejection, got {other:?}"),
+    }
+
+    // A workload request that also claims trace bytes is a confused
+    // client and is refused at admission.
+    let mut confused = Client::connect(&server.addr).expect("connects");
+    match confused.open(
+        &OpenSession {
+            budget_mib: 1,
+            metrics_every: 0,
+            trace_bytes: 64,
+            workload: Some("synth/dct8x8".to_string()),
+        },
+        |_| {},
+    ) {
+        Err(ClientError::Rejected(e)) => assert_eq!(e.code, "admission"),
+        other => panic!("expected an admission rejection, got {other:?}"),
+    }
+    server.stop();
 }

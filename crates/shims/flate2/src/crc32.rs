@@ -1,0 +1,52 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over byte slices.
+//!
+//! The shim carries its own copy rather than depending on `cnt-trace`:
+//! shims sit below every workspace crate and must stay dependency-free.
+//! Reflected polynomial `0xEDB88320`, init and final XOR `0xFFFF_FFFF`
+//! — exactly what gzip's trailer records, so archives produced by
+//! stock `gzip(1)` validate against this implementation.
+
+use std::sync::OnceLock;
+
+static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+
+fn table() -> &'static [u32; 256] {
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 of `data` in one call.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value from the CRC catalogue.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"hello world"), 0x0D4A_1185);
+    }
+}

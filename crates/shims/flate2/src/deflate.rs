@@ -1,0 +1,243 @@
+//! A greedy LZ77 + fixed-Huffman DEFLATE (RFC 1951) encoder.
+//!
+//! One block per stream, `BTYPE=01`: every compliant inflater — this
+//! shim's own, zlib, `gzip -d` — decodes the output. The matcher is a
+//! hash-chain search over 3-byte prefixes with a bounded chain walk, so
+//! repetitive inputs (trace payloads are full of repeated address
+//! deltas and zero value words) compress well, while the encoder stays
+//! a few dozen lines with no dynamic-table construction. Compression
+//! ratio is traded for auditability; the format, not the ratio, is the
+//! contract.
+
+use crate::inflate::{DIST_BASE, DIST_EXTRA, LENGTH_BASE, LENGTH_EXTRA};
+
+/// Sliding-window size (RFC 1951 maximum back-reference distance).
+const WINDOW: usize = 32 * 1024;
+/// Minimum/maximum match lengths representable by DEFLATE.
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// How many hash-chain candidates the greedy matcher inspects.
+const CHAIN_LIMIT: usize = 64;
+/// Hash table size (15-bit hash of a 3-byte prefix).
+const HASH_SIZE: usize = 1 << 15;
+
+/// LSB-first bit writer.
+struct BitWriter {
+    out: Vec<u8>,
+    bitbuf: u32,
+    bitcnt: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            out: Vec::new(),
+            bitbuf: 0,
+            bitcnt: 0,
+        }
+    }
+
+    /// Writes `n` bits of `value`, least significant first.
+    fn bits(&mut self, value: u32, n: u32) {
+        self.bitbuf |= value << self.bitcnt;
+        self.bitcnt += n;
+        while self.bitcnt >= 8 {
+            self.out.push((self.bitbuf & 0xFF) as u8);
+            self.bitbuf >>= 8;
+            self.bitcnt -= 8;
+        }
+    }
+
+    /// Writes a Huffman code: codes go on the wire most significant
+    /// bit first, the reverse of extra-bits fields.
+    fn code(&mut self, code: u32, n: u32) {
+        let mut reversed = 0u32;
+        for i in 0..n {
+            reversed |= ((code >> i) & 1) << (n - 1 - i);
+        }
+        self.bits(reversed, n);
+    }
+
+    /// Flushes the partial byte (zero-padded) and returns the stream.
+    fn finish(mut self) -> Vec<u8> {
+        if self.bitcnt > 0 {
+            self.out.push((self.bitbuf & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+/// Emits one literal/length symbol with the fixed code (RFC 1951 §3.2.6).
+fn emit_litlen(writer: &mut BitWriter, symbol: u16) {
+    match symbol {
+        0..=143 => writer.code(0x30 + u32::from(symbol), 8),
+        144..=255 => writer.code(0x190 + u32::from(symbol) - 144, 9),
+        256..=279 => writer.code(u32::from(symbol) - 256, 7),
+        _ => writer.code(0xC0 + u32::from(symbol) - 280, 8),
+    }
+}
+
+/// Maps a match length (3..=258) to its (symbol index, extra-bit value).
+fn length_symbol(len: usize) -> (usize, u32) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let idx = LENGTH_BASE
+        .iter()
+        .rposition(|&base| usize::from(base) <= len)
+        .expect("length >= 3 always has a base");
+    (idx, (len - usize::from(LENGTH_BASE[idx])) as u32)
+}
+
+/// Maps a match distance (1..=32768) to its (symbol, extra-bit value).
+fn dist_symbol(dist: usize) -> (usize, u32) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let idx = DIST_BASE
+        .iter()
+        .rposition(|&base| usize::from(base) <= dist)
+        .expect("distance >= 1 always has a base");
+    (idx, (dist - usize::from(DIST_BASE[idx])) as u32)
+}
+
+fn hash3(input: &[u8], i: usize) -> usize {
+    ((usize::from(input[i]) << 10) ^ (usize::from(input[i + 1]) << 5) ^ usize::from(input[i + 2]))
+        & (HASH_SIZE - 1)
+}
+
+/// Compresses `input` into a single fixed-Huffman DEFLATE block.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    writer.bits(1, 1); // BFINAL
+    writer.bits(1, 2); // BTYPE = 01, fixed Huffman
+
+    // head[h] = most recent position with hash h; prev[i] = previous
+    // position in i's chain. usize::MAX marks an empty slot.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+    let insert = |head: &mut Vec<usize>, prev: &mut Vec<usize>, i: usize| {
+        if i + MIN_MATCH <= input.len() {
+            let h = hash3(input, i);
+            prev[i] = head[h];
+            head[h] = i;
+        }
+    };
+
+    let mut i = 0;
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let mut candidate = head[hash3(input, i)];
+            let mut chain = 0;
+            while candidate != usize::MAX && chain < CHAIN_LIMIT {
+                let dist = i - candidate;
+                if dist > WINDOW {
+                    break;
+                }
+                let max_len = MAX_MATCH.min(input.len() - i);
+                let mut len = 0;
+                while len < max_len && input[candidate + len] == input[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len == MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            let (lsym, lextra) = length_symbol(best_len);
+            emit_litlen(&mut writer, 257 + lsym as u16);
+            writer.bits(lextra, u32::from(LENGTH_EXTRA[lsym]));
+            let (dsym, dextra) = dist_symbol(best_dist);
+            writer.code(dsym as u32, 5);
+            writer.bits(dextra, u32::from(DIST_EXTRA[dsym]));
+            for k in i..i + best_len {
+                insert(&mut head, &mut prev, k);
+            }
+            i += best_len;
+        } else {
+            emit_litlen(&mut writer, u16::from(input[i]));
+            insert(&mut head, &mut prev, i);
+            i += 1;
+        }
+    }
+    emit_litlen(&mut writer, 256); // end of block
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let stream = compress(b"");
+        assert_eq!(inflate(&stream, 1 << 20).unwrap(), b"");
+    }
+
+    #[test]
+    fn literal_only_round_trips() {
+        let stream = compress(b"abc");
+        assert_eq!(inflate(&stream, 1 << 20).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_round_trips_and_shrinks() {
+        let input: Vec<u8> = b"cnt-cache trace chunk "
+            .iter()
+            .copied()
+            .cycle()
+            .take(8192)
+            .collect();
+        let stream = compress(&input);
+        assert!(
+            stream.len() < input.len() / 4,
+            "repetitive input should compress well: {} -> {}",
+            input.len(),
+            stream.len()
+        );
+        assert_eq!(inflate(&stream, 1 << 20).unwrap(), input);
+    }
+
+    #[test]
+    fn pseudorandom_input_round_trips() {
+        let mut seed = 0xF1A7_E2u64;
+        let input: Vec<u8> = (0..4096)
+            .map(|_| (splitmix64(&mut seed) & 0xFF) as u8)
+            .collect();
+        let stream = compress(&input);
+        assert_eq!(inflate(&stream, 1 << 20).unwrap(), input);
+    }
+
+    #[test]
+    fn overlapping_matches_round_trip() {
+        // distance < length forces the overlapped-copy path in inflate.
+        let input = vec![0x55u8; 1024];
+        let stream = compress(&input);
+        assert_eq!(inflate(&stream, 1 << 20).unwrap(), input);
+    }
+
+    #[test]
+    fn all_lengths_round_trip() {
+        // Sweep match lengths across every length-code bucket boundary.
+        for n in [3usize, 4, 10, 11, 18, 19, 114, 115, 257, 258, 259, 600] {
+            let mut input = b"seed".to_vec();
+            input.extend(std::iter::repeat(b'x').take(n));
+            let stream = compress(&input);
+            assert_eq!(inflate(&stream, 1 << 20).unwrap(), input, "length {n}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Gzip (RFC 1952) member framing around the DEFLATE engine.
+//!
+//! Decompression parses the full member header — optional FEXTRA,
+//! FNAME, FCOMMENT, and FHCRC fields included — inflates the payload,
+//! and then verifies both trailer fields: CRC-32 of the uncompressed
+//! data and ISIZE (length mod 2^32). A corrupt archive is a typed
+//! error, never a silently-wrong byte stream. Bytes after the first
+//! member are ignored, matching `flate2::read::GzDecoder`.
+
+use std::fmt;
+
+use crate::crc32::crc32;
+use crate::inflate::{inflate, InflateError};
+
+/// The two gzip magic bytes.
+const MAGIC: [u8; 2] = [0x1F, 0x8B];
+/// CM value for DEFLATE, the only defined compression method.
+const CM_DEFLATE: u8 = 8;
+
+const FHCRC: u8 = 1 << 1;
+const FEXTRA: u8 = 1 << 2;
+const FNAME: u8 = 1 << 3;
+const FCOMMENT: u8 = 1 << 4;
+
+/// A typed gzip member failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GzipError {
+    /// The member ended inside the named structure.
+    Truncated(&'static str),
+    /// The first two bytes are not `1f 8b`.
+    BadMagic([u8; 2]),
+    /// The CM byte names a method other than DEFLATE.
+    BadMethod(u8),
+    /// The optional FHCRC header checksum does not match.
+    BadHeaderCrc {
+        /// CRC-16 recorded in the member.
+        stored: u16,
+        /// CRC-16 computed over the header bytes.
+        computed: u16,
+    },
+    /// The DEFLATE payload failed to decode.
+    Inflate(InflateError),
+    /// The trailer CRC-32 does not match the decompressed bytes.
+    BadCrc {
+        /// CRC-32 recorded in the trailer.
+        stored: u32,
+        /// CRC-32 computed over the decompressed bytes.
+        computed: u32,
+    },
+    /// The trailer ISIZE does not match the decompressed length.
+    BadLength {
+        /// ISIZE recorded in the trailer.
+        stored: u32,
+        /// Decompressed length mod 2^32.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for GzipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GzipError::Truncated(what) => write!(f, "gzip member truncated in {what}"),
+            GzipError::BadMagic(found) => write!(
+                f,
+                "not a gzip stream (magic {:02x} {:02x}, want 1f 8b)",
+                found[0], found[1]
+            ),
+            GzipError::BadMethod(cm) => {
+                write!(
+                    f,
+                    "unsupported gzip compression method {cm} (want 8, deflate)"
+                )
+            }
+            GzipError::BadHeaderCrc { stored, computed } => write!(
+                f,
+                "gzip header CRC mismatch (stored {stored:#06x}, computed {computed:#06x})"
+            ),
+            GzipError::Inflate(e) => write!(f, "gzip payload: {e}"),
+            GzipError::BadCrc { stored, computed } => write!(
+                f,
+                "gzip CRC-32 mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            GzipError::BadLength { stored, computed } => write!(
+                f,
+                "gzip ISIZE mismatch (stored {stored}, decompressed {computed} mod 2^32)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GzipError::Inflate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InflateError> for GzipError {
+    fn from(e: InflateError) -> Self {
+        GzipError::Inflate(e)
+    }
+}
+
+/// Returns true when `data` starts with the gzip magic bytes.
+pub fn is_gzip(data: &[u8]) -> bool {
+    data.len() >= 2 && data[0] == MAGIC[0] && data[1] == MAGIC[1]
+}
+
+/// Decompresses one gzip member, verifying header and trailer.
+///
+/// `limit` caps the decompressed size (see [`InflateError::TooLarge`]).
+pub fn decompress(data: &[u8], limit: usize) -> Result<Vec<u8>, GzipError> {
+    if data.len() < 2 {
+        return Err(GzipError::Truncated("magic"));
+    }
+    if !is_gzip(data) {
+        return Err(GzipError::BadMagic([data[0], data[1]]));
+    }
+    if data.len() < 10 {
+        return Err(GzipError::Truncated("fixed header"));
+    }
+    if data[2] != CM_DEFLATE {
+        return Err(GzipError::BadMethod(data[2]));
+    }
+    let flg = data[3];
+    // Bytes 4..8 are MTIME, 8 is XFL, 9 is OS — all informational.
+    let mut pos = 10usize;
+    if flg & FEXTRA != 0 {
+        let xlen_bytes = data
+            .get(pos..pos + 2)
+            .ok_or(GzipError::Truncated("FEXTRA length"))?;
+        let xlen = usize::from(u16::from_le_bytes([xlen_bytes[0], xlen_bytes[1]]));
+        pos += 2;
+        if data.len() < pos + xlen {
+            return Err(GzipError::Truncated("FEXTRA field"));
+        }
+        pos += xlen;
+    }
+    for (flag, what) in [(FNAME, "FNAME field"), (FCOMMENT, "FCOMMENT field")] {
+        if flg & flag != 0 {
+            let nul = data[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(GzipError::Truncated(what))?;
+            pos += nul + 1;
+        }
+    }
+    if flg & FHCRC != 0 {
+        let stored_bytes = data
+            .get(pos..pos + 2)
+            .ok_or(GzipError::Truncated("FHCRC field"))?;
+        let stored = u16::from_le_bytes([stored_bytes[0], stored_bytes[1]]);
+        let computed = (crc32(&data[..pos]) & 0xFFFF) as u16;
+        if stored != computed {
+            return Err(GzipError::BadHeaderCrc { stored, computed });
+        }
+        pos += 2;
+    }
+    if data.len() < pos + 8 {
+        return Err(GzipError::Truncated("deflate payload"));
+    }
+    // The inflater ignores trailing bytes, so handing it everything up
+    // to EOF is safe; the trailer is re-read from the tail below. (A
+    // member's compressed length is not recorded anywhere, so the
+    // trailer can only be located from the end for single members.)
+    let payload = &data[pos..];
+    let out = inflate(&payload[..payload.len() - 8], limit)?;
+    let trailer = &data[data.len() - 8..];
+    let stored_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let stored_isize = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    let computed_crc = crc32(&out);
+    if stored_crc != computed_crc {
+        return Err(GzipError::BadCrc {
+            stored: stored_crc,
+            computed: computed_crc,
+        });
+    }
+    let computed_isize = (out.len() as u64 & 0xFFFF_FFFF) as u32;
+    if stored_isize != computed_isize {
+        return Err(GzipError::BadLength {
+            stored: stored_isize,
+            computed: computed_isize,
+        });
+    }
+    Ok(out)
+}
+
+/// Compresses `input` into a minimal single-member gzip archive
+/// (no name, no mtime, OS byte 255 = unknown — fully deterministic).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 32);
+    out.extend_from_slice(&MAGIC);
+    out.push(CM_DEFLATE);
+    out.push(0); // FLG: no optional fields
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME: not recorded
+    out.push(0); // XFL
+    out.push(255); // OS: unknown
+    out.extend_from_slice(&crate::deflate::compress(input));
+    out.extend_from_slice(&crc32(input).to_le_bytes());
+    out.extend_from_slice(&((input.len() as u64 & 0xFFFF_FFFF) as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let input = b"per-workload energy baselines".repeat(64);
+        let archive = compress(&input);
+        assert!(is_gzip(&archive));
+        assert_eq!(decompress(&archive, 1 << 20).unwrap(), input);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            decompress(b"PKzip-this-is-not", 1 << 20),
+            Err(GzipError::BadMagic([b'P', b'K']))
+        );
+    }
+
+    #[test]
+    fn payload_corruption_caught_by_crc() {
+        let input = b"corrupt me".repeat(100);
+        let mut archive = compress(&input);
+        // Flip a bit mid-payload: either the inflater chokes or the
+        // trailer CRC catches it; both are typed errors.
+        let mid = archive.len() / 2;
+        archive[mid] ^= 0x10;
+        match decompress(&archive, 1 << 20) {
+            Err(GzipError::BadCrc { .. }) | Err(GzipError::Inflate(_)) => {}
+            other => panic!("corruption must be caught, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailer_crc_mismatch_is_typed() {
+        let input = b"trailer check";
+        let mut archive = compress(input);
+        let n = archive.len();
+        archive[n - 8] ^= 0xFF; // CRC byte
+        assert!(matches!(
+            decompress(&archive, 1 << 20),
+            Err(GzipError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn isize_mismatch_is_typed() {
+        let input = b"isize check";
+        let mut archive = compress(input);
+        let n = archive.len();
+        archive[n - 1] ^= 0xFF; // ISIZE high byte
+        assert!(matches!(
+            decompress(&archive, 1 << 20),
+            Err(GzipError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let archive = compress(b"truncate me please, somewhere in the middle");
+        for cut in [0, 1, 5, 9, 12, archive.len() - 8, archive.len() - 1] {
+            assert!(
+                decompress(&archive[..cut], 1 << 20).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn header_with_name_and_extra_fields_parses() {
+        // Hand-assemble a header exercising FEXTRA + FNAME + FHCRC.
+        let input = b"optional header fields";
+        let deflated = crate::deflate::compress(input);
+        let mut archive = vec![0x1F, 0x8B, 8, FEXTRA | FNAME | FHCRC, 0, 0, 0, 0, 0, 255];
+        archive.extend_from_slice(&3u16.to_le_bytes()); // XLEN
+        archive.extend_from_slice(b"abc");
+        archive.extend_from_slice(b"trace.txt\0");
+        let hcrc = (crc32(&archive) & 0xFFFF) as u16;
+        archive.extend_from_slice(&hcrc.to_le_bytes());
+        archive.extend_from_slice(&deflated);
+        archive.extend_from_slice(&crc32(input).to_le_bytes());
+        archive.extend_from_slice(&(input.len() as u32).to_le_bytes());
+        assert_eq!(decompress(&archive, 1 << 20).unwrap(), input);
+    }
+}

@@ -1,0 +1,421 @@
+//! A slice-based DEFLATE (RFC 1951) decoder.
+//!
+//! Supports all three block types — stored, fixed-Huffman, and
+//! dynamic-Huffman — so streams produced by stock `gzip(1)`/zlib (which
+//! emit dynamic blocks for anything non-trivial) decode, not just this
+//! shim's own fixed-Huffman output. The decoder is deliberately the
+//! simple canonical-Huffman walk (the `puff` algorithm): bit-at-a-time,
+//! no lookup-table acceleration. Trace chunks and import fixtures are
+//! small; correctness and auditability beat speed here.
+//!
+//! Every decode takes an explicit output cap so a corrupt or malicious
+//! stream cannot balloon memory: DEFLATE expands up to ~1032x, and the
+//! caller (e.g. the `.ctr` reader with its chunk budget) knows how much
+//! it is willing to hold.
+
+use std::fmt;
+
+/// Maximum bits in a Huffman code (RFC 1951 §3.2.1).
+const MAX_BITS: usize = 15;
+/// Number of literal/length symbols.
+const MAX_LCODES: usize = 286;
+/// Number of distance symbols.
+const MAX_DCODES: usize = 30;
+
+/// Length-code base values for symbols 257..=285.
+pub(crate) const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+/// Extra bits for each length code.
+pub(crate) const LENGTH_EXTRA: [u16; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance-code base values for symbols 0..=29.
+pub(crate) const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+/// Extra bits for each distance code.
+pub(crate) const DIST_EXTRA: [u16; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// The permuted order code-length code lengths arrive in (RFC 1951 §3.2.7).
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// A typed DEFLATE decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InflateError {
+    /// The input ended before the stream was complete.
+    Truncated,
+    /// A block header declared the reserved block type `11`.
+    BadBlockType,
+    /// A stored block's `LEN` and `NLEN` fields are not complements.
+    BadStoredLength,
+    /// A Huffman code walked off the end of the code table.
+    BadCode,
+    /// A code-length sequence was internally inconsistent.
+    BadLengths(&'static str),
+    /// A match distance reached before the start of the output.
+    BadDistance,
+    /// The decoded output exceeded the caller's cap.
+    TooLarge {
+        /// The cap that was exceeded, in bytes.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InflateError::Truncated => write!(f, "deflate stream ended mid-block"),
+            InflateError::BadBlockType => write!(f, "reserved deflate block type 11"),
+            InflateError::BadStoredLength => {
+                write!(f, "stored block LEN/NLEN fields are not complements")
+            }
+            InflateError::BadCode => write!(f, "invalid Huffman code in deflate stream"),
+            InflateError::BadLengths(what) => {
+                write!(f, "inconsistent Huffman code lengths: {what}")
+            }
+            InflateError::BadDistance => {
+                write!(f, "match distance reaches before the start of the output")
+            }
+            InflateError::TooLarge { limit } => {
+                write!(f, "decoded output exceeds the {limit}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    /// Bits already consumed from `data[pos]`.
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bit: 0,
+        }
+    }
+
+    /// Reads `n` bits (n <= 16), least significant first.
+    fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
+        let mut value = 0u32;
+        for i in 0..n {
+            let byte = *self.data.get(self.pos).ok_or(InflateError::Truncated)?;
+            value |= u32::from((byte >> self.bit) & 1) << i;
+            self.bit += 1;
+            if self.bit == 8 {
+                self.bit = 0;
+                self.pos += 1;
+            }
+        }
+        Ok(value)
+    }
+
+    /// Discards any partial byte (stored-block alignment).
+    fn align(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+    }
+}
+
+/// A canonical Huffman decoding table: symbol counts per code length
+/// plus the symbols sorted by (length, symbol order).
+struct Huffman {
+    counts: [u16; MAX_BITS + 1],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds a table from per-symbol code lengths (0 = unused).
+    fn build(lengths: &[u8]) -> Result<Huffman, InflateError> {
+        let mut counts = [0u16; MAX_BITS + 1];
+        for &len in lengths {
+            counts[usize::from(len)] += 1;
+        }
+        if usize::from(counts[0]) == lengths.len() {
+            return Err(InflateError::BadLengths("no symbols have codes"));
+        }
+        // An over-subscribed set of lengths cannot form a prefix code.
+        let mut left = 1i32;
+        for len in 1..=MAX_BITS {
+            left <<= 1;
+            left -= i32::from(counts[len]);
+            if left < 0 {
+                return Err(InflateError::BadLengths("over-subscribed code lengths"));
+            }
+        }
+        let mut offsets = [0u16; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.len()];
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[usize::from(offsets[usize::from(len)])] = symbol as u16;
+                offsets[usize::from(len)] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    /// Decodes one symbol, consuming bits MSB-of-code-first.
+    fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..=MAX_BITS {
+            code |= reader.bits(1)? as i32;
+            let count = i32::from(self.counts[len]);
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(InflateError::BadCode)
+    }
+}
+
+/// Fixed-Huffman tables (RFC 1951 §3.2.6), built on demand.
+fn fixed_tables() -> Result<(Huffman, Huffman), InflateError> {
+    let mut lit_lengths = [0u8; 288];
+    for (symbol, len) in lit_lengths.iter_mut().enumerate() {
+        *len = match symbol {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist_lengths = [5u8; MAX_DCODES];
+    Ok((
+        Huffman::build(&lit_lengths)?,
+        Huffman::build(&dist_lengths)?,
+    ))
+}
+
+/// Decodes the literal/length + distance symbol stream of one block.
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    limit: usize,
+    lit: &Huffman,
+    dist: &Huffman,
+) -> Result<(), InflateError> {
+    loop {
+        let symbol = lit.decode(reader)?;
+        match symbol {
+            0..=255 => {
+                if out.len() >= limit {
+                    return Err(InflateError::TooLarge { limit });
+                }
+                out.push(symbol as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = usize::from(symbol - 257);
+                let length = usize::from(LENGTH_BASE[idx])
+                    + reader.bits(u32::from(LENGTH_EXTRA[idx]))? as usize;
+                let dsym = dist.decode(reader)?;
+                if usize::from(dsym) >= MAX_DCODES {
+                    return Err(InflateError::BadCode);
+                }
+                let didx = usize::from(dsym);
+                let distance = usize::from(DIST_BASE[didx])
+                    + reader.bits(u32::from(DIST_EXTRA[didx]))? as usize;
+                if distance > out.len() {
+                    return Err(InflateError::BadDistance);
+                }
+                if out.len() + length > limit {
+                    return Err(InflateError::TooLarge { limit });
+                }
+                // Byte-at-a-time copy: overlapping matches (distance <
+                // length) must re-read bytes this copy produced.
+                let start = out.len() - distance;
+                for i in 0..length {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(InflateError::BadCode),
+        }
+    }
+}
+
+/// Reads the dynamic-Huffman table definition of one block.
+fn dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
+    let hlit = reader.bits(5)? as usize + 257;
+    let hdist = reader.bits(5)? as usize + 1;
+    let hclen = reader.bits(4)? as usize + 4;
+    if hlit > MAX_LCODES {
+        return Err(InflateError::BadLengths("too many literal/length codes"));
+    }
+    let mut clen_lengths = [0u8; 19];
+    for &idx in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[idx] = reader.bits(3)? as u8;
+    }
+    let clen = Huffman::build(&clen_lengths)?;
+
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let symbol = clen.decode(reader)?;
+        match symbol {
+            0..=15 => {
+                lengths[i] = symbol as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err(InflateError::BadLengths("repeat with no previous length"));
+                }
+                let prev = lengths[i - 1];
+                let reps = 3 + reader.bits(2)? as usize;
+                if i + reps > lengths.len() {
+                    return Err(InflateError::BadLengths("repeat past end of lengths"));
+                }
+                lengths[i..i + reps].fill(prev);
+                i += reps;
+            }
+            17 | 18 => {
+                let reps = if symbol == 17 {
+                    3 + reader.bits(3)? as usize
+                } else {
+                    11 + reader.bits(7)? as usize
+                };
+                if i + reps > lengths.len() {
+                    return Err(InflateError::BadLengths("zero-run past end of lengths"));
+                }
+                i += reps;
+            }
+            _ => return Err(InflateError::BadCode),
+        }
+    }
+    if lengths[256] == 0 {
+        return Err(InflateError::BadLengths("end-of-block symbol has no code"));
+    }
+    let lit = Huffman::build(&lengths[..hlit])?;
+    let dist = Huffman::build(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+/// Decodes a complete raw DEFLATE stream.
+///
+/// `limit` caps the decoded size; exceeding it returns
+/// [`InflateError::TooLarge`] instead of allocating further. Trailing
+/// bytes after the final block are ignored (gzip trailers live there).
+pub fn inflate(data: &[u8], limit: usize) -> Result<Vec<u8>, InflateError> {
+    let mut reader = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = reader.bits(1)?;
+        let btype = reader.bits(2)?;
+        match btype {
+            0 => {
+                reader.align();
+                let len = reader.bits(16)? as usize;
+                let nlen = reader.bits(16)? as usize;
+                if len != (!nlen & 0xFFFF) {
+                    return Err(InflateError::BadStoredLength);
+                }
+                if out.len() + len > limit {
+                    return Err(InflateError::TooLarge { limit });
+                }
+                let end = reader.pos.checked_add(len).ok_or(InflateError::Truncated)?;
+                let bytes = data.get(reader.pos..end).ok_or(InflateError::Truncated)?;
+                out.extend_from_slice(bytes);
+                reader.pos = end;
+            }
+            1 => {
+                let (lit, dist) = fixed_tables()?;
+                inflate_block(&mut reader, &mut out, limit, &lit, &dist)?;
+            }
+            2 => {
+                let (lit, dist) = dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, limit, &lit, &dist)?;
+            }
+            _ => return Err(InflateError::BadBlockType),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_block_round_trips() {
+        // Hand-built stored block: BFINAL=1, BTYPE=00, aligned LEN/NLEN.
+        let payload = b"stored bytes";
+        let mut stream = vec![0b0000_0001];
+        stream.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        stream.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        stream.extend_from_slice(payload);
+        assert_eq!(inflate(&stream, 1 << 16).unwrap(), payload);
+    }
+
+    #[test]
+    fn stored_block_bad_nlen_rejected() {
+        let mut stream = vec![0b0000_0001];
+        stream.extend_from_slice(&5u16.to_le_bytes());
+        stream.extend_from_slice(&5u16.to_le_bytes()); // not the complement
+        stream.extend_from_slice(b"hello");
+        assert_eq!(
+            inflate(&stream, 1 << 16),
+            Err(InflateError::BadStoredLength)
+        );
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        // BFINAL=1, BTYPE=11.
+        assert_eq!(
+            inflate(&[0b0000_0111], 1 << 16),
+            Err(InflateError::BadBlockType)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        assert_eq!(inflate(&[], 1 << 16), Err(InflateError::Truncated));
+        let mut stream = vec![0b0000_0001];
+        stream.extend_from_slice(&100u16.to_le_bytes());
+        stream.extend_from_slice(&(!100u16).to_le_bytes());
+        stream.extend_from_slice(b"short");
+        assert_eq!(inflate(&stream, 1 << 16), Err(InflateError::Truncated));
+    }
+
+    #[test]
+    fn output_cap_enforced() {
+        let payload = [0u8; 64];
+        let mut stream = vec![0b0000_0001];
+        stream.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        stream.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        stream.extend_from_slice(&payload);
+        assert_eq!(
+            inflate(&stream, 63),
+            Err(InflateError::TooLarge { limit: 63 })
+        );
+    }
+}

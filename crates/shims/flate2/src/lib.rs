@@ -1,0 +1,408 @@
+//! # flate2 — offline vendored stand-in
+//!
+//! The workspace vendors every dependency (see DESIGN.md), so this
+//! crate reimplements the subset of `flate2`'s API the workspace uses,
+//! on top of a std-only DEFLATE engine:
+//!
+//! - [`read::DeflateDecoder`] / [`read::GzDecoder`] — decompressing
+//!   readers over raw DEFLATE and gzip members;
+//! - [`write::DeflateEncoder`] / [`write::GzEncoder`] — compressing
+//!   writers (greedy LZ77 with fixed-Huffman codes);
+//! - [`Compression`] — accepted for API compatibility; the vendored
+//!   encoder has a single strategy, so the level only gates the
+//!   degenerate `Compression::none()` stored path... which this shim
+//!   does not implement either: every level emits the same stream.
+//!
+//! Two deliberate deviations from the real crate, both documented at
+//! the call sites that rely on them:
+//!
+//! 1. **Whole-stream buffering.** The decoders read their source to
+//!    EOF and decode in one pass rather than streaming incrementally.
+//!    Every consumer in this workspace (`.ctr` chunk payloads, import
+//!    fixtures) holds the compressed input in memory anyway.
+//! 2. **Decode caps.** [`read::DeflateDecoder::with_limit`] and
+//!    [`read::GzDecoder::with_limit`] bound the decompressed size, so
+//!    a corrupt chunk cannot balloon memory past the reader's budget.
+//!    The real crate leaves this to the caller.
+//!
+//! The *format* is the contract: output decodes with zlib/`gzip -d`,
+//! and input from stock `gzip(1)` (dynamic-Huffman blocks included)
+//! decodes here, CRC-32 and ISIZE verified.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc32;
+mod deflate;
+mod gzip;
+mod inflate;
+
+pub use crc32::crc32;
+pub use gzip::{is_gzip, GzipError};
+pub use inflate::InflateError;
+
+/// Compression level selector, accepted for API compatibility.
+///
+/// The vendored encoder always runs the same greedy fixed-Huffman
+/// strategy; the level is recorded but does not change the output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Compression(u32);
+
+impl Compression {
+    /// An explicit level (0-9 in the real crate's convention).
+    pub fn new(level: u32) -> Compression {
+        Compression(level)
+    }
+
+    /// No compression requested (still emits a valid DEFLATE stream).
+    pub fn none() -> Compression {
+        Compression(0)
+    }
+
+    /// Fastest compression.
+    pub fn fast() -> Compression {
+        Compression(1)
+    }
+
+    /// Best-ratio compression.
+    pub fn best() -> Compression {
+        Compression(9)
+    }
+
+    /// The recorded numeric level.
+    pub fn level(&self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Compression {
+    fn default() -> Compression {
+        Compression(6)
+    }
+}
+
+fn invalid_data<E: std::error::Error + Send + Sync + 'static>(e: E) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+/// Decompressing readers.
+pub mod read {
+    use std::io::{self, Read};
+
+    use super::invalid_data;
+
+    /// Shared serve-from-decoded-buffer plumbing for both decoders.
+    struct Buffered<R> {
+        inner: R,
+        limit: usize,
+        decoded: Option<Vec<u8>>,
+        pos: usize,
+    }
+
+    impl<R: Read> Buffered<R> {
+        fn new(inner: R, limit: usize) -> Self {
+            Buffered {
+                inner,
+                limit,
+                decoded: None,
+                pos: 0,
+            }
+        }
+
+        fn fill(
+            &mut self,
+            decode: impl FnOnce(&[u8], usize) -> io::Result<Vec<u8>>,
+        ) -> io::Result<()> {
+            if self.decoded.is_none() {
+                let mut raw = Vec::new();
+                self.inner.read_to_end(&mut raw)?;
+                self.decoded = Some(decode(&raw, self.limit)?);
+            }
+            Ok(())
+        }
+
+        fn serve(&mut self, buf: &mut [u8]) -> usize {
+            let decoded = self.decoded.as_ref().expect("filled before serving");
+            let n = buf.len().min(decoded.len() - self.pos);
+            buf[..n].copy_from_slice(&decoded[self.pos..self.pos + n]);
+            self.pos += n;
+            n
+        }
+    }
+
+    /// Reads a raw DEFLATE stream, yielding decompressed bytes.
+    pub struct DeflateDecoder<R> {
+        buffered: Buffered<R>,
+    }
+
+    impl<R: Read> DeflateDecoder<R> {
+        /// Wraps `inner`, decoding without a size cap.
+        pub fn new(inner: R) -> DeflateDecoder<R> {
+            DeflateDecoder::with_limit(inner, usize::MAX)
+        }
+
+        /// Wraps `inner`, failing with `InvalidData` if the decoded
+        /// stream would exceed `limit` bytes (shim extension).
+        pub fn with_limit(inner: R, limit: usize) -> DeflateDecoder<R> {
+            DeflateDecoder {
+                buffered: Buffered::new(inner, limit),
+            }
+        }
+
+        /// Consumes the decoder, returning the underlying reader.
+        pub fn into_inner(self) -> R {
+            self.buffered.inner
+        }
+    }
+
+    impl<R: Read> Read for DeflateDecoder<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.buffered
+                .fill(|raw, limit| crate::inflate::inflate(raw, limit).map_err(invalid_data))?;
+            Ok(self.buffered.serve(buf))
+        }
+    }
+
+    /// Reads one gzip member, yielding decompressed bytes after
+    /// verifying the header and the CRC-32/ISIZE trailer.
+    pub struct GzDecoder<R> {
+        buffered: Buffered<R>,
+    }
+
+    impl<R: Read> GzDecoder<R> {
+        /// Wraps `inner`, decoding without a size cap.
+        pub fn new(inner: R) -> GzDecoder<R> {
+            GzDecoder::with_limit(inner, usize::MAX)
+        }
+
+        /// Wraps `inner` with a decoded-size cap (shim extension).
+        pub fn with_limit(inner: R, limit: usize) -> GzDecoder<R> {
+            GzDecoder {
+                buffered: Buffered::new(inner, limit),
+            }
+        }
+
+        /// Consumes the decoder, returning the underlying reader.
+        pub fn into_inner(self) -> R {
+            self.buffered.inner
+        }
+    }
+
+    impl<R: Read> Read for GzDecoder<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.buffered
+                .fill(|raw, limit| crate::gzip::decompress(raw, limit).map_err(invalid_data))?;
+            Ok(self.buffered.serve(buf))
+        }
+    }
+}
+
+/// Compressing writers.
+pub mod write {
+    use std::io::{self, Write};
+
+    use super::Compression;
+
+    /// Writes a raw DEFLATE stream to the wrapped writer on `finish`.
+    pub struct DeflateEncoder<W: Write> {
+        inner: W,
+        buf: Vec<u8>,
+    }
+
+    impl<W: Write> DeflateEncoder<W> {
+        /// Wraps `inner`; the level is accepted but not consulted.
+        pub fn new(inner: W, _level: Compression) -> DeflateEncoder<W> {
+            DeflateEncoder {
+                inner,
+                buf: Vec::new(),
+            }
+        }
+
+        /// Compresses everything written so far, writes the stream to
+        /// the inner writer, and returns it.
+        pub fn finish(mut self) -> io::Result<W> {
+            let stream = crate::deflate::compress(&self.buf);
+            self.inner.write_all(&stream)?;
+            Ok(self.inner)
+        }
+    }
+
+    impl<W: Write> Write for DeflateEncoder<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.buf.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Writes a single-member gzip archive to the wrapped writer on
+    /// `finish`.
+    pub struct GzEncoder<W: Write> {
+        inner: W,
+        buf: Vec<u8>,
+    }
+
+    impl<W: Write> GzEncoder<W> {
+        /// Wraps `inner`; the level is accepted but not consulted.
+        pub fn new(inner: W, _level: Compression) -> GzEncoder<W> {
+            GzEncoder {
+                inner,
+                buf: Vec::new(),
+            }
+        }
+
+        /// Compresses everything written so far, writes the archive
+        /// (header, deflate payload, CRC-32 + ISIZE trailer), and
+        /// returns the inner writer.
+        pub fn finish(mut self) -> io::Result<W> {
+            let archive = crate::gzip::compress(&self.buf);
+            self.inner.write_all(&archive)?;
+            Ok(self.inner)
+        }
+    }
+
+    impl<W: Write> Write for GzEncoder<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.buf.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{Read, Write};
+
+    use super::*;
+
+    #[test]
+    fn deflate_reader_writer_round_trip() {
+        let input = b"reader/writer round trip ".repeat(200);
+        let mut enc = write::DeflateEncoder::new(Vec::new(), Compression::default());
+        enc.write_all(&input).unwrap();
+        let compressed = enc.finish().unwrap();
+        let mut out = Vec::new();
+        read::DeflateDecoder::new(compressed.as_slice())
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn gz_reader_writer_round_trip() {
+        let input = b"gzip member round trip ".repeat(150);
+        let mut enc = write::GzEncoder::new(Vec::new(), Compression::best());
+        enc.write_all(&input).unwrap();
+        let archive = enc.finish().unwrap();
+        assert!(is_gzip(&archive));
+        let mut out = Vec::new();
+        read::GzDecoder::new(archive.as_slice())
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn decode_limit_is_io_error() {
+        let input = vec![7u8; 4096];
+        let mut enc = write::DeflateEncoder::new(Vec::new(), Compression::default());
+        enc.write_all(&input).unwrap();
+        let compressed = enc.finish().unwrap();
+        let mut out = Vec::new();
+        let err = read::DeflateDecoder::with_limit(compressed.as_slice(), 100)
+            .read_to_end(&mut out)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    /// A gzip member produced by CPython's zlib with a dynamic-Huffman
+    /// block (BTYPE=2): proves the inflater handles output from real
+    /// encoders, not just its own fixed-Huffman streams.
+    #[test]
+    fn decodes_dynamic_huffman_member_from_real_zlib() {
+        // python3: gzip.compress(body, mtime=0) for the body rebuilt
+        // below; byte 10's BTYPE field reads 2 (dynamic).
+        const ARCHIVE: &[u8] = &[
+            0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x03, 0x65, 0xd6, 0x4b, 0x8e,
+            0xdb, 0x40, 0x0c, 0x45, 0xd1, 0x79, 0xaf, 0xa2, 0x97, 0x20, 0x16, 0x8b, 0x9f, 0xda,
+            0x46, 0x26, 0x19, 0xb3, 0x3e, 0x5c, 0x43, 0x96, 0x1f, 0xa1, 0xc5, 0x04, 0xf0, 0x93,
+            0x87, 0xc2, 0x03, 0x74, 0x6d, 0x1d, 0x17, 0xf4, 0xeb, 0xfb, 0xfa, 0x63, 0x79, 0xfd,
+            0xff, 0x7c, 0xfd, 0xfe, 0x7f, 0x81, 0x7e, 0x2e, 0x7c, 0xfb, 0x7d, 0xe1, 0xfa, 0xfa,
+            0xf5, 0xb1, 0xeb, 0xb8, 0xe3, 0x67, 0x37, 0x0e, 0x9b, 0x8d, 0x49, 0x30, 0x77, 0x9c,
+            0xeb, 0x33, 0xe7, 0xa5, 0x27, 0x59, 0x1b, 0xcc, 0x17, 0xce, 0xc7, 0x33, 0xdf, 0x11,
+            0xaa, 0x9b, 0xf8, 0x73, 0x4e, 0xaf, 0xe8, 0xf5, 0xcc, 0xcd, 0xf7, 0x3e, 0xba, 0x3a,
+            0xcc, 0x5f, 0xed, 0xf9, 0xcc, 0xc9, 0x48, 0xf4, 0x32, 0x81, 0x39, 0xb6, 0x53, 0x7b,
+            0xe6, 0x53, 0xfa, 0xda, 0xd1, 0x14, 0xe6, 0xd8, 0x4e, 0xf2, 0xcc, 0x85, 0xbd, 0x0b,
+            0x6f, 0xfb, 0x9c, 0x37, 0x6c, 0xbf, 0x6f, 0xf7, 0x33, 0x4f, 0x9a, 0x73, 0x6d, 0x77,
+            0x98, 0x63, 0x3b, 0xcd, 0x67, 0xee, 0x99, 0xdc, 0x8d, 0x07, 0xcc, 0x5f, 0xed, 0xe7,
+            0x99, 0xb7, 0xd3, 0x62, 0x5d, 0x27, 0x60, 0x8e, 0xed, 0x8d, 0x9e, 0xf9, 0x5a, 0xda,
+            0x38, 0xc6, 0xfc, 0x9c, 0x33, 0xb6, 0xdf, 0x75, 0x3f, 0x73, 0x8d, 0x31, 0x66, 0xef,
+            0x0b, 0xe6, 0xd8, 0xde, 0xac, 0xda, 0x37, 0xb5, 0x9d, 0x1b, 0xd6, 0x98, 0xde, 0xe2,
+            0x59, 0x87, 0x5d, 0x1e, 0x16, 0x07, 0xe6, 0xaf, 0xf4, 0xfd, 0xcc, 0xbb, 0xf4, 0xfb,
+            0x6b, 0x48, 0x7e, 0xce, 0x3b, 0xa6, 0x73, 0x39, 0x2f, 0xbe, 0xc0, 0xbd, 0x63, 0x3a,
+            0x17, 0x77, 0xa7, 0x48, 0xea, 0x0b, 0xb8, 0x77, 0x6c, 0xe7, 0xe2, 0x4e, 0x79, 0xd4,
+            0x8f, 0x01, 0xf7, 0x8e, 0xed, 0x5c, 0xdc, 0xe7, 0xb9, 0x9f, 0x97, 0x37, 0xe0, 0x2e,
+            0xaf, 0xf6, 0xe2, 0x2e, 0x4b, 0xc4, 0x69, 0x03, 0x77, 0x79, 0xb5, 0x17, 0xf7, 0x0c,
+            0x5f, 0x39, 0x1d, 0xb8, 0x0b, 0xb6, 0xf7, 0xe2, 0x3e, 0x7c, 0x75, 0x13, 0x06, 0xee,
+            0x82, 0xed, 0xbd, 0xb8, 0xb3, 0xe6, 0x3c, 0xe7, 0x00, 0x77, 0xc5, 0xf6, 0x5e, 0xdc,
+            0xb7, 0x30, 0xab, 0x0f, 0xe0, 0xae, 0xd8, 0xde, 0x8b, 0xbb, 0xb1, 0xc6, 0x69, 0x1d,
+            0xb8, 0xeb, 0xab, 0xbd, 0xb8, 0x13, 0x45, 0x93, 0x99, 0xc0, 0x5d, 0xb1, 0x5d, 0x8a,
+            0x7b, 0xe4, 0x1e, 0x5b, 0x02, 0xb8, 0x1b, 0xb6, 0x4b, 0x71, 0xef, 0x87, 0xa8, 0xa7,
+            0x00, 0x77, 0xc3, 0x76, 0x29, 0xee, 0x67, 0x75, 0x5f, 0xe3, 0x02, 0xef, 0x86, 0xed,
+            0x52, 0xde, 0x3d, 0xfc, 0x7e, 0x06, 0x13, 0xbc, 0xdb, 0xab, 0xbd, 0xbc, 0x37, 0x9f,
+            0x36, 0x97, 0x82, 0x77, 0xc7, 0x76, 0x2d, 0xef, 0x75, 0xfe, 0x82, 0x77, 0xc7, 0x76,
+            0x2d, 0xef, 0x2a, 0x4d, 0xef, 0x5f, 0x07, 0xbc, 0x3b, 0xb6, 0xeb, 0xbf, 0xe3, 0x5d,
+            0x4e, 0x1b, 0x0e, 0xdc, 0x1d, 0xd3, 0xb5, 0xb8, 0x07, 0x0d, 0x09, 0x66, 0xe0, 0x3e,
+            0x5e, 0xe9, 0xc5, 0x9d, 0x73, 0x6d, 0x5a, 0x07, 0xb8, 0x8f, 0x57, 0x7a, 0x71, 0xdf,
+            0xe7, 0xea, 0x43, 0x07, 0x70, 0x1f, 0x98, 0x6e, 0xc5, 0xdd, 0x16, 0x2f, 0xba, 0x3a,
+            0x70, 0x1f, 0xd8, 0x6e, 0xc5, 0x9d, 0xc2, 0xd8, 0x47, 0x02, 0xf7, 0xc0, 0x76, 0x2b,
+            0xee, 0xd3, 0x63, 0x5e, 0x1c, 0xc0, 0x3d, 0xb0, 0xdd, 0x8a, 0xbb, 0xe8, 0x69, 0xb6,
+            0x05, 0xb8, 0xc7, 0xab, 0xbd, 0xb8, 0xa7, 0xd0, 0x9d, 0x72, 0x01, 0xf7, 0xc0, 0x76,
+            0x2f, 0xee, 0x83, 0x85, 0xec, 0x9a, 0xc0, 0x7d, 0x62, 0xbb, 0x17, 0x77, 0x26, 0xf7,
+            0x13, 0x0a, 0xdc, 0x27, 0xb6, 0x7b, 0x71, 0x5f, 0xb9, 0xee, 0xff, 0x31, 0x01, 0xf7,
+            0x89, 0xed, 0x5e, 0xdc, 0x75, 0xa7, 0xed, 0xbd, 0x80, 0xfb, 0x7c, 0xb5, 0x17, 0xf7,
+            0xd5, 0x52, 0xcc, 0x40, 0xfb, 0xc2, 0xf4, 0x51, 0xda, 0xeb, 0xf5, 0x01, 0xb4, 0x2f,
+            0x4c, 0x1f, 0xa5, 0xbd, 0xfb, 0x38, 0x3d, 0x0e, 0x68, 0x5f, 0x98, 0x3e, 0x4a, 0xfb,
+            0xd1, 0x2d, 0xab, 0x0f, 0xe0, 0xbe, 0x30, 0x7d, 0x14, 0x77, 0x97, 0x6b, 0xf3, 0xe9,
+            0xc0, 0x7d, 0xbf, 0xda, 0x8b, 0x7b, 0xe3, 0xde, 0xa7, 0x25, 0x70, 0xdf, 0xaf, 0xf6,
+            0xe2, 0xbe, 0xe8, 0x16, 0x4c, 0x01, 0xdc, 0x37, 0xb6, 0x47, 0x71, 0x97, 0x9c, 0x1c,
+            0x53, 0x80, 0xfb, 0xc6, 0xf6, 0x28, 0xee, 0xb9, 0xcf, 0x6c, 0x72, 0x01, 0xf7, 0x83,
+            0xed, 0x51, 0xdc, 0xc7, 0x6a, 0x6d, 0x9c, 0x09, 0xdc, 0x0f, 0xb6, 0x47, 0x71, 0xe7,
+            0x90, 0x20, 0x57, 0xe0, 0x7e, 0x5e, 0xed, 0xc5, 0x7d, 0xfb, 0xa0, 0xd1, 0x08, 0xb8,
+            0x1f, 0x6c, 0x9f, 0xc5, 0xdd, 0xf4, 0x3e, 0x7d, 0xe7, 0x02, 0xee, 0x89, 0xed, 0xb3,
+            0xb8, 0xdf, 0xef, 0x6f, 0x97, 0x8b, 0x01, 0xf7, 0xc4, 0xf6, 0x59, 0xdc, 0x27, 0xb3,
+            0x65, 0x36, 0xe0, 0x9e, 0xd8, 0x3e, 0x8b, 0xbb, 0x90, 0xe6, 0xfd, 0x9a, 0x0a, 0xdc,
+            0xf3, 0xd5, 0x5e, 0xdc, 0x4f, 0x86, 0x66, 0xf3, 0xfc, 0xfa, 0x0b, 0x0f, 0x18, 0xee,
+            0x68, 0xb6, 0x0b, 0x00, 0x00,
+        ];
+        assert_eq!(
+            (ARCHIVE[10] >> 1) & 3,
+            2,
+            "test vector must be a dynamic block"
+        );
+        let mut body = Vec::new();
+        for i in 0u64..64 {
+            body.extend_from_slice(
+                format!("R 0x{:012x}\n", 0x7f00_0000_0000u64 + i * 64).as_bytes(),
+            );
+            body.extend_from_slice(
+                format!(
+                    "W 0x{:012x} 8 0x{:x}\n",
+                    0x7f00_0010_0000u64 + i * 48,
+                    (i * 2_654_435_761) % (1u64 << 32)
+                )
+                .as_bytes(),
+            );
+        }
+        let mut out = Vec::new();
+        read::GzDecoder::new(ARCHIVE).read_to_end(&mut out).unwrap();
+        assert_eq!(out, body);
+    }
+}

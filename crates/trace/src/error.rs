@@ -48,6 +48,17 @@ pub enum TraceError {
         /// The configured budget.
         budget_bytes: u64,
     },
+    /// A compressed chunk's payload failed to inflate — a damaged
+    /// DEFLATE bitstream, or decompressed output exceeding the reader's
+    /// budget. Like [`TraceError::CrcMismatch`] this is per-chunk
+    /// damage: the frame was intact, so the stream stays in sync and a
+    /// skipping reader can step over it.
+    Decompress {
+        /// Zero-based chunk index.
+        chunk: u64,
+        /// What the inflater reported.
+        what: String,
+    },
     /// A frame declared an implausible shape (zero-length payload with
     /// accesses, or a payload/access-count mismatch discovered on decode).
     BadRecord {
@@ -100,6 +111,9 @@ impl fmt::Display for TraceError {
                 "chunk {chunk} needs {payload_bytes} bytes but the memory budget is \
                  {budget_bytes} bytes"
             ),
+            TraceError::Decompress { chunk, what } => {
+                write!(f, "chunk {chunk} failed to decompress: {what}")
+            }
             TraceError::BadRecord {
                 chunk,
                 offset,
@@ -132,7 +146,9 @@ impl TraceError {
     pub fn is_skippable(&self) -> bool {
         matches!(
             self,
-            TraceError::CrcMismatch { .. } | TraceError::BadRecord { .. }
+            TraceError::CrcMismatch { .. }
+                | TraceError::BadRecord { .. }
+                | TraceError::Decompress { .. }
         )
     }
 }

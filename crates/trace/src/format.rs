@@ -24,8 +24,24 @@ use crate::error::TraceError;
 /// The eight magic bytes opening every `.ctr` file.
 pub const MAGIC: [u8; 8] = *b"CNTTRACE";
 
-/// The format version this crate writes and reads.
+/// The format version this crate writes for uncompressed traces.
 pub const VERSION: u16 = 1;
+
+/// The format version written when chunk payloads are compressed.
+///
+/// Compression is a breaking change for readers — frame `payload_len`
+/// becomes the *on-disk* (deflated) length and the payload needs
+/// inflating before the CRC check — so compressed files bump the
+/// version rather than hide behind a flag bit version-1 readers would
+/// ignore. Old readers reject such files with a typed
+/// [`TraceError::UnsupportedVersion`] instead of misreading them.
+pub const VERSION_COMPRESSED: u16 = 2;
+
+/// Header flag bit: chunk payloads are DEFLATE-compressed.
+///
+/// Only meaningful at [`VERSION_COMPRESSED`] and above; version-1 files
+/// keep `flags` reserved-and-ignored as before.
+pub const FLAG_COMPRESSED: u16 = 1 << 0;
 
 /// Size of the fixed file header in bytes.
 pub const HEADER_BYTES: usize = 16;
@@ -49,9 +65,11 @@ const KIND_IFETCH: u8 = 2;
 /// The parsed file header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
-    /// Format version (currently always [`VERSION`]).
+    /// Format version ([`VERSION`], or [`VERSION_COMPRESSED`] when the
+    /// payloads are deflated).
     pub version: u16,
-    /// Reserved flag bits (zero today; readers ignore unknown bits).
+    /// Flag bits: [`FLAG_COMPRESSED`] at version 2+; all other bits
+    /// remain reserved and ignored.
     pub flags: u16,
     /// The writer's target accesses per chunk — informational, for tools
     /// sizing prefetch windows before reading any frame.
@@ -81,7 +99,7 @@ impl Header {
             return Err(TraceError::BadMagic { found });
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if version != VERSION {
+        if version != VERSION && version != VERSION_COMPRESSED {
             return Err(TraceError::UnsupportedVersion { version });
         }
         Ok(Header {
@@ -89,6 +107,11 @@ impl Header {
             flags: u16::from_le_bytes([bytes[10], bytes[11]]),
             chunk_target: u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
         })
+    }
+
+    /// True when chunk payloads must be inflated before decoding.
+    pub fn compressed(&self) -> bool {
+        self.version >= VERSION_COMPRESSED && self.flags & FLAG_COMPRESSED != 0
     }
 }
 
@@ -270,6 +293,35 @@ mod tests {
             Header::from_bytes(&bytes),
             Err(TraceError::UnsupportedVersion { version: 99 })
         ));
+    }
+
+    #[test]
+    fn compressed_header_round_trips_and_flags_gate() {
+        let h = Header {
+            version: VERSION_COMPRESSED,
+            flags: FLAG_COMPRESSED,
+            chunk_target: 4096,
+        };
+        let back = Header::from_bytes(&h.to_bytes()).expect("v2 headers parse");
+        assert_eq!(back, h);
+        assert!(back.compressed());
+        // The flag bit alone does not enable compression at version 1:
+        // v1 readers always treated flags as reserved-and-ignored.
+        let v1 = Header {
+            version: VERSION,
+            flags: FLAG_COMPRESSED,
+            chunk_target: 4096,
+        };
+        assert!(!Header::from_bytes(&v1.to_bytes())
+            .expect("v1 parses")
+            .compressed());
+        // And a v2 header without the bit set is plain.
+        let plain = Header {
+            version: VERSION_COMPRESSED,
+            flags: 0,
+            chunk_target: 4096,
+        };
+        assert!(!plain.compressed());
     }
 
     #[test]

@@ -48,9 +48,14 @@ pub use checkpoint::{
     CHECKPOINT_MAGIC, CHECKPOINT_VERSION, FNV_OFFSET,
 };
 pub use error::TraceError;
-pub use format::{Header, FRAME_BYTES, HEADER_BYTES, MAGIC, VERSION};
+pub use format::{
+    Header, FLAG_COMPRESSED, FRAME_BYTES, HEADER_BYTES, MAGIC, VERSION, VERSION_COMPRESSED,
+};
 pub use reader::{
     read_trace, CorruptionPolicy, Fetch, IngestStats, RawChunk, ReadOptions, StreamReader,
 };
 pub use rotate::CheckpointRotator;
-pub use writer::{pack_accesses, pack_trace, PackSummary, TraceWriter, DEFAULT_CHUNK_ACCESSES};
+pub use writer::{
+    pack_accesses, pack_accesses_with, pack_trace, pack_trace_with, PackSummary, TraceWriter,
+    WriteOptions, DEFAULT_CHUNK_ACCESSES,
+};

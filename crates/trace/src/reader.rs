@@ -16,6 +16,14 @@
 //! the stream in sync). Truncation — a stream ending mid-frame or
 //! mid-payload — is always fatal: past the damage there is no frame
 //! boundary left to resynchronize on.
+//!
+//! Compressed traces (header version 2 with the compressed flag) are
+//! handled transparently: each chunk is inflated after the payload read
+//! and *before* the CRC check, so the frame CRC-32 — computed over the
+//! uncompressed records at write time — still catches damage wherever
+//! it happened. An undecodable DEFLATE stream is per-chunk damage
+//! ([`TraceError::Decompress`]), subject to the same corruption policy
+//! as a CRC mismatch.
 
 use std::io::{Read, Seek, SeekFrom};
 
@@ -67,6 +75,8 @@ pub struct IngestStats {
     pub chunks_skipped: u64,
     /// CRC32 mismatches seen.
     pub crc_failures: u64,
+    /// Compressed chunks whose payload failed to inflate.
+    pub decompress_failures: u64,
     /// Payload-shape errors seen while decoding via [`StreamReader::next_chunk`].
     pub decode_failures: u64,
     /// Access records declared by yielded chunk frames.
@@ -290,6 +300,31 @@ impl<R: Read> StreamReader<R> {
                 return Err(e);
             }
             self.stats.bytes_read += len as u64;
+            if self.header.compressed() {
+                // Inflate before the CRC check: the frame CRC-32 covers
+                // the uncompressed records, so codec damage and record
+                // damage fall through the same corruption policy. The
+                // reader budget caps the inflated size too — a chunk
+                // whose *decompressed* payload would blow the budget is
+                // per-chunk damage (the frame stayed in sync), not a
+                // stream-fatal budget error.
+                match inflate_payload(&payload, self.opts.budget_bytes) {
+                    Ok(inflated) => payload = inflated,
+                    Err(what) => {
+                        self.stats.decompress_failures += 1;
+                        match self.opts.corruption {
+                            CorruptionPolicy::FailFast => {
+                                self.finished = true;
+                                return Err(TraceError::Decompress { chunk: index, what });
+                            }
+                            CorruptionPolicy::SkipWithReport => {
+                                self.stats.chunks_skipped += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
             let computed = crc32(&payload);
             if computed != frame.crc32 {
                 self.stats.crc_failures += 1;
@@ -454,6 +489,19 @@ pub fn read_trace<R: Read>(src: R, opts: ReadOptions) -> Result<Trace, TraceErro
         trace.extend(accesses);
     }
     Ok(trace)
+}
+
+/// Inflates one compressed chunk payload, capping the decompressed size
+/// at the reader budget. Errors are rendered to a string because the
+/// inflater's error type is a shim detail the `.ctr` API should not
+/// re-export.
+fn inflate_payload(payload: &[u8], budget_bytes: usize) -> Result<Vec<u8>, String> {
+    let mut decoder = flate2::read::DeflateDecoder::with_limit(payload, budget_bytes);
+    let mut inflated = Vec::new();
+    decoder
+        .read_to_end(&mut inflated)
+        .map_err(|e| e.to_string())?;
+    Ok(inflated)
 }
 
 fn read_exact_or<R: Read>(
@@ -755,6 +803,112 @@ mod tests {
              never payloads (file is {} bytes)",
             bytes.len()
         );
+    }
+
+    fn packed_compressed(n: u64, chunk_accesses: u32) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        crate::writer::pack_trace_with(
+            &sample_trace(n),
+            &mut bytes,
+            crate::writer::WriteOptions {
+                chunk_accesses,
+                compress: true,
+            },
+        )
+        .expect("packs");
+        bytes
+    }
+
+    #[test]
+    fn compressed_stream_round_trips_transparently() {
+        let trace = sample_trace(100);
+        let bytes = packed_compressed(100, 7);
+        let back = read_trace(&bytes[..], ReadOptions::default()).expect("reads");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn damaged_compressed_chunk_follows_corruption_policy() {
+        let mut bytes = packed_compressed(40, 10);
+        // Flip a bit in the middle of the second chunk's DEFLATE stream.
+        let second_payload =
+            HEADER_BYTES + FRAME_BYTES + chunk_payload_len(&bytes, 0) + FRAME_BYTES;
+        let mid = second_payload + chunk_payload_len(&bytes, 1) / 2;
+        bytes[mid] ^= 0x10;
+
+        // Fail-fast: either the inflater chokes (Decompress) or it
+        // happens to produce wrong bytes the CRC catches (CrcMismatch).
+        // Both are chunk-1 damage, and both are skippable.
+        let err = read_trace(&bytes[..], ReadOptions::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::Decompress { chunk: 1, .. } | TraceError::CrcMismatch { chunk: 1, .. }
+            ),
+            "{err}"
+        );
+        assert!(err.is_skippable());
+
+        let mut reader = StreamReader::new(
+            &bytes[..],
+            ReadOptions {
+                corruption: CorruptionPolicy::SkipWithReport,
+                ..ReadOptions::default()
+            },
+        )
+        .expect("opens");
+        let mut seen = Vec::new();
+        while let Some((index, accesses)) = reader.next_chunk().expect("skips damage") {
+            seen.push((index, accesses.len()));
+        }
+        assert_eq!(seen, vec![(0, 10), (2, 10), (3, 10)]);
+        let stats = reader.stats();
+        assert_eq!(stats.chunks_skipped, 1);
+        assert_eq!(stats.crc_failures + stats.decompress_failures, 1);
+    }
+
+    #[test]
+    fn compressed_chunk_inflating_past_budget_is_per_chunk_damage() {
+        // A tiny budget that admits the compressed on-disk payload but
+        // not the inflated records: the chunk must be rejected as
+        // damage, not silently truncated.
+        let bytes = packed_compressed(2000, 2000); // one chunk, highly compressible
+        let on_disk = chunk_payload_len(&bytes, 0);
+        let budget = on_disk + 64; // > compressed size, << inflated size
+        let err = read_trace(
+            &bytes[..],
+            ReadOptions {
+                budget_bytes: budget,
+                ..ReadOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TraceError::Decompress { chunk: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn seek_works_on_compressed_traces() {
+        let bytes = packed_compressed(100, 7);
+        let mut seq = StreamReader::new(&bytes[..], ReadOptions::default()).expect("opens");
+        for _ in 0..7 {
+            seq.next_raw().expect("reads").expect("chunk");
+        }
+        let mut seeked =
+            StreamReader::new(std::io::Cursor::new(&bytes[..]), ReadOptions::default())
+                .expect("opens");
+        seeked.seek_to_chunk(7).expect("seeks");
+        assert_eq!(seeked.identity(), seq.identity());
+        loop {
+            let a = seq.next_raw().expect("reads");
+            let b = seeked.next_raw().expect("reads");
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

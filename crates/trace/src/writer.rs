@@ -11,10 +11,34 @@ use cnt_sim::trace::{MemoryAccess, Trace};
 
 use crate::crc32::crc32;
 use crate::error::TraceError;
-use crate::format::{encode_access, Frame, Header, VERSION};
+use crate::format::{encode_access, Frame, Header, FLAG_COMPRESSED, VERSION, VERSION_COMPRESSED};
 
 /// Default target accesses per chunk (~72 KiB of write-heavy payload).
 pub const DEFAULT_CHUNK_ACCESSES: u32 = 4096;
+
+/// Writer configuration beyond the sink itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Target access records per chunk (clamped to at least 1).
+    pub chunk_accesses: u32,
+    /// DEFLATE-compress each chunk payload. Compressed files carry
+    /// [`VERSION_COMPRESSED`] + [`FLAG_COMPRESSED`] in the header, so
+    /// version-1 readers reject them with a typed
+    /// [`TraceError::UnsupportedVersion`] rather than misread the
+    /// frames. The frame CRC-32 is always computed over the
+    /// *uncompressed* payload — corruption checks survive whatever the
+    /// codec does on disk.
+    pub compress: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            chunk_accesses: DEFAULT_CHUNK_ACCESSES,
+            compress: false,
+        }
+    }
+}
 
 /// What one packing pass produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +72,7 @@ pub struct PackSummary {
 pub struct TraceWriter<W: Write> {
     sink: W,
     chunk_accesses: u32,
+    compress: bool,
     payload: Vec<u8>,
     pending: u32,
     summary: PackSummary,
@@ -60,17 +85,38 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// Propagates sink I/O errors.
-    pub fn new(mut sink: W, chunk_accesses: u32) -> Result<Self, TraceError> {
-        let chunk_accesses = chunk_accesses.max(1);
+    pub fn new(sink: W, chunk_accesses: u32) -> Result<Self, TraceError> {
+        TraceWriter::with_options(
+            sink,
+            WriteOptions {
+                chunk_accesses,
+                ..WriteOptions::default()
+            },
+        )
+    }
+
+    /// Writes the file header and returns a writer configured by
+    /// `options` (see [`WriteOptions`] for the compression contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn with_options(mut sink: W, options: WriteOptions) -> Result<Self, TraceError> {
+        let chunk_accesses = options.chunk_accesses.max(1);
         let header = Header {
-            version: VERSION,
-            flags: 0,
+            version: if options.compress {
+                VERSION_COMPRESSED
+            } else {
+                VERSION
+            },
+            flags: if options.compress { FLAG_COMPRESSED } else { 0 },
             chunk_target: chunk_accesses,
         };
         sink.write_all(&header.to_bytes())?;
         Ok(TraceWriter {
             sink,
             chunk_accesses,
+            compress: options.compress,
             payload: Vec::new(),
             pending: 0,
             summary: PackSummary::default(),
@@ -96,15 +142,28 @@ impl<W: Write> TraceWriter<W> {
         if self.pending == 0 {
             return Ok(());
         }
+        // The CRC always covers the uncompressed records; a reader
+        // inflates first, then checks, so on-disk codec damage and
+        // record damage are caught by the same field.
+        let crc = crc32(&self.payload);
+        let compressed: Option<Vec<u8>> = if self.compress {
+            let mut encoder =
+                flate2::write::DeflateEncoder::new(Vec::new(), flate2::Compression::default());
+            encoder.write_all(&self.payload)?;
+            Some(encoder.finish()?)
+        } else {
+            None
+        };
+        let on_disk: &[u8] = compressed.as_deref().unwrap_or(&self.payload);
         let frame = Frame {
-            payload_len: u32::try_from(self.payload.len()).expect("chunk payloads are small"),
+            payload_len: u32::try_from(on_disk.len()).expect("chunk payloads are small"),
             access_count: self.pending,
-            crc32: crc32(&self.payload),
+            crc32: crc,
         };
         self.sink.write_all(&frame.to_bytes())?;
-        self.sink.write_all(&self.payload)?;
+        self.sink.write_all(on_disk)?;
         self.summary.chunks += 1;
-        self.summary.payload_bytes += self.payload.len() as u64;
+        self.summary.payload_bytes += on_disk.len() as u64;
         self.payload.clear();
         self.pending = 0;
         Ok(())
@@ -157,6 +216,40 @@ pub fn pack_trace<W: Write>(
     pack_accesses(trace.iter().copied(), sink, chunk_accesses)
 }
 
+/// Packs any access stream with explicit [`WriteOptions`].
+///
+/// # Errors
+///
+/// Propagates sink I/O errors.
+pub fn pack_accesses_with<I, W>(
+    accesses: I,
+    sink: W,
+    options: WriteOptions,
+) -> Result<PackSummary, TraceError>
+where
+    I: IntoIterator<Item = MemoryAccess>,
+    W: Write,
+{
+    let mut writer = TraceWriter::with_options(sink, options)?;
+    for access in accesses {
+        writer.push(&access)?;
+    }
+    writer.finish()
+}
+
+/// Packs an in-memory [`Trace`] with explicit [`WriteOptions`].
+///
+/// # Errors
+///
+/// Propagates sink I/O errors.
+pub fn pack_trace_with<W: Write>(
+    trace: &Trace,
+    sink: W,
+    options: WriteOptions,
+) -> Result<PackSummary, TraceError> {
+    pack_accesses_with(trace.iter().copied(), sink, options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +277,39 @@ mod tests {
         assert_eq!(
             bytes.len(),
             HEADER_BYTES + 3 * FRAME_BYTES + summary.payload_bytes as usize
+        );
+    }
+
+    #[test]
+    fn compressed_pack_carries_v2_header_and_shrinks() {
+        use crate::format::{Header, FLAG_COMPRESSED, VERSION_COMPRESSED};
+        // A strided read loop: highly repetitive payload bytes.
+        let trace: Trace = (0..2000)
+            .map(|i| MemoryAccess::read(Address::new(0x1000 + i * 64), 8))
+            .collect();
+        let mut plain = Vec::new();
+        pack_trace(&trace, &mut plain, 256).expect("packs");
+        let mut packed = Vec::new();
+        let summary = pack_trace_with(
+            &trace,
+            &mut packed,
+            WriteOptions {
+                chunk_accesses: 256,
+                compress: true,
+            },
+        )
+        .expect("packs compressed");
+        assert_eq!(summary.accesses, 2000);
+        let header =
+            Header::from_bytes(&packed[..HEADER_BYTES].try_into().expect("16 bytes")).unwrap();
+        assert_eq!(header.version, VERSION_COMPRESSED);
+        assert_eq!(header.flags & FLAG_COMPRESSED, FLAG_COMPRESSED);
+        assert!(header.compressed());
+        assert!(
+            packed.len() < plain.len() / 2,
+            "strided reads must compress: {} -> {}",
+            plain.len(),
+            packed.len()
         );
     }
 

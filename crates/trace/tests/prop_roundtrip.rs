@@ -5,7 +5,10 @@
 use cnt_sim::trace::{MemoryAccess, Trace};
 use cnt_sim::Address;
 use cnt_trace::format::Frame;
-use cnt_trace::{pack_trace, read_trace, CorruptionPolicy, ReadOptions, FRAME_BYTES, HEADER_BYTES};
+use cnt_trace::{
+    pack_trace, pack_trace_with, read_trace, CorruptionPolicy, ReadOptions, WriteOptions,
+    FRAME_BYTES, HEADER_BYTES,
+};
 use proptest::prelude::*;
 
 fn arb_access() -> impl Strategy<Value = MemoryAccess> {
@@ -88,6 +91,51 @@ proptest! {
                 prop_assert!(skip.is_err(), "skip policy must not mask truncation: {e}");
             }
         }
+    }
+
+    /// pack(compress) ∘ read is also the identity: the reader inflates
+    /// transparently and the CRC (over uncompressed records) still holds.
+    #[test]
+    fn compressed_pack_then_read_is_identity(trace in arb_trace(), chunk in 1u32..64) {
+        let mut bytes = Vec::new();
+        pack_trace_with(&trace, &mut bytes, WriteOptions { chunk_accesses: chunk, compress: true })
+            .expect("packing in-memory never fails");
+        let back = read_trace(&bytes[..], ReadOptions::default()).expect("intact file reads");
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Flipping any bit of any compressed chunk payload is caught —
+    /// either the inflater rejects the bitstream or the CRC over the
+    /// inflated records mismatches — and the skip policy steps over
+    /// exactly the damaged chunk.
+    #[test]
+    fn compressed_payload_damage_is_caught_and_skippable(
+        trace in arb_trace(),
+        chunk in 1u32..32,
+        victim_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = Vec::new();
+        pack_trace_with(&trace, &mut bytes, WriteOptions { chunk_accesses: chunk, compress: true })
+            .expect("packing in-memory never fails");
+        let regions = payload_regions(&bytes);
+        prop_assume!(!trace.is_empty());
+        let victim = (((regions.len() - 1) as f64) * victim_frac) as usize;
+        let (start, len) = regions[victim];
+        prop_assume!(len > 0);
+        bytes[start + len / 2] ^= 1 << bit;
+
+        let err = read_trace(&bytes[..], ReadOptions::default())
+            .expect_err("fail-fast must surface payload damage");
+        prop_assert!(err.is_skippable(), "compressed damage is skippable: {err}");
+
+        let back = read_trace(&bytes[..], ReadOptions {
+            corruption: CorruptionPolicy::SkipWithReport,
+            ..ReadOptions::default()
+        }).expect("skip policy streams the intact remainder");
+        let chunk = chunk as usize;
+        let victim_accesses = trace.len().min(victim * chunk + chunk) - victim * chunk;
+        prop_assert_eq!(back.len(), trace.len() - victim_accesses);
     }
 
     /// Flipping any bit of any chunk payload is caught by the CRC, and

@@ -15,7 +15,9 @@
 //!   image threshold),
 //! * [`synthetic`] — parametric generators (sequential/strided/random/
 //!   Zipfian; read-fraction and bit-density sweeps),
-//! * [`suite`] — the named benchmark suite the experiment harness runs.
+//! * [`suite`] — the named benchmark suite the experiment harness runs,
+//!   plus the [`WorkloadRegistry`]: one `synth/*` + `import/*` namespace
+//!   over kernels and imported `.ctr` captures, selectable by glob.
 //!
 //! # Example
 //!
@@ -36,5 +38,8 @@ mod suite;
 pub mod synthetic;
 mod traced;
 
-pub use suite::{suite, suite_extended, suite_seeded, suite_small, Workload};
+pub use suite::{
+    glob_match, suite, suite_extended, suite_seeded, suite_small, RegistryError, Workload,
+    WorkloadEntry, WorkloadRegistry, WorkloadSource,
+};
 pub use traced::TracedMemory;
